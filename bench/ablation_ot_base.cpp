@@ -1,0 +1,44 @@
+/**
+ * Ablation — OT factorization base sweep (paper Section VII: "dividing
+ * into base-1024 performs best").
+ *
+ * The trade-off: smaller bases shrink the table further but add more
+ * exponent arithmetic and (at the extreme) more chained multiplies;
+ * larger bases converge back to the full-table footprint. We sweep the
+ * base at the paper's headline configuration and report table size,
+ * traffic, and modeled time.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gpu/simulator.h"
+#include "kernels/config_search.h"
+#include "ntt/ot_twiddle.h"
+
+int
+main()
+{
+    using namespace hentt;
+    bench::Header("Ablation", "OT base sweep, N = 2^17, np = 21");
+    const gpu::Simulator sim;
+    const std::size_t n = 1 << 17;
+    const std::size_t np = 21;
+
+    std::printf("  %8s %16s %14s %12s\n", "base", "table entries",
+                "DRAM (MB)", "time (us)");
+    for (std::size_t base : {64, 256, 1024, 4096, 16384}) {
+        auto best = kernels::FindBestSmemConfig(sim, n, np, 8, 2);
+        kernels::SmemConfig cfg = best.config;
+        cfg.ot_base = base;
+        const auto est = sim.Estimate(kernels::SmemKernel(cfg).Plan(np));
+        const double entries =
+            static_cast<double>(base) + 2.0 * n / static_cast<double>(base);
+        std::printf("  %8zu %16.0f %14.1f %12.1f%s\n", base, entries,
+                    est.dram_bytes / 1e6, est.total_us,
+                    base == 1024 ? "   (paper's choice)" : "");
+    }
+    bench::Note("bases near sqrt(2N) = 512..1024 minimize the table "
+                "(b + 2N/b), matching the paper's base-1024 pick");
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * Ablation — 32-bit vs 64-bit word size (paper Section IV): for a fixed
+ * ciphertext modulus budget (Q = 2^1200), 30-bit primes need twice as
+ * many NTTs as 60-bit primes, but each butterfly is cheaper. The paper
+ * measures the net difference at ~5%.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gpu/simulator.h"
+#include "kernels/cost_constants.h"
+#include "kernels/config_search.h"
+
+int
+main()
+{
+    using namespace hentt;
+    bench::Header("Ablation", "word size: 40x 30-bit vs 20x 60-bit primes");
+    const gpu::Simulator sim;
+    const std::size_t n = 1 << 17;
+
+    // 64-bit path: 20 primes of 60 bits.
+    const auto best64 = kernels::FindBestSmemConfig(sim, n, 20, 8, 2);
+
+    // 32-bit path: 40 primes of 30 bits. Data words are 4 bytes and
+    // butterflies ~40% cheaper, but there are twice as many rows.
+    auto plan32 = kernels::SmemKernel(
+                      kernels::FindBestSmemConfig(sim, n, 40, 8, 2).config)
+                      .Plan(40);
+    for (auto &k : plan32) {
+        k.dram_read_bytes *= 0.5;   // 4-byte words and tables
+        k.dram_write_bytes *= 0.5;
+        k.transaction_bytes *= 0.5;
+        k.compute_slots *= 0.6;     // single-word modmul
+    }
+    const auto est32 = sim.Estimate(plan32);
+
+    bench::Row("64-bit words (np=20)", best64.estimate.total_us, "us");
+    bench::Row("32-bit words (np=40)", est32.total_us, "us");
+    bench::Ratio("32b / 64b",
+                 est32.total_us / best64.estimate.total_us);
+    bench::Note("paper: ~5% difference at N = 2^17, Q = 2^1200 — the "
+                "workload-size doubling cancels the cheaper arithmetic");
+    return 0;
+}

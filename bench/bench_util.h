@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: headers,
+ * paper-reference annotation, and series printing. Every bench prints
+ * the model's numbers next to the paper's reported values so the
+ * reproduction can be judged line by line (EXPERIMENTS.md records the
+ * comparison).
+ */
+
+#ifndef HENTT_BENCH_BENCH_UTIL_H
+#define HENTT_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+namespace hentt::bench {
+
+inline void
+Header(const std::string &experiment, const std::string &description)
+{
+    std::printf("==============================================================================\n");
+    std::printf("%s — %s\n", experiment.c_str(), description.c_str());
+    std::printf("Device model: NVIDIA Titan V (80 SMs, 652.8 GB/s peak, 86.7%% streaming ceiling)\n");
+    std::printf("==============================================================================\n");
+}
+
+inline void
+Section(const std::string &title)
+{
+    std::printf("\n--- %s ---\n", title.c_str());
+}
+
+inline void
+Note(const std::string &text)
+{
+    std::printf("note: %s\n", text.c_str());
+}
+
+/** One series row: label, modeled value, optional paper value. */
+inline void
+Row(const std::string &label, double model, const char *unit,
+    double paper = -1.0)
+{
+    if (paper >= 0) {
+        std::printf("  %-24s %10.1f %-4s   (paper: %.1f)\n", label.c_str(),
+                    model, unit, paper);
+    } else {
+        std::printf("  %-24s %10.1f %-4s\n", label.c_str(), model, unit);
+    }
+}
+
+inline void
+Ratio(const std::string &label, double model, double paper = -1.0)
+{
+    if (paper >= 0) {
+        std::printf("  %-24s %9.2fx    (paper: %.2fx)\n", label.c_str(),
+                    model, paper);
+    } else {
+        std::printf("  %-24s %9.2fx\n", label.c_str(), model);
+    }
+}
+
+}  // namespace hentt::bench
+
+#endif  // HENTT_BENCH_BENCH_UTIL_H

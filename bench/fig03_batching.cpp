@@ -1,0 +1,64 @@
+/**
+ * Fig. 3 — execution time and DRAM utilization of the radix-2 NTT (a)
+ * and DFT (b) across batch sizes, N = 2^17.
+ *
+ * Paper: per-NTT time improves 1.92x from batch 1 to 21 (DFT: 1.84x)
+ * and saturates past a batch of ~5; at batch 21 the NTT reaches 86.7%
+ * of peak DRAM bandwidth.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gpu/simulator.h"
+#include "kernels/dft_kernels.h"
+#include "kernels/radix2_kernel.h"
+
+int
+main()
+{
+    using namespace hentt;
+    bench::Header("Fig. 3", "radix-2 NTT/DFT batching sweep, N = 2^17");
+    const gpu::Simulator sim;
+    const std::size_t n = 1 << 17;
+    const std::size_t batches[] = {1, 2, 3, 5, 8, 13, 21};
+
+    bench::Section("(a) NTT");
+    std::printf("  %6s %14s %14s %12s\n", "batch", "total (us)",
+                "per-NTT (us)", "DRAM util");
+    double ntt_first = 0, ntt_last = 0;
+    for (std::size_t b : batches) {
+        const auto est = sim.Estimate(kernels::Radix2Kernel().Plan(n, b));
+        const double per = est.total_us / static_cast<double>(b);
+        if (b == 1) {
+            ntt_first = per;
+        }
+        ntt_last = per;
+        std::printf("  %6zu %14.1f %14.1f %11.1f%%\n", b, est.total_us,
+                    per, est.dram_utilization * 100.0);
+    }
+    bench::Ratio("per-NTT speedup 1->21", ntt_first / ntt_last, 1.92);
+
+    bench::Section("(b) DFT");
+    std::printf("  %6s %14s %14s %12s\n", "batch", "total (us)",
+                "per-DFT (us)", "DRAM util");
+    double dft_first = 0, dft_last = 0;
+    for (std::size_t b : batches) {
+        const auto est = sim.Estimate(kernels::DftRadix2Plan(n, b));
+        const double per = est.total_us / static_cast<double>(b);
+        if (b == 1) {
+            dft_first = per;
+        }
+        dft_last = per;
+        std::printf("  %6zu %14.1f %14.1f %11.1f%%\n", b, est.total_us,
+                    per, est.dram_utilization * 100.0);
+    }
+    bench::Ratio("per-DFT speedup 1->21", dft_first / dft_last, 1.84);
+    bench::Note("paper reports per-transform times (2751.5 -> 1426.4 us "
+                "for NTT); our absolute batch-1 number differs because "
+                "the authors' baseline under-fills the GPU in ways the "
+                "model does not replicate, but the saturation shape and "
+                "the batch-21 bandwidth ceiling match (see "
+                "EXPERIMENTS.md)");
+    return 0;
+}

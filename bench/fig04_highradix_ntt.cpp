@@ -1,0 +1,69 @@
+/**
+ * Fig. 4 — register-based high-radix NTT: execution time + DRAM access
+ * for N = 2^16 and 2^17 (a, b), and occupancy + DRAM bandwidth
+ * utilization at N = 2^17 (c); np = 21 throughout.
+ *
+ * Paper anchors: radix-16 is best (566 us at 2^17, a 2.41x average gain
+ * over radix-2); radix-32 has 15.5% fewer DRAM accesses but loses on
+ * occupancy (bandwidth utilization drops to 59.9%); radix-64/128 spill
+ * to LMEM.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gpu/occupancy.h"
+#include "gpu/simulator.h"
+#include "kernels/highradix_kernel.h"
+
+int
+main()
+{
+    using namespace hentt;
+    bench::Header("Fig. 4", "high-radix NTT sweep, np = 21");
+    const gpu::Simulator sim;
+    const std::size_t radices[] = {2, 4, 8, 16, 32, 64, 128};
+
+    for (unsigned log_n : {16u, 17u}) {
+        const std::size_t n = std::size_t{1} << log_n;
+        bench::Section("(" + std::string(log_n == 16 ? "a" : "b") +
+                       ") N = 2^" + std::to_string(log_n));
+        std::printf("  %7s %12s %14s\n", "radix", "time (us)",
+                    "DRAM (MB)");
+        for (std::size_t r : radices) {
+            const auto plan = kernels::HighRadixKernel(r).Plan(n, 21);
+            const auto est = sim.Estimate(plan);
+            std::printf("  %7zu %12.1f %14.1f", r, est.total_us,
+                        est.dram_bytes / 1e6);
+            if (log_n == 17 && r == 16) {
+                std::printf("   (paper: 566 us, best)");
+            }
+            std::printf("\n");
+        }
+    }
+
+    bench::Section("(c) occupancy & DRAM bandwidth utilization, N = 2^17");
+    std::printf("  %7s %12s %12s\n", "radix", "occupancy", "DRAM util");
+    for (std::size_t r : radices) {
+        const auto plan = kernels::HighRadixKernel(r).Plan(1 << 17, 21);
+        const auto est = sim.Estimate(plan);
+        std::printf("  %7zu %11.1f%% %11.1f%%", r, est.occupancy * 100.0,
+                    est.dram_utilization * 100.0);
+        if (r == 32) {
+            std::printf("   (paper: util falls to 59.9%%)");
+        }
+        if (r >= 64) {
+            std::printf("   (LMEM spill)");
+        }
+        std::printf("\n");
+    }
+
+    const double t2 =
+        sim.Estimate(kernels::HighRadixKernel(2).Plan(1 << 17, 21))
+            .total_us;
+    const double t16 =
+        sim.Estimate(kernels::HighRadixKernel(16).Plan(1 << 17, 21))
+            .total_us;
+    bench::Ratio("radix-2 / radix-16 (2^17)", t2 / t16, 2.41);
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * Fig. 5 — the DFT counterpart of Fig. 4: high-radix sweep at
+ * N = 2^16 / 2^17 with 21 batched sequences.
+ *
+ * Paper anchors: DFT's best radix is 32 (364.2 us at 2^17) because DFT
+ * threads carry no modulus/Shoup state; occupancy at radix-32 is ~31%
+ * higher than NTT's.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gpu/simulator.h"
+#include "kernels/dft_kernels.h"
+#include "kernels/highradix_kernel.h"
+
+int
+main()
+{
+    using namespace hentt;
+    bench::Header("Fig. 5", "high-radix DFT sweep, batch = 21");
+    const gpu::Simulator sim;
+    const std::size_t radices[] = {2, 4, 8, 16, 32, 64, 128};
+
+    for (unsigned log_n : {16u, 17u}) {
+        const std::size_t n = std::size_t{1} << log_n;
+        bench::Section("(" + std::string(log_n == 16 ? "a" : "b") +
+                       ") N = 2^" + std::to_string(log_n));
+        std::printf("  %7s %12s %14s\n", "radix", "time (us)",
+                    "DRAM (MB)");
+        for (std::size_t r : radices) {
+            const auto est =
+                sim.Estimate(kernels::DftHighRadixPlan(n, 21, r));
+            std::printf("  %7zu %12.1f %14.1f", r, est.total_us,
+                        est.dram_bytes / 1e6);
+            if (log_n == 17 && r == 32) {
+                std::printf("   (paper: 364.2 us, best)");
+            }
+            std::printf("\n");
+        }
+    }
+
+    bench::Section("(c) occupancy & DRAM bandwidth utilization, N = 2^17");
+    std::printf("  %7s %12s %12s\n", "radix", "occupancy", "DRAM util");
+    for (std::size_t r : radices) {
+        const auto est =
+            sim.Estimate(kernels::DftHighRadixPlan(1 << 17, 21, r));
+        std::printf("  %7zu %11.1f%% %11.1f%%\n", r,
+                    est.occupancy * 100.0, est.dram_utilization * 100.0);
+    }
+
+    bench::Section("NTT-vs-DFT occupancy gap at radix 32 (paper: -31.2%)");
+    const auto ntt32 =
+        sim.Estimate(kernels::HighRadixKernel(32).Plan(1 << 17, 21));
+    const auto dft32 =
+        sim.Estimate(kernels::DftHighRadixPlan(1 << 17, 21, 32));
+    bench::Row("NTT radix-32 occupancy", ntt32.occupancy * 100.0, "%");
+    bench::Row("DFT radix-32 occupancy", dft32.occupancy * 100.0, "%");
+    bench::Ratio("NTT / DFT occupancy", ntt32.occupancy / dft32.occupancy,
+                 1.0 - 0.312);
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * Fig. 7 — Kernel-1 of the SMEM implementation with and without
+ * coalesced global-memory accesses, across Kernel-1 radices 32..512 at
+ * N = 2^17, np = 21.
+ *
+ * Paper: removing uncoalesced accesses by fusing thread blocks
+ * (Fig. 6(b)) speeds Kernel-1 up by 21.6% on average.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iterator>
+
+#include "bench_util.h"
+#include "gpu/simulator.h"
+#include "kernels/smem_kernel.h"
+
+int
+main()
+{
+    using namespace hentt;
+    bench::Header("Fig. 7", "Kernel-1 coalesced vs uncoalesced");
+    const gpu::Simulator sim;
+    const std::size_t n = 1 << 17;
+    const std::size_t k1_sizes[] = {32, 64, 128, 256, 512};
+
+    std::printf("  %10s %18s %18s %10s\n", "Kernel-1", "uncoalesced (us)",
+                "coalesced (us)", "speedup");
+    double geo = 1.0;
+    for (std::size_t k1 : k1_sizes) {
+        kernels::SmemConfig cfg;
+        cfg.kernel1_size = k1;
+        cfg.kernel2_size = n / k1;
+        cfg.points_per_thread = 8;
+
+        cfg.coalesced = false;
+        const auto uncoal =
+            sim.Estimate(kernels::SmemKernel(cfg).PlanKernel1(21));
+        cfg.coalesced = true;
+        const auto coal =
+            sim.Estimate(kernels::SmemKernel(cfg).PlanKernel1(21));
+        const double speedup = uncoal.total_us / coal.total_us;
+        geo *= speedup;
+        std::printf("  %10zu %18.1f %18.1f %9.1f%%\n", k1,
+                    uncoal.total_us, coal.total_us,
+                    (speedup - 1.0) * 100.0);
+    }
+    geo = std::pow(geo, 1.0 / std::size(k1_sizes));
+    bench::Ratio("average Kernel-1 speedup", geo, 1.216);
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * Fig. 9 — Kernel-1 with and without preloading its twiddle slice into
+ * SMEM, radices 32..512, N = 2^17, np = 21.
+ *
+ * Paper: preloading gains 8.4% on average (the early-stage tables are
+ * small — Fig. 8 — so staging them once per block beats re-fetching
+ * them every per-thread pass).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iterator>
+
+#include "bench_util.h"
+#include "gpu/simulator.h"
+#include "kernels/smem_kernel.h"
+
+int
+main()
+{
+    using namespace hentt;
+    bench::Header("Fig. 9", "Kernel-1 twiddle preload into SMEM");
+    const gpu::Simulator sim;
+    const std::size_t n = 1 << 17;
+    const std::size_t k1_sizes[] = {32, 64, 128, 256, 512};
+
+    std::printf("  %10s %18s %18s %10s\n", "Kernel-1", "w/o storing (us)",
+                "w/ storing (us)", "speedup");
+    double geo = 1.0;
+    for (std::size_t k1 : k1_sizes) {
+        kernels::SmemConfig cfg;
+        cfg.kernel1_size = k1;
+        cfg.kernel2_size = n / k1;
+        cfg.points_per_thread = 8;
+
+        cfg.preload_twiddles = false;
+        const auto without =
+            sim.Estimate(kernels::SmemKernel(cfg).PlanKernel1(21));
+        cfg.preload_twiddles = true;
+        const auto with =
+            sim.Estimate(kernels::SmemKernel(cfg).PlanKernel1(21));
+        const double speedup = without.total_us / with.total_us;
+        geo *= speedup;
+        std::printf("  %10zu %18.1f %18.1f %9.1f%%\n", k1,
+                    without.total_us, with.total_us,
+                    (speedup - 1.0) * 100.0);
+    }
+    geo = std::pow(geo, 1.0 / std::size(k1_sizes));
+    bench::Ratio("average Kernel-1 speedup", geo, 1.084);
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * Fig. 11 — the per-thread NTT/DFT size trade-off in the SMEM
+ * implementation (a: NTT, b: DFT), plus OT applied to the last 1-2
+ * stages (c); N = 2^17, np/batch = 21.
+ *
+ * Paper anchors: 4-point per-thread NTT is 30.1% faster than 2-point;
+ * 4 and 8 perform similarly; every SMEM configuration beats the best
+ * register-based kernel (radix-16 NTT at 566 us, radix-32 DFT at
+ * 364.2 us); OT on the last stage(s) improves the 8-point configs.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gpu/simulator.h"
+#include "kernels/dft_kernels.h"
+#include "kernels/highradix_kernel.h"
+#include "kernels/smem_kernel.h"
+
+namespace {
+
+struct Combo {
+    std::size_t k1, k2;
+};
+
+constexpr Combo kCombos[] = {
+    {512, 256}, {256, 512}, {128, 1024}, {64, 2048}};
+
+}  // namespace
+
+int
+main()
+{
+    using namespace hentt;
+    bench::Header("Fig. 11", "per-thread NTT size and OT stage count");
+    const gpu::Simulator sim;
+    const std::size_t np = 21;
+
+    bench::Section("(a) NTT: time (us) by per-thread size");
+    std::printf("  %12s %10s %10s %10s\n", "K1xK2", "2-point", "4-point",
+                "8-point");
+    for (const auto &combo : kCombos) {
+        std::printf("  %6zux%-5zu", combo.k1, combo.k2);
+        for (std::size_t pts : {2, 4, 8}) {
+            kernels::SmemConfig cfg;
+            cfg.kernel1_size = combo.k1;
+            cfg.kernel2_size = combo.k2;
+            cfg.points_per_thread = pts;
+            const auto est =
+                sim.Estimate(kernels::SmemKernel(cfg).Plan(np));
+            std::printf(" %10.1f", est.total_us);
+        }
+        std::printf("\n");
+    }
+    const double reg16 =
+        sim.Estimate(kernels::HighRadixKernel(16).Plan(1 << 17, np))
+            .total_us;
+    bench::Row("register radix-16 line", reg16, "us", 566.0);
+
+    bench::Section("(b) DFT: time (us) by per-thread size");
+    std::printf("  %12s %10s %10s %10s\n", "K1xK2", "2-point", "4-point",
+                "8-point");
+    for (const auto &combo : kCombos) {
+        std::printf("  %6zux%-5zu", combo.k1, combo.k2);
+        for (std::size_t pts : {2, 4, 8}) {
+            const auto est = sim.Estimate(
+                kernels::DftSmemPlan(combo.k1, combo.k2, np, pts));
+            std::printf(" %10.1f", est.total_us);
+        }
+        std::printf("\n");
+    }
+    const double reg32 =
+        sim.Estimate(kernels::DftHighRadixPlan(1 << 17, np, 32)).total_us;
+    bench::Row("register radix-32 line", reg32, "us", 364.2);
+
+    bench::Section("(c) NTT, 8-point per-thread: OT on last 0/1/2 stages");
+    std::printf("  %12s %10s %10s %10s\n", "K1xK2", "no OT", "OT last 1",
+                "OT last 2");
+    for (const auto &combo : kCombos) {
+        std::printf("  %6zux%-5zu", combo.k1, combo.k2);
+        for (unsigned ot : {0u, 1u, 2u}) {
+            kernels::SmemConfig cfg;
+            cfg.kernel1_size = combo.k1;
+            cfg.kernel2_size = combo.k2;
+            cfg.ot_stages = ot;
+            const auto est =
+                sim.Estimate(kernels::SmemKernel(cfg).Plan(np));
+            std::printf(" %10.1f", est.total_us);
+        }
+        std::printf("\n");
+    }
+
+    // Paper's 2-vs-4-point headline ratio on the best combo.
+    kernels::SmemConfig cfg;
+    cfg.kernel1_size = 512;
+    cfg.kernel2_size = 256;
+    cfg.points_per_thread = 2;
+    const double t2 = sim.Estimate(kernels::SmemKernel(cfg).Plan(np))
+                          .total_us;
+    cfg.points_per_thread = 4;
+    const double t4 = sim.Estimate(kernels::SmemKernel(cfg).Plan(np))
+                          .total_us;
+    bench::Ratio("2-point / 4-point", t2 / t4, 1.301);
+    return 0;
+}

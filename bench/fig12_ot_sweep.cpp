@@ -1,0 +1,72 @@
+/**
+ * Fig. 12 — (a) SMEM implementation across radix combinations with OT,
+ * logN = 14..17; (b) speedup and DRAM-bandwidth utilization with and
+ * without OT; (c) DRAM access volume with and without OT. np = 21.
+ *
+ * Paper anchors: OT cuts DRAM accesses by 24.5/23.5/24.5/25.1% for
+ * logN = 14..17, lowers bandwidth utilization by 16.7% (the kernel
+ * turns compute-bound), and yields a 9.3% average speedup.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gpu/simulator.h"
+#include "kernels/config_search.h"
+
+int
+main()
+{
+    using namespace hentt;
+    bench::Header("Fig. 12", "on-the-fly twiddling across logN = 14..17");
+    const gpu::Simulator sim;
+    const std::size_t np = 21;
+    const unsigned kOtStages = 2;
+
+    bench::Section("(a) time (us) per K1xK2 combo, 8-pt per-thread, w/ OT");
+    for (unsigned log_n = 14; log_n <= 17; ++log_n) {
+        const std::size_t n = std::size_t{1} << log_n;
+        std::printf("  logN=%u:", log_n);
+        for (const auto &scored :
+             kernels::RankSmemConfigs(sim, n, np, 8, kOtStages)) {
+            std::printf("  %zux%zu=%.1f", scored.config.kernel1_size,
+                        scored.config.kernel2_size,
+                        scored.estimate.total_us);
+        }
+        std::printf("\n");
+    }
+
+    bench::Section("(b)+(c) best config: speedup, utilization, DRAM MB");
+    std::printf("  %6s %10s %10s %9s %10s %10s %11s %11s\n", "logN",
+                "t w/o OT", "t w/ OT", "speedup", "util w/o",
+                "util w/", "MB w/o OT", "MB w/ OT");
+    const double paper_speedup[] = {1.101, 1.092, 1.098, 1.081};
+    const double paper_reduction[] = {0.245, 0.235, 0.245, 0.251};
+    double geo_speedup = 1.0;
+    for (unsigned log_n = 14; log_n <= 17; ++log_n) {
+        const std::size_t n = std::size_t{1} << log_n;
+        const auto base = kernels::FindBestSmemConfig(sim, n, np, 8, 0);
+        const auto ot =
+            kernels::FindBestSmemConfig(sim, n, np, 8, kOtStages);
+        const double speedup =
+            base.estimate.total_us / ot.estimate.total_us;
+        geo_speedup *= speedup;
+        std::printf("  %6u %10.1f %10.1f %8.2fx %9.1f%% %9.1f%% %11.1f "
+                    "%11.1f\n",
+                    log_n, base.estimate.total_us, ot.estimate.total_us,
+                    speedup, base.estimate.dram_utilization * 100.0,
+                    ot.estimate.dram_utilization * 100.0,
+                    base.estimate.dram_bytes / 1e6,
+                    ot.estimate.dram_bytes / 1e6);
+        const double reduction =
+            1.0 - ot.estimate.dram_bytes / base.estimate.dram_bytes;
+        std::printf("         DRAM reduction %.1f%% (paper: %.1f%%), "
+                    "speedup (paper: %.1f%%)\n",
+                    reduction * 100.0, paper_reduction[log_n - 14] * 100,
+                    (paper_speedup[log_n - 14] - 1.0) * 100.0);
+    }
+    geo_speedup = std::pow(geo_speedup, 1.0 / 4.0);
+    bench::Ratio("average OT speedup", geo_speedup, 1.093);
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * Fig. 13 — the best-performing SMEM implementation at N = 2^17 across
+ * batch sizes np, annotated with the corresponding logQ (each 60-bit
+ * prime contributes ~60 bits of ciphertext modulus).
+ *
+ * Paper: past moderate batch sizes the GPU is saturated, so execution
+ * time grows linearly with np.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "gpu/simulator.h"
+#include "kernels/config_search.h"
+
+int
+main()
+{
+    using namespace hentt;
+    bench::Header("Fig. 13", "best SMEM config vs batch size, N = 2^17");
+    const gpu::Simulator sim;
+    const std::size_t n = 1 << 17;
+    const std::size_t batches[] = {6, 12, 21, 30, 36, 42, 45};
+
+    std::printf("  %6s %8s %14s %16s\n", "np", "logQ", "time (us)",
+                "us per prime");
+    double first_per = 0, last_per = 0;
+    for (std::size_t np : batches) {
+        const auto best = kernels::FindBestSmemConfig(sim, n, np, 8, 2);
+        const double per =
+            best.estimate.total_us / static_cast<double>(np);
+        if (np == batches[0]) {
+            first_per = per;
+        }
+        last_per = per;
+        std::printf("  %6zu %8zu %14.1f %16.2f\n", np, np * 60,
+                    best.estimate.total_us, per);
+    }
+    bench::Note("per-prime cost is flat once the GPU saturates -> total "
+                "time is linear in np (paper Fig. 13)");
+    bench::Ratio("per-prime cost np=6 vs np=45", first_per / last_per);
+    return 0;
+}

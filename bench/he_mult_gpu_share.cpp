@@ -1,0 +1,39 @@
+/**
+ * Section I context — the NTT/iNTT share of an HE ciphertext multiply
+ * on the GPU model. The paper motivates the whole study with this
+ * statistic: 34% of ciphertext multiplication in [31] (N = 2^12) and
+ * 50.04% in SEAL at (N = 2^15, Q = 2^881).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "kernels/config_search.h"
+#include "kernels/he_pipeline.h"
+
+int
+main()
+{
+    using namespace hentt;
+    bench::Header("Section I", "NTT share of HE ciphertext multiply");
+    const gpu::Simulator sim;
+
+    std::printf("  %6s %6s %14s %12s %12s %10s\n", "logN", "np",
+                "total (us)", "NTT (us)", "other (us)", "NTT share");
+    for (unsigned log_n = 13; log_n <= 17; ++log_n) {
+        const std::size_t n = std::size_t{1} << log_n;
+        for (std::size_t np : {std::size_t{15}, std::size_t{21}}) {
+            const auto cfg =
+                kernels::FindBestSmemConfig(sim, n, np, 8, 2).config;
+            const auto est =
+                kernels::EstimateHeMultiply(sim, cfg, np);
+            std::printf("  %6u %6zu %14.1f %12.1f %12.1f %9.1f%%\n",
+                        log_n, np, est.total_us, est.ntt.total_us,
+                        est.elementwise.total_us, est.ntt_share * 100.0);
+        }
+    }
+    bench::Note("paper: 34-50% depending on parameters; the share here "
+                "is transform-vs-Hadamard only (relinearization's own "
+                "NTTs would push it higher)");
+    return 0;
+}

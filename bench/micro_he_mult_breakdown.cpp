@@ -1,0 +1,107 @@
+/**
+ * google-benchmark suite instrumenting a real HE ciphertext multiply
+ * to measure the NTT's share — the paper's motivating statistic
+ * (Section I: NTT/iNTT is 34-50% of ciphertext multiplication
+ * depending on parameters).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <optional>
+
+#include "he/bgv.h"
+#include "poly/rns_poly.h"
+
+namespace {
+
+using namespace hentt;
+
+struct HeFixture {
+    HeFixture()
+    {
+        he::HeParams params;
+        params.degree = 1 << 12;
+        params.prime_count = 4;
+        params.prime_bits = 55;
+        params.plain_modulus = 65537;
+        ctx = std::make_shared<he::HeContext>(params);
+        scheme = std::make_unique<he::BgvScheme>(ctx, 3);
+        sk.emplace(scheme->KeyGen());
+        he::Plaintext m(params.degree, 7);
+        ct_a = scheme->Encrypt(*sk, m);
+        ct_b = scheme->Encrypt(*sk, m);
+    }
+
+    std::shared_ptr<he::HeContext> ctx;
+    std::unique_ptr<he::BgvScheme> scheme;
+    std::optional<he::SecretKey> sk;
+    he::Ciphertext ct_a, ct_b;
+};
+
+HeFixture &
+Fx()
+{
+    static HeFixture fx;
+    return fx;
+}
+
+void
+BM_HeCiphertextMultiply(benchmark::State &state)
+{
+    auto &fx = Fx();
+    for (auto _ : state) {
+        auto prod = fx.scheme->Mul(fx.ct_a, fx.ct_b);
+        benchmark::DoNotOptimize(prod.parts.data());
+    }
+}
+
+void
+BM_HeMultiplyNttShareOnly(benchmark::State &state)
+{
+    // The forward+inverse transforms a Mul performs: 4 forward (2 parts
+    // x 2 operands) + 3 inverse (tensor outputs), all np rows each.
+    auto &fx = Fx();
+    auto parts = fx.ct_a.parts;
+    for (auto _ : state) {
+        for (int rep = 0; rep < 4; ++rep) {
+            RnsPoly p = parts[rep % 2];
+            p.ToEvaluation();
+            benchmark::DoNotOptimize(&p);
+        }
+        for (int rep = 0; rep < 3; ++rep) {
+            RnsPoly p = parts[rep % 2];
+            p.ToEvaluation();
+            p.ToCoefficient();
+            benchmark::DoNotOptimize(&p);
+        }
+    }
+}
+
+void
+BM_HeEncrypt(benchmark::State &state)
+{
+    auto &fx = Fx();
+    he::Plaintext m(fx.ctx->degree(), 5);
+    for (auto _ : state) {
+        auto ct = fx.scheme->Encrypt(*fx.sk, m);
+        benchmark::DoNotOptimize(ct.parts.data());
+    }
+}
+
+void
+BM_HeDecrypt(benchmark::State &state)
+{
+    auto &fx = Fx();
+    for (auto _ : state) {
+        auto m = fx.scheme->Decrypt(*fx.sk, fx.ct_a);
+        benchmark::DoNotOptimize(m.data());
+    }
+}
+
+BENCHMARK(BM_HeCiphertextMultiply)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HeMultiplyNttShareOnly)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HeEncrypt)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HeDecrypt)->Unit(benchmark::kMillisecond);
+
+}  // namespace

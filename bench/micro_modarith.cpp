@@ -1,0 +1,127 @@
+/**
+ * google-benchmark micro suite for the modular-multiplication
+ * primitives — the CPU analogue of the paper's Fig. 1 comparison
+ * (Shoup vs native vs Barrett).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/modarith.h"
+#include "common/montgomery.h"
+#include "common/primegen.h"
+#include "common/random.h"
+
+namespace {
+
+using namespace hentt;
+
+constexpr std::size_t kBatch = 4096;
+
+struct Operands {
+    Operands()
+    {
+        p = GenerateNttPrimes(1 << 14, 60, 1)[0];
+        Xoshiro256 rng(7);
+        for (std::size_t i = 0; i < kBatch; ++i) {
+            a[i] = rng.NextBelow(p);
+            w[i] = rng.NextBelow(p);
+            w_shoup[i] = ShoupPrecompute(w[i], p);
+        }
+    }
+
+    u64 p;
+    u64 a[kBatch], w[kBatch], w_shoup[kBatch];
+};
+
+Operands &
+Ops()
+{
+    static Operands ops;
+    return ops;
+}
+
+void
+BM_MulModNative(benchmark::State &state)
+{
+    auto &ops = Ops();
+    for (auto _ : state) {
+        u64 acc = 0;
+        for (std::size_t i = 0; i < kBatch; ++i) {
+            acc ^= MulModNative(ops.a[i], ops.w[i], ops.p);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+void
+BM_MulModShoup(benchmark::State &state)
+{
+    auto &ops = Ops();
+    for (auto _ : state) {
+        u64 acc = 0;
+        for (std::size_t i = 0; i < kBatch; ++i) {
+            acc ^= MulModShoup(ops.a[i], ops.w[i], ops.w_shoup[i], ops.p);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+void
+BM_MulModBarrett(benchmark::State &state)
+{
+    auto &ops = Ops();
+    const BarrettReducer barrett(ops.p);
+    for (auto _ : state) {
+        u64 acc = 0;
+        for (std::size_t i = 0; i < kBatch; ++i) {
+            acc ^= barrett.MulMod(ops.a[i], ops.w[i]);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+void
+BM_MulModMontgomery(benchmark::State &state)
+{
+    auto &ops = Ops();
+    const MontgomeryMultiplier mont(ops.p);
+    // Pre-convert the twiddle side (as a real NTT would); data side
+    // converts on the fly.
+    u64 w_mont[kBatch];
+    for (std::size_t i = 0; i < kBatch; ++i) {
+        w_mont[i] = mont.ToMontgomery(ops.w[i]);
+    }
+    for (auto _ : state) {
+        u64 acc = 0;
+        for (std::size_t i = 0; i < kBatch; ++i) {
+            acc ^= mont.MulMont(ops.a[i], w_mont[i]);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+void
+BM_ShoupPrecompute(benchmark::State &state)
+{
+    auto &ops = Ops();
+    for (auto _ : state) {
+        u64 acc = 0;
+        for (std::size_t i = 0; i < kBatch; ++i) {
+            acc ^= ShoupPrecompute(ops.w[i], ops.p);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+BENCHMARK(BM_MulModNative);
+BENCHMARK(BM_MulModShoup);
+BENCHMARK(BM_MulModBarrett);
+BENCHMARK(BM_MulModMontgomery);
+BENCHMARK(BM_ShoupPrecompute);
+
+}  // namespace

@@ -1,0 +1,196 @@
+/**
+ * google-benchmark micro suite: the *actual CPU implementations* in the
+ * library, timed for real (no GPU model involved). Useful both as a
+ * regression harness and to sanity-check the algorithmic trends the
+ * paper leans on (radix-2 vs blocked vs Stockham, Shoup vs native vs
+ * Barrett, OT overhead).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "common/primegen.h"
+#include "common/random.h"
+#include "ntt/ntt32.h"
+#include "ntt/ntt_engine.h"
+#include "ntt/ntt_lazy.h"
+
+namespace {
+
+using namespace hentt;
+
+struct Fixture {
+    explicit Fixture(std::size_t n)
+        : p(GenerateNttPrimes(2 * n, 60, 1)[0]), engine(n, p), data(n)
+    {
+        Xoshiro256 rng(n);
+        for (u64 &x : data) {
+            x = rng.NextBelow(p);
+        }
+    }
+
+    u64 p;
+    NttEngine engine;
+    std::vector<u64> data;
+};
+
+Fixture &
+GetFixture(std::size_t n)
+{
+    static std::map<std::size_t, std::unique_ptr<Fixture>> cache;
+    auto &slot = cache[n];
+    if (!slot) {
+        slot = std::make_unique<Fixture>(n);
+    }
+    return *slot;
+}
+
+void
+BM_NttRadix2(benchmark::State &state)
+{
+    auto &fx = GetFixture(static_cast<std::size_t>(state.range(0)));
+    std::vector<u64> v = fx.data;
+    for (auto _ : state) {
+        v = fx.data;
+        fx.engine.Forward(v, NttAlgorithm::kRadix2);
+        benchmark::DoNotOptimize(v.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void
+BM_NttRadix2Native(benchmark::State &state)
+{
+    auto &fx = GetFixture(static_cast<std::size_t>(state.range(0)));
+    std::vector<u64> v = fx.data;
+    for (auto _ : state) {
+        v = fx.data;
+        fx.engine.Forward(v, NttAlgorithm::kRadix2Native);
+        benchmark::DoNotOptimize(v.data());
+    }
+}
+
+void
+BM_NttRadix2Barrett(benchmark::State &state)
+{
+    auto &fx = GetFixture(static_cast<std::size_t>(state.range(0)));
+    std::vector<u64> v = fx.data;
+    for (auto _ : state) {
+        v = fx.data;
+        fx.engine.Forward(v, NttAlgorithm::kRadix2Barrett);
+        benchmark::DoNotOptimize(v.data());
+    }
+}
+
+void
+BM_NttHighRadix(benchmark::State &state)
+{
+    auto &fx = GetFixture(static_cast<std::size_t>(state.range(0)));
+    std::vector<u64> v = fx.data;
+    for (auto _ : state) {
+        v = fx.data;
+        fx.engine.Forward(v, NttAlgorithm::kHighRadix,
+                          static_cast<std::size_t>(state.range(1)));
+        benchmark::DoNotOptimize(v.data());
+    }
+}
+
+void
+BM_NttStockham(benchmark::State &state)
+{
+    auto &fx = GetFixture(static_cast<std::size_t>(state.range(0)));
+    std::vector<u64> v = fx.data;
+    for (auto _ : state) {
+        v = fx.data;
+        fx.engine.Forward(v, NttAlgorithm::kStockham);
+        benchmark::DoNotOptimize(v.data());
+    }
+}
+
+void
+BM_NttOt(benchmark::State &state)
+{
+    auto &fx = GetFixture(static_cast<std::size_t>(state.range(0)));
+    std::vector<u64> v = fx.data;
+    for (auto _ : state) {
+        v = fx.data;
+        fx.engine.Forward(v, NttAlgorithm::kRadix2Ot, 16,
+                          static_cast<unsigned>(state.range(1)));
+        benchmark::DoNotOptimize(v.data());
+    }
+}
+
+void
+BM_NttRadix2Lazy(benchmark::State &state)
+{
+    auto &fx = GetFixture(static_cast<std::size_t>(state.range(0)));
+    std::vector<u64> v = fx.data;
+    for (auto _ : state) {
+        v = fx.data;
+        NttRadix2Lazy(v, fx.engine.table());
+        benchmark::DoNotOptimize(v.data());
+    }
+}
+
+void
+BM_Ntt32(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    static std::map<std::size_t, std::unique_ptr<Ntt32Engine>> engines;
+    auto &slot = engines[n];
+    if (!slot) {
+        slot = std::make_unique<Ntt32Engine>(
+            n, static_cast<u32>(GenerateNttPrimes(2 * n, 29, 1)[0]));
+    }
+    Xoshiro256 rng(n);
+    std::vector<u32> data(n);
+    for (u32 &x : data) {
+        x = static_cast<u32>(rng.NextBelow(slot->modulus()));
+    }
+    std::vector<u32> v = data;
+    for (auto _ : state) {
+        v = data;
+        slot->Forward(v);
+        benchmark::DoNotOptimize(v.data());
+    }
+}
+
+void
+BM_Intt(benchmark::State &state)
+{
+    auto &fx = GetFixture(static_cast<std::size_t>(state.range(0)));
+    std::vector<u64> v = fx.data;
+    for (auto _ : state) {
+        v = fx.data;
+        fx.engine.Inverse(v);
+        benchmark::DoNotOptimize(v.data());
+    }
+}
+
+void
+BM_PolyMultiply(benchmark::State &state)
+{
+    auto &fx = GetFixture(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto c = fx.engine.Multiply(fx.data, fx.data);
+        benchmark::DoNotOptimize(c.data());
+    }
+}
+
+BENCHMARK(BM_NttRadix2)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+BENCHMARK(BM_NttRadix2Native)->Arg(1 << 14);
+BENCHMARK(BM_NttRadix2Barrett)->Arg(1 << 14);
+BENCHMARK(BM_NttStockham)->Arg(1 << 14);
+BENCHMARK(BM_NttHighRadix)
+    ->Args({1 << 14, 4})
+    ->Args({1 << 14, 16})
+    ->Args({1 << 14, 64});
+BENCHMARK(BM_NttOt)->Args({1 << 14, 1})->Args({1 << 14, 2});
+BENCHMARK(BM_NttRadix2Lazy)->Arg(1 << 14);
+BENCHMARK(BM_Ntt32)->Arg(1 << 14);
+BENCHMARK(BM_Intt)->Arg(1 << 14);
+BENCHMARK(BM_PolyMultiply)->Arg(1 << 12)->Arg(1 << 14);
+
+}  // namespace

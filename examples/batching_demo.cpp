@@ -1,0 +1,49 @@
+/**
+ * Batching demo — run a real batched NTT workload (np primes, one
+ * N-point transform each, like an HE polynomial in RNS form), measure
+ * it on the CPU, and contrast the twiddle-table footprint with DFT's —
+ * the paper's core NTT-vs-DFT observation.
+ *
+ *   $ ./batching_demo
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "kernels/batch_workload.h"
+#include "kernels/radix2_kernel.h"
+
+int
+main()
+{
+    using namespace hentt;
+    const std::size_t n = 1 << 14;
+
+    std::printf("%6s %16s %22s %20s\n", "np", "CPU time (ms)",
+                "NTT tables (MB)", "DFT table (MB, shared)");
+    for (std::size_t np : {1, 2, 4, 8}) {
+        kernels::NttBatchWorkload workload(n, np, 55);
+        workload.Randomize(1);
+
+        const auto start = std::chrono::steady_clock::now();
+        kernels::Radix2Kernel().Execute(workload);
+        const auto stop = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(stop - start)
+                .count();
+
+        // NTT tables grow with np (w + Shoup companion per twiddle,
+        // distinct roots per prime); a DFT table is shared by the batch.
+        const double ntt_mb =
+            static_cast<double>(workload.TwiddleTableBytes()) / 1e6;
+        const double dft_mb = static_cast<double>(n) * 8.0 / 1e6;
+        std::printf("%6zu %16.2f %22.2f %20.2f\n", np, ms, ntt_mb,
+                    dft_mb);
+    }
+    std::printf("\nNTT precomputed state scales linearly with the batch "
+                "while DFT's is constant — at bootstrappable HE sizes "
+                "(N = 2^17, np = 45) the tables alone are ~94 MB, far "
+                "beyond GPU on-chip storage, which is why the paper's "
+                "NTT is DRAM-bandwidth bound.\n");
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bit-manipulation utilities: power-of-two predicates, integer log2,
+ * and the bit-reversal permutation used by decimation-in-time FFT/NTT
+ * algorithms (paper Algo. 1 stores twiddles in bit-reversed order).
+ */
+
+#ifndef HENTT_COMMON_BITOPS_H
+#define HENTT_COMMON_BITOPS_H
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "common/int128.h"
+
+namespace hentt {
+
+/** True iff x is a (positive) power of two. */
+constexpr bool
+IsPowerOfTwo(u64 x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)); x must be non-zero. */
+constexpr unsigned
+Log2Floor(u64 x)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+Log2Exact(u64 x)
+{
+    return Log2Floor(x);
+}
+
+/**
+ * Reverse the low @p bits bits of @p x.
+ *
+ * Example: BitReverse(0b0011, 4) == 0b1100.
+ */
+constexpr u64
+BitReverse(u64 x, unsigned bits)
+{
+    u64 r = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+        r = (r << 1) | ((x >> i) & 1u);
+    }
+    return r;
+}
+
+/**
+ * Apply the bit-reversal permutation in place to a power-of-two-length
+ * span. Swaps each index with its bit-reversed image exactly once.
+ */
+template <typename T>
+void
+BitReversePermute(std::span<T> data)
+{
+    const std::size_t n = data.size();
+    const unsigned bits = Log2Exact(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t j = BitReverse(i, bits);
+        if (i < j) {
+            std::swap(data[i], data[j]);
+        }
+    }
+}
+
+}  // namespace hentt
+
+#endif  // HENTT_COMMON_BITOPS_H

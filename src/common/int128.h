@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Wide-integer helpers built on the compiler-provided unsigned __int128.
+ *
+ * All modular-arithmetic primitives in hentt (native reduction, Shoup's
+ * modmul, Barrett reduction) are expressed in terms of the 64x64 -> 128
+ * multiply and the 128x128 -> high-128 multiply defined here, so the rest
+ * of the library never touches __int128 directly.
+ */
+
+#ifndef HENTT_COMMON_INT128_H
+#define HENTT_COMMON_INT128_H
+
+#include <cstdint>
+
+namespace hentt {
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+/** Full 64x64 -> 128-bit product. */
+constexpr u128
+Mul64Wide(u64 a, u64 b)
+{
+    return static_cast<u128>(a) * b;
+}
+
+/** High 64 bits of the 64x64 product (CUDA's __umul64hi equivalent). */
+constexpr u64
+MulHi64(u64 a, u64 b)
+{
+    return static_cast<u64>(Mul64Wide(a, b) >> 64);
+}
+
+/** Low 64 bits of the 64x64 product. */
+constexpr u64
+MulLo64(u64 a, u64 b)
+{
+    return a * b;
+}
+
+/** Low and high halves of a 128-bit value. */
+constexpr u64
+Lo64(u128 x)
+{
+    return static_cast<u64>(x);
+}
+
+constexpr u64
+Hi64(u128 x)
+{
+    return static_cast<u64>(x >> 64);
+}
+
+/**
+ * High 128 bits of the 128x128 -> 256-bit product.
+ *
+ * Used by Barrett reduction, where the approximate quotient is
+ * floor(z * mu / 2^128) for 128-bit z and mu. The 256-bit product is
+ * assembled from four 64x64 partial products; only the carries that can
+ * influence the top half are propagated.
+ */
+constexpr u128
+Mul128High(u128 a, u128 b)
+{
+    const u64 a_lo = Lo64(a), a_hi = Hi64(a);
+    const u64 b_lo = Lo64(b), b_hi = Hi64(b);
+
+    const u128 ll = Mul64Wide(a_lo, b_lo);
+    const u128 lh = Mul64Wide(a_lo, b_hi);
+    const u128 hl = Mul64Wide(a_hi, b_lo);
+    const u128 hh = Mul64Wide(a_hi, b_hi);
+
+    // Middle column: lh + hl + carry-out of the low column.
+    const u128 mid = lh + Hi64(ll);
+    const u128 mid2 = hl + Lo64(mid);
+    return hh + Hi64(mid) + Hi64(mid2);
+}
+
+}  // namespace hentt
+
+#endif  // HENTT_COMMON_INT128_H

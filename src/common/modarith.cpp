@@ -1,0 +1,26 @@
+#include "common/modarith.h"
+
+#include <string>
+
+namespace hentt {
+
+void
+ValidateModulus(u64 p)
+{
+    if (p < 2 || p >= kMaxModulus) {
+        throw std::invalid_argument(
+            "modulus must satisfy 1 < p < 2^62, got " + std::to_string(p));
+    }
+}
+
+BarrettReducer::BarrettReducer(u64 p) : p_(p)
+{
+    ValidateModulus(p);
+    // floor(2^128 / p) == floor((2^128 - 1) / p) for any p that does not
+    // divide 2^128, i.e. any p that is not a power of two; for powers of
+    // two the two quotients differ by one, which the corrective-subtract
+    // loop in Reduce() absorbs.
+    mu_ = ~u128{0} / p;
+}
+
+}  // namespace hentt

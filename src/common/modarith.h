@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Modular arithmetic over word-sized prime fields Z_p.
+ *
+ * Implements the three modular-multiplication strategies the paper
+ * contrasts in Section IV:
+ *
+ *  - MulModNative  — the "native modulo" path: a 64x64 -> 128 multiply
+ *                    followed by a hardware-division-based reduction.
+ *                    On GPUs this compiles to ~68 instructions with a
+ *                    ~500-cycle dependent latency (paper Fig. 1 baseline).
+ *  - Shoup's modmul (Algo. 4) — one precomputed word per twiddle factor
+ *                    (the "const ratio" w_bar = floor(w * 2^64 / p)); the
+ *                    reduction costs two wide multiplies, one low
+ *                    multiply, one subtract, and one conditional correct.
+ *  - Barrett reduction — a per-modulus (not per-operand) precomputation
+ *                    mu = floor(2^128 / p); reduces any 128-bit product.
+ *
+ * All routines require p < 2^62 so that the lazy (< 2p / < 4p) ranges used
+ * by butterfly pipelines never overflow 64 bits.
+ */
+
+#ifndef HENTT_COMMON_MODARITH_H
+#define HENTT_COMMON_MODARITH_H
+
+#include <stdexcept>
+
+#include "common/int128.h"
+
+namespace hentt {
+
+/** Largest modulus accepted by the lazy-reduction butterflies (< 2^62). */
+inline constexpr u64 kMaxModulus = u64{1} << 62;
+
+/** Throw std::invalid_argument unless 1 < p < 2^62. */
+void ValidateModulus(u64 p);
+
+/** (a + b) mod p, for a, b < p. */
+constexpr u64
+AddMod(u64 a, u64 b, u64 p)
+{
+    const u64 s = a + b;
+    return s >= p ? s - p : s;
+}
+
+/** (a - b) mod p, for a, b < p. */
+constexpr u64
+SubMod(u64 a, u64 b, u64 p)
+{
+    return a >= b ? a - b : a + p - b;
+}
+
+/** (a * b) mod p via the hardware 128-bit division path. */
+constexpr u64
+MulModNative(u64 a, u64 b, u64 p)
+{
+    return static_cast<u64>(Mul64Wide(a, b) % p);
+}
+
+/** a^e mod p by square-and-multiply. */
+constexpr u64
+PowMod(u64 a, u64 e, u64 p)
+{
+    u64 r = 1 % p;
+    u64 base = a % p;
+    while (e != 0) {
+        if (e & 1u) {
+            r = MulModNative(r, base, p);
+        }
+        base = MulModNative(base, base, p);
+        e >>= 1;
+    }
+    return r;
+}
+
+/**
+ * Multiplicative inverse mod prime p (Fermat: a^(p-2)).
+ * @pre p prime, a not divisible by p.
+ */
+constexpr u64
+InvMod(u64 a, u64 p)
+{
+    return PowMod(a, p - 2, p);
+}
+
+/**
+ * Shoup precomputation: w_bar = floor(w * 2^64 / p).
+ *
+ * This is the per-twiddle companion word that doubles the precomputed
+ * table size (paper Section IV, "Precomputed table size with batching").
+ */
+constexpr u64
+ShoupPrecompute(u64 w, u64 p)
+{
+    return static_cast<u64>((static_cast<u128>(w) << 64) / p);
+}
+
+/**
+ * Shoup's modular multiplication (paper Algo. 4), strict output < p.
+ *
+ * @param b      multiplicand, b < p (strict variant)
+ * @param w      twiddle factor, w < p
+ * @param w_bar  ShoupPrecompute(w, p)
+ */
+constexpr u64
+MulModShoup(u64 b, u64 w, u64 w_bar, u64 p)
+{
+    const u64 q = MulHi64(b, w_bar);        // approximate quotient
+    u64 r = b * w - q * p;                  // exact mod-2^64 remainder
+    if (r >= p) {
+        r -= p;
+    }
+    return r;
+}
+
+/**
+ * Lazy Shoup multiplication: accepts b < 2p, returns r < 2p.
+ *
+ * The butterfly kernels keep operands in the [0, 4p) range (Algo. 2's
+ * precondition) and only reduce fully at the end, which is how the
+ * GPU implementations minimise the conditional-subtract count.
+ */
+constexpr u64
+MulModShoupLazy(u64 b, u64 w, u64 w_bar, u64 p)
+{
+    const u64 q = MulHi64(b, w_bar);
+    return b * w - q * p;                   // < 2p for b < 2p, w < p
+}
+
+/**
+ * Barrett reducer for a fixed modulus p < 2^62.
+ *
+ * Precomputes mu = floor(2^128 / p) once; Reduce() then maps any 128-bit
+ * value into [0, p) with two wide multiplies and at most two corrective
+ * subtractions. Unlike Shoup's method it needs no per-operand companion,
+ * at the cost of a slightly more expensive reduction.
+ */
+class BarrettReducer
+{
+  public:
+    explicit BarrettReducer(u64 p);
+
+    u64 modulus() const { return p_; }
+
+    /** Reduce a 128-bit value into [0, p). */
+    u64
+    Reduce(u128 z) const
+    {
+        const u128 q = Mul128High(z, mu_);
+        u128 r = z - q * p_;
+        while (r >= p_) {
+            r -= p_;
+        }
+        return static_cast<u64>(r);
+    }
+
+    /** (a * b) mod p through the Barrett pipeline. */
+    u64
+    MulMod(u64 a, u64 b) const
+    {
+        return Reduce(Mul64Wide(a, b));
+    }
+
+  private:
+    u64 p_;
+    u128 mu_;  // floor(2^128 / p)
+};
+
+}  // namespace hentt
+
+#endif  // HENTT_COMMON_MODARITH_H

@@ -1,0 +1,28 @@
+#include "common/montgomery.h"
+
+#include <stdexcept>
+
+#include "common/modarith.h"
+
+namespace hentt {
+
+MontgomeryMultiplier::MontgomeryMultiplier(u64 p) : p_(p)
+{
+    ValidateModulus(p);
+    if ((p & 1u) == 0) {
+        throw std::invalid_argument("Montgomery requires an odd modulus");
+    }
+    // Newton iteration for p^{-1} mod 2^64 (doubles correct bits each
+    // step; 6 steps reach 64 bits from the 5-bit seed p mod 32).
+    u64 inv = p;  // correct to 3 bits for odd p
+    for (int i = 0; i < 6; ++i) {
+        inv *= 2 - p * inv;
+    }
+    p_inv_neg_ = ~inv + 1;  // -p^{-1} mod 2^64
+
+    // R^2 = 2^128 mod p, squared from R = 2^64 mod p.
+    const u64 r_mod_p = (~u64{0} % p + 1) % p;
+    r_squared_ = MulModNative(r_mod_p, r_mod_p, p);
+}
+
+}  // namespace hentt

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Montgomery multiplication — the third standard fast modular-multiply
+ * family alongside Shoup's modmul and Barrett reduction (paper Section
+ * IV mentions the latter two; Montgomery is what several competing GPU
+ * NTT libraries, e.g. cuFHE-descended ones, use instead). Provided for
+ * completeness and for the micro-benchmark comparison.
+ *
+ * Values are kept in Montgomery form x' = x * R mod p with R = 2^64;
+ * REDC maps a 128-bit product back with two multiplies and no division.
+ * Requires odd p < 2^62.
+ */
+
+#ifndef HENTT_COMMON_MONTGOMERY_H
+#define HENTT_COMMON_MONTGOMERY_H
+
+#include "common/int128.h"
+
+namespace hentt {
+
+/** Montgomery context for a fixed odd modulus. */
+class MontgomeryMultiplier
+{
+  public:
+    /** @throws std::invalid_argument unless p is odd and < 2^62. */
+    explicit MontgomeryMultiplier(u64 p);
+
+    u64 modulus() const { return p_; }
+
+    /** Map x (< p) into Montgomery form: x * 2^64 mod p. */
+    u64
+    ToMontgomery(u64 x) const
+    {
+        // x * R mod p == REDC(x * R^2).
+        return Reduce(Mul64Wide(x, r_squared_));
+    }
+
+    /** Map a Montgomery-form value back: x' * 2^-64 mod p. */
+    u64
+    FromMontgomery(u64 x) const
+    {
+        return Reduce(static_cast<u128>(x));
+    }
+
+    /** Product of two Montgomery-form values, in Montgomery form. */
+    u64
+    MulMont(u64 a, u64 b) const
+    {
+        return Reduce(Mul64Wide(a, b));
+    }
+
+    /** Plain (a * b) mod p through the Montgomery pipeline. */
+    u64
+    MulMod(u64 a, u64 b) const
+    {
+        return FromMontgomery(MulMont(ToMontgomery(a), ToMontgomery(b)));
+    }
+
+    /**
+     * REDC: given T < p * 2^64, return T * 2^-64 mod p, result < p.
+     */
+    u64
+    Reduce(u128 t) const
+    {
+        const u64 m = Lo64(t) * p_inv_neg_;       // mod 2^64
+        const u128 sum = t + Mul64Wide(m, p_);    // divisible by 2^64
+        u64 r = Hi64(sum);
+        if (r >= p_) {
+            r -= p_;
+        }
+        return r;
+    }
+
+  private:
+    u64 p_;
+    u64 p_inv_neg_;  // -p^{-1} mod 2^64
+    u64 r_squared_;  // 2^128 mod p
+};
+
+}  // namespace hentt
+
+#endif  // HENTT_COMMON_MONTGOMERY_H

@@ -1,0 +1,223 @@
+#include "common/primegen.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "common/bitops.h"
+#include "common/modarith.h"
+#include "common/random.h"
+
+namespace hentt {
+
+namespace {
+
+/**
+ * One Miller-Rabin round with witness a. Returns true if n passes
+ * (i.e. is a probable prime for this witness).
+ */
+bool
+MillerRabinRound(u64 n, u64 a, u64 d, unsigned r)
+{
+    a %= n;
+    if (a == 0) {
+        return true;
+    }
+    u64 x = PowMod(a, d, n);
+    if (x == 1 || x == n - 1) {
+        return true;
+    }
+    for (unsigned i = 1; i < r; ++i) {
+        x = MulModNative(x, x, n);
+        if (x == n - 1) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Pollard's rho with Brent's cycle detection. @pre n composite, odd. */
+u64
+PollardRho(u64 n, Xoshiro256 &rng)
+{
+    if (n % 2 == 0) {
+        return 2;
+    }
+    while (true) {
+        const u64 c = rng.NextBelow(n - 1) + 1;
+        u64 x = rng.NextBelow(n);
+        u64 y = x;
+        u64 d = 1;
+        auto step = [&](u64 v) {
+            return static_cast<u64>((Mul64Wide(v, v) + c) % n);
+        };
+        while (d == 1) {
+            x = step(x);
+            y = step(step(y));
+            const u64 diff = x > y ? x - y : y - x;
+            if (diff == 0) {
+                break;  // cycle without factor; retry with a new c
+            }
+            d = std::gcd(diff, n);
+        }
+        if (d != 1 && d != n) {
+            return d;
+        }
+    }
+}
+
+void
+FactorInto(u64 n, std::vector<u64> &factors, Xoshiro256 &rng)
+{
+    if (n == 1) {
+        return;
+    }
+    if (IsPrime(n)) {
+        factors.push_back(n);
+        return;
+    }
+    // Strip small factors first; rho converges faster on semiprimes.
+    for (u64 f : {u64{2}, u64{3}, u64{5}, u64{7}, u64{11}, u64{13}}) {
+        if (n % f == 0) {
+            factors.push_back(f);
+            while (n % f == 0) {
+                n /= f;
+            }
+            FactorInto(n, factors, rng);
+            return;
+        }
+    }
+    const u64 d = PollardRho(n, rng);
+    FactorInto(d, factors, rng);
+    u64 rest = n;
+    while (rest % d == 0) {
+        rest /= d;
+    }
+    FactorInto(rest, factors, rng);
+}
+
+}  // namespace
+
+bool
+IsPrime(u64 n)
+{
+    if (n < 2) {
+        return false;
+    }
+    for (u64 f : {u64{2}, u64{3}, u64{5}, u64{7}, u64{11}, u64{13}, u64{17},
+                  u64{19}, u64{23}, u64{29}, u64{31}, u64{37}}) {
+        if (n == f) {
+            return true;
+        }
+        if (n % f == 0) {
+            return false;
+        }
+    }
+    u64 d = n - 1;
+    unsigned r = 0;
+    while ((d & 1u) == 0) {
+        d >>= 1;
+        ++r;
+    }
+    // Deterministic witness set for all n < 2^64 (Sinclair).
+    for (u64 a : {u64{2}, u64{3}, u64{5}, u64{7}, u64{11}, u64{13}, u64{17},
+                  u64{19}, u64{23}, u64{29}, u64{31}, u64{37}}) {
+        if (!MillerRabinRound(n, a, d, r)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<u64>
+DistinctPrimeFactors(u64 n)
+{
+    std::vector<u64> factors;
+    Xoshiro256 rng(0xfac7042ULL);
+    FactorInto(n, factors, rng);
+    std::sort(factors.begin(), factors.end());
+    factors.erase(std::unique(factors.begin(), factors.end()),
+                  factors.end());
+    return factors;
+}
+
+std::vector<u64>
+GenerateNttPrimes(u64 modulus_step, unsigned bits, std::size_t count)
+{
+    if (!IsPowerOfTwo(modulus_step)) {
+        throw std::invalid_argument("modulus_step must be a power of two");
+    }
+    if (bits < Log2Exact(modulus_step) + 2 || bits > 62) {
+        throw std::invalid_argument("prime size out of range");
+    }
+    std::vector<u64> primes;
+    primes.reserve(count);
+    const u64 hi = (u64{1} << bits) - 1;
+    const u64 lo = u64{1} << (bits - 1);
+    // Largest candidate == 1 (mod step) at or below hi.
+    u64 candidate = hi - ((hi - 1) % modulus_step);
+    for (; candidate > lo && primes.size() < count;
+         candidate -= modulus_step) {
+        if (IsPrime(candidate)) {
+            primes.push_back(candidate);
+        }
+    }
+    if (primes.size() < count) {
+        throw std::runtime_error(
+            "not enough " + std::to_string(bits) + "-bit NTT primes for "
+            "step " + std::to_string(modulus_step));
+    }
+    return primes;
+}
+
+u64
+FindGenerator(u64 p)
+{
+    if (!IsPrime(p)) {
+        throw std::invalid_argument("FindGenerator requires a prime");
+    }
+    const u64 order = p - 1;
+    const std::vector<u64> factors = DistinctPrimeFactors(order);
+    for (u64 g = 2; g < p; ++g) {
+        bool generator = true;
+        for (u64 q : factors) {
+            if (PowMod(g, order / q, p) == 1) {
+                generator = false;
+                break;
+            }
+        }
+        if (generator) {
+            return g;
+        }
+    }
+    throw std::runtime_error("no generator found (non-prime modulus?)");
+}
+
+u64
+FindPrimitiveRoot(u64 n, u64 p)
+{
+    if ((p - 1) % n != 0) {
+        throw std::invalid_argument(
+            "n must divide p - 1 for an n-th root of unity to exist");
+    }
+    const u64 g = FindGenerator(p);
+    const u64 root = PowMod(g, (p - 1) / n, p);
+    return root;
+}
+
+bool
+IsPrimitiveRoot(u64 root, u64 n, u64 p)
+{
+    if (root == 0 || PowMod(root, n, p) != 1) {
+        return false;
+    }
+    for (u64 q : DistinctPrimeFactors(n)) {
+        if (PowMod(root, n / q, p) == 1) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace hentt

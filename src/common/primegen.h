@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Generation of NTT-friendly primes and roots of unity.
+ *
+ * An N-point negacyclic NTT over Z_p requires a primitive 2N-th root of
+ * unity psi mod p, which exists iff p == 1 (mod 2N). Typical HE schemes
+ * pick several dozen such primes (the RNS / CRT basis, paper Section
+ * III-B); the paper uses 59-60-bit primes so that Shoup's lazy reduction
+ * ranges fit in 64-bit words.
+ *
+ * This module provides deterministic 64-bit Miller-Rabin, Pollard-rho
+ * factorization (needed to certify primitive roots), prime search, and
+ * root-of-unity derivation.
+ */
+
+#ifndef HENTT_COMMON_PRIMEGEN_H
+#define HENTT_COMMON_PRIMEGEN_H
+
+#include <vector>
+
+#include "common/int128.h"
+
+namespace hentt {
+
+/** Deterministic Miller-Rabin, exact for all 64-bit inputs. */
+bool IsPrime(u64 n);
+
+/** Prime factorization (with multiplicity collapsed: distinct factors). */
+std::vector<u64> DistinctPrimeFactors(u64 n);
+
+/**
+ * Find @p count primes p == 1 (mod modulus_step) of exactly @p bits bits,
+ * searching downward from 2^bits - 1.
+ *
+ * @param modulus_step  congruence step, 2N for an N-point negacyclic NTT
+ * @param bits          prime size in bits (paper uses 60)
+ * @param count         number of primes (the RNS basis size np)
+ * @throws std::runtime_error if not enough primes exist in the range.
+ */
+std::vector<u64> GenerateNttPrimes(u64 modulus_step, unsigned bits,
+                                   std::size_t count);
+
+/** Smallest generator of Z_p^* (p prime). */
+u64 FindGenerator(u64 p);
+
+/**
+ * A primitive n-th root of unity mod p.
+ * @pre p prime, n divides p - 1.
+ * @post result^n == 1 and result^(n/q) != 1 for every prime q | n.
+ */
+u64 FindPrimitiveRoot(u64 n, u64 p);
+
+/** True iff root is a primitive n-th root of unity mod p. */
+bool IsPrimitiveRoot(u64 root, u64 n, u64 p);
+
+}  // namespace hentt
+
+#endif  // HENTT_COMMON_PRIMEGEN_H

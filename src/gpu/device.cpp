@@ -1,0 +1,13 @@
+#include "gpu/device.h"
+
+namespace hentt::gpu {
+
+DeviceSpec
+DeviceSpec::TitanV()
+{
+    DeviceSpec spec;
+    spec.name = "NVIDIA Titan V (modeled)";
+    return spec;  // defaults are the Titan V calibration
+}
+
+}  // namespace hentt::gpu

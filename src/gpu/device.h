@@ -1,0 +1,80 @@
+/**
+ * @file
+ * GPU device description for the performance model.
+ *
+ * This is the repo's substitute for the paper's NVIDIA Titan V testbed
+ * (see DESIGN.md, "Substitutions"). The numbers come from the Titan V /
+ * V100 whitepaper [24] and the paper's own measurements; in particular
+ * the paper reports that a well-tuned streaming kernel achieves at most
+ * 86.7% of the 652.8 GB/s peak HBM2 bandwidth, which we adopt as the
+ * streaming-efficiency ceiling.
+ */
+
+#ifndef HENTT_GPU_DEVICE_H
+#define HENTT_GPU_DEVICE_H
+
+#include <cstddef>
+#include <string>
+
+#include "common/int128.h"
+
+namespace hentt::gpu {
+
+/** Static hardware parameters of the modeled GPU. */
+struct DeviceSpec {
+    std::string name;
+
+    // Compute organization.
+    unsigned num_sms = 80;
+    double clock_ghz = 1.455;
+    /** INT32/FP32 issue lanes per SM (Volta: 64). */
+    unsigned lanes_per_sm = 64;
+    unsigned warp_size = 32;
+
+    // Per-SM occupancy limits.
+    std::size_t registers_per_sm = 65536;  ///< 32-bit registers
+    unsigned max_registers_per_thread = 255;
+    std::size_t smem_per_sm = 96 * 1024;
+    unsigned max_threads_per_sm = 2048;
+    unsigned max_blocks_per_sm = 32;
+
+    // Memory system.
+    std::size_t transaction_bytes = 32;
+    double peak_dram_gbps = 652.8;
+    /** Fraction of peak a perfectly streaming kernel achieves (paper:
+     *  86.7%, i.e. 564.4 GB/s). */
+    double streaming_efficiency = 0.867;
+    /** L2 bandwidth relative to DRAM; bounds the transaction-issue roof
+     *  that penalizes uncoalesced access patterns whose excess sectors
+     *  hit in L2 (Fig. 7 behaviour). */
+    double l2_bandwidth_ratio = 1.8;
+    /** Fixed host-side cost per kernel launch (microseconds). Drives the
+     *  batching behaviour of multi-launch algorithms (Fig. 3). */
+    double kernel_launch_overhead_us = 4.0;
+    /** Sustained IPC fraction on dependent modular-arithmetic chains
+     *  (issue stalls, bank conflicts, barrier drain); calibrated against
+     *  the paper's compute-bound anchors (Fig. 1, Fig. 12(b)). */
+    double sustained_ipc = 0.30;
+
+    /** Issue-slot throughput in int32-equivalent slots per second. */
+    double
+    SlotsPerSecond() const
+    {
+        return static_cast<double>(num_sms) * lanes_per_sm * clock_ghz *
+               1e9;
+    }
+
+    /** Total resident-thread capacity of the machine. */
+    std::size_t
+    ThreadCapacity() const
+    {
+        return static_cast<std::size_t>(num_sms) * max_threads_per_sm;
+    }
+
+    /** The paper's evaluation platform. */
+    static DeviceSpec TitanV();
+};
+
+}  // namespace hentt::gpu
+
+#endif  // HENTT_GPU_DEVICE_H

@@ -1,0 +1,31 @@
+#include "gpu/kernel_stats.h"
+
+namespace hentt::gpu {
+
+KernelStats &
+KernelStats::Merge(const KernelStats &other)
+{
+    dram_read_bytes += other.dram_read_bytes;
+    dram_write_bytes += other.dram_write_bytes;
+    transaction_bytes += other.transaction_bytes;
+    lmem_bytes += other.lmem_bytes;
+    compute_slots += other.compute_slots;
+    launches += other.launches;
+    block_syncs += other.block_syncs;
+    if (other.resources.grid_blocks > resources.grid_blocks) {
+        resources = other.resources;
+    }
+    return *this;
+}
+
+double
+PlanDramBytes(const LaunchPlan &plan)
+{
+    double total = 0;
+    for (const KernelStats &k : plan) {
+        total += k.total_dram_bytes();
+    }
+    return total;
+}
+
+}  // namespace hentt::gpu

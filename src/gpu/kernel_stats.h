@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Resource/traffic profile of one GPU kernel launch (or a uniform group
+ * of launches). The kernel emulations in src/kernels/ produce these;
+ * gpu::Simulator turns them into time estimates, byte counts, and
+ * utilization figures — the quantities the paper reads off nvprof.
+ */
+
+#ifndef HENTT_GPU_KERNEL_STATS_H
+#define HENTT_GPU_KERNEL_STATS_H
+
+#include <string>
+#include <vector>
+
+#include "gpu/occupancy.h"
+
+namespace hentt::gpu {
+
+/** Profile of one kernel launch group. */
+struct KernelStats {
+    std::string name;
+    KernelResources resources;
+
+    /** Useful DRAM bytes read (data + tables actually consumed). */
+    double dram_read_bytes = 0;
+    /** Useful DRAM bytes written. */
+    double dram_write_bytes = 0;
+    /**
+     * Transaction-weighted bytes: useful bytes inflated by the
+     * coalescing expansion factor. Excess sectors mostly hit in L2, so
+     * they pressure the transaction-issue path rather than DRAM (the
+     * Fig. 7 effect); the simulator applies them against the L2 roof.
+     */
+    double transaction_bytes = 0;
+    /** LMEM spill traffic (counts as DRAM bytes, paper Section II). */
+    double lmem_bytes = 0;
+    /** Compute work in int32-equivalent issue slots. */
+    double compute_slots = 0;
+    /** Number of kernel launches this profile covers. */
+    unsigned launches = 1;
+    /** Block-level synchronizations per block (SMEM implementation). */
+    unsigned block_syncs = 0;
+
+    double total_dram_bytes() const
+    {
+        return dram_read_bytes + dram_write_bytes + lmem_bytes;
+    }
+
+    /** Sum of two profiles (resources taken from the larger grid). */
+    KernelStats &Merge(const KernelStats &other);
+};
+
+/** A sequence of kernel launches making up one logical operation. */
+using LaunchPlan = std::vector<KernelStats>;
+
+/** Total DRAM bytes over a plan. */
+double PlanDramBytes(const LaunchPlan &plan);
+
+}  // namespace hentt::gpu
+
+#endif  // HENTT_GPU_KERNEL_STATS_H

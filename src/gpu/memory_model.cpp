@@ -1,0 +1,65 @@
+#include "gpu/memory_model.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace hentt::gpu {
+
+std::size_t
+WarpTransactions(std::span<const u64> byte_addresses,
+                 std::size_t access_bytes, std::size_t transaction_bytes)
+{
+    if (access_bytes == 0 || transaction_bytes == 0) {
+        throw std::invalid_argument("access/transaction size must be > 0");
+    }
+    std::set<u64> sectors;
+    for (u64 addr : byte_addresses) {
+        const u64 first = addr / transaction_bytes;
+        const u64 last = (addr + access_bytes - 1) / transaction_bytes;
+        for (u64 s = first; s <= last; ++s) {
+            sectors.insert(s);
+        }
+    }
+    return sectors.size();
+}
+
+std::size_t
+StridedWarpTransactions(std::size_t stride_bytes, std::size_t access_bytes,
+                        std::size_t warp_size,
+                        std::size_t transaction_bytes)
+{
+    if (access_bytes == 0) {
+        throw std::invalid_argument("access size must be > 0");
+    }
+    if (stride_bytes == 0) {
+        // Broadcast: all lanes hit the same sector(s).
+        return (access_bytes + transaction_bytes - 1) / transaction_bytes;
+    }
+    // Lane i spans [i*stride, i*stride + access); count distinct sectors.
+    std::set<u64> sectors;
+    for (std::size_t i = 0; i < warp_size; ++i) {
+        const u64 addr = static_cast<u64>(i) * stride_bytes;
+        const u64 first = addr / transaction_bytes;
+        const u64 last = (addr + access_bytes - 1) / transaction_bytes;
+        for (u64 s = first; s <= last; ++s) {
+            sectors.insert(s);
+        }
+    }
+    return sectors.size();
+}
+
+double
+CoalescingExpansion(std::size_t stride_bytes, std::size_t access_bytes,
+                    std::size_t warp_size, std::size_t transaction_bytes)
+{
+    const std::size_t tx = StridedWarpTransactions(
+        stride_bytes, access_bytes, warp_size, transaction_bytes);
+    const double moved =
+        static_cast<double>(tx) * static_cast<double>(transaction_bytes);
+    const double useful =
+        static_cast<double>(warp_size) * static_cast<double>(access_bytes);
+    return moved / useful;
+}
+
+}  // namespace hentt::gpu

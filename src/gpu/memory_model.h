@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Warp-level memory-coalescing model.
+ *
+ * GPUs service a warp's loads/stores in 32-byte transactions; a warp
+ * touching 32 consecutive 8-byte words needs 8 transactions, while the
+ * same words strided apart can need up to 32 (paper Section II,
+ * "memory coalescing", and the Fig. 6/7 Kernel-1 study). This module
+ * provides both an *exact* simulator (count distinct 32B sectors touched
+ * by a warp's addresses) and the closed-form strided-pattern expressions
+ * the kernel emulations use; tests cross-check one against the other.
+ */
+
+#ifndef HENTT_GPU_MEMORY_MODEL_H
+#define HENTT_GPU_MEMORY_MODEL_H
+
+#include <cstddef>
+#include <span>
+
+#include "gpu/device.h"
+
+namespace hentt::gpu {
+
+/**
+ * Exact transaction count for one warp access: the number of distinct
+ * transaction_bytes-aligned sectors covered by [addr, addr + access_bytes)
+ * over all lanes.
+ */
+std::size_t WarpTransactions(std::span<const u64> byte_addresses,
+                             std::size_t access_bytes,
+                             std::size_t transaction_bytes = 32);
+
+/**
+ * Closed-form transaction count for a warp of @p warp_size lanes where
+ * lane i accesses @p access_bytes bytes at base + i * stride_bytes.
+ */
+std::size_t StridedWarpTransactions(std::size_t stride_bytes,
+                                    std::size_t access_bytes,
+                                    std::size_t warp_size = 32,
+                                    std::size_t transaction_bytes = 32);
+
+/**
+ * Coalescing expansion factor for a strided pattern: transaction bytes
+ * moved per useful byte (1.0 = perfectly coalesced). The paper's
+ * uncoalesced Kernel-1 pattern (8-byte words, stride >= 32 B) expands
+ * by 4x.
+ */
+double CoalescingExpansion(std::size_t stride_bytes,
+                           std::size_t access_bytes,
+                           std::size_t warp_size = 32,
+                           std::size_t transaction_bytes = 32);
+
+}  // namespace hentt::gpu
+
+#endif  // HENTT_GPU_MEMORY_MODEL_H

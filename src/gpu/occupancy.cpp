@@ -1,0 +1,117 @@
+#include "gpu/occupancy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bitops.h"
+
+namespace hentt::gpu {
+
+OccupancyResult
+ComputeOccupancy(const DeviceSpec &dev, const KernelResources &res)
+{
+    if (res.threads_per_block == 0 || res.grid_blocks == 0) {
+        throw std::invalid_argument("empty launch configuration");
+    }
+    OccupancyResult out;
+
+    unsigned regs = res.regs_per_thread;
+    if (regs > dev.max_registers_per_thread) {
+        out.spilled_regs_per_thread = regs - dev.max_registers_per_thread;
+        regs = dev.max_registers_per_thread;
+    }
+
+    const std::size_t regs_per_block =
+        static_cast<std::size_t>(regs) * res.threads_per_block;
+    const std::size_t by_regs =
+        regs_per_block == 0 ? dev.max_blocks_per_sm
+                            : dev.registers_per_sm / regs_per_block;
+    const std::size_t by_smem =
+        res.smem_per_block == 0 ? dev.max_blocks_per_sm
+                                : dev.smem_per_sm / res.smem_per_block;
+    const std::size_t by_threads =
+        dev.max_threads_per_sm / res.threads_per_block;
+    const std::size_t by_slots = dev.max_blocks_per_sm;
+
+    std::size_t blocks = std::min({by_regs, by_smem, by_threads, by_slots});
+    out.limiter = OccupancyLimiter::kThreadSlots;
+    if (blocks == by_regs && by_regs < by_threads) {
+        out.limiter = OccupancyLimiter::kRegisters;
+    } else if (blocks == by_smem && by_smem < by_threads) {
+        out.limiter = OccupancyLimiter::kSharedMemory;
+    } else if (blocks == by_slots && by_slots < by_threads) {
+        out.limiter = OccupancyLimiter::kBlockSlots;
+    }
+    blocks = std::max<std::size_t>(blocks, 1);  // a kernel always runs
+
+    out.blocks_per_sm = static_cast<unsigned>(blocks);
+    const double resident =
+        static_cast<double>(blocks) * res.threads_per_block;
+    out.resource_occupancy =
+        std::min(1.0, resident / dev.max_threads_per_sm);
+
+    // Grid-fill: the whole grid may be smaller than what the machine
+    // could keep resident.
+    const double grid_threads =
+        static_cast<double>(res.grid_blocks) * res.threads_per_block;
+    const double resident_machine = std::min(
+        grid_threads,
+        resident * dev.num_sms);
+    out.effective_occupancy = std::min(
+        out.resource_occupancy,
+        resident_machine / static_cast<double>(dev.ThreadCapacity()));
+    if (grid_threads < resident * dev.num_sms) {
+        out.limiter = OccupancyLimiter::kGridSize;
+    }
+    return out;
+}
+
+unsigned
+NttRegisterCost(std::size_t radix)
+{
+    // Calibration table (see header). Anchors: best radix 16; sharp
+    // occupancy drop at 32; spill at 64/128 (paper Fig. 4).
+    switch (radix) {
+      case 2: return 26;
+      case 4: return 30;
+      case 8: return 38;
+      case 16: return 56;
+      case 32: return 100;
+      case 64: return 296;   // > 255: spills
+      case 128: return 416;  // > 255: spills heavily
+      default:
+        throw std::invalid_argument("unsupported NTT radix");
+    }
+}
+
+unsigned
+DftRegisterCost(std::size_t radix)
+{
+    // DFT threads carry no modulus/Shoup state and use float2 data.
+    switch (radix) {
+      case 2: return 24;
+      case 4: return 28;
+      case 8: return 36;
+      case 16: return 48;
+      case 32: return 72;
+      case 64: return 130;
+      case 128: return 300;  // > 255: spills
+      default:
+        throw std::invalid_argument("unsupported DFT radix");
+    }
+}
+
+unsigned
+SmemKernelRegisterCost(std::size_t points_per_thread)
+{
+    switch (points_per_thread) {
+      case 2: return 24;
+      case 4: return 32;
+      case 8: return 64;
+      default:
+        throw std::invalid_argument("per-thread NTT size must be 2, 4, "
+                                    "or 8");
+    }
+}
+
+}  // namespace hentt::gpu

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * SM occupancy calculation.
+ *
+ * Occupancy — resident threads over the per-SM thread capacity — is the
+ * lever behind most of the paper's design-space findings: the register
+ * cost of high-radix kernels caps resident blocks (Fig. 4(c)), pushing
+ * DRAM-bandwidth utilization down, and past 255 registers per thread the
+ * compiler spills to local memory (LMEM), adding DRAM traffic instead
+ * (radix-64/128 in Fig. 4).
+ *
+ * Per-kernel register budgets are *calibration tables*, not compiler
+ * output: they are chosen to reproduce the paper's reported anchors
+ * (NTT's best radix is 16 vs. DFT's 32; NTT occupancy at radix-32 is
+ * ~31% below DFT's because of the extra prime + Shoup-companion state;
+ * radix-64/128 spill). See NttRegisterCost / DftRegisterCost.
+ */
+
+#ifndef HENTT_GPU_OCCUPANCY_H
+#define HENTT_GPU_OCCUPANCY_H
+
+#include <cstddef>
+
+#include "gpu/device.h"
+
+namespace hentt::gpu {
+
+/** Static per-kernel resource requirements. */
+struct KernelResources {
+    unsigned regs_per_thread = 32;
+    std::size_t smem_per_block = 0;
+    unsigned threads_per_block = 256;
+    std::size_t grid_blocks = 1;
+};
+
+/** What capped the resident-block count. */
+enum class OccupancyLimiter { kRegisters, kSharedMemory, kThreadSlots,
+                              kBlockSlots, kGridSize };
+
+/** Result of the occupancy calculation. */
+struct OccupancyResult {
+    unsigned blocks_per_sm = 0;
+    /** Resource occupancy: resident threads / max threads per SM,
+     *  ignoring grid size. */
+    double resource_occupancy = 0.0;
+    /** Effective machine occupancy including grid-fill: a grid smaller
+     *  than the machine cannot reach resource occupancy (Fig. 3's small
+     *  batches). */
+    double effective_occupancy = 0.0;
+    /** Registers per thread spilled to LMEM (0 unless > max regs). */
+    unsigned spilled_regs_per_thread = 0;
+    OccupancyLimiter limiter = OccupancyLimiter::kThreadSlots;
+};
+
+/** Compute occupancy of @p res on @p dev. */
+OccupancyResult ComputeOccupancy(const DeviceSpec &dev,
+                                 const KernelResources &res);
+
+/**
+ * Calibrated architectural register cost of the register-based
+ * high-radix NTT kernel at the given radix (64-bit data: 2 registers
+ * per resident point, plus twiddle staging, the prime, the Shoup
+ * companion, and addressing temporaries).
+ */
+unsigned NttRegisterCost(std::size_t radix);
+
+/** Same for the single-precision-complex DFT kernel (no modulus state,
+ *  hence the paper's observation that DFT sustains radix-32). */
+unsigned DftRegisterCost(std::size_t radix);
+
+/** Register cost of the SMEM-implementation kernels as a function of the
+ *  per-thread NTT size (2, 4, or 8 points). */
+unsigned SmemKernelRegisterCost(std::size_t points_per_thread);
+
+}  // namespace hentt::gpu
+
+#endif  // HENTT_GPU_OCCUPANCY_H

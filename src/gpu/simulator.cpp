@@ -1,0 +1,100 @@
+#include "gpu/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hentt::gpu {
+
+namespace {
+
+/** Occupancy below which issue stalls also throttle compute. */
+constexpr double kComputeSaturationOcc = 0.25;
+/** Overlap imperfection between the memory and compute pipelines. */
+constexpr double kOverlapPenalty = 0.08;
+
+}  // namespace
+
+TimeEstimate &
+TimeEstimate::Accumulate(const TimeEstimate &other)
+{
+    total_us += other.total_us;
+    mem_us += other.mem_us;
+    compute_us += other.compute_us;
+    overhead_us += other.overhead_us;
+    dram_bytes += other.dram_bytes;
+    occupancy = std::max(occupancy, other.occupancy);
+    memory_bound = mem_us >= compute_us;
+    return *this;
+}
+
+Simulator::Simulator(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+double
+Simulator::BandwidthFactor(double occupancy) const
+{
+    const double x = std::max(occupancy, 1e-6) / 0.25;
+    return 1.0 - std::exp(-std::pow(x, 1.2));
+}
+
+TimeEstimate
+Simulator::Estimate(const KernelStats &kernel) const
+{
+    TimeEstimate est;
+
+    OccupancyResult occ = ComputeOccupancy(spec_, kernel.resources);
+    est.occupancy = occ.effective_occupancy;
+
+    // --- Memory time ----------------------------------------------------
+    est.dram_bytes = kernel.total_dram_bytes();
+    const double bw_gbps = spec_.peak_dram_gbps *
+                           spec_.streaming_efficiency *
+                           BandwidthFactor(occ.effective_occupancy);
+    const double dram_us = est.dram_bytes / bw_gbps * 1e-3;
+    // Transaction-issue roof: uncoalesced excess sectors are mostly L2
+    // hits but still consume issue bandwidth.
+    const double tx_bytes =
+        std::max(kernel.transaction_bytes, est.dram_bytes);
+    const double l2_us =
+        tx_bytes /
+        (spec_.peak_dram_gbps * spec_.l2_bandwidth_ratio *
+         BandwidthFactor(occ.effective_occupancy)) *
+        1e-3;
+    est.mem_us = std::max(dram_us, l2_us);
+
+    // --- Compute time ---------------------------------------------------
+    const double ilp =
+        std::min(1.0, occ.effective_occupancy / kComputeSaturationOcc);
+    est.compute_us = kernel.compute_slots /
+                     (spec_.SlotsPerSecond() * spec_.sustained_ipc * ilp) *
+                     1e6;
+
+    // --- Combine ----------------------------------------------------
+    const double hi = std::max(est.mem_us, est.compute_us);
+    const double lo = std::min(est.mem_us, est.compute_us);
+    const double balance = hi > 0 ? lo / hi : 0.0;
+    est.overhead_us =
+        kernel.launches * spec_.kernel_launch_overhead_us;
+    est.total_us = hi * (1.0 + kOverlapPenalty * balance) +
+                   est.overhead_us;
+    est.memory_bound = est.mem_us >= est.compute_us;
+    est.achieved_gbps =
+        est.total_us > 0 ? est.dram_bytes / est.total_us * 1e-3 : 0.0;
+    est.dram_utilization = est.achieved_gbps / spec_.peak_dram_gbps;
+    return est;
+}
+
+TimeEstimate
+Simulator::Estimate(const LaunchPlan &plan) const
+{
+    TimeEstimate total;
+    for (const KernelStats &k : plan) {
+        total.Accumulate(Estimate(k));
+    }
+    total.achieved_gbps =
+        total.total_us > 0 ? total.dram_bytes / total.total_us * 1e-3
+                           : 0.0;
+    total.dram_utilization = total.achieved_gbps / spec_.peak_dram_gbps;
+    return total;
+}
+
+}  // namespace hentt::gpu

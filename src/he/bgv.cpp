@@ -1,0 +1,316 @@
+#include "he/bgv.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/modarith.h"
+#include "rns/crt.h"
+
+namespace hentt::he {
+
+namespace {
+
+/** Multiply row i of @p poly by a per-row scalar (value mod q_i). */
+RnsPoly
+PerRowScalarMul(const RnsPoly &poly, const HeContext &ctx,
+                const std::vector<u64> &row_scalars)
+{
+    RnsPoly out = poly;
+    const RnsBasis &basis = ctx.basis();
+    for (std::size_t i = 0; i < basis.prime_count(); ++i) {
+        const u64 p = basis.prime(i);
+        const u64 s = row_scalars[i] % p;
+        for (u64 &x : out.row(i)) {
+            x = MulModNative(x, s, p);
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+BgvScheme::BgvScheme(std::shared_ptr<const HeContext> ctx, u64 seed)
+    : ctx_(std::move(ctx)), rng_(seed)
+{
+}
+
+SecretKey
+BgvScheme::KeyGen()
+{
+    return SecretKey{SampleTernary(*ctx_, rng_)};
+}
+
+RnsPoly
+BgvScheme::EncodePlain(const Plaintext &m,
+                       std::shared_ptr<const RnsNttContext> level) const
+{
+    if (m.size() > ctx_->degree()) {
+        throw std::invalid_argument("plaintext longer than ring degree");
+    }
+    const u64 t = ctx_->params().plain_modulus;
+    const RnsBasis &basis = level->basis();
+    RnsPoly out(std::move(level));
+    for (std::size_t k = 0; k < m.size(); ++k) {
+        const u64 v = m[k] % t;
+        for (std::size_t i = 0; i < basis.prime_count(); ++i) {
+            out.row(i)[k] = v % basis.prime(i);
+        }
+    }
+    return out;
+}
+
+Ciphertext
+BgvScheme::Encrypt(const SecretKey &sk, const Plaintext &m)
+{
+    const u64 t = ctx_->params().plain_modulus;
+    RnsPoly a = SampleUniform(*ctx_, rng_);
+    RnsPoly e = SampleError(*ctx_, rng_);
+    RnsPoly as = RnsPoly::Multiply(a, sk.s);
+    RnsPoly c0 =
+        EncodePlain(m, ctx_->ntt_context()) + e.ScalarMul(t) - as;
+    return Ciphertext{{std::move(c0), std::move(a)}};
+}
+
+RnsPoly
+BgvScheme::KeyAtLevel(const SecretKey &sk,
+                      std::shared_ptr<const RnsNttContext> level) const
+{
+    // The ternary key's residues at a lower level are simply the prefix
+    // rows (the same small integer coefficients mod fewer primes).
+    RnsPoly out(std::move(level));
+    for (std::size_t i = 0; i < out.prime_count(); ++i) {
+        out.row(i) = sk.s.row(i);
+    }
+    return out;
+}
+
+RnsPoly
+BgvScheme::InnerProduct(const SecretKey &sk, const Ciphertext &ct) const
+{
+    if (ct.parts.size() < 2 || ct.parts.size() > 3) {
+        throw std::invalid_argument("ciphertext degree must be 1 or 2");
+    }
+    const RnsPoly s = KeyAtLevel(
+        sk, ctx_->level_context(ct.parts[0].prime_count()));
+    RnsPoly acc = ct.parts[0] + RnsPoly::Multiply(ct.parts[1], s);
+    if (ct.parts.size() == 3) {
+        RnsPoly s2 = RnsPoly::Multiply(s, s);
+        acc = acc + RnsPoly::Multiply(ct.parts[2], s2);
+    }
+    return acc;
+}
+
+Plaintext
+BgvScheme::Decrypt(const SecretKey &sk, const Ciphertext &ct) const
+{
+    const u64 t = ctx_->params().plain_modulus;
+    const RnsPoly d = InnerProduct(sk, ct);
+    const RnsBasis &basis = d.context().basis();
+    Plaintext out(ctx_->degree());
+    std::vector<u64> residues(basis.prime_count());
+    for (std::size_t k = 0; k < ctx_->degree(); ++k) {
+        for (std::size_t i = 0; i < basis.prime_count(); ++i) {
+            residues[i] = d.row(i)[k];
+        }
+        const auto [mag, negative] = CrtComposeCentered(residues, basis);
+        const u64 r = mag % t;
+        out[k] = (negative && r != 0) ? t - r : r;
+    }
+    return out;
+}
+
+Ciphertext
+BgvScheme::Add(const Ciphertext &a, const Ciphertext &b) const
+{
+    if (a.parts.size() != b.parts.size()) {
+        throw std::invalid_argument("ciphertext degrees differ");
+    }
+    Ciphertext out;
+    for (std::size_t i = 0; i < a.parts.size(); ++i) {
+        out.parts.push_back(a.parts[i] + b.parts[i]);
+    }
+    return out;
+}
+
+Ciphertext
+BgvScheme::Sub(const Ciphertext &a, const Ciphertext &b) const
+{
+    if (a.parts.size() != b.parts.size()) {
+        throw std::invalid_argument("ciphertext degrees differ");
+    }
+    Ciphertext out;
+    for (std::size_t i = 0; i < a.parts.size(); ++i) {
+        out.parts.push_back(a.parts[i] - b.parts[i]);
+    }
+    return out;
+}
+
+Ciphertext
+BgvScheme::MulPlain(const Ciphertext &ct, const Plaintext &m) const
+{
+    const RnsPoly pm = EncodePlain(
+        m, ctx_->level_context(Level(ct)));
+    Ciphertext out;
+    for (const RnsPoly &part : ct.parts) {
+        out.parts.push_back(RnsPoly::Multiply(part, pm));
+    }
+    return out;
+}
+
+Ciphertext
+BgvScheme::Mul(const Ciphertext &a, const Ciphertext &b) const
+{
+    if (a.parts.size() != 2 || b.parts.size() != 2) {
+        throw std::invalid_argument(
+            "Mul expects degree-1 ciphertexts; relinearize first");
+    }
+    Ciphertext out;
+    out.parts.push_back(RnsPoly::Multiply(a.parts[0], b.parts[0]));
+    out.parts.push_back(RnsPoly::Multiply(a.parts[0], b.parts[1]) +
+                        RnsPoly::Multiply(a.parts[1], b.parts[0]));
+    out.parts.push_back(RnsPoly::Multiply(a.parts[1], b.parts[1]));
+    return out;
+}
+
+RelinKey
+BgvScheme::MakeRelinKey(const SecretKey &sk)
+{
+    const u64 t = ctx_->params().plain_modulus;
+    const RnsBasis &basis = ctx_->basis();
+    const std::size_t np = basis.prime_count();
+    RnsPoly s2 = RnsPoly::Multiply(sk.s, sk.s);
+
+    RelinKey rk;
+    for (std::size_t j = 0; j < np; ++j) {
+        RnsPoly a = SampleUniform(*ctx_, rng_);
+        RnsPoly e = SampleError(*ctx_, rng_);
+        // gadget_j = (Q / q_j) mod q_k for every row k.
+        std::vector<u64> gadget(np);
+        for (std::size_t k = 0; k < np; ++k) {
+            gadget[k] = ctx_->q_hat(j, k);
+        }
+        RnsPoly b = e.ScalarMul(t) - RnsPoly::Multiply(a, sk.s) +
+                    PerRowScalarMul(s2, *ctx_, gadget);
+        rk.b.push_back(std::move(b));
+        rk.a.push_back(std::move(a));
+    }
+    return rk;
+}
+
+Ciphertext
+BgvScheme::Relinearize(const Ciphertext &ct, const RelinKey &rk) const
+{
+    if (ct.parts.size() != 3) {
+        throw std::invalid_argument("relinearization expects degree 2");
+    }
+    const RnsBasis &basis = ctx_->basis();
+    const std::size_t np = basis.prime_count();
+    const RnsPoly &c2 = ct.parts[2];
+
+    RnsPoly c0 = ct.parts[0];
+    RnsPoly c1 = ct.parts[1];
+    for (std::size_t j = 0; j < np; ++j) {
+        // Digit j: d_j = [c2 * (Q/q_j)^{-1}]_{q_j}, a word-sized value
+        // lifted into every RNS row.
+        const u64 qj = basis.prime(j);
+        const u64 q_tilde = InvMod(ctx_->q_hat(j, j) % qj, qj);
+        RnsPoly digit(ctx_->ntt_context());
+        for (std::size_t k = 0; k < ctx_->degree(); ++k) {
+            const u64 v = MulModNative(c2.row(j)[k], q_tilde, qj);
+            for (std::size_t i = 0; i < np; ++i) {
+                digit.row(i)[k] = v % basis.prime(i);
+            }
+        }
+        c0 = c0 + RnsPoly::Multiply(digit, rk.b[j]);
+        c1 = c1 + RnsPoly::Multiply(digit, rk.a[j]);
+    }
+    return Ciphertext{{std::move(c0), std::move(c1)}};
+}
+
+Ciphertext
+BgvScheme::ModSwitch(const Ciphertext &ct) const
+{
+    const std::size_t np_cur = Level(ct);
+    if (np_cur < 2) {
+        throw std::invalid_argument(
+            "cannot modulus-switch below one prime");
+    }
+    const u64 t = ctx_->params().plain_modulus;
+    const RnsBasis &basis =
+        ctx_->level_context(np_cur)->basis();
+    auto next = ctx_->level_context(np_cur - 1);
+    const std::size_t k = np_cur - 1;
+    const u64 qk = basis.prime(k);
+    const u64 t_inv_qk = InvMod(t % qk, qk);
+
+    // Dividing by q_k scales the plaintext by q_k^{-1} mod t; pre-scale
+    // every part by alpha = q_k mod t so the switch is
+    // plaintext-preserving.
+    const u64 alpha = qk % t;
+
+    Ciphertext out;
+    for (const RnsPoly &part_in : ct.parts) {
+        if (part_in.domain() != RnsPoly::Domain::kCoefficient) {
+            throw std::invalid_argument(
+                "modulus switch expects coefficient domain");
+        }
+        const RnsPoly part = part_in.ScalarMul(alpha);
+        RnsPoly switched(next);
+        for (std::size_t i = 0; i < k; ++i) {
+            const u64 qi = basis.prime(i);
+            const u64 qk_inv = InvMod(qk % qi, qi);
+            const u64 t_mod_qi = t % qi;
+            for (std::size_t idx = 0; idx < ctx_->degree(); ++idx) {
+                // delta = t * [c_k * t^{-1}]_{q_k}, centered so that
+                // |delta| <= t * q_k / 2; delta == c (mod q_k) and
+                // delta == 0 (mod t), making (c - delta) / q_k exact
+                // and plaintext-clean.
+                const u64 ck = part.row(k)[idx];
+                const u64 u = MulModNative(ck, t_inv_qk, qk);
+                u64 delta_mod_qi;
+                if (u <= qk / 2) {
+                    delta_mod_qi = MulModNative(t_mod_qi, u % qi, qi);
+                } else {
+                    const u64 v = qk - u;  // delta = -t * v
+                    const u64 pos = MulModNative(t_mod_qi, v % qi, qi);
+                    delta_mod_qi = pos == 0 ? 0 : qi - pos;
+                }
+                const u64 diff =
+                    SubMod(part.row(i)[idx], delta_mod_qi, qi);
+                switched.row(i)[idx] = MulModNative(diff, qk_inv, qi);
+            }
+        }
+        out.parts.push_back(std::move(switched));
+    }
+    return out;
+}
+
+double
+BgvScheme::NoiseBudgetBits(const SecretKey &sk, const Ciphertext &ct) const
+{
+    const u64 t = ctx_->params().plain_modulus;
+    const RnsPoly d = InnerProduct(sk, ct);
+    const RnsBasis &basis = d.context().basis();
+    // noise = d - m (mod Q), centered; m = decrypted plaintext.
+    const Plaintext m = Decrypt(sk, ct);
+    std::size_t max_bits = 0;
+    std::vector<u64> residues(basis.prime_count());
+    for (std::size_t k = 0; k < ctx_->degree(); ++k) {
+        for (std::size_t i = 0; i < basis.prime_count(); ++i) {
+            const u64 p = basis.prime(i);
+            residues[i] = SubMod(d.row(i)[k], m[k] % p, p);
+        }
+        const auto [mag, negative] = CrtComposeCentered(residues, basis);
+        (void)negative;
+        max_bits = std::max(max_bits, mag.BitLength());
+    }
+    (void)t;
+    // Decryption survives while |m + t*e| < Q/2; the margin in bits is
+    // the budget.
+    const double q_bits = static_cast<double>(basis.log_q());
+    const double noise_bits = static_cast<double>(max_bits);
+    return std::max(0.0, q_bits - noise_bits - 1.0);
+}
+
+}  // namespace hentt::he

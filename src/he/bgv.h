@@ -1,0 +1,112 @@
+/**
+ * @file
+ * A leveled, symmetric-key BGV-style HE scheme over the RNS polynomial
+ * ring — the application substrate whose inner loop is the paper's NTT
+ * batch.
+ *
+ * Encryption invariant: c0 + c1 * s = m + t * e (mod Q), with m the
+ * plaintext (coefficients < t), e small. Homomorphic multiply tensors
+ * two ciphertexts into degree 2 and relinearizes back using the CRT
+ * gadget: x = sum_j [x * (Q/q_j)^{-1}]_{q_j} * (Q/q_j) (mod Q), whose
+ * word-sized digits keep key-switching noise one-prime bounded.
+ */
+
+#ifndef HENTT_HE_BGV_H
+#define HENTT_HE_BGV_H
+
+#include <memory>
+#include <vector>
+
+#include "he/params.h"
+#include "he/sampling.h"
+
+namespace hentt::he {
+
+/** Plaintext: coefficient vector modulo t. */
+using Plaintext = std::vector<u64>;
+
+/** Secret key s (ternary), kept in evaluation domain for fast products. */
+struct SecretKey {
+    RnsPoly s;
+};
+
+/** Relinearization key: one (b_j, a_j) pair per RNS digit. */
+struct RelinKey {
+    std::vector<RnsPoly> b;  // -(a_j s) + t e_j + (Q/q_j) s^2
+    std::vector<RnsPoly> a;
+};
+
+/** Ciphertext: degree-1 (c0, c1) or degree-2 (c0, c1, c2) element
+ *  vector, coefficient domain. */
+struct Ciphertext {
+    std::vector<RnsPoly> parts;
+
+    std::size_t degree() const { return parts.size() - 1; }
+};
+
+/** The scheme. All polynomial products run through the NTT engines. */
+class BgvScheme
+{
+  public:
+    BgvScheme(std::shared_ptr<const HeContext> ctx, u64 seed = 1);
+
+    const HeContext &context() const { return *ctx_; }
+
+    SecretKey KeyGen();
+    RelinKey MakeRelinKey(const SecretKey &sk);
+
+    Ciphertext Encrypt(const SecretKey &sk, const Plaintext &m);
+    Plaintext Decrypt(const SecretKey &sk, const Ciphertext &ct) const;
+
+    Ciphertext Add(const Ciphertext &a, const Ciphertext &b) const;
+    Ciphertext Sub(const Ciphertext &a, const Ciphertext &b) const;
+    /** Multiply by a plaintext polynomial. */
+    Ciphertext MulPlain(const Ciphertext &ct, const Plaintext &m) const;
+    /** Tensor product; result has degree 2 (relinearize to shrink). */
+    Ciphertext Mul(const Ciphertext &a, const Ciphertext &b) const;
+    /** Key-switch a degree-2 ciphertext back to degree 1. */
+    Ciphertext Relinearize(const Ciphertext &ct,
+                           const RelinKey &rk) const;
+
+    /**
+     * Modulus switching: drop the last prime of the ciphertext's level,
+     * scaling the ciphertext (and its noise) down by ~q_k while
+     * preserving the plaintext. This is BGV's noise-management step
+     * between multiplications; the ciphertext moves one level down the
+     * chain built by HeContext::level_context.
+     *
+     * @pre coefficient domain, at least two primes remaining.
+     */
+    Ciphertext ModSwitch(const Ciphertext &ct) const;
+
+    /** Current level (RNS primes remaining) of a ciphertext. */
+    static std::size_t Level(const Ciphertext &ct)
+    {
+        return ct.parts.at(0).prime_count();
+    }
+
+    /**
+     * Remaining noise budget in bits: log2(Q) - log2(2 * t * |e|_inf),
+     * measured with the secret key. Zero means decryption is about to
+     * fail.
+     */
+    double NoiseBudgetBits(const SecretKey &sk,
+                           const Ciphertext &ct) const;
+
+  private:
+    /** m + t*e style payload: lift plaintext into R_Q at a level. */
+    RnsPoly EncodePlain(const Plaintext &m,
+                        std::shared_ptr<const RnsNttContext> level) const;
+    /** The secret key restricted to a lower level (prefix residues). */
+    RnsPoly KeyAtLevel(const SecretKey &sk,
+                       std::shared_ptr<const RnsNttContext> level) const;
+    /** c0 + c1 s (+ c2 s^2) in coefficient domain, at the ct's level. */
+    RnsPoly InnerProduct(const SecretKey &sk, const Ciphertext &ct) const;
+
+    std::shared_ptr<const HeContext> ctx_;
+    Xoshiro256 rng_;
+};
+
+}  // namespace hentt::he
+
+#endif  // HENTT_HE_BGV_H

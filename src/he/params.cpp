@@ -1,0 +1,83 @@
+#include "he/params.h"
+
+#include <stdexcept>
+
+#include "common/bitops.h"
+#include "common/modarith.h"
+#include "common/primegen.h"
+
+namespace hentt::he {
+
+void
+HeParams::Validate() const
+{
+    if (!IsPowerOfTwo(degree) || degree < 8) {
+        throw std::invalid_argument("degree must be a power of two >= 8");
+    }
+    if (prime_count == 0) {
+        throw std::invalid_argument("at least one RNS prime required");
+    }
+    if (prime_bits < 30 || prime_bits > 61) {
+        throw std::invalid_argument("prime_bits must lie in [30, 61]");
+    }
+    if (plain_modulus < 2) {
+        throw std::invalid_argument("plain modulus must be >= 2");
+    }
+    if (noise_stddev <= 0.0) {
+        throw std::invalid_argument("noise stddev must be positive");
+    }
+}
+
+std::shared_ptr<const RnsNttContext>
+HeContext::level_context(std::size_t prime_count) const
+{
+    if (prime_count == 0 || prime_count > levels_.size()) {
+        throw std::invalid_argument("no such level in the modulus chain");
+    }
+    return levels_[prime_count - 1];
+}
+
+HeContext::HeContext(const HeParams &params) : params_(params)
+{
+    params_.Validate();
+    auto basis = std::make_shared<RnsBasis>(
+        params_.degree, params_.prime_bits, params_.prime_count);
+    for (u64 p : basis->primes()) {
+        if (p % params_.plain_modulus == 0) {
+            throw std::invalid_argument("plain modulus divides a prime");
+        }
+    }
+    ntt_ctx_ = std::make_shared<RnsNttContext>(params_.degree, basis);
+
+    // One context per level of the modulus chain (prefix bases).
+    levels_.resize(params_.prime_count);
+    levels_.back() = ntt_ctx_;
+    for (std::size_t count = 1; count < params_.prime_count; ++count) {
+        std::vector<u64> prefix(basis->primes().begin(),
+                                basis->primes().begin() + count);
+        levels_[count - 1] = std::make_shared<RnsNttContext>(
+            params_.degree,
+            std::make_shared<RnsBasis>(std::move(prefix)));
+    }
+
+    // q_hat[j][k] = (Q / q_j) mod q_k, computed without big integers:
+    // the product of all primes except q_j, reduced mod q_k on the fly.
+    const RnsBasis &b = ntt_ctx_->basis();
+    const std::size_t np = b.prime_count();
+    q_hat_.assign(np * np, 1);
+    for (std::size_t j = 0; j < np; ++j) {
+        for (std::size_t k = 0; k < np; ++k) {
+            u64 acc = 1;
+            const u64 pk = b.prime(k);
+            for (std::size_t i = 0; i < np; ++i) {
+                if (i == j) {
+                    continue;
+                }
+                acc = MulModNative(acc, b.prime(i) % pk, pk);
+            }
+            q_hat_[j * np + k] = acc;
+        }
+    }
+}
+
+}  // namespace hentt::he

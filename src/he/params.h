@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Parameters for the RNS-BGV-style HE layer.
+ *
+ * The HE layer exists to exercise the paper's workload in context: a
+ * ciphertext is a pair of polynomials in Z_Q[X]/(X^N + 1) held in RNS
+ * form, and every homomorphic multiplication triggers batches of
+ * N-point NTTs across the np primes — the exact kernel the paper
+ * accelerates (its intro: NTT/iNTT is 34-50% of ciphertext
+ * multiplication).
+ *
+ * This is a pedagogically complete leveled scheme (keygen, symmetric
+ * encryption, add, multiply, CRT-digit relinearization, noise-budget
+ * accounting), not a hardened implementation: no IND-CPA-grade RNG, no
+ * constant-time guarantees, no security-level estimation.
+ */
+
+#ifndef HENTT_HE_PARAMS_H
+#define HENTT_HE_PARAMS_H
+
+#include <cstddef>
+#include <memory>
+
+#include "poly/rns_poly.h"
+
+namespace hentt::he {
+
+/** User-chosen parameters. */
+struct HeParams {
+    std::size_t degree = 4096;      ///< ring degree N (power of two)
+    std::size_t prime_count = 4;    ///< RNS primes np
+    unsigned prime_bits = 60;       ///< bits per RNS prime
+    u64 plain_modulus = 65537;      ///< plaintext modulus t
+    double noise_stddev = 3.2;      ///< Gaussian error sigma
+
+    /** Throws std::invalid_argument when inconsistent. */
+    void Validate() const;
+};
+
+/** Precomputed context shared by keys and ciphertexts. */
+class HeContext
+{
+  public:
+    explicit HeContext(const HeParams &params);
+
+    const HeParams &params() const { return params_; }
+    std::size_t degree() const { return params_.degree; }
+    const RnsBasis &basis() const { return ntt_ctx_->basis(); }
+    std::shared_ptr<const RnsNttContext> ntt_context() const
+    {
+        return ntt_ctx_;
+    }
+
+    /**
+     * Context for a reduced level of the modulus chain: the first
+     * @p prime_count primes of the basis. Level 0 (= the full basis) is
+     * ntt_context(); modulus switching moves ciphertexts down the chain.
+     */
+    std::shared_ptr<const RnsNttContext>
+    level_context(std::size_t prime_count) const;
+
+    /** Q/q_j mod q_k table used by relinearization (gadget vector). */
+    u64 q_hat(std::size_t j, std::size_t k) const
+    {
+        return q_hat_[j * basis().prime_count() + k];
+    }
+
+  private:
+    HeParams params_;
+    std::shared_ptr<const RnsNttContext> ntt_ctx_;
+    // levels_[i] serves prime_count = i + 1; levels_.back() == ntt_ctx_.
+    std::vector<std::shared_ptr<const RnsNttContext>> levels_;
+    std::vector<u64> q_hat_;  // row-major [j][k] = (Q / q_j) mod q_k
+};
+
+}  // namespace hentt::he
+
+#endif  // HENTT_HE_PARAMS_H

@@ -1,0 +1,64 @@
+#include "he/sampling.h"
+
+#include <cmath>
+
+namespace hentt::he {
+
+RnsPoly
+SampleUniform(const HeContext &ctx, Xoshiro256 &rng)
+{
+    RnsPoly out(ctx.ntt_context());
+    const RnsBasis &basis = ctx.basis();
+    for (std::size_t i = 0; i < basis.prime_count(); ++i) {
+        const u64 p = basis.prime(i);
+        for (u64 &x : out.row(i)) {
+            x = rng.NextBelow(p);
+        }
+    }
+    return out;
+}
+
+void
+SetSignedCoefficient(RnsPoly &poly, std::size_t k, long long value)
+{
+    const RnsBasis &basis = poly.context().basis();
+    for (std::size_t i = 0; i < basis.prime_count(); ++i) {
+        const u64 p = basis.prime(i);
+        if (value >= 0) {
+            poly.row(i)[k] = static_cast<u64>(value) % p;
+        } else {
+            poly.row(i)[k] =
+                p - (static_cast<u64>(-value) % p);
+            if (poly.row(i)[k] == p) {
+                poly.row(i)[k] = 0;
+            }
+        }
+    }
+}
+
+RnsPoly
+SampleTernary(const HeContext &ctx, Xoshiro256 &rng)
+{
+    RnsPoly out(ctx.ntt_context());
+    for (std::size_t k = 0; k < ctx.degree(); ++k) {
+        const u64 r = rng.NextBelow(3);
+        SetSignedCoefficient(out, k, static_cast<long long>(r) - 1);
+    }
+    return out;
+}
+
+RnsPoly
+SampleError(const HeContext &ctx, Xoshiro256 &rng)
+{
+    RnsPoly out(ctx.ntt_context());
+    const double sigma = ctx.params().noise_stddev;
+    for (std::size_t k = 0; k < ctx.degree(); ++k) {
+        const long long e =
+            static_cast<long long>(std::llround(rng.NextGaussian() *
+                                                sigma));
+        SetSignedCoefficient(out, k, e);
+    }
+    return out;
+}
+
+}  // namespace hentt::he

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Ring-element samplers for the HE layer: uniform elements of R_Q,
+ * ternary secrets, and discrete-Gaussian-ish errors (rounded Gaussian).
+ */
+
+#ifndef HENTT_HE_SAMPLING_H
+#define HENTT_HE_SAMPLING_H
+
+#include "common/random.h"
+#include "he/params.h"
+
+namespace hentt::he {
+
+/** Uniform element of R_Q (independent uniform residues == uniform by
+ *  CRT). Coefficient domain. */
+RnsPoly SampleUniform(const HeContext &ctx, Xoshiro256 &rng);
+
+/** Ternary polynomial with coefficients in {-1, 0, 1}. */
+RnsPoly SampleTernary(const HeContext &ctx, Xoshiro256 &rng);
+
+/** Rounded-Gaussian error polynomial (sigma from the params). */
+RnsPoly SampleError(const HeContext &ctx, Xoshiro256 &rng);
+
+/** Encode a signed value into every RNS row of coefficient k. */
+void SetSignedCoefficient(RnsPoly &poly, std::size_t k, long long value);
+
+}  // namespace hentt::he
+
+#endif  // HENTT_HE_SAMPLING_H

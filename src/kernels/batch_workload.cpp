@@ -1,0 +1,43 @@
+#include "kernels/batch_workload.h"
+
+#include "common/primegen.h"
+#include "common/random.h"
+
+namespace hentt::kernels {
+
+NttBatchWorkload::NttBatchWorkload(std::size_t n, std::size_t np,
+                                   unsigned bits)
+    : n_(n)
+{
+    const std::vector<u64> primes = GenerateNttPrimes(2 * n, bits, np);
+    engines_.reserve(np);
+    rows_.reserve(np);
+    for (u64 p : primes) {
+        engines_.push_back(std::make_unique<NttEngine>(n, p));
+        rows_.emplace_back(n, 0);
+    }
+}
+
+void
+NttBatchWorkload::Randomize(u64 seed)
+{
+    Xoshiro256 rng(seed);
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        const u64 p = prime(i);
+        for (u64 &x : rows_[i]) {
+            x = rng.NextBelow(p);
+        }
+    }
+}
+
+std::size_t
+NttBatchWorkload::TwiddleTableBytes() const
+{
+    std::size_t total = 0;
+    for (const auto &engine : engines_) {
+        total += engine->table().forward_table_bytes();
+    }
+    return total;
+}
+
+}  // namespace hentt::kernels

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The paper's NTT workload: np independent N-point negacyclic NTTs, one
+ * per RNS prime (Section III-B). Owns per-prime engines and residue
+ * rows; kernel emulations execute against it functionally and are
+ * validated bit-exactly.
+ */
+
+#ifndef HENTT_KERNELS_BATCH_WORKLOAD_H
+#define HENTT_KERNELS_BATCH_WORKLOAD_H
+
+#include <memory>
+#include <vector>
+
+#include "ntt/ntt_engine.h"
+
+namespace hentt::kernels {
+
+/** np residue rows plus their transform engines. */
+class NttBatchWorkload
+{
+  public:
+    /**
+     * Build a workload of @p np rows of size @p n with fresh primes.
+     * @param bits prime size (paper: 60-bit primes in [2^59, 2^60)).
+     */
+    NttBatchWorkload(std::size_t n, std::size_t np, unsigned bits = 60);
+
+    std::size_t n() const { return n_; }
+    std::size_t np() const { return rows_.size(); }
+    u64 prime(std::size_t i) const { return engines_[i]->modulus(); }
+    const NttEngine &engine(std::size_t i) const { return *engines_[i]; }
+
+    std::vector<u64> &row(std::size_t i) { return rows_[i]; }
+    const std::vector<u64> &row(std::size_t i) const { return rows_[i]; }
+
+    /** Fill every row with uniform residues (deterministic). */
+    void Randomize(u64 seed);
+
+    /** Total precomputed forward-table bytes across the batch — the
+     *  np-fold blow-up that separates NTT from DFT (Section IV). */
+    std::size_t TwiddleTableBytes() const;
+
+  private:
+    std::size_t n_;
+    std::vector<std::unique_ptr<NttEngine>> engines_;
+    std::vector<std::vector<u64>> rows_;
+};
+
+}  // namespace hentt::kernels
+
+#endif  // HENTT_KERNELS_BATCH_WORKLOAD_H

@@ -1,0 +1,69 @@
+#include "kernels/config_search.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bitops.h"
+
+namespace hentt::kernels {
+
+std::vector<SmemConfig>
+CandidateSmemConfigs(std::size_t n, std::size_t points_per_thread,
+                     unsigned ot_stages)
+{
+    if (!IsPowerOfTwo(n) || n < 64 * 64) {
+        throw std::invalid_argument(
+            "N must be a power of two >= 4096 for the two-kernel split");
+    }
+    std::vector<SmemConfig> configs;
+    const unsigned log_n = Log2Exact(n);
+    // The paper's sweep (Fig. 12(a)): Kernel-1 radices 2^5..2^9 (its
+    // twiddle slice must preload into SMEM), Kernel-2 up to 2^11.
+    const unsigned hi = std::min(9u, log_n - 6);
+    const unsigned lo = std::max(5u, log_n > 11 ? log_n - 11 : 5u);
+    for (unsigned log_k1 = lo; log_k1 <= hi; ++log_k1) {
+        const unsigned log_k2 = log_n - log_k1;
+        if (log_k2 > 11) {
+            continue;
+        }
+        SmemConfig cfg;
+        cfg.kernel1_size = std::size_t{1} << log_k1;
+        cfg.kernel2_size = std::size_t{1} << log_k2;
+        cfg.points_per_thread = points_per_thread;
+        cfg.ot_stages = ot_stages;
+        configs.push_back(cfg);
+    }
+    return configs;
+}
+
+std::vector<ScoredConfig>
+RankSmemConfigs(const gpu::Simulator &sim, std::size_t n, std::size_t np,
+                std::size_t points_per_thread, unsigned ot_stages)
+{
+    std::vector<ScoredConfig> scored;
+    for (const SmemConfig &cfg :
+         CandidateSmemConfigs(n, points_per_thread, ot_stages)) {
+        const SmemKernel kernel(cfg);
+        scored.push_back({cfg, sim.Estimate(kernel.Plan(np))});
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const ScoredConfig &a, const ScoredConfig &b) {
+                  return a.estimate.total_us < b.estimate.total_us;
+              });
+    return scored;
+}
+
+ScoredConfig
+FindBestSmemConfig(const gpu::Simulator &sim, std::size_t n,
+                   std::size_t np, std::size_t points_per_thread,
+                   unsigned ot_stages)
+{
+    const auto ranked =
+        RankSmemConfigs(sim, n, np, points_per_thread, ot_stages);
+    if (ranked.empty()) {
+        throw std::runtime_error("no feasible SMEM configuration");
+    }
+    return ranked.front();
+}
+
+}  // namespace hentt::kernels

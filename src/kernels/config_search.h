@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Design-space search over SMEM-implementation configurations — the
+ * "best-performing combination of radices of Kernel-1 and Kernel-2"
+ * the paper selects for Figs. 12/13 and Table II.
+ */
+
+#ifndef HENTT_KERNELS_CONFIG_SEARCH_H
+#define HENTT_KERNELS_CONFIG_SEARCH_H
+
+#include <vector>
+
+#include "gpu/simulator.h"
+#include "kernels/smem_kernel.h"
+
+namespace hentt::kernels {
+
+/**
+ * All K1 x K2 splits of an N-point NTT with both kernel sizes >= 64
+ * (the paper's constraint: SMEM can host radices up to 2^11, and both
+ * kernels need at least 64 points to keep their blocks busy).
+ */
+std::vector<SmemConfig> CandidateSmemConfigs(
+    std::size_t n, std::size_t points_per_thread = 8,
+    unsigned ot_stages = 0);
+
+/** A scored configuration. */
+struct ScoredConfig {
+    SmemConfig config;
+    gpu::TimeEstimate estimate;
+};
+
+/** Evaluate every candidate under the model, fastest first. */
+std::vector<ScoredConfig> RankSmemConfigs(
+    const gpu::Simulator &sim, std::size_t n, std::size_t np,
+    std::size_t points_per_thread = 8, unsigned ot_stages = 0);
+
+/** The fastest configuration. */
+ScoredConfig FindBestSmemConfig(const gpu::Simulator &sim, std::size_t n,
+                                std::size_t np,
+                                std::size_t points_per_thread = 8,
+                                unsigned ot_stages = 0);
+
+}  // namespace hentt::kernels
+
+#endif  // HENTT_KERNELS_CONFIG_SEARCH_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Calibrated instruction-cost constants for the GPU kernel emulations.
+ *
+ * Costs are int32-equivalent *issue slots* per operation; the device
+ * model additionally applies a sustained-IPC factor (DeviceSpec), so
+ * these numbers stay close to real instruction counts. Calibration
+ * anchors (paper):
+ *
+ *  - Shoup's modmul: 2 wide multiplies + 1 low multiply + subtract +
+ *    conditional correct on 64-bit words (~4 slots each on 32-bit
+ *    lanes) -> a radix-2 butterfly costs ~14 slots.
+ *  - Native 64b%32b modulo compiles to 68 machine instructions with a
+ *    ~500-cycle dependent latency (paper Section IV); with ~30%
+ *    dual-issue overlap this adds ~46 effective slots per butterfly,
+ *    reproducing the 2.4x Shoup-vs-native gap of Fig. 1.
+ *  - SMEM-implementation butterflies pay extra addressing + SMEM
+ *    load/store work (22 slots), and each block-level synchronization
+ *    round-trips every element through SMEM (12 slots/element) — this
+ *    is the per-thread-NTT-size trade-off of Fig. 10/11.
+ *  - OT twiddle generation: one extra Shoup multiply plus exponent
+ *    arithmetic (10 slots) per butterfly in an OT stage (Section VII).
+ */
+
+#ifndef HENTT_KERNELS_COST_CONSTANTS_H
+#define HENTT_KERNELS_COST_CONSTANTS_H
+
+#include <cstddef>
+
+namespace hentt::kernels {
+
+/** Radix-2 global-memory butterfly (Shoup's modmul). */
+inline constexpr double kShoupButterflySlots = 14.0;
+/** Register-resident high-radix butterfly (extra local indexing). */
+inline constexpr double kHighRadixButterflySlots = 16.0;
+/** SMEM-implementation butterfly (SMEM addressing + staging). */
+inline constexpr double kSmemButterflySlots = 18.0;
+/** Extra slots when the twiddle multiply uses the native `%` path. */
+inline constexpr double kNativeModExtraSlots = 46.0;
+/** Extra slots for a Barrett-reduction twiddle multiply. */
+inline constexpr double kBarrettExtraSlots = 6.0;
+/** Extra slots per butterfly whose twiddle is generated via OT: one
+ *  extra Shoup multiply; the exponent arithmetic dual-issues into the
+ *  memory slack the shrunken table opens up. */
+inline constexpr double kOtExtraSlots = 4.0;
+/** Per-element cost of one block-level synchronization round trip. */
+inline constexpr double kSyncElementSlots = 12.0;
+/** Extra slots per Kernel-1 butterfly when its strided accesses are
+ *  uncoalesced (per-lane sector replays; most over-fetch hits L1/L2). */
+inline constexpr double kUncoalescedExtraSlots = 5.0;
+/** Fraction of the uncoalesced over-fetch that misses L2 and reaches
+ *  DRAM (inflates Kernel-1's read traffic). */
+inline constexpr double kUncoalescedDramReadFactor = 1.5;
+/** Extra slots per Kernel-1 butterfly when twiddles are fetched from
+ *  GMEM/L2 instead of a preloaded SMEM slice (Fig. 9). */
+inline constexpr double kNoPreloadTwiddleSlots = 3.0;
+/** Single-precision complex DFT butterfly. */
+inline constexpr double kDftButterflySlots = 10.0;
+
+/** Thread-block size of the register-based (global) kernels. */
+inline constexpr std::size_t kRegisterKernelBlock = 256;
+/** Thread-block size of the SMEM-implementation kernels (after the
+ *  block-fusion of Fig. 6(b)). */
+inline constexpr std::size_t kSmemKernelBlock = 128;
+
+/** Bytes per NTT element (64-bit words, paper Section IV). */
+inline constexpr double kNttElemBytes = 8.0;
+/** Bytes per twiddle entry including its Shoup companion. */
+inline constexpr double kTwiddleEntryBytes = 16.0;
+/** Bytes per DFT element (single-precision complex, cuFFT-style). */
+inline constexpr double kDftElemBytes = 8.0;
+
+}  // namespace hentt::kernels
+
+#endif  // HENTT_KERNELS_COST_CONSTANTS_H

@@ -1,0 +1,206 @@
+#include "kernels/dft_kernels.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/bitops.h"
+#include "kernels/cost_constants.h"
+
+namespace hentt::kernels {
+
+namespace {
+
+/** DFT twiddle DRAM bytes: one table for the whole batch. */
+double
+DftTableBytes(std::size_t distinct_entries)
+{
+    return static_cast<double>(distinct_entries) * kDftElemBytes;
+}
+
+}  // namespace
+
+gpu::LaunchPlan
+DftRadix2Plan(std::size_t n, std::size_t batch)
+{
+    if (!IsPowerOfTwo(n) || batch == 0) {
+        throw std::invalid_argument("invalid DFT plan parameters");
+    }
+    const unsigned log_n = Log2Exact(n);
+    const double b = static_cast<double>(batch);
+    const double data_bytes = static_cast<double>(n) * kDftElemBytes * b;
+
+    gpu::LaunchPlan plan;
+    for (unsigned s = 0; s < log_n; ++s) {
+        gpu::KernelStats k;
+        k.name = "dft-radix2-stage-" + std::to_string(s);
+        k.resources.regs_per_thread = gpu::DftRegisterCost(2);
+        k.resources.threads_per_block = kRegisterKernelBlock;
+        k.resources.grid_blocks =
+            std::max<std::size_t>(1, n / 2 * batch / kRegisterKernelBlock);
+        k.dram_read_bytes =
+            data_bytes + DftTableBytes(std::size_t{1} << s);
+        k.dram_write_bytes = data_bytes;
+        k.transaction_bytes = k.dram_read_bytes + k.dram_write_bytes;
+        k.compute_slots = static_cast<double>(n / 2) * b *
+                          kDftButterflySlots;
+        plan.push_back(std::move(k));
+    }
+    return plan;
+}
+
+gpu::LaunchPlan
+DftHighRadixPlan(std::size_t n, std::size_t batch, std::size_t radix)
+{
+    if (!IsPowerOfTwo(n) || !IsPowerOfTwo(radix) || radix < 2 ||
+        radix > n || batch == 0) {
+        throw std::invalid_argument("invalid DFT high-radix parameters");
+    }
+    const unsigned log_n = Log2Exact(n);
+    const unsigned log_r = Log2Exact(radix);
+    const double b = static_cast<double>(batch);
+    const double data_bytes = static_cast<double>(n) * kDftElemBytes * b;
+    const unsigned regs = gpu::DftRegisterCost(radix);
+    const double spill_words =
+        regs > 255 ? static_cast<double>(regs - 255) : 0.0;
+    const double threads_per_pass =
+        static_cast<double>(n) / static_cast<double>(radix) * b;
+
+    gpu::LaunchPlan plan;
+    unsigned stage = 0;
+    while (stage < log_n) {
+        const unsigned k_stages = std::min(log_r, log_n - stage);
+        gpu::KernelStats ks;
+        ks.name = "dft-highradix-r" + std::to_string(radix) + "-pass@" +
+                  std::to_string(stage);
+        ks.resources.regs_per_thread = regs;
+        ks.resources.threads_per_block = kRegisterKernelBlock;
+        ks.resources.grid_blocks = std::max<std::size_t>(
+            1,
+            static_cast<std::size_t>(threads_per_pass) /
+                kRegisterKernelBlock);
+        ks.dram_read_bytes =
+            data_bytes +
+            DftTableBytes((std::size_t{1} << (stage + k_stages)) -
+                          (std::size_t{1} << stage));
+        ks.dram_write_bytes = data_bytes;
+        ks.lmem_bytes = spill_words * 4.0 * 2.0 * 2.0 * threads_per_pass;
+        ks.transaction_bytes = ks.dram_read_bytes + ks.dram_write_bytes +
+                               ks.lmem_bytes;
+        ks.compute_slots = static_cast<double>(n / 2) * k_stages * b *
+                           kDftButterflySlots;
+        plan.push_back(std::move(ks));
+        stage += k_stages;
+    }
+    return plan;
+}
+
+gpu::LaunchPlan
+DftSmemPlan(std::size_t n1, std::size_t n2, std::size_t batch,
+            std::size_t points_per_thread)
+{
+    if (!IsPowerOfTwo(n1) || !IsPowerOfTwo(n2) || batch == 0) {
+        throw std::invalid_argument("invalid DFT SMEM parameters");
+    }
+    if (points_per_thread != 2 && points_per_thread != 4 &&
+        points_per_thread != 8) {
+        throw std::invalid_argument("points_per_thread must be 2, 4, 8");
+    }
+    const std::size_t n = n1 * n2;
+    const double b = static_cast<double>(batch);
+    const double data_bytes = static_cast<double>(n) * kDftElemBytes * b;
+    const unsigned per = Log2Exact(points_per_thread);
+
+    auto make_kernel = [&](std::size_t radix, const char *name) {
+        const unsigned passes = (Log2Exact(radix) + per - 1) / per;
+        const unsigned syncs = passes - 1;
+        gpu::KernelStats k;
+        k.name = name;
+        // DFT SMEM threads hold float2 points: lighter than the NTT
+        // equivalents (no modulus/companion state).
+        k.resources.regs_per_thread =
+            gpu::SmemKernelRegisterCost(points_per_thread) - 8;
+        k.resources.threads_per_block = kSmemKernelBlock;
+        k.resources.grid_blocks = std::max<std::size_t>(
+            1,
+            static_cast<std::size_t>(static_cast<double>(n) /
+                                     points_per_thread * b) /
+                kSmemKernelBlock);
+        k.resources.smem_per_block = static_cast<std::size_t>(
+            points_per_thread * kSmemKernelBlock * kDftElemBytes);
+        k.dram_read_bytes = data_bytes + DftTableBytes(radix);
+        k.dram_write_bytes = data_bytes;
+        k.transaction_bytes = k.dram_read_bytes + k.dram_write_bytes;
+        k.compute_slots =
+            static_cast<double>(n / 2) * Log2Exact(radix) * b *
+                kDftButterflySlots +
+            static_cast<double>(syncs) * static_cast<double>(n) * b *
+                kSyncElementSlots;
+        k.block_syncs = syncs;
+        return k;
+    };
+
+    return {make_kernel(n1, "dft-smem-kernel1"),
+            make_kernel(n2, "dft-smem-kernel2")};
+}
+
+void
+FftRadix2(std::vector<std::complex<double>> &a, bool inverse)
+{
+    const std::size_t n = a.size();
+    if (!IsPowerOfTwo(n)) {
+        throw std::invalid_argument("FFT size must be a power of two");
+    }
+    const double sign = inverse ? 1.0 : -1.0;
+    std::size_t t = n / 2;
+    for (std::size_t m = 1; m < n; m <<= 1) {
+        const unsigned stage_bits = Log2Exact(m == 1 ? 1 : m);
+        for (std::size_t j = 0; j < m; ++j) {
+            // Natural-order-input DIT consumes twiddles in bit-reversed
+            // group order: w = omega_{2m}^{bitrev(j, log2 m)} — the same
+            // scheme as the NTT's Psi[m + j] table.
+            const std::size_t rev =
+                m == 1 ? 0 : BitReverse(j, stage_bits);
+            const double angle =
+                sign * std::numbers::pi * static_cast<double>(rev) /
+                static_cast<double>(m);
+            const std::complex<double> w(std::cos(angle),
+                                         std::sin(angle));
+            const std::size_t base = 2 * j * t;
+            for (std::size_t k = base; k < base + t; ++k) {
+                const std::complex<double> u = a[k];
+                const std::complex<double> v = a[k + t] * w;
+                a[k] = u + v;
+                a[k + t] = u - v;
+            }
+        }
+        t >>= 1;
+    }
+    if (inverse) {
+        const double scale = 1.0 / static_cast<double>(n);
+        for (auto &x : a) {
+            x *= scale;
+        }
+    }
+}
+
+std::vector<std::complex<double>>
+NaiveDft(const std::vector<std::complex<double>> &a)
+{
+    const std::size_t n = a.size();
+    std::vector<std::complex<double>> out(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        std::complex<double> acc = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double angle = -2.0 * std::numbers::pi *
+                                 static_cast<double>(i * k % n) /
+                                 static_cast<double>(n);
+            acc += a[i] * std::complex<double>(std::cos(angle),
+                                               std::sin(angle));
+        }
+        out[k] = acc;
+    }
+    return out;
+}
+
+}  // namespace hentt::kernels

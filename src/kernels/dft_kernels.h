@@ -1,0 +1,53 @@
+/**
+ * @file
+ * DFT (FFT) counterparts of the NTT kernel emulations, used for the
+ * paper's NTT-vs-DFT comparisons (Figs. 3(b), 5, 11(b)).
+ *
+ * The modeled DFT is the paper's custom radix-2 FFT "without
+ * bit-reversing": single-precision complex data (8 bytes per element,
+ * cuFFT-style C2C), floating-point butterflies, and — the key
+ * algorithmic difference — a twiddle table that is *shared across the
+ * whole batch*, because every N-point DFT uses the same N-th root of
+ * unity. NTT's table instead scales with np and carries Shoup
+ * companions, which is the root of its memory-bandwidth problem
+ * (Section IV, "Precomputed table size with batching").
+ *
+ * A functional complex<double> reference FFT is included so tests can
+ * validate the transform the plans describe.
+ */
+
+#ifndef HENTT_KERNELS_DFT_KERNELS_H
+#define HENTT_KERNELS_DFT_KERNELS_H
+
+#include <complex>
+#include <vector>
+
+#include "gpu/kernel_stats.h"
+
+namespace hentt::kernels {
+
+/** Per-stage radix-2 DFT baseline (Fig. 3(b)). */
+gpu::LaunchPlan DftRadix2Plan(std::size_t n, std::size_t batch);
+
+/** Register-based high-radix DFT (Fig. 5). */
+gpu::LaunchPlan DftHighRadixPlan(std::size_t n, std::size_t batch,
+                                 std::size_t radix);
+
+/** Two-kernel SMEM DFT (Fig. 11(b)). */
+gpu::LaunchPlan DftSmemPlan(std::size_t n1, std::size_t n2,
+                            std::size_t batch,
+                            std::size_t points_per_thread);
+
+/**
+ * Functional radix-2 cyclic FFT (Cooley-Tukey, natural-order input,
+ * bit-reversed output — mirroring the NTT variant). In place.
+ */
+void FftRadix2(std::vector<std::complex<double>> &a, bool inverse = false);
+
+/** Naive O(N^2) DFT for validation. */
+std::vector<std::complex<double>>
+NaiveDft(const std::vector<std::complex<double>> &a);
+
+}  // namespace hentt::kernels
+
+#endif  // HENTT_KERNELS_DFT_KERNELS_H

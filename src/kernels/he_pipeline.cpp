@@ -1,0 +1,56 @@
+#include "kernels/he_pipeline.h"
+
+#include "kernels/cost_constants.h"
+
+namespace hentt::kernels {
+
+gpu::KernelStats
+HadamardKernel(std::size_t n, std::size_t np)
+{
+    const double batch = static_cast<double>(np);
+    const double data = static_cast<double>(n) * kNttElemBytes * batch;
+    gpu::KernelStats k;
+    k.name = "hadamard";
+    k.resources.regs_per_thread = 32;
+    k.resources.threads_per_block = kRegisterKernelBlock;
+    k.resources.grid_blocks = std::max<std::size_t>(
+        1, static_cast<std::size_t>(n * np) / kRegisterKernelBlock);
+    k.dram_read_bytes = 2.0 * data;  // two operands
+    k.dram_write_bytes = data;
+    k.transaction_bytes = k.dram_read_bytes + k.dram_write_bytes;
+    // One native modmul per element (no precomputed companion for
+    // data-dependent products).
+    k.compute_slots = static_cast<double>(n) * batch * 16.0;
+    k.launches = 1;
+    return k;
+}
+
+HeMultiplyEstimate
+EstimateHeMultiply(const gpu::Simulator &sim, const SmemConfig &ntt_config,
+                   std::size_t np)
+{
+    const SmemKernel ntt(ntt_config);
+    const std::size_t n = ntt_config.n();
+
+    // The inverse transform streams the same bytes and executes the
+    // same butterfly count as the forward one; reuse the forward plan.
+    gpu::LaunchPlan transforms;
+    for (int i = 0; i < 4 + 3; ++i) {
+        for (const auto &k : ntt.Plan(np)) {
+            transforms.push_back(k);
+        }
+    }
+    gpu::LaunchPlan elementwise;
+    for (int i = 0; i < 4; ++i) {
+        elementwise.push_back(HadamardKernel(n, np));
+    }
+
+    HeMultiplyEstimate est;
+    est.ntt = sim.Estimate(transforms);
+    est.elementwise = sim.Estimate(elementwise);
+    est.total_us = est.ntt.total_us + est.elementwise.total_us;
+    est.ntt_share = est.ntt.total_us / est.total_us;
+    return est;
+}
+
+}  // namespace hentt::kernels

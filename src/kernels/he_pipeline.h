@@ -1,0 +1,48 @@
+/**
+ * @file
+ * GPU-cost composition of a full HE ciphertext multiplication — the
+ * paper's motivating workload (Section I: NTT/iNTT is 34% of ciphertext
+ * multiplication in [31] and 50.04% in SEAL at (2^15, Q = 2^881)).
+ *
+ * A BGV/CKKS-style multiply of two degree-1 ciphertexts performs, per
+ * RNS prime:
+ *   - 4 forward NTTs (two polynomials per operand),
+ *   - 4 element-wise (Hadamard) products for the tensor terms,
+ *   - 3 inverse NTTs (the degree-2 result),
+ * plus non-NTT work (base conversions / relinearization) modeled here
+ * only through the element-wise passes it streams. The inverse NTT has
+ * the same traffic and butterfly count as the forward transform, so its
+ * plan mirrors the forward plan.
+ */
+
+#ifndef HENTT_KERNELS_HE_PIPELINE_H
+#define HENTT_KERNELS_HE_PIPELINE_H
+
+#include "gpu/simulator.h"
+#include "kernels/smem_kernel.h"
+
+namespace hentt::kernels {
+
+/** Cost breakdown of one ciphertext multiplication on the model. */
+struct HeMultiplyEstimate {
+    gpu::TimeEstimate ntt;        ///< 4 forward + 3 inverse transforms
+    gpu::TimeEstimate elementwise;///< tensor Hadamard passes
+    double total_us = 0;
+    double ntt_share = 0;         ///< ntt / total
+};
+
+/** Element-wise modmul kernel over the batch: c = a . b (one pass). */
+gpu::KernelStats HadamardKernel(std::size_t n, std::size_t np);
+
+/**
+ * Estimate a degree-1 x degree-1 ciphertext multiply at (n, np) with
+ * the given SMEM NTT configuration (use FindBestSmemConfig for the
+ * paper's tuned transform).
+ */
+HeMultiplyEstimate EstimateHeMultiply(const gpu::Simulator &sim,
+                                      const SmemConfig &ntt_config,
+                                      std::size_t np);
+
+}  // namespace hentt::kernels
+
+#endif  // HENTT_KERNELS_HE_PIPELINE_H

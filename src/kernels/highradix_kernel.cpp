@@ -1,0 +1,73 @@
+#include "kernels/highradix_kernel.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bitops.h"
+#include "kernels/cost_constants.h"
+
+namespace hentt::kernels {
+
+gpu::LaunchPlan
+HighRadixKernel::Plan(std::size_t n, std::size_t np) const
+{
+    if (!IsPowerOfTwo(n) || !IsPowerOfTwo(radix_) || radix_ < 2 ||
+        radix_ > n || np == 0) {
+        throw std::invalid_argument("invalid high-radix plan parameters");
+    }
+    const unsigned log_n = Log2Exact(n);
+    const unsigned log_r = Log2Exact(radix_);
+    const double batch = static_cast<double>(np);
+    const double data_bytes = static_cast<double>(n) * kNttElemBytes *
+                              batch;
+    const unsigned regs = gpu::NttRegisterCost(radix_);
+    const double spill_words =
+        regs > 255 ? static_cast<double>(regs - 255) : 0.0;
+    const double threads_per_pass =
+        static_cast<double>(n) / static_cast<double>(radix_) * batch;
+
+    gpu::LaunchPlan plan;
+    unsigned stage = 0;
+    while (stage < log_n) {
+        const unsigned k = std::min(log_r, log_n - stage);
+        gpu::KernelStats ks;
+        ks.name = "highradix-r" + std::to_string(radix_) + "-pass@" +
+                  std::to_string(stage);
+        ks.resources.regs_per_thread = regs;
+        ks.resources.threads_per_block = kRegisterKernelBlock;
+        ks.resources.grid_blocks = std::max<std::size_t>(
+            1,
+            static_cast<std::size_t>(threads_per_pass) /
+                kRegisterKernelBlock);
+        // Distinct twiddles in stages [stage, stage + k): 2^(stage+k) -
+        // 2^stage entries per prime.
+        const double tw_entries =
+            static_cast<double>((std::size_t{1} << (stage + k)) -
+                                (std::size_t{1} << stage));
+        ks.dram_read_bytes =
+            data_bytes + tw_entries * kTwiddleEntryBytes * batch;
+        ks.dram_write_bytes = data_bytes;
+        // Register spill: each spilled word round-trips to LMEM roughly
+        // twice over the per-thread NTT (store + reload).
+        ks.lmem_bytes = spill_words * 4.0 * 2.0 * 2.0 * threads_per_pass;
+        ks.transaction_bytes = ks.dram_read_bytes + ks.dram_write_bytes +
+                               ks.lmem_bytes;
+        ks.compute_slots = static_cast<double>(n / 2) * k * batch *
+                           kHighRadixButterflySlots;
+        ks.launches = 1;
+        plan.push_back(std::move(ks));
+        stage += k;
+    }
+    return plan;
+}
+
+void
+HighRadixKernel::Execute(NttBatchWorkload &workload) const
+{
+    for (std::size_t i = 0; i < workload.np(); ++i) {
+        workload.engine(i).Forward(workload.row(i),
+                                   NttAlgorithm::kHighRadix, radix_);
+    }
+}
+
+}  // namespace hentt::kernels

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Emulation of the register-based high-radix NTT kernel (paper Section
+ * V / Fig. 4): each thread gathers R points into registers, runs an
+ * R-point NTT privately, and scatters back, so an N-point NTT needs
+ * ceil(log2 N / log2 R) GMEM round trips instead of log2 N.
+ *
+ * The cost is register pressure: the calibrated register table
+ * (gpu::NttRegisterCost) caps occupancy at radix 32 and spills to LMEM
+ * at radix 64/128, reproducing the paper's finding that radix-16 is the
+ * sweet spot for NTT.
+ */
+
+#ifndef HENTT_KERNELS_HIGHRADIX_KERNEL_H
+#define HENTT_KERNELS_HIGHRADIX_KERNEL_H
+
+#include "gpu/kernel_stats.h"
+#include "kernels/batch_workload.h"
+
+namespace hentt::kernels {
+
+/** Register-resident high-radix kernel emulation. */
+class HighRadixKernel
+{
+  public:
+    explicit HighRadixKernel(std::size_t radix) : radix_(radix) {}
+
+    std::size_t radix() const { return radix_; }
+
+    /** Closed-form launch plan: one KernelStats per pass. */
+    gpu::LaunchPlan Plan(std::size_t n, std::size_t np) const;
+
+    /** Functional execution (bit-exact vs. NttRadix2). */
+    void Execute(NttBatchWorkload &workload) const;
+
+  private:
+    std::size_t radix_;
+};
+
+}  // namespace hentt::kernels
+
+#endif  // HENTT_KERNELS_HIGHRADIX_KERNEL_H

@@ -1,0 +1,52 @@
+#include "kernels/launcher.h"
+
+#include <cstdio>
+
+namespace hentt::kernels {
+
+EstimateRow
+EstimateRadix2(const gpu::Simulator &sim, std::size_t n, std::size_t np,
+               Reduction reduction)
+{
+    const Radix2Kernel kernel(reduction);
+    const char *tag = reduction == Reduction::kShoup
+                          ? "shoup"
+                          : (reduction == Reduction::kNative ? "native"
+                                                             : "barrett");
+    return {"radix2-" + std::string(tag),
+            sim.Estimate(kernel.Plan(n, np))};
+}
+
+EstimateRow
+EstimateHighRadix(const gpu::Simulator &sim, std::size_t n, std::size_t np,
+                  std::size_t radix)
+{
+    const HighRadixKernel kernel(radix);
+    return {"highradix-" + std::to_string(radix),
+            sim.Estimate(kernel.Plan(n, np))};
+}
+
+EstimateRow
+EstimateSmem(const gpu::Simulator &sim, const SmemConfig &cfg,
+             std::size_t np)
+{
+    const SmemKernel kernel(cfg);
+    std::string label = "smem-" + std::to_string(cfg.kernel1_size) + "x" +
+                        std::to_string(cfg.kernel2_size);
+    if (cfg.ot_stages > 0) {
+        label += "-ot" + std::to_string(cfg.ot_stages);
+    }
+    return {std::move(label), sim.Estimate(kernel.Plan(np))};
+}
+
+void
+PrintRow(const EstimateRow &row)
+{
+    std::printf("%-28s %10.1f us %10.1f MB  occ %4.0f%%  util %4.0f%%  %s\n",
+                row.label.c_str(), row.time_us(), row.dram_mb(),
+                row.estimate.occupancy * 100.0,
+                row.estimate.dram_utilization * 100.0,
+                row.estimate.memory_bound ? "mem-bound" : "compute-bound");
+}
+
+}  // namespace hentt::kernels

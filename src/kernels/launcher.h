@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Convenience front-end tying workloads, kernel emulations, and the
+ * performance model together; shared by the benches and examples.
+ */
+
+#ifndef HENTT_KERNELS_LAUNCHER_H
+#define HENTT_KERNELS_LAUNCHER_H
+
+#include <string>
+
+#include "gpu/simulator.h"
+#include "kernels/highradix_kernel.h"
+#include "kernels/radix2_kernel.h"
+#include "kernels/smem_kernel.h"
+
+namespace hentt::kernels {
+
+/** Result of estimating one NTT implementation on the model. */
+struct EstimateRow {
+    std::string label;
+    gpu::TimeEstimate estimate;
+
+    double time_us() const { return estimate.total_us; }
+    double dram_mb() const { return estimate.dram_bytes / 1.0e6; }
+};
+
+/** Estimate the per-stage radix-2 baseline. */
+EstimateRow EstimateRadix2(const gpu::Simulator &sim, std::size_t n,
+                           std::size_t np,
+                           Reduction reduction = Reduction::kShoup);
+
+/** Estimate the register-based high-radix kernel. */
+EstimateRow EstimateHighRadix(const gpu::Simulator &sim, std::size_t n,
+                              std::size_t np, std::size_t radix);
+
+/** Estimate the two-kernel SMEM implementation. */
+EstimateRow EstimateSmem(const gpu::Simulator &sim, const SmemConfig &cfg,
+                         std::size_t np);
+
+/** Print a one-line summary of a row (benches' table body). */
+void PrintRow(const EstimateRow &row);
+
+}  // namespace hentt::kernels
+
+#endif  // HENTT_KERNELS_LAUNCHER_H

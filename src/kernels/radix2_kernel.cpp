@@ -1,0 +1,69 @@
+#include "kernels/radix2_kernel.h"
+
+#include <stdexcept>
+
+#include "common/bitops.h"
+#include "kernels/cost_constants.h"
+
+namespace hentt::kernels {
+
+gpu::LaunchPlan
+Radix2Kernel::Plan(std::size_t n, std::size_t np) const
+{
+    if (!IsPowerOfTwo(n) || np == 0) {
+        throw std::invalid_argument("invalid radix-2 plan parameters");
+    }
+    const unsigned log_n = Log2Exact(n);
+    const double batch = static_cast<double>(np);
+    const double data_bytes = static_cast<double>(n) * kNttElemBytes *
+                              batch;
+    // Barrett needs no per-twiddle companion word; Shoup doubles it.
+    const double tw_entry = reduction_ == Reduction::kBarrett
+                                ? kNttElemBytes
+                                : kTwiddleEntryBytes;
+    double butterfly_slots = kShoupButterflySlots;
+    if (reduction_ == Reduction::kNative) {
+        butterfly_slots += kNativeModExtraSlots;
+    } else if (reduction_ == Reduction::kBarrett) {
+        butterfly_slots += kBarrettExtraSlots;
+    }
+
+    gpu::LaunchPlan plan;
+    plan.reserve(log_n);
+    for (unsigned s = 0; s < log_n; ++s) {
+        gpu::KernelStats k;
+        k.name = "radix2-stage-" + std::to_string(s);
+        k.resources.regs_per_thread = gpu::NttRegisterCost(2);
+        k.resources.threads_per_block = kRegisterKernelBlock;
+        k.resources.grid_blocks =
+            std::max<std::size_t>(1, n / 2 * np / kRegisterKernelBlock);
+        // Stream the batch once per stage; stage s reads 2^s distinct
+        // twiddles per prime (Fig. 8's doubling series).
+        k.dram_read_bytes = data_bytes +
+                            static_cast<double>(std::size_t{1} << s) *
+                                tw_entry * batch;
+        k.dram_write_bytes = data_bytes;
+        k.transaction_bytes = k.dram_read_bytes + k.dram_write_bytes;
+        k.compute_slots = static_cast<double>(n / 2) * batch *
+                          butterfly_slots;
+        k.launches = 1;
+        plan.push_back(std::move(k));
+    }
+    return plan;
+}
+
+void
+Radix2Kernel::Execute(NttBatchWorkload &workload) const
+{
+    NttAlgorithm algo = NttAlgorithm::kRadix2;
+    if (reduction_ == Reduction::kNative) {
+        algo = NttAlgorithm::kRadix2Native;
+    } else if (reduction_ == Reduction::kBarrett) {
+        algo = NttAlgorithm::kRadix2Barrett;
+    }
+    for (std::size_t i = 0; i < workload.np(); ++i) {
+        workload.engine(i).Forward(workload.row(i), algo);
+    }
+}
+
+}  // namespace hentt::kernels

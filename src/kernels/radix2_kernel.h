@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Emulation of the baseline radix-2 NTT GPU implementation (paper
+ * Algo. 1, one kernel launch per stage, one thread per butterfly).
+ *
+ * This is the paper's baseline configuration: log2(N) passes over the
+ * whole batch, streaming data plus a per-stage twiddle slice each pass,
+ * which makes it severely main-memory-bandwidth bound (Table II's
+ * "Radix-2" column; 86.7% of peak DRAM bandwidth at batch 21).
+ */
+
+#ifndef HENTT_KERNELS_RADIX2_KERNEL_H
+#define HENTT_KERNELS_RADIX2_KERNEL_H
+
+#include "gpu/kernel_stats.h"
+#include "kernels/batch_workload.h"
+
+namespace hentt::kernels {
+
+/** Twiddle-multiply strategy (the Fig. 1 comparison axis). */
+enum class Reduction { kShoup, kNative, kBarrett };
+
+/** Baseline per-stage radix-2 kernel emulation. */
+class Radix2Kernel
+{
+  public:
+    explicit Radix2Kernel(Reduction reduction = Reduction::kShoup)
+        : reduction_(reduction)
+    {
+    }
+
+    /** Closed-form launch plan: one KernelStats per stage. */
+    gpu::LaunchPlan Plan(std::size_t n, std::size_t np) const;
+
+    /** Functional execution (bit-exact vs. NttEngine). */
+    void Execute(NttBatchWorkload &workload) const;
+
+  private:
+    Reduction reduction_;
+};
+
+}  // namespace hentt::kernels
+
+#endif  // HENTT_KERNELS_RADIX2_KERNEL_H

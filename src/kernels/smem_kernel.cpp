@@ -1,0 +1,198 @@
+#include "kernels/smem_kernel.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bitops.h"
+#include "kernels/cost_constants.h"
+
+namespace hentt::kernels {
+
+namespace {
+
+/** ceil(log_{r1}(radix)) — per-thread NTT passes inside one kernel. */
+unsigned
+PassCount(std::size_t radix, std::size_t r1)
+{
+    const unsigned total = Log2Exact(radix);
+    const unsigned per = Log2Exact(r1);
+    return (total + per - 1) / per;
+}
+
+}  // namespace
+
+SmemKernel::SmemKernel(SmemConfig config) : config_(config)
+{
+    if (!IsPowerOfTwo(config_.kernel1_size) ||
+        !IsPowerOfTwo(config_.kernel2_size) ||
+        config_.kernel1_size < 2 || config_.kernel2_size < 2) {
+        throw std::invalid_argument("kernel sizes must be powers of two");
+    }
+    if (config_.points_per_thread != 2 && config_.points_per_thread != 4 &&
+        config_.points_per_thread != 8) {
+        throw std::invalid_argument("points_per_thread must be 2, 4, or 8");
+    }
+    if (config_.ot_stages > Log2Exact(config_.n())) {
+        throw std::invalid_argument("ot_stages exceeds stage count");
+    }
+}
+
+unsigned
+SmemKernel::SyncCount(std::size_t radix, std::size_t points_per_thread)
+{
+    return PassCount(radix, points_per_thread) - 1;
+}
+
+gpu::KernelStats
+SmemKernel::PlanKernel1(std::size_t np) const
+{
+    const std::size_t n = config_.n();
+    const std::size_t n1 = config_.kernel1_size;
+    const std::size_t r1 = config_.points_per_thread;
+    const double batch = static_cast<double>(np);
+    const double data_bytes = static_cast<double>(n) * kNttElemBytes *
+                              batch;
+    const unsigned passes = PassCount(n1, r1);
+    const unsigned syncs = passes - 1;
+
+    gpu::KernelStats k;
+    k.name = "smem-kernel1-r" + std::to_string(n1);
+    k.resources.regs_per_thread = gpu::SmemKernelRegisterCost(r1);
+    k.resources.threads_per_block = kSmemKernelBlock;
+    k.resources.grid_blocks = std::max<std::size_t>(
+        1,
+        static_cast<std::size_t>(static_cast<double>(n) / r1 * batch) /
+            kSmemKernelBlock);
+    // Block working set: every resident point, plus the preloaded
+    // twiddle slice (Fig. 9's configuration).
+    const double table_per_block =
+        2.0 * static_cast<double>(n1) * kNttElemBytes;
+    k.resources.smem_per_block =
+        static_cast<std::size_t>(r1 * kSmemKernelBlock * kNttElemBytes) +
+        (config_.preload_twiddles
+             ? static_cast<std::size_t>(table_per_block)
+             : 0);
+
+    // Kernel-1 covers stages 1..log2(N1): N1 - 1 distinct twiddles per
+    // prime; the distinct working set is L2-resident, so DRAM sees it
+    // once, while per-block (re)fetches load the transaction path.
+    const double tw_dram = static_cast<double>(n1) * kTwiddleEntryBytes *
+                           batch;
+    const double blocks = static_cast<double>(k.resources.grid_blocks);
+    const double tw_tx = config_.preload_twiddles
+                             ? blocks * table_per_block
+                             : blocks * table_per_block * (passes + 1);
+
+    // Fig. 6: without block fusion the strided loads waste 3/4 of each
+    // 32-byte sector. Most of the over-fetch hits in L1/L2 (neighbor
+    // lanes consume the same lines on later load steps), so the DRAM
+    // side only sees a fraction of it; the rest shows up as per-lane
+    // sector replays, i.e. extra issue slots.
+    const double read_factor =
+        config_.coalesced ? 1.0 : kUncoalescedDramReadFactor;
+    const double tx_read_expansion = config_.coalesced ? 1.0 : 2.0;
+    k.dram_read_bytes = data_bytes * read_factor + tw_dram;
+    k.dram_write_bytes = data_bytes;
+    k.transaction_bytes =
+        data_bytes * tx_read_expansion + data_bytes + tw_tx;
+    const double butterflies =
+        static_cast<double>(n / 2) * Log2Exact(n1) * batch;
+    double slots_per_butterfly = kSmemButterflySlots;
+    if (!config_.coalesced) {
+        slots_per_butterfly += kUncoalescedExtraSlots;
+    }
+    if (!config_.preload_twiddles) {
+        slots_per_butterfly += kNoPreloadTwiddleSlots;
+    }
+    k.compute_slots =
+        butterflies * slots_per_butterfly +
+        static_cast<double>(syncs) * static_cast<double>(n) * batch *
+            kSyncElementSlots;
+    k.block_syncs = syncs;
+    k.launches = 1;
+    return k;
+}
+
+gpu::KernelStats
+SmemKernel::PlanKernel2(std::size_t np) const
+{
+    const std::size_t n = config_.n();
+    const std::size_t n1 = config_.kernel1_size;
+    const std::size_t n2 = config_.kernel2_size;
+    const std::size_t r1 = config_.points_per_thread;
+    const double batch = static_cast<double>(np);
+    const double data_bytes = static_cast<double>(n) * kNttElemBytes *
+                              batch;
+    const unsigned syncs = PassCount(n2, r1) - 1;
+
+    gpu::KernelStats k;
+    k.name = "smem-kernel2-r" + std::to_string(n2);
+    k.resources.regs_per_thread = gpu::SmemKernelRegisterCost(r1);
+    k.resources.threads_per_block = kSmemKernelBlock;
+    k.resources.grid_blocks = std::max<std::size_t>(
+        1,
+        static_cast<std::size_t>(static_cast<double>(n) / r1 * batch) /
+            kSmemKernelBlock);
+    k.resources.smem_per_block =
+        static_cast<std::size_t>(r1 * kSmemKernelBlock * kNttElemBytes);
+
+    // Kernel-2 covers stages log2(N1)+1 .. log2(N): N - N1 distinct
+    // twiddles per prime — the table bulk (Fig. 8). On-the-fly
+    // twiddling replaces the last ot_stages stages' entries (all
+    // indices >= N / 2^s) with the factorized lo/hi tables.
+    double tw_entries = static_cast<double>(n - n1);
+    double extra_slots = 0.0;
+    if (config_.ot_stages > 0) {
+        const double kept = static_cast<double>(n) /
+                            std::pow(2.0, config_.ot_stages);
+        tw_entries = std::max(0.0, kept - static_cast<double>(n1));
+        const std::size_t ot_base = std::min(config_.ot_base, 2 * n);
+        tw_entries += static_cast<double>(ot_base) +
+                      2.0 * static_cast<double>(n) /
+                          static_cast<double>(ot_base);
+        // One extra Shoup multiply + exponent arithmetic per butterfly
+        // in each OT stage.
+        extra_slots = static_cast<double>(n / 2) * config_.ot_stages *
+                      batch * kOtExtraSlots;
+    }
+
+    k.dram_read_bytes = data_bytes + tw_entries * kTwiddleEntryBytes *
+                                         batch;
+    k.dram_write_bytes = data_bytes;
+    k.transaction_bytes = k.dram_read_bytes + k.dram_write_bytes;
+    k.compute_slots =
+        static_cast<double>(n / 2) * Log2Exact(n2) * batch *
+            kSmemButterflySlots +
+        static_cast<double>(syncs) * static_cast<double>(n) * batch *
+            kSyncElementSlots +
+        extra_slots;
+    k.block_syncs = syncs;
+    k.launches = 1;
+    return k;
+}
+
+gpu::LaunchPlan
+SmemKernel::Plan(std::size_t np) const
+{
+    return {PlanKernel1(np), PlanKernel2(np)};
+}
+
+void
+SmemKernel::Execute(NttBatchWorkload &workload) const
+{
+    if (workload.n() != config_.n()) {
+        throw std::invalid_argument("workload size != N1 * N2");
+    }
+    for (std::size_t i = 0; i < workload.np(); ++i) {
+        if (config_.ot_stages > 0) {
+            workload.engine(i).Forward(workload.row(i),
+                                       NttAlgorithm::kRadix2Ot,
+                                       /*radix=*/16, config_.ot_stages);
+        } else {
+            workload.engine(i).Forward(workload.row(i),
+                                       NttAlgorithm::kRadix2);
+        }
+    }
+}
+
+}  // namespace hentt::kernels

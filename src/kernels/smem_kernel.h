@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Emulation of the shared-memory (SMEM) two-kernel NTT implementation
+ * (paper Sections V-VII, Figs. 2, 6, 7, 9, 10, 11, 12).
+ *
+ * An N-point NTT is split into Kernel-1 (radix N1, strided access) and
+ * Kernel-2 (radix N2, contiguous access) with N = N1 * N2, so the data
+ * is loaded from GMEM only twice. Inside each kernel, threads perform
+ * r1-point per-thread NTTs (r1 = 2, 4, or 8) with block-level
+ * synchronizations through SMEM between passes (Fig. 10's trade-off:
+ * smaller r1 -> fewer registers but more synchronizations).
+ *
+ * Options model the paper's individual optimizations:
+ *  - coalesced:  fuse thread blocks so Kernel-1's strided loads coalesce
+ *                (Fig. 6/7; off = 4x transaction expansion on the data)
+ *  - preload:    stage Kernel-1's small twiddle slice in SMEM (Fig. 9)
+ *  - ot_stages:  generate twiddles of the last s stages on the fly
+ *                (Section VII; shrinks Kernel-2's table traffic)
+ */
+
+#ifndef HENTT_KERNELS_SMEM_KERNEL_H
+#define HENTT_KERNELS_SMEM_KERNEL_H
+
+#include "gpu/kernel_stats.h"
+#include "kernels/batch_workload.h"
+
+namespace hentt::kernels {
+
+/** Configuration of the two-kernel SMEM implementation. */
+struct SmemConfig {
+    std::size_t kernel1_size = 512;  ///< N1 (radix of Kernel-1)
+    std::size_t kernel2_size = 256;  ///< N2 (radix of Kernel-2)
+    std::size_t points_per_thread = 8;  ///< r1 (2, 4, or 8)
+    bool coalesced = true;
+    bool preload_twiddles = true;
+    unsigned ot_stages = 0;          ///< OT on the last s stages
+    std::size_t ot_base = 1024;
+
+    std::size_t n() const { return kernel1_size * kernel2_size; }
+};
+
+/** Two-kernel SMEM NTT emulation. */
+class SmemKernel
+{
+  public:
+    explicit SmemKernel(SmemConfig config);
+
+    const SmemConfig &config() const { return config_; }
+
+    /** Launch plan: exactly two KernelStats (Kernel-1, Kernel-2). */
+    gpu::LaunchPlan Plan(std::size_t np) const;
+
+    /** Kernel-1 alone (the Fig. 7 / Fig. 9 experiments). */
+    gpu::KernelStats PlanKernel1(std::size_t np) const;
+    /** Kernel-2 alone. */
+    gpu::KernelStats PlanKernel2(std::size_t np) const;
+
+    /** Functional execution (bit-exact vs. NttRadix2 / NttRadix2Ot). */
+    void Execute(NttBatchWorkload &workload) const;
+
+    /** Block-level synchronizations per kernel for a radix and r1. */
+    static unsigned SyncCount(std::size_t radix,
+                              std::size_t points_per_thread);
+
+  private:
+    SmemConfig config_;
+};
+
+}  // namespace hentt::kernels
+
+#endif  // HENTT_KERNELS_SMEM_KERNEL_H

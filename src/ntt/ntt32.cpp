@@ -1,0 +1,136 @@
+#include "ntt/ntt32.h"
+
+#include <stdexcept>
+
+#include "common/bitops.h"
+#include "common/modarith.h"
+#include "common/primegen.h"
+
+namespace hentt {
+
+namespace {
+
+constexpr u32
+AddMod32(u32 a, u32 b, u32 p)
+{
+    const u32 s = a + b;  // p < 2^30: no 32-bit overflow
+    return s >= p ? s - p : s;
+}
+
+constexpr u32
+SubMod32(u32 a, u32 b, u32 p)
+{
+    return a >= b ? a - b : a + p - b;
+}
+
+constexpr u32
+MulModNative32(u32 a, u32 b, u32 p)
+{
+    return static_cast<u32>(static_cast<u64>(a) * b % p);
+}
+
+}  // namespace
+
+Ntt32Engine::Ntt32Engine(std::size_t n, u32 p) : n_(n), p_(p)
+{
+    if (!IsPowerOfTwo(n) || n < 2) {
+        throw std::invalid_argument("NTT size must be a power of two >= 2");
+    }
+    if (p < 2 || p >= (u32{1} << 30)) {
+        throw std::invalid_argument("32-bit path requires p < 2^30");
+    }
+    if ((p - 1) % (2 * n) != 0) {
+        throw std::invalid_argument("prime must satisfy p == 1 (mod 2N)");
+    }
+    psi_ = static_cast<u32>(FindPrimitiveRoot(2 * n, p));
+    const u32 psi_inv = static_cast<u32>(InvMod(psi_, p));
+    n_inv_ = static_cast<u32>(InvMod(static_cast<u64>(n), p));
+    n_inv_shoup_ = ShoupPrecompute32(n_inv_, p);
+
+    const unsigned bits = Log2Exact(n);
+    fwd_.resize(n);
+    fwd_shoup_.resize(n);
+    inv_.resize(n);
+    inv_shoup_.resize(n);
+    u32 power = 1, power_inv = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t r = BitReverse(i, bits);
+        fwd_[r] = power;
+        fwd_shoup_[r] = ShoupPrecompute32(power, p);
+        inv_[r] = power_inv;
+        inv_shoup_[r] = ShoupPrecompute32(power_inv, p);
+        power = MulModNative32(power, psi_, p);
+        power_inv = MulModNative32(power_inv, psi_inv, p);
+    }
+}
+
+void
+Ntt32Engine::Forward(std::span<u32> a) const
+{
+    if (a.size() != n_) {
+        throw std::invalid_argument("span size != transform size");
+    }
+    std::size_t t = n_ / 2;
+    for (std::size_t m = 1; m < n_; m <<= 1) {
+        for (std::size_t j = 0; j < m; ++j) {
+            const u32 w = fwd_[m + j];
+            const u32 w_bar = fwd_shoup_[m + j];
+            const std::size_t base = 2 * j * t;
+            for (std::size_t k = base; k < base + t; ++k) {
+                const u32 u = a[k];
+                const u32 v = MulModShoup32(a[k + t], w, w_bar, p_);
+                a[k] = AddMod32(u, v, p_);
+                a[k + t] = SubMod32(u, v, p_);
+            }
+        }
+        t >>= 1;
+    }
+}
+
+void
+Ntt32Engine::Inverse(std::span<u32> a) const
+{
+    if (a.size() != n_) {
+        throw std::invalid_argument("span size != transform size");
+    }
+    std::size_t t = 1;
+    for (std::size_t m = n_; m > 1; m >>= 1) {
+        const std::size_t h = m / 2;
+        for (std::size_t j = 0; j < h; ++j) {
+            const u32 w = inv_[h + j];
+            const u32 w_bar = inv_shoup_[h + j];
+            const std::size_t base = 2 * j * t;
+            for (std::size_t k = base; k < base + t; ++k) {
+                const u32 u = a[k];
+                const u32 v = a[k + t];
+                a[k] = AddMod32(u, v, p_);
+                a[k + t] =
+                    MulModShoup32(SubMod32(u, v, p_), w, w_bar, p_);
+            }
+        }
+        t <<= 1;
+    }
+    for (u32 &x : a) {
+        x = MulModShoup32(x, n_inv_, n_inv_shoup_, p_);
+    }
+}
+
+std::vector<u32>
+Ntt32Engine::Multiply(std::span<const u32> a, std::span<const u32> b) const
+{
+    if (a.size() != n_ || b.size() != n_) {
+        throw std::invalid_argument("span size != transform size");
+    }
+    std::vector<u32> fa(a.begin(), a.end());
+    std::vector<u32> fb(b.begin(), b.end());
+    Forward(fa);
+    Forward(fb);
+    std::vector<u32> fc(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+        fc[i] = MulModNative32(fa[i], fb[i], p_);
+    }
+    Inverse(fc);
+    return fc;
+}
+
+}  // namespace hentt

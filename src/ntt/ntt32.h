@@ -1,0 +1,80 @@
+/**
+ * @file
+ * 32-bit-word NTT path (paper Section IV, "32b vs 64b word size").
+ *
+ * With <= 30-bit primes the products fit in 64 bits, so every butterfly
+ * uses plain 64-bit arithmetic instead of 128-bit — cheaper per
+ * operation, but a fixed ciphertext-modulus budget then needs twice as
+ * many primes (twice the rows, twice the transforms). The paper measures
+ * the net effect at ~5%; `bench/ablation_word_size` explores it on the
+ * model, and this module provides the real implementation so the
+ * trade-off can also be measured on the CPU (micro_ntt32 cases in
+ * bench/micro_ntt.cpp).
+ */
+
+#ifndef HENTT_NTT_NTT32_H
+#define HENTT_NTT_NTT32_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/int128.h"
+
+namespace hentt {
+
+/** Self-contained 32-bit negacyclic NTT engine (p < 2^30). */
+class Ntt32Engine
+{
+  public:
+    /**
+     * @param n  power-of-two transform size
+     * @param p  prime < 2^30 with p == 1 (mod 2n)
+     */
+    Ntt32Engine(std::size_t n, u32 p);
+
+    std::size_t size() const { return n_; }
+    u32 modulus() const { return p_; }
+    u32 psi() const { return psi_; }
+
+    /** Forward negacyclic NTT, in place, bit-reversed output. */
+    void Forward(std::span<u32> a) const;
+    /** Inverse, natural-order output, N^{-1} folded in. */
+    void Inverse(std::span<u32> a) const;
+
+    /** Negacyclic product c = a * b mod (X^N + 1, p). */
+    std::vector<u32> Multiply(std::span<const u32> a,
+                              std::span<const u32> b) const;
+
+  private:
+    std::size_t n_;
+    u32 p_;
+    u32 psi_;
+    u32 n_inv_;
+    // Twiddles with 32-bit Shoup companions (floor(w * 2^32 / p)).
+    std::vector<u32> fwd_, fwd_shoup_, inv_, inv_shoup_;
+    u32 n_inv_shoup_;
+};
+
+/** Shoup companion for the 32-bit pipeline. */
+constexpr u32
+ShoupPrecompute32(u32 w, u32 p)
+{
+    return static_cast<u32>((static_cast<u64>(w) << 32) / p);
+}
+
+/** 32-bit Shoup modmul, strict output < p. */
+constexpr u32
+MulModShoup32(u32 b, u32 w, u32 w_bar, u32 p)
+{
+    const u32 q = static_cast<u32>((static_cast<u64>(b) * w_bar) >> 32);
+    u32 r = b * w - q * p;
+    if (r >= p) {
+        r -= p;
+    }
+    return r;
+}
+
+}  // namespace hentt
+
+#endif  // HENTT_NTT_NTT32_H

@@ -1,0 +1,78 @@
+#include "ntt/ntt_engine.h"
+
+#include <stdexcept>
+
+#include "common/modarith.h"
+
+namespace hentt {
+
+NttEngine::NttEngine(std::size_t n, u64 p, std::size_t ot_base)
+    : table_(n, p),
+      ot_(n, p, std::min(ot_base, 2 * n)),
+      stockham_(std::make_unique<StockhamNtt>(n, p))
+{
+}
+
+void
+NttEngine::Forward(std::span<u64> a, NttAlgorithm algo, std::size_t radix,
+                   unsigned ot_stages) const
+{
+    switch (algo) {
+      case NttAlgorithm::kRadix2:
+        NttRadix2(a, table_);
+        return;
+      case NttAlgorithm::kRadix2Native:
+        NttRadix2Native(a, table_);
+        return;
+      case NttAlgorithm::kRadix2Barrett:
+        NttRadix2Barrett(a, table_);
+        return;
+      case NttAlgorithm::kStockham: {
+        std::vector<u64> in(a.begin(), a.end());
+        const std::vector<u64> out = stockham_->Forward(in);
+        std::copy(out.begin(), out.end(), a.begin());
+        return;
+      }
+      case NttAlgorithm::kHighRadix:
+        NttHighRadix(a, table_, radix);
+        return;
+      case NttAlgorithm::kRadix2Ot:
+        NttRadix2Ot(a, table_, ot_, ot_stages);
+        return;
+    }
+    throw std::invalid_argument("unknown NTT algorithm");
+}
+
+void
+NttEngine::Inverse(std::span<u64> a) const
+{
+    InttRadix2(a, table_);
+}
+
+void
+NttEngine::Hadamard(std::span<const u64> a, std::span<const u64> b,
+                    std::span<u64> c) const
+{
+    if (a.size() != size() || b.size() != size() || c.size() != size()) {
+        throw std::invalid_argument("span size != transform size");
+    }
+    const u64 p = modulus();
+    for (std::size_t i = 0; i < size(); ++i) {
+        c[i] = MulModNative(a[i], b[i], p);
+    }
+}
+
+std::vector<u64>
+NttEngine::Multiply(std::span<const u64> a, std::span<const u64> b) const
+{
+    std::vector<u64> fa(a.begin(), a.end());
+    std::vector<u64> fb(b.begin(), b.end());
+    NttRadix2(fa, table_);
+    NttRadix2(fb, table_);
+    std::vector<u64> fc(size());
+    Hadamard(fa, fb, fc);
+    InttRadix2(fc, table_);
+    return fc;
+}
+
+}  // namespace hentt

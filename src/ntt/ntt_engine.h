@@ -1,0 +1,89 @@
+/**
+ * @file
+ * NttEngine — the library's front door for negacyclic NTTs.
+ *
+ * Owns the twiddle tables for one (N, p) pair, dispatches between the
+ * implemented algorithms, and offers element-wise (Hadamard) products in
+ * the evaluation domain, which together with Forward/Inverse gives the
+ * O(N log N) negacyclic polynomial multiplication of paper Section III-A:
+ *
+ *     c = INTT(NTT(a) . NTT(b))
+ */
+
+#ifndef HENTT_NTT_NTT_ENGINE_H
+#define HENTT_NTT_NTT_ENGINE_H
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ntt/ntt_highradix.h"
+#include "ntt/ntt_radix2.h"
+#include "ntt/ntt_stockham.h"
+#include "ntt/ot_twiddle.h"
+#include "ntt/twiddle_table.h"
+
+namespace hentt {
+
+/** Algorithm selector for NttEngine::Forward. */
+enum class NttAlgorithm {
+    kRadix2,        ///< paper Algo. 1 (Cooley-Tukey, Shoup modmul)
+    kRadix2Native,  ///< Algo. 1 with native `%` reduction (Fig. 1)
+    kRadix2Barrett, ///< Algo. 1 with Barrett reduction (ablation)
+    kStockham,      ///< paper Algo. 3 (out-of-place autosort)
+    kHighRadix,     ///< blocked stage groups (Section V)
+    kRadix2Ot,      ///< OT on the trailing stages (Section VII)
+};
+
+/** Per-(N, p) transform engine. */
+class NttEngine
+{
+  public:
+    /**
+     * @param n          power-of-two transform size
+     * @param p          prime with p == 1 (mod 2n)
+     * @param ot_base    base for the on-the-fly twiddling table
+     */
+    explicit NttEngine(std::size_t n, u64 p, std::size_t ot_base = 1024);
+
+    std::size_t size() const { return table_.size(); }
+    u64 modulus() const { return table_.modulus(); }
+    const TwiddleTable &table() const { return table_; }
+    const OtTwiddleTable &ot_table() const { return ot_; }
+
+    /**
+     * Forward negacyclic NTT, in place. Natural-order input; output in
+     * bit-reversed order for the Cooley-Tukey family and natural order
+     * for Stockham (the distinction is irrelevant for HE element-wise
+     * use, as the paper notes).
+     *
+     * @param radix      high-radix group size (kHighRadix only)
+     * @param ot_stages  trailing OT stages (kRadix2Ot only)
+     */
+    void Forward(std::span<u64> a,
+                 NttAlgorithm algo = NttAlgorithm::kRadix2,
+                 std::size_t radix = 16, unsigned ot_stages = 1) const;
+
+    /** Inverse negacyclic NTT, in place (expects kRadix2-family order). */
+    void Inverse(std::span<u64> a) const;
+
+    /** Element-wise product c[i] = a[i] * b[i] mod p. */
+    void Hadamard(std::span<const u64> a, std::span<const u64> b,
+                  std::span<u64> c) const;
+
+    /**
+     * Negacyclic polynomial product via NTT: returns
+     * a(X) * b(X) mod (X^N + 1, p).
+     */
+    std::vector<u64> Multiply(std::span<const u64> a,
+                              std::span<const u64> b) const;
+
+  private:
+    TwiddleTable table_;
+    OtTwiddleTable ot_;
+    std::unique_ptr<StockhamNtt> stockham_;  // lazily built (heavyweight)
+};
+
+}  // namespace hentt
+
+#endif  // HENTT_NTT_NTT_ENGINE_H

@@ -1,0 +1,85 @@
+#include "ntt/ntt_highradix.h"
+
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/modarith.h"
+
+namespace hentt {
+
+std::size_t
+HighRadixPassCount(std::size_t n, std::size_t radix)
+{
+    const std::size_t total = Log2Exact(n);
+    const std::size_t per_pass = Log2Exact(radix);
+    return (total + per_pass - 1) / per_pass;
+}
+
+void
+NttHighRadix(std::span<u64> a, const TwiddleTable &table, std::size_t radix)
+{
+    const std::size_t n = a.size();
+    if (n != table.size()) {
+        throw std::invalid_argument("span size != twiddle table size");
+    }
+    if (!IsPowerOfTwo(radix) || radix < 2 || radix > n) {
+        throw std::invalid_argument("radix must be a power of two in "
+                                    "[2, N]");
+    }
+    const u64 p = table.modulus();
+    const unsigned log_n = Log2Exact(n);
+    const unsigned log_r = Log2Exact(radix);
+
+    std::vector<u64> local(radix);
+    unsigned stage = 0;  // global radix-2 stage counter, m = 2^stage
+    while (stage < log_n) {
+        const unsigned k = std::min<unsigned>(log_r, log_n - stage);
+        const std::size_t r = std::size_t{1} << k;
+        // At global stage s the butterfly stride is N / 2^{s+1}; the last
+        // stage in this group has the smallest stride, which is also the
+        // gather stride for the closed R-element set.
+        const std::size_t t_min = n >> (stage + k);
+        const std::size_t groups = n / r;
+        for (std::size_t g = 0; g < groups; ++g) {
+            // Work item g handles elements base + i * t_min where the
+            // base enumerates (block offset, intra-block position).
+            const std::size_t block = g / t_min;
+            const std::size_t offset = g % t_min;
+            const std::size_t base = block * (r * t_min) + offset;
+            for (std::size_t i = 0; i < r; ++i) {
+                local[i] = a[base + i * t_min];
+            }
+            // Run the k radix-2 stages on the local buffer. Local stride
+            // halves from r/2 down to 1; global twiddle indices are
+            // recovered from the element's absolute position.
+            for (unsigned s = 0; s < k; ++s) {
+                const std::size_t m = std::size_t{1} << (stage + s);
+                const std::size_t t = n >> (stage + s + 1);
+                const std::size_t half = r >> (s + 1);  // local stride
+                for (std::size_t pair = 0; pair < r / 2; ++pair) {
+                    const std::size_t grp = pair / half;
+                    const std::size_t pos = pair % half;
+                    const std::size_t lo = grp * 2 * half + pos;
+                    const std::size_t hi = lo + half;
+                    // Absolute index of the low element determines the
+                    // global butterfly group j = idx / (2t).
+                    const std::size_t abs_lo = base + lo * t_min;
+                    const std::size_t w_idx = m + abs_lo / (2 * t);
+                    const u64 u = local[lo];
+                    const u64 v = MulModShoup(local[hi], table.w(w_idx),
+                                              table.w_shoup(w_idx), p);
+                    local[lo] = AddMod(u, v, p);
+                    local[hi] = SubMod(u, v, p);
+                }
+            }
+            for (std::size_t i = 0; i < r; ++i) {
+                a[base + i * t_min] = local[i];
+            }
+        }
+        stage += k;
+    }
+}
+
+}  // namespace hentt

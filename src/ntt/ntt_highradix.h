@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Blocked ("register-based high-radix") negacyclic NTT.
+ *
+ * Groups log2(R) consecutive radix-2 Cooley-Tukey stages and executes
+ * them on an R-element local buffer before writing back — the CPU
+ * analogue of the paper's register-resident high-radix GPU kernel
+ * (Section V / Fig. 4): each work item gathers R strided elements,
+ * performs an R-point NTT privately, and scatters the results, cutting
+ * main-memory round-trips from log2(N) to ceil(log2(N)/log2(R)).
+ *
+ * The output is bit-for-bit identical to NttRadix2.
+ */
+
+#ifndef HENTT_NTT_NTT_HIGHRADIX_H
+#define HENTT_NTT_NTT_HIGHRADIX_H
+
+#include <cstddef>
+#include <span>
+
+#include "ntt/twiddle_table.h"
+
+namespace hentt {
+
+/**
+ * Forward negacyclic NTT processed in stage groups of log2(radix).
+ *
+ * @param a      natural-order input; bit-reversed output (same as
+ *               NttRadix2)
+ * @param table  twiddle table for (a.size(), p)
+ * @param radix  power of two in [2, a.size()]
+ */
+void NttHighRadix(std::span<u64> a, const TwiddleTable &table,
+                  std::size_t radix);
+
+/**
+ * Number of full-array passes (GMEM round-trips on the GPU) the
+ * high-radix schedule needs: ceil(log2(N) / log2(R)).
+ */
+std::size_t HighRadixPassCount(std::size_t n, std::size_t radix);
+
+}  // namespace hentt
+
+#endif  // HENTT_NTT_NTT_HIGHRADIX_H

@@ -1,0 +1,91 @@
+#include "ntt/ntt_lazy.h"
+
+#include <stdexcept>
+
+#include "common/modarith.h"
+
+namespace hentt {
+
+namespace {
+
+void
+CheckSize(std::span<u64> a, const TwiddleTable &table)
+{
+    if (a.size() != table.size()) {
+        throw std::invalid_argument("span size != twiddle table size");
+    }
+}
+
+}  // namespace
+
+void
+NttRadix2Lazy(std::span<u64> a, const TwiddleTable &table)
+{
+    CheckSize(a, table);
+    const std::size_t n = a.size();
+    const u64 p = table.modulus();
+
+    std::size_t t = n / 2;
+    for (std::size_t m = 1; m < n; m <<= 1) {
+        for (std::size_t j = 0; j < m; ++j) {
+            const u64 w = table.w(m + j);
+            const u64 w_bar = table.w_shoup(m + j);
+            const std::size_t base = 2 * j * t;
+            for (std::size_t k = base; k < base + t; ++k) {
+                LazyButterfly(a[k], a[k + t], w, w_bar, p);
+            }
+        }
+        t >>= 1;
+    }
+    // Outputs are < 4p; fold back into [0, p).
+    const u64 two_p = 2 * p;
+    for (u64 &x : a) {
+        if (x >= two_p) {
+            x -= two_p;
+        }
+        if (x >= p) {
+            x -= p;
+        }
+    }
+}
+
+void
+InttRadix2Lazy(std::span<u64> a, const TwiddleTable &table)
+{
+    CheckSize(a, table);
+    const std::size_t n = a.size();
+    const u64 p = table.modulus();
+    const u64 two_p = 2 * p;
+
+    // Gentleman-Sande with the invariant: all values stay < 2p.
+    std::size_t t = 1;
+    for (std::size_t m = n; m > 1; m >>= 1) {
+        const std::size_t h = m / 2;
+        for (std::size_t j = 0; j < h; ++j) {
+            const u64 w = table.w_inv(h + j);
+            const u64 w_bar = table.w_inv_shoup(h + j);
+            const std::size_t base = 2 * j * t;
+            for (std::size_t k = base; k < base + t; ++k) {
+                const u64 u = a[k];
+                const u64 v = a[k + t];
+                u64 s = u + v;  // < 4p
+                if (s >= two_p) {
+                    s -= two_p;
+                }
+                a[k] = s;
+                // (u - v) * w, lazy: Harvey's bound keeps it < 2p for
+                // any 64-bit multiplicand.
+                const u64 d = u + two_p - v;  // < 4p
+                const u64 q = MulHi64(d, w_bar);
+                a[k + t] = d * w - q * p;     // < 2p
+            }
+        }
+        t <<= 1;
+    }
+    // Final N^{-1} scaling; MulModShoup fully reduces any 64-bit input.
+    for (u64 &x : a) {
+        x = MulModShoup(x, table.n_inv(), table.n_inv_shoup(), p);
+    }
+}
+
+}  // namespace hentt

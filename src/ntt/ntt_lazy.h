@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Lazy-reduction (Harvey-style) radix-2 NTT — the butterfly pipeline the
+ * paper's Algo. 2 actually specifies: operands live in [0, 4p) and are
+ * only reduced when they would overflow, which removes the per-butterfly
+ * conditional subtractions from the critical path. This is the butterfly
+ * GPU implementations use (it shortens the dependent-latency chain the
+ * paper's native-modulo analysis highlights); the strict-range
+ * NttRadix2 keeps the library's reference semantics simple.
+ *
+ * Requires p < 2^62 so 4p fits in 64 bits (common/modarith.h enforces
+ * this bound for every modulus in the library).
+ */
+
+#ifndef HENTT_NTT_NTT_LAZY_H
+#define HENTT_NTT_NTT_LAZY_H
+
+#include <span>
+
+#include "ntt/twiddle_table.h"
+
+namespace hentt {
+
+/**
+ * Forward negacyclic NTT with lazy [0, 4p) butterflies (paper Algo. 2).
+ * Accepts inputs < p (or more generally < 4p), produces fully reduced
+ * outputs (< p) after a final correction pass. Bit-identical to
+ * NttRadix2 for inputs < p.
+ */
+void NttRadix2Lazy(std::span<u64> a, const TwiddleTable &table);
+
+/**
+ * Inverse with lazy butterflies, fully reduced natural-order output.
+ * Bit-identical to InttRadix2.
+ */
+void InttRadix2Lazy(std::span<u64> a, const TwiddleTable &table);
+
+/**
+ * The paper's Algo. 2 butterfly in isolation (for tests and docs):
+ * given A, B in [0, 4p), produces A' = A + B*Psi, B' = A - B*Psi with
+ * both outputs in [0, 4p).
+ *
+ * @param a,b    in/out operands, each < 4p
+ * @param w      twiddle < p
+ * @param w_bar  Shoup companion of w
+ * @param p      modulus < 2^62
+ */
+inline void
+LazyButterfly(u64 &a, u64 &b, u64 w, u64 w_bar, u64 p)
+{
+    const u64 two_p = 2 * p;
+    // Keep A below 2p before accumulating.
+    if (a >= two_p) {
+        a -= two_p;
+    }
+    // B * w with lazy Shoup reduction: result < 2p for any b < 4p
+    // because the quotient approximation is exact mod 2^64.
+    const u64 q = MulHi64(b, w_bar);
+    const u64 t = b * w - q * p;  // < 2p
+    b = a + two_p - t;            // < 4p
+    a = a + t;                    // < 4p
+}
+
+}  // namespace hentt
+
+#endif  // HENTT_NTT_NTT_LAZY_H

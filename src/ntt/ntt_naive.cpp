@@ -1,0 +1,66 @@
+#include "ntt/ntt_naive.h"
+
+#include "common/modarith.h"
+
+namespace hentt {
+
+std::vector<u64>
+NaiveNegacyclicNtt(const std::vector<u64> &a, u64 psi, u64 p)
+{
+    const std::size_t n = a.size();
+    std::vector<u64> out(n, 0);
+    for (std::size_t k = 0; k < n; ++k) {
+        // w_k = psi^(2k+1); accumulate a_n * w_k^n.
+        const u64 wk = PowMod(psi, 2 * k + 1, p);
+        u64 acc = 0;
+        u64 wpow = 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            acc = AddMod(acc, MulModNative(a[i] % p, wpow, p), p);
+            wpow = MulModNative(wpow, wk, p);
+        }
+        out[k] = acc;
+    }
+    return out;
+}
+
+std::vector<u64>
+NaiveNegacyclicIntt(const std::vector<u64> &x, u64 psi, u64 p)
+{
+    const std::size_t n = x.size();
+    const u64 n_inv = InvMod(static_cast<u64>(n), p);
+    const u64 psi_inv = InvMod(psi, p);
+    std::vector<u64> out(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        // a_i = N^{-1} * psi^{-i} * sum_k X_k * psi^{-2ik}
+        u64 acc = 0;
+        const u64 wi = PowMod(psi_inv, 2 * i, p);
+        u64 wpow = 1;
+        for (std::size_t k = 0; k < n; ++k) {
+            acc = AddMod(acc, MulModNative(x[k] % p, wpow, p), p);
+            wpow = MulModNative(wpow, wi, p);
+        }
+        acc = MulModNative(acc, PowMod(psi_inv, i, p), p);
+        out[i] = MulModNative(acc, n_inv, p);
+    }
+    return out;
+}
+
+std::vector<u64>
+NaiveCyclicNtt(const std::vector<u64> &a, u64 omega, u64 p)
+{
+    const std::size_t n = a.size();
+    std::vector<u64> out(n, 0);
+    for (std::size_t k = 0; k < n; ++k) {
+        const u64 wk = PowMod(omega, k, p);
+        u64 acc = 0;
+        u64 wpow = 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            acc = AddMod(acc, MulModNative(a[i] % p, wpow, p), p);
+            wpow = MulModNative(wpow, wk, p);
+        }
+        out[k] = acc;
+    }
+    return out;
+}
+
+}  // namespace hentt

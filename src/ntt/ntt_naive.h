@@ -1,0 +1,35 @@
+/**
+ * @file
+ * O(N^2) reference transforms used as test oracles.
+ *
+ * NaiveNegacyclicNtt computes X_k = sum_n a_n * psi^{n(2k+1)} mod p in
+ * natural order — the merged negacyclic forward transform of paper
+ * Section III-A. NaiveNegacyclicIntt inverts it. These are deliberately
+ * slow and simple; every fast implementation in the library is checked
+ * against them.
+ */
+
+#ifndef HENTT_NTT_NTT_NAIVE_H
+#define HENTT_NTT_NTT_NAIVE_H
+
+#include <vector>
+
+#include "common/int128.h"
+
+namespace hentt {
+
+/** Forward negacyclic NTT, natural-order output. */
+std::vector<u64> NaiveNegacyclicNtt(const std::vector<u64> &a, u64 psi,
+                                    u64 p);
+
+/** Inverse of NaiveNegacyclicNtt. */
+std::vector<u64> NaiveNegacyclicIntt(const std::vector<u64> &x, u64 psi,
+                                     u64 p);
+
+/** Plain (cyclic) naive NTT with n-th root omega, natural order. */
+std::vector<u64> NaiveCyclicNtt(const std::vector<u64> &a, u64 omega,
+                                u64 p);
+
+}  // namespace hentt
+
+#endif  // HENTT_NTT_NTT_NAIVE_H

@@ -1,0 +1,103 @@
+#include "ntt/ntt_radix2.h"
+
+#include <stdexcept>
+
+#include "common/modarith.h"
+
+namespace hentt {
+
+namespace {
+
+void
+CheckSize(std::span<u64> a, const TwiddleTable &table)
+{
+    if (a.size() != table.size()) {
+        throw std::invalid_argument("span size != twiddle table size");
+    }
+}
+
+/** Generic forward pass parameterized on the twiddle multiply. */
+template <typename MulW>
+void
+ForwardPass(std::span<u64> a, const TwiddleTable &table, MulW mul_w)
+{
+    const std::size_t n = a.size();
+    const u64 p = table.modulus();
+    std::size_t t = n / 2;
+    for (std::size_t m = 1; m < n; m <<= 1) {
+        for (std::size_t j = 0; j < m; ++j) {
+            const std::size_t w_idx = m + j;
+            const std::size_t base = 2 * j * t;
+            for (std::size_t k = base; k < base + t; ++k) {
+                const u64 u = a[k];
+                const u64 v = mul_w(a[k + t], w_idx);
+                a[k] = AddMod(u, v, p);
+                a[k + t] = SubMod(u, v, p);
+            }
+        }
+        t >>= 1;
+    }
+}
+
+}  // namespace
+
+void
+NttRadix2(std::span<u64> a, const TwiddleTable &table)
+{
+    CheckSize(a, table);
+    const u64 p = table.modulus();
+    ForwardPass(a, table, [&](u64 x, std::size_t i) {
+        return MulModShoup(x, table.w(i), table.w_shoup(i), p);
+    });
+}
+
+void
+NttRadix2Native(std::span<u64> a, const TwiddleTable &table)
+{
+    CheckSize(a, table);
+    const u64 p = table.modulus();
+    ForwardPass(a, table, [&](u64 x, std::size_t i) {
+        return MulModNative(x, table.w(i), p);
+    });
+}
+
+void
+NttRadix2Barrett(std::span<u64> a, const TwiddleTable &table)
+{
+    CheckSize(a, table);
+    const BarrettReducer barrett(table.modulus());
+    ForwardPass(a, table, [&](u64 x, std::size_t i) {
+        return barrett.MulMod(x, table.w(i));
+    });
+}
+
+void
+InttRadix2(std::span<u64> a, const TwiddleTable &table)
+{
+    CheckSize(a, table);
+    const std::size_t n = a.size();
+    const u64 p = table.modulus();
+    // Gentleman-Sande: butterflies consume (u, v) and emit
+    // (u + v, (u - v) * w) with w drawn from the inverse table.
+    std::size_t t = 1;
+    for (std::size_t m = n; m > 1; m >>= 1) {
+        const std::size_t h = m / 2;
+        for (std::size_t j = 0; j < h; ++j) {
+            const std::size_t w_idx = h + j;
+            const std::size_t base = 2 * j * t;
+            for (std::size_t k = base; k < base + t; ++k) {
+                const u64 u = a[k];
+                const u64 v = a[k + t];
+                a[k] = AddMod(u, v, p);
+                a[k + t] = MulModShoup(SubMod(u, v, p), table.w_inv(w_idx),
+                                       table.w_inv_shoup(w_idx), p);
+            }
+        }
+        t <<= 1;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i] = MulModShoup(a[i], table.n_inv(), table.n_inv_shoup(), p);
+    }
+}
+
+}  // namespace hentt

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * In-place radix-2 negacyclic NTT/iNTT (paper Algo. 1 + its inverse).
+ *
+ * Forward: Cooley-Tukey decimation-in-time with merged psi powers,
+ * natural-order input, bit-reversed output. Inverse: Gentleman-Sande
+ * decimation-in-frequency, bit-reversed input, natural-order output,
+ * with the N^{-1} scaling folded into the final pass. The composition
+ * InttRadix2(NttRadix2(a)) == a without any explicit bit-reversal, which
+ * is exactly why the paper picks Cooley-Tukey over Stockham for HE
+ * (Section IV, "Cooley-Tukey vs. Stockham").
+ *
+ * All twiddle multiplications use Shoup's modmul; a native-modulo variant
+ * is provided for the Fig. 1 comparison.
+ */
+
+#ifndef HENTT_NTT_NTT_RADIX2_H
+#define HENTT_NTT_NTT_RADIX2_H
+
+#include <span>
+
+#include "ntt/twiddle_table.h"
+
+namespace hentt {
+
+/**
+ * Forward negacyclic NTT, in place.
+ *
+ * @param a       coefficients, natural order, values < p; on return the
+ *                transform in bit-reversed order
+ * @param table   twiddle table for (a.size(), p)
+ */
+void NttRadix2(std::span<u64> a, const TwiddleTable &table);
+
+/**
+ * Inverse negacyclic NTT, in place: bit-reversed input, natural-order
+ * output, including the N^{-1} scaling.
+ */
+void InttRadix2(std::span<u64> a, const TwiddleTable &table);
+
+/** Forward NTT using the native `%` reduction instead of Shoup's modmul
+ *  (the Fig. 1 "Native" configuration). Identical output. */
+void NttRadix2Native(std::span<u64> a, const TwiddleTable &table);
+
+/**
+ * Forward NTT with Barrett reduction for the twiddle multiplies
+ * (ablation; paper Section IV mentions Barrett as the other standard
+ * fast-reduction choice). Identical output.
+ */
+void NttRadix2Barrett(std::span<u64> a, const TwiddleTable &table);
+
+}  // namespace hentt
+
+#endif  // HENTT_NTT_NTT_RADIX2_H

@@ -1,0 +1,105 @@
+#include "ntt/ntt_stockham.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/bitops.h"
+#include "common/modarith.h"
+#include "common/primegen.h"
+
+namespace hentt {
+
+StockhamNtt::StockhamNtt(std::size_t n, u64 p) : n_(n), p_(p)
+{
+    if (!IsPowerOfTwo(n) || n < 2) {
+        throw std::invalid_argument("NTT size must be a power of two >= 2");
+    }
+    ValidateModulus(p);
+    if ((p - 1) % (2 * n) != 0) {
+        throw std::invalid_argument("prime must satisfy p == 1 (mod 2N)");
+    }
+    psi_ = FindPrimitiveRoot(2 * n, p);
+    const u64 psi_inv = InvMod(psi_, p);
+    const u64 omega = MulModNative(psi_, psi_, p);
+    const u64 omega_inv = InvMod(omega, p);
+    n_inv_ = InvMod(static_cast<u64>(n), p);
+    n_inv_shoup_ = ShoupPrecompute(n_inv_, p);
+
+    auto fill = [&](std::vector<u64> &pow, std::vector<u64> &shoup, u64 base,
+                    std::size_t count) {
+        pow.resize(count);
+        shoup.resize(count);
+        u64 v = 1;
+        for (std::size_t i = 0; i < count; ++i) {
+            pow[i] = v;
+            shoup[i] = ShoupPrecompute(v, p);
+            v = MulModNative(v, base, p);
+        }
+    };
+    fill(psi_pow_, psi_pow_shoup_, psi_, n);
+    fill(psi_inv_pow_, psi_inv_pow_shoup_, psi_inv, n);
+    fill(omega_pow_, omega_pow_shoup_, omega, n / 2);
+    fill(omega_inv_pow_, omega_inv_pow_shoup_, omega_inv, n / 2);
+}
+
+void
+StockhamNtt::Sweep(std::vector<u64> &x, std::vector<u64> &y,
+                   const std::vector<u64> &omega_pow,
+                   const std::vector<u64> &omega_pow_shoup) const
+{
+    // Radix-2 decimation-in-frequency autosort: at step t, l = n/2^{t+1}
+    // groups of m = 2^t contiguous elements; outputs land self-sorted.
+    std::size_t l = n_ / 2;
+    std::size_t m = 1;
+    while (l >= 1) {
+        for (std::size_t j = 0; j < l; ++j) {
+            const u64 w = omega_pow[j * m];
+            const u64 w_shoup = omega_pow_shoup[j * m];
+            for (std::size_t k = 0; k < m; ++k) {
+                const u64 c0 = x[k + j * m];
+                const u64 c1 = x[k + (j + l) * m];
+                y[k + 2 * j * m] = AddMod(c0, c1, p_);
+                y[k + (2 * j + 1) * m] =
+                    MulModShoup(SubMod(c0, c1, p_), w, w_shoup, p_);
+            }
+        }
+        std::swap(x, y);
+        l >>= 1;
+        m <<= 1;
+    }
+}
+
+std::vector<u64>
+StockhamNtt::Forward(const std::vector<u64> &a) const
+{
+    if (a.size() != n_) {
+        throw std::invalid_argument("input size != transform size");
+    }
+    std::vector<u64> x(n_), y(n_, 0);
+    // Unmerged negacyclic pre-twist: b_n = a_n * psi^n.
+    for (std::size_t i = 0; i < n_; ++i) {
+        x[i] = MulModShoup(a[i] % p_, psi_pow_[i], psi_pow_shoup_[i], p_);
+    }
+    Sweep(x, y, omega_pow_, omega_pow_shoup_);
+    return x;
+}
+
+std::vector<u64>
+StockhamNtt::Inverse(const std::vector<u64> &in) const
+{
+    if (in.size() != n_) {
+        throw std::invalid_argument("input size != transform size");
+    }
+    std::vector<u64> x = in;
+    std::vector<u64> y(n_, 0);
+    Sweep(x, y, omega_inv_pow_, omega_inv_pow_shoup_);
+    // Post-twist by psi^{-n} and scale by N^{-1}.
+    for (std::size_t i = 0; i < n_; ++i) {
+        u64 v = MulModShoup(x[i], psi_inv_pow_[i], psi_inv_pow_shoup_[i],
+                            p_);
+        x[i] = MulModShoup(v, n_inv_, n_inv_shoup_, p_);
+    }
+    return x;
+}
+
+}  // namespace hentt

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Out-of-place radix-2 Stockham autosort NTT (paper Algo. 3).
+ *
+ * Stockham avoids the bit-reversal permutation by storing permuted
+ * outputs at every stage, at the cost of ping-pong (out-of-place)
+ * buffers — the working-set doubling the paper cites as the reason to
+ * prefer Cooley-Tukey for HE-sized transforms. We implement it for the
+ * algorithm-comparison study: the negacyclic transform is obtained by
+ * pre-scaling with psi^n (the classic unmerged formulation) followed by
+ * a cyclic Stockham sweep with omega = psi^2, yielding natural-order
+ * output identical to the naive oracle.
+ */
+
+#ifndef HENTT_NTT_NTT_STOCKHAM_H
+#define HENTT_NTT_NTT_STOCKHAM_H
+
+#include <vector>
+
+#include "common/int128.h"
+
+namespace hentt {
+
+/** Scratch-owning Stockham transformer for one (N, p) pair. */
+class StockhamNtt
+{
+  public:
+    /**
+     * @param n  power-of-two transform size
+     * @param p  prime with p == 1 (mod 2n)
+     */
+    StockhamNtt(std::size_t n, u64 p);
+
+    std::size_t size() const { return n_; }
+    u64 modulus() const { return p_; }
+    /** The primitive 2N-th root the transform is built from. */
+    u64 psi() const { return psi_; }
+
+    /** Forward negacyclic NTT, natural-order input and output. */
+    std::vector<u64> Forward(const std::vector<u64> &a) const;
+
+    /** Inverse negacyclic NTT, natural-order input and output. */
+    std::vector<u64> Inverse(const std::vector<u64> &x) const;
+
+  private:
+    /** Cyclic Stockham sweep with the given omega-power table. */
+    void Sweep(std::vector<u64> &x, std::vector<u64> &y,
+               const std::vector<u64> &omega_pow,
+               const std::vector<u64> &omega_pow_shoup) const;
+
+    std::size_t n_;
+    u64 p_;
+    u64 psi_;
+    std::vector<u64> psi_pow_, psi_pow_shoup_;        // psi^n, n < N
+    std::vector<u64> psi_inv_pow_, psi_inv_pow_shoup_;
+    std::vector<u64> omega_pow_, omega_pow_shoup_;    // omega^j, j < N/2
+    std::vector<u64> omega_inv_pow_, omega_inv_pow_shoup_;
+    u64 n_inv_, n_inv_shoup_;
+};
+
+}  // namespace hentt
+
+#endif  // HENTT_NTT_NTT_STOCKHAM_H

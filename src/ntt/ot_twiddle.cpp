@@ -1,0 +1,109 @@
+#include "ntt/ot_twiddle.h"
+
+#include <stdexcept>
+
+#include "common/bitops.h"
+#include "common/modarith.h"
+#include "common/primegen.h"
+
+namespace hentt {
+
+OtTwiddleTable::OtTwiddleTable(std::size_t n, u64 p, std::size_t base)
+    : n_(n), p_(p), base_(base)
+{
+    if (!IsPowerOfTwo(n) || n < 2) {
+        throw std::invalid_argument("NTT size must be a power of two >= 2");
+    }
+    if (!IsPowerOfTwo(base) || base < 2) {
+        throw std::invalid_argument("OT base must be a power of two >= 2");
+    }
+    ValidateModulus(p);
+    if ((p - 1) % (2 * n) != 0) {
+        throw std::invalid_argument("prime must satisfy p == 1 (mod 2N)");
+    }
+    log_base_ = Log2Exact(base);
+    psi_ = FindPrimitiveRoot(2 * n, p);
+
+    const std::size_t hi_count = (2 * n + base - 1) / base;
+    lo_.resize(base);
+    lo_shoup_.resize(base);
+    hi_.resize(hi_count);
+    hi_shoup_.resize(hi_count);
+
+    u64 v = 1;
+    for (std::size_t i = 0; i < base; ++i) {
+        lo_[i] = v;
+        lo_shoup_[i] = ShoupPrecompute(v, p);
+        v = MulModNative(v, psi_, p);
+    }
+    const u64 psi_b = PowMod(psi_, base, p);
+    v = 1;
+    for (std::size_t i = 0; i < hi_count; ++i) {
+        hi_[i] = v;
+        hi_shoup_[i] = ShoupPrecompute(v, p);
+        v = MulModNative(v, psi_b, p);
+    }
+}
+
+u64
+OtTwiddleTable::Twiddle(u64 e) const
+{
+    const u64 e_lo = e & (base_ - 1);
+    const u64 e_hi = e >> log_base_;
+    return MulModNative(lo_[e_lo], hi_[e_hi], p_);
+}
+
+u64
+ForwardTwiddleExponent(std::size_t i, std::size_t n)
+{
+    return BitReverse(static_cast<u64>(i), Log2Exact(n));
+}
+
+void
+NttRadix2Ot(std::span<u64> a, const TwiddleTable &table,
+            const OtTwiddleTable &ot, unsigned ot_stages)
+{
+    const std::size_t n = a.size();
+    if (n != table.size() || n != ot.size()) {
+        throw std::invalid_argument("span size != table size");
+    }
+    if (table.modulus() != ot.modulus() || table.psi() != ot.psi()) {
+        throw std::invalid_argument("tables disagree on (p, psi)");
+    }
+    const u64 p = table.modulus();
+    const unsigned log_n = Log2Exact(n);
+    if (ot_stages > log_n) {
+        throw std::invalid_argument("ot_stages exceeds stage count");
+    }
+    const unsigned first_ot_stage = log_n - ot_stages;
+
+    std::size_t t = n / 2;
+    unsigned stage = 0;
+    for (std::size_t m = 1; m < n; m <<= 1, ++stage) {
+        const bool use_ot = stage >= first_ot_stage;
+        for (std::size_t j = 0; j < m; ++j) {
+            const std::size_t w_idx = m + j;
+            const std::size_t base = 2 * j * t;
+            if (use_ot) {
+                const u64 e = ForwardTwiddleExponent(w_idx, n);
+                for (std::size_t k = base; k < base + t; ++k) {
+                    const u64 u = a[k];
+                    const u64 v = ot.Apply(a[k + t], e);
+                    a[k] = AddMod(u, v, p);
+                    a[k + t] = SubMod(u, v, p);
+                }
+            } else {
+                for (std::size_t k = base; k < base + t; ++k) {
+                    const u64 u = a[k];
+                    const u64 v = MulModShoup(a[k + t], table.w(w_idx),
+                                              table.w_shoup(w_idx), p);
+                    a[k] = AddMod(u, v, p);
+                    a[k + t] = SubMod(u, v, p);
+                }
+            }
+        }
+        t >>= 1;
+    }
+}
+
+}  // namespace hentt

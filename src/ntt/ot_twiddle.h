@@ -1,0 +1,113 @@
+/**
+ * @file
+ * On-the-fly twiddling (OT) — the paper's Section VII contribution.
+ *
+ * A twiddle factor psi^e cannot be generated on the fly cheaply because
+ * (a) each generation costs a modular reduction and (b) Shoup's modmul
+ * needs the companion word floor(w * 2^64 / p) of the *product*, which
+ * cannot be derived from the factors' companions. OT sidesteps both: it
+ * never materializes w = w_hi * w_lo at all. Writing the exponent in
+ * base b as e = e_hi * b + e_lo, the input is multiplied consecutively
+ * (associativity) by the two table entries
+ *
+ *     lo[e_lo]  = psi^{e_lo},          e_lo in [0, b)
+ *     hi[e_hi]  = psi^{b * e_hi},      e_hi in [0, ceil(2N / b))
+ *
+ * each of which has its own precomputed Shoup companion. The table
+ * shrinks from 2N entries to b + ceil(2N/b) (paper: base 1024 is best,
+ * e.g. 1024 + 2^17/1024 entries for N = 2^17) at the cost of one extra
+ * Shoup modmul per generated twiddle. Applied to the *late* NTT stages —
+ * where the per-stage table is large (Fig. 8) — this trades a little
+ * compute for a ~24.5% DRAM-traffic reduction.
+ */
+
+#ifndef HENTT_NTT_OT_TWIDDLE_H
+#define HENTT_NTT_OT_TWIDDLE_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/modarith.h"
+#include "ntt/twiddle_table.h"
+
+namespace hentt {
+
+/** Factorized twiddle table: psi^e = lo[e % b] * hi[e / b]. */
+class OtTwiddleTable
+{
+  public:
+    /**
+     * @param n     transform size (exponents run over [0, 2n))
+     * @param p     prime, p == 1 (mod 2n)
+     * @param base  factorization base b (power of two; paper default 1024)
+     */
+    OtTwiddleTable(std::size_t n, u64 p, std::size_t base = 1024);
+
+    std::size_t size() const { return n_; }
+    u64 modulus() const { return p_; }
+    std::size_t base() const { return base_; }
+
+    /** Number of precomputed twiddle entries: b + ceil(2N/b). */
+    std::size_t entry_count() const { return lo_.size() + hi_.size(); }
+
+    /** Table bytes including Shoup companions (2 words per entry). */
+    std::size_t table_bytes() const
+    {
+        return 2 * entry_count() * sizeof(u64);
+    }
+
+    /**
+     * Apply psi^e to x by two consecutive Shoup multiplies
+     * (x * lo[e_lo]) * hi[e_hi] — the OT butterfly path. One extra
+     * modmul vs. a direct table lookup, zero DRAM bytes for the bulk
+     * of the table.
+     */
+    u64
+    Apply(u64 x, u64 e) const
+    {
+        const u64 e_lo = e & (base_ - 1);
+        const u64 e_hi = e >> log_base_;
+        const u64 partial = MulModShoup(x, lo_[e_lo], lo_shoup_[e_lo], p_);
+        return MulModShoup(partial, hi_[e_hi], hi_shoup_[e_hi], p_);
+    }
+
+    /** Reconstruct the full twiddle psi^e (for verification/tests). */
+    u64 Twiddle(u64 e) const;
+
+    /** The primitive 2N-th root used by the table. */
+    u64 psi() const { return psi_; }
+
+  private:
+    std::size_t n_;
+    u64 p_;
+    std::size_t base_;
+    unsigned log_base_;
+    u64 psi_;
+    std::vector<u64> lo_, lo_shoup_;  // psi^i, i < b
+    std::vector<u64> hi_, hi_shoup_;  // psi^{b*i}, i < ceil(2N/b)
+};
+
+/**
+ * Forward radix-2 negacyclic NTT where the last @p ot_stages stages draw
+ * twiddles through an OtTwiddleTable instead of the full table (the
+ * configuration of paper Fig. 11(c)). Stages before the cut use @p table
+ * as usual. Output identical to NttRadix2.
+ *
+ * @param a          natural-order input, bit-reversed output
+ * @param table      full twiddle table (early stages)
+ * @param ot         factorized table (late stages)
+ * @param ot_stages  how many trailing stages use OT (0 = plain radix-2)
+ */
+void NttRadix2Ot(std::span<u64> a, const TwiddleTable &table,
+                 const OtTwiddleTable &ot, unsigned ot_stages);
+
+/**
+ * Exponent of psi for forward twiddle index i (bit-reversed scheme):
+ * Psi[i] = psi^{BitReverse(i, log2 N)}.
+ */
+u64 ForwardTwiddleExponent(std::size_t i, std::size_t n);
+
+}  // namespace hentt
+
+#endif  // HENTT_NTT_OT_TWIDDLE_H

@@ -1,0 +1,45 @@
+#include "ntt/twiddle_table.h"
+
+#include <stdexcept>
+
+#include "common/bitops.h"
+#include "common/modarith.h"
+#include "common/primegen.h"
+
+namespace hentt {
+
+TwiddleTable::TwiddleTable(std::size_t n, u64 p) : n_(n), p_(p)
+{
+    if (!IsPowerOfTwo(n) || n < 2) {
+        throw std::invalid_argument("NTT size must be a power of two >= 2");
+    }
+    ValidateModulus(p);
+    if ((p - 1) % (2 * n) != 0) {
+        throw std::invalid_argument("prime must satisfy p == 1 (mod 2N)");
+    }
+
+    psi_ = FindPrimitiveRoot(2 * n, p);
+    psi_inv_ = InvMod(psi_, p);
+    n_inv_ = InvMod(static_cast<u64>(n), p);
+    n_inv_shoup_ = ShoupPrecompute(n_inv_, p);
+
+    const unsigned bits = Log2Exact(n);
+    fwd_.resize(n);
+    fwd_shoup_.resize(n);
+    inv_.resize(n);
+    inv_shoup_.resize(n);
+    // Powers in natural order first, then scatter into bit-reversed slots.
+    u64 power = 1;
+    u64 power_inv = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t r = BitReverse(i, bits);
+        fwd_[r] = power;
+        fwd_shoup_[r] = ShoupPrecompute(power, p);
+        inv_[r] = power_inv;
+        inv_shoup_[r] = ShoupPrecompute(power_inv, p);
+        power = MulModNative(power, psi_, p);
+        power_inv = MulModNative(power_inv, psi_inv_, p);
+    }
+}
+
+}  // namespace hentt

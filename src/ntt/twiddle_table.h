@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Precomputed twiddle-factor tables for the negacyclic NTT.
+ *
+ * For an N-point negacyclic NTT over Z_p the merged Cooley-Tukey
+ * formulation (paper Section III-A/C) uses powers of the primitive
+ * 2N-th root of unity psi, stored in bit-reversed order:
+ *
+ *     Psi[i] = psi^{bitrev(i, log2 N)}            (forward)
+ *     PsiInv[i] = psi^{-bitrev(i, log2 N)}        (inverse, GS order)
+ *
+ * Because every twiddle is consumed by Shoup's modmul (Algo. 4), each
+ * entry carries a companion word ShoupPrecompute(w, p) — this is the
+ * factor-of-two table blow-up the paper calls out, and together with the
+ * np-fold RNS replication it is what makes NTT (unlike DFT) memory-bound
+ * under batching.
+ */
+
+#ifndef HENTT_NTT_TWIDDLE_TABLE_H
+#define HENTT_NTT_TWIDDLE_TABLE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/int128.h"
+
+namespace hentt {
+
+/** Forward + inverse twiddle tables for one (N, p) pair. */
+class TwiddleTable
+{
+  public:
+    /**
+     * Build tables for an N-point negacyclic NTT mod p.
+     *
+     * @param n  transform size; power of two
+     * @param p  prime with p == 1 (mod 2n)
+     * @throws std::invalid_argument on invalid n or p.
+     */
+    TwiddleTable(std::size_t n, u64 p);
+
+    std::size_t size() const { return n_; }
+    u64 modulus() const { return p_; }
+
+    /** The primitive 2N-th root of unity the tables are built from. */
+    u64 psi() const { return psi_; }
+    /** psi^{-1} mod p. */
+    u64 psi_inv() const { return psi_inv_; }
+    /** N^{-1} mod p (final iNTT scaling). */
+    u64 n_inv() const { return n_inv_; }
+    /** Shoup companion of N^{-1}. */
+    u64 n_inv_shoup() const { return n_inv_shoup_; }
+
+    /** Forward twiddle Psi[i] (bit-reversed power of psi). */
+    u64 w(std::size_t i) const { return fwd_[i]; }
+    /** Shoup companion of w(i). */
+    u64 w_shoup(std::size_t i) const { return fwd_shoup_[i]; }
+    /** Inverse twiddle PsiInv[i]. */
+    u64 w_inv(std::size_t i) const { return inv_[i]; }
+    /** Shoup companion of w_inv(i). */
+    u64 w_inv_shoup(std::size_t i) const { return inv_shoup_[i]; }
+
+    /**
+     * Total precomputed bytes for the forward direction: N twiddles plus
+     * N Shoup companions, 8 bytes each. This is the per-prime table
+     * footprint the paper's DRAM-traffic analysis charges to NTT.
+     */
+    std::size_t forward_table_bytes() const { return 2 * n_ * sizeof(u64); }
+
+    /** Raw table access for the kernel emulations. */
+    const std::vector<u64> &forward_words() const { return fwd_; }
+    const std::vector<u64> &forward_shoup_words() const
+    {
+        return fwd_shoup_;
+    }
+
+  private:
+    std::size_t n_;
+    u64 p_;
+    u64 psi_;
+    u64 psi_inv_;
+    u64 n_inv_;
+    u64 n_inv_shoup_;
+    std::vector<u64> fwd_, fwd_shoup_;
+    std::vector<u64> inv_, inv_shoup_;
+};
+
+}  // namespace hentt
+
+#endif  // HENTT_NTT_TWIDDLE_TABLE_H

@@ -1,0 +1,43 @@
+#include "poly/negacyclic.h"
+
+#include <stdexcept>
+
+#include "common/modarith.h"
+
+namespace hentt {
+
+Poly
+NegacyclicConvolveNaive(const Poly &a, const Poly &b)
+{
+    if (a.size() != b.size() || a.modulus() != b.modulus()) {
+        throw std::invalid_argument("polynomials from different rings");
+    }
+    const std::size_t n = a.size();
+    const u64 p = a.modulus();
+    Poly c(n, p);
+    for (std::size_t k = 0; k < n; ++k) {
+        u64 acc = 0;
+        for (std::size_t i = 0; i <= k; ++i) {
+            acc = AddMod(acc, MulModNative(a[i], b[k - i], p), p);
+        }
+        for (std::size_t i = k + 1; i < n; ++i) {
+            acc = SubMod(acc, MulModNative(a[i], b[n + k - i], p), p);
+        }
+        c[k] = acc;
+    }
+    return c;
+}
+
+Poly
+NegacyclicConvolveNtt(const Poly &a, const Poly &b, const NttEngine &engine)
+{
+    if (a.size() != engine.size() || a.modulus() != engine.modulus()) {
+        throw std::invalid_argument("polynomial does not match engine ring");
+    }
+    if (b.size() != a.size() || b.modulus() != a.modulus()) {
+        throw std::invalid_argument("polynomials from different rings");
+    }
+    return Poly(engine.Multiply(a.span(), b.span()), a.modulus());
+}
+
+}  // namespace hentt

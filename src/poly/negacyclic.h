@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Negacyclic convolution: the O(N^2) schoolbook form (paper Section
+ * III-A's c_k = sum_{i<=k} a_i b_{k-i} - sum_{i>k} a_i b_{N+k-i}) used
+ * as the oracle, and the O(N log N) NTT-based form.
+ */
+
+#ifndef HENTT_POLY_NEGACYCLIC_H
+#define HENTT_POLY_NEGACYCLIC_H
+
+#include "ntt/ntt_engine.h"
+#include "poly/poly.h"
+
+namespace hentt {
+
+/** Schoolbook negacyclic convolution (test oracle). */
+Poly NegacyclicConvolveNaive(const Poly &a, const Poly &b);
+
+/** NTT-based negacyclic product using a caller-provided engine. */
+Poly NegacyclicConvolveNtt(const Poly &a, const Poly &b,
+                           const NttEngine &engine);
+
+}  // namespace hentt
+
+#endif  // HENTT_POLY_NEGACYCLIC_H

@@ -1,0 +1,97 @@
+#include "poly/poly.h"
+
+#include <stdexcept>
+
+#include "common/bitops.h"
+#include "common/modarith.h"
+
+namespace hentt {
+
+Poly::Poly(std::size_t n, u64 p) : coeffs_(n, 0), p_(p)
+{
+    if (!IsPowerOfTwo(n)) {
+        throw std::invalid_argument("ring degree must be a power of two");
+    }
+    ValidateModulus(p);
+}
+
+Poly::Poly(std::vector<u64> coeffs, u64 p)
+    : coeffs_(std::move(coeffs)), p_(p)
+{
+    if (!IsPowerOfTwo(coeffs_.size())) {
+        throw std::invalid_argument("ring degree must be a power of two");
+    }
+    ValidateModulus(p);
+    for (u64 &c : coeffs_) {
+        c %= p_;
+    }
+}
+
+void
+Poly::CheckCompatible(const Poly &other) const
+{
+    if (other.size() != size() || other.modulus() != modulus()) {
+        throw std::invalid_argument("polynomials from different rings");
+    }
+}
+
+Poly
+Poly::operator+(const Poly &other) const
+{
+    CheckCompatible(other);
+    Poly out(size(), p_);
+    for (std::size_t i = 0; i < size(); ++i) {
+        out[i] = AddMod(coeffs_[i], other[i], p_);
+    }
+    return out;
+}
+
+Poly
+Poly::operator-(const Poly &other) const
+{
+    CheckCompatible(other);
+    Poly out(size(), p_);
+    for (std::size_t i = 0; i < size(); ++i) {
+        out[i] = SubMod(coeffs_[i], other[i], p_);
+    }
+    return out;
+}
+
+Poly
+Poly::operator*(u64 scalar) const
+{
+    Poly out(size(), p_);
+    scalar %= p_;
+    for (std::size_t i = 0; i < size(); ++i) {
+        out[i] = MulModNative(coeffs_[i], scalar, p_);
+    }
+    return out;
+}
+
+Poly
+Poly::Negate() const
+{
+    Poly out(size(), p_);
+    for (std::size_t i = 0; i < size(); ++i) {
+        out[i] = coeffs_[i] == 0 ? 0 : p_ - coeffs_[i];
+    }
+    return out;
+}
+
+Poly
+Poly::MulByMonomial(std::size_t k) const
+{
+    const std::size_t n = size();
+    Poly out(n, p_);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t shifted = i + k;
+        const std::size_t target = shifted % n;
+        // X^N == -1: every full wrap flips the sign.
+        const bool negate = (shifted / n) % 2 == 1;
+        out[target] = negate ? (coeffs_[i] == 0 ? 0 : p_ - coeffs_[i])
+                             : coeffs_[i];
+    }
+    return out;
+}
+
+}  // namespace hentt

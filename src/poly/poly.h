@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Polynomials in R_p = Z_p[X]/(X^N + 1), the per-prime rings an HE
+ * ciphertext decomposes into under CRT (paper Section III-B).
+ */
+
+#ifndef HENTT_POLY_POLY_H
+#define HENTT_POLY_POLY_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/int128.h"
+
+namespace hentt {
+
+/** Dense coefficient-form polynomial over Z_p, degree < N. */
+class Poly
+{
+  public:
+    /** Zero polynomial of the given ring. */
+    Poly(std::size_t n, u64 p);
+    /** From explicit coefficients (reduced mod p on construction). */
+    Poly(std::vector<u64> coeffs, u64 p);
+
+    std::size_t size() const { return coeffs_.size(); }
+    u64 modulus() const { return p_; }
+
+    u64 operator[](std::size_t i) const { return coeffs_[i]; }
+    u64 &operator[](std::size_t i) { return coeffs_[i]; }
+    const std::vector<u64> &coeffs() const { return coeffs_; }
+    std::span<u64> span() { return coeffs_; }
+    std::span<const u64> span() const { return coeffs_; }
+
+    bool operator==(const Poly &other) const = default;
+
+    /** Coefficient-wise ring operations (ring membership checked). */
+    Poly operator+(const Poly &other) const;
+    Poly operator-(const Poly &other) const;
+    /** Scalar multiply. */
+    Poly operator*(u64 scalar) const;
+    /** Additive inverse. */
+    Poly Negate() const;
+
+    /** Multiply by X^k in the negacyclic ring (sign wraps). */
+    Poly MulByMonomial(std::size_t k) const;
+
+  private:
+    void CheckCompatible(const Poly &other) const;
+
+    std::vector<u64> coeffs_;
+    u64 p_;
+};
+
+}  // namespace hentt
+
+#endif  // HENTT_POLY_POLY_H

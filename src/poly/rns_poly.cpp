@@ -1,0 +1,185 @@
+#include "poly/rns_poly.h"
+
+#include <stdexcept>
+
+#include "common/modarith.h"
+
+namespace hentt {
+
+RnsNttContext::RnsNttContext(std::size_t n,
+                             std::shared_ptr<const RnsBasis> basis)
+    : n_(n), basis_(std::move(basis))
+{
+    engines_.reserve(basis_->prime_count());
+    for (std::size_t i = 0; i < basis_->prime_count(); ++i) {
+        engines_.push_back(std::make_unique<NttEngine>(n, basis_->prime(i)));
+    }
+}
+
+RnsPoly::RnsPoly(std::shared_ptr<const RnsNttContext> ctx)
+    : ctx_(std::move(ctx)),
+      rows_(ctx_->basis().prime_count(),
+            std::vector<u64>(ctx_->degree(), 0))
+{
+}
+
+RnsPoly::RnsPoly(std::shared_ptr<const RnsNttContext> ctx,
+                 const std::vector<BigInt> &coeffs)
+    : RnsPoly(std::move(ctx))
+{
+    if (coeffs.size() != degree()) {
+        throw std::invalid_argument("coefficient count != ring degree");
+    }
+    const RnsBasis &basis = ctx_->basis();
+    for (std::size_t k = 0; k < coeffs.size(); ++k) {
+        if (coeffs[k] >= basis.product()) {
+            throw std::invalid_argument("coefficient >= Q");
+        }
+        for (std::size_t i = 0; i < basis.prime_count(); ++i) {
+            rows_[i][k] = coeffs[k] % basis.prime(i);
+        }
+    }
+}
+
+void
+RnsPoly::ToEvaluation()
+{
+    if (domain_ != Domain::kCoefficient) {
+        throw std::logic_error("polynomial already in evaluation domain");
+    }
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        ctx_->engine(i).Forward(rows_[i]);
+    }
+    domain_ = Domain::kEvaluation;
+}
+
+void
+RnsPoly::ToCoefficient()
+{
+    if (domain_ != Domain::kEvaluation) {
+        throw std::logic_error("polynomial already in coefficient domain");
+    }
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        ctx_->engine(i).Inverse(rows_[i]);
+    }
+    domain_ = Domain::kCoefficient;
+}
+
+void
+RnsPoly::CheckCompatible(const RnsPoly &other) const
+{
+    if (ctx_.get() != other.ctx_.get()) {
+        throw std::invalid_argument("polynomials from different contexts");
+    }
+    if (domain_ != other.domain_) {
+        throw std::invalid_argument("polynomials in different domains");
+    }
+}
+
+RnsPoly
+RnsPoly::operator+(const RnsPoly &other) const
+{
+    CheckCompatible(other);
+    RnsPoly out(ctx_);
+    out.domain_ = domain_;
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        const u64 p = ctx_->basis().prime(i);
+        for (std::size_t k = 0; k < degree(); ++k) {
+            out.rows_[i][k] = AddMod(rows_[i][k], other.rows_[i][k], p);
+        }
+    }
+    return out;
+}
+
+RnsPoly
+RnsPoly::operator-(const RnsPoly &other) const
+{
+    CheckCompatible(other);
+    RnsPoly out(ctx_);
+    out.domain_ = domain_;
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        const u64 p = ctx_->basis().prime(i);
+        for (std::size_t k = 0; k < degree(); ++k) {
+            out.rows_[i][k] = SubMod(rows_[i][k], other.rows_[i][k], p);
+        }
+    }
+    return out;
+}
+
+RnsPoly
+RnsPoly::operator*(const RnsPoly &other) const
+{
+    CheckCompatible(other);
+    if (domain_ != Domain::kEvaluation) {
+        throw std::logic_error("Hadamard product requires evaluation "
+                               "domain; call ToEvaluation() first");
+    }
+    RnsPoly out(ctx_);
+    out.domain_ = Domain::kEvaluation;
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        const u64 p = ctx_->basis().prime(i);
+        for (std::size_t k = 0; k < degree(); ++k) {
+            out.rows_[i][k] =
+                MulModNative(rows_[i][k], other.rows_[i][k], p);
+        }
+    }
+    return out;
+}
+
+RnsPoly
+RnsPoly::ScalarMul(u64 scalar) const
+{
+    RnsPoly out(ctx_);
+    out.domain_ = domain_;
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        const u64 p = ctx_->basis().prime(i);
+        const u64 s = scalar % p;
+        for (std::size_t k = 0; k < degree(); ++k) {
+            out.rows_[i][k] = MulModNative(rows_[i][k], s, p);
+        }
+    }
+    return out;
+}
+
+RnsPoly
+RnsPoly::Multiply(const RnsPoly &a, const RnsPoly &b)
+{
+    RnsPoly fa = a;
+    RnsPoly fb = b;
+    if (fa.domain() == Domain::kCoefficient) {
+        fa.ToEvaluation();
+    }
+    if (fb.domain() == Domain::kCoefficient) {
+        fb.ToEvaluation();
+    }
+    RnsPoly out = fa * fb;
+    out.ToCoefficient();
+    return out;
+}
+
+BigInt
+RnsPoly::CoefficientAsBigInt(std::size_t k) const
+{
+    if (domain_ != Domain::kCoefficient) {
+        throw std::logic_error("coefficients unavailable in evaluation "
+                               "domain");
+    }
+    std::vector<u64> residues(rows_.size());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        residues[i] = rows_[i][k];
+    }
+    return CrtCompose(residues, ctx_->basis());
+}
+
+std::vector<BigInt>
+RnsPoly::ToBigIntCoefficients() const
+{
+    std::vector<BigInt> out;
+    out.reserve(degree());
+    for (std::size_t k = 0; k < degree(); ++k) {
+        out.push_back(CoefficientAsBigInt(k));
+    }
+    return out;
+}
+
+}  // namespace hentt

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * RnsPoly — a polynomial in Z_Q[X]/(X^N + 1) held as np residue rows,
+ * one per RNS prime. This is exactly the paper's NTT workload: an HE
+ * polynomial multiply issues np independent N-point NTTs (the "batch"
+ * of Section V-A), one per row.
+ *
+ * An RnsPoly tracks which domain it is in (coefficient vs. evaluation /
+ * NTT); domain mismatches throw rather than silently producing garbage.
+ */
+
+#ifndef HENTT_POLY_RNS_POLY_H
+#define HENTT_POLY_RNS_POLY_H
+
+#include <memory>
+#include <vector>
+
+#include "ntt/ntt_engine.h"
+#include "poly/poly.h"
+#include "rns/crt.h"
+#include "rns/rns_basis.h"
+
+namespace hentt {
+
+/** Shared per-basis NTT context: one engine per prime. */
+class RnsNttContext
+{
+  public:
+    RnsNttContext(std::size_t n, std::shared_ptr<const RnsBasis> basis);
+
+    std::size_t degree() const { return n_; }
+    const RnsBasis &basis() const { return *basis_; }
+    std::shared_ptr<const RnsBasis> basis_ptr() const { return basis_; }
+    const NttEngine &engine(std::size_t i) const { return *engines_[i]; }
+
+  private:
+    std::size_t n_;
+    std::shared_ptr<const RnsBasis> basis_;
+    std::vector<std::unique_ptr<NttEngine>> engines_;
+};
+
+/** Residue-matrix polynomial with domain tracking. */
+class RnsPoly
+{
+  public:
+    enum class Domain { kCoefficient, kEvaluation };
+
+    /** Zero polynomial in coefficient form. */
+    explicit RnsPoly(std::shared_ptr<const RnsNttContext> ctx);
+
+    /**
+     * Lift a multi-precision coefficient vector into RNS rows.
+     * @pre every coefficient < basis.product().
+     */
+    RnsPoly(std::shared_ptr<const RnsNttContext> ctx,
+            const std::vector<BigInt> &coeffs);
+
+    const RnsNttContext &context() const { return *ctx_; }
+    std::size_t degree() const { return ctx_->degree(); }
+    std::size_t prime_count() const { return rows_.size(); }
+    Domain domain() const { return domain_; }
+
+    /** Residue row for prime i (length-N vector over Z_{p_i}). */
+    std::vector<u64> &row(std::size_t i) { return rows_[i]; }
+    const std::vector<u64> &row(std::size_t i) const { return rows_[i]; }
+
+    /** In-place forward NTT on every row. @pre coefficient domain. */
+    void ToEvaluation();
+    /** In-place inverse NTT on every row. @pre evaluation domain. */
+    void ToCoefficient();
+
+    /** Element-wise ring operations (any matching domain). */
+    RnsPoly operator+(const RnsPoly &other) const;
+    RnsPoly operator-(const RnsPoly &other) const;
+    /** Hadamard product. @pre both in evaluation domain. */
+    RnsPoly operator*(const RnsPoly &other) const;
+    /** Scalar multiply by a word constant. */
+    RnsPoly ScalarMul(u64 scalar) const;
+
+    /**
+     * Full negacyclic multiply: transforms to evaluation domain as
+     * needed, multiplies, and returns the product in coefficient form.
+     */
+    static RnsPoly Multiply(const RnsPoly &a, const RnsPoly &b);
+
+    /** Reconstruct coefficient k as a value in [0, Q). */
+    BigInt CoefficientAsBigInt(std::size_t k) const;
+
+    /** All coefficients in [0, Q). @pre coefficient domain. */
+    std::vector<BigInt> ToBigIntCoefficients() const;
+
+  private:
+    void CheckCompatible(const RnsPoly &other) const;
+
+    std::shared_ptr<const RnsNttContext> ctx_;
+    std::vector<std::vector<u64>> rows_;
+    Domain domain_ = Domain::kCoefficient;
+};
+
+}  // namespace hentt
+
+#endif  // HENTT_POLY_RNS_POLY_H

@@ -1,0 +1,216 @@
+#include "rns/bigint.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hentt {
+
+BigInt::BigInt(u64 value)
+{
+    if (value != 0) {
+        limbs_.push_back(value);
+    }
+}
+
+BigInt::BigInt(std::vector<u64> limbs) : limbs_(std::move(limbs))
+{
+    Normalize();
+}
+
+void
+BigInt::Normalize()
+{
+    while (!limbs_.empty() && limbs_.back() == 0) {
+        limbs_.pop_back();
+    }
+}
+
+std::size_t
+BigInt::BitLength() const
+{
+    if (limbs_.empty()) {
+        return 0;
+    }
+    std::size_t bits = 64 * (limbs_.size() - 1);
+    u64 top = limbs_.back();
+    while (top != 0) {
+        ++bits;
+        top >>= 1;
+    }
+    return bits;
+}
+
+std::strong_ordering
+BigInt::operator<=>(const BigInt &other) const
+{
+    if (limbs_.size() != other.limbs_.size()) {
+        return limbs_.size() <=> other.limbs_.size();
+    }
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        if (limbs_[i] != other.limbs_[i]) {
+            return limbs_[i] <=> other.limbs_[i];
+        }
+    }
+    return std::strong_ordering::equal;
+}
+
+BigInt
+BigInt::operator+(const BigInt &other) const
+{
+    BigInt result = *this;
+    result += other;
+    return result;
+}
+
+BigInt &
+BigInt::operator+=(const BigInt &other)
+{
+    const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+    limbs_.resize(n, 0);
+    u64 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const u64 b = i < other.limbs_.size() ? other.limbs_[i] : 0;
+        const u128 s = static_cast<u128>(limbs_[i]) + b + carry;
+        limbs_[i] = Lo64(s);
+        carry = Hi64(s);
+    }
+    if (carry != 0) {
+        limbs_.push_back(carry);
+    }
+    return *this;
+}
+
+BigInt
+BigInt::operator-(const BigInt &other) const
+{
+    BigInt result = *this;
+    result -= other;
+    return result;
+}
+
+BigInt &
+BigInt::operator-=(const BigInt &other)
+{
+    if (*this < other) {
+        throw std::underflow_error("BigInt subtraction would underflow");
+    }
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const u64 b = i < other.limbs_.size() ? other.limbs_[i] : 0;
+        const u128 need = static_cast<u128>(b) + borrow;
+        if (static_cast<u128>(limbs_[i]) >= need) {
+            limbs_[i] -= static_cast<u64>(need);
+            borrow = 0;
+        } else {
+            limbs_[i] = static_cast<u64>(
+                (static_cast<u128>(1) << 64) + limbs_[i] - need);
+            borrow = 1;
+        }
+    }
+    Normalize();
+    return *this;
+}
+
+BigInt
+BigInt::operator*(const BigInt &other) const
+{
+    if (IsZero() || other.IsZero()) {
+        return BigInt{};
+    }
+    std::vector<u64> out(limbs_.size() + other.limbs_.size(), 0);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        u64 carry = 0;
+        for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+            const u128 cur = static_cast<u128>(out[i + j]) +
+                             Mul64Wide(limbs_[i], other.limbs_[j]) + carry;
+            out[i + j] = Lo64(cur);
+            carry = Hi64(cur);
+        }
+        out[i + other.limbs_.size()] += carry;
+    }
+    return BigInt(std::move(out));
+}
+
+BigInt
+BigInt::operator*(u64 other) const
+{
+    return *this * BigInt(other);
+}
+
+std::pair<BigInt, u64>
+BigInt::DivMod(u64 divisor) const
+{
+    if (divisor == 0) {
+        throw std::domain_error("BigInt division by zero");
+    }
+    std::vector<u64> quotient(limbs_.size(), 0);
+    u64 rem = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        const u128 cur = (static_cast<u128>(rem) << 64) | limbs_[i];
+        quotient[i] = static_cast<u64>(cur / divisor);
+        rem = static_cast<u64>(cur % divisor);
+    }
+    return {BigInt(std::move(quotient)), rem};
+}
+
+BigInt
+BigInt::operator/(u64 divisor) const
+{
+    return DivMod(divisor).first;
+}
+
+u64
+BigInt::operator%(u64 divisor) const
+{
+    return DivMod(divisor).second;
+}
+
+BigInt
+BigInt::operator<<(std::size_t bits) const
+{
+    if (IsZero()) {
+        return BigInt{};
+    }
+    const std::size_t limb_shift = bits / 64;
+    const unsigned bit_shift = bits % 64;
+    std::vector<u64> out(limbs_.size() + limb_shift + 1, 0);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        out[i + limb_shift] |= limbs_[i] << bit_shift;
+        if (bit_shift != 0) {
+            out[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+        }
+    }
+    return BigInt(std::move(out));
+}
+
+BigInt
+BigInt::FromDecimal(const std::string &digits)
+{
+    BigInt result;
+    for (char c : digits) {
+        if (c < '0' || c > '9') {
+            throw std::invalid_argument("non-decimal digit");
+        }
+        result = result * u64{10} + BigInt(static_cast<u64>(c - '0'));
+    }
+    return result;
+}
+
+std::string
+BigInt::ToDecimal() const
+{
+    if (IsZero()) {
+        return "0";
+    }
+    std::string out;
+    BigInt cur = *this;
+    while (!cur.IsZero()) {
+        auto [q, r] = cur.DivMod(10);
+        out.push_back(static_cast<char>('0' + r));
+        cur = std::move(q);
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+}  // namespace hentt

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Minimal arbitrary-precision unsigned integer.
+ *
+ * HE ciphertext coefficients live in Z_Q with Q >> 2^64 (paper Section
+ * III-B); the RNS/CRT machinery removes big-integer arithmetic from the
+ * hot path, but the library still needs it to (a) build and reason about
+ * Q = prod p_i, (b) verify CRT round trips, and (c) perform the centered
+ * reductions in the HE layer. Little-endian base-2^64 limbs; only the
+ * operations those uses require.
+ */
+
+#ifndef HENTT_RNS_BIGINT_H
+#define HENTT_RNS_BIGINT_H
+
+#include <compare>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/int128.h"
+
+namespace hentt {
+
+/** Unsigned big integer, value = sum limbs[i] * 2^(64 i). */
+class BigInt
+{
+  public:
+    /** Zero. */
+    BigInt() = default;
+    /** From a single word. */
+    BigInt(u64 value);  // NOLINT(google-explicit-constructor): numeric
+    /** From little-endian limbs (normalized on construction). */
+    explicit BigInt(std::vector<u64> limbs);
+
+    static BigInt FromDecimal(const std::string &digits);
+
+    bool IsZero() const { return limbs_.empty(); }
+    std::size_t limb_count() const { return limbs_.size(); }
+    const std::vector<u64> &limbs() const { return limbs_; }
+
+    /** Number of significant bits (0 for zero). */
+    std::size_t BitLength() const;
+
+    std::strong_ordering operator<=>(const BigInt &other) const;
+    bool operator==(const BigInt &other) const = default;
+
+    BigInt operator+(const BigInt &other) const;
+    /** @pre *this >= other. */
+    BigInt operator-(const BigInt &other) const;
+    BigInt operator*(const BigInt &other) const;
+    BigInt operator*(u64 other) const;
+    /** Floor division by a word. */
+    BigInt operator/(u64 divisor) const;
+    /** Remainder modulo a word. */
+    u64 operator%(u64 divisor) const;
+    BigInt operator<<(std::size_t bits) const;
+
+    BigInt &operator+=(const BigInt &other);
+    BigInt &operator-=(const BigInt &other);
+
+    /** Quotient and remainder by a single word in one pass. */
+    std::pair<BigInt, u64> DivMod(u64 divisor) const;
+
+    /** Low 64 bits (0 if zero). */
+    u64 ToU64() const { return limbs_.empty() ? 0 : limbs_[0]; }
+    /** True iff the value fits in 64 bits. */
+    bool FitsU64() const { return limbs_.size() <= 1; }
+
+    std::string ToDecimal() const;
+
+  private:
+    void Normalize();
+
+    std::vector<u64> limbs_;
+};
+
+}  // namespace hentt
+
+#endif  // HENTT_RNS_BIGINT_H

@@ -1,0 +1,62 @@
+#include "rns/crt.h"
+
+#include <stdexcept>
+
+#include "common/modarith.h"
+
+namespace hentt {
+
+std::vector<u64>
+CrtDecompose(const BigInt &x, const RnsBasis &basis)
+{
+    std::vector<u64> residues(basis.prime_count());
+    for (std::size_t i = 0; i < basis.prime_count(); ++i) {
+        residues[i] = x % basis.prime(i);
+    }
+    return residues;
+}
+
+BigInt
+CrtCompose(const std::vector<u64> &residues, const RnsBasis &basis)
+{
+    if (residues.size() != basis.prime_count()) {
+        throw std::invalid_argument("residue count != basis size");
+    }
+    // Garner: find mixed-radix digits v_i with
+    //   x = v_0 + v_1 p_0 + v_2 p_0 p_1 + ...,   0 <= v_i < p_i.
+    const std::size_t k = basis.prime_count();
+    std::vector<u64> v(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        const u64 pi = basis.prime(i);
+        // t = (r_i - (v_0 + v_1 p_0 + ...)) * garner_inv_i  (mod p_i)
+        u64 acc = 0;       // partial value mod p_i
+        u64 radix = 1;     // p_0 ... p_{j-1} mod p_i
+        for (std::size_t j = 0; j < i; ++j) {
+            acc = AddMod(acc, MulModNative(v[j], radix, pi), pi);
+            radix = MulModNative(radix, basis.prime(j) % pi, pi);
+        }
+        const u64 diff = SubMod(residues[i] % pi, acc, pi);
+        v[i] = MulModNative(diff, basis.garner_inverse(i), pi);
+    }
+    // Accumulate the mixed-radix expansion into a BigInt.
+    BigInt result;
+    BigInt radix(u64{1});
+    for (std::size_t i = 0; i < k; ++i) {
+        result += radix * v[i];
+        radix = radix * basis.prime(i);
+    }
+    return result;
+}
+
+std::pair<BigInt, bool>
+CrtComposeCentered(const std::vector<u64> &residues, const RnsBasis &basis)
+{
+    BigInt x = CrtCompose(residues, basis);
+    const BigInt half = basis.product() / 2;
+    if (x > half) {
+        return {basis.product() - x, true};
+    }
+    return {x, false};
+}
+
+}  // namespace hentt

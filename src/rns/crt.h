@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Chinese-remainder-theorem conversions between Z_Q and the RNS domain.
+ *
+ * Decompose maps x in [0, Q) to its residue vector (x mod p_i);
+ * Compose inverts it with Garner's mixed-radix algorithm, which needs
+ * only word-sized modular arithmetic plus big-integer accumulate —
+ * no big-integer modulo.
+ */
+
+#ifndef HENTT_RNS_CRT_H
+#define HENTT_RNS_CRT_H
+
+#include <vector>
+
+#include "rns/bigint.h"
+#include "rns/rns_basis.h"
+
+namespace hentt {
+
+/** x mod p_i for every basis prime. @pre x < basis.product(). */
+std::vector<u64> CrtDecompose(const BigInt &x, const RnsBasis &basis);
+
+/** Unique x in [0, Q) with x == residues[i] (mod p_i). */
+BigInt CrtCompose(const std::vector<u64> &residues, const RnsBasis &basis);
+
+/**
+ * Centered composition: interprets the residue vector as a value in
+ * (-Q/2, Q/2] and returns (|x|, negative?). Used by the HE layer when
+ * mapping ciphertext coefficients back to signed plaintext space.
+ */
+std::pair<BigInt, bool> CrtComposeCentered(const std::vector<u64> &residues,
+                                           const RnsBasis &basis);
+
+}  // namespace hentt
+
+#endif  // HENTT_RNS_CRT_H

@@ -1,0 +1,53 @@
+#include "rns/rns_basis.h"
+
+#include <set>
+#include <stdexcept>
+
+#include "common/modarith.h"
+#include "common/primegen.h"
+
+namespace hentt {
+
+RnsBasis::RnsBasis(std::size_t n, unsigned bits, std::size_t count)
+    : primes_(GenerateNttPrimes(2 * n, bits, count))
+{
+    Precompute();
+}
+
+RnsBasis::RnsBasis(std::vector<u64> primes) : primes_(std::move(primes))
+{
+    if (primes_.empty()) {
+        throw std::invalid_argument("RNS basis must be non-empty");
+    }
+    std::set<u64> seen;
+    for (u64 p : primes_) {
+        if (!IsPrime(p)) {
+            throw std::invalid_argument("RNS basis element is not prime");
+        }
+        if (!seen.insert(p).second) {
+            throw std::invalid_argument("RNS basis has a repeated prime");
+        }
+    }
+    Precompute();
+}
+
+void
+RnsBasis::Precompute()
+{
+    product_ = BigInt(u64{1});
+    for (u64 p : primes_) {
+        product_ = product_ * p;
+    }
+    garner_inv_.resize(primes_.size());
+    garner_inv_[0] = 1;
+    for (std::size_t i = 1; i < primes_.size(); ++i) {
+        const u64 pi = primes_[i];
+        u64 prefix = 1;
+        for (std::size_t j = 0; j < i; ++j) {
+            prefix = MulModNative(prefix, primes_[j] % pi, pi);
+        }
+        garner_inv_[i] = InvMod(prefix, pi);
+    }
+}
+
+}  // namespace hentt

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * RNS (residue number system) basis: the set of np NTT-friendly coprime
+ * moduli whose product bounds the ciphertext modulus Q (paper Section
+ * III-B). Holds the Garner mixed-radix precomputation used by CRT
+ * composition.
+ */
+
+#ifndef HENTT_RNS_RNS_BASIS_H
+#define HENTT_RNS_RNS_BASIS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "rns/bigint.h"
+
+namespace hentt {
+
+/** An ordered list of pairwise-coprime NTT-friendly primes. */
+class RnsBasis
+{
+  public:
+    /**
+     * Build a basis of @p count primes p_i == 1 (mod 2n), @p bits bits
+     * each, searching downward from 2^bits.
+     */
+    RnsBasis(std::size_t n, unsigned bits, std::size_t count);
+
+    /** Build from explicit primes (validated: prime, distinct). */
+    explicit RnsBasis(std::vector<u64> primes);
+
+    std::size_t prime_count() const { return primes_.size(); }
+    u64 prime(std::size_t i) const { return primes_[i]; }
+    const std::vector<u64> &primes() const { return primes_; }
+
+    /** Q = prod p_i. */
+    const BigInt &product() const { return product_; }
+
+    /** log2(Q), rounded up to the bit. */
+    std::size_t log_q() const { return product_.BitLength(); }
+
+    /**
+     * Garner coefficient inv_{ij} = (p_0 p_1 ... p_{j-1})^{-1} mod p_i,
+     * for j < i (used by mixed-radix CRT composition).
+     */
+    u64 garner_inverse(std::size_t i) const { return garner_inv_[i]; }
+
+  private:
+    void Precompute();
+
+    std::vector<u64> primes_;
+    BigInt product_;
+    // garner_inv_[i] = (prod_{j<i} p_j)^{-1} mod p_i; garner_inv_[0] = 1.
+    std::vector<u64> garner_inv_;
+};
+
+}  // namespace hentt
+
+#endif  // HENTT_RNS_RNS_BASIS_H

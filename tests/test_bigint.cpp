@@ -1,0 +1,124 @@
+/** Unit tests for the minimal BigInt. */
+
+#include <gtest/gtest.h>
+
+#include "rns/bigint.h"
+
+namespace hentt {
+namespace {
+
+TEST(BigInt, ZeroAndSmallValues)
+{
+    BigInt zero;
+    EXPECT_TRUE(zero.IsZero());
+    EXPECT_EQ(zero.BitLength(), 0u);
+    EXPECT_EQ(zero.ToDecimal(), "0");
+
+    BigInt five(u64{5});
+    EXPECT_FALSE(five.IsZero());
+    EXPECT_EQ(five.BitLength(), 3u);
+    EXPECT_EQ(five.ToU64(), 5u);
+    EXPECT_EQ(five.ToDecimal(), "5");
+}
+
+TEST(BigInt, NormalizesLeadingZeroLimbs)
+{
+    BigInt x(std::vector<u64>{7, 0, 0});
+    EXPECT_EQ(x.limb_count(), 1u);
+    EXPECT_EQ(x, BigInt(u64{7}));
+}
+
+TEST(BigInt, AdditionWithCarry)
+{
+    const BigInt max64(~u64{0});
+    const BigInt sum = max64 + BigInt(u64{1});
+    EXPECT_EQ(sum.limb_count(), 2u);
+    EXPECT_EQ(sum.limbs()[0], 0u);
+    EXPECT_EQ(sum.limbs()[1], 1u);
+    EXPECT_EQ(sum.ToDecimal(), "18446744073709551616");
+}
+
+TEST(BigInt, SubtractionWithBorrow)
+{
+    const BigInt two64 = BigInt(~u64{0}) + BigInt(u64{1});
+    const BigInt x = two64 - BigInt(u64{1});
+    EXPECT_EQ(x, BigInt(~u64{0}));
+    EXPECT_THROW(BigInt(u64{1}) - BigInt(u64{2}), std::underflow_error);
+}
+
+TEST(BigInt, MultiplicationKnownValue)
+{
+    // (2^64 - 1)^2 = 2^128 - 2^65 + 1.
+    const BigInt m(~u64{0});
+    const BigInt sq = m * m;
+    EXPECT_EQ(sq.limb_count(), 2u);
+    EXPECT_EQ(sq.limbs()[0], 1u);
+    EXPECT_EQ(sq.limbs()[1], ~u64{0} - 1);
+}
+
+TEST(BigInt, MulByZero)
+{
+    EXPECT_TRUE((BigInt(u64{123}) * BigInt{}).IsZero());
+    EXPECT_TRUE((BigInt{} * u64{55}).IsZero());
+}
+
+TEST(BigInt, DivModByWord)
+{
+    const BigInt x = BigInt::FromDecimal("123456789012345678901234567890");
+    auto [q, r] = x.DivMod(1000000007ULL);
+    EXPECT_EQ(q * 1000000007ULL + BigInt(r), x);
+    EXPECT_LT(r, 1000000007ULL);
+    EXPECT_THROW(x.DivMod(0), std::domain_error);
+}
+
+TEST(BigInt, DecimalRoundTrip)
+{
+    const std::string digits =
+        "113078212145816597093331040047546785012958969400039613319782796882"
+        "7271";
+    const BigInt x = BigInt::FromDecimal(digits);
+    EXPECT_EQ(x.ToDecimal(), digits);
+    EXPECT_THROW(BigInt::FromDecimal("12a"), std::invalid_argument);
+}
+
+TEST(BigInt, Comparisons)
+{
+    const BigInt a = BigInt::FromDecimal("340282366920938463463374607431768211456");  // 2^128
+    const BigInt b = BigInt::FromDecimal("340282366920938463463374607431768211455");  // 2^128-1
+    EXPECT_LT(b, a);
+    EXPECT_GT(a, b);
+    EXPECT_EQ(a, a);
+    EXPECT_LT(BigInt{}, b);
+}
+
+TEST(BigInt, ShiftLeft)
+{
+    const BigInt one(u64{1});
+    EXPECT_EQ((one << 0), one);
+    EXPECT_EQ((one << 64).limb_count(), 2u);
+    EXPECT_EQ((one << 128).ToDecimal(),
+              "340282366920938463463374607431768211456");
+    const BigInt x(u64{0xff});
+    EXPECT_EQ((x << 4), BigInt(u64{0xff0}));
+}
+
+TEST(BigInt, BitLength)
+{
+    EXPECT_EQ(BigInt(u64{1}).BitLength(), 1u);
+    EXPECT_EQ(BigInt(u64{255}).BitLength(), 8u);
+    EXPECT_EQ((BigInt(u64{1}) << 200).BitLength(), 201u);
+}
+
+TEST(BigInt, MulDivInverseProperty)
+{
+    BigInt x = BigInt::FromDecimal("98765432109876543210987654321");
+    for (u64 d : {u64{2}, u64{17}, u64{65537}, ~u64{0} - 58}) {
+        const BigInt prod = x * d;
+        auto [q, r] = prod.DivMod(d);
+        EXPECT_EQ(q, x);
+        EXPECT_EQ(r, 0u);
+    }
+}
+
+}  // namespace
+}  // namespace hentt

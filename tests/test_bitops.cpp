@@ -1,0 +1,69 @@
+/** Unit tests for common/bitops. */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/bitops.h"
+
+namespace hentt {
+namespace {
+
+TEST(IsPowerOfTwo, Basic)
+{
+    EXPECT_FALSE(IsPowerOfTwo(0));
+    EXPECT_TRUE(IsPowerOfTwo(1));
+    EXPECT_TRUE(IsPowerOfTwo(2));
+    EXPECT_FALSE(IsPowerOfTwo(3));
+    EXPECT_TRUE(IsPowerOfTwo(u64{1} << 63));
+    EXPECT_FALSE(IsPowerOfTwo((u64{1} << 63) + 1));
+}
+
+TEST(Log2Floor, Basic)
+{
+    EXPECT_EQ(Log2Floor(1), 0u);
+    EXPECT_EQ(Log2Floor(2), 1u);
+    EXPECT_EQ(Log2Floor(3), 1u);
+    EXPECT_EQ(Log2Floor(1024), 10u);
+    EXPECT_EQ(Log2Floor(u64{1} << 63), 63u);
+}
+
+TEST(BitReverse, Basic)
+{
+    EXPECT_EQ(BitReverse(0b0011, 4), 0b1100u);
+    EXPECT_EQ(BitReverse(0b0001, 4), 0b1000u);
+    EXPECT_EQ(BitReverse(0, 10), 0u);
+    EXPECT_EQ(BitReverse(1, 1), 1u);
+}
+
+TEST(BitReverse, IsInvolution)
+{
+    for (unsigned bits = 1; bits <= 12; ++bits) {
+        for (u64 x = 0; x < (u64{1} << bits); x += 17) {
+            EXPECT_EQ(BitReverse(BitReverse(x, bits), bits), x);
+        }
+    }
+}
+
+TEST(BitReversePermute, IsInvolution)
+{
+    std::vector<int> data(64);
+    std::iota(data.begin(), data.end(), 0);
+    const std::vector<int> original = data;
+    BitReversePermute(std::span<int>(data));
+    EXPECT_NE(data, original);
+    BitReversePermute(std::span<int>(data));
+    EXPECT_EQ(data, original);
+}
+
+TEST(BitReversePermute, KnownSmallCase)
+{
+    std::vector<int> data = {0, 1, 2, 3, 4, 5, 6, 7};
+    BitReversePermute(std::span<int>(data));
+    const std::vector<int> expect = {0, 4, 2, 6, 1, 5, 3, 7};
+    EXPECT_EQ(data, expect);
+}
+
+}  // namespace
+}  // namespace hentt

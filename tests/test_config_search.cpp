@@ -1,0 +1,81 @@
+/** Tests for the SMEM configuration search. */
+
+#include <gtest/gtest.h>
+
+#include "kernels/config_search.h"
+
+namespace hentt::kernels {
+namespace {
+
+TEST(CandidateConfigs, RespectPaperConstraints)
+{
+    const auto configs = CandidateSmemConfigs(1 << 17);
+    EXPECT_FALSE(configs.empty());
+    for (const auto &cfg : configs) {
+        EXPECT_EQ(cfg.kernel1_size * cfg.kernel2_size, 1u << 17);
+        EXPECT_GE(cfg.kernel1_size, 64u);
+        EXPECT_GE(cfg.kernel2_size, 64u);
+        EXPECT_LE(cfg.kernel1_size, 512u);   // preloadable K1 slice
+        EXPECT_LE(cfg.kernel2_size, 2048u);  // SMEM radix cap 2^11
+    }
+    // Paper Fig. 12(a) shows exactly 4 combos for logN = 17: 512x256,
+    // 256x512, 128x1024, 64x2048.
+    EXPECT_EQ(configs.size(), 4u);
+}
+
+TEST(CandidateConfigs, RejectsTinyN)
+{
+    EXPECT_THROW(CandidateSmemConfigs(1 << 10), std::invalid_argument);
+}
+
+TEST(RankConfigs, SortedByTime)
+{
+    const gpu::Simulator sim;
+    const auto ranked = RankSmemConfigs(sim, 1 << 17, 21);
+    ASSERT_GE(ranked.size(), 2u);
+    for (std::size_t i = 1; i < ranked.size(); ++i) {
+        EXPECT_LE(ranked[i - 1].estimate.total_us,
+                  ranked[i].estimate.total_us);
+    }
+}
+
+TEST(RankConfigs, SpreadIsSmall)
+{
+    // Paper Section VIII: the performance difference across radix
+    // combinations for a given N is negligible (< ~16%).
+    const gpu::Simulator sim;
+    for (unsigned log_n = 14; log_n <= 17; ++log_n) {
+        const auto ranked =
+            RankSmemConfigs(sim, std::size_t{1} << log_n, 21);
+        const double best = ranked.front().estimate.total_us;
+        const double worst = ranked.back().estimate.total_us;
+        EXPECT_LT(worst / best, 1.35) << "logN " << log_n;
+    }
+}
+
+TEST(FindBest, AgreesWithRankFront)
+{
+    const gpu::Simulator sim;
+    const auto best = FindBestSmemConfig(sim, 1 << 16, 21);
+    const auto ranked = RankSmemConfigs(sim, 1 << 16, 21);
+    EXPECT_EQ(best.config.kernel1_size,
+              ranked.front().config.kernel1_size);
+    EXPECT_DOUBLE_EQ(best.estimate.total_us,
+                     ranked.front().estimate.total_us);
+}
+
+TEST(FindBest, OtVariantIsFasterAtPaperScale)
+{
+    const gpu::Simulator sim;
+    for (unsigned log_n = 14; log_n <= 17; ++log_n) {
+        const auto base =
+            FindBestSmemConfig(sim, std::size_t{1} << log_n, 21, 8, 0);
+        const auto ot =
+            FindBestSmemConfig(sim, std::size_t{1} << log_n, 21, 8, 2);
+        EXPECT_LT(ot.estimate.total_us, base.estimate.total_us)
+            << "logN " << log_n;
+    }
+}
+
+}  // namespace
+}  // namespace hentt::kernels

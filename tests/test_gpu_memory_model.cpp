@@ -1,0 +1,83 @@
+/** Tests for the coalescing / transaction model. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpu/memory_model.h"
+
+namespace hentt::gpu {
+namespace {
+
+TEST(WarpTransactions, FullyCoalesced8ByteWords)
+{
+    // 32 consecutive u64s = 256 bytes = 8 transactions of 32 bytes.
+    std::vector<u64> addrs(32);
+    for (std::size_t i = 0; i < 32; ++i) {
+        addrs[i] = i * 8;
+    }
+    EXPECT_EQ(WarpTransactions(addrs, 8), 8u);
+}
+
+TEST(WarpTransactions, FullyScattered)
+{
+    std::vector<u64> addrs(32);
+    for (std::size_t i = 0; i < 32; ++i) {
+        addrs[i] = i * 4096;  // each lane in its own sector
+    }
+    EXPECT_EQ(WarpTransactions(addrs, 8), 32u);
+}
+
+TEST(WarpTransactions, BroadcastSingleSector)
+{
+    const std::vector<u64> addrs(32, 64);
+    EXPECT_EQ(WarpTransactions(addrs, 8), 1u);
+}
+
+TEST(WarpTransactions, MisalignedAccessSpansTwoSectors)
+{
+    const std::vector<u64> addrs = {28};  // 8 bytes crossing a boundary
+    EXPECT_EQ(WarpTransactions(addrs, 8), 2u);
+}
+
+TEST(WarpTransactions, RejectsZeroSizes)
+{
+    const std::vector<u64> addrs = {0};
+    EXPECT_THROW(WarpTransactions(addrs, 0), std::invalid_argument);
+}
+
+TEST(StridedWarpTransactions, MatchesExactSimulation)
+{
+    // Cross-validate the closed form against the exact simulator for a
+    // sweep of strides (the property the benches rely on).
+    for (std::size_t stride : {8u, 16u, 32u, 64u, 128u, 24u, 40u}) {
+        std::vector<u64> addrs(32);
+        for (std::size_t i = 0; i < 32; ++i) {
+            addrs[i] = i * stride;
+        }
+        EXPECT_EQ(StridedWarpTransactions(stride, 8),
+                  WarpTransactions(addrs, 8))
+            << "stride " << stride;
+    }
+}
+
+TEST(CoalescingExpansion, PaperKernel1Pattern)
+{
+    // Unit stride: 1.0 (no waste).
+    EXPECT_DOUBLE_EQ(CoalescingExpansion(8, 8), 1.0);
+    // The paper's uncoalesced Kernel-1: 8-byte words with stride >= 32
+    // bytes -> each 32-byte sector carries 8 useful bytes: 4x expansion
+    // (Fig. 6(a)'s "75% wasted").
+    EXPECT_DOUBLE_EQ(CoalescingExpansion(32, 8), 4.0);
+    EXPECT_DOUBLE_EQ(CoalescingExpansion(4096, 8), 4.0);
+    // Stride 16: half the sector useful -> 2x.
+    EXPECT_DOUBLE_EQ(CoalescingExpansion(16, 8), 2.0);
+}
+
+TEST(CoalescingExpansion, BroadcastIsCheap)
+{
+    EXPECT_DOUBLE_EQ(CoalescingExpansion(0, 8), 32.0 / (32.0 * 8.0));
+}
+
+}  // namespace
+}  // namespace hentt::gpu

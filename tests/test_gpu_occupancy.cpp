@@ -1,0 +1,113 @@
+/** Tests for the occupancy calculator and register calibration tables. */
+
+#include <gtest/gtest.h>
+
+#include "gpu/occupancy.h"
+
+namespace hentt::gpu {
+namespace {
+
+DeviceSpec
+Dev()
+{
+    return DeviceSpec::TitanV();
+}
+
+TEST(Occupancy, LightKernelReachesFullOccupancy)
+{
+    KernelResources res;
+    res.regs_per_thread = 26;
+    res.threads_per_block = 256;
+    res.grid_blocks = 100000;  // machine-filling grid
+    const auto occ = ComputeOccupancy(Dev(), res);
+    EXPECT_DOUBLE_EQ(occ.resource_occupancy, 1.0);
+    EXPECT_DOUBLE_EQ(occ.effective_occupancy, 1.0);
+    EXPECT_EQ(occ.spilled_regs_per_thread, 0u);
+}
+
+TEST(Occupancy, RegisterPressureCapsBlocks)
+{
+    KernelResources res;
+    res.regs_per_thread = 100;  // the radix-32 NTT calibration point
+    res.threads_per_block = 256;
+    res.grid_blocks = 100000;
+    const auto occ = ComputeOccupancy(Dev(), res);
+    // 65536 / (100 * 256) = 2 blocks -> 512 threads of 2048.
+    EXPECT_EQ(occ.blocks_per_sm, 2u);
+    EXPECT_DOUBLE_EQ(occ.resource_occupancy, 0.25);
+    EXPECT_EQ(occ.limiter, OccupancyLimiter::kRegisters);
+}
+
+TEST(Occupancy, SpillBeyondPerThreadCap)
+{
+    KernelResources res;
+    res.regs_per_thread = 296;  // radix-64 NTT calibration point
+    res.threads_per_block = 256;
+    res.grid_blocks = 100000;
+    const auto occ = ComputeOccupancy(Dev(), res);
+    EXPECT_EQ(occ.spilled_regs_per_thread, 296u - 255u);
+    EXPECT_EQ(occ.blocks_per_sm, 1u);
+}
+
+TEST(Occupancy, SharedMemoryLimits)
+{
+    KernelResources res;
+    res.regs_per_thread = 24;
+    res.threads_per_block = 128;
+    res.smem_per_block = 32 * 1024;
+    res.grid_blocks = 100000;
+    const auto occ = ComputeOccupancy(Dev(), res);
+    EXPECT_EQ(occ.blocks_per_sm, 3u);  // 96KB / 32KB
+    EXPECT_EQ(occ.limiter, OccupancyLimiter::kSharedMemory);
+}
+
+TEST(Occupancy, SmallGridCannotFillMachine)
+{
+    KernelResources res;
+    res.regs_per_thread = 26;
+    res.threads_per_block = 256;
+    res.grid_blocks = 80;  // one block per SM: 256/2048 occupancy
+    const auto occ = ComputeOccupancy(Dev(), res);
+    EXPECT_DOUBLE_EQ(occ.resource_occupancy, 1.0);
+    EXPECT_NEAR(occ.effective_occupancy, 80.0 * 256 / (80.0 * 2048),
+                1e-12);
+    EXPECT_EQ(occ.limiter, OccupancyLimiter::kGridSize);
+}
+
+TEST(Occupancy, RejectsEmptyLaunch)
+{
+    KernelResources res;
+    res.threads_per_block = 0;
+    EXPECT_THROW(ComputeOccupancy(Dev(), res), std::invalid_argument);
+}
+
+TEST(RegisterTables, PaperAnchors)
+{
+    // NTT's best radix is 16, DFT's is 32 (Figs. 4/5): NTT must be
+    // noticeably more register-hungry at radix 32.
+    EXPECT_GT(NttRegisterCost(32), DftRegisterCost(32));
+    // Paper: NTT occupancy at radix-32 is ~31% below DFT's.
+    const double ntt_occ = 65536.0 / NttRegisterCost(32);
+    const double dft_occ = 65536.0 / DftRegisterCost(32);
+    EXPECT_LT(ntt_occ / dft_occ, 0.8);
+    // Radix-64/128 NTT spills (> 255 regs/thread).
+    EXPECT_GT(NttRegisterCost(64), 255u);
+    EXPECT_GT(NttRegisterCost(128), 255u);
+    // Monotone growth in the radix.
+    for (std::size_t r = 2; r < 128; r *= 2) {
+        EXPECT_LT(NttRegisterCost(r), NttRegisterCost(2 * r));
+        EXPECT_LT(DftRegisterCost(r), DftRegisterCost(2 * r));
+    }
+    EXPECT_THROW(NttRegisterCost(3), std::invalid_argument);
+    EXPECT_THROW(DftRegisterCost(256), std::invalid_argument);
+}
+
+TEST(RegisterTables, SmemKernelCosts)
+{
+    EXPECT_LT(SmemKernelRegisterCost(2), SmemKernelRegisterCost(4));
+    EXPECT_LT(SmemKernelRegisterCost(4), SmemKernelRegisterCost(8));
+    EXPECT_THROW(SmemKernelRegisterCost(16), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hentt::gpu

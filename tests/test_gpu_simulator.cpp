@@ -1,0 +1,130 @@
+/** Tests for the roofline time estimator. */
+
+#include <gtest/gtest.h>
+
+#include "gpu/simulator.h"
+
+namespace hentt::gpu {
+namespace {
+
+KernelStats
+StreamingKernel(double bytes)
+{
+    KernelStats k;
+    k.name = "stream";
+    k.resources.regs_per_thread = 26;
+    k.resources.threads_per_block = 256;
+    k.resources.grid_blocks = 1 << 20;
+    k.dram_read_bytes = bytes / 2;
+    k.dram_write_bytes = bytes / 2;
+    k.transaction_bytes = bytes;
+    k.compute_slots = 1;
+    return k;
+}
+
+TEST(Simulator, BandwidthFactorSaturates)
+{
+    const Simulator sim;
+    EXPECT_LT(sim.BandwidthFactor(0.05), 0.35);
+    EXPECT_GT(sim.BandwidthFactor(0.5), 0.85);
+    EXPECT_GT(sim.BandwidthFactor(1.0), 0.98);
+    // Monotone.
+    double prev = 0;
+    for (double occ = 0.05; occ <= 1.0; occ += 0.05) {
+        const double f = sim.BandwidthFactor(occ);
+        EXPECT_GT(f, prev);
+        prev = f;
+    }
+}
+
+TEST(Simulator, MemoryBoundKernelNearPaperCeiling)
+{
+    // A fully occupied streaming kernel should achieve ~86.7% of peak
+    // (the paper's measured ceiling on Titan V).
+    const Simulator sim;
+    const auto est = sim.Estimate(StreamingKernel(1e9));
+    EXPECT_TRUE(est.memory_bound);
+    EXPECT_GT(est.dram_utilization, 0.80);
+    EXPECT_LE(est.dram_utilization, 0.87);
+}
+
+TEST(Simulator, ComputeBoundKernelIgnoresBandwidth)
+{
+    KernelStats k = StreamingKernel(1e6);
+    k.compute_slots = 1e12;  // enormous arithmetic load
+    const Simulator sim;
+    const auto est = sim.Estimate(k);
+    EXPECT_FALSE(est.memory_bound);
+    EXPECT_GT(est.compute_us, est.mem_us);
+    EXPECT_NEAR(est.compute_us,
+                1e12 / (sim.device().SlotsPerSecond() *
+                        sim.device().sustained_ipc) *
+                    1e6,
+                1.0);
+}
+
+TEST(Simulator, LowOccupancyShrinksBandwidth)
+{
+    KernelStats fat = StreamingKernel(1e9);
+    fat.resources.regs_per_thread = 100;  // cap occupancy at 25%
+    const Simulator sim;
+    const auto est_fat = sim.Estimate(fat);
+    const auto est_slim = sim.Estimate(StreamingKernel(1e9));
+    EXPECT_GT(est_fat.total_us, est_slim.total_us * 1.3);
+}
+
+TEST(Simulator, LaunchOverheadAccumulates)
+{
+    const Simulator sim;
+    KernelStats k = StreamingKernel(1e6);
+    k.launches = 1;
+    const auto one = sim.Estimate(k);
+    k.launches = 17;
+    const auto many = sim.Estimate(k);
+    EXPECT_NEAR(many.total_us - one.total_us,
+                16 * sim.device().kernel_launch_overhead_us, 1e-9);
+}
+
+TEST(Simulator, TransactionRoofPenalizesUncoalesced)
+{
+    const Simulator sim;
+    KernelStats coalesced = StreamingKernel(1e8);
+    KernelStats uncoalesced = coalesced;
+    uncoalesced.transaction_bytes = 4e8;  // 4x sector expansion
+    const auto a = sim.Estimate(coalesced);
+    const auto b = sim.Estimate(uncoalesced);
+    EXPECT_GT(b.total_us, a.total_us);
+}
+
+TEST(Simulator, PlanAccumulation)
+{
+    const Simulator sim;
+    const LaunchPlan plan = {StreamingKernel(1e8), StreamingKernel(2e8)};
+    const auto total = sim.Estimate(plan);
+    const auto first = sim.Estimate(plan[0]);
+    const auto second = sim.Estimate(plan[1]);
+    EXPECT_NEAR(total.total_us, first.total_us + second.total_us, 1e-9);
+    EXPECT_NEAR(total.dram_bytes, 3e8, 1.0);
+}
+
+TEST(Simulator, LmemCountsTowardDram)
+{
+    const Simulator sim;
+    KernelStats k = StreamingKernel(1e8);
+    KernelStats spill = k;
+    spill.lmem_bytes = 1e8;
+    spill.transaction_bytes += 1e8;
+    EXPECT_GT(sim.Estimate(spill).total_us, sim.Estimate(k).total_us);
+}
+
+TEST(DeviceSpec, TitanVConstants)
+{
+    const auto dev = DeviceSpec::TitanV();
+    EXPECT_EQ(dev.num_sms, 80u);
+    EXPECT_NEAR(dev.peak_dram_gbps, 652.8, 1e-9);
+    EXPECT_NEAR(dev.streaming_efficiency, 0.867, 1e-9);
+    EXPECT_EQ(dev.ThreadCapacity(), 80u * 2048u);
+}
+
+}  // namespace
+}  // namespace hentt::gpu

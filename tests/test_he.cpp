@@ -1,0 +1,279 @@
+/** Tests for the BGV-style HE layer. */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "common/modarith.h"
+#include "he/bgv.h"
+
+namespace hentt::he {
+namespace {
+
+HeParams
+SmallParams()
+{
+    HeParams params;
+    params.degree = 64;
+    params.prime_count = 3;
+    params.prime_bits = 50;
+    params.plain_modulus = 257;
+    return params;
+}
+
+class HeTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ctx_ = std::make_shared<HeContext>(SmallParams());
+        scheme_ = std::make_unique<BgvScheme>(ctx_, /*seed=*/42);
+        sk_.emplace(scheme_->KeyGen());
+    }
+
+    Plaintext
+    RandomPlain(u64 seed) const
+    {
+        Xoshiro256 rng(seed);
+        Plaintext m(ctx_->degree());
+        for (u64 &x : m) {
+            x = rng.NextBelow(ctx_->params().plain_modulus);
+        }
+        return m;
+    }
+
+    /** Negacyclic product of plaintexts mod t (the oracle). */
+    Plaintext
+    PlainMul(const Plaintext &a, const Plaintext &b) const
+    {
+        const u64 t = ctx_->params().plain_modulus;
+        const std::size_t n = ctx_->degree();
+        Plaintext c(n, 0);
+        for (std::size_t k = 0; k < n; ++k) {
+            u64 acc = 0;
+            for (std::size_t i = 0; i <= k; ++i) {
+                acc = AddMod(acc, MulModNative(a[i], b[k - i], t), t);
+            }
+            for (std::size_t i = k + 1; i < n; ++i) {
+                acc = SubMod(acc, MulModNative(a[i], b[n + k - i], t), t);
+            }
+            c[k] = acc;
+        }
+        return c;
+    }
+
+    std::shared_ptr<HeContext> ctx_;
+    std::unique_ptr<BgvScheme> scheme_;
+    std::optional<SecretKey> sk_;
+};
+
+TEST_F(HeTest, EncryptDecryptRoundTrip)
+{
+    for (u64 seed : {1, 2, 3}) {
+        const Plaintext m = RandomPlain(seed);
+        const Ciphertext ct = scheme_->Encrypt(*sk_, m);
+        EXPECT_EQ(scheme_->Decrypt(*sk_, ct), m);
+    }
+}
+
+TEST_F(HeTest, FreshCiphertextHasLargeNoiseBudget)
+{
+    const Ciphertext ct = scheme_->Encrypt(*sk_, RandomPlain(4));
+    // Q ~ 150 bits; fresh noise ~ t * e is tiny.
+    EXPECT_GT(scheme_->NoiseBudgetBits(*sk_, ct), 100.0);
+}
+
+TEST_F(HeTest, HomomorphicAddition)
+{
+    const Plaintext ma = RandomPlain(5);
+    const Plaintext mb = RandomPlain(6);
+    const u64 t = ctx_->params().plain_modulus;
+    const Ciphertext sum =
+        scheme_->Add(scheme_->Encrypt(*sk_, ma), scheme_->Encrypt(*sk_, mb));
+    const Plaintext dec = scheme_->Decrypt(*sk_, sum);
+    for (std::size_t i = 0; i < ma.size(); ++i) {
+        EXPECT_EQ(dec[i], AddMod(ma[i], mb[i], t));
+    }
+}
+
+TEST_F(HeTest, HomomorphicSubtraction)
+{
+    const Plaintext ma = RandomPlain(7);
+    const Plaintext mb = RandomPlain(8);
+    const u64 t = ctx_->params().plain_modulus;
+    const Ciphertext diff =
+        scheme_->Sub(scheme_->Encrypt(*sk_, ma), scheme_->Encrypt(*sk_, mb));
+    const Plaintext dec = scheme_->Decrypt(*sk_, diff);
+    for (std::size_t i = 0; i < ma.size(); ++i) {
+        EXPECT_EQ(dec[i], SubMod(ma[i], mb[i], t));
+    }
+}
+
+TEST_F(HeTest, MulPlain)
+{
+    const Plaintext m = RandomPlain(9);
+    const Plaintext scalar = RandomPlain(10);
+    const Ciphertext ct =
+        scheme_->MulPlain(scheme_->Encrypt(*sk_, m), scalar);
+    EXPECT_EQ(scheme_->Decrypt(*sk_, ct), PlainMul(m, scalar));
+}
+
+TEST_F(HeTest, CiphertextMultiplyDegree2Decrypts)
+{
+    const Plaintext ma = RandomPlain(11);
+    const Plaintext mb = RandomPlain(12);
+    const Ciphertext prod =
+        scheme_->Mul(scheme_->Encrypt(*sk_, ma), scheme_->Encrypt(*sk_, mb));
+    EXPECT_EQ(prod.degree(), 2u);
+    EXPECT_EQ(scheme_->Decrypt(*sk_, prod), PlainMul(ma, mb));
+}
+
+TEST_F(HeTest, RelinearizationPreservesPlaintext)
+{
+    const RelinKey rk = scheme_->MakeRelinKey(*sk_);
+    const Plaintext ma = RandomPlain(13);
+    const Plaintext mb = RandomPlain(14);
+    const Ciphertext prod =
+        scheme_->Mul(scheme_->Encrypt(*sk_, ma), scheme_->Encrypt(*sk_, mb));
+    const Ciphertext relin = scheme_->Relinearize(prod, rk);
+    EXPECT_EQ(relin.degree(), 1u);
+    EXPECT_EQ(scheme_->Decrypt(*sk_, relin), PlainMul(ma, mb));
+}
+
+TEST_F(HeTest, MultiplyThenAddPipeline)
+{
+    const RelinKey rk = scheme_->MakeRelinKey(*sk_);
+    const Plaintext ma = RandomPlain(15);
+    const Plaintext mb = RandomPlain(16);
+    const Plaintext mc = RandomPlain(17);
+    const u64 t = ctx_->params().plain_modulus;
+
+    Ciphertext acc = scheme_->Relinearize(
+        scheme_->Mul(scheme_->Encrypt(*sk_, ma),
+                     scheme_->Encrypt(*sk_, mb)),
+        rk);
+    acc = scheme_->Add(acc, scheme_->Encrypt(*sk_, mc));
+    const Plaintext expect_mul = PlainMul(ma, mb);
+    const Plaintext dec = scheme_->Decrypt(*sk_, acc);
+    for (std::size_t i = 0; i < dec.size(); ++i) {
+        EXPECT_EQ(dec[i], AddMod(expect_mul[i], mc[i], t));
+    }
+}
+
+TEST_F(HeTest, NoiseBudgetDecreasesUnderMultiplication)
+{
+    const RelinKey rk = scheme_->MakeRelinKey(*sk_);
+    const Ciphertext a = scheme_->Encrypt(*sk_, RandomPlain(18));
+    const Ciphertext b = scheme_->Encrypt(*sk_, RandomPlain(19));
+    const double fresh = scheme_->NoiseBudgetBits(*sk_, a);
+    const Ciphertext prod = scheme_->Relinearize(scheme_->Mul(a, b), rk);
+    const double after = scheme_->NoiseBudgetBits(*sk_, prod);
+    EXPECT_LT(after, fresh);
+    EXPECT_GT(after, 0.0);  // still decryptable
+}
+
+TEST_F(HeTest, ApiMisuseThrows)
+{
+    const Ciphertext a = scheme_->Encrypt(*sk_, RandomPlain(20));
+    const Ciphertext b = scheme_->Encrypt(*sk_, RandomPlain(21));
+    const Ciphertext deg2 = scheme_->Mul(a, b);
+    EXPECT_THROW(scheme_->Mul(deg2, a), std::invalid_argument);
+    EXPECT_THROW(scheme_->Add(deg2, a), std::invalid_argument);
+    const RelinKey rk = scheme_->MakeRelinKey(*sk_);
+    EXPECT_THROW(scheme_->Relinearize(a, rk), std::invalid_argument);
+    Plaintext too_long(ctx_->degree() + 1, 0);
+    EXPECT_THROW(scheme_->Encrypt(*sk_, too_long), std::invalid_argument);
+}
+
+TEST_F(HeTest, ModSwitchPreservesPlaintext)
+{
+    const Plaintext m = RandomPlain(22);
+    Ciphertext ct = scheme_->Encrypt(*sk_, m);
+    ASSERT_EQ(BgvScheme::Level(ct), 3u);
+    ct = scheme_->ModSwitch(ct);
+    EXPECT_EQ(BgvScheme::Level(ct), 2u);
+    EXPECT_EQ(scheme_->Decrypt(*sk_, ct), m);
+}
+
+TEST_F(HeTest, ModSwitchDownTheWholeChain)
+{
+    const Plaintext m = RandomPlain(23);
+    Ciphertext ct = scheme_->Encrypt(*sk_, m);
+    ct = scheme_->ModSwitch(ct);
+    ct = scheme_->ModSwitch(ct);
+    EXPECT_EQ(BgvScheme::Level(ct), 1u);
+    EXPECT_EQ(scheme_->Decrypt(*sk_, ct), m);
+    // One prime left: switching further must throw.
+    EXPECT_THROW(scheme_->ModSwitch(ct), std::invalid_argument);
+}
+
+TEST_F(HeTest, ModSwitchAfterMultiply)
+{
+    const RelinKey rk = scheme_->MakeRelinKey(*sk_);
+    const Plaintext ma = RandomPlain(24);
+    const Plaintext mb = RandomPlain(25);
+    Ciphertext prod = scheme_->Relinearize(
+        scheme_->Mul(scheme_->Encrypt(*sk_, ma),
+                     scheme_->Encrypt(*sk_, mb)),
+        rk);
+    prod = scheme_->ModSwitch(prod);
+    EXPECT_EQ(scheme_->Decrypt(*sk_, prod), PlainMul(ma, mb));
+    EXPECT_GT(scheme_->NoiseBudgetBits(*sk_, prod), 0.0);
+}
+
+TEST_F(HeTest, ModSwitchScalesNoiseDown)
+{
+    // The absolute noise magnitude must shrink by roughly q_k; the
+    // *budget* (margin to the new, smaller Q) stays within a few bits
+    // of the pre-switch budget.
+    const Plaintext m = RandomPlain(26);
+    const Ciphertext fresh = scheme_->Encrypt(*sk_, m);
+    const double before = scheme_->NoiseBudgetBits(*sk_, fresh);
+    const Ciphertext switched = scheme_->ModSwitch(fresh);
+    const double after = scheme_->NoiseBudgetBits(*sk_, switched);
+    // Dropped a 50-bit prime: the budget shrinks by about 50 bits at
+    // most (fresh noise is additive-dominated after the switch).
+    EXPECT_LT(after, before);
+    EXPECT_GT(after, before - 60.0);
+    EXPECT_GT(after, 10.0);
+}
+
+TEST_F(HeTest, AddRejectsMixedLevels)
+{
+    const Plaintext m = RandomPlain(27);
+    const Ciphertext a = scheme_->Encrypt(*sk_, m);
+    const Ciphertext b = scheme_->ModSwitch(scheme_->Encrypt(*sk_, m));
+    EXPECT_THROW(scheme_->Add(a, b), std::invalid_argument);
+}
+
+TEST_F(HeTest, MulPlainAtLowerLevel)
+{
+    const Plaintext m = RandomPlain(28);
+    const Plaintext scalar = RandomPlain(29);
+    Ciphertext ct = scheme_->ModSwitch(scheme_->Encrypt(*sk_, m));
+    ct = scheme_->MulPlain(ct, scalar);
+    EXPECT_EQ(scheme_->Decrypt(*sk_, ct), PlainMul(m, scalar));
+}
+
+TEST(HeParams, ValidationCatchesBadConfigs)
+{
+    HeParams p = SmallParams();
+    p.degree = 100;
+    EXPECT_THROW(p.Validate(), std::invalid_argument);
+    p = SmallParams();
+    p.prime_count = 0;
+    EXPECT_THROW(p.Validate(), std::invalid_argument);
+    p = SmallParams();
+    p.prime_bits = 63;
+    EXPECT_THROW(p.Validate(), std::invalid_argument);
+    p = SmallParams();
+    p.plain_modulus = 1;
+    EXPECT_THROW(p.Validate(), std::invalid_argument);
+    p = SmallParams();
+    p.noise_stddev = 0.0;
+    EXPECT_THROW(p.Validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hentt::he

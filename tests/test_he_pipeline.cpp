@@ -1,0 +1,59 @@
+/** Tests for the GPU-side HE-multiply cost composition. */
+
+#include <gtest/gtest.h>
+
+#include "kernels/config_search.h"
+#include "kernels/he_pipeline.h"
+
+namespace hentt::kernels {
+namespace {
+
+TEST(HadamardKernel, StreamsThreeOperands)
+{
+    const auto k = HadamardKernel(1 << 14, 8);
+    const double data = (1 << 14) * 8.0 * 8;
+    EXPECT_DOUBLE_EQ(k.dram_read_bytes, 2 * data);
+    EXPECT_DOUBLE_EQ(k.dram_write_bytes, data);
+}
+
+TEST(EstimateHeMultiply, PartsSumAndShareInPaperBand)
+{
+    const gpu::Simulator sim;
+    const auto cfg = FindBestSmemConfig(sim, 1 << 15, 21, 8, 2).config;
+    const auto est = EstimateHeMultiply(sim, cfg, 21);
+    EXPECT_NEAR(est.total_us,
+                est.ntt.total_us + est.elementwise.total_us, 1e-9);
+    // Paper Section I: NTT/iNTT is 34-50% of the multiply; our
+    // composition omits relinearization, so allow a wider band.
+    EXPECT_GT(est.ntt_share, 0.3);
+    EXPECT_LT(est.ntt_share, 0.95);
+}
+
+TEST(EstimateHeMultiply, NttDominatesAcrossPaperSizes)
+{
+    // Transforms are O(N log N) against the Hadamard passes' O(N); at
+    // small N launch overhead pads the transform side further. Across
+    // the paper's sizes the NTT share stays dominant and bounded.
+    const gpu::Simulator sim;
+    for (unsigned log_n = 13; log_n <= 17; ++log_n) {
+        const std::size_t n = std::size_t{1} << log_n;
+        const auto cfg = FindBestSmemConfig(sim, n, 21, 8, 2).config;
+        const double share =
+            EstimateHeMultiply(sim, cfg, 21).ntt_share;
+        EXPECT_GT(share, 0.5) << "logN " << log_n;
+        EXPECT_LT(share, 0.95) << "logN " << log_n;
+    }
+}
+
+TEST(EstimateHeMultiply, SevenTransformsWorthOfTraffic)
+{
+    const gpu::Simulator sim;
+    const auto cfg = FindBestSmemConfig(sim, 1 << 14, 8, 8, 0).config;
+    const SmemKernel ntt(cfg);
+    const double one = sim.Estimate(ntt.Plan(8)).dram_bytes;
+    const auto est = EstimateHeMultiply(sim, cfg, 8);
+    EXPECT_NEAR(est.ntt.dram_bytes, 7 * one, 1.0);
+}
+
+}  // namespace
+}  // namespace hentt::kernels

@@ -1,0 +1,139 @@
+/**
+ * Cross-module integration tests: the full pipeline from HE-style
+ * polynomial multiplication down through RNS, NTT, and the GPU model,
+ * plus end-to-end reproduction sanity checks of the paper's headline
+ * numbers (Table II shape).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "kernels/config_search.h"
+#include "kernels/launcher.h"
+#include "poly/rns_poly.h"
+#include "rns/crt.h"
+
+namespace hentt {
+namespace {
+
+TEST(Integration, RnsPolyMultiplyMatchesBigIntSchoolbook)
+{
+    // Full stack: BigInt coefficients -> CRT -> batched NTT multiply ->
+    // CRT recompose -> compare against big-int schoolbook negacyclic
+    // convolution.
+    const std::size_t n = 16;
+    auto basis = std::make_shared<RnsBasis>(n, 45, 3);
+    auto ctx = std::make_shared<RnsNttContext>(n, basis);
+
+    Xoshiro256 rng(123);
+    std::vector<BigInt> ca(n), cb(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Keep magnitudes small enough that the convolution stays
+        // below Q (3 x 45 bits): 40-bit coefficients, 16 terms.
+        ca[i] = BigInt(rng.Next() >> 24);
+        cb[i] = BigInt(rng.Next() >> 24);
+    }
+    const RnsPoly a(ctx, ca);
+    const RnsPoly b(ctx, cb);
+    const RnsPoly c = RnsPoly::Multiply(a, b);
+
+    const BigInt q = basis->product();
+    for (std::size_t k = 0; k < n; ++k) {
+        // Schoolbook negacyclic with signed accumulation done in two
+        // unsigned piles (positive and wrapped-negative terms).
+        BigInt pos, neg;
+        for (std::size_t i = 0; i <= k; ++i) {
+            pos += ca[i] * cb[k - i];
+        }
+        for (std::size_t i = k + 1; i < n; ++i) {
+            neg += ca[i] * cb[n + k - i];
+        }
+        // Expected value mod Q. The piles are far below Q (40-bit
+        // coefficients), so at most one corrective subtraction runs.
+        BigInt expect;
+        if (pos >= neg) {
+            expect = pos - neg;
+            while (expect >= q) {
+                expect -= q;
+            }
+        } else {
+            BigInt d = neg - pos;
+            while (d >= q) {
+                d -= q;
+            }
+            expect = d.IsZero() ? BigInt{} : q - d;
+        }
+        EXPECT_EQ(c.CoefficientAsBigInt(k), expect) << "k=" << k;
+    }
+}
+
+TEST(Integration, TableIIShape)
+{
+    // The headline reproduction: radix-2 -> best SMEM -> best SMEM+OT
+    // at np = 21 across logN = 14..17. We assert the paper's *shape*:
+    // SMEM gives ~3-5x over radix-2, OT adds a mid-single-digit
+    // percentage on top, and both speedups grow (weakly) with N.
+    const gpu::Simulator sim;
+    for (unsigned log_n = 14; log_n <= 17; ++log_n) {
+        const std::size_t n = std::size_t{1} << log_n;
+        const double radix2 =
+            kernels::EstimateRadix2(sim, n, 21).time_us();
+        const double smem =
+            kernels::FindBestSmemConfig(sim, n, 21).estimate.total_us;
+        const double smem_ot =
+            kernels::FindBestSmemConfig(sim, n, 21, 8, 2)
+                .estimate.total_us;
+        const double speedup_smem = radix2 / smem;
+        const double speedup_ot = radix2 / smem_ot;
+        EXPECT_GT(speedup_smem, 3.0) << "logN " << log_n;
+        EXPECT_LT(speedup_smem, 5.5) << "logN " << log_n;
+        EXPECT_GT(speedup_ot, speedup_smem) << "logN " << log_n;
+    }
+}
+
+TEST(Integration, OverallOptimizationLadder)
+{
+    // Section VI/VII ladder at (2^17, 21): radix-2 is slowest, the
+    // best register-based high-radix kernel improves on it, the SMEM
+    // implementation improves further, and OT wins overall.
+    const gpu::Simulator sim;
+    const std::size_t n = 1 << 17;
+    const double radix2 = kernels::EstimateRadix2(sim, n, 21).time_us();
+    const double high16 =
+        kernels::EstimateHighRadix(sim, n, 21, 16).time_us();
+    const double smem =
+        kernels::FindBestSmemConfig(sim, n, 21).estimate.total_us;
+    const double ot =
+        kernels::FindBestSmemConfig(sim, n, 21, 8, 2).estimate.total_us;
+    EXPECT_GT(radix2, high16);
+    EXPECT_GT(high16, smem);
+    EXPECT_GT(smem, ot);
+    // Paper: 4.2x average radix-2 -> SMEM+OT.
+    EXPECT_GT(radix2 / ot, 3.4);
+    EXPECT_LT(radix2 / ot, 5.5);
+}
+
+TEST(Integration, FunctionalKernelsAgreeAcrossEmulations)
+{
+    // Every kernel emulation computes the same transform.
+    kernels::NttBatchWorkload w1(256, 2, 45), w2(256, 2, 45),
+        w3(256, 2, 45);
+    w1.Randomize(9);
+    w2.Randomize(9);
+    w3.Randomize(9);
+    kernels::Radix2Kernel().Execute(w1);
+    kernels::HighRadixKernel(16).Execute(w2);
+    kernels::SmemConfig cfg;
+    cfg.kernel1_size = 16;
+    cfg.kernel2_size = 16;
+    cfg.ot_stages = 1;
+    cfg.ot_base = 64;
+    kernels::SmemKernel(cfg).Execute(w3);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(w1.row(i), w2.row(i));
+        EXPECT_EQ(w1.row(i), w3.row(i));
+    }
+}
+
+}  // namespace
+}  // namespace hentt

@@ -1,0 +1,92 @@
+/** Tests for the high-radix register kernel emulation. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gpu/simulator.h"
+#include "kernels/highradix_kernel.h"
+#include "ntt/ntt_highradix.h"
+
+namespace hentt::kernels {
+namespace {
+
+TEST(HighRadixKernel, PassCountMatchesLibraryFormula)
+{
+    for (std::size_t radix : {2, 4, 8, 16, 32, 64, 128}) {
+        const auto plan = HighRadixKernel(radix).Plan(1 << 17, 21);
+        EXPECT_EQ(plan.size(), HighRadixPassCount(1 << 17, radix))
+            << "radix " << radix;
+    }
+}
+
+TEST(HighRadixKernel, DataTrafficShrinksWithRadix)
+{
+    const gpu::Simulator sim;
+    double prev = 1e18;
+    for (std::size_t radix : {2, 4, 8, 16}) {
+        const auto plan = HighRadixKernel(radix).Plan(1 << 16, 21);
+        const double bytes = gpu::PlanDramBytes(plan);
+        EXPECT_LT(bytes, prev) << "radix " << radix;
+        prev = bytes;
+    }
+}
+
+TEST(HighRadixKernel, SpilledRadixAddsLmemTraffic)
+{
+    const auto r32 = HighRadixKernel(32).Plan(1 << 16, 21);
+    const auto r64 = HighRadixKernel(64).Plan(1 << 16, 21);
+    for (const auto &k : r32) {
+        EXPECT_DOUBLE_EQ(k.lmem_bytes, 0.0);
+    }
+    double lmem = 0;
+    for (const auto &k : r64) {
+        lmem += k.lmem_bytes;
+    }
+    EXPECT_GT(lmem, 0.0);
+}
+
+TEST(HighRadixKernel, PaperShapeRadix16IsBest)
+{
+    // Fig. 4(b): among the register-based kernels, radix-16 wins at
+    // N = 2^17, np = 21; radix-2 is ~2.4x slower; radix-64/128 degrade.
+    const gpu::Simulator sim;
+    std::map<std::size_t, double> time;
+    for (std::size_t radix : {2, 4, 8, 16, 32, 64, 128}) {
+        time[radix] =
+            sim.Estimate(HighRadixKernel(radix).Plan(1 << 17, 21))
+                .total_us;
+    }
+    for (auto [radix, t] : time) {
+        if (radix != 16) {
+            EXPECT_GE(t, time[16]) << "radix " << radix;
+        }
+    }
+    EXPECT_GT(time[2] / time[16], 2.0);   // paper: 2.41x on average
+    EXPECT_LT(time[2] / time[16], 3.2);
+    EXPECT_GT(time[64], time[32]);
+    EXPECT_GT(time[128], time[64]);
+}
+
+TEST(HighRadixKernel, ExecuteBitExactVsRadix2Path)
+{
+    NttBatchWorkload a(128, 2, 40), b(128, 2, 40);
+    a.Randomize(4);
+    b.Randomize(4);
+    HighRadixKernel(16).Execute(a);
+    for (std::size_t i = 0; i < b.np(); ++i) {
+        b.engine(i).Forward(b.row(i));
+        EXPECT_EQ(a.row(i), b.row(i));
+    }
+}
+
+TEST(HighRadixKernel, PlanRejectsBadRadix)
+{
+    EXPECT_THROW(HighRadixKernel(3).Plan(1 << 14, 2),
+                 std::invalid_argument);
+    EXPECT_THROW(HighRadixKernel(2).Plan(1000, 2),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hentt::kernels

@@ -1,0 +1,126 @@
+/** Tests for the radix-2 baseline kernel emulation. */
+
+#include <gtest/gtest.h>
+
+#include "kernels/cost_constants.h"
+#include "kernels/radix2_kernel.h"
+#include "ntt/ntt_naive.h"
+
+namespace hentt::kernels {
+namespace {
+
+TEST(Radix2Kernel, PlanHasOneLaunchPerStage)
+{
+    const Radix2Kernel kernel;
+    const auto plan = kernel.Plan(1 << 14, 21);
+    EXPECT_EQ(plan.size(), 14u);
+    for (const auto &k : plan) {
+        EXPECT_EQ(k.launches, 1u);
+    }
+}
+
+TEST(Radix2Kernel, DataTrafficIsTwoPassesPerStage)
+{
+    const std::size_t n = 1 << 14;
+    const std::size_t np = 21;
+    const Radix2Kernel kernel;
+    const auto plan = kernel.Plan(n, np);
+    const double data = static_cast<double>(n) * 8 * np;
+    for (const auto &k : plan) {
+        EXPECT_GE(k.dram_read_bytes, data);
+        EXPECT_DOUBLE_EQ(k.dram_write_bytes, data);
+    }
+}
+
+TEST(Radix2Kernel, TwiddleBytesDoublePerStage)
+{
+    const auto plan = Radix2Kernel().Plan(1 << 12, 4);
+    const double data = (1 << 12) * 8.0 * 4;
+    double prev = 0;
+    for (const auto &k : plan) {
+        const double tw = k.dram_read_bytes - data;
+        EXPECT_GT(tw, prev);  // Fig. 8's growing series
+        if (prev > 0) {
+            EXPECT_DOUBLE_EQ(tw, prev * 2);
+        }
+        prev = tw;
+    }
+    // Total twiddle traffic = (N - 1) entries * 16 B * np.
+    double total = 0;
+    for (const auto &k : plan) {
+        total += k.dram_read_bytes - data;
+    }
+    EXPECT_DOUBLE_EQ(total, ((1 << 12) - 1) * 16.0 * 4);
+}
+
+TEST(Radix2Kernel, NativeVariantCostsMoreCompute)
+{
+    const auto shoup = Radix2Kernel(Reduction::kShoup).Plan(1 << 12, 2);
+    const auto native = Radix2Kernel(Reduction::kNative).Plan(1 << 12, 2);
+    EXPECT_GT(native[0].compute_slots, shoup[0].compute_slots * 3);
+    // Same memory traffic either way.
+    EXPECT_DOUBLE_EQ(native[0].dram_write_bytes,
+                     shoup[0].dram_write_bytes);
+}
+
+TEST(Radix2Kernel, BarrettHalvesTwiddleBytes)
+{
+    const auto shoup = Radix2Kernel(Reduction::kShoup).Plan(1 << 12, 2);
+    const auto barrett =
+        Radix2Kernel(Reduction::kBarrett).Plan(1 << 12, 2);
+    const double data = (1 << 12) * 8.0 * 2;
+    const double tw_shoup = shoup.back().dram_read_bytes - data;
+    const double tw_barrett = barrett.back().dram_read_bytes - data;
+    EXPECT_DOUBLE_EQ(tw_barrett, tw_shoup / 2);
+}
+
+TEST(Radix2Kernel, ExecuteMatchesNaiveOracle)
+{
+    NttBatchWorkload workload(64, 3, 40);
+    workload.Randomize(1);
+    // Keep pristine copies.
+    std::vector<std::vector<u64>> inputs;
+    for (std::size_t i = 0; i < workload.np(); ++i) {
+        inputs.push_back(workload.row(i));
+    }
+    Radix2Kernel().Execute(workload);
+    for (std::size_t i = 0; i < workload.np(); ++i) {
+        std::vector<u64> expect = inputs[i];
+        workload.engine(i).Forward(expect);
+        EXPECT_EQ(workload.row(i), expect);
+    }
+}
+
+TEST(Radix2Kernel, AllReductionsExecuteIdentically)
+{
+    for (Reduction r :
+         {Reduction::kShoup, Reduction::kNative, Reduction::kBarrett}) {
+        NttBatchWorkload workload(32, 2, 40);
+        workload.Randomize(9);
+        NttBatchWorkload reference(32, 2, 40);
+        reference.Randomize(9);
+        Radix2Kernel(r).Execute(workload);
+        Radix2Kernel(Reduction::kShoup).Execute(reference);
+        for (std::size_t i = 0; i < 2; ++i) {
+            EXPECT_EQ(workload.row(i), reference.row(i));
+        }
+    }
+}
+
+TEST(Radix2Kernel, PlanRejectsBadArguments)
+{
+    EXPECT_THROW(Radix2Kernel().Plan(100, 2), std::invalid_argument);
+    EXPECT_THROW(Radix2Kernel().Plan(64, 0), std::invalid_argument);
+}
+
+TEST(BatchWorkload, TwiddleBytesScaleWithBatch)
+{
+    // The paper's key observation: NTT tables grow with np.
+    NttBatchWorkload small(256, 2, 40);
+    NttBatchWorkload large(256, 4, 40);
+    EXPECT_EQ(large.TwiddleTableBytes(), 2 * small.TwiddleTableBytes());
+    EXPECT_EQ(small.TwiddleTableBytes(), 2u * 2 * 256 * 8);
+}
+
+}  // namespace
+}  // namespace hentt::kernels

@@ -1,0 +1,170 @@
+/** Tests for the two-kernel SMEM implementation emulation. */
+
+#include <gtest/gtest.h>
+
+#include "gpu/simulator.h"
+#include "kernels/smem_kernel.h"
+
+namespace hentt::kernels {
+namespace {
+
+SmemConfig
+BaseConfig()
+{
+    SmemConfig cfg;
+    cfg.kernel1_size = 512;
+    cfg.kernel2_size = 256;
+    cfg.points_per_thread = 8;
+    return cfg;
+}
+
+TEST(SmemKernel, PlanHasExactlyTwoKernels)
+{
+    const SmemKernel kernel(BaseConfig());
+    const auto plan = kernel.Plan(21);
+    ASSERT_EQ(plan.size(), 2u);
+    EXPECT_EQ(plan[0].launches, 1u);
+    EXPECT_EQ(plan[1].launches, 1u);
+}
+
+TEST(SmemKernel, DataLoadedFromGmemOnlyTwice)
+{
+    // The paper's headline property of the SMEM implementation.
+    const std::size_t np = 21;
+    const SmemKernel kernel(BaseConfig());
+    const auto plan = kernel.Plan(np);
+    const double data = 512.0 * 256 * 8 * np;
+    // Each kernel reads and writes the batch once; twiddles on top.
+    EXPECT_GE(plan[0].dram_read_bytes, data);
+    EXPECT_LT(plan[0].dram_read_bytes, data * 1.2);
+    EXPECT_DOUBLE_EQ(plan[0].dram_write_bytes, data);
+    EXPECT_GE(plan[1].dram_read_bytes, data);
+    EXPECT_DOUBLE_EQ(plan[1].dram_write_bytes, data);
+}
+
+TEST(SmemKernel, SyncCountTradeoff)
+{
+    // Fig. 10: radix-512 needs 2 syncs at 8-point-per-thread and 8 at
+    // 2-point-per-thread.
+    EXPECT_EQ(SmemKernel::SyncCount(512, 8), 2u);
+    EXPECT_EQ(SmemKernel::SyncCount(512, 2), 8u);
+    EXPECT_EQ(SmemKernel::SyncCount(64, 8), 1u);
+    EXPECT_EQ(SmemKernel::SyncCount(256, 4), 3u);
+}
+
+TEST(SmemKernel, SmallerPerThreadNttCostsMoreSyncSlots)
+{
+    const std::size_t np = 21;
+    SmemConfig two = BaseConfig();
+    two.points_per_thread = 2;
+    const auto plan8 = SmemKernel(BaseConfig()).Plan(np);
+    const auto plan2 = SmemKernel(two).Plan(np);
+    EXPECT_GT(plan2[0].compute_slots, plan8[0].compute_slots);
+    EXPECT_GT(plan2[0].block_syncs, plan8[0].block_syncs);
+}
+
+TEST(SmemKernel, UncoalescedExpandsTransactions)
+{
+    SmemConfig uncoalesced = BaseConfig();
+    uncoalesced.coalesced = false;
+    const auto coal = SmemKernel(BaseConfig()).PlanKernel1(21);
+    const auto uncoal = SmemKernel(uncoalesced).PlanKernel1(21);
+    EXPECT_GT(uncoal.transaction_bytes, coal.transaction_bytes);
+    // The L2-missing share of the over-fetch reaches DRAM, and the
+    // sector replays cost issue slots.
+    EXPECT_GT(uncoal.dram_read_bytes, coal.dram_read_bytes);
+    EXPECT_GT(uncoal.compute_slots, coal.compute_slots);
+}
+
+TEST(SmemKernel, PreloadReducesTransactionPressure)
+{
+    SmemConfig no_preload = BaseConfig();
+    no_preload.preload_twiddles = false;
+    const auto with = SmemKernel(BaseConfig()).PlanKernel1(21);
+    const auto without = SmemKernel(no_preload).PlanKernel1(21);
+    EXPECT_GT(without.transaction_bytes, with.transaction_bytes);
+    // Preload needs the SMEM staging area.
+    EXPECT_GT(with.resources.smem_per_block,
+              without.resources.smem_per_block);
+}
+
+TEST(SmemKernel, OtShrinksKernel2Twiddles)
+{
+    SmemConfig ot = BaseConfig();
+    ot.ot_stages = 2;
+    const auto base_k2 = SmemKernel(BaseConfig()).PlanKernel2(21);
+    const auto ot_k2 = SmemKernel(ot).PlanKernel2(21);
+    EXPECT_LT(ot_k2.dram_read_bytes, base_k2.dram_read_bytes);
+    EXPECT_GT(ot_k2.compute_slots, base_k2.compute_slots);
+}
+
+TEST(SmemKernel, OtTrafficReductionMatchesPaperMagnitude)
+{
+    // Fig. 12(c): ~24.5% fewer DRAM bytes with OT at N = 2^17, np = 21.
+    SmemConfig base = BaseConfig();
+    SmemConfig ot = base;
+    ot.ot_stages = 2;
+    const double bytes_base =
+        gpu::PlanDramBytes(SmemKernel(base).Plan(21));
+    const double bytes_ot = gpu::PlanDramBytes(SmemKernel(ot).Plan(21));
+    const double reduction = 1.0 - bytes_ot / bytes_base;
+    EXPECT_GT(reduction, 0.18);
+    EXPECT_LT(reduction, 0.32);
+}
+
+TEST(SmemKernel, PaperShapeOtGivesSingleDigitSpeedup)
+{
+    // Table II / Fig. 12(b): OT speeds the best SMEM config up by
+    // ~8-10%, because the kernel flips from memory- to compute-bound.
+    const gpu::Simulator sim;
+    SmemConfig base = BaseConfig();
+    SmemConfig ot = base;
+    ot.ot_stages = 2;
+    const double t_base = sim.Estimate(SmemKernel(base).Plan(21)).total_us;
+    const double t_ot = sim.Estimate(SmemKernel(ot).Plan(21)).total_us;
+    const double speedup = t_base / t_ot;
+    EXPECT_GT(speedup, 1.02);
+    EXPECT_LT(speedup, 1.25);
+}
+
+TEST(SmemKernel, ExecuteBitExactWithAndWithoutOt)
+{
+    SmemConfig cfg;
+    cfg.kernel1_size = 16;
+    cfg.kernel2_size = 16;
+    cfg.ot_base = 32;
+    for (unsigned ot_stages : {0u, 1u, 2u}) {
+        cfg.ot_stages = ot_stages;
+        NttBatchWorkload a(256, 2, 40), b(256, 2, 40);
+        a.Randomize(5);
+        b.Randomize(5);
+        SmemKernel(cfg).Execute(a);
+        for (std::size_t i = 0; i < b.np(); ++i) {
+            b.engine(i).Forward(b.row(i));
+            EXPECT_EQ(a.row(i), b.row(i));
+        }
+    }
+}
+
+TEST(SmemKernel, RejectsBadConfigs)
+{
+    SmemConfig cfg = BaseConfig();
+    cfg.points_per_thread = 3;
+    EXPECT_THROW(SmemKernel{cfg}, std::invalid_argument);
+    cfg = BaseConfig();
+    cfg.kernel1_size = 100;
+    EXPECT_THROW(SmemKernel{cfg}, std::invalid_argument);
+    cfg = BaseConfig();
+    cfg.ot_stages = 64;
+    EXPECT_THROW(SmemKernel{cfg}, std::invalid_argument);
+}
+
+TEST(SmemKernel, ExecuteRejectsMismatchedWorkload)
+{
+    NttBatchWorkload workload(128, 1, 40);
+    EXPECT_THROW(SmemKernel(BaseConfig()).Execute(workload),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hentt::kernels

@@ -1,0 +1,167 @@
+/** Unit and property tests for common/modarith. */
+
+#include <gtest/gtest.h>
+
+#include "common/modarith.h"
+#include "common/primegen.h"
+#include "common/random.h"
+
+namespace hentt {
+namespace {
+
+TEST(AddMod, Basic)
+{
+    EXPECT_EQ(AddMod(3, 4, 11), 7u);
+    EXPECT_EQ(AddMod(7, 4, 11), 0u);
+    EXPECT_EQ(AddMod(10, 10, 11), 9u);
+    EXPECT_EQ(AddMod(0, 0, 11), 0u);
+}
+
+TEST(SubMod, Basic)
+{
+    EXPECT_EQ(SubMod(5, 3, 11), 2u);
+    EXPECT_EQ(SubMod(3, 5, 11), 9u);
+    EXPECT_EQ(SubMod(0, 1, 11), 10u);
+    EXPECT_EQ(SubMod(4, 4, 11), 0u);
+}
+
+TEST(MulModNative, MatchesSmallCases)
+{
+    EXPECT_EQ(MulModNative(7, 8, 11), 1u);
+    EXPECT_EQ(MulModNative(0, 8, 11), 0u);
+    EXPECT_EQ(MulModNative(10, 10, 11), 1u);
+}
+
+TEST(MulModNative, LargeOperandsNoOverflow)
+{
+    const u64 p = (u64{1} << 61) + 20 * (1 << 13) + 1;  // not prime; fine
+    const u64 a = p - 1;
+    // (p-1)^2 mod p == 1.
+    EXPECT_EQ(MulModNative(a, a, p), 1u);
+}
+
+TEST(PowMod, Basic)
+{
+    EXPECT_EQ(PowMod(2, 10, 1000000007ULL), 1024u);
+    EXPECT_EQ(PowMod(5, 0, 13), 1u);
+    EXPECT_EQ(PowMod(0, 5, 13), 0u);
+    EXPECT_EQ(PowMod(7, 1, 13), 7u);
+}
+
+TEST(PowMod, FermatLittleTheorem)
+{
+    const u64 p = 1000000007ULL;
+    for (u64 a : {u64{2}, u64{12345}, u64{999999999}}) {
+        EXPECT_EQ(PowMod(a, p - 1, p), 1u);
+    }
+}
+
+TEST(InvMod, RoundTrip)
+{
+    const u64 p = 1000000007ULL;
+    Xoshiro256 rng(42);
+    for (int i = 0; i < 50; ++i) {
+        const u64 a = rng.NextBelow(p - 1) + 1;
+        const u64 inv = InvMod(a, p);
+        EXPECT_EQ(MulModNative(a, inv, p), 1u);
+    }
+}
+
+TEST(ValidateModulus, RejectsOutOfRange)
+{
+    EXPECT_THROW(ValidateModulus(0), std::invalid_argument);
+    EXPECT_THROW(ValidateModulus(1), std::invalid_argument);
+    EXPECT_THROW(ValidateModulus(u64{1} << 62), std::invalid_argument);
+    EXPECT_NO_THROW(ValidateModulus(2));
+    EXPECT_NO_THROW(ValidateModulus((u64{1} << 62) - 1));
+}
+
+class ShoupTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ShoupTest, AgreesWithNative)
+{
+    const u64 p = GetParam();
+    Xoshiro256 rng(p);
+    for (int i = 0; i < 500; ++i) {
+        const u64 b = rng.NextBelow(p);
+        const u64 w = rng.NextBelow(p);
+        const u64 w_bar = ShoupPrecompute(w, p);
+        EXPECT_EQ(MulModShoup(b, w, w_bar, p), MulModNative(b, w, p));
+    }
+}
+
+TEST_P(ShoupTest, LazyStaysBelowTwoP)
+{
+    const u64 p = GetParam();
+    Xoshiro256 rng(p ^ 0x1234);
+    for (int i = 0; i < 500; ++i) {
+        const u64 b = rng.NextBelow(2 * p);  // lazy input range
+        const u64 w = rng.NextBelow(p);
+        const u64 w_bar = ShoupPrecompute(w, p);
+        const u64 r = MulModShoupLazy(b, w, w_bar, p);
+        EXPECT_LT(r, 2 * p);
+        EXPECT_EQ(r % p, MulModNative(b % p, w, p));
+    }
+}
+
+class BarrettTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(BarrettTest, AgreesWithNative)
+{
+    const u64 p = GetParam();
+    const BarrettReducer barrett(p);
+    Xoshiro256 rng(p ^ 0xbead);
+    for (int i = 0; i < 500; ++i) {
+        const u64 a = rng.Next() % p;
+        const u64 b = rng.Next() % p;
+        EXPECT_EQ(barrett.MulMod(a, b), MulModNative(a, b, p));
+    }
+}
+
+TEST_P(BarrettTest, Reduces128BitValues)
+{
+    const u64 p = GetParam();
+    const BarrettReducer barrett(p);
+    Xoshiro256 rng(p ^ 0xfeed);
+    for (int i = 0; i < 200; ++i) {
+        const u128 z = (static_cast<u128>(rng.Next() % p) << 64) |
+                       rng.Next();
+        EXPECT_EQ(barrett.Reduce(z), static_cast<u64>(z % p));
+    }
+}
+
+// Shoup/Barrett only require 1 < p < 2^62, not primality.
+const u64 kTestModuli[] = {
+    3, 257, 65537, 1000000007ULL,
+    1152921504606584833ULL,       // ~2^60
+    (u64{1} << 62) - 57,          // near the cap
+};
+
+INSTANTIATE_TEST_SUITE_P(Moduli, ShoupTest,
+                         ::testing::ValuesIn(kTestModuli));
+INSTANTIATE_TEST_SUITE_P(Moduli, BarrettTest,
+                         ::testing::ValuesIn(kTestModuli));
+
+TEST(Mul128High, KnownValues)
+{
+    EXPECT_EQ(Mul128High(0, 0), u128{0});
+    // (2^64)^2 = 2^128 -> high half 1... using (2^64) representable as
+    // u128: high128(2^64 * 2^64) == 1.
+    const u128 x = static_cast<u128>(1) << 64;
+    EXPECT_EQ(Mul128High(x, x), u128{1});
+    // Max * Max: (2^128-1)^2 = 2^256 - 2^129 + 1 -> high = 2^128 - 2.
+    const u128 m = ~u128{0};
+    EXPECT_EQ(Mul128High(m, m), m - 1);
+}
+
+TEST(ShoupPrecompute, MatchesDefinition)
+{
+    const u64 p = 769;  // small prime: brute-force check
+    for (u64 w = 0; w < p; ++w) {
+        const u128 expect = (static_cast<u128>(w) << 64) / p;
+        EXPECT_EQ(ShoupPrecompute(w, p), static_cast<u64>(expect));
+    }
+}
+
+}  // namespace
+}  // namespace hentt

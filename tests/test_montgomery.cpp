@@ -1,0 +1,78 @@
+/** Tests for Montgomery multiplication. */
+
+#include <gtest/gtest.h>
+
+#include "common/modarith.h"
+#include "common/montgomery.h"
+#include "common/primegen.h"
+#include "common/random.h"
+
+namespace hentt {
+namespace {
+
+class MontgomeryTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(MontgomeryTest, RoundTripForm)
+{
+    const u64 p = GetParam();
+    const MontgomeryMultiplier mont(p);
+    Xoshiro256 rng(p);
+    for (int i = 0; i < 300; ++i) {
+        const u64 x = rng.NextBelow(p);
+        EXPECT_EQ(mont.FromMontgomery(mont.ToMontgomery(x)), x);
+    }
+}
+
+TEST_P(MontgomeryTest, MulModAgreesWithNative)
+{
+    const u64 p = GetParam();
+    const MontgomeryMultiplier mont(p);
+    Xoshiro256 rng(p ^ 0xabc);
+    for (int i = 0; i < 300; ++i) {
+        const u64 a = rng.NextBelow(p);
+        const u64 b = rng.NextBelow(p);
+        EXPECT_EQ(mont.MulMod(a, b), MulModNative(a, b, p));
+    }
+}
+
+TEST_P(MontgomeryTest, MontFormProductsCompose)
+{
+    // (a*b)*c == a*(b*c) staying in Montgomery form throughout.
+    const u64 p = GetParam();
+    const MontgomeryMultiplier mont(p);
+    Xoshiro256 rng(p ^ 0x777);
+    for (int i = 0; i < 100; ++i) {
+        const u64 a = mont.ToMontgomery(rng.NextBelow(p));
+        const u64 b = mont.ToMontgomery(rng.NextBelow(p));
+        const u64 c = mont.ToMontgomery(rng.NextBelow(p));
+        EXPECT_EQ(mont.MulMont(mont.MulMont(a, b), c),
+                  mont.MulMont(a, mont.MulMont(b, c)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(OddModuli, MontgomeryTest,
+                         ::testing::Values(u64{3}, u64{65537},
+                                           u64{1000000007},
+                                           u64{1152921504606584833ULL},
+                                           (u64{1} << 62) - 57));
+
+TEST(Montgomery, RejectsEvenOrHugeModuli)
+{
+    EXPECT_THROW(MontgomeryMultiplier(10), std::invalid_argument);
+    EXPECT_THROW(MontgomeryMultiplier(u64{1} << 62),
+                 std::invalid_argument);
+    EXPECT_THROW(MontgomeryMultiplier(0), std::invalid_argument);
+}
+
+TEST(Montgomery, OneMapsToRModP)
+{
+    const u64 p = 1000000007ULL;
+    const MontgomeryMultiplier mont(p);
+    // 1 in Montgomery form is 2^64 mod p.
+    const u64 r_mod_p = (~u64{0} % p + 1) % p;
+    EXPECT_EQ(mont.ToMontgomery(1), r_mod_p);
+    EXPECT_EQ(mont.FromMontgomery(r_mod_p), 1u);
+}
+
+}  // namespace
+}  // namespace hentt

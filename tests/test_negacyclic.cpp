@@ -1,0 +1,97 @@
+/** Tests for negacyclic convolution (naive oracle vs NTT path). */
+
+#include <gtest/gtest.h>
+
+#include "common/primegen.h"
+#include "common/random.h"
+#include "poly/negacyclic.h"
+
+namespace hentt {
+namespace {
+
+class NegacyclicTest : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        n_ = GetParam();
+        p_ = GenerateNttPrimes(2 * n_, 50, 1)[0];
+        engine_ = std::make_unique<NttEngine>(n_, p_);
+    }
+
+    Poly
+    Random(u64 seed) const
+    {
+        Xoshiro256 rng(seed);
+        std::vector<u64> v(n_);
+        for (u64 &x : v) {
+            x = rng.NextBelow(p_);
+        }
+        return Poly(std::move(v), p_);
+    }
+
+    std::size_t n_;
+    u64 p_;
+    std::unique_ptr<NttEngine> engine_;
+};
+
+TEST_P(NegacyclicTest, NttPathMatchesSchoolbook)
+{
+    const Poly a = Random(10);
+    const Poly b = Random(11);
+    EXPECT_EQ(NegacyclicConvolveNtt(a, b, *engine_),
+              NegacyclicConvolveNaive(a, b));
+}
+
+TEST_P(NegacyclicTest, CommutativeAndDistributive)
+{
+    const Poly a = Random(20);
+    const Poly b = Random(21);
+    const Poly c = Random(22);
+    EXPECT_EQ(NegacyclicConvolveNaive(a, b),
+              NegacyclicConvolveNaive(b, a));
+    const Poly left = NegacyclicConvolveNtt(a, b + c, *engine_);
+    const Poly right = NegacyclicConvolveNtt(a, b, *engine_) +
+                       NegacyclicConvolveNtt(a, c, *engine_);
+    EXPECT_EQ(left, right);
+}
+
+TEST_P(NegacyclicTest, MonomialMultiplicationAgrees)
+{
+    const Poly a = Random(30);
+    std::vector<u64> mono(n_, 0);
+    mono[1] = 1;  // X
+    const Poly x(std::move(mono), p_);
+    EXPECT_EQ(NegacyclicConvolveNtt(a, x, *engine_), a.MulByMonomial(1));
+}
+
+TEST_P(NegacyclicTest, XtoNisMinusOne)
+{
+    // (X^{N/2})^2 = X^N = -1 in the ring.
+    std::vector<u64> half(n_, 0);
+    half[n_ / 2] = 1;
+    const Poly h(std::move(half), p_);
+    const Poly sq = NegacyclicConvolveNtt(h, h, *engine_);
+    EXPECT_EQ(sq[0], p_ - 1);
+    for (std::size_t i = 1; i < n_; ++i) {
+        EXPECT_EQ(sq[i], 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NegacyclicTest,
+                         ::testing::Values(4, 16, 64, 256));
+
+TEST(Negacyclic, MismatchedInputsThrow)
+{
+    const u64 p = GenerateNttPrimes(2 * 16, 40, 1)[0];
+    const NttEngine engine(16, p);
+    const Poly a(16, p);
+    const Poly b(8, p);
+    EXPECT_THROW(NegacyclicConvolveNaive(a, b), std::invalid_argument);
+    EXPECT_THROW(NegacyclicConvolveNtt(a, b, engine),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hentt

@@ -1,0 +1,131 @@
+/** Tests for the 32-bit-word NTT path. */
+
+#include <gtest/gtest.h>
+
+#include "common/modarith.h"
+#include "common/primegen.h"
+#include "common/random.h"
+#include "ntt/ntt32.h"
+#include "ntt/ntt_radix2.h"
+
+namespace hentt {
+namespace {
+
+u32
+Prime30(std::size_t n)
+{
+    return static_cast<u32>(GenerateNttPrimes(2 * n, 29, 1)[0]);
+}
+
+class Ntt32Test : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        n_ = GetParam();
+        p_ = Prime30(n_);
+        engine_ = std::make_unique<Ntt32Engine>(n_, p_);
+    }
+
+    std::vector<u32>
+    Random(u64 seed) const
+    {
+        Xoshiro256 rng(seed);
+        std::vector<u32> v(n_);
+        for (u32 &x : v) {
+            x = static_cast<u32>(rng.NextBelow(p_));
+        }
+        return v;
+    }
+
+    std::size_t n_;
+    u32 p_;
+    std::unique_ptr<Ntt32Engine> engine_;
+};
+
+TEST_P(Ntt32Test, RoundTrip)
+{
+    const auto a = Random(1);
+    auto v = a;
+    engine_->Forward(v);
+    engine_->Inverse(v);
+    EXPECT_EQ(v, a);
+}
+
+TEST_P(Ntt32Test, MultiplyMatchesSchoolbook)
+{
+    const auto a = Random(2);
+    const auto b = Random(3);
+    const auto fast = engine_->Multiply(a, b);
+    for (std::size_t k = 0; k < n_; ++k) {
+        u64 acc = 0;
+        for (std::size_t i = 0; i <= k; ++i) {
+            acc = AddMod(acc, MulModNative(a[i], b[k - i], p_), p_);
+        }
+        for (std::size_t i = k + 1; i < n_; ++i) {
+            acc = SubMod(acc, MulModNative(a[i], b[n_ + k - i], p_), p_);
+        }
+        EXPECT_EQ(fast[k], acc) << "k=" << k;
+    }
+}
+
+TEST_P(Ntt32Test, DeltaTransformsToAllOnes)
+{
+    std::vector<u32> delta(n_, 0);
+    delta[0] = 1;
+    engine_->Forward(delta);
+    for (u32 x : delta) {
+        EXPECT_EQ(x, 1u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Ntt32Test,
+                         ::testing::Values(8, 64, 256, 1024));
+
+TEST(MulModShoup32, AgreesWithNativeAcrossRandomInputs)
+{
+    const u32 p = Prime30(1 << 10);
+    Xoshiro256 rng(10);
+    for (int i = 0; i < 2000; ++i) {
+        const u32 b = static_cast<u32>(rng.NextBelow(p));
+        const u32 w = static_cast<u32>(rng.NextBelow(p));
+        EXPECT_EQ(MulModShoup32(b, w, ShoupPrecompute32(w, p), p),
+                  static_cast<u32>(static_cast<u64>(b) * w % p));
+    }
+}
+
+TEST(Ntt32Engine, RejectsBadParameters)
+{
+    EXPECT_THROW(Ntt32Engine(100, 257), std::invalid_argument);
+    EXPECT_THROW(Ntt32Engine(64, u32{1} << 30), std::invalid_argument);
+    EXPECT_THROW(Ntt32Engine(64, 193), std::invalid_argument);  // !=1 mod 128
+    const u32 p = Prime30(64);
+    const Ntt32Engine engine(64, p);
+    std::vector<u32> wrong(32, 0);
+    EXPECT_THROW(engine.Forward(wrong), std::invalid_argument);
+}
+
+TEST(Ntt32VsNtt64, SameTransformOnSharedPrime)
+{
+    // A prime below 2^30 works in both pipelines; outputs must agree.
+    const std::size_t n = 128;
+    const u32 p = Prime30(n);
+    const Ntt32Engine e32(n, p);
+    const TwiddleTable table(n, p);
+    Xoshiro256 rng(11);
+    std::vector<u32> a32(n);
+    std::vector<u64> a64(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a32[i] = static_cast<u32>(rng.NextBelow(p));
+        a64[i] = a32[i];
+    }
+    e32.Forward(a32);
+    NttRadix2(a64, table);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(static_cast<u64>(a32[i]), a64[i]);
+    }
+}
+
+}  // namespace
+}  // namespace hentt

@@ -1,0 +1,99 @@
+/** Tests for the NttEngine facade. */
+
+#include <gtest/gtest.h>
+
+#include "common/primegen.h"
+#include "common/random.h"
+#include "ntt/ntt_engine.h"
+
+namespace hentt {
+namespace {
+
+class EngineTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        n_ = 256;
+        p_ = GenerateNttPrimes(2 * n_, 50, 1)[0];
+        engine_ = std::make_unique<NttEngine>(n_, p_, /*ot_base=*/64);
+    }
+
+    std::vector<u64>
+    Random(u64 seed) const
+    {
+        Xoshiro256 rng(seed);
+        std::vector<u64> v(n_);
+        for (u64 &x : v) {
+            x = rng.NextBelow(p_);
+        }
+        return v;
+    }
+
+    std::size_t n_;
+    u64 p_;
+    std::unique_ptr<NttEngine> engine_;
+};
+
+TEST_F(EngineTest, AllCooleyTukeyAlgorithmsBitExact)
+{
+    const auto a = Random(1);
+    std::vector<u64> reference = a;
+    engine_->Forward(reference, NttAlgorithm::kRadix2);
+
+    for (NttAlgorithm algo :
+         {NttAlgorithm::kRadix2Native, NttAlgorithm::kRadix2Barrett,
+          NttAlgorithm::kHighRadix, NttAlgorithm::kRadix2Ot}) {
+        std::vector<u64> v = a;
+        engine_->Forward(v, algo, /*radix=*/16, /*ot_stages=*/2);
+        EXPECT_EQ(v, reference);
+    }
+}
+
+TEST_F(EngineTest, RoundTripEveryAlgorithm)
+{
+    const auto a = Random(2);
+    for (NttAlgorithm algo :
+         {NttAlgorithm::kRadix2, NttAlgorithm::kHighRadix,
+          NttAlgorithm::kRadix2Ot}) {
+        std::vector<u64> v = a;
+        engine_->Forward(v, algo);
+        engine_->Inverse(v);
+        EXPECT_EQ(v, a);
+    }
+}
+
+TEST_F(EngineTest, MultiplyMatchesSchoolbookOnMonomials)
+{
+    // (X^i) * (X^j) = X^{i+j}, with sign flip past X^N (negacyclic).
+    std::vector<u64> a(n_, 0), b(n_, 0);
+    a[3] = 5;
+    b[n_ - 2] = 7;
+    const auto c = engine_->Multiply(a, b);
+    // X^3 * X^{N-2} = X^{N+1} = -X^1.
+    for (std::size_t i = 0; i < n_; ++i) {
+        if (i == 1) {
+            EXPECT_EQ(c[i], p_ - 35);
+        } else {
+            EXPECT_EQ(c[i], 0u);
+        }
+    }
+}
+
+TEST_F(EngineTest, HadamardRejectsWrongSizes)
+{
+    std::vector<u64> a(n_, 1), b(n_, 1), c(n_ / 2, 0);
+    EXPECT_THROW(engine_->Hadamard(a, b, c), std::invalid_argument);
+}
+
+TEST_F(EngineTest, MultiplyByOneIsIdentity)
+{
+    const auto a = Random(3);
+    std::vector<u64> one(n_, 0);
+    one[0] = 1;
+    EXPECT_EQ(engine_->Multiply(a, one), a);
+}
+
+}  // namespace
+}  // namespace hentt

@@ -1,0 +1,91 @@
+/** Tests for the blocked high-radix NTT. */
+
+#include <gtest/gtest.h>
+
+#include "common/primegen.h"
+#include "common/random.h"
+#include "ntt/ntt_highradix.h"
+#include "ntt/ntt_radix2.h"
+
+namespace hentt {
+namespace {
+
+class HighRadixTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        n_ = std::get<0>(GetParam());
+        radix_ = std::get<1>(GetParam());
+        p_ = GenerateNttPrimes(2 * n_, 50, 1)[0];
+        table_ = std::make_unique<TwiddleTable>(n_, p_);
+    }
+
+    std::size_t n_, radix_;
+    u64 p_;
+    std::unique_ptr<TwiddleTable> table_;
+};
+
+TEST_P(HighRadixTest, BitExactVsRadix2)
+{
+    if (radix_ > n_) {
+        GTEST_SKIP() << "radix exceeds transform size";
+    }
+    Xoshiro256 rng(n_ * 131 + radix_);
+    std::vector<u64> a(n_);
+    for (u64 &x : a) {
+        x = rng.NextBelow(p_);
+    }
+    std::vector<u64> reference = a;
+    NttRadix2(reference, *table_);
+    std::vector<u64> blocked = a;
+    NttHighRadix(blocked, *table_, radix_);
+    EXPECT_EQ(blocked, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeRadixGrid, HighRadixTest,
+    ::testing::Combine(::testing::Values(16, 64, 256, 1024, 4096),
+                       ::testing::Values(2, 4, 8, 16, 32, 64, 128)));
+
+TEST(HighRadixPassCount, MatchesCeilFormula)
+{
+    EXPECT_EQ(HighRadixPassCount(1 << 17, 2), 17u);
+    EXPECT_EQ(HighRadixPassCount(1 << 17, 16), 5u);   // ceil(17/4)
+    EXPECT_EQ(HighRadixPassCount(1 << 17, 32), 4u);   // ceil(17/5)
+    EXPECT_EQ(HighRadixPassCount(1 << 16, 16), 4u);   // 16/4
+    EXPECT_EQ(HighRadixPassCount(1 << 14, 128), 2u);  // ceil(14/7)
+}
+
+TEST(HighRadix, RejectsBadRadix)
+{
+    const std::size_t n = 64;
+    const u64 p = GenerateNttPrimes(2 * n, 40, 1)[0];
+    const TwiddleTable table(n, p);
+    std::vector<u64> a(n, 1);
+    EXPECT_THROW(NttHighRadix(a, table, 3), std::invalid_argument);
+    EXPECT_THROW(NttHighRadix(a, table, 1), std::invalid_argument);
+    EXPECT_THROW(NttHighRadix(a, table, 128), std::invalid_argument);
+}
+
+TEST(HighRadix, RadixEqualToNDegeneratesToSinglePass)
+{
+    const std::size_t n = 256;
+    const u64 p = GenerateNttPrimes(2 * n, 40, 1)[0];
+    const TwiddleTable table(n, p);
+    Xoshiro256 rng(9);
+    std::vector<u64> a(n);
+    for (u64 &x : a) {
+        x = rng.NextBelow(p);
+    }
+    std::vector<u64> reference = a;
+    NttRadix2(reference, table);
+    NttHighRadix(a, table, n);
+    EXPECT_EQ(a, reference);
+    EXPECT_EQ(HighRadixPassCount(n, n), 1u);
+}
+
+}  // namespace
+}  // namespace hentt

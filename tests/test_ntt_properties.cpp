@@ -1,0 +1,142 @@
+/**
+ * Property-based sweeps over (N, prime size, seed): the algebraic
+ * invariants every implementation must satisfy, exercised across the
+ * whole implementation matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/modarith.h"
+#include "common/primegen.h"
+#include "common/random.h"
+#include "ntt/ntt_engine.h"
+#include "ntt/ntt_naive.h"
+
+namespace hentt {
+namespace {
+
+struct PropertyCase {
+    std::size_t n;
+    unsigned bits;
+    u64 seed;
+};
+
+void
+PrintTo(const PropertyCase &c, std::ostream *os)
+{
+    *os << "n=" << c.n << " bits=" << c.bits << " seed=" << c.seed;
+}
+
+class NttPropertyTest : public ::testing::TestWithParam<PropertyCase>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto &c = GetParam();
+        p_ = GenerateNttPrimes(2 * c.n, c.bits, 1)[0];
+        engine_ = std::make_unique<NttEngine>(c.n, p_, 64);
+        rng_ = std::make_unique<Xoshiro256>(c.seed);
+    }
+
+    std::vector<u64>
+    Random() const
+    {
+        std::vector<u64> v(GetParam().n);
+        for (u64 &x : v) {
+            x = rng_->NextBelow(p_);
+        }
+        return v;
+    }
+
+    u64 p_;
+    std::unique_ptr<NttEngine> engine_;
+    std::unique_ptr<Xoshiro256> rng_;
+};
+
+TEST_P(NttPropertyTest, ForwardInverseIdentity)
+{
+    const auto a = Random();
+    std::vector<u64> v = a;
+    engine_->Forward(v);
+    engine_->Inverse(v);
+    EXPECT_EQ(v, a);
+}
+
+TEST_P(NttPropertyTest, ConvolutionTheorem)
+{
+    // INTT(NTT(a) . NTT(b)) equals the naive negacyclic convolution.
+    const std::size_t n = GetParam().n;
+    const auto a = Random();
+    const auto b = Random();
+    const auto fast = engine_->Multiply(a, b);
+
+    std::vector<u64> naive(n, 0);
+    for (std::size_t k = 0; k < n; ++k) {
+        u64 acc = 0;
+        for (std::size_t i = 0; i <= k; ++i) {
+            acc = AddMod(acc, MulModNative(a[i], b[k - i], p_), p_);
+        }
+        for (std::size_t i = k + 1; i < n; ++i) {
+            acc = SubMod(acc, MulModNative(a[i], b[n + k - i], p_), p_);
+        }
+        naive[k] = acc;
+    }
+    EXPECT_EQ(fast, naive);
+}
+
+TEST_P(NttPropertyTest, ScalingCommutes)
+{
+    const auto a = Random();
+    const u64 c = rng_->NextBelow(p_ - 1) + 1;
+    std::vector<u64> scaled(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        scaled[i] = MulModNative(a[i], c, p_);
+    }
+    std::vector<u64> fa = a, fscaled = scaled;
+    engine_->Forward(fa);
+    engine_->Forward(fscaled);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(fscaled[i], MulModNative(fa[i], c, p_));
+    }
+}
+
+TEST_P(NttPropertyTest, ParsevalLikeEnergyPreservedByRoundTrip)
+{
+    // Not true Parseval (no inner-product preservation mod p), but the
+    // multiset of coefficients must return exactly after fwd+inv.
+    const auto a = Random();
+    std::vector<u64> v = a;
+    engine_->Forward(v, NttAlgorithm::kHighRadix, 8);
+    engine_->Inverse(v);
+    EXPECT_EQ(v, a);
+}
+
+TEST_P(NttPropertyTest, NaiveOracleAgreesOnSmallSizes)
+{
+    const std::size_t n = GetParam().n;
+    if (n > 512) {
+        GTEST_SKIP() << "O(N^2) oracle too slow";
+    }
+    const auto a = Random();
+    const auto expect =
+        NaiveNegacyclicNtt(a, engine_->table().psi(), p_);
+    std::vector<u64> got = a;
+    engine_->Forward(got);
+    const unsigned bits = Log2Exact(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(got[i], expect[BitReverse(i, bits)]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NttPropertyTest,
+    ::testing::Values(PropertyCase{16, 30, 1}, PropertyCase{16, 60, 2},
+                      PropertyCase{64, 40, 3}, PropertyCase{128, 50, 4},
+                      PropertyCase{256, 60, 5}, PropertyCase{512, 55, 6},
+                      PropertyCase{1024, 60, 7},
+                      PropertyCase{2048, 60, 8}));
+
+}  // namespace
+}  // namespace hentt

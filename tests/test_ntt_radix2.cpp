@@ -1,0 +1,120 @@
+/** Tests for the radix-2 Cooley-Tukey NTT / Gentleman-Sande iNTT pair. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/modarith.h"
+#include "common/primegen.h"
+#include "common/random.h"
+#include "ntt/ntt_naive.h"
+#include "ntt/ntt_radix2.h"
+
+namespace hentt {
+namespace {
+
+std::vector<u64>
+RandomVector(std::size_t n, u64 p, u64 seed)
+{
+    Xoshiro256 rng(seed);
+    std::vector<u64> v(n);
+    for (u64 &x : v) {
+        x = rng.NextBelow(p);
+    }
+    return v;
+}
+
+class Radix2Test
+    : public ::testing::TestWithParam<std::tuple<std::size_t, unsigned>>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        n_ = std::get<0>(GetParam());
+        const unsigned bits = std::get<1>(GetParam());
+        p_ = GenerateNttPrimes(2 * n_, bits, 1)[0];
+        table_ = std::make_unique<TwiddleTable>(n_, p_);
+    }
+
+    std::size_t n_;
+    u64 p_;
+    std::unique_ptr<TwiddleTable> table_;
+};
+
+TEST_P(Radix2Test, MatchesNaiveOracleUpToBitReversal)
+{
+    const auto a = RandomVector(n_, p_, 1);
+    const auto expect = NaiveNegacyclicNtt(a, table_->psi(), p_);
+
+    std::vector<u64> got = a;
+    NttRadix2(got, *table_);
+    const unsigned bits = Log2Exact(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+        EXPECT_EQ(got[i], expect[BitReverse(i, bits)]) << "slot " << i;
+    }
+}
+
+TEST_P(Radix2Test, InverseComposesToIdentity)
+{
+    const auto a = RandomVector(n_, p_, 2);
+    std::vector<u64> v = a;
+    NttRadix2(v, *table_);
+    InttRadix2(v, *table_);
+    EXPECT_EQ(v, a);
+}
+
+TEST_P(Radix2Test, NativeAndBarrettVariantsBitExact)
+{
+    const auto a = RandomVector(n_, p_, 3);
+    std::vector<u64> shoup = a, native = a, barrett = a;
+    NttRadix2(shoup, *table_);
+    NttRadix2Native(native, *table_);
+    NttRadix2Barrett(barrett, *table_);
+    EXPECT_EQ(shoup, native);
+    EXPECT_EQ(shoup, barrett);
+}
+
+TEST_P(Radix2Test, Linearity)
+{
+    const auto a = RandomVector(n_, p_, 4);
+    const auto b = RandomVector(n_, p_, 5);
+    std::vector<u64> sum(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+        sum[i] = AddMod(a[i], b[i], p_);
+    }
+    std::vector<u64> fa = a, fb = b, fsum = sum;
+    NttRadix2(fa, *table_);
+    NttRadix2(fb, *table_);
+    NttRadix2(fsum, *table_);
+    for (std::size_t i = 0; i < n_; ++i) {
+        EXPECT_EQ(fsum[i], AddMod(fa[i], fb[i], p_));
+    }
+}
+
+TEST_P(Radix2Test, DeltaTransformsToAllOnes)
+{
+    // NTT(delta_0) = (1, 1, ..., 1) for any twiddle convention.
+    std::vector<u64> delta(n_, 0);
+    delta[0] = 1;
+    NttRadix2(delta, *table_);
+    for (u64 x : delta) {
+        EXPECT_EQ(x, 1u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndPrimes, Radix2Test,
+    ::testing::Combine(::testing::Values(4, 8, 64, 256, 1024, 4096),
+                       ::testing::Values(30u, 50u, 60u)));
+
+TEST(Radix2, RejectsMismatchedSpan)
+{
+    const u64 p = GenerateNttPrimes(2 * 64, 40, 1)[0];
+    const TwiddleTable table(64, p);
+    std::vector<u64> wrong(32, 0);
+    EXPECT_THROW(NttRadix2(wrong, table), std::invalid_argument);
+    EXPECT_THROW(InttRadix2(wrong, table), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hentt

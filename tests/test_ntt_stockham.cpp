@@ -1,0 +1,92 @@
+/** Tests for the Stockham autosort NTT (paper Algo. 3). */
+
+#include <gtest/gtest.h>
+
+#include "common/primegen.h"
+#include "common/random.h"
+#include "ntt/ntt_naive.h"
+#include "ntt/ntt_radix2.h"
+#include "ntt/ntt_stockham.h"
+#include "ntt/twiddle_table.h"
+
+namespace hentt {
+namespace {
+
+class StockhamTest : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        n_ = GetParam();
+        p_ = GenerateNttPrimes(2 * n_, 50, 1)[0];
+        ntt_ = std::make_unique<StockhamNtt>(n_, p_);
+    }
+
+    std::vector<u64>
+    Random(u64 seed) const
+    {
+        Xoshiro256 rng(seed);
+        std::vector<u64> v(n_);
+        for (u64 &x : v) {
+            x = rng.NextBelow(p_);
+        }
+        return v;
+    }
+
+    std::size_t n_;
+    u64 p_;
+    std::unique_ptr<StockhamNtt> ntt_;
+};
+
+TEST_P(StockhamTest, NaturalOrderMatchesNaiveOracle)
+{
+    // Stockham's self-sorting property: output in natural order, no
+    // bit-reversal anywhere (the paper's motivation for the algorithm).
+    const auto a = Random(11);
+    const auto got = ntt_->Forward(a);
+    const auto expect = NaiveNegacyclicNtt(a, ntt_->psi(), p_);
+    EXPECT_EQ(got, expect);
+}
+
+TEST_P(StockhamTest, InverseComposesToIdentity)
+{
+    const auto a = Random(12);
+    const auto round_trip = ntt_->Inverse(ntt_->Forward(a));
+    EXPECT_EQ(round_trip, a);
+}
+
+TEST_P(StockhamTest, AgreesWithCooleyTukeyUpToPermutation)
+{
+    // Both algorithms compute the same transform; Cooley-Tukey emits it
+    // bit-reversed, Stockham sorted. Compare as multisets via sort.
+    const auto a = Random(13);
+    auto ct = a;
+    const TwiddleTable table(n_, p_);
+    ASSERT_EQ(table.psi(), ntt_->psi());  // deterministic root choice
+    NttRadix2(ct, table);
+    auto st = ntt_->Forward(a);
+    // Element-by-element: Stockham natural order vs CT bit-reversed.
+    std::sort(ct.begin(), ct.end());
+    std::sort(st.begin(), st.end());
+    EXPECT_EQ(ct, st);
+}
+
+TEST_P(StockhamTest, RejectsWrongSize)
+{
+    std::vector<u64> wrong(n_ / 2, 0);
+    EXPECT_THROW(ntt_->Forward(wrong), std::invalid_argument);
+    EXPECT_THROW(ntt_->Inverse(wrong), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StockhamTest,
+                         ::testing::Values(2, 4, 16, 128, 1024, 4096));
+
+TEST(Stockham, RejectsBadConstruction)
+{
+    EXPECT_THROW(StockhamNtt(100, 257), std::invalid_argument);
+    EXPECT_THROW(StockhamNtt(256, 257), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hentt

@@ -1,0 +1,114 @@
+/** Tests for on-the-fly twiddling (paper Section VII). */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/modarith.h"
+#include "common/primegen.h"
+#include "common/random.h"
+#include "ntt/ntt_radix2.h"
+#include "ntt/ot_twiddle.h"
+
+namespace hentt {
+namespace {
+
+class OtTableTest : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        base_ = GetParam();
+        n_ = 1024;
+        p_ = GenerateNttPrimes(2 * n_, 50, 1)[0];
+        ot_ = std::make_unique<OtTwiddleTable>(n_, p_, base_);
+    }
+
+    std::size_t base_, n_;
+    u64 p_;
+    std::unique_ptr<OtTwiddleTable> ot_;
+};
+
+TEST_P(OtTableTest, FactorizationReproducesEveryTwiddle)
+{
+    for (u64 e = 0; e < 2 * n_; ++e) {
+        EXPECT_EQ(ot_->Twiddle(e), PowMod(ot_->psi(), e, p_)) << "e=" << e;
+    }
+}
+
+TEST_P(OtTableTest, ApplyEqualsDirectMultiply)
+{
+    Xoshiro256 rng(base_);
+    for (int i = 0; i < 200; ++i) {
+        const u64 x = rng.NextBelow(p_);
+        const u64 e = rng.NextBelow(2 * n_);
+        const u64 direct = MulModNative(x, PowMod(ot_->psi(), e, p_), p_);
+        EXPECT_EQ(ot_->Apply(x, e), direct);
+    }
+}
+
+TEST_P(OtTableTest, EntryCountMatchesPaperFormula)
+{
+    // base + ceil(2N / base) entries (paper: 1024 + 2^17/1024 for
+    // N = 2^17, base 1024).
+    EXPECT_EQ(ot_->entry_count(), base_ + (2 * n_ + base_ - 1) / base_);
+    EXPECT_EQ(ot_->table_bytes(), 2 * ot_->entry_count() * 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, OtTableTest,
+                         ::testing::Values(2, 16, 64, 256, 1024, 2048));
+
+TEST(OtTable, TableShrinksVsFullTable)
+{
+    const std::size_t n = 1 << 14;
+    const u64 p = GenerateNttPrimes(2 * n, 50, 1)[0];
+    const OtTwiddleTable ot(n, p, 1024);
+    const TwiddleTable full(n, p);
+    // 1024 + 32 entries vs 16384: two orders of magnitude smaller.
+    EXPECT_LT(ot.table_bytes() * 10, full.forward_table_bytes());
+}
+
+class OtNttTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(OtNttTest, OtStagesBitExactVsPlainRadix2)
+{
+    const std::size_t n = 512;
+    const unsigned ot_stages = GetParam();
+    const u64 p = GenerateNttPrimes(2 * n, 50, 1)[0];
+    const TwiddleTable table(n, p);
+    const OtTwiddleTable ot(n, p, 64);
+
+    Xoshiro256 rng(7 + ot_stages);
+    std::vector<u64> a(n);
+    for (u64 &x : a) {
+        x = rng.NextBelow(p);
+    }
+    std::vector<u64> reference = a;
+    NttRadix2(reference, table);
+    std::vector<u64> with_ot = a;
+    NttRadix2Ot(with_ot, table, ot, ot_stages);
+    EXPECT_EQ(with_ot, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(StageCounts, OtNttTest,
+                         ::testing::Values(0, 1, 2, 3, 9));
+
+TEST(OtNtt, RejectsTooManyStages)
+{
+    const std::size_t n = 64;
+    const u64 p = GenerateNttPrimes(2 * n, 40, 1)[0];
+    const TwiddleTable table(n, p);
+    const OtTwiddleTable ot(n, p, 16);
+    std::vector<u64> a(n, 1);
+    EXPECT_THROW(NttRadix2Ot(a, table, ot, 7), std::invalid_argument);
+}
+
+TEST(ForwardTwiddleExponent, MatchesBitReversal)
+{
+    EXPECT_EQ(ForwardTwiddleExponent(1, 8), 4u);
+    EXPECT_EQ(ForwardTwiddleExponent(3, 8), 6u);
+    EXPECT_EQ(ForwardTwiddleExponent(7, 8), 7u);
+}
+
+}  // namespace
+}  // namespace hentt

@@ -1,0 +1,76 @@
+/** Tests for the per-prime polynomial ring type. */
+
+#include <gtest/gtest.h>
+
+#include "poly/poly.h"
+
+namespace hentt {
+namespace {
+
+constexpr u64 kP = 97;
+
+TEST(Poly, ConstructionValidation)
+{
+    EXPECT_NO_THROW(Poly(8, kP));
+    EXPECT_THROW(Poly(6, kP), std::invalid_argument);
+    EXPECT_THROW(Poly(8, 1), std::invalid_argument);
+    EXPECT_THROW(Poly(std::vector<u64>{1, 2, 3}, kP),
+                 std::invalid_argument);
+}
+
+TEST(Poly, CoefficientsReducedOnConstruction)
+{
+    const Poly p({kP + 3, 2 * kP, 5, 0}, kP);
+    EXPECT_EQ(p[0], 3u);
+    EXPECT_EQ(p[1], 0u);
+    EXPECT_EQ(p[2], 5u);
+}
+
+TEST(Poly, AddSubNegate)
+{
+    const Poly a({1, 2, 3, 4}, kP);
+    const Poly b({96, 95, 94, 93}, kP);
+    const Poly sum = a + b;
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(sum[i], 0u);  // b == -a
+    }
+    EXPECT_EQ(a - b, a + a);
+    EXPECT_EQ(a.Negate(), b);
+    EXPECT_EQ(Poly(4, kP).Negate(), Poly(4, kP));
+}
+
+TEST(Poly, ScalarMultiply)
+{
+    const Poly a({1, 2, 3, 4}, kP);
+    const Poly twice = a * 2;
+    EXPECT_EQ(twice, a + a);
+    EXPECT_EQ(a * 0, Poly(4, kP));
+    EXPECT_EQ(a * (kP + 1), a);  // scalar reduced mod p
+}
+
+TEST(Poly, MulByMonomialWrapsNegacyclically)
+{
+    const Poly a({1, 2, 3, 4}, kP);
+    // X * a: (–4, 1, 2, 3) since X^4 = -1.
+    const Poly shifted = a.MulByMonomial(1);
+    EXPECT_EQ(shifted[0], kP - 4);
+    EXPECT_EQ(shifted[1], 1u);
+    EXPECT_EQ(shifted[2], 2u);
+    EXPECT_EQ(shifted[3], 3u);
+    // Shifting by 2N is the identity (two sign flips).
+    EXPECT_EQ(a.MulByMonomial(8), a);
+    // Shifting by N negates.
+    EXPECT_EQ(a.MulByMonomial(4), a.Negate());
+}
+
+TEST(Poly, CrossRingOperationsThrow)
+{
+    const Poly a(8, kP);
+    const Poly b(4, kP);
+    const Poly c(8, 89);
+    EXPECT_THROW(a + b, std::invalid_argument);
+    EXPECT_THROW(a - c, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hentt

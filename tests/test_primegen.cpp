@@ -1,0 +1,144 @@
+/** Unit tests for common/primegen. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/modarith.h"
+#include "common/primegen.h"
+
+namespace hentt {
+namespace {
+
+TEST(IsPrime, SmallValues)
+{
+    EXPECT_FALSE(IsPrime(0));
+    EXPECT_FALSE(IsPrime(1));
+    EXPECT_TRUE(IsPrime(2));
+    EXPECT_TRUE(IsPrime(3));
+    EXPECT_FALSE(IsPrime(4));
+    EXPECT_TRUE(IsPrime(97));
+    EXPECT_FALSE(IsPrime(91));  // 7 * 13
+    EXPECT_TRUE(IsPrime(65537));
+}
+
+TEST(IsPrime, AgreesWithSieveUpTo10000)
+{
+    std::vector<bool> sieve(10000, true);
+    sieve[0] = sieve[1] = false;
+    for (std::size_t i = 2; i < sieve.size(); ++i) {
+        if (sieve[i]) {
+            for (std::size_t j = 2 * i; j < sieve.size(); j += i) {
+                sieve[j] = false;
+            }
+        }
+    }
+    for (std::size_t i = 0; i < sieve.size(); ++i) {
+        EXPECT_EQ(IsPrime(i), sieve[i]) << "n=" << i;
+    }
+}
+
+TEST(IsPrime, LargeKnownValues)
+{
+    EXPECT_TRUE(IsPrime(u64{0xFFFFFFFF00000001ULL}));  // Goldilocks
+    EXPECT_TRUE(IsPrime(1000000007ULL));
+    EXPECT_FALSE(IsPrime(1000000007ULL * 3));
+    // Carmichael number 561 and a large pseudo-prime trap.
+    EXPECT_FALSE(IsPrime(561));
+    EXPECT_FALSE(IsPrime(3215031751ULL));  // strong pseudoprime to 2,3,5,7
+}
+
+TEST(DistinctPrimeFactors, Basic)
+{
+    EXPECT_EQ(DistinctPrimeFactors(12), (std::vector<u64>{2, 3}));
+    EXPECT_EQ(DistinctPrimeFactors(97), (std::vector<u64>{97}));
+    EXPECT_EQ(DistinctPrimeFactors(1), (std::vector<u64>{}));
+    EXPECT_EQ(DistinctPrimeFactors(1024), (std::vector<u64>{2}));
+}
+
+TEST(DistinctPrimeFactors, LargeComposite)
+{
+    const u64 a = 1000000007ULL;
+    const u64 b = 998244353ULL;
+    const auto factors = DistinctPrimeFactors(a * b);
+    EXPECT_EQ(factors, (std::vector<u64>{b, a}));
+}
+
+TEST(GenerateNttPrimes, ProducesValidPrimes)
+{
+    const u64 step = 2 * 4096;
+    const auto primes = GenerateNttPrimes(step, 50, 8);
+    ASSERT_EQ(primes.size(), 8u);
+    std::set<u64> unique(primes.begin(), primes.end());
+    EXPECT_EQ(unique.size(), 8u);
+    for (u64 p : primes) {
+        EXPECT_TRUE(IsPrime(p));
+        EXPECT_EQ(p % step, 1u);
+        EXPECT_GE(p, u64{1} << 49);
+        EXPECT_LT(p, u64{1} << 50);
+    }
+}
+
+TEST(GenerateNttPrimes, PaperScaleParameters)
+{
+    // The paper's regime: 60-bit primes, N = 2^17 -> step 2^18.
+    const auto primes = GenerateNttPrimes(u64{1} << 18, 60, 4);
+    for (u64 p : primes) {
+        EXPECT_TRUE(IsPrime(p));
+        EXPECT_EQ(p % (u64{1} << 18), 1u);
+    }
+}
+
+TEST(GenerateNttPrimes, RejectsBadArguments)
+{
+    EXPECT_THROW(GenerateNttPrimes(100, 50, 1), std::invalid_argument);
+    EXPECT_THROW(GenerateNttPrimes(1 << 13, 63, 1), std::invalid_argument);
+    EXPECT_THROW(GenerateNttPrimes(u64{1} << 20, 10, 1),
+                 std::invalid_argument);
+}
+
+TEST(FindGenerator, GeneratesFullGroup)
+{
+    for (u64 p : {u64{13}, u64{257}, u64{65537}}) {
+        const u64 g = FindGenerator(p);
+        // g^k must only hit 1 at k = p - 1.
+        std::set<u64> seen;
+        u64 x = 1;
+        for (u64 k = 0; k < p - 1; ++k) {
+            seen.insert(x);
+            x = MulModNative(x, g, p);
+        }
+        EXPECT_EQ(seen.size(), p - 1);
+    }
+}
+
+TEST(FindPrimitiveRoot, SatisfiesDefinition)
+{
+    const u64 p = GenerateNttPrimes(2 * 1024, 40, 1)[0];
+    const u64 n = 2 * 1024;
+    const u64 root = FindPrimitiveRoot(n, p);
+    EXPECT_TRUE(IsPrimitiveRoot(root, n, p));
+    EXPECT_EQ(PowMod(root, n, p), 1u);
+    EXPECT_NE(PowMod(root, n / 2, p), 1u);
+    // psi^(n/2) must be -1 (order-2 element).
+    EXPECT_EQ(PowMod(root, n / 2, p), p - 1);
+}
+
+TEST(FindPrimitiveRoot, RejectsNonDivisor)
+{
+    EXPECT_THROW(FindPrimitiveRoot(7, 13), std::invalid_argument);
+}
+
+TEST(IsPrimitiveRoot, RejectsNonPrimitive)
+{
+    const u64 p = 97;  // p - 1 = 96 = 2^5 * 3
+    const u64 root = FindPrimitiveRoot(8, p);
+    EXPECT_TRUE(IsPrimitiveRoot(root, 8, p));
+    // root^2 has order 4, not 8.
+    EXPECT_FALSE(IsPrimitiveRoot(MulModNative(root, root, p), 8, p));
+    EXPECT_FALSE(IsPrimitiveRoot(0, 8, p));
+    EXPECT_FALSE(IsPrimitiveRoot(1, 8, p));
+}
+
+}  // namespace
+}  // namespace hentt

@@ -1,0 +1,91 @@
+/** Unit tests for common/random (xoshiro256**). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace hentt {
+namespace {
+
+TEST(Xoshiro256, DeterministicForSeed)
+{
+    Xoshiro256 a(123), b(123), c(124);
+    bool diverged = false;
+    for (int i = 0; i < 100; ++i) {
+        const u64 va = a.Next();
+        EXPECT_EQ(va, b.Next());
+        if (va != c.Next()) {
+            diverged = true;
+        }
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Xoshiro256, NextBelowInRange)
+{
+    Xoshiro256 rng(7);
+    for (u64 bound : {u64{1}, u64{2}, u64{17}, u64{1} << 40}) {
+        for (int i = 0; i < 200; ++i) {
+            EXPECT_LT(rng.NextBelow(bound), bound);
+        }
+    }
+}
+
+TEST(Xoshiro256, NextBelowRoughlyUniform)
+{
+    Xoshiro256 rng(99);
+    constexpr int kBuckets = 16;
+    constexpr int kSamples = 160000;
+    int counts[kBuckets] = {};
+    for (int i = 0; i < kSamples; ++i) {
+        ++counts[rng.NextBelow(kBuckets)];
+    }
+    const double expect = static_cast<double>(kSamples) / kBuckets;
+    for (int c : counts) {
+        EXPECT_NEAR(c, expect, expect * 0.1);
+    }
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval)
+{
+    Xoshiro256 rng(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.NextDouble();
+        ASSERT_GE(x, 0.0);
+        ASSERT_LT(x, 1.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, GaussianMomentsPlausible)
+{
+    Xoshiro256 rng(31337);
+    constexpr int kSamples = 50000;
+    double sum = 0, sum_sq = 0;
+    for (int i = 0; i < kSamples; ++i) {
+        const double x = rng.NextGaussian();
+        sum += x;
+        sum_sq += x * x;
+    }
+    const double mean = sum / kSamples;
+    const double var = sum_sq / kSamples - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.03);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(SplitMix64, KnownSequence)
+{
+    // Reference values from the SplitMix64 reference implementation
+    // with seed 0.
+    u64 state = 0;
+    EXPECT_EQ(SplitMix64(state), 0xE220A8397B1DCDAFULL);
+    EXPECT_EQ(SplitMix64(state), 0x6E789E6AA1B965F4ULL);
+    EXPECT_EQ(SplitMix64(state), 0x06C45D188009454FULL);
+}
+
+}  // namespace
+}  // namespace hentt

@@ -1,0 +1,115 @@
+/** Tests for the RNS basis and CRT conversions. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "rns/crt.h"
+#include "rns/rns_basis.h"
+
+namespace hentt {
+namespace {
+
+TEST(RnsBasis, BuildsRequestedPrimes)
+{
+    const RnsBasis basis(1 << 12, 50, 6);
+    EXPECT_EQ(basis.prime_count(), 6u);
+    EXPECT_GE(basis.log_q(), 6 * 49u);
+    for (std::size_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(basis.prime(i) % (2 << 12), 1u);
+    }
+}
+
+TEST(RnsBasis, RejectsBadExplicitBases)
+{
+    EXPECT_THROW(RnsBasis(std::vector<u64>{}), std::invalid_argument);
+    EXPECT_THROW(RnsBasis(std::vector<u64>{4}), std::invalid_argument);
+    EXPECT_THROW(RnsBasis(std::vector<u64>{13, 13}),
+                 std::invalid_argument);
+}
+
+TEST(RnsBasis, ProductMatchesBigIntMultiply)
+{
+    const std::vector<u64> primes = {13, 17, 19};
+    const RnsBasis basis(primes);
+    EXPECT_EQ(basis.product(), BigInt(u64{13 * 17 * 19}));
+}
+
+class CrtTest : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        basis_ = std::make_unique<RnsBasis>(1 << 10, 45, GetParam());
+    }
+
+    std::unique_ptr<RnsBasis> basis_;
+};
+
+TEST_P(CrtTest, ComposeDecomposeRoundTrip)
+{
+    Xoshiro256 rng(GetParam());
+    for (int iter = 0; iter < 50; ++iter) {
+        // Random x < Q via random residues (bijection by CRT).
+        std::vector<u64> residues(basis_->prime_count());
+        for (std::size_t i = 0; i < residues.size(); ++i) {
+            residues[i] = rng.NextBelow(basis_->prime(i));
+        }
+        const BigInt x = CrtCompose(residues, *basis_);
+        EXPECT_LT(x, basis_->product());
+        EXPECT_EQ(CrtDecompose(x, *basis_), residues);
+    }
+}
+
+TEST_P(CrtTest, ComposeOfZeroAndOne)
+{
+    const std::size_t np = basis_->prime_count();
+    EXPECT_TRUE(CrtCompose(std::vector<u64>(np, 0), *basis_).IsZero());
+    EXPECT_EQ(CrtCompose(std::vector<u64>(np, 1), *basis_),
+              BigInt(u64{1}));
+}
+
+TEST_P(CrtTest, CenteredComposeSignsCorrect)
+{
+    const std::size_t np = basis_->prime_count();
+    // -5 mod Q: residues p_i - 5.
+    std::vector<u64> residues(np);
+    for (std::size_t i = 0; i < np; ++i) {
+        residues[i] = basis_->prime(i) - 5;
+    }
+    const auto [mag, negative] = CrtComposeCentered(residues, *basis_);
+    EXPECT_TRUE(negative);
+    EXPECT_EQ(mag, BigInt(u64{5}));
+
+    const auto [mag2, neg2] =
+        CrtComposeCentered(std::vector<u64>(np, 7), *basis_);
+    EXPECT_FALSE(neg2);
+    EXPECT_EQ(mag2, BigInt(u64{7}));
+}
+
+INSTANTIATE_TEST_SUITE_P(BasisSizes, CrtTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+TEST(Crt, RejectsWrongResidueCount)
+{
+    const RnsBasis basis(1 << 10, 45, 3);
+    EXPECT_THROW(CrtCompose({1, 2}, basis), std::invalid_argument);
+}
+
+TEST(Crt, PaperScaleBasis)
+{
+    // The paper's headline config: Q = 2^1200-ish via 60-bit primes
+    // (Section IV: 20 primes of 60 bits).
+    const RnsBasis basis(1 << 13, 60, 20);
+    EXPECT_GE(basis.log_q(), 1180u);
+    Xoshiro256 rng(1);
+    std::vector<u64> residues(20);
+    for (std::size_t i = 0; i < 20; ++i) {
+        residues[i] = rng.NextBelow(basis.prime(i));
+    }
+    const BigInt x = CrtCompose(residues, basis);
+    EXPECT_EQ(CrtDecompose(x, basis), residues);
+}
+
+}  // namespace
+}  // namespace hentt

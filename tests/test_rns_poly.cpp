@@ -1,0 +1,138 @@
+/** Tests for RNS polynomials (the paper's batched-NTT workload type). */
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "poly/rns_poly.h"
+
+namespace hentt {
+namespace {
+
+class RnsPolyTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto basis = std::make_shared<RnsBasis>(n_, 45, np_);
+        ctx_ = std::make_shared<RnsNttContext>(n_, std::move(basis));
+    }
+
+    RnsPoly
+    Random(u64 seed) const
+    {
+        RnsPoly poly(ctx_);
+        Xoshiro256 rng(seed);
+        for (std::size_t i = 0; i < np_; ++i) {
+            const u64 p = ctx_->basis().prime(i);
+            for (u64 &x : poly.row(i)) {
+                x = rng.NextBelow(p);
+            }
+        }
+        return poly;
+    }
+
+    static constexpr std::size_t n_ = 64;
+    static constexpr std::size_t np_ = 4;
+    std::shared_ptr<RnsNttContext> ctx_;
+};
+
+TEST_F(RnsPolyTest, DomainTrackingEnforced)
+{
+    RnsPoly poly = Random(1);
+    EXPECT_EQ(poly.domain(), RnsPoly::Domain::kCoefficient);
+    EXPECT_THROW(poly.ToCoefficient(), std::logic_error);
+    poly.ToEvaluation();
+    EXPECT_EQ(poly.domain(), RnsPoly::Domain::kEvaluation);
+    EXPECT_THROW(poly.ToEvaluation(), std::logic_error);
+    EXPECT_THROW(poly.CoefficientAsBigInt(0), std::logic_error);
+    poly.ToCoefficient();
+    EXPECT_EQ(poly.domain(), RnsPoly::Domain::kCoefficient);
+}
+
+TEST_F(RnsPolyTest, TransformRoundTrip)
+{
+    RnsPoly poly = Random(2);
+    const RnsPoly original = poly;
+    poly.ToEvaluation();
+    poly.ToCoefficient();
+    for (std::size_t i = 0; i < np_; ++i) {
+        EXPECT_EQ(poly.row(i), original.row(i));
+    }
+}
+
+TEST_F(RnsPolyTest, HadamardRequiresEvaluationDomain)
+{
+    RnsPoly a = Random(3);
+    RnsPoly b = Random(4);
+    EXPECT_THROW(a * b, std::logic_error);
+}
+
+TEST_F(RnsPolyTest, MultiplyMatchesBigIntSchoolbook)
+{
+    // Multiply two sparse polynomials with known big-int coefficients
+    // and check one CRT-recomposed output coefficient.
+    std::vector<BigInt> ca(n_), cb(n_);
+    ca[1] = BigInt::FromDecimal("123456789123456789");
+    cb[2] = BigInt::FromDecimal("987654321987654321");
+    const RnsPoly a(ctx_, ca);
+    const RnsPoly b(ctx_, cb);
+    const RnsPoly c = RnsPoly::Multiply(a, b);
+    // X^1 * X^2 = X^3 with coefficient product (fits well under Q).
+    EXPECT_EQ(c.CoefficientAsBigInt(3),
+              ca[1] * cb[2]);
+    EXPECT_TRUE(c.CoefficientAsBigInt(0).IsZero());
+}
+
+TEST_F(RnsPolyTest, NegacyclicWraparound)
+{
+    std::vector<BigInt> ca(n_), cb(n_);
+    ca[n_ - 1] = BigInt(u64{3});
+    cb[2] = BigInt(u64{5});
+    const RnsPoly a(ctx_, ca);
+    const RnsPoly b(ctx_, cb);
+    const RnsPoly c = RnsPoly::Multiply(a, b);
+    // X^{N-1} * X^2 = -X^1: coefficient is Q - 15.
+    EXPECT_EQ(c.CoefficientAsBigInt(1),
+              ctx_->basis().product() - BigInt(u64{15}));
+}
+
+TEST_F(RnsPolyTest, AddSubScalarOps)
+{
+    const RnsPoly a = Random(5);
+    const RnsPoly b = Random(6);
+    const RnsPoly sum = a + b;
+    const RnsPoly diff = sum - b;
+    for (std::size_t i = 0; i < np_; ++i) {
+        EXPECT_EQ(diff.row(i), a.row(i));
+    }
+    const RnsPoly tripled = a.ScalarMul(3);
+    const RnsPoly via_add = a + a + a;
+    for (std::size_t i = 0; i < np_; ++i) {
+        EXPECT_EQ(tripled.row(i), via_add.row(i));
+    }
+}
+
+TEST_F(RnsPolyTest, BigIntCoefficientRoundTrip)
+{
+    Xoshiro256 rng(77);
+    std::vector<BigInt> coeffs(n_);
+    for (auto &c : coeffs) {
+        c = BigInt(rng.Next());
+    }
+    const RnsPoly poly(ctx_, coeffs);
+    const auto back = poly.ToBigIntCoefficients();
+    for (std::size_t k = 0; k < n_; ++k) {
+        EXPECT_EQ(back[k], coeffs[k]);
+    }
+}
+
+TEST_F(RnsPolyTest, RejectsCoefficientsAboveQ)
+{
+    std::vector<BigInt> coeffs(n_);
+    coeffs[0] = ctx_->basis().product();
+    EXPECT_THROW(RnsPoly(ctx_, coeffs), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hentt

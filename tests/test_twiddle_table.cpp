@@ -1,0 +1,65 @@
+/** Unit tests for ntt/twiddle_table. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/modarith.h"
+#include "common/primegen.h"
+#include "ntt/twiddle_table.h"
+
+namespace hentt {
+namespace {
+
+class TwiddleTableTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TwiddleTableTest, EntriesMatchDefinition)
+{
+    const std::size_t n = GetParam();
+    const u64 p = GenerateNttPrimes(2 * n, 40, 1)[0];
+    const TwiddleTable table(n, p);
+    const unsigned bits = Log2Exact(n);
+
+    EXPECT_TRUE(IsPrimitiveRoot(table.psi(), 2 * n, p));
+    EXPECT_EQ(MulModNative(table.psi(), table.psi_inv(), p), 1u);
+    EXPECT_EQ(MulModNative(table.n_inv(), static_cast<u64>(n), p), 1u);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const u64 e = BitReverse(i, bits);
+        EXPECT_EQ(table.w(i), PowMod(table.psi(), e, p)) << "i=" << i;
+        EXPECT_EQ(table.w_shoup(i), ShoupPrecompute(table.w(i), p));
+        EXPECT_EQ(table.w_inv(i), PowMod(table.psi_inv(), e, p));
+        EXPECT_EQ(table.w_inv_shoup(i),
+                  ShoupPrecompute(table.w_inv(i), p));
+    }
+}
+
+TEST_P(TwiddleTableTest, TableBytesMatchPaperAccounting)
+{
+    const std::size_t n = GetParam();
+    const u64 p = GenerateNttPrimes(2 * n, 40, 1)[0];
+    const TwiddleTable table(n, p);
+    // N twiddles + N Shoup companions, 8 bytes each.
+    EXPECT_EQ(table.forward_table_bytes(), 2 * n * 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TwiddleTableTest,
+                         ::testing::Values(4, 16, 64, 256, 1024));
+
+TEST(TwiddleTable, RejectsBadParameters)
+{
+    EXPECT_THROW(TwiddleTable(100, 257), std::invalid_argument);
+    EXPECT_THROW(TwiddleTable(1, 257), std::invalid_argument);
+    // 257 - 1 = 256 is not divisible by 2N = 512.
+    EXPECT_THROW(TwiddleTable(256, 257), std::invalid_argument);
+}
+
+TEST(TwiddleTable, AcceptsValidPaperScaleParams)
+{
+    // 60-bit prime for N = 2^13 (smallest paper-adjacent size).
+    const std::size_t n = 1 << 13;
+    const u64 p = GenerateNttPrimes(2 * n, 60, 1)[0];
+    EXPECT_NO_THROW(TwiddleTable(n, p));
+}
+
+}  // namespace
+}  // namespace hentt

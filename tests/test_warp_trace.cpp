@@ -1,0 +1,138 @@
+/**
+ * Warp-trace oracle cross-check (promised in DESIGN.md Section 5): we
+ * generate the *actual byte addresses* touched by warps of the GPU NTT
+ * kernels' access patterns and feed them to the exact coalescing
+ * simulator, validating the closed-form transaction accounting the
+ * kernel emulations and benches rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bitops.h"
+#include "gpu/memory_model.h"
+
+namespace hentt::gpu {
+namespace {
+
+constexpr std::size_t kWarp = 32;
+constexpr std::size_t kElem = 8;  // 64-bit NTT words
+
+/** Addresses touched by one warp of the radix-2 kernel at stage m:
+ *  thread i handles butterfly (a[k], a[k + t]) with consecutive k. */
+std::vector<u64>
+Radix2StageWarpAddresses(std::size_t n, std::size_t m, bool high_half)
+{
+    const std::size_t t = n / (2 * m);
+    std::vector<u64> addrs;
+    for (std::size_t lane = 0; lane < kWarp; ++lane) {
+        // Butterfly index -> (group j, offset k); consecutive lanes get
+        // consecutive butterflies.
+        const std::size_t j = lane / t;
+        const std::size_t k = lane % t;
+        const std::size_t low = j * 2 * t + k;
+        addrs.push_back((high_half ? low + t : low) * kElem);
+    }
+    return addrs;
+}
+
+TEST(WarpTrace, Radix2EarlyStagesFullyCoalesced)
+{
+    // Early stages: t >= 32, so a warp's 32 butterflies sit at 32
+    // consecutive low addresses -> 8 transactions for 32 x 8B.
+    const std::size_t n = 1 << 12;
+    for (std::size_t m : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        const auto low = Radix2StageWarpAddresses(n, m, false);
+        const auto high = Radix2StageWarpAddresses(n, m, true);
+        EXPECT_EQ(WarpTransactions(low, kElem), kWarp * kElem / 32)
+            << "stage m=" << m;
+        EXPECT_EQ(WarpTransactions(high, kElem), kWarp * kElem / 32);
+    }
+}
+
+TEST(WarpTrace, Radix2LateStagesStillCoalescedAcrossGroups)
+{
+    // Late stages (t < 32): a warp spans several butterfly groups, but
+    // the low elements of consecutive groups are interleaved with the
+    // high elements, so the union of low+high accesses covers a dense
+    // 64-element window: together still 16 transactions, i.e. no waste.
+    const std::size_t n = 1 << 12;
+    for (std::size_t m : {n / 4, n / 2}) {
+        auto addrs = Radix2StageWarpAddresses(n, m, false);
+        const auto high = Radix2StageWarpAddresses(n, m, true);
+        addrs.insert(addrs.end(), high.begin(), high.end());
+        EXPECT_EQ(WarpTransactions(addrs, kElem),
+                  2 * kWarp * kElem / 32)
+            << "stage m=" << m;
+    }
+}
+
+/** Kernel-1 gather: thread i loads element i*stride + step (the naive,
+ *  unfused mapping of Fig. 6(a) with per-thread-contiguous data). */
+std::vector<u64>
+UnfusedKernel1WarpAddresses(std::size_t points_per_thread,
+                            std::size_t step)
+{
+    std::vector<u64> addrs;
+    for (std::size_t lane = 0; lane < kWarp; ++lane) {
+        addrs.push_back((lane * points_per_thread + step) * kElem);
+    }
+    return addrs;
+}
+
+TEST(WarpTrace, UnfusedKernel1Wastes75Percent)
+{
+    // The paper's Fig. 6(a): each thread owns 4 consecutive points and
+    // loads one per step -> lane stride 32 bytes -> 32 transactions for
+    // 32 lanes (75% of each sector wasted at that instant).
+    const auto addrs = UnfusedKernel1WarpAddresses(4, 0);
+    EXPECT_EQ(WarpTransactions(addrs, kElem), kWarp);
+    EXPECT_DOUBLE_EQ(CoalescingExpansion(4 * kElem, kElem), 4.0);
+}
+
+TEST(WarpTrace, FusedKernel1IsDense)
+{
+    // Fig. 6(b): after block fusion, lanes read consecutive elements.
+    std::vector<u64> addrs;
+    for (std::size_t lane = 0; lane < kWarp; ++lane) {
+        addrs.push_back(lane * kElem);
+    }
+    EXPECT_EQ(WarpTransactions(addrs, kElem), kWarp * kElem / 32);
+    EXPECT_DOUBLE_EQ(CoalescingExpansion(kElem, kElem), 1.0);
+}
+
+TEST(WarpTrace, UnfusedLinesAreReusedAcrossSteps)
+{
+    // The justification for the model's mild uncoalesced DRAM penalty
+    // (kUncoalescedDramReadFactor < 4): over the 4 load steps, the warp
+    // touches exactly the same dense 1KB window the fused version
+    // reads, so the over-fetched sectors are L1/L2 hits on later steps.
+    std::vector<u64> all_steps;
+    for (std::size_t step = 0; step < 4; ++step) {
+        const auto addrs = UnfusedKernel1WarpAddresses(4, step);
+        all_steps.insert(all_steps.end(), addrs.begin(), addrs.end());
+    }
+    // Union over steps: 128 consecutive elements -> 32 transactions,
+    // identical to the fused total.
+    EXPECT_EQ(WarpTransactions(all_steps, kElem),
+              4 * kWarp * kElem / 32);
+}
+
+TEST(WarpTrace, StridedClosedFormMatchesTraceForKernel1Strides)
+{
+    // The closed form used by the benches agrees with exact traces for
+    // every stride the Kernel-1 configurations produce.
+    for (std::size_t stride_elems : {1u, 2u, 4u, 8u, 64u, 256u, 2048u}) {
+        std::vector<u64> addrs;
+        for (std::size_t lane = 0; lane < kWarp; ++lane) {
+            addrs.push_back(lane * stride_elems * kElem);
+        }
+        EXPECT_EQ(StridedWarpTransactions(stride_elems * kElem, kElem),
+                  WarpTransactions(addrs, kElem))
+            << "stride " << stride_elems;
+    }
+}
+
+}  // namespace
+}  // namespace hentt::gpu
