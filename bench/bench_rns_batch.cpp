@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Benchmark for the batched RNS execution layer (this repo's CPU
+ * analogue of the paper's Fig. 3 batching argument).
+ *
+ * Compares three execution paths for a full negacyclic RnsPoly
+ * multiply (forward NTT x2, Hadamard, inverse NTT at N x np):
+ *
+ *   seed    — the pre-batching code path: serial limb loop, strict
+ *             radix-2 butterflies, MulModNative (hardware `%`) in the
+ *             Hadamard inner loop;
+ *   fast    — single-threaded new path: lazy [0, 4p) butterflies
+ *             (paper Algo. 2) and Barrett Hadamard;
+ *   batched — the fast path with limbs dispatched across the global
+ *             thread pool.
+ *
+ * Also verifies the acceptance-criterion allocation bound: the
+ * steady-state multiply loop performs zero heap allocations (flat
+ * storage + size-preserving vector assignment + the pool's type-erased
+ * dispatch).
+ *
+ * Usage: bench_rns_batch [--json PATH] [--threads T] [--reps R]
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "poly/rns_poly.h"
+
+// ---------------------------------------------------------------------
+// Allocation counter: global operator new replacement so the bench can
+// prove the steady-state loop does not touch the heap.
+// ---------------------------------------------------------------------
+namespace {
+std::atomic<long long> g_alloc_count{0};
+}
+
+void *
+operator new(std::size_t size)
+{
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size)) {
+        return p;
+    }
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace hentt {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+Elapsed_ns(Clock::time_point t0, Clock::time_point t1)
+{
+    return std::chrono::duration<double, std::nano>(t1 - t0).count();
+}
+
+/** The seed code path, reconstructed: serial limbs, strict radix-2,
+ *  native `%` Hadamard. Operates on preallocated buffers. */
+void
+SeedMultiply(RnsPoly &fa, RnsPoly &fb, const RnsPoly &a, const RnsPoly &b)
+{
+    fa = a;
+    fb = b;
+    const RnsNttContext &ctx = a.context();
+    for (std::size_t i = 0; i < a.prime_count(); ++i) {
+        ctx.engine(i).Forward(fa.row(i), NttAlgorithm::kRadix2);
+        ctx.engine(i).Forward(fb.row(i), NttAlgorithm::kRadix2);
+        const u64 p = ctx.basis().prime(i);
+        const std::span<u64> ra = fa.row(i);
+        const std::span<const u64> rb = fb.row(i);
+        for (std::size_t k = 0; k < ra.size(); ++k) {
+            ra[k] = MulModNative(ra[k], rb[k], p);
+        }
+        InttRadix2(fa.row(i), ctx.engine(i).table());
+    }
+}
+
+/** The new execution layer: lazy butterflies + Barrett Hadamard, with
+ *  limb dispatch controlled by the global pool configuration. */
+void
+BatchedMultiply(RnsPoly &fa, RnsPoly &fb, const RnsPoly &a,
+                const RnsPoly &b)
+{
+    fa = a;
+    fb = b;
+    fa.ToEvaluation();
+    fb.ToEvaluation();
+    fa *= fb;
+    fa.ToCoefficient();
+}
+
+RnsPoly
+RandomPoly(const std::shared_ptr<const RnsNttContext> &ctx, u64 seed)
+{
+    RnsPoly poly(ctx);
+    Xoshiro256 rng(seed);
+    for (std::size_t i = 0; i < poly.prime_count(); ++i) {
+        const u64 p = ctx->basis().prime(i);
+        for (u64 &x : poly.row(i)) {
+            x = rng.NextBelow(p);
+        }
+    }
+    return poly;
+}
+
+template <typename Fn>
+double
+TimeBest_ns(int reps, Fn &&fn)
+{
+    double best = 0.0;
+    for (int r = 0; r < reps + 2; ++r) {  // two warm-up reps
+        const auto t0 = Clock::now();
+        fn();
+        const auto t1 = Clock::now();
+        const double ns = Elapsed_ns(t0, t1);
+        if (r >= 2 && (best == 0.0 || ns < best)) {
+            best = ns;
+        }
+    }
+    return best;
+}
+
+int
+BenchMain(int argc, char **argv)
+{
+    const std::size_t n = 4096;
+    const std::size_t np = 8;
+    int reps = 7;
+    std::size_t threads = 0;  // 0 = hardware default, floor 4
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            threads = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+            reps = std::atoi(argv[++i]);
+        }
+    }
+    if (threads == 0) {
+        if (const char *env = std::getenv("HENTT_THREADS")) {
+            threads = std::strtoull(env, nullptr, 10);
+        }
+    }
+    if (threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw < 4 ? 4 : hw;  // acceptance criterion: >= 4 lanes
+    }
+
+    bench::Header("BENCH rns_batch",
+                  "batched parallel RNS multiply vs. the serial "
+                  "MulModNative seed path");
+    std::printf("config: N=%zu, limbs=%zu, lanes=%zu, "
+                "hardware_concurrency=%u\n",
+                n, np, threads, std::thread::hardware_concurrency());
+
+    auto basis = std::make_shared<RnsBasis>(n, 50, np);
+    auto ctx = std::make_shared<RnsNttContext>(n, std::move(basis));
+    const RnsPoly a = RandomPoly(ctx, 1);
+    const RnsPoly b = RandomPoly(ctx, 2);
+    RnsPoly fa(ctx), fb(ctx);
+
+    // Correctness cross-check before timing anything.
+    {
+        RnsPoly sa(ctx), sb(ctx);
+        SeedMultiply(sa, sb, a, b);
+        BatchedMultiply(fa, fb, a, b);
+        for (std::size_t i = 0; i < np; ++i) {
+            const std::span<const u64> x = sa.row(i);
+            const std::span<const u64> y = fa.row(i);
+            for (std::size_t k = 0; k < n; ++k) {
+                if (x[k] != y[k]) {
+                    std::fprintf(stderr,
+                                 "MISMATCH row %zu index %zu\n", i, k);
+                    return 1;
+                }
+            }
+        }
+    }
+
+    bench::Section("full negacyclic multiply (2 fwd + Hadamard + inv)");
+
+    const double seed_ns = TimeBest_ns(
+        reps, [&] { SeedMultiply(fa, fb, a, b); });
+
+    SetGlobalThreadCount(1);
+    const double fast_ns = TimeBest_ns(
+        reps, [&] { BatchedMultiply(fa, fb, a, b); });
+
+    SetGlobalThreadCount(threads);
+    SetParallelGrain(1);  // always dispatch: the batch is large
+    GlobalThreadPool();   // spin up workers outside the timed region
+    const double batched_ns = TimeBest_ns(
+        reps, [&] { BatchedMultiply(fa, fb, a, b); });
+
+    bench::Row("seed (serial, native %)", seed_ns / 1e3, "us");
+    bench::Row("fast (1 lane)", fast_ns / 1e3, "us");
+    bench::Row("batched (pool)", batched_ns / 1e3, "us");
+    bench::Ratio("fast vs seed", seed_ns / fast_ns);
+    bench::Ratio("batched vs seed", seed_ns / batched_ns);
+
+    bench::Section("steady-state allocation check");
+    long long alloc_delta;
+    {
+        BatchedMultiply(fa, fb, a, b);  // ensure buffers are sized
+        const long long before =
+            g_alloc_count.load(std::memory_order_relaxed);
+        for (int r = 0; r < 5; ++r) {
+            BatchedMultiply(fa, fb, a, b);
+        }
+        alloc_delta =
+            g_alloc_count.load(std::memory_order_relaxed) - before;
+    }
+    std::printf("  heap allocations in 5 steady-state multiplies: %lld\n",
+                alloc_delta);
+
+    const double speedup = seed_ns / batched_ns;
+    if (!json_path.empty()) {
+        std::FILE *f = std::fopen(json_path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+            return 1;
+        }
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"bench\": \"rns_batch\",\n"
+            "  \"n\": %zu,\n"
+            "  \"limbs\": %zu,\n"
+            "  \"lanes\": %zu,\n"
+            "  \"seed_serial_native_ns\": %.1f,\n"
+            "  \"fast_single_lane_ns\": %.1f,\n"
+            "  \"batched_pool_ns\": %.1f,\n"
+            "  \"speedup_fast_vs_seed\": %.3f,\n"
+            "  \"speedup_batched_vs_seed\": %.3f,\n"
+            "  \"steady_state_allocs\": %lld\n"
+            "}\n",
+            n, np, threads, seed_ns, fast_ns, batched_ns,
+            seed_ns / fast_ns, speedup, alloc_delta);
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    if (alloc_delta != 0) {
+        std::fprintf(stderr,
+                     "FAIL: steady-state multiply allocated %lld times\n",
+                     alloc_delta);
+        return 1;
+    }
+    return 0;
+}
+
+}  // namespace
+}  // namespace hentt
+
+int
+main(int argc, char **argv)
+{
+    return hentt::BenchMain(argc, argv);
+}

@@ -18,8 +18,9 @@ BarrettReducer::BarrettReducer(u64 p) : p_(p)
     ValidateModulus(p);
     // floor(2^128 / p) == floor((2^128 - 1) / p) for any p that does not
     // divide 2^128, i.e. any p that is not a power of two; for powers of
-    // two the two quotients differ by one, which the corrective-subtract
-    // loop in Reduce() absorbs.
+    // two the two quotients differ by one, which widens the quotient
+    // undershoot in Reduce() to at most 2 — still within the r < 3p
+    // bound its two fixed conditional subtractions absorb.
     mu_ = ~u128{0} / p;
 }
 

@@ -142,16 +142,30 @@ class BarrettReducer
 
     u64 modulus() const { return p_; }
 
-    /** Reduce a 128-bit value into [0, p). */
+    /**
+     * Reduce a 128-bit value into [0, p).
+     *
+     * The approximate quotient q = floor(z * mu / 2^128) undershoots the
+     * true quotient by at most 2: mu itself undershoots 2^128 / p by
+     * less than 1 (exactly 1 more when p is a power of two, since the
+     * constructor uses floor((2^128 - 1) / p)), and the outer floor
+     * loses less than 1 more. Hence z - q*p < 3p and exactly two
+     * conditional subtractions suffice — no data-dependent loop.
+     */
     u64
     Reduce(u128 z) const
     {
         const u128 q = Mul128High(z, mu_);
-        u128 r = z - q * p_;
-        while (r >= p_) {
+        // The true residual z - q*p is < 3p < 2^64 (p < 2^62), so the
+        // subtraction can run mod 2^64: only the low words matter.
+        u64 r = Lo64(z) - Lo64(q) * p_;
+        if (r >= 2 * p_) {
+            r -= 2 * p_;
+        }
+        if (r >= p_) {
             r -= p_;
         }
-        return static_cast<u64>(r);
+        return r;
     }
 
     /** (a * b) mod p through the Barrett pipeline. */
@@ -159,6 +173,13 @@ class BarrettReducer
     MulMod(u64 a, u64 b) const
     {
         return Reduce(Mul64Wide(a, b));
+    }
+
+    /** (a * b + c) mod p in a single reduction, for a, b, c < 2^62. */
+    u64
+    MulAddMod(u64 a, u64 b, u64 c) const
+    {
+        return Reduce(Mul64Wide(a, b) + c);
     }
 
   private:

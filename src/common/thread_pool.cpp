@@ -1,0 +1,212 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace hentt {
+
+namespace {
+
+/** True while the current thread is executing pool work (nesting guard). */
+thread_local bool t_inside_job = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+        workers_.emplace_back([this] { WorkerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread &t : workers_) {
+        t.join();
+    }
+}
+
+void
+ThreadPool::Execute(void (*fn)(void *, std::size_t), void *ctx,
+                    std::size_t count)
+{
+    // Claim indices until the shared counter runs dry; used by both the
+    // caller and the workers so stragglers steal from fast lanes.
+    std::size_t i;
+    while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < count) {
+        try {
+            fn(ctx, i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!error_) {
+                error_ = std::current_exception();
+            }
+        }
+    }
+}
+
+void
+ThreadPool::Run(std::size_t count, void (*fn)(void *, std::size_t),
+                void *ctx)
+{
+    if (count == 0) {
+        return;
+    }
+    if (workers_.empty() || t_inside_job) {
+        // Serial path: no workers, or a nested ParallelFor from inside
+        // a running job (parallelism already saturated one level up).
+        for (std::size_t i = 0; i < count; ++i) {
+            fn(ctx, i);
+        }
+        return;
+    }
+
+    // One job at a time; concurrent callers queue here rather than
+    // clobbering the shared job slot.
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        fn_ = fn;
+        ctx_ = ctx;
+        count_ = count;
+        next_.store(0, std::memory_order_relaxed);
+        error_ = nullptr;
+        ++generation_;
+    }
+    wake_cv_.notify_all();
+
+    t_inside_job = true;
+    Execute(fn, ctx, count);
+    t_inside_job = false;
+
+    // All indices are claimed; wait for workers still inside fn. Late
+    // wakers find the counter exhausted and skip the job entirely.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return active_ == 0; });
+    fn_ = nullptr;
+    ctx_ = nullptr;
+    if (error_) {
+        std::exception_ptr err = error_;
+        error_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+void
+ThreadPool::WorkerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        void (*fn)(void *, std::size_t) = nullptr;
+        void *ctx = nullptr;
+        std::size_t count = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_cv_.wait(lock, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_) {
+                return;
+            }
+            seen = generation_;
+            if (fn_ == nullptr) {
+                continue;  // job already torn down; nothing to do
+            }
+            fn = fn_;
+            ctx = ctx_;
+            count = count_;
+            ++active_;
+        }
+        t_inside_job = true;
+        Execute(fn, ctx, count);
+        t_inside_job = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+        }
+        done_cv_.notify_one();
+    }
+}
+
+namespace {
+
+std::size_t
+InitialLaneCount()
+{
+    if (const char *env = std::getenv("HENTT_THREADS")) {
+        const long v = std::atol(env);
+        if (v >= 1) {
+            return static_cast<std::size_t>(v);
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+struct GlobalPoolState {
+    std::mutex mutex;  // guards pool (re)construction only
+    std::shared_ptr<ThreadPool> pool;
+    std::atomic<std::size_t> lanes{InitialLaneCount()};
+    std::atomic<std::size_t> grain{std::size_t{1} << 13};
+};
+
+GlobalPoolState &
+State()
+{
+    static GlobalPoolState state;
+    return state;
+}
+
+}  // namespace
+
+std::shared_ptr<ThreadPool>
+AcquireGlobalThreadPool()
+{
+    GlobalPoolState &s = State();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.pool) {
+        s.pool = std::make_shared<ThreadPool>(
+            s.lanes.load(std::memory_order_relaxed) - 1);
+    }
+    return s.pool;
+}
+
+void
+SetGlobalThreadCount(std::size_t lanes)
+{
+    GlobalPoolState &s = State();
+    s.lanes.store(lanes == 0 ? 1 : lanes, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    // Rebuilt lazily at the new size; in-flight jobs keep the old pool
+    // alive through their shared_ptr until they drain.
+    s.pool.reset();
+}
+
+std::size_t
+GlobalThreadCount()
+{
+    return State().lanes.load(std::memory_order_relaxed);
+}
+
+std::size_t
+ParallelGrain()
+{
+    return State().grain.load(std::memory_order_relaxed);
+}
+
+void
+SetParallelGrain(std::size_t elements)
+{
+    State().grain.store(elements == 0 ? 1 : elements,
+                        std::memory_order_relaxed);
+}
+
+}  // namespace hentt

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * A fixed-size thread pool with a blocking ParallelFor — the CPU
+ * analogue of the paper's batched kernel launches (Section IV, Fig. 3).
+ * RNS limbs are embarrassingly independent, so the execution layer
+ * dispatches one limb (or one chunk of limbs) per worker and the caller
+ * participates in the loop instead of idling.
+ *
+ * Design constraints, in order:
+ *  - zero heap allocations per ParallelFor call (the steady-state HE
+ *    multiply loop must not allocate), hence the type-erased
+ *    function-pointer interface instead of std::function;
+ *  - deterministic results: workers only ever write disjoint index
+ *    ranges, so parallel output is bit-identical to serial output;
+ *  - a serial fallback below a configurable grain size, because a
+ *    wake-up costs more than a small limb's worth of butterflies.
+ */
+
+#ifndef HENTT_COMMON_THREAD_POOL_H
+#define HENTT_COMMON_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace hentt {
+
+/**
+ * Fixed worker set executing one index-range job at a time. The caller
+ * of Run() is always an extra participant, so a pool constructed with
+ * `threads` has `threads + 1` lanes of execution.
+ */
+class ThreadPool
+{
+  public:
+    /** @param workers number of background threads (0 = fully serial). */
+    explicit ThreadPool(std::size_t workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Execution lanes: background workers + the calling thread. */
+    std::size_t thread_count() const { return workers_.size() + 1; }
+
+    /**
+     * Invoke fn(ctx, i) for every i in [0, count), distributed across
+     * the workers and the calling thread, blocking until every index
+     * has completed. Indices are claimed through a shared atomic
+     * counter, so load imbalance between limbs self-corrects.
+     *
+     * Exceptions thrown by fn are captured and the first one is
+     * rethrown on the calling thread after the job drains. Calls from
+     * inside a running job (nesting) execute serially on the caller.
+     */
+    void Run(std::size_t count, void (*fn)(void *, std::size_t),
+             void *ctx);
+
+  private:
+    void WorkerLoop();
+    void Execute(void (*fn)(void *, std::size_t), void *ctx,
+                 std::size_t count);
+
+    std::vector<std::thread> workers_;
+
+    std::mutex run_mutex_;  // serialises concurrent Run() callers
+    std::mutex mutex_;
+    std::condition_variable wake_cv_;
+    std::condition_variable done_cv_;
+
+    // Current job, guarded by mutex_ (next_ also claimed lock-free).
+    void (*fn_)(void *, std::size_t) = nullptr;
+    void *ctx_ = nullptr;
+    std::size_t count_ = 0;
+    std::atomic<std::size_t> next_{0};
+    std::size_t active_ = 0;      // workers currently inside the job
+    std::uint64_t generation_ = 0;
+    std::exception_ptr error_;
+    bool stop_ = false;
+};
+
+/**
+ * Pool shared by the RNS execution layer (lazily constructed). The
+ * initial worker count comes from HENTT_THREADS when set, otherwise
+ * std::thread::hardware_concurrency().
+ *
+ * Shared ownership: callers holding the returned pointer keep the
+ * instance alive even if SetGlobalThreadCount swaps in a new pool
+ * concurrently, so in-flight ParallelFor jobs always complete on the
+ * pool they started on.
+ */
+std::shared_ptr<ThreadPool> AcquireGlobalThreadPool();
+
+/** Convenience reference form; valid until the next
+ *  SetGlobalThreadCount. Prefer AcquireGlobalThreadPool under
+ *  concurrent reconfiguration. */
+inline ThreadPool &
+GlobalThreadPool()
+{
+    return *AcquireGlobalThreadPool();
+}
+
+/** Rebuild the global pool with `lanes` total lanes (min 1). In-flight
+ *  jobs finish on the old pool; new dispatches use the new size. */
+void SetGlobalThreadCount(std::size_t lanes);
+
+/** Configured lane count (lock-free; does not construct the pool). */
+std::size_t GlobalThreadCount();
+
+/**
+ * Grain size for ParallelFor: jobs whose estimated total element count
+ * (count * work_per_item) falls below this run serially on the caller.
+ * Default 1 << 13 elements.
+ */
+std::size_t ParallelGrain();
+void SetParallelGrain(std::size_t elements);
+
+/**
+ * Parallel loop over [0, count) through the global pool, with the
+ * serial fallback below the grain size. `work_per_item` is the rough
+ * element count each iteration touches (e.g. the polynomial degree for
+ * a per-limb job); it only feeds the grain heuristic.
+ *
+ * The callable is passed by reference and never copied or heap-
+ * allocated, so capturing lambdas are free.
+ */
+template <typename Body>
+void
+ParallelFor(std::size_t count, std::size_t work_per_item, Body &&body)
+{
+    if (count == 0) {
+        return;
+    }
+    const bool serial = count == 1 || GlobalThreadCount() <= 1 ||
+                        count * work_per_item < ParallelGrain();
+    if (serial) {
+        for (std::size_t i = 0; i < count; ++i) {
+            body(i);
+        }
+        return;
+    }
+    using Fn = std::remove_reference_t<Body>;
+    AcquireGlobalThreadPool()->Run(
+        count,
+        [](void *ctx, std::size_t i) { (*static_cast<Fn *>(ctx))(i); },
+        const_cast<std::remove_const_t<Fn> *>(std::addressof(body)));
+}
+
+}  // namespace hentt
+
+#endif  // HENTT_COMMON_THREAD_POOL_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "common/modarith.h"
@@ -11,21 +12,15 @@ namespace hentt::he {
 
 namespace {
 
-/** Multiply row i of @p poly by a per-row scalar (value mod q_i). */
+/** Copy of @p x transformed to the evaluation domain if needed. */
 RnsPoly
-PerRowScalarMul(const RnsPoly &poly, const HeContext &ctx,
-                const std::vector<u64> &row_scalars)
+ToEval(const RnsPoly &x)
 {
-    RnsPoly out = poly;
-    const RnsBasis &basis = ctx.basis();
-    for (std::size_t i = 0; i < basis.prime_count(); ++i) {
-        const u64 p = basis.prime(i);
-        const u64 s = row_scalars[i] % p;
-        for (u64 &x : out.row(i)) {
-            x = MulModNative(x, s, p);
-        }
+    RnsPoly y = x;
+    if (y.domain() == RnsPoly::Domain::kCoefficient) {
+        y.ToEvaluation();
     }
-    return out;
+    return y;
 }
 
 }  // namespace
@@ -66,9 +61,10 @@ BgvScheme::Encrypt(const SecretKey &sk, const Plaintext &m)
     const u64 t = ctx_->params().plain_modulus;
     RnsPoly a = SampleUniform(*ctx_, rng_);
     RnsPoly e = SampleError(*ctx_, rng_);
-    RnsPoly as = RnsPoly::Multiply(a, sk.s);
-    RnsPoly c0 =
-        EncodePlain(m, ctx_->ntt_context()) + e.ScalarMul(t) - as;
+    e.ScalarMulInPlace(t);
+    RnsPoly c0 = EncodePlain(m, ctx_->ntt_context());
+    c0 += e;
+    c0 -= RnsPoly::Multiply(a, sk.s);
     return Ciphertext{{std::move(c0), std::move(a)}};
 }
 
@@ -80,7 +76,8 @@ BgvScheme::KeyAtLevel(const SecretKey &sk,
     // rows (the same small integer coefficients mod fewer primes).
     RnsPoly out(std::move(level));
     for (std::size_t i = 0; i < out.prime_count(); ++i) {
-        out.row(i) = sk.s.row(i);
+        const std::span<const u64> src = sk.s.row(i);
+        std::copy(src.begin(), src.end(), out.row(i).begin());
     }
     return out;
 }
@@ -93,10 +90,11 @@ BgvScheme::InnerProduct(const SecretKey &sk, const Ciphertext &ct) const
     }
     const RnsPoly s = KeyAtLevel(
         sk, ctx_->level_context(ct.parts[0].prime_count()));
-    RnsPoly acc = ct.parts[0] + RnsPoly::Multiply(ct.parts[1], s);
+    RnsPoly acc = RnsPoly::Multiply(ct.parts[1], s);
+    acc += ct.parts[0];
     if (ct.parts.size() == 3) {
         RnsPoly s2 = RnsPoly::Multiply(s, s);
-        acc = acc + RnsPoly::Multiply(ct.parts[2], s2);
+        acc += RnsPoly::Multiply(ct.parts[2], s2);
     }
     return acc;
 }
@@ -149,11 +147,14 @@ BgvScheme::Sub(const Ciphertext &a, const Ciphertext &b) const
 Ciphertext
 BgvScheme::MulPlain(const Ciphertext &ct, const Plaintext &m) const
 {
-    const RnsPoly pm = EncodePlain(
-        m, ctx_->level_context(Level(ct)));
+    RnsPoly pm = EncodePlain(m, ctx_->level_context(Level(ct)));
+    pm.ToEvaluation();  // transform the plaintext once, not per part
     Ciphertext out;
     for (const RnsPoly &part : ct.parts) {
-        out.parts.push_back(RnsPoly::Multiply(part, pm));
+        RnsPoly fp = ToEval(part);
+        fp *= pm;
+        fp.ToCoefficient();
+        out.parts.push_back(std::move(fp));
     }
     return out;
 }
@@ -165,11 +166,33 @@ BgvScheme::Mul(const Ciphertext &a, const Ciphertext &b) const
         throw std::invalid_argument(
             "Mul expects degree-1 ciphertexts; relinearize first");
     }
+    // Transform each input part exactly once (4 forward NTT batches;
+    // the per-product formulation re-transformed a0 and a1, for 8) and
+    // fuse the cross term so the tensor product allocates no partial-
+    // product temporaries. Squaring reuses a's transforms outright.
+    const bool squaring = &a == &b;
+    const RnsPoly a0 = ToEval(a.parts[0]);
+    const RnsPoly a1 = ToEval(a.parts[1]);
+    std::optional<RnsPoly> tb0, tb1;
+    if (!squaring) {
+        tb0 = ToEval(b.parts[0]);
+        tb1 = ToEval(b.parts[1]);
+    }
+    const RnsPoly &b0 = squaring ? a0 : *tb0;
+    const RnsPoly &b1 = squaring ? a1 : *tb1;
+
+    RnsPoly c0 = a0 * b0;
+    RnsPoly c1 = a0 * b1;
+    c1.MultiplyAccumulate(a1, b0);
+    RnsPoly c2 = a1 * b1;
+    c0.ToCoefficient();
+    c1.ToCoefficient();
+    c2.ToCoefficient();
+
     Ciphertext out;
-    out.parts.push_back(RnsPoly::Multiply(a.parts[0], b.parts[0]));
-    out.parts.push_back(RnsPoly::Multiply(a.parts[0], b.parts[1]) +
-                        RnsPoly::Multiply(a.parts[1], b.parts[0]));
-    out.parts.push_back(RnsPoly::Multiply(a.parts[1], b.parts[1]));
+    out.parts.push_back(std::move(c0));
+    out.parts.push_back(std::move(c1));
+    out.parts.push_back(std::move(c2));
     return out;
 }
 
@@ -190,8 +213,12 @@ BgvScheme::MakeRelinKey(const SecretKey &sk)
         for (std::size_t k = 0; k < np; ++k) {
             gadget[k] = ctx_->q_hat(j, k);
         }
-        RnsPoly b = e.ScalarMul(t) - RnsPoly::Multiply(a, sk.s) +
-                    PerRowScalarMul(s2, *ctx_, gadget);
+        RnsPoly gs2 = s2;
+        gs2.ScalarMulRowsInPlace(gadget);
+        e.ScalarMulInPlace(t);
+        RnsPoly b = std::move(e);
+        b -= RnsPoly::Multiply(a, sk.s);
+        b += gs2;
         rk.b.push_back(std::move(b));
         rk.a.push_back(std::move(a));
     }
@@ -204,26 +231,31 @@ BgvScheme::Relinearize(const Ciphertext &ct, const RelinKey &rk) const
     if (ct.parts.size() != 3) {
         throw std::invalid_argument("relinearization expects degree 2");
     }
+    const auto &ntt_ctx = *ctx_->ntt_context();
     const RnsBasis &basis = ctx_->basis();
     const std::size_t np = basis.prime_count();
     const RnsPoly &c2 = ct.parts[2];
 
     RnsPoly c0 = ct.parts[0];
     RnsPoly c1 = ct.parts[1];
+    RnsPoly digit(ctx_->ntt_context());
     for (std::size_t j = 0; j < np; ++j) {
         // Digit j: d_j = [c2 * (Q/q_j)^{-1}]_{q_j}, a word-sized value
-        // lifted into every RNS row.
+        // lifted into every RNS row. The per-element products run
+        // through Shoup (fixed scalar) and Barrett (row lift) instead
+        // of native `%`.
         const u64 qj = basis.prime(j);
         const u64 q_tilde = InvMod(ctx_->q_hat(j, j) % qj, qj);
-        RnsPoly digit(ctx_->ntt_context());
+        const u64 q_tilde_bar = ShoupPrecompute(q_tilde, qj);
         for (std::size_t k = 0; k < ctx_->degree(); ++k) {
-            const u64 v = MulModNative(c2.row(j)[k], q_tilde, qj);
+            const u64 v =
+                MulModShoup(c2.row(j)[k], q_tilde, q_tilde_bar, qj);
             for (std::size_t i = 0; i < np; ++i) {
-                digit.row(i)[k] = v % basis.prime(i);
+                digit.row(i)[k] = ntt_ctx.reducer(i).Reduce(v);
             }
         }
-        c0 = c0 + RnsPoly::Multiply(digit, rk.b[j]);
-        c1 = c1 + RnsPoly::Multiply(digit, rk.a[j]);
+        c0 += RnsPoly::Multiply(digit, rk.b[j]);
+        c1 += RnsPoly::Multiply(digit, rk.a[j]);
     }
     return Ciphertext{{std::move(c0), std::move(c1)}};
 }
@@ -237,12 +269,13 @@ BgvScheme::ModSwitch(const Ciphertext &ct) const
             "cannot modulus-switch below one prime");
     }
     const u64 t = ctx_->params().plain_modulus;
-    const RnsBasis &basis =
-        ctx_->level_context(np_cur)->basis();
+    const auto cur = ctx_->level_context(np_cur);
+    const RnsBasis &basis = cur->basis();
     auto next = ctx_->level_context(np_cur - 1);
     const std::size_t k = np_cur - 1;
     const u64 qk = basis.prime(k);
     const u64 t_inv_qk = InvMod(t % qk, qk);
+    const u64 t_inv_qk_bar = ShoupPrecompute(t_inv_qk, qk);
 
     // Dividing by q_k scales the plaintext by q_k^{-1} mod t; pre-scale
     // every part by alpha = q_k mod t so the switch is
@@ -259,26 +292,33 @@ BgvScheme::ModSwitch(const Ciphertext &ct) const
         RnsPoly switched(next);
         for (std::size_t i = 0; i < k; ++i) {
             const u64 qi = basis.prime(i);
+            const BarrettReducer &red_qi = next->reducer(i);
             const u64 qk_inv = InvMod(qk % qi, qi);
+            const u64 qk_inv_bar = ShoupPrecompute(qk_inv, qi);
             const u64 t_mod_qi = t % qi;
+            const u64 t_mod_qi_bar = ShoupPrecompute(t_mod_qi, qi);
+            const std::span<const u64> top = part.row(k);
+            const std::span<const u64> src = part.row(i);
+            const std::span<u64> dst = switched.row(i);
             for (std::size_t idx = 0; idx < ctx_->degree(); ++idx) {
                 // delta = t * [c_k * t^{-1}]_{q_k}, centered so that
                 // |delta| <= t * q_k / 2; delta == c (mod q_k) and
                 // delta == 0 (mod t), making (c - delta) / q_k exact
                 // and plaintext-clean.
-                const u64 ck = part.row(k)[idx];
-                const u64 u = MulModNative(ck, t_inv_qk, qk);
+                const u64 u =
+                    MulModShoup(top[idx], t_inv_qk, t_inv_qk_bar, qk);
                 u64 delta_mod_qi;
                 if (u <= qk / 2) {
-                    delta_mod_qi = MulModNative(t_mod_qi, u % qi, qi);
+                    delta_mod_qi = MulModShoup(
+                        red_qi.Reduce(u), t_mod_qi, t_mod_qi_bar, qi);
                 } else {
                     const u64 v = qk - u;  // delta = -t * v
-                    const u64 pos = MulModNative(t_mod_qi, v % qi, qi);
+                    const u64 pos = MulModShoup(
+                        red_qi.Reduce(v), t_mod_qi, t_mod_qi_bar, qi);
                     delta_mod_qi = pos == 0 ? 0 : qi - pos;
                 }
-                const u64 diff =
-                    SubMod(part.row(i)[idx], delta_mod_qi, qi);
-                switched.row(i)[idx] = MulModNative(diff, qk_inv, qi);
+                const u64 diff = SubMod(src[idx], delta_mod_qi, qi);
+                dst[idx] = MulModShoup(diff, qk_inv, qk_inv_bar, qi);
             }
         }
         out.parts.push_back(std::move(switched));

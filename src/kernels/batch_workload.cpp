@@ -2,6 +2,7 @@
 
 #include "common/primegen.h"
 #include "common/random.h"
+#include "ntt/ntt_registry.h"
 
 namespace hentt::kernels {
 
@@ -13,7 +14,7 @@ NttBatchWorkload::NttBatchWorkload(std::size_t n, std::size_t np,
     engines_.reserve(np);
     rows_.reserve(np);
     for (u64 p : primes) {
-        engines_.push_back(std::make_unique<NttEngine>(n, p));
+        engines_.push_back(NttEngineRegistry::Global().Acquire(n, p));
         rows_.emplace_back(n, 0);
     }
 }

@@ -43,7 +43,9 @@ class NttBatchWorkload
 
   private:
     std::size_t n_;
-    std::vector<std::unique_ptr<NttEngine>> engines_;
+    // Shared through NttEngineRegistry: identical (n, p) workloads —
+    // e.g. the batch-size sweeps — reuse one twiddle table set.
+    std::vector<std::shared_ptr<const NttEngine>> engines_;
     std::vector<std::vector<u64>> rows_;
 };
 

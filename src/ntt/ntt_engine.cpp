@@ -2,15 +2,20 @@
 
 #include <stdexcept>
 
-#include "common/modarith.h"
-
 namespace hentt {
 
 NttEngine::NttEngine(std::size_t n, u64 p, std::size_t ot_base)
-    : table_(n, p),
-      ot_(n, p, std::min(ot_base, 2 * n)),
-      stockham_(std::make_unique<StockhamNtt>(n, p))
+    : table_(n, p), ot_(n, p, std::min(ot_base, 2 * n)), reducer_(p)
 {
+}
+
+const StockhamNtt &
+NttEngine::stockham() const
+{
+    std::call_once(stockham_once_, [this] {
+        stockham_ = std::make_unique<StockhamNtt>(size(), modulus());
+    });
+    return *stockham_;
 }
 
 void
@@ -18,6 +23,9 @@ NttEngine::Forward(std::span<u64> a, NttAlgorithm algo, std::size_t radix,
                    unsigned ot_stages) const
 {
     switch (algo) {
+      case NttAlgorithm::kRadix2Lazy:
+        NttRadix2Lazy(a, table_);
+        return;
       case NttAlgorithm::kRadix2:
         NttRadix2(a, table_);
         return;
@@ -29,7 +37,7 @@ NttEngine::Forward(std::span<u64> a, NttAlgorithm algo, std::size_t radix,
         return;
       case NttAlgorithm::kStockham: {
         std::vector<u64> in(a.begin(), a.end());
-        const std::vector<u64> out = stockham_->Forward(in);
+        const std::vector<u64> out = stockham().Forward(in);
         std::copy(out.begin(), out.end(), a.begin());
         return;
       }
@@ -46,7 +54,7 @@ NttEngine::Forward(std::span<u64> a, NttAlgorithm algo, std::size_t radix,
 void
 NttEngine::Inverse(std::span<u64> a) const
 {
-    InttRadix2(a, table_);
+    InttRadix2Lazy(a, table_);
 }
 
 void
@@ -56,9 +64,8 @@ NttEngine::Hadamard(std::span<const u64> a, std::span<const u64> b,
     if (a.size() != size() || b.size() != size() || c.size() != size()) {
         throw std::invalid_argument("span size != transform size");
     }
-    const u64 p = modulus();
     for (std::size_t i = 0; i < size(); ++i) {
-        c[i] = MulModNative(a[i], b[i], p);
+        c[i] = reducer_.MulMod(a[i], b[i]);
     }
 }
 
@@ -67,11 +74,11 @@ NttEngine::Multiply(std::span<const u64> a, std::span<const u64> b) const
 {
     std::vector<u64> fa(a.begin(), a.end());
     std::vector<u64> fb(b.begin(), b.end());
-    NttRadix2(fa, table_);
-    NttRadix2(fb, table_);
+    NttRadix2Lazy(fa, table_);
+    NttRadix2Lazy(fb, table_);
     std::vector<u64> fc(size());
     Hadamard(fa, fb, fc);
-    InttRadix2(fc, table_);
+    InttRadix2Lazy(fc, table_);
     return fc;
 }
 

@@ -8,16 +8,25 @@
  * O(N log N) negacyclic polynomial multiplication of paper Section III-A:
  *
  *     c = INTT(NTT(a) . NTT(b))
+ *
+ * The default Forward/Inverse path is the lazy [0, 4p) butterfly
+ * pipeline of paper Algo. 2 (bit-identical to the strict kRadix2 but
+ * with the per-butterfly conditional subtractions hoisted into a single
+ * final pass), and Hadamard products reduce through a cached Barrett
+ * reducer instead of the native `%` baseline of Fig. 1.
  */
 
 #ifndef HENTT_NTT_NTT_ENGINE_H
 #define HENTT_NTT_NTT_ENGINE_H
 
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
+#include "common/modarith.h"
 #include "ntt/ntt_highradix.h"
+#include "ntt/ntt_lazy.h"
 #include "ntt/ntt_radix2.h"
 #include "ntt/ntt_stockham.h"
 #include "ntt/ot_twiddle.h"
@@ -27,6 +36,7 @@ namespace hentt {
 
 /** Algorithm selector for NttEngine::Forward. */
 enum class NttAlgorithm {
+    kRadix2Lazy,    ///< paper Algo. 2 (lazy [0, 4p) butterflies) — default
     kRadix2,        ///< paper Algo. 1 (Cooley-Tukey, Shoup modmul)
     kRadix2Native,  ///< Algo. 1 with native `%` reduction (Fig. 1)
     kRadix2Barrett, ///< Algo. 1 with Barrett reduction (ablation)
@@ -50,6 +60,8 @@ class NttEngine
     u64 modulus() const { return table_.modulus(); }
     const TwiddleTable &table() const { return table_; }
     const OtTwiddleTable &ot_table() const { return ot_; }
+    /** Cached Barrett reducer for this engine's modulus. */
+    const BarrettReducer &reducer() const { return reducer_; }
 
     /**
      * Forward negacyclic NTT, in place. Natural-order input; output in
@@ -61,13 +73,13 @@ class NttEngine
      * @param ot_stages  trailing OT stages (kRadix2Ot only)
      */
     void Forward(std::span<u64> a,
-                 NttAlgorithm algo = NttAlgorithm::kRadix2,
+                 NttAlgorithm algo = NttAlgorithm::kRadix2Lazy,
                  std::size_t radix = 16, unsigned ot_stages = 1) const;
 
     /** Inverse negacyclic NTT, in place (expects kRadix2-family order). */
     void Inverse(std::span<u64> a) const;
 
-    /** Element-wise product c[i] = a[i] * b[i] mod p. */
+    /** Element-wise product c[i] = a[i] * b[i] mod p (Barrett path). */
     void Hadamard(std::span<const u64> a, std::span<const u64> b,
                   std::span<u64> c) const;
 
@@ -79,9 +91,15 @@ class NttEngine
                               std::span<const u64> b) const;
 
   private:
+    const StockhamNtt &stockham() const;
+
     TwiddleTable table_;
     OtTwiddleTable ot_;
-    std::unique_ptr<StockhamNtt> stockham_;  // lazily built (heavyweight)
+    BarrettReducer reducer_;
+    // Stockham plan is heavyweight and rarely used outside the figure
+    // reproductions; built on first kStockham request.
+    mutable std::once_flag stockham_once_;
+    mutable std::unique_ptr<StockhamNtt> stockham_;
 };
 
 }  // namespace hentt

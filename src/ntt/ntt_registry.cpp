@@ -1,0 +1,60 @@
+#include "ntt/ntt_registry.h"
+
+namespace hentt {
+
+NttEngineRegistry &
+NttEngineRegistry::Global()
+{
+    static NttEngineRegistry registry;
+    return registry;
+}
+
+std::shared_ptr<const NttEngine>
+NttEngineRegistry::Acquire(std::size_t n, u64 p, std::size_t ot_base)
+{
+    const Key key{n, p, ot_base};
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            if (auto live = it->second.lock()) {
+                return live;
+            }
+        }
+    }
+    // Build outside the lock; on a race the first live insert wins and
+    // the duplicate is discarded.
+    auto built = std::make_shared<const NttEngine>(n, p, ot_base);
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Engine builds are rare and expensive, so sweeping dead entries
+    // here keeps the map bounded by the live working set for free.
+    for (auto it = cache_.begin(); it != cache_.end();) {
+        it = it->second.expired() ? cache_.erase(it) : std::next(it);
+    }
+    auto &slot = cache_[key];
+    if (auto live = slot.lock()) {
+        return live;
+    }
+    slot = built;
+    return built;
+}
+
+std::size_t
+NttEngineRegistry::cached_count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t live = 0;
+    for (const auto &[key, entry] : cache_) {
+        live += entry.expired() ? 0 : 1;
+    }
+    return live;
+}
+
+void
+NttEngineRegistry::Clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+}
+
+}  // namespace hentt

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Process-wide cache of NttEngine instances keyed by (N, p, ot_base).
+ *
+ * An HE modulus chain builds one RnsNttContext per level, and every
+ * level's prime set is a prefix of the full basis — so without sharing,
+ * the same twiddle tables (2N words plus Shoup companions per prime,
+ * the paper's factor-of-two table blow-up) are recomputed and stored
+ * once per level. The registry builds each engine exactly once per
+ * concurrent lifetime and hands out shared ownership, which both cuts
+ * context-construction cost from O(levels^2) table builds to O(levels)
+ * and keeps one copy of each table hot in cache across the whole chain.
+ *
+ * The cache holds weak references: an engine lives exactly as long as
+ * some context or workload uses it, so parameter sweeps that walk many
+ * (N, p) pairs (e.g. the table-size benches) peak at their largest
+ * working set, not the sum of everything ever built.
+ */
+
+#ifndef HENTT_NTT_NTT_REGISTRY_H
+#define HENTT_NTT_NTT_REGISTRY_H
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "ntt/ntt_engine.h"
+
+namespace hentt {
+
+/** Thread-safe shared cache of per-(N, p) transform engines. */
+class NttEngineRegistry
+{
+  public:
+    /** The process-wide instance used by RnsNttContext and the kernel
+     *  emulation workloads. */
+    static NttEngineRegistry &Global();
+
+    /**
+     * Return the cached engine for (n, p, ot_base), building it on
+     * first request. Construction runs outside the registry lock so a
+     * slow twiddle build never stalls unrelated lookups.
+     */
+    std::shared_ptr<const NttEngine>
+    Acquire(std::size_t n, u64 p, std::size_t ot_base = 1024);
+
+    /** Number of distinct live engines currently cached. */
+    std::size_t cached_count() const;
+
+    /** Drop every cache entry (outstanding shared_ptrs stay valid). */
+    void Clear();
+
+  private:
+    using Key = std::tuple<std::size_t, u64, std::size_t>;
+
+    mutable std::mutex mutex_;
+    std::map<Key, std::weak_ptr<const NttEngine>> cache_;
+};
+
+}  // namespace hentt
+
+#endif  // HENTT_NTT_NTT_REGISTRY_H

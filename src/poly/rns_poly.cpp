@@ -2,7 +2,8 @@
 
 #include <stdexcept>
 
-#include "common/modarith.h"
+#include "common/thread_pool.h"
+#include "ntt/ntt_registry.h"
 
 namespace hentt {
 
@@ -11,15 +12,18 @@ RnsNttContext::RnsNttContext(std::size_t n,
     : n_(n), basis_(std::move(basis))
 {
     engines_.reserve(basis_->prime_count());
+    reducers_.reserve(basis_->prime_count());
     for (std::size_t i = 0; i < basis_->prime_count(); ++i) {
-        engines_.push_back(std::make_unique<NttEngine>(n, basis_->prime(i)));
+        const u64 p = basis_->prime(i);
+        engines_.push_back(NttEngineRegistry::Global().Acquire(n, p));
+        reducers_.emplace_back(p);
     }
 }
 
 RnsPoly::RnsPoly(std::shared_ptr<const RnsNttContext> ctx)
     : ctx_(std::move(ctx)),
-      rows_(ctx_->basis().prime_count(),
-            std::vector<u64>(ctx_->degree(), 0))
+      limb_count_(ctx_->basis().prime_count()),
+      data_(limb_count_ * ctx_->degree(), 0)
 {
 }
 
@@ -36,7 +40,7 @@ RnsPoly::RnsPoly(std::shared_ptr<const RnsNttContext> ctx,
             throw std::invalid_argument("coefficient >= Q");
         }
         for (std::size_t i = 0; i < basis.prime_count(); ++i) {
-            rows_[i][k] = coeffs[k] % basis.prime(i);
+            row(i)[k] = coeffs[k] % basis.prime(i);
         }
     }
 }
@@ -47,9 +51,9 @@ RnsPoly::ToEvaluation()
     if (domain_ != Domain::kCoefficient) {
         throw std::logic_error("polynomial already in evaluation domain");
     }
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-        ctx_->engine(i).Forward(rows_[i]);
-    }
+    ParallelFor(limb_count_, degree(), [this](std::size_t i) {
+        ctx_->engine(i).Forward(row(i));
+    });
     domain_ = Domain::kEvaluation;
 }
 
@@ -59,9 +63,9 @@ RnsPoly::ToCoefficient()
     if (domain_ != Domain::kEvaluation) {
         throw std::logic_error("polynomial already in coefficient domain");
     }
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-        ctx_->engine(i).Inverse(rows_[i]);
-    }
+    ParallelFor(limb_count_, degree(), [this](std::size_t i) {
+        ctx_->engine(i).Inverse(row(i));
+    });
     domain_ = Domain::kCoefficient;
 }
 
@@ -76,85 +80,158 @@ RnsPoly::CheckCompatible(const RnsPoly &other) const
     }
 }
 
-RnsPoly
-RnsPoly::operator+(const RnsPoly &other) const
+RnsPoly &
+RnsPoly::operator+=(const RnsPoly &other)
 {
     CheckCompatible(other);
-    RnsPoly out(ctx_);
-    out.domain_ = domain_;
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
+    ParallelFor(limb_count_, degree(), [&](std::size_t i) {
         const u64 p = ctx_->basis().prime(i);
-        for (std::size_t k = 0; k < degree(); ++k) {
-            out.rows_[i][k] = AddMod(rows_[i][k], other.rows_[i][k], p);
+        const std::span<u64> dst = row(i);
+        const std::span<const u64> src = other.row(i);
+        for (std::size_t k = 0; k < dst.size(); ++k) {
+            dst[k] = AddMod(dst[k], src[k], p);
         }
-    }
-    return out;
+    });
+    return *this;
 }
 
-RnsPoly
-RnsPoly::operator-(const RnsPoly &other) const
+RnsPoly &
+RnsPoly::operator-=(const RnsPoly &other)
 {
     CheckCompatible(other);
-    RnsPoly out(ctx_);
-    out.domain_ = domain_;
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
+    ParallelFor(limb_count_, degree(), [&](std::size_t i) {
         const u64 p = ctx_->basis().prime(i);
-        for (std::size_t k = 0; k < degree(); ++k) {
-            out.rows_[i][k] = SubMod(rows_[i][k], other.rows_[i][k], p);
+        const std::span<u64> dst = row(i);
+        const std::span<const u64> src = other.row(i);
+        for (std::size_t k = 0; k < dst.size(); ++k) {
+            dst[k] = SubMod(dst[k], src[k], p);
         }
-    }
-    return out;
+    });
+    return *this;
 }
 
-RnsPoly
-RnsPoly::operator*(const RnsPoly &other) const
+RnsPoly &
+RnsPoly::operator*=(const RnsPoly &other)
 {
     CheckCompatible(other);
     if (domain_ != Domain::kEvaluation) {
         throw std::logic_error("Hadamard product requires evaluation "
                                "domain; call ToEvaluation() first");
     }
-    RnsPoly out(ctx_);
-    out.domain_ = Domain::kEvaluation;
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-        const u64 p = ctx_->basis().prime(i);
-        for (std::size_t k = 0; k < degree(); ++k) {
-            out.rows_[i][k] =
-                MulModNative(rows_[i][k], other.rows_[i][k], p);
+    ParallelFor(limb_count_, degree(), [&](std::size_t i) {
+        const BarrettReducer &red = ctx_->reducer(i);
+        const std::span<u64> dst = row(i);
+        const std::span<const u64> src = other.row(i);
+        for (std::size_t k = 0; k < dst.size(); ++k) {
+            dst[k] = red.MulMod(dst[k], src[k]);
         }
-    }
+    });
+    return *this;
+}
+
+RnsPoly
+RnsPoly::operator+(const RnsPoly &other) const
+{
+    RnsPoly out = *this;
+    out += other;
     return out;
+}
+
+RnsPoly
+RnsPoly::operator-(const RnsPoly &other) const
+{
+    RnsPoly out = *this;
+    out -= other;
+    return out;
+}
+
+RnsPoly
+RnsPoly::operator*(const RnsPoly &other) const
+{
+    RnsPoly out = *this;
+    out *= other;
+    return out;
+}
+
+void
+RnsPoly::MultiplyAccumulate(const RnsPoly &a, const RnsPoly &b)
+{
+    CheckCompatible(a);
+    CheckCompatible(b);
+    if (domain_ != Domain::kEvaluation) {
+        throw std::logic_error("MultiplyAccumulate requires evaluation "
+                               "domain");
+    }
+    ParallelFor(limb_count_, degree(), [&](std::size_t i) {
+        const BarrettReducer &red = ctx_->reducer(i);
+        const std::span<u64> dst = row(i);
+        const std::span<const u64> ra = a.row(i);
+        const std::span<const u64> rb = b.row(i);
+        for (std::size_t k = 0; k < dst.size(); ++k) {
+            dst[k] = red.MulAddMod(ra[k], rb[k], dst[k]);
+        }
+    });
+}
+
+void
+RnsPoly::ScalarMulInPlace(u64 scalar)
+{
+    ParallelFor(limb_count_, degree(), [&](std::size_t i) {
+        const u64 p = ctx_->basis().prime(i);
+        const u64 s = scalar % p;
+        const u64 s_bar = ShoupPrecompute(s, p);
+        for (u64 &x : row(i)) {
+            x = MulModShoup(x, s, s_bar, p);
+        }
+    });
 }
 
 RnsPoly
 RnsPoly::ScalarMul(u64 scalar) const
 {
-    RnsPoly out(ctx_);
-    out.domain_ = domain_;
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-        const u64 p = ctx_->basis().prime(i);
-        const u64 s = scalar % p;
-        for (std::size_t k = 0; k < degree(); ++k) {
-            out.rows_[i][k] = MulModNative(rows_[i][k], s, p);
-        }
-    }
+    RnsPoly out = *this;
+    out.ScalarMulInPlace(scalar);
     return out;
+}
+
+void
+RnsPoly::ScalarMulRowsInPlace(std::span<const u64> row_scalars)
+{
+    if (row_scalars.size() != limb_count_) {
+        throw std::invalid_argument("one scalar per RNS row required");
+    }
+    ParallelFor(limb_count_, degree(), [&](std::size_t i) {
+        const u64 p = ctx_->basis().prime(i);
+        const u64 s = row_scalars[i] % p;
+        const u64 s_bar = ShoupPrecompute(s, p);
+        for (u64 &x : row(i)) {
+            x = MulModShoup(x, s, s_bar, p);
+        }
+    });
 }
 
 RnsPoly
 RnsPoly::Multiply(const RnsPoly &a, const RnsPoly &b)
 {
+    if (a.domain() == Domain::kEvaluation &&
+        b.domain() == Domain::kEvaluation) {
+        RnsPoly out = a * b;
+        out.ToCoefficient();
+        return out;
+    }
     RnsPoly fa = a;
-    RnsPoly fb = b;
     if (fa.domain() == Domain::kCoefficient) {
         fa.ToEvaluation();
     }
-    if (fb.domain() == Domain::kCoefficient) {
+    if (b.domain() == Domain::kCoefficient) {
+        RnsPoly fb = b;
         fb.ToEvaluation();
+        fa *= fb;
+    } else {
+        fa *= b;
     }
-    RnsPoly out = fa * fb;
-    out.ToCoefficient();
-    return out;
+    fa.ToCoefficient();
+    return fa;
 }
 
 BigInt
@@ -164,9 +241,9 @@ RnsPoly::CoefficientAsBigInt(std::size_t k) const
         throw std::logic_error("coefficients unavailable in evaluation "
                                "domain");
     }
-    std::vector<u64> residues(rows_.size());
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-        residues[i] = rows_[i][k];
+    std::vector<u64> residues(limb_count_);
+    for (std::size_t i = 0; i < limb_count_; ++i) {
+        residues[i] = row(i)[k];
     }
     return CrtCompose(residues, ctx_->basis());
 }

@@ -5,6 +5,13 @@
  * polynomial multiply issues np independent N-point NTTs (the "batch"
  * of Section V-A), one per row.
  *
+ * Storage is one contiguous limbs x degree buffer (limb-major), with
+ * rows exposed as std::span views — the CPU analogue of the flat device
+ * buffers the paper's batched kernels stream through, and the layout
+ * that lets ToEvaluation/ToCoefficient and every element-wise loop
+ * dispatch limbs across the global thread pool (common/thread_pool.h)
+ * without per-limb allocations.
+ *
  * An RnsPoly tracks which domain it is in (coefficient vs. evaluation /
  * NTT); domain mismatches throw rather than silently producing garbage.
  */
@@ -13,8 +20,10 @@
 #define HENTT_POLY_RNS_POLY_H
 
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "common/modarith.h"
 #include "ntt/ntt_engine.h"
 #include "poly/poly.h"
 #include "rns/crt.h"
@@ -22,7 +31,12 @@
 
 namespace hentt {
 
-/** Shared per-basis NTT context: one engine per prime. */
+/**
+ * Shared per-basis NTT context: one engine per prime (obtained from the
+ * process-wide NttEngineRegistry, so twiddle tables are built once per
+ * (N, p) across all HE levels) plus one cached Barrett reducer per
+ * prime for data-dependent products.
+ */
 class RnsNttContext
 {
   public:
@@ -32,14 +46,20 @@ class RnsNttContext
     const RnsBasis &basis() const { return *basis_; }
     std::shared_ptr<const RnsBasis> basis_ptr() const { return basis_; }
     const NttEngine &engine(std::size_t i) const { return *engines_[i]; }
+    /** Barrett reducer for prime i (data * data fast path). */
+    const BarrettReducer &reducer(std::size_t i) const
+    {
+        return reducers_[i];
+    }
 
   private:
     std::size_t n_;
     std::shared_ptr<const RnsBasis> basis_;
-    std::vector<std::unique_ptr<NttEngine>> engines_;
+    std::vector<std::shared_ptr<const NttEngine>> engines_;
+    std::vector<BarrettReducer> reducers_;
 };
 
-/** Residue-matrix polynomial with domain tracking. */
+/** Residue-matrix polynomial with domain tracking and flat storage. */
 class RnsPoly
 {
   public:
@@ -57,25 +77,61 @@ class RnsPoly
 
     const RnsNttContext &context() const { return *ctx_; }
     std::size_t degree() const { return ctx_->degree(); }
-    std::size_t prime_count() const { return rows_.size(); }
+    std::size_t prime_count() const { return limb_count_; }
     Domain domain() const { return domain_; }
 
-    /** Residue row for prime i (length-N vector over Z_{p_i}). */
-    std::vector<u64> &row(std::size_t i) { return rows_[i]; }
-    const std::vector<u64> &row(std::size_t i) const { return rows_[i]; }
+    /** Residue row for prime i: a length-N view into the flat buffer. */
+    std::span<u64> row(std::size_t i)
+    {
+        return {data_.data() + i * degree(), degree()};
+    }
+    std::span<const u64> row(std::size_t i) const
+    {
+        return {data_.data() + i * degree(), degree()};
+    }
 
-    /** In-place forward NTT on every row. @pre coefficient domain. */
+    /** The whole limbs x degree buffer, limb-major. */
+    std::span<u64> flat() { return data_; }
+    std::span<const u64> flat() const { return data_; }
+
+    /** In-place forward NTT on every row (parallel across limbs).
+     *  @pre coefficient domain. */
     void ToEvaluation();
-    /** In-place inverse NTT on every row. @pre evaluation domain. */
+    /** In-place inverse NTT on every row (parallel across limbs).
+     *  @pre evaluation domain. */
     void ToCoefficient();
+
+    /** Element-wise in-place ring operations (any matching domain). */
+    RnsPoly &operator+=(const RnsPoly &other);
+    RnsPoly &operator-=(const RnsPoly &other);
+    /** In-place Hadamard product. @pre both in evaluation domain. */
+    RnsPoly &operator*=(const RnsPoly &other);
 
     /** Element-wise ring operations (any matching domain). */
     RnsPoly operator+(const RnsPoly &other) const;
     RnsPoly operator-(const RnsPoly &other) const;
     /** Hadamard product. @pre both in evaluation domain. */
     RnsPoly operator*(const RnsPoly &other) const;
-    /** Scalar multiply by a word constant. */
+
+    /**
+     * Fused this += a . b (element-wise, single Barrett reduction per
+     * element). @pre all three operands in evaluation domain. This is
+     * what keeps the BGV tensor product at one temporary instead of
+     * allocating a poly per partial product.
+     */
+    void MultiplyAccumulate(const RnsPoly &a, const RnsPoly &b);
+
+    /** Scalar multiply by a word constant (Shoup fast path). */
     RnsPoly ScalarMul(u64 scalar) const;
+    /** In-place scalar multiply (Shoup fast path). */
+    void ScalarMulInPlace(u64 scalar);
+
+    /**
+     * In-place multiply of row i by row_scalars[i] mod p_i (Shoup fast
+     * path) — the BGV gadget product's per-row scaling.
+     * @pre row_scalars.size() == prime_count().
+     */
+    void ScalarMulRowsInPlace(std::span<const u64> row_scalars);
 
     /**
      * Full negacyclic multiply: transforms to evaluation domain as
@@ -93,7 +149,8 @@ class RnsPoly
     void CheckCompatible(const RnsPoly &other) const;
 
     std::shared_ptr<const RnsNttContext> ctx_;
-    std::vector<std::vector<u64>> rows_;
+    std::size_t limb_count_;
+    std::vector<u64> data_;  // limb-major, limb_count_ x degree
     Domain domain_ = Domain::kCoefficient;
 };
 

@@ -129,6 +129,21 @@ TEST_F(HeTest, CiphertextMultiplyDegree2Decrypts)
     EXPECT_EQ(scheme_->Decrypt(*sk_, prod), PlainMul(ma, mb));
 }
 
+TEST_F(HeTest, CiphertextSquaringUsesSameResultAsGeneralMul)
+{
+    // Mul(ct, ct) takes the squaring fast path (transforms reused);
+    // it must agree with the general path on an identical copy.
+    const Plaintext m = RandomPlain(17);
+    const Ciphertext ct = scheme_->Encrypt(*sk_, m);
+    const Ciphertext copy = ct;
+    const Ciphertext squared = scheme_->Mul(ct, ct);
+    const Ciphertext general = scheme_->Mul(ct, copy);
+    ASSERT_EQ(squared.parts.size(), general.parts.size());
+    EXPECT_EQ(scheme_->Decrypt(*sk_, squared), PlainMul(m, m));
+    EXPECT_EQ(scheme_->Decrypt(*sk_, squared),
+              scheme_->Decrypt(*sk_, general));
+}
+
 TEST_F(HeTest, RelinearizationPreservesPlaintext)
 {
     const RelinKey rk = scheme_->MakeRelinKey(*sk_);

@@ -2,11 +2,23 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/random.h"
 #include "poly/rns_poly.h"
 
 namespace hentt {
 namespace {
+
+/** Element-wise row equality (rows are span views into flat storage). */
+::testing::AssertionResult
+RowsEqual(const RnsPoly &a, const RnsPoly &b, std::size_t i)
+{
+    if (std::ranges::equal(a.row(i), b.row(i))) {
+        return ::testing::AssertionSuccess();
+    }
+    return ::testing::AssertionFailure() << "row " << i << " differs";
+}
 
 class RnsPolyTest : public ::testing::Test
 {
@@ -57,7 +69,7 @@ TEST_F(RnsPolyTest, TransformRoundTrip)
     poly.ToEvaluation();
     poly.ToCoefficient();
     for (std::size_t i = 0; i < np_; ++i) {
-        EXPECT_EQ(poly.row(i), original.row(i));
+        EXPECT_TRUE(RowsEqual(poly, original, i));
     }
 }
 
@@ -104,12 +116,12 @@ TEST_F(RnsPolyTest, AddSubScalarOps)
     const RnsPoly sum = a + b;
     const RnsPoly diff = sum - b;
     for (std::size_t i = 0; i < np_; ++i) {
-        EXPECT_EQ(diff.row(i), a.row(i));
+        EXPECT_TRUE(RowsEqual(diff, a, i));
     }
     const RnsPoly tripled = a.ScalarMul(3);
     const RnsPoly via_add = a + a + a;
     for (std::size_t i = 0; i < np_; ++i) {
-        EXPECT_EQ(tripled.row(i), via_add.row(i));
+        EXPECT_TRUE(RowsEqual(tripled, via_add, i));
     }
 }
 

@@ -1,0 +1,158 @@
+/** Tests for the batched execution layer's thread pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/int128.h"
+#include "common/thread_pool.h"
+
+namespace hentt {
+namespace {
+
+/** RAII restore of the global pool/grain configuration. */
+class PoolConfigGuard
+{
+  public:
+    PoolConfigGuard() : lanes_(GlobalThreadCount()), grain_(ParallelGrain())
+    {
+    }
+    ~PoolConfigGuard()
+    {
+        SetGlobalThreadCount(lanes_);
+        SetParallelGrain(grain_);
+    }
+
+  private:
+    std::size_t lanes_;
+    std::size_t grain_;
+};
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(1000);
+    auto body = [&hits](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    };
+    pool.Run(
+        hits.size(),
+        [](void *ctx, std::size_t i) {
+            (*static_cast<decltype(body) *>(ctx))(i);
+        },
+        &body);
+    for (const auto &h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ThreadPool, ZeroWorkersRunsSerially)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.thread_count(), 1u);
+    std::vector<int> hits(64, 0);
+    auto body = [&hits](std::size_t i) { hits[i] += 1; };
+    pool.Run(
+        hits.size(),
+        [](void *ctx, std::size_t i) {
+            (*static_cast<decltype(body) *>(ctx))(i);
+        },
+        &body);
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs)
+{
+    ThreadPool pool(2);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<long long> sum{0};
+        auto body = [&sum](std::size_t i) {
+            sum.fetch_add(static_cast<long long>(i),
+                          std::memory_order_relaxed);
+        };
+        pool.Run(
+            101,
+            [](void *ctx, std::size_t i) {
+                (*static_cast<decltype(body) *>(ctx))(i);
+            },
+            &body);
+        EXPECT_EQ(sum.load(), 100LL * 101 / 2);
+    }
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    PoolConfigGuard guard;
+    SetGlobalThreadCount(4);
+    SetParallelGrain(1);
+    EXPECT_THROW(
+        ParallelFor(64, 1024,
+                    [](std::size_t i) {
+                        if (i == 13) {
+                            throw std::runtime_error("boom");
+                        }
+                    }),
+        std::runtime_error);
+}
+
+TEST(ParallelFor, GrainKeepsSmallJobsSerial)
+{
+    PoolConfigGuard guard;
+    SetGlobalThreadCount(4);
+    SetParallelGrain(1u << 20);  // everything below a mebi-element: serial
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::thread::id> seen(8);
+    ParallelFor(seen.size(), 16, [&](std::size_t i) {
+        seen[i] = std::this_thread::get_id();
+    });
+    for (const auto &id : seen) {
+        EXPECT_EQ(id, caller);
+    }
+}
+
+TEST(ParallelFor, NestedCallsFallBackToSerial)
+{
+    PoolConfigGuard guard;
+    SetGlobalThreadCount(4);
+    SetParallelGrain(1);
+    std::vector<std::atomic<int>> hits(16 * 16);
+    ParallelFor(16, 1024, [&](std::size_t i) {
+        ParallelFor(16, 1024, [&](std::size_t j) {
+            hits[i * 16 + j].fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    for (const auto &h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ParallelFor, MatchesSerialResultBitExactly)
+{
+    // The determinism contract: a parallel elementwise job writing
+    // disjoint rows produces exactly the serial output.
+    PoolConfigGuard guard;
+    const std::size_t rows = 8, cols = 512;
+    std::vector<u64> serial(rows * cols), parallel(rows * cols);
+
+    SetGlobalThreadCount(1);
+    ParallelFor(rows, cols, [&](std::size_t i) {
+        for (std::size_t k = 0; k < cols; ++k) {
+            serial[i * cols + k] = (i * 1315423911u) ^ (k * 2654435761u);
+        }
+    });
+
+    SetGlobalThreadCount(4);
+    SetParallelGrain(1);
+    ParallelFor(rows, cols, [&](std::size_t i) {
+        for (std::size_t k = 0; k < cols; ++k) {
+            parallel[i * cols + k] = (i * 1315423911u) ^ (k * 2654435761u);
+        }
+    });
+    EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace hentt
