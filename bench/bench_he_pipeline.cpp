@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Benchmark for the ciphertext-level batched HE pipeline (PR 2): a full
+ * Mul + Relinearize chain through three execution paths.
+ *
+ *   pr1     — the PR 1 formulation reconstructed: per-RnsPoly dispatch
+ *             (each part transformed by its own pool job) and
+ *             coefficient-domain relinearization keys, so every gadget
+ *             product re-transforms the digit and the key
+ *             (4*np^2 forward NTT rows per Relinearize);
+ *   batched — the ciphertext-level kernels (he/ciphertext_batch.h):
+ *             one lazy forward dispatch per op spanning all parts x
+ *             limbs, eval-domain keys (np^2 forward rows per
+ *             Relinearize), evaluation-domain gadget accumulation;
+ *   graph   — HeOpGraph running independent Mul+Relin chains in one
+ *             wavefront, so their stages share dispatches.
+ *
+ * Emits BENCH_he_pipeline.json with the measured times, the speedup,
+ * and the per-path forward-NTT counts for one Relinearize (the
+ * acceptance criterion: strictly fewer forward NTTs with eval-domain
+ * keys).
+ *
+ * Usage: bench_he_pipeline [--json PATH] [--threads T] [--reps R]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "he/bgv.h"
+#include "he/ciphertext_batch.h"
+#include "he/he_graph.h"
+#include "ntt/ntt_engine.h"
+
+namespace hentt::he {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+Elapsed_ns(Clock::time_point t0, Clock::time_point t1)
+{
+    return std::chrono::duration<double, std::nano>(t1 - t0).count();
+}
+
+template <typename Fn>
+double
+TimeBest_ns(int reps, Fn &&fn)
+{
+    double best = 0.0;
+    for (int r = 0; r < reps + 2; ++r) {  // two warm-up reps
+        const auto t0 = Clock::now();
+        fn();
+        const auto t1 = Clock::now();
+        const double ns = Elapsed_ns(t0, t1);
+        if (r >= 2 && (best == 0.0 || ns < best)) {
+            best = ns;
+        }
+    }
+    return best;
+}
+
+/** Copy of @p x transformed to the evaluation domain if needed. */
+RnsPoly
+ToEvalStrict(const RnsPoly &x)
+{
+    RnsPoly y = x;
+    if (y.domain() == RnsPoly::Domain::kCoefficient) {
+        y.ToEvaluation();
+    }
+    return y;
+}
+
+/** The PR 1 tensor product: each part transformed by its own pool
+ *  dispatch, strict (fully reduced) forwards. */
+Ciphertext
+Pr1Mul(const Ciphertext &a, const Ciphertext &b)
+{
+    const RnsPoly a0 = ToEvalStrict(a.parts[0]);
+    const RnsPoly a1 = ToEvalStrict(a.parts[1]);
+    const RnsPoly b0 = ToEvalStrict(b.parts[0]);
+    const RnsPoly b1 = ToEvalStrict(b.parts[1]);
+
+    RnsPoly c0 = a0 * b0;
+    RnsPoly c1 = a0 * b1;
+    c1.MultiplyAccumulate(a1, b0);
+    RnsPoly c2 = a1 * b1;
+    c0.ToCoefficient();
+    c1.ToCoefficient();
+    c2.ToCoefficient();
+
+    Ciphertext out;
+    out.parts.push_back(std::move(c0));
+    out.parts.push_back(std::move(c1));
+    out.parts.push_back(std::move(c2));
+    return out;
+}
+
+/** The PR 1 relinearization: coefficient-domain keys, so every gadget
+ *  product runs a full RnsPoly::Multiply that re-transforms both the
+ *  digit and the key (4*np^2 forward NTT rows total). */
+Ciphertext
+Pr1Relinearize(const HeContext &ctx, const Ciphertext &ct,
+               const std::vector<RnsPoly> &key_b,
+               const std::vector<RnsPoly> &key_a)
+{
+    const auto &ntt_ctx = *ctx.ntt_context();
+    const RnsBasis &basis = ctx.basis();
+    const std::size_t np = basis.prime_count();
+    const RnsPoly &c2 = ct.parts[2];
+
+    RnsPoly c0 = ct.parts[0];
+    RnsPoly c1 = ct.parts[1];
+    RnsPoly digit(ctx.ntt_context());
+    for (std::size_t j = 0; j < np; ++j) {
+        const u64 qj = basis.prime(j);
+        const u64 q_tilde = InvMod(ctx.q_hat(j, j), qj);
+        const u64 q_tilde_bar = ShoupPrecompute(q_tilde, qj);
+        for (std::size_t k = 0; k < ctx.degree(); ++k) {
+            const u64 v =
+                MulModShoup(c2.row(j)[k], q_tilde, q_tilde_bar, qj);
+            for (std::size_t i = 0; i < np; ++i) {
+                digit.row(i)[k] = ntt_ctx.reducer(i).Reduce(v);
+            }
+        }
+        c0 += RnsPoly::Multiply(digit, key_b[j]);
+        c1 += RnsPoly::Multiply(digit, key_a[j]);
+    }
+    return Ciphertext{{std::move(c0), std::move(c1)}};
+}
+
+int
+BenchMain(int argc, char **argv)
+{
+    int reps = 5;
+    std::size_t threads = 0;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            threads = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+            reps = std::atoi(argv[++i]);
+        }
+    }
+    if (threads == 0) {
+        if (const char *env = std::getenv("HENTT_THREADS")) {
+            threads = std::strtoull(env, nullptr, 10);
+        }
+    }
+    if (threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw < 4 ? 4 : hw;
+    }
+
+    HeParams params;
+    params.degree = 4096;
+    params.prime_count = 8;
+    params.prime_bits = 50;
+    params.plain_modulus = 65537;
+    auto ctx = std::make_shared<HeContext>(params);
+    BgvScheme scheme(ctx, /*seed=*/99);
+    const SecretKey sk = scheme.KeyGen();
+    const RelinKey rk = scheme.MakeRelinKey(sk);
+    const std::size_t np = params.prime_count;
+
+    bench::Header("BENCH he_pipeline",
+                  "ciphertext-level batched Mul+Relinearize vs. the "
+                  "PR 1 per-RnsPoly dispatch path");
+    std::printf("config: N=%zu, limbs=%zu, lanes=%zu\n", params.degree,
+                np, threads);
+
+    // Coefficient-domain key copies for the PR 1 baseline.
+    std::vector<RnsPoly> key_b, key_a;
+    for (const RnsPoly &poly : rk.at_level(np).b) {
+        RnsPoly copy = poly;
+        copy.ToCoefficient();
+        key_b.push_back(std::move(copy));
+    }
+    for (const RnsPoly &poly : rk.at_level(np).a) {
+        RnsPoly copy = poly;
+        copy.ToCoefficient();
+        key_a.push_back(std::move(copy));
+    }
+
+    Plaintext ma(params.degree), mb(params.degree);
+    {
+        Xoshiro256 rng(3);
+        for (u64 &x : ma) {
+            x = rng.NextBelow(params.plain_modulus);
+        }
+        for (u64 &x : mb) {
+            x = rng.NextBelow(params.plain_modulus);
+        }
+    }
+    const Ciphertext ct_a = scheme.Encrypt(sk, ma);
+    const Ciphertext ct_b = scheme.Encrypt(sk, mb);
+
+    // Correctness cross-check: both paths must decrypt to the same
+    // plaintext product.
+    {
+        const Ciphertext ref =
+            Pr1Relinearize(*ctx, Pr1Mul(ct_a, ct_b), key_b, key_a);
+        const Ciphertext fast =
+            scheme.Relinearize(scheme.Mul(ct_a, ct_b), rk);
+        if (scheme.Decrypt(sk, ref) != scheme.Decrypt(sk, fast)) {
+            std::fprintf(stderr,
+                         "MISMATCH: pipeline paths decrypt differently\n");
+            return 1;
+        }
+    }
+
+    // Forward-NTT budget per Relinearize (the acceptance criterion).
+    const Ciphertext prod = scheme.Mul(ct_a, ct_b);
+    ResetNttOpCounts();
+    (void)Pr1Relinearize(*ctx, prod, key_b, key_a);
+    const u64 pr1_fwd = GetNttOpCounts().forward;
+    ResetNttOpCounts();
+    (void)scheme.Relinearize(prod, rk);
+    const u64 batched_fwd = GetNttOpCounts().forward;
+
+    SetGlobalThreadCount(threads);
+    SetParallelGrain(1);
+    GlobalThreadPool();  // spin up workers outside the timed region
+
+    bench::Section("Mul + Relinearize chain");
+    const double pr1_ns = TimeBest_ns(reps, [&] {
+        (void)Pr1Relinearize(*ctx, Pr1Mul(ct_a, ct_b), key_b, key_a);
+    });
+    const double batched_ns = TimeBest_ns(reps, [&] {
+        (void)scheme.Relinearize(scheme.Mul(ct_a, ct_b), rk);
+    });
+
+    // Graph path: 4 independent Mul+Relin chains in one wavefront.
+    constexpr std::size_t kGraphOps = 4;
+    const double graph_ns = TimeBest_ns(reps, [&] {
+        HeOpGraph graph(scheme, &rk);
+        std::vector<CtFuture> outs;
+        for (std::size_t i = 0; i < kGraphOps; ++i) {
+            const CtFuture x = graph.Input(ct_a);
+            const CtFuture y = graph.Input(ct_b);
+            outs.push_back(graph.MulRelin(x, y));
+        }
+        graph.Execute();
+    });
+    const double graph_per_op_ns = graph_ns / kGraphOps;
+
+    bench::Row("pr1 (per-RnsPoly)", pr1_ns / 1e3, "us");
+    bench::Row("batched (ct-level)", batched_ns / 1e3, "us");
+    bench::Row("graph (per op, x4)", graph_per_op_ns / 1e3, "us");
+    bench::Ratio("batched vs pr1", pr1_ns / batched_ns);
+    bench::Ratio("graph vs pr1", pr1_ns / graph_per_op_ns);
+
+    bench::Section("forward NTT rows per Relinearize");
+    std::printf("  pr1 (coeff-domain keys)   %6llu\n",
+                static_cast<unsigned long long>(pr1_fwd));
+    std::printf("  batched (eval-domain)     %6llu\n",
+                static_cast<unsigned long long>(batched_fwd));
+
+    if (!json_path.empty()) {
+        std::FILE *f = std::fopen(json_path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+            return 1;
+        }
+        std::fprintf(
+            f,
+            "{\n"
+            "  \"bench\": \"he_pipeline\",\n"
+            "  \"n\": %zu,\n"
+            "  \"limbs\": %zu,\n"
+            "  \"lanes\": %zu,\n"
+            "  \"pr1_mul_relin_ns\": %.1f,\n"
+            "  \"batched_mul_relin_ns\": %.1f,\n"
+            "  \"graph_per_op_ns\": %.1f,\n"
+            "  \"speedup_batched_vs_pr1\": %.3f,\n"
+            "  \"speedup_graph_vs_pr1\": %.3f,\n"
+            "  \"relin_forward_ntt_rows_pr1\": %llu,\n"
+            "  \"relin_forward_ntt_rows_batched\": %llu\n"
+            "}\n",
+            params.degree, np, threads, pr1_ns, batched_ns,
+            graph_per_op_ns, pr1_ns / batched_ns,
+            pr1_ns / graph_per_op_ns,
+            static_cast<unsigned long long>(pr1_fwd),
+            static_cast<unsigned long long>(batched_fwd));
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    if (batched_fwd >= pr1_fwd) {
+        std::fprintf(stderr,
+                     "FAIL: eval-domain keys did not reduce forward "
+                     "NTT count (%llu >= %llu)\n",
+                     static_cast<unsigned long long>(batched_fwd),
+                     static_cast<unsigned long long>(pr1_fwd));
+        return 1;
+    }
+    return 0;
+}
+
+}  // namespace
+}  // namespace hentt::he
+
+int
+main(int argc, char **argv)
+{
+    return hentt::he::BenchMain(argc, argv);
+}

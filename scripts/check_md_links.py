@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Check that relative links in the repo's Markdown files resolve.
+
+Scans every tracked *.md file (skipping build directories), extracts
+inline links `[text](target)`, and verifies that non-URL targets exist
+relative to the file. Exits non-zero listing every broken link. Used by
+the CI docs job; run locally with `python3 scripts/check_md_links.py`.
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {"build", ".git", ".github"}
+# [text](target) — target captured up to the closing paren (no nesting).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    broken = []
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        base = root if rel.startswith("/") else os.path.dirname(path)
+        resolved = os.path.normpath(os.path.join(base, rel.lstrip("/")))
+        if not os.path.exists(resolved):
+            broken.append((target, resolved))
+    return broken
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    failures = 0
+    for path in sorted(md_files(root)):
+        for target, resolved in check_file(path, root):
+            rel_path = os.path.relpath(path, root)
+            print(f"BROKEN {rel_path}: ({target}) -> {resolved}")
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)", file=sys.stderr)
+        return 1
+    print("all markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

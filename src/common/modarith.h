@@ -50,6 +50,25 @@ SubMod(u64 a, u64 b, u64 p)
     return a >= b ? a - b : a + p - b;
 }
 
+/**
+ * Fold a lazy-range residue x < 4p back into [0, p) — the final
+ * correction of the lazy butterfly pipeline (paper Algo. 2), shared by
+ * the NTT, the RnsPoly layer, and the batched HE kernels so the lazy
+ * range convention lives in exactly one place.
+ */
+constexpr u64
+FoldLazy(u64 x, u64 p)
+{
+    const u64 two_p = 2 * p;
+    if (x >= two_p) {
+        x -= two_p;
+    }
+    if (x >= p) {
+        x -= p;
+    }
+    return x;
+}
+
 /** (a * b) mod p via the hardware 128-bit division path. */
 constexpr u64
 MulModNative(u64 a, u64 b, u64 p)
@@ -98,7 +117,14 @@ ShoupPrecompute(u64 w, u64 p)
 /**
  * Shoup's modular multiplication (paper Algo. 4), strict output < p.
  *
- * @param b      multiplicand, b < p (strict variant)
+ * The quotient approximation undershoots the true quotient by less
+ * than 1 + b/2^64 < 2 for ANY 64-bit @p b, so the residual b*w - q*p
+ * is < 2p and the single conditional correction fully reduces it.
+ * Lazy callers rely on this wider domain: [0, 4p)-range operands from
+ * the keep-range NTT pipeline are valid inputs and come out < p.
+ *
+ * @param b      multiplicand; any 64-bit value (fully reduced on
+ *               return), classically a strict value < p
  * @param w      twiddle factor, w < p
  * @param w_bar  ShoupPrecompute(w, p)
  */
@@ -175,7 +201,14 @@ class BarrettReducer
         return Reduce(Mul64Wide(a, b));
     }
 
-    /** (a * b + c) mod p in a single reduction, for a, b, c < 2^62. */
+    /**
+     * (a * b + c) mod p in a single reduction.
+     *
+     * Valid whenever a*b + c fits in 128 bits; a, b < 2^63 with
+     * c < 2^64 suffices (2^126 + 2^64 < 2^128). The batched execution
+     * layer relies on this domain: lazy [0, 4p) operands (p < 2^62,
+     * so < 2^63 each) with a fully reduced addend are in range.
+     */
     u64
     MulAddMod(u64 a, u64 b, u64 c) const
     {

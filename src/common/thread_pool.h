@@ -58,6 +58,11 @@ class ThreadPool
      * Exceptions thrown by fn are captured and the first one is
      * rethrown on the calling thread after the job drains. Calls from
      * inside a running job (nesting) execute serially on the caller.
+     *
+     * @param count number of indices to dispatch (0 is a no-op)
+     * @param fn    type-erased job body; invoked once per index, from
+     *              multiple threads concurrently
+     * @param ctx   opaque pointer forwarded to every fn invocation
      */
     void Run(std::size_t count, void (*fn)(void *, std::size_t),
              void *ctx);
@@ -94,6 +99,8 @@ class ThreadPool
  * instance alive even if SetGlobalThreadCount swaps in a new pool
  * concurrently, so in-flight ParallelFor jobs always complete on the
  * pool they started on.
+ *
+ * @return the current global pool (constructed on first use)
  */
 std::shared_ptr<ThreadPool> AcquireGlobalThreadPool();
 

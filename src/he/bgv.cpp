@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <optional>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "common/modarith.h"
+#include "he/ciphertext_batch.h"
 #include "rns/crt.h"
 
 namespace hentt::he {
@@ -121,26 +123,22 @@ BgvScheme::Decrypt(const SecretKey &sk, const Ciphertext &ct) const
 Ciphertext
 BgvScheme::Add(const Ciphertext &a, const Ciphertext &b) const
 {
-    if (a.parts.size() != b.parts.size()) {
-        throw std::invalid_argument("ciphertext degrees differ");
-    }
     Ciphertext out;
-    for (std::size_t i = 0; i < a.parts.size(); ++i) {
-        out.parts.push_back(a.parts[i] + b.parts[i]);
-    }
+    const Ciphertext *lhs[] = {&a};
+    const Ciphertext *rhs[] = {&b};
+    Ciphertext *dst[] = {&out};
+    BatchAdd(*ctx_, lhs, rhs, dst);
     return out;
 }
 
 Ciphertext
 BgvScheme::Sub(const Ciphertext &a, const Ciphertext &b) const
 {
-    if (a.parts.size() != b.parts.size()) {
-        throw std::invalid_argument("ciphertext degrees differ");
-    }
     Ciphertext out;
-    for (std::size_t i = 0; i < a.parts.size(); ++i) {
-        out.parts.push_back(a.parts[i] - b.parts[i]);
-    }
+    const Ciphertext *lhs[] = {&a};
+    const Ciphertext *rhs[] = {&b};
+    Ciphertext *dst[] = {&out};
+    BatchAdd(*ctx_, lhs, rhs, dst, /*subtract=*/true);
     return out;
 }
 
@@ -162,37 +160,15 @@ BgvScheme::MulPlain(const Ciphertext &ct, const Plaintext &m) const
 Ciphertext
 BgvScheme::Mul(const Ciphertext &a, const Ciphertext &b) const
 {
-    if (a.parts.size() != 2 || b.parts.size() != 2) {
-        throw std::invalid_argument(
-            "Mul expects degree-1 ciphertexts; relinearize first");
-    }
-    // Transform each input part exactly once (4 forward NTT batches;
-    // the per-product formulation re-transformed a0 and a1, for 8) and
-    // fuse the cross term so the tensor product allocates no partial-
-    // product temporaries. Squaring reuses a's transforms outright.
-    const bool squaring = &a == &b;
-    const RnsPoly a0 = ToEval(a.parts[0]);
-    const RnsPoly a1 = ToEval(a.parts[1]);
-    std::optional<RnsPoly> tb0, tb1;
-    if (!squaring) {
-        tb0 = ToEval(b.parts[0]);
-        tb1 = ToEval(b.parts[1]);
-    }
-    const RnsPoly &b0 = squaring ? a0 : *tb0;
-    const RnsPoly &b1 = squaring ? a1 : *tb1;
-
-    RnsPoly c0 = a0 * b0;
-    RnsPoly c1 = a0 * b1;
-    c1.MultiplyAccumulate(a1, b0);
-    RnsPoly c2 = a1 * b1;
-    c0.ToCoefficient();
-    c1.ToCoefficient();
-    c2.ToCoefficient();
-
+    // A batch of one through the ciphertext-level kernel: one lazy
+    // forward dispatch over all four input parts x limbs, one fused
+    // tensor stage, one inverse dispatch over the three result parts.
+    // Squaring (&a == &b) passes equal pointers and shares transforms.
     Ciphertext out;
-    out.parts.push_back(std::move(c0));
-    out.parts.push_back(std::move(c1));
-    out.parts.push_back(std::move(c2));
+    const Ciphertext *lhs[] = {&a};
+    const Ciphertext *rhs[] = {&b};
+    Ciphertext *dst[] = {&out};
+    BatchMul(*ctx_, lhs, rhs, dst);
     return out;
 }
 
@@ -200,27 +176,51 @@ RelinKey
 BgvScheme::MakeRelinKey(const SecretKey &sk)
 {
     const u64 t = ctx_->params().plain_modulus;
-    const RnsBasis &basis = ctx_->basis();
-    const std::size_t np = basis.prime_count();
-    RnsPoly s2 = RnsPoly::Multiply(sk.s, sk.s);
+    const double sigma = ctx_->params().noise_stddev;
+    const std::size_t np = ctx_->basis().prime_count();
 
+    // One key set per level of the modulus chain: the gadget (Q_L/q_j)
+    // depends on the level's modulus, so a modulus-switched ciphertext
+    // relinearizes against keys generated for its own level.
     RelinKey rk;
-    for (std::size_t j = 0; j < np; ++j) {
-        RnsPoly a = SampleUniform(*ctx_, rng_);
-        RnsPoly e = SampleError(*ctx_, rng_);
-        // gadget_j = (Q / q_j) mod q_k for every row k.
-        std::vector<u64> gadget(np);
-        for (std::size_t k = 0; k < np; ++k) {
-            gadget[k] = ctx_->q_hat(j, k);
+    rk.levels.reserve(np);
+    for (std::size_t level = 1; level <= np; ++level) {
+        const auto lvl_ctx = ctx_->level_context(level);
+        const RnsPoly s = KeyAtLevel(sk, lvl_ctx);
+        const RnsPoly s2 = RnsPoly::Multiply(s, s);
+        RelinKey::LevelKeys keys;
+        keys.b.reserve(level);
+        keys.a.reserve(level);
+        for (std::size_t j = 0; j < level; ++j) {
+            RnsPoly a = SampleUniformAt(lvl_ctx, rng_);
+            RnsPoly e = SampleErrorAt(lvl_ctx, sigma, rng_);
+            // gadget_j = (Q_L / q_j) mod q_k for every row k.
+            std::vector<u64> gadget(level);
+            for (std::size_t k = 0; k < level; ++k) {
+                gadget[k] = ctx_->q_hat_level(level, j, k);
+            }
+            RnsPoly gs2 = s2;
+            gs2.ScalarMulRowsInPlace(gadget);
+            e.ScalarMulInPlace(t);
+            RnsPoly b = std::move(e);
+            b -= RnsPoly::Multiply(a, s);
+            b += gs2;
+            keys.b.push_back(std::move(b));
+            keys.a.push_back(std::move(a));
         }
-        RnsPoly gs2 = s2;
-        gs2.ScalarMulRowsInPlace(gadget);
-        e.ScalarMulInPlace(t);
-        RnsPoly b = std::move(e);
-        b -= RnsPoly::Multiply(a, sk.s);
-        b += gs2;
-        rk.b.push_back(std::move(b));
-        rk.a.push_back(std::move(a));
+        // Transform the whole key set to the evaluation domain once, at
+        // keygen, with a single batched dispatch; every Relinearize
+        // afterwards pays zero key transforms.
+        std::vector<RnsPoly *> parts;
+        parts.reserve(2 * level);
+        for (RnsPoly &poly : keys.b) {
+            parts.push_back(&poly);
+        }
+        for (RnsPoly &poly : keys.a) {
+            parts.push_back(&poly);
+        }
+        RnsPoly::BatchToEvaluation(parts);
+        rk.levels.push_back(std::move(keys));
     }
     return rk;
 }
@@ -228,101 +228,27 @@ BgvScheme::MakeRelinKey(const SecretKey &sk)
 Ciphertext
 BgvScheme::Relinearize(const Ciphertext &ct, const RelinKey &rk) const
 {
-    if (ct.parts.size() != 3) {
-        throw std::invalid_argument("relinearization expects degree 2");
-    }
-    const auto &ntt_ctx = *ctx_->ntt_context();
-    const RnsBasis &basis = ctx_->basis();
-    const std::size_t np = basis.prime_count();
-    const RnsPoly &c2 = ct.parts[2];
-
-    RnsPoly c0 = ct.parts[0];
-    RnsPoly c1 = ct.parts[1];
-    RnsPoly digit(ctx_->ntt_context());
-    for (std::size_t j = 0; j < np; ++j) {
-        // Digit j: d_j = [c2 * (Q/q_j)^{-1}]_{q_j}, a word-sized value
-        // lifted into every RNS row. The per-element products run
-        // through Shoup (fixed scalar) and Barrett (row lift) instead
-        // of native `%`.
-        const u64 qj = basis.prime(j);
-        const u64 q_tilde = InvMod(ctx_->q_hat(j, j) % qj, qj);
-        const u64 q_tilde_bar = ShoupPrecompute(q_tilde, qj);
-        for (std::size_t k = 0; k < ctx_->degree(); ++k) {
-            const u64 v =
-                MulModShoup(c2.row(j)[k], q_tilde, q_tilde_bar, qj);
-            for (std::size_t i = 0; i < np; ++i) {
-                digit.row(i)[k] = ntt_ctx.reducer(i).Reduce(v);
-            }
-        }
-        c0 += RnsPoly::Multiply(digit, rk.b[j]);
-        c1 += RnsPoly::Multiply(digit, rk.a[j]);
-    }
-    return Ciphertext{{std::move(c0), std::move(c1)}};
+    // A batch of one through the ciphertext-level kernel: digit
+    // decomposition, one lazy forward dispatch over all digits (the
+    // only forward NTTs in the op), evaluation-domain accumulation
+    // against this level's keys, and a single inverse pair.
+    Ciphertext out;
+    const Ciphertext *src[] = {&ct};
+    Ciphertext *dst[] = {&out};
+    BatchRelinearize(*ctx_, rk, src, dst);
+    return out;
 }
 
 Ciphertext
 BgvScheme::ModSwitch(const Ciphertext &ct) const
 {
-    const std::size_t np_cur = Level(ct);
-    if (np_cur < 2) {
-        throw std::invalid_argument(
-            "cannot modulus-switch below one prime");
-    }
-    const u64 t = ctx_->params().plain_modulus;
-    const auto cur = ctx_->level_context(np_cur);
-    const RnsBasis &basis = cur->basis();
-    auto next = ctx_->level_context(np_cur - 1);
-    const std::size_t k = np_cur - 1;
-    const u64 qk = basis.prime(k);
-    const u64 t_inv_qk = InvMod(t % qk, qk);
-    const u64 t_inv_qk_bar = ShoupPrecompute(t_inv_qk, qk);
-
-    // Dividing by q_k scales the plaintext by q_k^{-1} mod t; pre-scale
-    // every part by alpha = q_k mod t so the switch is
-    // plaintext-preserving.
-    const u64 alpha = qk % t;
-
+    // A batch of one through the ciphertext-level kernel: the alpha
+    // pre-scaling pass and the divide-and-round pass each span all
+    // parts x limbs in one dispatch.
     Ciphertext out;
-    for (const RnsPoly &part_in : ct.parts) {
-        if (part_in.domain() != RnsPoly::Domain::kCoefficient) {
-            throw std::invalid_argument(
-                "modulus switch expects coefficient domain");
-        }
-        const RnsPoly part = part_in.ScalarMul(alpha);
-        RnsPoly switched(next);
-        for (std::size_t i = 0; i < k; ++i) {
-            const u64 qi = basis.prime(i);
-            const BarrettReducer &red_qi = next->reducer(i);
-            const u64 qk_inv = InvMod(qk % qi, qi);
-            const u64 qk_inv_bar = ShoupPrecompute(qk_inv, qi);
-            const u64 t_mod_qi = t % qi;
-            const u64 t_mod_qi_bar = ShoupPrecompute(t_mod_qi, qi);
-            const std::span<const u64> top = part.row(k);
-            const std::span<const u64> src = part.row(i);
-            const std::span<u64> dst = switched.row(i);
-            for (std::size_t idx = 0; idx < ctx_->degree(); ++idx) {
-                // delta = t * [c_k * t^{-1}]_{q_k}, centered so that
-                // |delta| <= t * q_k / 2; delta == c (mod q_k) and
-                // delta == 0 (mod t), making (c - delta) / q_k exact
-                // and plaintext-clean.
-                const u64 u =
-                    MulModShoup(top[idx], t_inv_qk, t_inv_qk_bar, qk);
-                u64 delta_mod_qi;
-                if (u <= qk / 2) {
-                    delta_mod_qi = MulModShoup(
-                        red_qi.Reduce(u), t_mod_qi, t_mod_qi_bar, qi);
-                } else {
-                    const u64 v = qk - u;  // delta = -t * v
-                    const u64 pos = MulModShoup(
-                        red_qi.Reduce(v), t_mod_qi, t_mod_qi_bar, qi);
-                    delta_mod_qi = pos == 0 ? 0 : qi - pos;
-                }
-                const u64 diff = SubMod(src[idx], delta_mod_qi, qi);
-                dst[idx] = MulModShoup(diff, qk_inv, qk_inv_bar, qi);
-            }
-        }
-        out.parts.push_back(std::move(switched));
-    }
+    const Ciphertext *src[] = {&ct};
+    Ciphertext *dst[] = {&out};
+    BatchModSwitch(*ctx_, src, dst);
     return out;
 }
 

@@ -30,10 +30,39 @@ struct SecretKey {
     RnsPoly s;
 };
 
-/** Relinearization key: one (b_j, a_j) pair per RNS digit. */
+/**
+ * Relinearization (key-switching) key material.
+ *
+ * Two properties distinguish this from the textbook formulation:
+ *
+ *  - **Evaluation domain.** Key parts are NTT-transformed once at
+ *    keygen, so Relinearize pays no per-op key transforms: the only
+ *    forward NTTs in the op are the np digit lifts (np^2 row
+ *    transforms instead of 4*np^2), and the gadget inner product
+ *    accumulates in the evaluation domain with a single inverse pair
+ *    at the end.
+ *  - **Per level.** One key set per level of the modulus chain, because
+ *    the gadget (Q_L / q_j) depends on the level's modulus Q_L; a
+ *    ciphertext that has been modulus-switched down relinearizes
+ *    against its own level's keys.
+ */
 struct RelinKey {
-    std::vector<RnsPoly> b;  // -(a_j s) + t e_j + (Q/q_j) s^2
-    std::vector<RnsPoly> a;
+    /** Keys for one level: one (b_j, a_j) pair per RNS digit of that
+     *  level, both in the evaluation domain. */
+    struct LevelKeys {
+        std::vector<RnsPoly> b;  ///< -(a_j s) + t e_j + (Q_L/q_j) s^2
+        std::vector<RnsPoly> a;  ///< uniform mask
+    };
+
+    /** levels[L-1] serves ciphertexts with L primes remaining. */
+    std::vector<LevelKeys> levels;
+
+    /** Key set for a ciphertext with @p prime_count primes remaining.
+     *  @throws std::out_of_range when no such level was generated. */
+    const LevelKeys &at_level(std::size_t prime_count) const
+    {
+        return levels.at(prime_count - 1);
+    }
 };
 
 /** Ciphertext: degree-1 (c0, c1) or degree-2 (c0, c1, c2) element
@@ -53,6 +82,13 @@ class BgvScheme
     const HeContext &context() const { return *ctx_; }
 
     SecretKey KeyGen();
+
+    /**
+     * Generate relinearization keys for every level of the modulus
+     * chain, stored in the evaluation domain (see RelinKey). Keygen
+     * pays the transforms once so every Relinearize afterwards pays
+     * none.
+     */
     RelinKey MakeRelinKey(const SecretKey &sk);
 
     Ciphertext Encrypt(const SecretKey &sk, const Plaintext &m);
@@ -62,9 +98,22 @@ class BgvScheme
     Ciphertext Sub(const Ciphertext &a, const Ciphertext &b) const;
     /** Multiply by a plaintext polynomial. */
     Ciphertext MulPlain(const Ciphertext &ct, const Plaintext &m) const;
-    /** Tensor product; result has degree 2 (relinearize to shrink). */
+
+    /**
+     * Tensor product; result has degree 2 (relinearize to shrink).
+     * Executes through the batched kernel layer (ciphertext_batch.h):
+     * one lazy forward-NTT dispatch across all four input parts x
+     * limbs, one tensor stage, one inverse dispatch across the three
+     * result parts.
+     */
     Ciphertext Mul(const Ciphertext &a, const Ciphertext &b) const;
-    /** Key-switch a degree-2 ciphertext back to degree 1. */
+
+    /**
+     * Key-switch a degree-2 ciphertext back to degree 1 using the
+     * evaluation-domain keys of the ciphertext's current level. The
+     * only forward NTTs are the digit lifts (np^2 row transforms; see
+     * RelinKey).
+     */
     Ciphertext Relinearize(const Ciphertext &ct,
                            const RelinKey &rk) const;
 

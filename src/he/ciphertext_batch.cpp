@@ -1,0 +1,581 @@
+#include "he/ciphertext_batch.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/modarith.h"
+#include "common/thread_pool.h"
+
+namespace hentt::he {
+
+namespace detail {
+
+/** The one sanctioned path to RnsPoly::OverrideDomain: the batch
+ *  kernels fill evaluation-domain rows externally and relabel here. */
+struct RnsPolyBatchAccess {
+    static void
+    MarkEvaluation(RnsPoly &poly)
+    {
+        poly.OverrideDomain(RnsPoly::Domain::kEvaluation);
+    }
+};
+
+}  // namespace detail
+
+namespace {
+
+/**
+ * Element-wise add/sub task over one limb row; the shared flattening
+ * unit of BatchAdd, BatchRelinearize's final fold-in, and friends.
+ * `fold_src` folds lazy [0, 4p) source rows on the fly (the
+ * destination must already be fully reduced).
+ */
+struct AddTask {
+    u64 *dst;
+    const u64 *src;
+    u64 p;
+    std::size_t n;
+    bool fold_src;
+};
+
+/** Append one task per limb for dst[i] = dst[i] +/- src[i]. The
+ *  destination is reduced first when lazy; lazy sources fold per
+ *  element. */
+void
+AppendAddTasks(std::vector<AddTask> &tasks, RnsPoly &dst,
+               const RnsPoly &src, std::size_t &max_n)
+{
+    dst.ReduceLazy();
+    const RnsBasis &basis = src.context().basis();
+    for (std::size_t l = 0; l < src.prime_count(); ++l) {
+        tasks.push_back({dst.row(l).data(), src.row(l).data(),
+                         basis.prime(l), src.degree(), src.lazy()});
+        max_n = std::max(max_n, src.degree());
+    }
+}
+
+/** One pool dispatch over the whole task list. */
+void
+RunAddTasks(const std::vector<AddTask> &tasks, std::size_t max_n,
+            bool subtract)
+{
+    ParallelFor(tasks.size(), max_n, [&](std::size_t t) {
+        const AddTask &task = tasks[t];
+        for (std::size_t k = 0; k < task.n; ++k) {
+            const u64 s = task.fold_src ? FoldLazy(task.src[k], task.p)
+                                        : task.src[k];
+            task.dst[k] = subtract ? SubMod(task.dst[k], s, task.p)
+                                   : AddMod(task.dst[k], s, task.p);
+        }
+    });
+}
+
+void
+CheckSpanLengths(std::size_t a, std::size_t b, std::size_t out)
+{
+    if (a != b || a != out) {
+        throw std::invalid_argument("batch spans must have equal length");
+    }
+}
+
+/** Throw unless the two ciphertexts share degree, level, and domain. */
+void
+CheckPairCompatible(const Ciphertext &a, const Ciphertext &b)
+{
+    if (a.parts.size() != b.parts.size()) {
+        throw std::invalid_argument("ciphertext degrees differ");
+    }
+    for (std::size_t j = 0; j < a.parts.size(); ++j) {
+        if (&a.parts[j].context() != &b.parts[j].context()) {
+            throw std::invalid_argument(
+                "ciphertexts from different levels/contexts");
+        }
+        if (a.parts[j].domain() != b.parts[j].domain()) {
+            throw std::invalid_argument(
+                "ciphertext parts in different domains");
+        }
+    }
+}
+
+}  // namespace
+
+void
+BatchAdd(const HeContext &ctx, std::span<const Ciphertext *const> a,
+         std::span<const Ciphertext *const> b,
+         std::span<Ciphertext *const> out, bool subtract)
+{
+    (void)ctx;
+    CheckSpanLengths(a.size(), b.size(), out.size());
+
+    // Element-wise task per (ciphertext, part, limb); the whole batch
+    // is one pool dispatch. Outputs are copies of `a` combined in place
+    // (out[i] may alias a[i], not b[i]). Lazy [0, 4p) parts (from
+    // ToEvaluationLazy) reduce/fold exactly as RnsPoly::operator+=.
+    std::vector<AddTask> tasks;
+    std::size_t max_n = 1;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        CheckPairCompatible(*a[i], *b[i]);
+        if (out[i] != a[i]) {
+            *out[i] = *a[i];
+        }
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const Ciphertext &cb = *b[i];
+        for (std::size_t j = 0; j < cb.parts.size(); ++j) {
+            AppendAddTasks(tasks, out[i]->parts[j], cb.parts[j], max_n);
+        }
+    }
+    RunAddTasks(tasks, max_n, subtract);
+}
+
+void
+BatchMul(const HeContext &ctx, std::span<const Ciphertext *const> a,
+         std::span<const Ciphertext *const> b,
+         std::span<Ciphertext *const> out)
+{
+    CheckSpanLengths(a.size(), b.size(), out.size());
+    const std::size_t m = a.size();
+
+    // Stage 0: working copies of every *distinct* input part, interned
+    // by address — a ciphertext feeding several products in the batch
+    // (squaring included) is copied and transformed exactly once.
+    struct Node {
+        std::size_t a0, a1, b0, b1;  // indices into `fwd`
+    };
+    std::vector<RnsPoly> fwd;
+    fwd.reserve(4 * m);
+    std::unordered_map<const RnsPoly *, std::size_t> slots;
+    const auto intern = [&](const RnsPoly &part) {
+        const auto [it, inserted] = slots.try_emplace(&part, fwd.size());
+        if (inserted) {
+            fwd.push_back(part);
+        }
+        return it->second;
+    };
+    std::vector<Node> nodes(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        const Ciphertext &ca = *a[i];
+        const Ciphertext &cb = *b[i];
+        if (ca.parts.size() != 2 || cb.parts.size() != 2) {
+            throw std::invalid_argument(
+                "Mul expects degree-1 ciphertexts; relinearize first");
+        }
+        CheckPairCompatible(ca, cb);
+        nodes[i].a0 = intern(ca.parts[0]);
+        nodes[i].a1 = intern(ca.parts[1]);
+        nodes[i].b0 = intern(cb.parts[0]);
+        nodes[i].b1 = intern(cb.parts[1]);
+    }
+
+    // Stage 1: ONE lazy forward-NTT dispatch across every input part x
+    // limb. Rows stay in [0, 4p) — the tensor stage's Barrett products
+    // tolerate them (16p^2 fits u128; the fused cross term needs
+    // 32p^2 < 2^128, guaranteed by HeParams' prime_bits <= 61 bound).
+    std::vector<RnsPoly *> pending;
+    pending.reserve(fwd.size());
+    for (RnsPoly &poly : fwd) {
+        if (poly.domain() == RnsPoly::Domain::kCoefficient) {
+            pending.push_back(&poly);
+        }
+    }
+    RnsPoly::BatchToEvaluation(pending, /*lazy=*/true);
+
+    // Stage 2: ONE tensor dispatch per (ciphertext, limb); each task
+    // fills the three result rows (c0 = a0 b0, c1 = a0 b1 + a1 b0,
+    // c2 = a1 b1) with one Barrett reduction per output element.
+    std::vector<Ciphertext> results(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        const auto level =
+            ctx.level_context(a[i]->parts[0].prime_count());
+        results[i].parts.assign(3, RnsPoly(level));
+    }
+    struct TensorTask {
+        const u64 *a0, *a1, *b0, *b1;
+        u64 *c0, *c1, *c2;
+        const BarrettReducer *red;
+        std::size_t n;
+    };
+    std::vector<TensorTask> tensor;
+    std::size_t max_n = 1;
+    for (std::size_t i = 0; i < m; ++i) {
+        const Node &nd = nodes[i];
+        const RnsNttContext &level = fwd[nd.a0].context();
+        for (std::size_t l = 0; l < fwd[nd.a0].prime_count(); ++l) {
+            tensor.push_back({fwd[nd.a0].row(l).data(),
+                              fwd[nd.a1].row(l).data(),
+                              fwd[nd.b0].row(l).data(),
+                              fwd[nd.b1].row(l).data(),
+                              results[i].parts[0].row(l).data(),
+                              results[i].parts[1].row(l).data(),
+                              results[i].parts[2].row(l).data(),
+                              &level.reducer(l), fwd[nd.a0].degree()});
+            max_n = std::max(max_n, fwd[nd.a0].degree());
+        }
+    }
+    ParallelFor(tensor.size(), max_n, [&](std::size_t t) {
+        const TensorTask &task = tensor[t];
+        for (std::size_t k = 0; k < task.n; ++k) {
+            task.c0[k] = task.red->MulMod(task.a0[k], task.b0[k]);
+            task.c1[k] =
+                task.red->Reduce(Mul64Wide(task.a0[k], task.b1[k]) +
+                                 Mul64Wide(task.a1[k], task.b0[k]));
+            task.c2[k] = task.red->MulMod(task.a1[k], task.b1[k]);
+        }
+    });
+    for (Ciphertext &result : results) {
+        for (RnsPoly &part : result.parts) {
+            detail::RnsPolyBatchAccess::MarkEvaluation(part);
+        }
+    }
+
+    // Stage 3: ONE inverse-NTT dispatch across all 3m result parts.
+    std::vector<RnsPoly *> inv;
+    inv.reserve(3 * m);
+    for (Ciphertext &result : results) {
+        for (RnsPoly &part : result.parts) {
+            inv.push_back(&part);
+        }
+    }
+    RnsPoly::BatchToCoefficient(inv);
+
+    for (std::size_t i = 0; i < m; ++i) {
+        *out[i] = std::move(results[i]);
+    }
+}
+
+void
+BatchRelinearize(const HeContext &ctx, const RelinKey &rk,
+                 std::span<const Ciphertext *const> in,
+                 std::span<Ciphertext *const> out)
+{
+    CheckSpanLengths(in.size(), in.size(), out.size());
+    const std::size_t m = in.size();
+
+    struct Node {
+        std::size_t level = 0;       // primes remaining
+        std::size_t digit_off = 0;   // first digit index in `digits`
+        const RelinKey::LevelKeys *keys = nullptr;
+    };
+    std::vector<Node> nodes(m);
+    std::size_t total_digits = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+        const Ciphertext &ct = *in[i];
+        if (ct.parts.size() != 3) {
+            throw std::invalid_argument("relinearization expects degree 2");
+        }
+        for (const RnsPoly &part : ct.parts) {
+            if (part.domain() != RnsPoly::Domain::kCoefficient) {
+                throw std::invalid_argument(
+                    "relinearization expects coefficient domain");
+            }
+        }
+        nodes[i].level = ct.parts[0].prime_count();
+        nodes[i].keys = &rk.at_level(nodes[i].level);
+        if (nodes[i].keys->b.size() != nodes[i].level) {
+            throw std::invalid_argument("relin key level mismatch");
+        }
+        nodes[i].digit_off = total_digits;
+        total_digits += nodes[i].level;
+    }
+
+    std::vector<RnsPoly> digits;
+    digits.reserve(total_digits);
+    for (std::size_t i = 0; i < m; ++i) {
+        const auto level = ctx.level_context(nodes[i].level);
+        for (std::size_t j = 0; j < nodes[i].level; ++j) {
+            digits.emplace_back(level);
+        }
+    }
+
+    // Stage 1: CRT digit decomposition, one dispatch per batch over
+    // (ciphertext, digit) tasks. Digit j is the word-sized value
+    // d_j = [c2 * (Q_L/q_j)^{-1}]_{q_j} lifted into every RNS row
+    // through the level's Barrett reducers.
+    struct DigitTask {
+        const RnsPoly *c2;
+        RnsPoly *digit;
+        std::size_t j;
+        std::size_t level;
+    };
+    std::vector<DigitTask> digit_tasks;
+    digit_tasks.reserve(total_digits);
+    std::size_t max_work = 1;
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < nodes[i].level; ++j) {
+            digit_tasks.push_back({&in[i]->parts[2],
+                                   &digits[nodes[i].digit_off + j], j,
+                                   nodes[i].level});
+            max_work = std::max(max_work,
+                                in[i]->parts[2].degree() * nodes[i].level);
+        }
+    }
+    ParallelFor(digit_tasks.size(), max_work, [&](std::size_t t) {
+        const DigitTask &task = digit_tasks[t];
+        const RnsNttContext &level = task.digit->context();
+        const u64 qj = level.basis().prime(task.j);
+        const u64 q_tilde =
+            InvMod(ctx.q_hat_level(task.level, task.j, task.j), qj);
+        const u64 q_tilde_bar = ShoupPrecompute(q_tilde, qj);
+        const std::span<const u64> src = task.c2->row(task.j);
+        for (std::size_t k = 0; k < task.c2->degree(); ++k) {
+            const u64 v = MulModShoup(src[k], q_tilde, q_tilde_bar, qj);
+            for (std::size_t l = 0; l < task.level; ++l) {
+                task.digit->row(l)[k] = level.reducer(l).Reduce(v);
+            }
+        }
+    });
+
+    // Stage 2: ONE lazy forward-NTT dispatch over every digit x limb —
+    // the only forward transforms in the whole op (np^2 row transforms
+    // per ciphertext; the coefficient-domain-key formulation paid
+    // 4*np^2 by re-transforming keys and digits per product).
+    std::vector<RnsPoly *> dptrs;
+    dptrs.reserve(total_digits);
+    for (RnsPoly &digit : digits) {
+        dptrs.push_back(&digit);
+    }
+    RnsPoly::BatchToEvaluation(dptrs, /*lazy=*/true);
+
+    // Stage 3: evaluation-domain gadget accumulation, one dispatch over
+    // (ciphertext, accumulator part, limb) tasks; each task folds all
+    // np digit x key products for its row with one Barrett reduction
+    // per element.
+    std::vector<Ciphertext> results(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        const auto level = ctx.level_context(nodes[i].level);
+        results[i].parts.assign(2, RnsPoly(level));
+    }
+    struct AccTask {
+        RnsPoly *acc;
+        const std::vector<RnsPoly> *keys;
+        std::size_t digit_off;
+        std::size_t level;
+        std::size_t limb;
+    };
+    std::vector<AccTask> acc_tasks;
+    acc_tasks.reserve(2 * total_digits);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t part = 0; part < 2; ++part) {
+            const std::vector<RnsPoly> &keys =
+                part == 0 ? nodes[i].keys->b : nodes[i].keys->a;
+            for (std::size_t l = 0; l < nodes[i].level; ++l) {
+                acc_tasks.push_back({&results[i].parts[part], &keys,
+                                     nodes[i].digit_off, nodes[i].level,
+                                     l});
+            }
+        }
+    }
+    ParallelFor(acc_tasks.size(), max_work, [&](std::size_t t) {
+        const AccTask &task = acc_tasks[t];
+        const BarrettReducer &red =
+            task.acc->context().reducer(task.limb);
+        const std::span<u64> dst = task.acc->row(task.limb);
+        for (std::size_t j = 0; j < task.level; ++j) {
+            const std::span<const u64> dj =
+                digits[task.digit_off + j].row(task.limb);
+            const std::span<const u64> kj =
+                (*task.keys)[j].row(task.limb);
+            for (std::size_t k = 0; k < dst.size(); ++k) {
+                dst[k] = red.MulAddMod(dj[k], kj[k], dst[k]);
+            }
+        }
+    });
+    for (Ciphertext &result : results) {
+        for (RnsPoly &part : result.parts) {
+            detail::RnsPolyBatchAccess::MarkEvaluation(part);
+        }
+    }
+
+    // Stage 4: ONE inverse-NTT dispatch over the 2m accumulators.
+    std::vector<RnsPoly *> inv;
+    inv.reserve(2 * m);
+    for (Ciphertext &result : results) {
+        for (RnsPoly &part : result.parts) {
+            inv.push_back(&part);
+        }
+    }
+    RnsPoly::BatchToCoefficient(inv);
+
+    // Stage 5: fold in the input's (c0, c1), one dispatch.
+    std::vector<AddTask> add_tasks;
+    std::size_t max_n = 1;
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t part = 0; part < 2; ++part) {
+            AppendAddTasks(add_tasks, results[i].parts[part],
+                           in[i]->parts[part], max_n);
+        }
+    }
+    RunAddTasks(add_tasks, max_n, /*subtract=*/false);
+
+    for (std::size_t i = 0; i < m; ++i) {
+        *out[i] = std::move(results[i]);
+    }
+}
+
+void
+BatchModSwitch(const HeContext &ctx, std::span<const Ciphertext *const> in,
+               std::span<Ciphertext *const> out)
+{
+    CheckSpanLengths(in.size(), in.size(), out.size());
+    const std::size_t m = in.size();
+    const u64 t_mod = ctx.params().plain_modulus;
+
+    std::size_t total_parts = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+        const Ciphertext &ct = *in[i];
+        if (ct.parts.at(0).prime_count() < 2) {
+            throw std::invalid_argument(
+                "cannot modulus-switch below one prime");
+        }
+        for (const RnsPoly &part : ct.parts) {
+            if (part.domain() != RnsPoly::Domain::kCoefficient) {
+                throw std::invalid_argument(
+                    "modulus switch expects coefficient domain");
+            }
+        }
+        total_parts += ct.parts.size();
+    }
+
+    // Stage 1: alpha pre-scaling (alpha = q_k mod t makes the switch
+    // plaintext-preserving) into working copies, one dispatch over all
+    // parts x limbs.
+    std::vector<RnsPoly> scaled;
+    scaled.reserve(total_parts);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (const RnsPoly &part : in[i]->parts) {
+            scaled.push_back(part);
+        }
+    }
+    struct ScaleTask {
+        u64 *row;
+        u64 p;
+        u64 alpha;
+        std::size_t n;
+    };
+    std::vector<ScaleTask> scale_tasks;
+    std::size_t max_n = 1;
+    {
+        std::size_t idx = 0;
+        for (std::size_t i = 0; i < m; ++i) {
+            const std::size_t np_cur = in[i]->parts[0].prime_count();
+            const u64 qk =
+                in[i]->parts[0].context().basis().prime(np_cur - 1);
+            const u64 alpha = qk % t_mod;
+            for (std::size_t j = 0; j < in[i]->parts.size(); ++j) {
+                RnsPoly &part = scaled[idx++];
+                const RnsBasis &basis = part.context().basis();
+                for (std::size_t l = 0; l < part.prime_count(); ++l) {
+                    scale_tasks.push_back({part.row(l).data(),
+                                           basis.prime(l), alpha,
+                                           part.degree()});
+                    max_n = std::max(max_n, part.degree());
+                }
+            }
+        }
+    }
+    ParallelFor(scale_tasks.size(), max_n, [&](std::size_t t) {
+        const ScaleTask &task = scale_tasks[t];
+        const u64 s = task.alpha % task.p;
+        const u64 s_bar = ShoupPrecompute(s, task.p);
+        for (std::size_t k = 0; k < task.n; ++k) {
+            task.row[k] = MulModShoup(task.row[k], s, s_bar, task.p);
+        }
+    });
+
+    // Stage 2: divide-and-round, one dispatch over all parts x target
+    // limbs. delta = t * [c_k * t^{-1}]_{q_k}, centered, satisfies
+    // delta == c (mod q_k) and delta == 0 (mod t), so (c - delta) / q_k
+    // is exact and plaintext-clean. The InvMod/Shoup constants depend
+    // only on the ciphertext's level, so they are hoisted out of the
+    // parallel tasks (InvMod is a PowMod of native divisions — the
+    // exact path the hot loops exist to avoid).
+    struct LevelConsts {
+        u64 qk = 0;
+        u64 t_inv_qk = 0, t_inv_qk_bar = 0;
+        std::vector<u64> qk_inv, qk_inv_bar;        // per target limb
+        std::vector<u64> t_mod_qi, t_mod_qi_bar;    // per target limb
+    };
+    std::vector<LevelConsts> consts(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        const RnsBasis &basis = in[i]->parts[0].context().basis();
+        const std::size_t np_cur = in[i]->parts[0].prime_count();
+        LevelConsts &c = consts[i];
+        c.qk = basis.prime(np_cur - 1);
+        c.t_inv_qk = InvMod(t_mod % c.qk, c.qk);
+        c.t_inv_qk_bar = ShoupPrecompute(c.t_inv_qk, c.qk);
+        for (std::size_t l = 0; l + 1 < np_cur; ++l) {
+            const u64 qi = basis.prime(l);
+            c.qk_inv.push_back(InvMod(c.qk % qi, qi));
+            c.qk_inv_bar.push_back(ShoupPrecompute(c.qk_inv[l], qi));
+            c.t_mod_qi.push_back(t_mod % qi);
+            c.t_mod_qi_bar.push_back(ShoupPrecompute(c.t_mod_qi[l], qi));
+        }
+    }
+
+    std::vector<Ciphertext> results(m);
+    struct SwitchTask {
+        const RnsPoly *src;      // alpha-scaled part at the old level
+        RnsPoly *dst;            // part at the new level
+        const LevelConsts *consts;
+        std::size_t i;           // target limb
+    };
+    std::vector<SwitchTask> switch_tasks;
+    {
+        std::size_t idx = 0;
+        for (std::size_t i = 0; i < m; ++i) {
+            const std::size_t np_cur = in[i]->parts[0].prime_count();
+            const auto next = ctx.level_context(np_cur - 1);
+            results[i].parts.assign(in[i]->parts.size(), RnsPoly(next));
+            for (std::size_t j = 0; j < in[i]->parts.size(); ++j) {
+                const RnsPoly &src = scaled[idx++];
+                for (std::size_t l = 0; l + 1 < np_cur; ++l) {
+                    switch_tasks.push_back(
+                        {&src, &results[i].parts[j], &consts[i], l});
+                }
+            }
+        }
+    }
+    ParallelFor(switch_tasks.size(), max_n, [&](std::size_t t) {
+        const SwitchTask &task = switch_tasks[t];
+        const RnsBasis &basis = task.src->context().basis();
+        const std::size_t k_top = task.src->prime_count() - 1;
+        const LevelConsts &c = *task.consts;
+        const u64 qk = c.qk;
+        const u64 t_inv_qk = c.t_inv_qk;
+        const u64 t_inv_qk_bar = c.t_inv_qk_bar;
+        const u64 qi = basis.prime(task.i);
+        const BarrettReducer &red_qi = task.dst->context().reducer(task.i);
+        const u64 qk_inv = c.qk_inv[task.i];
+        const u64 qk_inv_bar = c.qk_inv_bar[task.i];
+        const u64 t_mod_qi = c.t_mod_qi[task.i];
+        const u64 t_mod_qi_bar = c.t_mod_qi_bar[task.i];
+        const std::span<const u64> top = task.src->row(k_top);
+        const std::span<const u64> src = task.src->row(task.i);
+        const std::span<u64> dst = task.dst->row(task.i);
+        for (std::size_t idx = 0; idx < dst.size(); ++idx) {
+            const u64 u =
+                MulModShoup(top[idx], t_inv_qk, t_inv_qk_bar, qk);
+            u64 delta_mod_qi;
+            if (u <= qk / 2) {
+                delta_mod_qi = MulModShoup(red_qi.Reduce(u), t_mod_qi,
+                                           t_mod_qi_bar, qi);
+            } else {
+                const u64 v = qk - u;  // delta = -t * v
+                const u64 pos = MulModShoup(red_qi.Reduce(v), t_mod_qi,
+                                            t_mod_qi_bar, qi);
+                delta_mod_qi = pos == 0 ? 0 : qi - pos;
+            }
+            const u64 diff = SubMod(src[idx], delta_mod_qi, qi);
+            dst[idx] = MulModShoup(diff, qk_inv, qk_inv_bar, qi);
+        }
+    });
+
+    for (std::size_t i = 0; i < m; ++i) {
+        *out[i] = std::move(results[i]);
+    }
+}
+
+}  // namespace hentt::he

@@ -1,0 +1,192 @@
+#include "he/he_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "he/ciphertext_batch.h"
+
+namespace hentt::he {
+
+bool
+CtFuture::ready() const
+{
+    return graph_ != nullptr && graph_->nodes_[node_].done;
+}
+
+const Ciphertext &
+CtFuture::get() const
+{
+    if (!valid()) {
+        throw std::logic_error("get() on an empty CtFuture");
+    }
+    if (!graph_->nodes_[node_].done) {
+        graph_->Execute();
+    }
+    return graph_->nodes_[node_].value;
+}
+
+HeOpGraph::HeOpGraph(const BgvScheme &scheme, const RelinKey *rk)
+    : scheme_(scheme), rk_(rk)
+{
+}
+
+std::size_t
+HeOpGraph::CheckOwned(const CtFuture &f) const
+{
+    if (!f.valid() || f.graph_ != this) {
+        throw std::invalid_argument(
+            "CtFuture does not belong to this graph");
+    }
+    return f.node_;
+}
+
+CtFuture
+HeOpGraph::Enqueue(Kind kind, std::size_t a, std::size_t b)
+{
+    Node node;
+    node.kind = kind;
+    node.a = a;
+    node.b = b;
+    nodes_.push_back(std::move(node));
+    return CtFuture(this, nodes_.size() - 1);
+}
+
+CtFuture
+HeOpGraph::Input(Ciphertext ct)
+{
+    Node node;
+    node.kind = Kind::kInput;
+    node.done = true;
+    node.value = std::move(ct);
+    nodes_.push_back(std::move(node));
+    return CtFuture(this, nodes_.size() - 1);
+}
+
+CtFuture
+HeOpGraph::Add(CtFuture a, CtFuture b)
+{
+    return Enqueue(Kind::kAdd, CheckOwned(a), CheckOwned(b));
+}
+
+CtFuture
+HeOpGraph::Sub(CtFuture a, CtFuture b)
+{
+    return Enqueue(Kind::kSub, CheckOwned(a), CheckOwned(b));
+}
+
+CtFuture
+HeOpGraph::Mul(CtFuture a, CtFuture b)
+{
+    return Enqueue(Kind::kMul, CheckOwned(a), CheckOwned(b));
+}
+
+CtFuture
+HeOpGraph::Relinearize(CtFuture a)
+{
+    const std::size_t n = CheckOwned(a);
+    return Enqueue(Kind::kRelin, n, n);
+}
+
+CtFuture
+HeOpGraph::MulRelin(CtFuture a, CtFuture b)
+{
+    return Relinearize(Mul(a, b));
+}
+
+CtFuture
+HeOpGraph::ModSwitch(CtFuture a)
+{
+    const std::size_t n = CheckOwned(a);
+    return Enqueue(Kind::kModSwitch, n, n);
+}
+
+std::size_t
+HeOpGraph::pending() const
+{
+    std::size_t count = 0;
+    for (const Node &node : nodes_) {
+        if (!node.done) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+void
+HeOpGraph::Execute()
+{
+    // Wavefront labelling: operands always precede their consumers in
+    // nodes_ (append-only), so one ascending pass assigns each pending
+    // node 1 + the max depth of its pending operands (computed nodes
+    // count as depth 0).
+    std::vector<std::size_t> depth(nodes_.size(), 0);
+    std::size_t max_depth = 0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i].done) {
+            continue;
+        }
+        depth[i] = 1 + std::max(depth[nodes_[i].a], depth[nodes_[i].b]);
+        max_depth = std::max(max_depth, depth[i]);
+    }
+
+    // Within a wavefront, all nodes of one kind run as a single batched
+    // kernel call — this is where independent ciphertext ops overlap.
+    constexpr Kind kKinds[] = {Kind::kAdd, Kind::kSub, Kind::kMul,
+                               Kind::kRelin, Kind::kModSwitch};
+    std::vector<std::size_t> group;
+    for (std::size_t d = 1; d <= max_depth; ++d) {
+        for (const Kind kind : kKinds) {
+            group.clear();
+            for (std::size_t i = 0; i < nodes_.size(); ++i) {
+                if (!nodes_[i].done && depth[i] == d &&
+                    nodes_[i].kind == kind) {
+                    group.push_back(i);
+                }
+            }
+            if (group.empty()) {
+                continue;
+            }
+            std::vector<const Ciphertext *> lhs, rhs;
+            std::vector<Ciphertext *> dst;
+            lhs.reserve(group.size());
+            rhs.reserve(group.size());
+            dst.reserve(group.size());
+            for (const std::size_t i : group) {
+                lhs.push_back(&nodes_[nodes_[i].a].value);
+                rhs.push_back(&nodes_[nodes_[i].b].value);
+                dst.push_back(&nodes_[i].value);
+            }
+            const HeContext &ctx = scheme_.context();
+            switch (kind) {
+              case Kind::kAdd:
+                BatchAdd(ctx, lhs, rhs, dst);
+                break;
+              case Kind::kSub:
+                BatchAdd(ctx, lhs, rhs, dst, /*subtract=*/true);
+                break;
+              case Kind::kMul:
+                BatchMul(ctx, lhs, rhs, dst);
+                break;
+              case Kind::kRelin:
+                if (rk_ == nullptr) {
+                    throw std::logic_error(
+                        "HeOpGraph has no relinearization keys");
+                }
+                BatchRelinearize(ctx, *rk_, lhs, dst);
+                break;
+              case Kind::kModSwitch:
+                BatchModSwitch(ctx, lhs, dst);
+                break;
+              case Kind::kInput:
+                break;  // unreachable: inputs are born done
+            }
+            for (const std::size_t i : group) {
+                nodes_[i].done = true;
+            }
+        }
+    }
+}
+
+}  // namespace hentt::he

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * HeOpGraph — an async, ciphertext-level HE pipeline on top of the
+ * batched kernels (ciphertext_batch.h).
+ *
+ * Operations on the graph (Add/Mul/Relinearize/ModSwitch/...) do not
+ * execute immediately: they enqueue whole-ciphertext nodes and return
+ * CtFuture handles. Execute() then runs the DAG in dependency
+ * wavefronts, and every group of independent same-kind ops in a
+ * wavefront executes as a single batch — one thread-pool dispatch per
+ * stage spanning all ciphertexts x parts x limbs. This is how
+ * independent ciphertext ops overlap on the blocking pool: their limb
+ * tasks share dispatches instead of queuing behind one another, the
+ * CPU analogue of streaming independent HE ops down one big GPU batch
+ * (the paper's Section V-A batching argument lifted from polynomials
+ * to operations).
+ *
+ * Typical use:
+ *
+ *     HeOpGraph g(scheme, &rk);
+ *     CtFuture x = g.Input(ct_a), y = g.Input(ct_b), z = g.Input(ct_c);
+ *     CtFuture xy = g.MulRelin(x, y);      // independent of zz
+ *     CtFuture zz = g.MulRelin(z, z);      // batched with xy
+ *     CtFuture sum = g.Add(xy, zz);
+ *     const Ciphertext &result = sum.get();  // runs the graph
+ */
+
+#ifndef HENTT_HE_HE_GRAPH_H
+#define HENTT_HE_HE_GRAPH_H
+
+#include <cstddef>
+#include <deque>
+
+#include "he/bgv.h"
+
+namespace hentt::he {
+
+class HeOpGraph;
+
+/**
+ * Future-style handle to a ciphertext computed by an HeOpGraph. Cheap
+ * to copy; valid as long as the graph outlives it. get() forces
+ * execution of all pending nodes in the owning graph.
+ */
+class CtFuture
+{
+  public:
+    CtFuture() = default;
+
+    /** Whether the handle refers to a graph node at all. */
+    bool valid() const { return graph_ != nullptr; }
+
+    /** Whether the node has already been computed (never blocks). */
+    bool ready() const;
+
+    /** The computed ciphertext; triggers HeOpGraph::Execute() on the
+     *  owning graph when the node is still pending. */
+    const Ciphertext &get() const;
+
+  private:
+    friend class HeOpGraph;
+    CtFuture(HeOpGraph *graph, std::size_t node)
+        : graph_(graph), node_(node)
+    {
+    }
+
+    HeOpGraph *graph_ = nullptr;
+    std::size_t node_ = 0;
+};
+
+/**
+ * Dependency graph of whole-ciphertext HE operations, executed in
+ * wavefronts through the batched kernels. Append-only: nodes are added
+ * by the op methods and computed by Execute(); a graph can keep
+ * growing after partial execution (already-computed nodes are never
+ * re-run).
+ */
+class HeOpGraph
+{
+  public:
+    /**
+     * @param scheme the scheme whose context the ciphertexts live in
+     * @param rk     relinearization keys; required before the first
+     *               Relinearize/MulRelin node executes, may be null
+     *               for graphs without key switching
+     */
+    explicit HeOpGraph(const BgvScheme &scheme,
+                       const RelinKey *rk = nullptr);
+
+    /** Register an already-computed ciphertext as a graph leaf. */
+    CtFuture Input(Ciphertext ct);
+
+    /** Enqueue out = a + b (element-wise, matching degree/level). */
+    CtFuture Add(CtFuture a, CtFuture b);
+
+    /** Enqueue out = a - b (element-wise, matching degree/level). */
+    CtFuture Sub(CtFuture a, CtFuture b);
+
+    /** Enqueue the degree-2 tensor product of two degree-1 inputs. */
+    CtFuture Mul(CtFuture a, CtFuture b);
+
+    /** Enqueue the key-switch of a degree-2 input back to degree 1. */
+    CtFuture Relinearize(CtFuture a);
+
+    /** Enqueue Mul immediately followed by Relinearize (the common
+     *  chain; both stages batch with their wavefront peers). */
+    CtFuture MulRelin(CtFuture a, CtFuture b);
+
+    /** Enqueue the drop of the input's last RNS prime (noise
+     *  management between multiplications). */
+    CtFuture ModSwitch(CtFuture a);
+
+    /**
+     * Run every pending node. Nodes are grouped into dependency
+     * wavefronts; within a wavefront, all nodes of the same kind
+     * execute as one batched kernel call (single dispatches spanning
+     * the whole group). Exceptions from kernels propagate and leave
+     * the affected wavefront's nodes pending.
+     */
+    void Execute();
+
+    /** Number of nodes ever added (inputs included). */
+    std::size_t size() const { return nodes_.size(); }
+
+    /** Number of nodes not yet computed. */
+    std::size_t pending() const;
+
+  private:
+    friend class CtFuture;
+
+    enum class Kind { kInput, kAdd, kSub, kMul, kRelin, kModSwitch };
+
+    struct Node {
+        Kind kind;
+        std::size_t a = 0;  // operand node indices (kind-dependent)
+        std::size_t b = 0;
+        bool done = false;
+        Ciphertext value;
+    };
+
+    CtFuture Enqueue(Kind kind, std::size_t a, std::size_t b);
+    std::size_t CheckOwned(const CtFuture &f) const;
+
+    const BgvScheme &scheme_;
+    const RelinKey *rk_;
+    // Deque, not vector: references returned by CtFuture::get() must
+    // stay valid while the graph keeps growing (ops append nodes).
+    std::deque<Node> nodes_;
+};
+
+}  // namespace hentt::he
+
+#endif  // HENTT_HE_HE_GRAPH_H

@@ -60,22 +60,29 @@ HeContext::HeContext(const HeParams &params) : params_(params)
             std::make_shared<RnsBasis>(std::move(prefix)));
     }
 
-    // q_hat[j][k] = (Q / q_j) mod q_k, computed without big integers:
-    // the product of all primes except q_j, reduced mod q_k on the fly.
+    // q_hat[L][j][k] = (Q_L / q_j) mod q_k, computed without big
+    // integers: the product of the first L primes except q_j, reduced
+    // mod q_k on the fly. One table per level of the modulus chain so
+    // relinearization keys can be generated (and digits decomposed) at
+    // every level.
     const RnsBasis &b = ntt_ctx_->basis();
     const std::size_t np = b.prime_count();
-    q_hat_.assign(np * np, 1);
-    for (std::size_t j = 0; j < np; ++j) {
-        for (std::size_t k = 0; k < np; ++k) {
-            u64 acc = 1;
-            const u64 pk = b.prime(k);
-            for (std::size_t i = 0; i < np; ++i) {
-                if (i == j) {
-                    continue;
+    q_hat_levels_.resize(np);
+    for (std::size_t level = 1; level <= np; ++level) {
+        std::vector<u64> &table = q_hat_levels_[level - 1];
+        table.assign(level * level, 1);
+        for (std::size_t j = 0; j < level; ++j) {
+            for (std::size_t k = 0; k < level; ++k) {
+                u64 acc = 1;
+                const u64 pk = b.prime(k);
+                for (std::size_t i = 0; i < level; ++i) {
+                    if (i == j) {
+                        continue;
+                    }
+                    acc = MulModNative(acc, b.prime(i) % pk, pk);
                 }
-                acc = MulModNative(acc, b.prime(i) % pk, pk);
+                table[j * level + k] = acc;
             }
-            q_hat_[j * np + k] = acc;
         }
     }
 }

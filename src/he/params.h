@@ -59,10 +59,27 @@ class HeContext
     std::shared_ptr<const RnsNttContext>
     level_context(std::size_t prime_count) const;
 
-    /** Q/q_j mod q_k table used by relinearization (gadget vector). */
+    /** Q/q_j mod q_k table used by relinearization (gadget vector),
+     *  at the top level of the modulus chain. */
     u64 q_hat(std::size_t j, std::size_t k) const
     {
-        return q_hat_[j * basis().prime_count() + k];
+        return q_hat_level(params_.prime_count, j, k);
+    }
+
+    /**
+     * Per-level gadget table: (Q_L / q_j) mod q_k where Q_L is the
+     * product of the first @p level primes. Relinearization of a
+     * ciphertext that has been modulus-switched down the chain
+     * decomposes against this level's gadget, so key-switching keys
+     * exist for every level (see RelinKey).
+     *
+     * @param level primes remaining (1 <= level <= prime_count)
+     * @param j     digit index (j < level)
+     * @param k     residue row (k < level)
+     */
+    u64 q_hat_level(std::size_t level, std::size_t j, std::size_t k) const
+    {
+        return q_hat_levels_[level - 1][j * level + k];
     }
 
   private:
@@ -70,7 +87,9 @@ class HeContext
     std::shared_ptr<const RnsNttContext> ntt_ctx_;
     // levels_[i] serves prime_count = i + 1; levels_.back() == ntt_ctx_.
     std::vector<std::shared_ptr<const RnsNttContext>> levels_;
-    std::vector<u64> q_hat_;  // row-major [j][k] = (Q / q_j) mod q_k
+    // q_hat_levels_[L-1] is the L x L row-major table
+    // [j][k] = (Q_L / q_j) mod q_k.
+    std::vector<std::vector<u64>> q_hat_levels_;
 };
 
 }  // namespace hentt::he

@@ -5,10 +5,11 @@
 namespace hentt::he {
 
 RnsPoly
-SampleUniform(const HeContext &ctx, Xoshiro256 &rng)
+SampleUniformAt(std::shared_ptr<const RnsNttContext> level,
+                Xoshiro256 &rng)
 {
-    RnsPoly out(ctx.ntt_context());
-    const RnsBasis &basis = ctx.basis();
+    RnsPoly out(std::move(level));
+    const RnsBasis &basis = out.context().basis();
     for (std::size_t i = 0; i < basis.prime_count(); ++i) {
         const u64 p = basis.prime(i);
         for (u64 &x : out.row(i)) {
@@ -16,6 +17,12 @@ SampleUniform(const HeContext &ctx, Xoshiro256 &rng)
         }
     }
     return out;
+}
+
+RnsPoly
+SampleUniform(const HeContext &ctx, Xoshiro256 &rng)
+{
+    return SampleUniformAt(ctx.ntt_context(), rng);
 }
 
 void
@@ -48,17 +55,24 @@ SampleTernary(const HeContext &ctx, Xoshiro256 &rng)
 }
 
 RnsPoly
-SampleError(const HeContext &ctx, Xoshiro256 &rng)
+SampleErrorAt(std::shared_ptr<const RnsNttContext> level, double sigma,
+              Xoshiro256 &rng)
 {
-    RnsPoly out(ctx.ntt_context());
-    const double sigma = ctx.params().noise_stddev;
-    for (std::size_t k = 0; k < ctx.degree(); ++k) {
+    RnsPoly out(std::move(level));
+    for (std::size_t k = 0; k < out.degree(); ++k) {
         const long long e =
             static_cast<long long>(std::llround(rng.NextGaussian() *
                                                 sigma));
         SetSignedCoefficient(out, k, e);
     }
     return out;
+}
+
+RnsPoly
+SampleError(const HeContext &ctx, Xoshiro256 &rng)
+{
+    return SampleErrorAt(ctx.ntt_context(), ctx.params().noise_stddev,
+                         rng);
 }
 
 }  // namespace hentt::he

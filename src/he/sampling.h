@@ -16,11 +16,21 @@ namespace hentt::he {
  *  CRT). Coefficient domain. */
 RnsPoly SampleUniform(const HeContext &ctx, Xoshiro256 &rng);
 
+/** Uniform element of R_{Q_L} at an explicit level of the modulus
+ *  chain (per-level key material). Coefficient domain. */
+RnsPoly SampleUniformAt(std::shared_ptr<const RnsNttContext> level,
+                        Xoshiro256 &rng);
+
 /** Ternary polynomial with coefficients in {-1, 0, 1}. */
 RnsPoly SampleTernary(const HeContext &ctx, Xoshiro256 &rng);
 
 /** Rounded-Gaussian error polynomial (sigma from the params). */
 RnsPoly SampleError(const HeContext &ctx, Xoshiro256 &rng);
+
+/** Rounded-Gaussian error polynomial at an explicit level of the
+ *  modulus chain. Coefficient domain. */
+RnsPoly SampleErrorAt(std::shared_ptr<const RnsNttContext> level,
+                      double sigma, Xoshiro256 &rng);
 
 /** Encode a signed value into every RNS row of coefficient k. */
 void SetSignedCoefficient(RnsPoly &poly, std::size_t k, long long value);

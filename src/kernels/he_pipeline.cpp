@@ -25,6 +25,44 @@ HadamardKernel(std::size_t n, std::size_t np)
     return k;
 }
 
+HeRelinEstimate
+EstimateRelinearize(const gpu::Simulator &sim, const SmemConfig &ntt_config,
+                    std::size_t np, bool eval_domain_keys)
+{
+    const SmemKernel ntt(ntt_config);
+    const std::size_t n = ntt_config.n();
+
+    // Transform counts in single-row NTTs; each batch of np rows costs
+    // one Plan(np). Eval-domain keys: forward only the np CRT digits
+    // (np batches) and invert the two accumulators (2 batches). The
+    // coefficient-domain formulation re-transforms digits and keys per
+    // gadget product (4*np batches forward, 2*np inverse).
+    const std::size_t fwd_batches = eval_domain_keys ? np : 4 * np;
+    const std::size_t inv_batches = eval_domain_keys ? 2 : 2 * np;
+    gpu::LaunchPlan transforms;
+    for (std::size_t i = 0; i < fwd_batches + inv_batches; ++i) {
+        for (const auto &k : ntt.Plan(np)) {
+            transforms.push_back(k);
+        }
+    }
+
+    // Element-wise passes: np digit lifts plus 2*np gadget products;
+    // the coefficient-domain path also streams 2*np accumulation adds.
+    gpu::LaunchPlan elementwise;
+    const std::size_t passes = eval_domain_keys ? 3 * np : 5 * np;
+    for (std::size_t i = 0; i < passes; ++i) {
+        elementwise.push_back(HadamardKernel(n, np));
+    }
+
+    HeRelinEstimate est;
+    est.ntt = sim.Estimate(transforms);
+    est.elementwise = sim.Estimate(elementwise);
+    est.total_us = est.ntt.total_us + est.elementwise.total_us;
+    est.forward_transforms = fwd_batches * np;
+    est.inverse_transforms = inv_batches * np;
+    return est;
+}
+
 HeMultiplyEstimate
 EstimateHeMultiply(const gpu::Simulator &sim, const SmemConfig &ntt_config,
                    std::size_t np)

@@ -43,6 +43,31 @@ HeMultiplyEstimate EstimateHeMultiply(const gpu::Simulator &sim,
                                       const SmemConfig &ntt_config,
                                       std::size_t np);
 
+/** Cost breakdown of one relinearization (key switch) on the model. */
+struct HeRelinEstimate {
+    gpu::TimeEstimate ntt;         ///< digit/key transforms
+    gpu::TimeEstimate elementwise; ///< digit lift + gadget accumulation
+    double total_us = 0;
+    std::size_t forward_transforms = 0;  ///< single-row forward NTTs
+    std::size_t inverse_transforms = 0;  ///< single-row inverse NTTs
+};
+
+/**
+ * Estimate a relinearization at (n, np) with the given SMEM NTT
+ * configuration — the model counterpart of the CPU execution layer's
+ * eval-domain key optimisation (he/ciphertext_batch.h).
+ *
+ * With @p eval_domain_keys the key parts are stored NTT-transformed at
+ * keygen, so the op forwards only the np CRT digits (np^2 row
+ * transforms) and inverts the two evaluation-domain accumulators (2*np
+ * rows). The coefficient-domain formulation re-transforms keys and
+ * digits per gadget product (4*np^2 forward + 2*np^2 inverse rows).
+ */
+HeRelinEstimate EstimateRelinearize(const gpu::Simulator &sim,
+                                    const SmemConfig &ntt_config,
+                                    std::size_t np,
+                                    bool eval_domain_keys);
+
 }  // namespace hentt::kernels
 
 #endif  // HENTT_KERNELS_HE_PIPELINE_H

@@ -1,8 +1,30 @@
 #include "ntt/ntt_engine.h"
 
+#include <atomic>
 #include <stdexcept>
 
 namespace hentt {
+
+namespace {
+
+std::atomic<u64> g_forward_count{0};
+std::atomic<u64> g_inverse_count{0};
+
+}  // namespace
+
+NttOpCounts
+GetNttOpCounts()
+{
+    return {g_forward_count.load(std::memory_order_relaxed),
+            g_inverse_count.load(std::memory_order_relaxed)};
+}
+
+void
+ResetNttOpCounts()
+{
+    g_forward_count.store(0, std::memory_order_relaxed);
+    g_inverse_count.store(0, std::memory_order_relaxed);
+}
 
 NttEngine::NttEngine(std::size_t n, u64 p, std::size_t ot_base)
     : table_(n, p), ot_(n, p, std::min(ot_base, 2 * n)), reducer_(p)
@@ -19,9 +41,17 @@ NttEngine::stockham() const
 }
 
 void
+NttEngine::ForwardLazy(std::span<u64> a) const
+{
+    g_forward_count.fetch_add(1, std::memory_order_relaxed);
+    NttRadix2LazyKeepRange(a, table_);
+}
+
+void
 NttEngine::Forward(std::span<u64> a, NttAlgorithm algo, std::size_t radix,
                    unsigned ot_stages) const
 {
+    g_forward_count.fetch_add(1, std::memory_order_relaxed);
     switch (algo) {
       case NttAlgorithm::kRadix2Lazy:
         NttRadix2Lazy(a, table_);
@@ -54,6 +84,7 @@ NttEngine::Forward(std::span<u64> a, NttAlgorithm algo, std::size_t radix,
 void
 NttEngine::Inverse(std::span<u64> a) const
 {
+    g_inverse_count.fetch_add(1, std::memory_order_relaxed);
     InttRadix2Lazy(a, table_);
 }
 

@@ -76,6 +76,17 @@ class NttEngine
                  NttAlgorithm algo = NttAlgorithm::kRadix2Lazy,
                  std::size_t radix = 16, unsigned ot_stages = 1) const;
 
+    /**
+     * Forward lazy NTT that keeps outputs in the lazy [0, 4p) range
+     * (skips the final fold pass of kRadix2Lazy). Use when the consumer
+     * is a Barrett element-wise product, which tolerates the 16p^2
+     * operand products — the end-to-end lazy pipeline of the batched
+     * execution layer.
+     *
+     * @param a in/out coefficient span; outputs are < 4p.
+     */
+    void ForwardLazy(std::span<u64> a) const;
+
     /** Inverse negacyclic NTT, in place (expects kRadix2-family order). */
     void Inverse(std::span<u64> a) const;
 
@@ -101,6 +112,25 @@ class NttEngine
     mutable std::once_flag stockham_once_;
     mutable std::unique_ptr<StockhamNtt> stockham_;
 };
+
+/**
+ * Process-wide transform counters, one increment per single-row N-point
+ * transform executed through NttEngine (any algorithm). The relaxed
+ * atomic increments cost nothing next to an N log N transform; tests
+ * use them to pin down the NTT budget of an HE op (e.g. that
+ * eval-domain relinearization keys cut the forward count from 4*np^2
+ * to np^2 per Relinearize).
+ */
+struct NttOpCounts {
+    u64 forward = 0;  ///< forward transforms (incl. lazy keep-range)
+    u64 inverse = 0;  ///< inverse transforms
+};
+
+/** Snapshot of the process-wide transform counters. */
+NttOpCounts GetNttOpCounts();
+
+/** Reset the process-wide transform counters to zero. */
+void ResetNttOpCounts();
 
 }  // namespace hentt
 

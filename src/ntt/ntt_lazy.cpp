@@ -19,7 +19,7 @@ CheckSize(std::span<u64> a, const TwiddleTable &table)
 }  // namespace
 
 void
-NttRadix2Lazy(std::span<u64> a, const TwiddleTable &table)
+NttRadix2LazyKeepRange(std::span<u64> a, const TwiddleTable &table)
 {
     CheckSize(a, table);
     const std::size_t n = a.size();
@@ -37,15 +37,16 @@ NttRadix2Lazy(std::span<u64> a, const TwiddleTable &table)
         }
         t >>= 1;
     }
+}
+
+void
+NttRadix2Lazy(std::span<u64> a, const TwiddleTable &table)
+{
+    NttRadix2LazyKeepRange(a, table);
     // Outputs are < 4p; fold back into [0, p).
-    const u64 two_p = 2 * p;
+    const u64 p = table.modulus();
     for (u64 &x : a) {
-        if (x >= two_p) {
-            x -= two_p;
-        }
-        if (x >= p) {
-            x -= p;
-        }
+        x = FoldLazy(x, p);
     }
 }
 

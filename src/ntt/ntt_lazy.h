@@ -30,6 +30,19 @@ namespace hentt {
 void NttRadix2Lazy(std::span<u64> a, const TwiddleTable &table);
 
 /**
+ * Forward lazy NTT that *keeps* the [0, 4p) output range: identical to
+ * NttRadix2Lazy except the final fold-to-[0, p) pass is skipped. This
+ * is the producer half of the end-to-end lazy pipeline: when the
+ * consumer is an element-wise Barrett product (which tolerates 16p^2
+ * operand products for p < 2^62), the N-element correction pass is pure
+ * overhead and can be elided across fused op chains.
+ *
+ * @post every element of @p a is < 4p and congruent (mod p) to the
+ *       fully reduced NttRadix2Lazy output.
+ */
+void NttRadix2LazyKeepRange(std::span<u64> a, const TwiddleTable &table);
+
+/**
  * Inverse with lazy butterflies, fully reduced natural-order output.
  * Bit-identical to InttRadix2.
  */

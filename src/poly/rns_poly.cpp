@@ -1,6 +1,8 @@
 #include "poly/rns_poly.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "common/thread_pool.h"
 #include "ntt/ntt_registry.h"
@@ -58,15 +60,123 @@ RnsPoly::ToEvaluation()
 }
 
 void
+RnsPoly::ToEvaluationLazy()
+{
+    if (domain_ != Domain::kCoefficient) {
+        throw std::logic_error("polynomial already in evaluation domain");
+    }
+    ParallelFor(limb_count_, degree(), [this](std::size_t i) {
+        ctx_->engine(i).ForwardLazy(row(i));
+    });
+    domain_ = Domain::kEvaluation;
+    lazy_ = true;
+}
+
+void
+RnsPoly::ReduceLazy()
+{
+    if (!lazy_) {
+        return;
+    }
+    ParallelFor(limb_count_, degree(), [this](std::size_t i) {
+        const u64 p = ctx_->basis().prime(i);
+        for (u64 &x : row(i)) {
+            x = FoldLazy(x, p);
+        }
+    });
+    lazy_ = false;
+}
+
+void
 RnsPoly::ToCoefficient()
 {
     if (domain_ != Domain::kEvaluation) {
         throw std::logic_error("polynomial already in coefficient domain");
     }
-    ParallelFor(limb_count_, degree(), [this](std::size_t i) {
+    const bool was_lazy = lazy_;
+    ParallelFor(limb_count_, degree(), [&](std::size_t i) {
+        if (was_lazy) {
+            const u64 p = ctx_->basis().prime(i);
+            for (u64 &x : row(i)) {
+                x = FoldLazy(x, p);
+            }
+        }
         ctx_->engine(i).Inverse(row(i));
     });
     domain_ = Domain::kCoefficient;
+    lazy_ = false;
+}
+
+void
+RnsPoly::BatchToEvaluation(std::span<RnsPoly *const> polys, bool lazy)
+{
+    std::size_t total = 0;
+    std::size_t max_degree = 1;
+    for (RnsPoly *poly : polys) {
+        if (poly->domain_ != Domain::kCoefficient) {
+            throw std::logic_error(
+                "batch forward: polynomial already in evaluation domain");
+        }
+        total += poly->limb_count_;
+        max_degree = std::max(max_degree, poly->degree());
+    }
+    // Flatten (poly, limb) into one index space so the whole set is a
+    // single pool dispatch.
+    std::vector<std::pair<RnsPoly *, std::size_t>> rows;
+    rows.reserve(total);
+    for (RnsPoly *poly : polys) {
+        for (std::size_t i = 0; i < poly->limb_count_; ++i) {
+            rows.emplace_back(poly, i);
+        }
+    }
+    ParallelFor(rows.size(), max_degree, [&](std::size_t idx) {
+        auto [poly, i] = rows[idx];
+        if (lazy) {
+            poly->ctx_->engine(i).ForwardLazy(poly->row(i));
+        } else {
+            poly->ctx_->engine(i).Forward(poly->row(i));
+        }
+    });
+    for (RnsPoly *poly : polys) {
+        poly->domain_ = Domain::kEvaluation;
+        poly->lazy_ = lazy;
+    }
+}
+
+void
+RnsPoly::BatchToCoefficient(std::span<RnsPoly *const> polys)
+{
+    std::size_t total = 0;
+    std::size_t max_degree = 1;
+    for (RnsPoly *poly : polys) {
+        if (poly->domain_ != Domain::kEvaluation) {
+            throw std::logic_error(
+                "batch inverse: polynomial already in coefficient domain");
+        }
+        total += poly->limb_count_;
+        max_degree = std::max(max_degree, poly->degree());
+    }
+    std::vector<std::pair<RnsPoly *, std::size_t>> rows;
+    rows.reserve(total);
+    for (RnsPoly *poly : polys) {
+        for (std::size_t i = 0; i < poly->limb_count_; ++i) {
+            rows.emplace_back(poly, i);
+        }
+    }
+    ParallelFor(rows.size(), max_degree, [&](std::size_t idx) {
+        auto [poly, i] = rows[idx];
+        if (poly->lazy_) {
+            const u64 p = poly->ctx_->basis().prime(i);
+            for (u64 &x : poly->row(i)) {
+                x = FoldLazy(x, p);
+            }
+        }
+        poly->ctx_->engine(i).Inverse(poly->row(i));
+    });
+    for (RnsPoly *poly : polys) {
+        poly->domain_ = Domain::kCoefficient;
+        poly->lazy_ = false;
+    }
 }
 
 void
@@ -84,12 +194,15 @@ RnsPoly &
 RnsPoly::operator+=(const RnsPoly &other)
 {
     CheckCompatible(other);
+    ReduceLazy();  // AddMod needs operands < p
+    const bool src_lazy = other.lazy_;
     ParallelFor(limb_count_, degree(), [&](std::size_t i) {
         const u64 p = ctx_->basis().prime(i);
         const std::span<u64> dst = row(i);
         const std::span<const u64> src = other.row(i);
         for (std::size_t k = 0; k < dst.size(); ++k) {
-            dst[k] = AddMod(dst[k], src[k], p);
+            const u64 s = src_lazy ? FoldLazy(src[k], p) : src[k];
+            dst[k] = AddMod(dst[k], s, p);
         }
     });
     return *this;
@@ -99,12 +212,15 @@ RnsPoly &
 RnsPoly::operator-=(const RnsPoly &other)
 {
     CheckCompatible(other);
+    ReduceLazy();  // SubMod needs operands < p
+    const bool src_lazy = other.lazy_;
     ParallelFor(limb_count_, degree(), [&](std::size_t i) {
         const u64 p = ctx_->basis().prime(i);
         const std::span<u64> dst = row(i);
         const std::span<const u64> src = other.row(i);
         for (std::size_t k = 0; k < dst.size(); ++k) {
-            dst[k] = SubMod(dst[k], src[k], p);
+            const u64 s = src_lazy ? FoldLazy(src[k], p) : src[k];
+            dst[k] = SubMod(dst[k], s, p);
         }
     });
     return *this;
@@ -118,6 +234,9 @@ RnsPoly::operator*=(const RnsPoly &other)
         throw std::logic_error("Hadamard product requires evaluation "
                                "domain; call ToEvaluation() first");
     }
+    // Barrett tolerates lazy [0, 4p) operands (16p^2 < 2^128 for
+    // p < 2^62), so neither side needs the fold pass; the reduced
+    // product clears the lazy range.
     ParallelFor(limb_count_, degree(), [&](std::size_t i) {
         const BarrettReducer &red = ctx_->reducer(i);
         const std::span<u64> dst = row(i);
@@ -126,6 +245,7 @@ RnsPoly::operator*=(const RnsPoly &other)
             dst[k] = red.MulMod(dst[k], src[k]);
         }
     });
+    lazy_ = false;
     return *this;
 }
 
@@ -162,6 +282,7 @@ RnsPoly::MultiplyAccumulate(const RnsPoly &a, const RnsPoly &b)
         throw std::logic_error("MultiplyAccumulate requires evaluation "
                                "domain");
     }
+    ReduceLazy();  // the accumulator addend must stay < p
     ParallelFor(limb_count_, degree(), [&](std::size_t i) {
         const BarrettReducer &red = ctx_->reducer(i);
         const std::span<u64> dst = row(i);
@@ -176,6 +297,8 @@ RnsPoly::MultiplyAccumulate(const RnsPoly &a, const RnsPoly &b)
 void
 RnsPoly::ScalarMulInPlace(u64 scalar)
 {
+    // MulModShoup's residual is < 2p for any 64-bit multiplicand, so
+    // lazy [0, 4p) inputs are reduced correctly and the output is < p.
     ParallelFor(limb_count_, degree(), [&](std::size_t i) {
         const u64 p = ctx_->basis().prime(i);
         const u64 s = scalar % p;
@@ -184,6 +307,7 @@ RnsPoly::ScalarMulInPlace(u64 scalar)
             x = MulModShoup(x, s, s_bar, p);
         }
     });
+    lazy_ = false;
 }
 
 RnsPoly
@@ -208,6 +332,7 @@ RnsPoly::ScalarMulRowsInPlace(std::span<const u64> row_scalars)
             x = MulModShoup(x, s, s_bar, p);
         }
     });
+    lazy_ = false;
 }
 
 RnsPoly
@@ -221,11 +346,11 @@ RnsPoly::Multiply(const RnsPoly &a, const RnsPoly &b)
     }
     RnsPoly fa = a;
     if (fa.domain() == Domain::kCoefficient) {
-        fa.ToEvaluation();
+        fa.ToEvaluationLazy();  // the Hadamard consumer tolerates < 4p
     }
     if (b.domain() == Domain::kCoefficient) {
         RnsPoly fb = b;
-        fb.ToEvaluation();
+        fb.ToEvaluationLazy();
         fa *= fb;
     } else {
         fa *= b;

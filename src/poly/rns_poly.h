@@ -31,6 +31,10 @@
 
 namespace hentt {
 
+namespace he::detail {
+struct RnsPolyBatchAccess;  // batched-kernel backdoor (ciphertext_batch)
+}  // namespace he::detail
+
 /**
  * Shared per-basis NTT context: one engine per prime (obtained from the
  * process-wide NttEngineRegistry, so twiddle tables are built once per
@@ -97,9 +101,47 @@ class RnsPoly
     /** In-place forward NTT on every row (parallel across limbs).
      *  @pre coefficient domain. */
     void ToEvaluation();
+
+    /**
+     * Forward NTT that keeps rows in the lazy [0, 4p) range (the final
+     * fold pass of the lazy butterfly pipeline is skipped). The
+     * polynomial enters the evaluation domain with lazy() == true;
+     * Hadamard products (`*=`, MultiplyAccumulate) accept lazy operands
+     * because Barrett reduction tolerates the 16p^2 products, while
+     * additive ops and ToCoefficient() reduce first via ReduceLazy().
+     * @pre coefficient domain.
+     */
+    void ToEvaluationLazy();
+
     /** In-place inverse NTT on every row (parallel across limbs).
-     *  @pre evaluation domain. */
+     *  @pre evaluation domain (lazy rows are folded first). */
     void ToCoefficient();
+
+    /** Whether rows are in the lazy [0, 4p) range (see
+     *  ToEvaluationLazy). */
+    bool lazy() const { return lazy_; }
+
+    /** Fold lazy [0, 4p) rows back into [0, p); no-op when !lazy(). */
+    void ReduceLazy();
+
+    /**
+     * Forward-transform every polynomial in @p polys with a single pool
+     * dispatch spanning all polynomials x limbs — the ciphertext-level
+     * batching step: one HE op (or one op-graph wavefront) issues one
+     * dispatch instead of one per RnsPoly.
+     *
+     * @param polys polynomials already in coefficient domain
+     * @param lazy  when true, rows are left in the lazy [0, 4p) range
+     *              (as ToEvaluationLazy)
+     */
+    static void BatchToEvaluation(std::span<RnsPoly *const> polys,
+                                  bool lazy = false);
+
+    /** Inverse-transform every polynomial in @p polys with a single
+     *  pool dispatch spanning all polynomials x limbs.
+     *  @pre every polynomial in evaluation domain (lazy rows are folded
+     *  first). */
+    static void BatchToCoefficient(std::span<RnsPoly *const> polys);
 
     /** Element-wise in-place ring operations (any matching domain). */
     RnsPoly &operator+=(const RnsPoly &other);
@@ -146,12 +188,29 @@ class RnsPoly
     std::vector<BigInt> ToBigIntCoefficients() const;
 
   private:
+    // The batched execution layer fills evaluation-domain rows through
+    // external kernels and then relabels the state via this friend
+    // (see OverrideDomain); no other caller can bypass the transforms.
+    friend struct he::detail::RnsPolyBatchAccess;
+
+    /**
+     * Relabel the domain/lazy state after an external kernel filled
+     * the rows directly. Performs no transform and no validation —
+     * reachable only through he::detail::RnsPolyBatchAccess.
+     */
+    void OverrideDomain(Domain d, bool lazy = false)
+    {
+        domain_ = d;
+        lazy_ = lazy;
+    }
+
     void CheckCompatible(const RnsPoly &other) const;
 
     std::shared_ptr<const RnsNttContext> ctx_;
     std::size_t limb_count_;
     std::vector<u64> data_;  // limb-major, limb_count_ x degree
     Domain domain_ = Domain::kCoefficient;
+    bool lazy_ = false;  // rows in [0, 4p) instead of [0, p)
 };
 
 }  // namespace hentt

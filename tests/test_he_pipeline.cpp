@@ -55,5 +55,23 @@ TEST(EstimateHeMultiply, SevenTransformsWorthOfTraffic)
     EXPECT_NEAR(est.ntt.dram_bytes, 7 * one, 1.0);
 }
 
+TEST(EstimateRelinearize, EvalDomainKeysCutTransformsAndTime)
+{
+    const gpu::Simulator sim;
+    const auto cfg = FindBestSmemConfig(sim, 1 << 14, 8, 8, 0).config;
+    const auto eval = EstimateRelinearize(sim, cfg, 8, true);
+    const auto coeff = EstimateRelinearize(sim, cfg, 8, false);
+    // np^2 digit forwards vs. 4*np^2 re-transforms; 2*np inverse rows
+    // vs. 2*np^2.
+    EXPECT_EQ(eval.forward_transforms, 8u * 8u);
+    EXPECT_EQ(coeff.forward_transforms, 4u * 8u * 8u);
+    EXPECT_EQ(eval.inverse_transforms, 2u * 8u);
+    EXPECT_EQ(coeff.inverse_transforms, 2u * 8u * 8u);
+    EXPECT_LT(eval.forward_transforms, coeff.forward_transforms);
+    EXPECT_LT(eval.total_us, coeff.total_us);
+    EXPECT_NEAR(eval.total_us,
+                eval.ntt.total_us + eval.elementwise.total_us, 1e-9);
+}
+
 }  // namespace
 }  // namespace hentt::kernels

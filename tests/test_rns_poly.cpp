@@ -146,5 +146,101 @@ TEST_F(RnsPolyTest, RejectsCoefficientsAboveQ)
     EXPECT_THROW(RnsPoly(ctx_, coeffs), std::invalid_argument);
 }
 
+TEST_F(RnsPolyTest, LazyForwardIsCongruentAndFoldsToStrict)
+{
+    RnsPoly strict = Random(31);
+    RnsPoly lazy = strict;
+    strict.ToEvaluation();
+    lazy.ToEvaluationLazy();
+    EXPECT_TRUE(lazy.lazy());
+    EXPECT_EQ(lazy.domain(), RnsPoly::Domain::kEvaluation);
+    for (std::size_t i = 0; i < np_; ++i) {
+        const u64 p = ctx_->basis().prime(i);
+        for (const u64 x : lazy.row(i)) {
+            EXPECT_LT(x, 4 * p);
+        }
+    }
+    lazy.ReduceLazy();
+    EXPECT_FALSE(lazy.lazy());
+    for (std::size_t i = 0; i < np_; ++i) {
+        EXPECT_TRUE(RowsEqual(lazy, strict, i));
+    }
+}
+
+TEST_F(RnsPolyTest, LazyHadamardBitIdenticalToStrict)
+{
+    const RnsPoly a = Random(32);
+    const RnsPoly b = Random(33);
+    RnsPoly sa = a, sb = b;
+    sa.ToEvaluation();
+    sb.ToEvaluation();
+    const RnsPoly strict = sa * sb;
+    RnsPoly la = a, lb = b;
+    la.ToEvaluationLazy();
+    lb.ToEvaluationLazy();
+    const RnsPoly prod = la * lb;  // Barrett tolerates [0, 4p) inputs
+    EXPECT_FALSE(prod.lazy());
+    for (std::size_t i = 0; i < np_; ++i) {
+        EXPECT_TRUE(RowsEqual(prod, strict, i));
+    }
+}
+
+TEST_F(RnsPolyTest, AdditiveOpsFoldLazyOperands)
+{
+    const RnsPoly a = Random(34);
+    const RnsPoly b = Random(35);
+    RnsPoly sa = a, sb = b;
+    sa.ToEvaluation();
+    sb.ToEvaluation();
+    RnsPoly strict = sa;
+    strict += sb;
+    RnsPoly la = a, lb = b;
+    la.ToEvaluationLazy();
+    lb.ToEvaluationLazy();
+    la += lb;  // both operands fold before AddMod
+    EXPECT_FALSE(la.lazy());
+    for (std::size_t i = 0; i < np_; ++i) {
+        EXPECT_TRUE(RowsEqual(la, strict, i));
+    }
+}
+
+TEST_F(RnsPolyTest, LazyRoundTripThroughInverse)
+{
+    const RnsPoly a = Random(36);
+    RnsPoly lazy = a;
+    lazy.ToEvaluationLazy();
+    lazy.ToCoefficient();  // folds, then inverts
+    for (std::size_t i = 0; i < np_; ++i) {
+        EXPECT_TRUE(RowsEqual(lazy, a, i));
+    }
+}
+
+TEST_F(RnsPolyTest, BatchTransformsMatchIndividual)
+{
+    RnsPoly a = Random(37);
+    RnsPoly b = Random(38);
+    RnsPoly c = Random(39);
+    RnsPoly ba = a, bb = b, bc = c;
+    a.ToEvaluation();
+    b.ToEvaluation();
+    c.ToEvaluation();
+
+    RnsPoly *polys[] = {&ba, &bb, &bc};
+    RnsPoly::BatchToEvaluation(polys);
+    for (std::size_t i = 0; i < np_; ++i) {
+        EXPECT_TRUE(RowsEqual(ba, a, i));
+        EXPECT_TRUE(RowsEqual(bb, b, i));
+        EXPECT_TRUE(RowsEqual(bc, c, i));
+    }
+    EXPECT_THROW(RnsPoly::BatchToEvaluation(polys), std::logic_error);
+
+    a.ToCoefficient();
+    RnsPoly::BatchToCoefficient(polys);
+    for (std::size_t i = 0; i < np_; ++i) {
+        EXPECT_TRUE(RowsEqual(ba, a, i));
+    }
+    EXPECT_THROW(RnsPoly::BatchToCoefficient(polys), std::logic_error);
+}
+
 }  // namespace
 }  // namespace hentt
