@@ -15,18 +15,27 @@
  *   graph   — HeOpGraph running independent Mul+Relin chains in one
  *             wavefront, so their stages share dispatches.
  *
- * Emits BENCH_he_pipeline.json with the measured times, the speedup,
- * and the per-path forward-NTT counts for one Relinearize (the
- * acceptance criterion: strictly fewer forward NTTs with eval-domain
- * keys).
+ * PR 3 adds the fused Relinearize→ModSwitch stage: the same chain
+ * continued one step down the modulus chain, measured unfused
+ * (Relinearize then ModSwitch — the PR 2 path) against the fused
+ * BatchRelinModSwitch, with the element-wise pass counts and the
+ * scratch-arena steady-state allocation count machine-checked.
+ *
+ * Emits BENCH_he_pipeline.json with the measured times, the speedups,
+ * the per-path forward-NTT counts for one Relinearize (the PR 2
+ * acceptance criterion), and the fused-stage pass/alloc counts (the
+ * PR 3 criterion: strictly fewer standalone element-wise sweeps and
+ * zero steady-state heap allocations).
  *
  * Usage: bench_he_pipeline [--json PATH] [--threads T] [--reps R]
  */
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -36,6 +45,55 @@
 #include "he/ciphertext_batch.h"
 #include "he/he_graph.h"
 #include "ntt/ntt_engine.h"
+
+// ---------------------------------------------------------------------
+// Allocation counter: global operator new replacement so the bench can
+// prove the steady-state fused stage does not touch the heap (same
+// counter as bench_rns_batch).
+// ---------------------------------------------------------------------
+namespace {
+std::atomic<long long> g_alloc_count{0};
+}
+
+void *
+operator new(std::size_t size)
+{
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size)) {
+        return p;
+    }
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
 
 namespace hentt::he {
 namespace {
@@ -258,6 +316,86 @@ BenchMain(int argc, char **argv)
     bench::Ratio("batched vs pr1", pr1_ns / batched_ns);
     bench::Ratio("graph vs pr1", pr1_ns / graph_per_op_ns);
 
+    // ------------------------------------------------------------------
+    // Fused Relinearize→ModSwitch vs the unfused PR 2 chain (PR 3).
+    // ------------------------------------------------------------------
+    bench::Section("Relinearize -> ModSwitch (fused vs unfused)");
+    // Interleaved, steady-state measurement: both paths run through the
+    // batch kernels with reused outputs (warm arena), alternating
+    // inside one rep loop so slow container drift hits both equally;
+    // the saved passes are a percent-level effect, so triple the reps.
+    double unfused_ms_ns = 0.0, fused_ms_ns = 0.0;
+    {
+        Ciphertext relin_out, ms_out, fused_out;
+        const Ciphertext *src[] = {&prod};
+        Ciphertext *relin_dst[] = {&relin_out};
+        Ciphertext *ms_dst[] = {&ms_out};
+        Ciphertext *fused_dst[] = {&fused_out};
+        const int total = reps * 3;
+        for (int r = 0; r < total + 2; ++r) {  // two warm-up reps
+            const auto t0 = Clock::now();
+            BatchRelinearize(*ctx, rk, src, relin_dst);
+            {
+                const Ciphertext *ms_src[] = {&relin_out};
+                BatchModSwitch(*ctx, ms_src, ms_dst);
+            }
+            const auto t1 = Clock::now();
+            BatchRelinModSwitch(*ctx, rk, src, fused_dst);
+            const auto t2 = Clock::now();
+            if (r < 2) {
+                continue;
+            }
+            const double u = Elapsed_ns(t0, t1);
+            const double f = Elapsed_ns(t1, t2);
+            if (unfused_ms_ns == 0.0 || u < unfused_ms_ns) {
+                unfused_ms_ns = u;
+            }
+            if (fused_ms_ns == 0.0 || f < fused_ms_ns) {
+                fused_ms_ns = f;
+            }
+        }
+    }
+    bench::Row("unfused (PR 2 chain)", unfused_ms_ns / 1e3, "us");
+    bench::Row("fused (one stage)", fused_ms_ns / 1e3, "us");
+    bench::Ratio("fused vs unfused", unfused_ms_ns / fused_ms_ns);
+
+    // Standalone element-wise sweeps (destination limb rows) — the
+    // quantity the fusion removes; transforms are identical either way.
+    ResetNttOpCounts();
+    (void)scheme.ModSwitch(scheme.Relinearize(prod, rk));
+    const NttOpCounts unfused_counts = GetNttOpCounts();
+    ResetNttOpCounts();
+    (void)scheme.RelinModSwitch(prod, rk);
+    const NttOpCounts fused_counts = GetNttOpCounts();
+    std::printf("  elementwise rows: unfused %llu, fused %llu "
+                "(saved %llu)\n",
+                static_cast<unsigned long long>(
+                    unfused_counts.elementwise),
+                static_cast<unsigned long long>(fused_counts.elementwise),
+                static_cast<unsigned long long>(
+                    unfused_counts.elementwise -
+                    fused_counts.elementwise));
+
+    // Steady-state allocation count of the fused stage: warmed arena +
+    // reused output must keep 5 calls off the heap entirely.
+    long long relin_ms_allocs = 0;
+    {
+        Ciphertext ms_out;
+        const Ciphertext *ms_src[] = {&prod};
+        Ciphertext *ms_dst[] = {&ms_out};
+        BatchRelinModSwitch(*ctx, rk, ms_src, ms_dst);
+        BatchRelinModSwitch(*ctx, rk, ms_src, ms_dst);
+        const long long before =
+            g_alloc_count.load(std::memory_order_relaxed);
+        for (int r = 0; r < 5; ++r) {
+            BatchRelinModSwitch(*ctx, rk, ms_src, ms_dst);
+        }
+        relin_ms_allocs =
+            g_alloc_count.load(std::memory_order_relaxed) - before;
+    }
+    std::printf("  steady-state allocs (5 fused calls): %lld\n",
+                relin_ms_allocs);
+
     bench::Section("forward NTT rows per Relinearize");
     std::printf("  pr1 (coeff-domain keys)   %6llu\n",
                 static_cast<unsigned long long>(pr1_fwd));
@@ -283,13 +421,23 @@ BenchMain(int argc, char **argv)
             "  \"speedup_batched_vs_pr1\": %.3f,\n"
             "  \"speedup_graph_vs_pr1\": %.3f,\n"
             "  \"relin_forward_ntt_rows_pr1\": %llu,\n"
-            "  \"relin_forward_ntt_rows_batched\": %llu\n"
+            "  \"relin_forward_ntt_rows_batched\": %llu,\n"
+            "  \"unfused_relin_ms_ns\": %.1f,\n"
+            "  \"fused_relin_ms_ns\": %.1f,\n"
+            "  \"speedup_fused_vs_unfused\": %.3f,\n"
+            "  \"relin_ms_elementwise_rows_unfused\": %llu,\n"
+            "  \"relin_ms_elementwise_rows_fused\": %llu,\n"
+            "  \"relin_ms_steady_state_allocs\": %lld\n"
             "}\n",
             params.degree, np, threads, pr1_ns, batched_ns,
             graph_per_op_ns, pr1_ns / batched_ns,
             pr1_ns / graph_per_op_ns,
             static_cast<unsigned long long>(pr1_fwd),
-            static_cast<unsigned long long>(batched_fwd));
+            static_cast<unsigned long long>(batched_fwd),
+            unfused_ms_ns, fused_ms_ns, unfused_ms_ns / fused_ms_ns,
+            static_cast<unsigned long long>(unfused_counts.elementwise),
+            static_cast<unsigned long long>(fused_counts.elementwise),
+            relin_ms_allocs);
         std::fclose(f);
         std::printf("wrote %s\n", json_path.c_str());
     }
@@ -300,6 +448,25 @@ BenchMain(int argc, char **argv)
                      "NTT count (%llu >= %llu)\n",
                      static_cast<unsigned long long>(batched_fwd),
                      static_cast<unsigned long long>(pr1_fwd));
+        return 1;
+    }
+    if (fused_counts.elementwise >= unfused_counts.elementwise ||
+        fused_counts.forward != unfused_counts.forward ||
+        fused_counts.inverse != unfused_counts.inverse) {
+        std::fprintf(stderr,
+                     "FAIL: fused RelinModSwitch did not save the "
+                     "inverse-stage pass (elementwise %llu vs %llu)\n",
+                     static_cast<unsigned long long>(
+                         fused_counts.elementwise),
+                     static_cast<unsigned long long>(
+                         unfused_counts.elementwise));
+        return 1;
+    }
+    if (relin_ms_allocs != 0) {
+        std::fprintf(stderr,
+                     "FAIL: steady-state fused RelinModSwitch "
+                     "allocated %lld times\n",
+                     relin_ms_allocs);
         return 1;
     }
     return 0;

@@ -9,10 +9,13 @@
  * 364.2 us); OT on the last stage(s) improves the 8-point configs.
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/thread_pool.h"
 #include "gpu/simulator.h"
+#include "kernels/batch_workload.h"
 #include "kernels/dft_kernels.h"
 #include "kernels/highradix_kernel.h"
 #include "kernels/smem_kernel.h"
@@ -101,5 +104,24 @@ main()
     const double t4 = sim.Estimate(kernels::SmemKernel(cfg).Plan(np))
                           .total_us;
     bench::Ratio("2-point / 4-point", t2 / t4, 1.301);
+
+    // Measured counterpart of the headline config: the batch executed
+    // functionally on the CPU as ONE ParallelFor dispatch over the
+    // rows (the HE layer's batching path), so the model sweep and the
+    // real execution layer share a dispatch story.
+    bench::Section("measured: CPU pool execution, 512x256 config");
+    {
+        kernels::NttBatchWorkload workload(cfg.n(), np);
+        workload.Randomize(/*seed=*/11);
+        const kernels::SmemKernel kernel(cfg);
+        const auto t0 = std::chrono::steady_clock::now();
+        kernel.Execute(workload);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        std::printf("  lanes=%zu  batch np=%zu: %.2f ms (%.3f ms/prime)\n",
+                    GlobalThreadCount(), np, ms,
+                    ms / static_cast<double>(np));
+    }
     return 0;
 }

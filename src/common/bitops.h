@@ -40,6 +40,20 @@ Log2Exact(u64 x)
 }
 
 /**
+ * a * b saturated at the type maximum instead of wrapping. Work-size
+ * heuristics (e.g. the ParallelFor grain test) multiply counts by
+ * per-item costs; for degree x limb products the exact value past the
+ * saturation point is irrelevant, but a wrapped value would silently
+ * flip a huge job onto a small-job code path.
+ */
+constexpr std::size_t
+SaturatingMul(std::size_t a, std::size_t b)
+{
+    constexpr std::size_t kMax = ~std::size_t{0};
+    return (b != 0 && a > kMax / b) ? kMax : a * b;
+}
+
+/**
  * Reverse the low @p bits bits of @p x.
  *
  * Example: BitReverse(0b0011, 4) == 0b1100.

@@ -29,6 +29,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/bitops.h"
+
 namespace hentt {
 
 /**
@@ -129,6 +131,21 @@ std::size_t ParallelGrain();
 void SetParallelGrain(std::size_t elements);
 
 /**
+ * The grain heuristic behind ParallelFor: true when a job of @p count
+ * items at @p work_per_item elements each would dispatch to the pool,
+ * false when it falls back to the serial loop. The product saturates
+ * instead of wrapping, so a degree x limb total past 2^64 still reads
+ * as a huge job rather than a tiny one. Exposed so the cutoff is
+ * directly testable.
+ */
+inline bool
+ParallelWouldDispatch(std::size_t count, std::size_t work_per_item)
+{
+    return count > 1 && GlobalThreadCount() > 1 &&
+           SaturatingMul(count, work_per_item) >= ParallelGrain();
+}
+
+/**
  * Parallel loop over [0, count) through the global pool, with the
  * serial fallback below the grain size. `work_per_item` is the rough
  * element count each iteration touches (e.g. the polynomial degree for
@@ -144,9 +161,7 @@ ParallelFor(std::size_t count, std::size_t work_per_item, Body &&body)
     if (count == 0) {
         return;
     }
-    const bool serial = count == 1 || GlobalThreadCount() <= 1 ||
-                        count * work_per_item < ParallelGrain();
-    if (serial) {
+    if (!ParallelWouldDispatch(count, work_per_item)) {
         for (std::size_t i = 0; i < count; ++i) {
             body(i);
         }

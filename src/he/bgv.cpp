@@ -240,6 +240,19 @@ BgvScheme::Relinearize(const Ciphertext &ct, const RelinKey &rk) const
 }
 
 Ciphertext
+BgvScheme::RelinModSwitch(const Ciphertext &ct, const RelinKey &rk) const
+{
+    // A batch of one through the fused kernel: the modulus-switch
+    // rescale rides the relinearization inverse dispatch, so the only
+    // standalone element-wise sweep is the divide-and-round.
+    Ciphertext out;
+    const Ciphertext *src[] = {&ct};
+    Ciphertext *dst[] = {&out};
+    BatchRelinModSwitch(*ctx_, rk, src, dst);
+    return out;
+}
+
+Ciphertext
 BgvScheme::ModSwitch(const Ciphertext &ct) const
 {
     // A batch of one through the ciphertext-level kernel: the alpha

@@ -118,6 +118,19 @@ class BgvScheme
                            const RelinKey &rk) const;
 
     /**
+     * Fused Relinearize→ModSwitch: key-switch a degree-2 ciphertext
+     * back to degree 1 *and* drop the last prime of its level in one
+     * pipeline stage, bit-identical to Relinearize followed by
+     * ModSwitch but with the rescale folded into the relinearization
+     * inverse dispatch (see BatchRelinModSwitch). The common
+     * multiply-and-descend step of a leveled circuit.
+     *
+     * @pre degree 2, coefficient domain, at least two primes remaining.
+     */
+    Ciphertext RelinModSwitch(const Ciphertext &ct,
+                              const RelinKey &rk) const;
+
+    /**
      * Modulus switching: drop the last prime of the ciphertext's level,
      * scaling the ciphertext (and its noise) down by ~q_k while
      * preserving the plaintext. This is BGV's noise-management step

@@ -14,12 +14,18 @@ namespace hentt::he {
 namespace detail {
 
 /** The one sanctioned path to RnsPoly::OverrideDomain: the batch
- *  kernels fill evaluation-domain rows externally and relabel here. */
+ *  kernels fill rows through external dispatches and relabel here. */
 struct RnsPolyBatchAccess {
     static void
-    MarkEvaluation(RnsPoly &poly)
+    MarkEvaluation(RnsPoly &poly, bool lazy = false)
     {
-        poly.OverrideDomain(RnsPoly::Domain::kEvaluation);
+        poly.OverrideDomain(RnsPoly::Domain::kEvaluation, lazy);
+    }
+
+    static void
+    MarkCoefficient(RnsPoly &poly)
+    {
+        poly.OverrideDomain(RnsPoly::Domain::kCoefficient);
     }
 };
 
@@ -29,9 +35,8 @@ namespace {
 
 /**
  * Element-wise add/sub task over one limb row; the shared flattening
- * unit of BatchAdd, BatchRelinearize's final fold-in, and friends.
- * `fold_src` folds lazy [0, 4p) source rows on the fly (the
- * destination must already be fully reduced).
+ * unit of BatchAdd and friends. `fold_src` folds lazy [0, 4p) source
+ * rows on the fly (the destination must already be fully reduced).
  */
 struct AddTask {
     u64 *dst;
@@ -62,6 +67,7 @@ void
 RunAddTasks(const std::vector<AddTask> &tasks, std::size_t max_n,
             bool subtract)
 {
+    AddElementwisePasses(tasks.size());
     ParallelFor(tasks.size(), max_n, [&](std::size_t t) {
         const AddTask &task = tasks[t];
         for (std::size_t k = 0; k < task.n; ++k) {
@@ -98,6 +104,224 @@ CheckPairCompatible(const Ciphertext &a, const Ciphertext &b)
                 "ciphertext parts in different domains");
         }
     }
+}
+
+/**
+ * Shape @p ct as @p count coefficient-domain parts at @p level, reusing
+ * the existing part buffers (RnsPoly::ResetScratch) so steady-state
+ * output reuse allocates nothing. Row contents are stale; the caller
+ * must overwrite every element of every row.
+ */
+void
+EnsureParts(Ciphertext &ct, std::size_t count,
+            const std::shared_ptr<const RnsNttContext> &level)
+{
+    while (ct.parts.size() > count) {
+        ct.parts.pop_back();
+    }
+    for (RnsPoly &part : ct.parts) {
+        part.ResetScratch(level, /*zero=*/false);
+    }
+    ct.parts.reserve(count);
+    while (ct.parts.size() < count) {
+        ct.parts.emplace_back(level);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared Relinearize front half (stages 1-3): CRT digit decomposition,
+// lazy forward NTT of the digits, evaluation-domain gadget
+// accumulation. BatchRelinearize and BatchRelinModSwitch differ only in
+// what happens after the accumulators are full.
+// ---------------------------------------------------------------------
+
+struct RelinNode {
+    std::size_t level = 0;      // primes remaining
+    std::size_t digit_off = 0;  // first digit index in the poly list
+    const RelinKey::LevelKeys *keys = nullptr;
+};
+
+/** Digit j lift: d_j = [c2 * (Q_L/q_j)^{-1}]_{q_j} into every RNS row. */
+struct DigitTask {
+    const RnsPoly *c2;
+    RnsPoly *digit;
+    std::size_t j;
+    std::size_t level;
+};
+
+/** One single-row transform (forward or inverse) in a batched NTT
+ *  dispatch. */
+struct RowTask {
+    const NttEngine *engine;
+    u64 *row;
+    std::size_t n;
+};
+
+/** Gadget inner-product accumulation for one (accumulator, limb) row. */
+struct AccTask {
+    RnsPoly *acc;
+    const std::vector<RnsPoly> *keys;
+    std::size_t digit_off;
+    std::size_t level;
+    std::size_t limb;
+};
+
+struct RelinCore {
+    std::vector<RelinNode> *nodes;
+    /** Scratch polynomials: digits first, then the 2-per-ciphertext
+     *  gadget accumulators starting at @ref acc_off. */
+    std::vector<RnsPoly *> *polys;
+    std::size_t acc_off = 0;
+};
+
+/** @pre the caller holds a ScratchArena::OpScope on ctx.scratch() for
+ *  the whole op (the arena owns every buffer this fills). */
+RelinCore
+RelinGadgetAccumulate(const HeContext &ctx, const RelinKey &rk,
+                      std::span<const Ciphertext *const> in,
+                      std::size_t min_primes)
+{
+    ScratchArena &arena = ctx.scratch();
+    auto &nodes = arena.Buffer<RelinNode>();
+    nodes.clear();
+    std::size_t total_digits = 0;
+    for (const Ciphertext *ct : in) {
+        if (ct->parts.size() != 3) {
+            throw std::invalid_argument("relinearization expects degree 2");
+        }
+        for (const RnsPoly &part : ct->parts) {
+            if (part.domain() != RnsPoly::Domain::kCoefficient) {
+                throw std::invalid_argument(
+                    "relinearization expects coefficient domain");
+            }
+        }
+        RelinNode node;
+        node.level = ct->parts[0].prime_count();
+        if (node.level < min_primes) {
+            throw std::invalid_argument(
+                "fused relin-modswitch needs at least two primes");
+        }
+        node.keys = &rk.at_level(node.level);
+        if (node.keys->b.size() != node.level) {
+            throw std::invalid_argument("relin key level mismatch");
+        }
+        node.digit_off = total_digits;
+        total_digits += node.level;
+        nodes.push_back(node);
+    }
+
+    auto &polys = arena.Buffer<RnsPoly *>();
+    polys.clear();
+    for (const RelinNode &node : nodes) {
+        const auto level = ctx.level_context(node.level);
+        for (std::size_t j = 0; j < node.level; ++j) {
+            polys.push_back(&arena.NextPoly(level, /*zero=*/false));
+        }
+    }
+
+    // Stage 1: CRT digit decomposition, one dispatch per batch over
+    // (ciphertext, digit) tasks; each task writes its digit's `level`
+    // rows through the level's Barrett reducers.
+    auto &digit_tasks = arena.Buffer<DigitTask>();
+    digit_tasks.clear();
+    std::size_t max_work = 1;
+    u64 digit_rows = 0;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        for (std::size_t j = 0; j < nodes[i].level; ++j) {
+            digit_tasks.push_back({&in[i]->parts[2],
+                                   polys[nodes[i].digit_off + j], j,
+                                   nodes[i].level});
+            max_work = std::max(max_work,
+                                in[i]->parts[2].degree() * nodes[i].level);
+            digit_rows += nodes[i].level;
+        }
+    }
+    AddElementwisePasses(digit_rows);
+    ParallelFor(digit_tasks.size(), max_work, [&](std::size_t t) {
+        const DigitTask &task = digit_tasks[t];
+        const RnsNttContext &level = task.digit->context();
+        const u64 qj = level.basis().prime(task.j);
+        const u64 q_tilde =
+            InvMod(ctx.q_hat_level(task.level, task.j, task.j), qj);
+        const u64 q_tilde_bar = ShoupPrecompute(q_tilde, qj);
+        const std::span<const u64> src = task.c2->row(task.j);
+        for (std::size_t k = 0; k < task.c2->degree(); ++k) {
+            const u64 v = MulModShoup(src[k], q_tilde, q_tilde_bar, qj);
+            for (std::size_t l = 0; l < task.level; ++l) {
+                task.digit->row(l)[k] = level.reducer(l).Reduce(v);
+            }
+        }
+    });
+
+    // Stage 2: ONE lazy forward-NTT dispatch over every digit x limb —
+    // the only forward transforms in the whole op (np^2 row transforms
+    // per ciphertext; the coefficient-domain-key formulation paid
+    // 4*np^2 by re-transforming keys and digits per product).
+    auto &rows = arena.Buffer<RowTask>();
+    rows.clear();
+    std::size_t max_degree = 1;
+    for (std::size_t d = 0; d < total_digits; ++d) {
+        RnsPoly *digit = polys[d];
+        for (std::size_t l = 0; l < digit->prime_count(); ++l) {
+            rows.push_back({&digit->context().engine(l),
+                            digit->row(l).data(), digit->degree()});
+        }
+        max_degree = std::max(max_degree, digit->degree());
+    }
+    ParallelFor(rows.size(), max_degree, [&](std::size_t t) {
+        rows[t].engine->ForwardLazy({rows[t].row, rows[t].n});
+    });
+    for (std::size_t d = 0; d < total_digits; ++d) {
+        detail::RnsPolyBatchAccess::MarkEvaluation(*polys[d],
+                                                   /*lazy=*/true);
+    }
+
+    // Stage 3: evaluation-domain gadget accumulation, one dispatch over
+    // (ciphertext, accumulator part, limb) tasks; each task folds all
+    // np digit x key products for its row with one Barrett reduction
+    // per element.
+    const std::size_t acc_off = polys.size();
+    for (const RelinNode &node : nodes) {
+        const auto level = ctx.level_context(node.level);
+        polys.push_back(&arena.NextPoly(level, /*zero=*/true));
+        polys.push_back(&arena.NextPoly(level, /*zero=*/true));
+    }
+    auto &acc_tasks = arena.Buffer<AccTask>();
+    acc_tasks.clear();
+    u64 acc_rows = 0;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        for (std::size_t part = 0; part < 2; ++part) {
+            const std::vector<RnsPoly> &keys =
+                part == 0 ? nodes[i].keys->b : nodes[i].keys->a;
+            RnsPoly *acc = polys[acc_off + 2 * i + part];
+            for (std::size_t l = 0; l < nodes[i].level; ++l) {
+                acc_tasks.push_back(
+                    {acc, &keys, nodes[i].digit_off, nodes[i].level, l});
+                acc_rows += nodes[i].level;
+            }
+        }
+    }
+    AddElementwisePasses(acc_rows);
+    ParallelFor(acc_tasks.size(), max_work, [&](std::size_t t) {
+        const AccTask &task = acc_tasks[t];
+        const BarrettReducer &red =
+            task.acc->context().reducer(task.limb);
+        const std::span<u64> dst = task.acc->row(task.limb);
+        for (std::size_t j = 0; j < task.level; ++j) {
+            const std::span<const u64> dj =
+                polys[task.digit_off + j]->row(task.limb);
+            const std::span<const u64> kj =
+                (*task.keys)[j].row(task.limb);
+            for (std::size_t k = 0; k < dst.size(); ++k) {
+                dst[k] = red.MulAddMod(dj[k], kj[k], dst[k]);
+            }
+        }
+    });
+    for (std::size_t a = acc_off; a < polys.size(); ++a) {
+        detail::RnsPolyBatchAccess::MarkEvaluation(*polys[a]);
+    }
+
+    return {&nodes, &polys, acc_off};
 }
 
 }  // namespace
@@ -215,6 +439,7 @@ BatchMul(const HeContext &ctx, std::span<const Ciphertext *const> a,
             max_n = std::max(max_n, fwd[nd.a0].degree());
         }
     }
+    AddElementwisePasses(3 * tensor.size());  // three result rows each
     ParallelFor(tensor.size(), max_n, [&](std::size_t t) {
         const TensorTask &task = tensor[t];
         for (std::size_t k = 0; k < task.n; ++k) {
@@ -253,166 +478,208 @@ BatchRelinearize(const HeContext &ctx, const RelinKey &rk,
 {
     CheckSpanLengths(in.size(), in.size(), out.size());
     const std::size_t m = in.size();
-
-    struct Node {
-        std::size_t level = 0;       // primes remaining
-        std::size_t digit_off = 0;   // first digit index in `digits`
-        const RelinKey::LevelKeys *keys = nullptr;
-    };
-    std::vector<Node> nodes(m);
-    std::size_t total_digits = 0;
-    for (std::size_t i = 0; i < m; ++i) {
-        const Ciphertext &ct = *in[i];
-        if (ct.parts.size() != 3) {
-            throw std::invalid_argument("relinearization expects degree 2");
-        }
-        for (const RnsPoly &part : ct.parts) {
-            if (part.domain() != RnsPoly::Domain::kCoefficient) {
-                throw std::invalid_argument(
-                    "relinearization expects coefficient domain");
-            }
-        }
-        nodes[i].level = ct.parts[0].prime_count();
-        nodes[i].keys = &rk.at_level(nodes[i].level);
-        if (nodes[i].keys->b.size() != nodes[i].level) {
-            throw std::invalid_argument("relin key level mismatch");
-        }
-        nodes[i].digit_off = total_digits;
-        total_digits += nodes[i].level;
-    }
-
-    std::vector<RnsPoly> digits;
-    digits.reserve(total_digits);
-    for (std::size_t i = 0; i < m; ++i) {
-        const auto level = ctx.level_context(nodes[i].level);
-        for (std::size_t j = 0; j < nodes[i].level; ++j) {
-            digits.emplace_back(level);
-        }
-    }
-
-    // Stage 1: CRT digit decomposition, one dispatch per batch over
-    // (ciphertext, digit) tasks. Digit j is the word-sized value
-    // d_j = [c2 * (Q_L/q_j)^{-1}]_{q_j} lifted into every RNS row
-    // through the level's Barrett reducers.
-    struct DigitTask {
-        const RnsPoly *c2;
-        RnsPoly *digit;
-        std::size_t j;
-        std::size_t level;
-    };
-    std::vector<DigitTask> digit_tasks;
-    digit_tasks.reserve(total_digits);
-    std::size_t max_work = 1;
-    for (std::size_t i = 0; i < m; ++i) {
-        for (std::size_t j = 0; j < nodes[i].level; ++j) {
-            digit_tasks.push_back({&in[i]->parts[2],
-                                   &digits[nodes[i].digit_off + j], j,
-                                   nodes[i].level});
-            max_work = std::max(max_work,
-                                in[i]->parts[2].degree() * nodes[i].level);
-        }
-    }
-    ParallelFor(digit_tasks.size(), max_work, [&](std::size_t t) {
-        const DigitTask &task = digit_tasks[t];
-        const RnsNttContext &level = task.digit->context();
-        const u64 qj = level.basis().prime(task.j);
-        const u64 q_tilde =
-            InvMod(ctx.q_hat_level(task.level, task.j, task.j), qj);
-        const u64 q_tilde_bar = ShoupPrecompute(q_tilde, qj);
-        const std::span<const u64> src = task.c2->row(task.j);
-        for (std::size_t k = 0; k < task.c2->degree(); ++k) {
-            const u64 v = MulModShoup(src[k], q_tilde, q_tilde_bar, qj);
-            for (std::size_t l = 0; l < task.level; ++l) {
-                task.digit->row(l)[k] = level.reducer(l).Reduce(v);
-            }
-        }
-    });
-
-    // Stage 2: ONE lazy forward-NTT dispatch over every digit x limb —
-    // the only forward transforms in the whole op (np^2 row transforms
-    // per ciphertext; the coefficient-domain-key formulation paid
-    // 4*np^2 by re-transforming keys and digits per product).
-    std::vector<RnsPoly *> dptrs;
-    dptrs.reserve(total_digits);
-    for (RnsPoly &digit : digits) {
-        dptrs.push_back(&digit);
-    }
-    RnsPoly::BatchToEvaluation(dptrs, /*lazy=*/true);
-
-    // Stage 3: evaluation-domain gadget accumulation, one dispatch over
-    // (ciphertext, accumulator part, limb) tasks; each task folds all
-    // np digit x key products for its row with one Barrett reduction
-    // per element.
-    std::vector<Ciphertext> results(m);
-    for (std::size_t i = 0; i < m; ++i) {
-        const auto level = ctx.level_context(nodes[i].level);
-        results[i].parts.assign(2, RnsPoly(level));
-    }
-    struct AccTask {
-        RnsPoly *acc;
-        const std::vector<RnsPoly> *keys;
-        std::size_t digit_off;
-        std::size_t level;
-        std::size_t limb;
-    };
-    std::vector<AccTask> acc_tasks;
-    acc_tasks.reserve(2 * total_digits);
-    for (std::size_t i = 0; i < m; ++i) {
-        for (std::size_t part = 0; part < 2; ++part) {
-            const std::vector<RnsPoly> &keys =
-                part == 0 ? nodes[i].keys->b : nodes[i].keys->a;
-            for (std::size_t l = 0; l < nodes[i].level; ++l) {
-                acc_tasks.push_back({&results[i].parts[part], &keys,
-                                     nodes[i].digit_off, nodes[i].level,
-                                     l});
-            }
-        }
-    }
-    ParallelFor(acc_tasks.size(), max_work, [&](std::size_t t) {
-        const AccTask &task = acc_tasks[t];
-        const BarrettReducer &red =
-            task.acc->context().reducer(task.limb);
-        const std::span<u64> dst = task.acc->row(task.limb);
-        for (std::size_t j = 0; j < task.level; ++j) {
-            const std::span<const u64> dj =
-                digits[task.digit_off + j].row(task.limb);
-            const std::span<const u64> kj =
-                (*task.keys)[j].row(task.limb);
-            for (std::size_t k = 0; k < dst.size(); ++k) {
-                dst[k] = red.MulAddMod(dj[k], kj[k], dst[k]);
-            }
-        }
-    });
-    for (Ciphertext &result : results) {
-        for (RnsPoly &part : result.parts) {
-            detail::RnsPolyBatchAccess::MarkEvaluation(part);
-        }
-    }
+    ScratchArena &arena = ctx.scratch();
+    const ScratchArena::OpScope scope(arena);
+    const RelinCore core =
+        RelinGadgetAccumulate(ctx, rk, in, /*min_primes=*/1);
+    auto &nodes = *core.nodes;
+    auto &polys = *core.polys;
 
     // Stage 4: ONE inverse-NTT dispatch over the 2m accumulators.
-    std::vector<RnsPoly *> inv;
-    inv.reserve(2 * m);
-    for (Ciphertext &result : results) {
-        for (RnsPoly &part : result.parts) {
-            inv.push_back(&part);
+    auto &rows = arena.Buffer<RowTask>();
+    rows.clear();
+    std::size_t max_degree = 1;
+    for (std::size_t a = core.acc_off; a < polys.size(); ++a) {
+        RnsPoly *acc = polys[a];
+        for (std::size_t l = 0; l < acc->prime_count(); ++l) {
+            rows.push_back({&acc->context().engine(l),
+                            acc->row(l).data(), acc->degree()});
         }
+        max_degree = std::max(max_degree, acc->degree());
     }
-    RnsPoly::BatchToCoefficient(inv);
+    ParallelFor(rows.size(), max_degree, [&](std::size_t t) {
+        rows[t].engine->Inverse({rows[t].row, rows[t].n});
+    });
+    for (std::size_t a = core.acc_off; a < polys.size(); ++a) {
+        detail::RnsPolyBatchAccess::MarkCoefficient(*polys[a]);
+    }
 
-    // Stage 5: fold in the input's (c0, c1), one dispatch.
-    std::vector<AddTask> add_tasks;
-    std::size_t max_n = 1;
+    // Stage 5: fold the input's (c0, c1) into the output, one dispatch
+    // writing straight into out[i] (out[i] may alias in[i]).
+    struct FoldTask {
+        u64 *dst;
+        const u64 *acc;
+        const u64 *src;
+        u64 p;
+        std::size_t n;
+    };
+    auto &folds = arena.Buffer<FoldTask>();
+    folds.clear();
     for (std::size_t i = 0; i < m; ++i) {
+        EnsureParts(*out[i], 2, ctx.level_context(nodes[i].level));
         for (std::size_t part = 0; part < 2; ++part) {
-            AppendAddTasks(add_tasks, results[i].parts[part],
-                           in[i]->parts[part], max_n);
+            RnsPoly &dst = out[i]->parts[part];
+            const RnsPoly &acc = *polys[core.acc_off + 2 * i + part];
+            const RnsPoly &src = in[i]->parts[part];
+            const RnsBasis &basis = acc.context().basis();
+            for (std::size_t l = 0; l < nodes[i].level; ++l) {
+                folds.push_back({dst.row(l).data(), acc.row(l).data(),
+                                 src.row(l).data(), basis.prime(l),
+                                 dst.degree()});
+            }
         }
     }
-    RunAddTasks(add_tasks, max_n, /*subtract=*/false);
+    AddElementwisePasses(folds.size());
+    ParallelFor(folds.size(), max_degree, [&](std::size_t t) {
+        const FoldTask &task = folds[t];
+        for (std::size_t k = 0; k < task.n; ++k) {
+            task.dst[k] = AddMod(task.acc[k], task.src[k], task.p);
+        }
+    });
+}
 
+void
+BatchRelinModSwitch(const HeContext &ctx, const RelinKey &rk,
+                    std::span<const Ciphertext *const> in,
+                    std::span<Ciphertext *const> out)
+{
+    CheckSpanLengths(in.size(), in.size(), out.size());
+    const std::size_t m = in.size();
+    const u64 t_mod = ctx.params().plain_modulus;
+    ScratchArena &arena = ctx.scratch();
+    const ScratchArena::OpScope scope(arena);
+    const RelinCore core =
+        RelinGadgetAccumulate(ctx, rk, in, /*min_primes=*/2);
+    auto &nodes = *core.nodes;
+    auto &polys = *core.polys;
+
+    // Fused inverse stage: ONE dispatch over the 2m accumulators x
+    // limbs where each task inverse-transforms its row and then, while
+    // the row is still cache-hot, folds in the input part and applies
+    // the modulus-switch alpha rescale (alpha = q_k mod t) as an
+    // epilogue of the same loop. The unfused chain pays two standalone
+    // sweeps (the (c0, c1) fold and the alpha pass) for exactly these
+    // values — here they never leave the inverse dispatch, which is why
+    // NttOpCounts::elementwise does not grow.
+    struct FusedInvTask {
+        const NttEngine *engine;
+        u64 *row;        // accumulator row, in place
+        const u64 *src;  // matching input-part row
+        u64 p;
+        u64 s, s_bar;    // alpha mod p, Shoup companion
+        std::size_t n;
+    };
+    auto &fused = arena.Buffer<FusedInvTask>();
+    fused.clear();
+    std::size_t max_degree = 1;
     for (std::size_t i = 0; i < m; ++i) {
-        *out[i] = std::move(results[i]);
+        const std::size_t level = nodes[i].level;
+        const RnsBasis &basis = in[i]->parts[0].context().basis();
+        const u64 qk = basis.prime(level - 1);
+        const u64 alpha = qk % t_mod;
+        for (std::size_t part = 0; part < 2; ++part) {
+            RnsPoly &acc = *polys[core.acc_off + 2 * i + part];
+            const RnsPoly &src = in[i]->parts[part];
+            for (std::size_t l = 0; l < level; ++l) {
+                const u64 p = basis.prime(l);
+                const u64 s = alpha % p;
+                fused.push_back({&acc.context().engine(l),
+                                 acc.row(l).data(), src.row(l).data(), p,
+                                 s, ShoupPrecompute(s, p), acc.degree()});
+            }
+            max_degree = std::max(max_degree, acc.degree());
+        }
     }
+    ParallelFor(fused.size(), max_degree, [&](std::size_t t) {
+        const FusedInvTask &task = fused[t];
+        task.engine->Inverse({task.row, task.n});
+        for (std::size_t k = 0; k < task.n; ++k) {
+            const u64 folded = AddMod(task.row[k], task.src[k], task.p);
+            task.row[k] =
+                MulModShoup(folded, task.s, task.s_bar, task.p);
+        }
+    });
+    for (std::size_t a = core.acc_off; a < polys.size(); ++a) {
+        detail::RnsPolyBatchAccess::MarkCoefficient(*polys[a]);
+    }
+
+    // Divide-and-round into out at the next level — the only standalone
+    // element-wise sweep left in the fused op. delta = t * [c_k *
+    // t^{-1}]_{q_k}, centered, satisfies delta == c (mod q_k) and
+    // delta == 0 (mod t), so (c - delta) / q_k is exact and
+    // plaintext-clean. The InvMod/Shoup constants are hoisted into the
+    // task list (InvMod is a PowMod of native divisions — the exact
+    // path the hot loops exist to avoid); the dropped top row is read
+    // from the accumulator and never written anywhere.
+    struct MsSwitchTask {
+        const u64 *src;  // accumulator row for the target limb
+        const u64 *top;  // accumulator row for the dropped prime
+        u64 *dst;        // output row at the next level
+        const BarrettReducer *red_qi;
+        u64 qk, t_inv_qk, t_inv_qk_bar;
+        u64 qi, qk_inv, qk_inv_bar, t_mod_qi, t_mod_qi_bar;
+        std::size_t n;
+    };
+    auto &switches = arena.Buffer<MsSwitchTask>();
+    switches.clear();
+    for (std::size_t i = 0; i < m; ++i) {
+        const std::size_t level = nodes[i].level;
+        const auto next = ctx.level_context(level - 1);
+        EnsureParts(*out[i], 2, next);
+        const RnsPoly &acc0 = *polys[core.acc_off + 2 * i];
+        const RnsBasis &basis = acc0.context().basis();
+        const u64 qk = basis.prime(level - 1);
+        const u64 t_inv_qk = InvMod(t_mod % qk, qk);
+        const u64 t_inv_qk_bar = ShoupPrecompute(t_inv_qk, qk);
+        for (std::size_t l = 0; l + 1 < level; ++l) {
+            const u64 qi = basis.prime(l);
+            const u64 qk_inv = InvMod(qk % qi, qi);
+            const u64 t_mod_qi = t_mod % qi;
+            MsSwitchTask task;
+            task.red_qi = &next->reducer(l);
+            task.qk = qk;
+            task.t_inv_qk = t_inv_qk;
+            task.t_inv_qk_bar = t_inv_qk_bar;
+            task.qi = qi;
+            task.qk_inv = qk_inv;
+            task.qk_inv_bar = ShoupPrecompute(qk_inv, qi);
+            task.t_mod_qi = t_mod_qi;
+            task.t_mod_qi_bar = ShoupPrecompute(t_mod_qi, qi);
+            for (std::size_t part = 0; part < 2; ++part) {
+                const RnsPoly &acc =
+                    *polys[core.acc_off + 2 * i + part];
+                task.src = acc.row(l).data();
+                task.top = acc.row(level - 1).data();
+                task.dst = out[i]->parts[part].row(l).data();
+                task.n = acc.degree();
+                switches.push_back(task);
+            }
+        }
+    }
+    AddElementwisePasses(switches.size());
+    ParallelFor(switches.size(), max_degree, [&](std::size_t t) {
+        const MsSwitchTask &task = switches[t];
+        for (std::size_t k = 0; k < task.n; ++k) {
+            const u64 u = MulModShoup(task.top[k], task.t_inv_qk,
+                                      task.t_inv_qk_bar, task.qk);
+            u64 delta_mod_qi;
+            if (u <= task.qk / 2) {
+                delta_mod_qi =
+                    MulModShoup(task.red_qi->Reduce(u), task.t_mod_qi,
+                                task.t_mod_qi_bar, task.qi);
+            } else {
+                const u64 v = task.qk - u;  // delta = -t * v
+                const u64 pos =
+                    MulModShoup(task.red_qi->Reduce(v), task.t_mod_qi,
+                                task.t_mod_qi_bar, task.qi);
+                delta_mod_qi = pos == 0 ? 0 : task.qi - pos;
+            }
+            const u64 diff =
+                SubMod(task.src[k], delta_mod_qi, task.qi);
+            task.dst[k] = MulModShoup(diff, task.qk_inv,
+                                      task.qk_inv_bar, task.qi);
+        }
+    });
 }
 
 void
@@ -476,6 +743,7 @@ BatchModSwitch(const HeContext &ctx, std::span<const Ciphertext *const> in,
             }
         }
     }
+    AddElementwisePasses(scale_tasks.size());
     ParallelFor(scale_tasks.size(), max_n, [&](std::size_t t) {
         const ScaleTask &task = scale_tasks[t];
         const u64 s = task.alpha % task.p;
@@ -538,6 +806,7 @@ BatchModSwitch(const HeContext &ctx, std::span<const Ciphertext *const> in,
             }
         }
     }
+    AddElementwisePasses(switch_tasks.size());
     ParallelFor(switch_tasks.size(), max_n, [&](std::size_t t) {
         const SwitchTask &task = switch_tasks[t];
         const RnsBasis &basis = task.src->context().basis();

@@ -17,6 +17,11 @@
  * Relinearize are the np digit lifts: np^2 row transforms instead of
  * the 4*np^2 the coefficient-domain formulation pays (keys re-
  * transformed per op, digits transformed once per key part).
+ *
+ * Relinearize and the fused RelinModSwitch draw their digit,
+ * accumulator, and task-array scratch from the context's ScratchArena
+ * (he/scratch_arena.h): steady-state calls perform zero heap
+ * allocations, matching the RnsPoly multiply loop.
  */
 
 #ifndef HENTT_HE_CIPHERTEXT_BATCH_H
@@ -61,11 +66,42 @@ void BatchMul(const HeContext &ctx, std::span<const Ciphertext *const> a,
  * decomposition, lazy forward NTT of all digits (the *only* forward
  * transforms in the op), evaluation-domain gadget accumulation against
  * the level's keys, inverse NTT of the two accumulators, final add of
- * the input (c0, c1).
+ * the input (c0, c1) written straight into @p out.
+ *
+ * All transient storage (digits, accumulators, task arrays) comes from
+ * the context's ScratchArena, so once @p out has been through the op at
+ * a level the steady-state call performs zero heap allocations.
+ *
+ * @p out[i] may alias @p in[i]; no other aliasing between the spans is
+ * allowed (outputs are written in place, not staged and moved).
  */
 void BatchRelinearize(const HeContext &ctx, const RelinKey &rk,
                       std::span<const Ciphertext *const> in,
                       std::span<Ciphertext *const> out);
+
+/**
+ * Fused Relinearize→ModSwitch: key-switch each degree-2 ciphertext back
+ * to degree 1 *and* drop the last prime of its level in one pipeline,
+ * bit-identical to BatchRelinearize followed by BatchModSwitch but with
+ * the rescale folded into the Relinearize inverse stage.
+ *
+ * Where the unfused chain sweeps every part three more times after the
+ * gadget accumulation (the (c0, c1) fold, the alpha pre-scaling pass,
+ * and the divide-and-round pass), the fused stage runs the fold and the
+ * alpha rescale as an epilogue of the inverse-NTT dispatch itself —
+ * each accumulator row is combined and rescaled while still cache-hot,
+ * and the dropped limb never leaves the inverse dispatch as output.
+ * Only the divide-and-round pass (which needs the finished top row)
+ * remains a standalone sweep: 2(np-1) destination rows instead of the
+ * unfused 2np + 2np + 2(np-1) (see NttOpCounts::elementwise).
+ *
+ * Scratch policy and aliasing contract match BatchRelinearize; inputs
+ * must be degree-2, coefficient-domain, with at least two primes
+ * remaining. Outputs land one level down the modulus chain.
+ */
+void BatchRelinModSwitch(const HeContext &ctx, const RelinKey &rk,
+                         std::span<const Ciphertext *const> in,
+                         std::span<Ciphertext *const> out);
 
 /**
  * Batched BGV modulus switch: every ciphertext drops the last prime of

@@ -102,6 +102,19 @@ HeOpGraph::ModSwitch(CtFuture a)
     return Enqueue(Kind::kModSwitch, n, n);
 }
 
+CtFuture
+HeOpGraph::RelinModSwitch(CtFuture a)
+{
+    const std::size_t n = CheckOwned(a);
+    return Enqueue(Kind::kRelinModSwitch, n, n);
+}
+
+CtFuture
+HeOpGraph::MulRelinModSwitch(CtFuture a, CtFuture b)
+{
+    return RelinModSwitch(Mul(a, b));
+}
+
 std::size_t
 HeOpGraph::pending() const
 {
@@ -133,8 +146,9 @@ HeOpGraph::Execute()
 
     // Within a wavefront, all nodes of one kind run as a single batched
     // kernel call — this is where independent ciphertext ops overlap.
-    constexpr Kind kKinds[] = {Kind::kAdd, Kind::kSub, Kind::kMul,
-                               Kind::kRelin, Kind::kModSwitch};
+    constexpr Kind kKinds[] = {Kind::kAdd,       Kind::kSub,
+                               Kind::kMul,       Kind::kRelin,
+                               Kind::kModSwitch, Kind::kRelinModSwitch};
     std::vector<std::size_t> group;
     for (std::size_t d = 1; d <= max_depth; ++d) {
         for (const Kind kind : kKinds) {
@@ -178,6 +192,13 @@ HeOpGraph::Execute()
                 break;
               case Kind::kModSwitch:
                 BatchModSwitch(ctx, lhs, dst);
+                break;
+              case Kind::kRelinModSwitch:
+                if (rk_ == nullptr) {
+                    throw std::logic_error(
+                        "HeOpGraph has no relinearization keys");
+                }
+                BatchRelinModSwitch(ctx, *rk_, lhs, dst);
                 break;
               case Kind::kInput:
                 break;  // unreachable: inputs are born done

@@ -111,6 +111,20 @@ class HeOpGraph
     CtFuture ModSwitch(CtFuture a);
 
     /**
+     * Enqueue the fused Relinearize→ModSwitch of a degree-2 input: key
+     * switch back to degree 1 and drop the last RNS prime in one
+     * pipeline stage (BatchRelinModSwitch), saving the standalone fold
+     * and rescale sweeps the two-node chain pays between the
+     * relinearization inverse stage and the divide-and-round. All
+     * RelinModSwitch nodes in a wavefront execute as one batch.
+     */
+    CtFuture RelinModSwitch(CtFuture a);
+
+    /** Enqueue Mul followed by the fused RelinModSwitch — the full
+     *  multiply-and-descend step of a leveled circuit. */
+    CtFuture MulRelinModSwitch(CtFuture a, CtFuture b);
+
+    /**
      * Run every pending node. Nodes are grouped into dependency
      * wavefronts; within a wavefront, all nodes of the same kind
      * execute as one batched kernel call (single dispatches spanning
@@ -128,7 +142,15 @@ class HeOpGraph
   private:
     friend class CtFuture;
 
-    enum class Kind { kInput, kAdd, kSub, kMul, kRelin, kModSwitch };
+    enum class Kind {
+        kInput,
+        kAdd,
+        kSub,
+        kMul,
+        kRelin,
+        kModSwitch,
+        kRelinModSwitch,  ///< fused Relinearize→ModSwitch stage
+    };
 
     struct Node {
         Kind kind;

@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <memory>
 
+#include "he/scratch_arena.h"
 #include "poly/rns_poly.h"
 
 namespace hentt::he {
@@ -82,8 +83,21 @@ class HeContext
         return q_hat_levels_[level - 1][j * level + k];
     }
 
+    /**
+     * The per-scheme scratch arena backing the batched HE kernels'
+     * digit/accumulator/task buffers (steady-state zero-allocation
+     * Relinearize and RelinModSwitch). Working memory, not context
+     * state — hence usable through the shared const context. Arena-
+     * backed ops on one context serialise against each other through
+     * the arena's own mutex (ScratchArena::OpScope), so concurrent
+     * callers stay correct; each op still parallelises internally
+     * through the global pool.
+     */
+    ScratchArena &scratch() const { return scratch_; }
+
   private:
     HeParams params_;
+    mutable ScratchArena scratch_;
     std::shared_ptr<const RnsNttContext> ntt_ctx_;
     // levels_[i] serves prime_count = i + 1; levels_.back() == ntt_ctx_.
     std::vector<std::shared_ptr<const RnsNttContext>> levels_;

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * ScratchArena — per-scheme scratch storage for the batched HE kernels.
+ *
+ * BatchRelinearize and the fused BatchRelinModSwitch need transient
+ * digit polynomials, gadget accumulators, and flat task arrays on every
+ * call. Allocating them per op kept the kernels out of the
+ * zero-steady-state-allocation club that RnsPoly multiply joined in
+ * PR 1; this arena hoists the buffers to HeContext scope so the first
+ * call at a given batch shape pays the allocations once and every
+ * subsequent call reuses them (matching levels of the modulus chain
+ * reuse for free; lower levels fit inside higher-level capacity).
+ *
+ * Concurrency contract: the arena is per-context working memory, so at
+ * most one batched HE op may use it at a time. The contract is
+ * *enforced*, not just documented: every arena-backed kernel opens an
+ * OpScope, which holds the arena mutex for the duration of the op —
+ * concurrent Relinearize calls on one shared context serialise against
+ * each other instead of corrupting each other's scratch (each op still
+ * parallelises internally through the global pool).
+ */
+
+#ifndef HENTT_HE_SCRATCH_ARENA_H
+#define HENTT_HE_SCRATCH_ARENA_H
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+#include "poly/rns_poly.h"
+
+namespace hentt::he {
+
+/** Reusable scratch buffers for one HeContext (see file comment). */
+class ScratchArena
+{
+  public:
+    /**
+     * RAII scope of one arena-backed op: takes the arena mutex (so
+     * concurrent ops on one context serialise rather than race) and
+     * rewinds the polynomial cursor so NextPoly hands out the pooled
+     * polynomials again. All storage (polynomial buffers and
+     * task-array capacity) is retained across ops — that retention is
+     * the whole point. Keep the scope alive for as long as any
+     * NextPoly/Buffer result is in use.
+     */
+    class OpScope
+    {
+      public:
+        explicit OpScope(ScratchArena &arena) : lock_(arena.mutex_)
+        {
+            arena.polys_used_ = 0;
+        }
+
+      private:
+        std::lock_guard<std::mutex> lock_;
+    };
+
+    /**
+     * The next pooled scratch polynomial, rebound to @p level. With
+     * @p zero false the rows contain stale values and the caller must
+     * overwrite every element (see RnsPoly::ResetScratch). References
+     * stay valid until the arena is destroyed (deque storage), but the
+     * *contents* only until the next OpScope opens.
+     */
+    RnsPoly &
+    NextPoly(const std::shared_ptr<const RnsNttContext> &level, bool zero)
+    {
+        if (polys_used_ == polys_.size()) {
+            polys_.emplace_back(level);  // grows only on first use
+            if (zero) {
+                ++polys_used_;
+                return polys_.back();  // freshly zeroed by construction
+            }
+        }
+        RnsPoly &poly = polys_[polys_used_++];
+        poly.ResetScratch(level, zero);
+        return poly;
+    }
+
+    /**
+     * A reusable task array of POD-ish type @p T, keyed by type. The
+     * vector keeps its capacity across ops; callers clear() and refill
+     * (steady state: zero allocations). Two *concurrent* uses of the
+     * same T within one op would clobber each other — the kernels give
+     * every simultaneously-live task list its own struct type.
+     */
+    template <typename T>
+    std::vector<T> &
+    Buffer()
+    {
+        auto &slot = buffers_[std::type_index(typeid(T))];
+        if (!slot) {
+            slot = std::make_unique<Holder<T>>();
+        }
+        return static_cast<Holder<T> *>(slot.get())->items;
+    }
+
+  private:
+    struct HolderBase {
+        virtual ~HolderBase() = default;
+    };
+    template <typename T>
+    struct Holder final : HolderBase {
+        std::vector<T> items;
+    };
+
+    // Serialises arena-backed ops on one context (held by OpScope).
+    std::mutex mutex_;
+    // Deque: NextPoly references must survive later growth.
+    std::deque<RnsPoly> polys_;
+    std::size_t polys_used_ = 0;
+    std::unordered_map<std::type_index, std::unique_ptr<HolderBase>>
+        buffers_;
+};
+
+}  // namespace hentt::he
+
+#endif  // HENTT_HE_SCRATCH_ARENA_H

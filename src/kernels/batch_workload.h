@@ -10,8 +10,10 @@
 #define HENTT_KERNELS_BATCH_WORKLOAD_H
 
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "ntt/ntt_engine.h"
 
 namespace hentt::kernels {
@@ -36,6 +38,22 @@ class NttBatchWorkload
 
     /** Fill every row with uniform residues (deterministic). */
     void Randomize(u64 seed);
+
+    /**
+     * Invoke fn(i) for every row index, dispatched across the global
+     * thread pool as ONE ParallelFor over the batch — the same batching
+     * story the HE execution layer uses for RNS limbs (and the CPU
+     * analogue of the paper's one-launch-per-batch GPU kernels). Rows
+     * are independent, so parallel output is bit-identical to the
+     * serial loop; below the grain (or on one lane) this degrades to
+     * exactly that loop.
+     */
+    template <typename Fn>
+    void
+    ForEachRowParallel(Fn &&fn)
+    {
+        ParallelFor(np(), n_, std::forward<Fn>(fn));
+    }
 
     /** Total precomputed forward-table bytes across the batch — the
      *  np-fold blow-up that separates NTT from DFT (Section IV). */

@@ -63,6 +63,44 @@ EstimateRelinearize(const gpu::Simulator &sim, const SmemConfig &ntt_config,
     return est;
 }
 
+HeRelinModSwitchEstimate
+EstimateRelinModSwitch(const gpu::Simulator &sim,
+                       const SmemConfig &ntt_config, std::size_t np,
+                       bool fused)
+{
+    const SmemKernel ntt(ntt_config);
+    const std::size_t n = ntt_config.n();
+
+    // Transforms are fusion-invariant: np digit-forward batches plus
+    // the two accumulator inverse batches (the dropped prime's row is
+    // still inverse-transformed — the divide-and-round consumes it in
+    // coefficient form before it is discarded).
+    gpu::LaunchPlan transforms;
+    for (std::size_t i = 0; i < np + 2; ++i) {
+        for (const auto &k : ntt.Plan(np)) {
+            transforms.push_back(k);
+        }
+    }
+
+    // Element-wise sweeps: the eval-domain Relinearize streams 3*np
+    // passes (digit lift + gadget accumulation). The unfused chain then
+    // adds the (c0, c1) fold (2), the alpha pre-scaling (2), and the
+    // divide-and-round (2); fusing folds the first two into the inverse
+    // dispatch, so only the divide-and-round survives as its own sweep.
+    const std::size_t passes = fused ? 3 * np + 2 : 3 * np + 6;
+    gpu::LaunchPlan elementwise;
+    for (std::size_t i = 0; i < passes; ++i) {
+        elementwise.push_back(HadamardKernel(n, np));
+    }
+
+    HeRelinModSwitchEstimate est;
+    est.ntt = sim.Estimate(transforms);
+    est.elementwise = sim.Estimate(elementwise);
+    est.total_us = est.ntt.total_us + est.elementwise.total_us;
+    est.elementwise_passes = passes;
+    return est;
+}
+
 HeMultiplyEstimate
 EstimateHeMultiply(const gpu::Simulator &sim, const SmemConfig &ntt_config,
                    std::size_t np)

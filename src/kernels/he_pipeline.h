@@ -68,6 +68,36 @@ HeRelinEstimate EstimateRelinearize(const gpu::Simulator &sim,
                                     std::size_t np,
                                     bool eval_domain_keys);
 
+/** Cost breakdown of a Relinearize→ModSwitch chain on the model. */
+struct HeRelinModSwitchEstimate {
+    gpu::TimeEstimate ntt;         ///< digit forwards + accumulator inverses
+    gpu::TimeEstimate elementwise; ///< standalone element-wise sweeps
+    double total_us = 0;
+    /** Standalone element-wise passes over the batch (the quantity the
+     *  fusion shrinks; transforms are identical either way). */
+    std::size_t elementwise_passes = 0;
+};
+
+/**
+ * Estimate a full Relinearize→ModSwitch chain at (n, np) with
+ * evaluation-domain keys — the model counterpart of the CPU layer's
+ * fused BatchRelinModSwitch (he/ciphertext_batch.h).
+ *
+ * The transform budget is identical either way (np^2 digit forwards,
+ * 2*np accumulator inverse rows — every limb must be inverse-
+ * transformed because the divide-and-round needs the dropped prime's
+ * row in coefficient form). What @p fused changes is the number of
+ * standalone element-wise passes after the gadget accumulation: the
+ * unfused chain streams the (c0, c1) fold, the alpha pre-scaling, and
+ * the divide-and-round as separate sweeps (3np + 6 passes total); the
+ * fused stage runs fold + rescale as an epilogue of the inverse
+ * dispatch, leaving only the divide-and-round (3np + 2).
+ */
+HeRelinModSwitchEstimate EstimateRelinModSwitch(const gpu::Simulator &sim,
+                                                const SmemConfig &ntt_config,
+                                                std::size_t np,
+                                                bool fused);
+
 }  // namespace hentt::kernels
 
 #endif  // HENTT_KERNELS_HE_PIPELINE_H

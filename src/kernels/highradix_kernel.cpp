@@ -64,10 +64,12 @@ HighRadixKernel::Plan(std::size_t n, std::size_t np) const
 void
 HighRadixKernel::Execute(NttBatchWorkload &workload) const
 {
-    for (std::size_t i = 0; i < workload.np(); ++i) {
+    // One pool dispatch over the batch — the CPU stand-in for the
+    // paper's single batched kernel launch (Fig. 3).
+    workload.ForEachRowParallel([&](std::size_t i) {
         workload.engine(i).Forward(workload.row(i),
                                    NttAlgorithm::kHighRadix, radix_);
-    }
+    });
 }
 
 }  // namespace hentt::kernels

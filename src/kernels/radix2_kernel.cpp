@@ -61,9 +61,11 @@ Radix2Kernel::Execute(NttBatchWorkload &workload) const
     } else if (reduction_ == Reduction::kBarrett) {
         algo = NttAlgorithm::kRadix2Barrett;
     }
-    for (std::size_t i = 0; i < workload.np(); ++i) {
+    // One pool dispatch over the batch — the CPU stand-in for the
+    // paper's single batched kernel launch (Fig. 3).
+    workload.ForEachRowParallel([&](std::size_t i) {
         workload.engine(i).Forward(workload.row(i), algo);
-    }
+    });
 }
 
 }  // namespace hentt::kernels

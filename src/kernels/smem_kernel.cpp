@@ -183,7 +183,9 @@ SmemKernel::Execute(NttBatchWorkload &workload) const
     if (workload.n() != config_.n()) {
         throw std::invalid_argument("workload size != N1 * N2");
     }
-    for (std::size_t i = 0; i < workload.np(); ++i) {
+    // One pool dispatch over the batch — the CPU stand-in for the
+    // paper's single batched kernel launch (Fig. 3).
+    workload.ForEachRowParallel([&](std::size_t i) {
         if (config_.ot_stages > 0) {
             workload.engine(i).Forward(workload.row(i),
                                        NttAlgorithm::kRadix2Ot,
@@ -192,7 +194,7 @@ SmemKernel::Execute(NttBatchWorkload &workload) const
             workload.engine(i).Forward(workload.row(i),
                                        NttAlgorithm::kRadix2);
         }
-    }
+    });
 }
 
 }  // namespace hentt::kernels

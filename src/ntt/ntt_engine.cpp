@@ -9,6 +9,7 @@ namespace {
 
 std::atomic<u64> g_forward_count{0};
 std::atomic<u64> g_inverse_count{0};
+std::atomic<u64> g_elementwise_count{0};
 
 }  // namespace
 
@@ -16,7 +17,8 @@ NttOpCounts
 GetNttOpCounts()
 {
     return {g_forward_count.load(std::memory_order_relaxed),
-            g_inverse_count.load(std::memory_order_relaxed)};
+            g_inverse_count.load(std::memory_order_relaxed),
+            g_elementwise_count.load(std::memory_order_relaxed)};
 }
 
 void
@@ -24,6 +26,13 @@ ResetNttOpCounts()
 {
     g_forward_count.store(0, std::memory_order_relaxed);
     g_inverse_count.store(0, std::memory_order_relaxed);
+    g_elementwise_count.store(0, std::memory_order_relaxed);
+}
+
+void
+AddElementwisePasses(u64 rows)
+{
+    g_elementwise_count.fetch_add(rows, std::memory_order_relaxed);
 }
 
 NttEngine::NttEngine(std::size_t n, u64 p, std::size_t ot_base)

@@ -124,6 +124,17 @@ class NttEngine
 struct NttOpCounts {
     u64 forward = 0;  ///< forward transforms (incl. lazy keep-range)
     u64 inverse = 0;  ///< inverse transforms
+    /**
+     * Destination limb rows swept by *standalone* element-wise
+     * dispatches in the batched HE kernels (one count per row-length
+     * loop over a destination row). Element-wise work fused into a
+     * transform dispatch — e.g. the add + rescale epilogue the fused
+     * Relinearize→ModSwitch stage runs while the inverse-transformed
+     * row is still cache-hot — is deliberately *not* counted: the
+     * whole point of the fusion is that those memory passes disappear,
+     * and tests pin the saving through this counter.
+     */
+    u64 elementwise = 0;
 };
 
 /** Snapshot of the process-wide transform counters. */
@@ -131,6 +142,10 @@ NttOpCounts GetNttOpCounts();
 
 /** Reset the process-wide transform counters to zero. */
 void ResetNttOpCounts();
+
+/** Record @p rows destination limb rows swept by a standalone
+ *  element-wise dispatch (see NttOpCounts::elementwise). */
+void AddElementwisePasses(u64 rows);
 
 }  // namespace hentt
 

@@ -359,6 +359,21 @@ RnsPoly::Multiply(const RnsPoly &a, const RnsPoly &b)
     return fa;
 }
 
+void
+RnsPoly::ResetScratch(std::shared_ptr<const RnsNttContext> ctx, bool zero)
+{
+    ctx_ = std::move(ctx);
+    limb_count_ = ctx_->basis().prime_count();
+    const std::size_t total = limb_count_ * ctx_->degree();
+    if (zero) {
+        data_.assign(total, 0);  // reuses capacity when sufficient
+    } else {
+        data_.resize(total);
+    }
+    domain_ = Domain::kCoefficient;
+    lazy_ = false;
+}
+
 BigInt
 RnsPoly::CoefficientAsBigInt(std::size_t k) const
 {

@@ -181,6 +181,21 @@ class RnsPoly
      */
     static RnsPoly Multiply(const RnsPoly &a, const RnsPoly &b);
 
+    /**
+     * Re-initialise as a coefficient-domain polynomial at @p ctx,
+     * reusing the existing heap buffer whenever its capacity allows —
+     * the scratch-arena hook that keeps steady-state batched HE ops
+     * allocation-free (buffers sized for a higher level of the modulus
+     * chain absorb every lower level for free).
+     *
+     * With @p zero false the rows are left with stale values; the
+     * caller must overwrite every element before reading any (the
+     * batched kernels' digit and accumulator fills do). Use true
+     * whenever the polynomial seeds an accumulation.
+     */
+    void ResetScratch(std::shared_ptr<const RnsNttContext> ctx,
+                      bool zero = true);
+
     /** Reconstruct coefficient k as a value in [0, Q). */
     BigInt CoefficientAsBigInt(std::size_t k) const;
 

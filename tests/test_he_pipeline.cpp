@@ -73,5 +73,24 @@ TEST(EstimateRelinearize, EvalDomainKeysCutTransformsAndTime)
                 eval.ntt.total_us + eval.elementwise.total_us, 1e-9);
 }
 
+TEST(EstimateRelinModSwitch, FusionCutsElementwiseNotTransforms)
+{
+    const gpu::Simulator sim;
+    const auto cfg = FindBestSmemConfig(sim, 1 << 14, 8, 8, 0).config;
+    const auto fused = EstimateRelinModSwitch(sim, cfg, 8, true);
+    const auto unfused = EstimateRelinModSwitch(sim, cfg, 8, false);
+    // The transform budget is fusion-invariant (np digit forwards + 2
+    // accumulator inverses); what fusion removes is the fold and
+    // alpha-rescale sweeps between the inverse and the divide-round.
+    EXPECT_NEAR(fused.ntt.total_us, unfused.ntt.total_us, 1e-9);
+    EXPECT_EQ(unfused.elementwise_passes, 3u * 8u + 6u);
+    EXPECT_EQ(fused.elementwise_passes, 3u * 8u + 2u);
+    EXPECT_EQ(unfused.elementwise_passes - fused.elementwise_passes, 4u);
+    EXPECT_LT(fused.elementwise.total_us, unfused.elementwise.total_us);
+    EXPECT_LT(fused.total_us, unfused.total_us);
+    EXPECT_NEAR(fused.total_us,
+                fused.ntt.total_us + fused.elementwise.total_us, 1e-9);
+}
+
 }  // namespace
 }  // namespace hentt::kernels

@@ -129,6 +129,40 @@ TEST(ParallelFor, NestedCallsFallBackToSerial)
     }
 }
 
+TEST(ParallelFor, GrainProductSaturatesInsteadOfWrapping)
+{
+    // Regression: count * work_per_item used to be a plain wrapping
+    // multiply, so a huge degree x limb product (e.g. 2^33 items of
+    // 2^32 elements) could wrap to a tiny value and silently flip the
+    // whole job onto the serial path. The heuristic must saturate: any
+    // overflowing product reads as "huge job", which always dispatches.
+    PoolConfigGuard guard;
+    SetGlobalThreadCount(4);
+    SetParallelGrain(1u << 20);
+
+    constexpr std::size_t kHugeCount = std::size_t{1} << 33;
+    constexpr std::size_t kHugeWork = std::size_t{1} << 32;
+    static_assert(kHugeCount * kHugeWork == 0,  // the wrapped value
+                  "chosen sizes must overflow size_t");
+    EXPECT_EQ(SaturatingMul(kHugeCount, kHugeWork), ~std::size_t{0});
+    EXPECT_TRUE(ParallelWouldDispatch(kHugeCount, kHugeWork));
+
+    // Saturation must not disturb the small-job cutoff.
+    EXPECT_FALSE(ParallelWouldDispatch(8, 16));
+    EXPECT_TRUE(ParallelWouldDispatch(2, 1u << 20));
+    EXPECT_FALSE(ParallelWouldDispatch(1, ~std::size_t{0}));
+
+    // And a job whose product overflows must still execute every
+    // index exactly once through the pool.
+    std::vector<std::atomic<int>> hits(64);
+    ParallelFor(hits.size(), ~std::size_t{0} / 2, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto &h : hits) {
+        EXPECT_EQ(h.load(), 1);
+    }
+}
+
 TEST(ParallelFor, MatchesSerialResultBitExactly)
 {
     // The determinism contract: a parallel elementwise job writing
