@@ -45,6 +45,7 @@
 #include "he/ciphertext_batch.h"
 #include "he/he_graph.h"
 #include "ntt/ntt_engine.h"
+#include "simd/simd_backend.h"
 
 // ---------------------------------------------------------------------
 // Allocation counter: global operator new replacement so the bench can
@@ -396,6 +397,42 @@ BenchMain(int argc, char **argv)
     std::printf("  steady-state allocs (5 fused calls): %lld\n",
                 relin_ms_allocs);
 
+    // ------------------------------------------------------------------
+    // SIMD backend columns: the steady-state fused stage per backend
+    // (warm arena, reused output), one lane, so the vectorized inner
+    // loops show up without pool noise.
+    // ------------------------------------------------------------------
+    bench::Section("fused RelinModSwitch per simd backend (1 lane)");
+    SetGlobalThreadCount(1);
+    const bool avx2_available =
+        simd::BackendAvailable(simd::Backend::kAvx2);
+    double fused_backend_ns[2] = {0.0, 0.0};
+    {
+        Ciphertext ms_out;
+        const Ciphertext *ms_src[] = {&prod};
+        Ciphertext *ms_dst[] = {&ms_out};
+        for (const auto backend :
+             {simd::Backend::kScalar, simd::Backend::kAvx2}) {
+            if (!simd::BackendAvailable(backend)) {
+                continue;
+            }
+            simd::ForceBackend(backend);
+            const std::size_t slot = static_cast<std::size_t>(backend);
+            fused_backend_ns[slot] = TimeBest_ns(reps, [&] {
+                BatchRelinModSwitch(*ctx, rk, ms_src, ms_dst);
+            });
+            bench::Row(std::string("fused ") +
+                           simd::BackendName(backend),
+                       fused_backend_ns[slot] / 1e3, "us");
+        }
+        simd::ResetBackend();
+    }
+    if (avx2_available) {
+        bench::Ratio("fused avx2 vs scalar",
+                     fused_backend_ns[0] / fused_backend_ns[1]);
+    }
+    SetGlobalThreadCount(threads);
+
     bench::Section("forward NTT rows per Relinearize");
     std::printf("  pr1 (coeff-domain keys)   %6llu\n",
                 static_cast<unsigned long long>(pr1_fwd));
@@ -427,7 +464,12 @@ BenchMain(int argc, char **argv)
             "  \"speedup_fused_vs_unfused\": %.3f,\n"
             "  \"relin_ms_elementwise_rows_unfused\": %llu,\n"
             "  \"relin_ms_elementwise_rows_fused\": %llu,\n"
-            "  \"relin_ms_steady_state_allocs\": %lld\n"
+            "  \"relin_ms_steady_state_allocs\": %lld,\n"
+            "  \"simd_default_backend\": \"%s\",\n"
+            "  \"avx2_available\": %s,\n"
+            "  \"fused_relin_ms_scalar_ns\": %.1f,\n"
+            "  \"fused_relin_ms_avx2_ns\": %.1f,\n"
+            "  \"speedup_fused_avx2_vs_scalar\": %.3f\n"
             "}\n",
             params.degree, np, threads, pr1_ns, batched_ns,
             graph_per_op_ns, pr1_ns / batched_ns,
@@ -437,7 +479,13 @@ BenchMain(int argc, char **argv)
             unfused_ms_ns, fused_ms_ns, unfused_ms_ns / fused_ms_ns,
             static_cast<unsigned long long>(unfused_counts.elementwise),
             static_cast<unsigned long long>(fused_counts.elementwise),
-            relin_ms_allocs);
+            relin_ms_allocs,
+            simd::BackendName(simd::ActiveBackend()),
+            avx2_available ? "true" : "false", fused_backend_ns[0],
+            fused_backend_ns[1],
+            avx2_available
+                ? fused_backend_ns[0] / fused_backend_ns[1]
+                : 0.0);
         std::fclose(f);
         std::printf("wrote %s\n", json_path.c_str());
     }

@@ -22,6 +22,7 @@
  * Usage: bench_rns_batch [--json PATH] [--threads T] [--reps R]
  */
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -33,7 +34,9 @@
 #include "bench_util.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
+#include "ntt/ntt_lazy.h"
 #include "poly/rns_poly.h"
+#include "simd/simd_backend.h"
 
 // ---------------------------------------------------------------------
 // Allocation counter: global operator new replacement so the bench can
@@ -240,6 +243,52 @@ BenchMain(int argc, char **argv)
     bench::Ratio("fast vs seed", seed_ns / fast_ns);
     bench::Ratio("batched vs seed", seed_ns / batched_ns);
 
+    // ------------------------------------------------------------------
+    // SIMD backend columns: the butterfly-bound single-row N=4096 lazy
+    // forward (the kernel the backend exists for) and the full multiply,
+    // per backend, one lane, so the vectorization shows up without the
+    // pool in the way.
+    // ------------------------------------------------------------------
+    bench::Section("simd backends (1 lane)");
+    SetGlobalThreadCount(1);
+    const bool avx2_available =
+        simd::BackendAvailable(simd::Backend::kAvx2);
+    double ntt_backend_ns[2] = {0.0, 0.0};
+    double mul_backend_ns[2] = {0.0, 0.0};
+    {
+        RnsPoly ntt_poly = a;
+        for (const auto backend :
+             {simd::Backend::kScalar, simd::Backend::kAvx2}) {
+            if (!simd::BackendAvailable(backend)) {
+                continue;
+            }
+            simd::ForceBackend(backend);
+            const std::size_t slot = static_cast<std::size_t>(backend);
+            ntt_backend_ns[slot] = TimeBest_ns(3 * reps, [&] {
+                std::copy(a.row(0).begin(), a.row(0).end(),
+                          ntt_poly.row(0).begin());
+                NttRadix2Lazy(ntt_poly.row(0),
+                              ctx->engine(0).table());
+            });
+            mul_backend_ns[slot] = TimeBest_ns(
+                reps, [&] { BatchedMultiply(fa, fb, a, b); });
+            bench::Row(std::string("ntt4096 ") +
+                           simd::BackendName(backend),
+                       ntt_backend_ns[slot] / 1e3, "us");
+            bench::Row(std::string("multiply ") +
+                           simd::BackendName(backend),
+                       mul_backend_ns[slot] / 1e3, "us");
+        }
+        simd::ResetBackend();
+    }
+    if (avx2_available) {
+        bench::Ratio("ntt4096 avx2 vs scalar",
+                     ntt_backend_ns[0] / ntt_backend_ns[1]);
+        bench::Ratio("multiply avx2 vs scalar",
+                     mul_backend_ns[0] / mul_backend_ns[1]);
+    }
+    SetGlobalThreadCount(threads);
+
     bench::Section("steady-state allocation check");
     long long alloc_delta;
     {
@@ -274,10 +323,25 @@ BenchMain(int argc, char **argv)
             "  \"batched_pool_ns\": %.1f,\n"
             "  \"speedup_fast_vs_seed\": %.3f,\n"
             "  \"speedup_batched_vs_seed\": %.3f,\n"
+            "  \"simd_default_backend\": \"%s\",\n"
+            "  \"avx2_available\": %s,\n"
+            "  \"ntt4096_scalar_ns\": %.1f,\n"
+            "  \"ntt4096_avx2_ns\": %.1f,\n"
+            "  \"speedup_ntt4096_avx2_vs_scalar\": %.3f,\n"
+            "  \"multiply_scalar_ns\": %.1f,\n"
+            "  \"multiply_avx2_ns\": %.1f,\n"
+            "  \"speedup_multiply_avx2_vs_scalar\": %.3f,\n"
             "  \"steady_state_allocs\": %lld\n"
             "}\n",
             n, np, threads, seed_ns, fast_ns, batched_ns,
-            seed_ns / fast_ns, speedup, alloc_delta);
+            seed_ns / fast_ns, speedup,
+            simd::BackendName(simd::ActiveBackend()),
+            avx2_available ? "true" : "false", ntt_backend_ns[0],
+            ntt_backend_ns[1],
+            avx2_available ? ntt_backend_ns[0] / ntt_backend_ns[1] : 0.0,
+            mul_backend_ns[0], mul_backend_ns[1],
+            avx2_available ? mul_backend_ns[0] / mul_backend_ns[1] : 0.0,
+            alloc_delta);
         std::fclose(f);
         std::printf("wrote %s\n", json_path.c_str());
     }
@@ -287,6 +351,17 @@ BenchMain(int argc, char **argv)
                      "FAIL: steady-state multiply allocated %lld times\n",
                      alloc_delta);
         return 1;
+    }
+    // Advisory, not a hard gate: on cores that split 256-bit ops into
+    // two halves (or on noisy shared runners) a correct build can
+    // legitimately land below the 1.5x target; the committed JSON
+    // column is the tracked record.
+    if (avx2_available &&
+        ntt_backend_ns[0] / ntt_backend_ns[1] < 1.5) {
+        std::fprintf(stderr,
+                     "WARNING: AVX2 backend below the 1.5x target on "
+                     "the N=4096 butterfly-bound microbench (%.2fx)\n",
+                     ntt_backend_ns[0] / ntt_backend_ns[1]);
     }
     return 0;
 }

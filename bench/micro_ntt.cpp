@@ -16,6 +16,7 @@
 #include "ntt/ntt32.h"
 #include "ntt/ntt_engine.h"
 #include "ntt/ntt_lazy.h"
+#include "simd/simd_backend.h"
 
 namespace {
 
@@ -134,6 +135,53 @@ BM_NttRadix2Lazy(benchmark::State &state)
     }
 }
 
+/**
+ * The butterfly-bound microbench, per SIMD backend (range(1): 0 =
+ * scalar, 1 = avx2) — the acceptance gauge for new backends: AVX2 is
+ * expected >= 1.5x scalar at N = 4096.
+ */
+void
+BM_NttRadix2LazyBackend(benchmark::State &state)
+{
+    const auto backend = static_cast<simd::Backend>(state.range(1));
+    if (!simd::BackendAvailable(backend)) {
+        state.SkipWithError("backend unavailable on this host");
+        return;
+    }
+    simd::ForceBackend(backend);
+    auto &fx = GetFixture(static_cast<std::size_t>(state.range(0)));
+    std::vector<u64> v = fx.data;
+    for (auto _ : state) {
+        v = fx.data;
+        NttRadix2Lazy(v, fx.engine.table());
+        benchmark::DoNotOptimize(v.data());
+    }
+    simd::ResetBackend();
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+    state.SetLabel(simd::BackendName(backend));
+}
+
+/** Inverse counterpart, per backend. */
+void
+BM_InttBackend(benchmark::State &state)
+{
+    const auto backend = static_cast<simd::Backend>(state.range(1));
+    if (!simd::BackendAvailable(backend)) {
+        state.SkipWithError("backend unavailable on this host");
+        return;
+    }
+    simd::ForceBackend(backend);
+    auto &fx = GetFixture(static_cast<std::size_t>(state.range(0)));
+    std::vector<u64> v = fx.data;
+    for (auto _ : state) {
+        v = fx.data;
+        fx.engine.Inverse(v);
+        benchmark::DoNotOptimize(v.data());
+    }
+    simd::ResetBackend();
+    state.SetLabel(simd::BackendName(backend));
+}
+
 void
 BM_Ntt32(benchmark::State &state)
 {
@@ -189,6 +237,12 @@ BENCHMARK(BM_NttHighRadix)
     ->Args({1 << 14, 64});
 BENCHMARK(BM_NttOt)->Args({1 << 14, 1})->Args({1 << 14, 2});
 BENCHMARK(BM_NttRadix2Lazy)->Arg(1 << 14);
+BENCHMARK(BM_NttRadix2LazyBackend)
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Args({1 << 14, 0})
+    ->Args({1 << 14, 1});
+BENCHMARK(BM_InttBackend)->Args({4096, 0})->Args({4096, 1});
 BENCHMARK(BM_Ntt32)->Arg(1 << 14);
 BENCHMARK(BM_Intt)->Arg(1 << 14);
 BENCHMARK(BM_PolyMultiply)->Arg(1 << 12)->Arg(1 << 14);

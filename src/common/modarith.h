@@ -201,6 +201,12 @@ class BarrettReducer
         return Reduce(Mul64Wide(a, b));
     }
 
+    /** Low word of mu — the word-split form the SIMD backends consume
+     *  (simd::BarrettConsts). */
+    u64 mu_lo() const { return Lo64(mu_); }
+    /** High word of mu. */
+    u64 mu_hi() const { return Hi64(mu_); }
+
     /**
      * (a * b + c) mod p in a single reduction.
      *

@@ -1,13 +1,14 @@
 #include "he/ciphertext_batch.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/modarith.h"
 #include "common/thread_pool.h"
+#include "simd/simd_backend.h"
 
 namespace hentt::he {
 
@@ -62,7 +63,7 @@ AppendAddTasks(std::vector<AddTask> &tasks, RnsPoly &dst,
     }
 }
 
-/** One pool dispatch over the whole task list. */
+/** One pool dispatch over the whole task list (simd add/sub rows). */
 void
 RunAddTasks(const std::vector<AddTask> &tasks, std::size_t max_n,
             bool subtract)
@@ -70,11 +71,12 @@ RunAddTasks(const std::vector<AddTask> &tasks, std::size_t max_n,
     AddElementwisePasses(tasks.size());
     ParallelFor(tasks.size(), max_n, [&](std::size_t t) {
         const AddTask &task = tasks[t];
-        for (std::size_t k = 0; k < task.n; ++k) {
-            const u64 s = task.fold_src ? FoldLazy(task.src[k], task.p)
-                                        : task.src[k];
-            task.dst[k] = subtract ? SubMod(task.dst[k], s, task.p)
-                                   : AddMod(task.dst[k], s, task.p);
+        if (subtract) {
+            simd::Active().sub_rows(task.dst, task.dst, task.src,
+                                    task.n, task.p, task.fold_src);
+        } else {
+            simd::Active().add_rows(task.dst, task.dst, task.src,
+                                    task.n, task.p, task.fold_src);
         }
     });
 }
@@ -128,6 +130,53 @@ EnsureParts(Ciphertext &ct, std::size_t count,
     }
 }
 
+/** One single-row transform (forward or inverse) in a batched NTT
+ *  dispatch. */
+struct RowTask {
+    const NttEngine *engine;
+    u64 *row;
+    std::size_t n;
+};
+
+/**
+ * The divide-and-round of one (part, target limb) row — the shared
+ * rescale epilogue of BatchModSwitch and the fused RelinModSwitch,
+ * executed by the simd backend's divide_round_rows kernel.
+ */
+struct RescaleTask {
+    const u64 *src;  ///< alpha-scaled row for the target limb
+    const u64 *top;  ///< row of the dropped prime
+    u64 *dst;        ///< output row at the next level
+    simd::DivideRoundConsts c;
+    std::size_t n;
+};
+
+/** Fill the level-dependent constants of a divide-and-round task set:
+ *  everything except the per-limb entries. */
+simd::DivideRoundConsts
+DivideRoundTop(u64 qk, u64 t_mod)
+{
+    simd::DivideRoundConsts c{};
+    c.qk = qk;
+    c.t_inv_qk = InvMod(t_mod % qk, qk);
+    c.t_inv_qk_bar = ShoupPrecompute(c.t_inv_qk, qk);
+    return c;
+}
+
+/** Complete @p c for target limb modulus @p qi (reducer @p red). */
+void
+DivideRoundLimb(simd::DivideRoundConsts &c, u64 qi, u64 t_mod,
+                const BarrettReducer &red)
+{
+    c.qi = qi;
+    c.qk_inv = InvMod(c.qk % qi, qi);
+    c.qk_inv_bar = ShoupPrecompute(c.qk_inv, qi);
+    c.t_mod_qi = t_mod % qi;
+    c.t_mod_qi_bar = ShoupPrecompute(c.t_mod_qi, qi);
+    c.mu_lo = red.mu_lo();
+    c.mu_hi = red.mu_hi();
+}
+
 // ---------------------------------------------------------------------
 // Shared Relinearize front half (stages 1-3): CRT digit decomposition,
 // lazy forward NTT of the digits, evaluation-domain gadget
@@ -141,20 +190,20 @@ struct RelinNode {
     const RelinKey::LevelKeys *keys = nullptr;
 };
 
-/** Digit j lift: d_j = [c2 * (Q_L/q_j)^{-1}]_{q_j} into every RNS row. */
-struct DigitTask {
+/** Digit j lift: d_j = [c2 * (Q_L/q_j)^{-1}]_{q_j} into the digit's own
+ *  residue row (stage 1a; the broadcast to the other rows is 1b). */
+struct DigitLiftTask {
     const RnsPoly *c2;
     RnsPoly *digit;
     std::size_t j;
     std::size_t level;
 };
 
-/** One single-row transform (forward or inverse) in a batched NTT
- *  dispatch. */
-struct RowTask {
-    const NttEngine *engine;
-    u64 *row;
-    std::size_t n;
+/** Digit broadcast: row l = [row j]_{q_l} (Barrett 64-bit reduce). */
+struct DigitSpreadTask {
+    RnsPoly *digit;
+    std::size_t j;  // source row (the lifted digit)
+    std::size_t l;  // destination row
 };
 
 /** Gadget inner-product accumulation for one (accumulator, limb) row. */
@@ -219,38 +268,56 @@ RelinGadgetAccumulate(const HeContext &ctx, const RelinKey &rk,
         }
     }
 
-    // Stage 1: CRT digit decomposition, one dispatch per batch over
-    // (ciphertext, digit) tasks; each task writes its digit's `level`
-    // rows through the level's Barrett reducers.
-    auto &digit_tasks = arena.Buffer<DigitTask>();
-    digit_tasks.clear();
-    std::size_t max_work = 1;
-    u64 digit_rows = 0;
+    // Stage 1a: CRT digit lift, one dispatch over (ciphertext, digit)
+    // tasks; each task computes its digit's own residue row with one
+    // Shoup row sweep.
+    auto &lift_tasks = arena.Buffer<DigitLiftTask>();
+    lift_tasks.clear();
+    std::size_t max_degree = 1;
     for (std::size_t i = 0; i < in.size(); ++i) {
         for (std::size_t j = 0; j < nodes[i].level; ++j) {
-            digit_tasks.push_back({&in[i]->parts[2],
-                                   polys[nodes[i].digit_off + j], j,
-                                   nodes[i].level});
-            max_work = std::max(max_work,
-                                in[i]->parts[2].degree() * nodes[i].level);
-            digit_rows += nodes[i].level;
+            lift_tasks.push_back({&in[i]->parts[2],
+                                  polys[nodes[i].digit_off + j], j,
+                                  nodes[i].level});
+            max_degree = std::max(max_degree, in[i]->parts[2].degree());
         }
     }
-    AddElementwisePasses(digit_rows);
-    ParallelFor(digit_tasks.size(), max_work, [&](std::size_t t) {
-        const DigitTask &task = digit_tasks[t];
+    AddElementwisePasses(lift_tasks.size());
+    ParallelFor(lift_tasks.size(), max_degree, [&](std::size_t t) {
+        const DigitLiftTask &task = lift_tasks[t];
         const RnsNttContext &level = task.digit->context();
         const u64 qj = level.basis().prime(task.j);
         const u64 q_tilde =
             InvMod(ctx.q_hat_level(task.level, task.j, task.j), qj);
-        const u64 q_tilde_bar = ShoupPrecompute(q_tilde, qj);
-        const std::span<const u64> src = task.c2->row(task.j);
-        for (std::size_t k = 0; k < task.c2->degree(); ++k) {
-            const u64 v = MulModShoup(src[k], q_tilde, q_tilde_bar, qj);
-            for (std::size_t l = 0; l < task.level; ++l) {
-                task.digit->row(l)[k] = level.reducer(l).Reduce(v);
+        simd::Active().mul_shoup_rows(
+            task.digit->row(task.j).data(), task.c2->row(task.j).data(),
+            task.c2->degree(), q_tilde, ShoupPrecompute(q_tilde, qj), qj);
+    });
+
+    // Stage 1b: digit broadcast, one dispatch over (digit, other row)
+    // tasks; each task Barrett-reduces the lifted row into another
+    // residue row. Bit-identical to reducing per element: the lifted
+    // value is strict (< q_j), so its own row needs no reduce pass.
+    auto &spread_tasks = arena.Buffer<DigitSpreadTask>();
+    spread_tasks.clear();
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        for (std::size_t j = 0; j < nodes[i].level; ++j) {
+            for (std::size_t l = 0; l < nodes[i].level; ++l) {
+                if (l != j) {
+                    spread_tasks.push_back(
+                        {polys[nodes[i].digit_off + j], j, l});
+                }
             }
         }
+    }
+    AddElementwisePasses(spread_tasks.size());
+    ParallelFor(spread_tasks.size(), max_degree, [&](std::size_t t) {
+        const DigitSpreadTask &task = spread_tasks[t];
+        const RnsNttContext &level = task.digit->context();
+        simd::Active().reduce_barrett_rows(
+            task.digit->row(task.l).data(),
+            task.digit->row(task.j).data(), task.digit->degree(),
+            simd::Consts(level.reducer(task.l)));
     });
 
     // Stage 2: ONE lazy forward-NTT dispatch over every digit x limb —
@@ -259,7 +326,6 @@ RelinGadgetAccumulate(const HeContext &ctx, const RelinKey &rk,
     // 4*np^2 by re-transforming keys and digits per product).
     auto &rows = arena.Buffer<RowTask>();
     rows.clear();
-    std::size_t max_degree = 1;
     for (std::size_t d = 0; d < total_digits; ++d) {
         RnsPoly *digit = polys[d];
         for (std::size_t l = 0; l < digit->prime_count(); ++l) {
@@ -279,7 +345,7 @@ RelinGadgetAccumulate(const HeContext &ctx, const RelinKey &rk,
     // Stage 3: evaluation-domain gadget accumulation, one dispatch over
     // (ciphertext, accumulator part, limb) tasks; each task folds all
     // np digit x key products for its row with one Barrett reduction
-    // per element.
+    // per element (simd mul-accumulate rows).
     const std::size_t acc_off = polys.size();
     for (const RelinNode &node : nodes) {
         const auto level = ctx.level_context(node.level);
@@ -289,6 +355,7 @@ RelinGadgetAccumulate(const HeContext &ctx, const RelinKey &rk,
     auto &acc_tasks = arena.Buffer<AccTask>();
     acc_tasks.clear();
     u64 acc_rows = 0;
+    std::size_t max_work = 1;
     for (std::size_t i = 0; i < in.size(); ++i) {
         for (std::size_t part = 0; part < 2; ++part) {
             const std::vector<RnsPoly> &keys =
@@ -298,23 +365,22 @@ RelinGadgetAccumulate(const HeContext &ctx, const RelinKey &rk,
                 acc_tasks.push_back(
                     {acc, &keys, nodes[i].digit_off, nodes[i].level, l});
                 acc_rows += nodes[i].level;
+                max_work = std::max(max_work,
+                                    acc->degree() * nodes[i].level);
             }
         }
     }
     AddElementwisePasses(acc_rows);
     ParallelFor(acc_tasks.size(), max_work, [&](std::size_t t) {
         const AccTask &task = acc_tasks[t];
-        const BarrettReducer &red =
-            task.acc->context().reducer(task.limb);
-        const std::span<u64> dst = task.acc->row(task.limb);
+        const simd::BarrettConsts consts =
+            simd::Consts(task.acc->context().reducer(task.limb));
+        u64 *dst = task.acc->row(task.limb).data();
         for (std::size_t j = 0; j < task.level; ++j) {
-            const std::span<const u64> dj =
-                polys[task.digit_off + j]->row(task.limb);
-            const std::span<const u64> kj =
-                (*task.keys)[j].row(task.limb);
-            for (std::size_t k = 0; k < dst.size(); ++k) {
-                dst[k] = red.MulAddMod(dj[k], kj[k], dst[k]);
-            }
+            simd::Active().mul_acc_barrett_rows(
+                dst, polys[task.digit_off + j]->row(task.limb).data(),
+                (*task.keys)[j].row(task.limb).data(),
+                task.acc->degree(), consts);
         }
     });
     for (std::size_t a = acc_off; a < polys.size(); ++a) {
@@ -331,14 +397,16 @@ BatchAdd(const HeContext &ctx, std::span<const Ciphertext *const> a,
          std::span<const Ciphertext *const> b,
          std::span<Ciphertext *const> out, bool subtract)
 {
-    (void)ctx;
     CheckSpanLengths(a.size(), b.size(), out.size());
+    ScratchArena &arena = ctx.scratch();
+    const ScratchArena::OpScope scope(arena);
 
     // Element-wise task per (ciphertext, part, limb); the whole batch
     // is one pool dispatch. Outputs are copies of `a` combined in place
     // (out[i] may alias a[i], not b[i]). Lazy [0, 4p) parts (from
     // ToEvaluationLazy) reduce/fold exactly as RnsPoly::operator+=.
-    std::vector<AddTask> tasks;
+    auto &tasks = arena.Buffer<AddTask>();
+    tasks.clear();
     std::size_t max_n = 1;
     for (std::size_t i = 0; i < a.size(); ++i) {
         CheckPairCompatible(*a[i], *b[i]);
@@ -362,24 +430,57 @@ BatchMul(const HeContext &ctx, std::span<const Ciphertext *const> a,
 {
     CheckSpanLengths(a.size(), b.size(), out.size());
     const std::size_t m = a.size();
+    ScratchArena &arena = ctx.scratch();
+    const ScratchArena::OpScope scope(arena);
 
     // Stage 0: working copies of every *distinct* input part, interned
-    // by address — a ciphertext feeding several products in the batch
-    // (squaring included) is copied and transformed exactly once.
-    struct Node {
+    // by address into arena polys — a ciphertext feeding several
+    // products in the batch (squaring included) is copied and
+    // transformed exactly once. The copies also mean the inputs are
+    // dead after this stage, so outputs may alias inputs freely.
+    struct MulNode {
         std::size_t a0, a1, b0, b1;  // indices into `fwd`
     };
-    std::vector<RnsPoly> fwd;
-    fwd.reserve(4 * m);
-    std::unordered_map<const RnsPoly *, std::size_t> slots;
-    const auto intern = [&](const RnsPoly &part) {
-        const auto [it, inserted] = slots.try_emplace(&part, fwd.size());
-        if (inserted) {
-            fwd.push_back(part);
-        }
-        return it->second;
+    auto &fwd = arena.Buffer<RnsPoly *>();
+    fwd.clear();
+    // Intern table: open addressing over the pooled slot vector (load
+    // factor <= 1/2), so interning stays O(1) per part for arbitrarily
+    // large batches without leaving the arena.
+    struct InternSlot {
+        const RnsPoly *part;
+        std::size_t index;
     };
-    std::vector<Node> nodes(m);
+    auto &table = arena.Buffer<InternSlot>();
+    std::size_t cap = 16;
+    while (cap < 8 * m) {
+        cap <<= 1;
+    }
+    table.assign(cap, {nullptr, 0});  // reuses capacity across calls
+    const std::size_t mask = cap - 1;
+    const auto intern = [&](const RnsPoly &part) {
+        std::size_t probe =
+            (reinterpret_cast<std::uintptr_t>(&part) >> 4) *
+            std::size_t{0x9E3779B97F4A7C15ULL} & mask;
+        while (true) {
+            InternSlot &slot = table[probe];
+            if (slot.part == &part) {
+                return slot.index;
+            }
+            if (slot.part == nullptr) {
+                const std::size_t index = fwd.size();
+                slot = {&part, index};
+                RnsPoly &copy = arena.NextPoly(
+                    ctx.level_context(part.prime_count()),
+                    /*zero=*/false);
+                copy = part;  // reuses the pooled buffer's capacity
+                fwd.push_back(&copy);
+                return index;
+            }
+            probe = (probe + 1) & mask;
+        }
+    };
+    auto &nodes = arena.Buffer<MulNode>();
+    nodes.clear();
     for (std::size_t i = 0; i < m; ++i) {
         const Ciphertext &ca = *a[i];
         const Ciphertext &cb = *b[i];
@@ -388,86 +489,102 @@ BatchMul(const HeContext &ctx, std::span<const Ciphertext *const> a,
                 "Mul expects degree-1 ciphertexts; relinearize first");
         }
         CheckPairCompatible(ca, cb);
-        nodes[i].a0 = intern(ca.parts[0]);
-        nodes[i].a1 = intern(ca.parts[1]);
-        nodes[i].b0 = intern(cb.parts[0]);
-        nodes[i].b1 = intern(cb.parts[1]);
+        MulNode node;
+        node.a0 = intern(ca.parts[0]);
+        node.a1 = intern(ca.parts[1]);
+        node.b0 = intern(cb.parts[0]);
+        node.b1 = intern(cb.parts[1]);
+        nodes.push_back(node);
     }
 
     // Stage 1: ONE lazy forward-NTT dispatch across every input part x
     // limb. Rows stay in [0, 4p) — the tensor stage's Barrett products
     // tolerate them (16p^2 fits u128; the fused cross term needs
     // 32p^2 < 2^128, guaranteed by HeParams' prime_bits <= 61 bound).
-    std::vector<RnsPoly *> pending;
-    pending.reserve(fwd.size());
-    for (RnsPoly &poly : fwd) {
-        if (poly.domain() == RnsPoly::Domain::kCoefficient) {
-            pending.push_back(&poly);
+    auto &rows = arena.Buffer<RowTask>();
+    rows.clear();
+    std::size_t max_degree = 1;
+    for (RnsPoly *poly : fwd) {
+        if (poly->domain() != RnsPoly::Domain::kCoefficient) {
+            continue;
+        }
+        for (std::size_t l = 0; l < poly->prime_count(); ++l) {
+            rows.push_back({&poly->context().engine(l),
+                            poly->row(l).data(), poly->degree()});
+        }
+        max_degree = std::max(max_degree, poly->degree());
+    }
+    ParallelFor(rows.size(), max_degree, [&](std::size_t t) {
+        rows[t].engine->ForwardLazy({rows[t].row, rows[t].n});
+    });
+    for (RnsPoly *poly : fwd) {
+        if (poly->domain() == RnsPoly::Domain::kCoefficient) {
+            detail::RnsPolyBatchAccess::MarkEvaluation(*poly,
+                                                       /*lazy=*/true);
         }
     }
-    RnsPoly::BatchToEvaluation(pending, /*lazy=*/true);
 
     // Stage 2: ONE tensor dispatch per (ciphertext, limb); each task
     // fills the three result rows (c0 = a0 b0, c1 = a0 b1 + a1 b0,
-    // c2 = a1 b1) with one Barrett reduction per output element.
-    std::vector<Ciphertext> results(m);
-    for (std::size_t i = 0; i < m; ++i) {
-        const auto level =
-            ctx.level_context(a[i]->parts[0].prime_count());
-        results[i].parts.assign(3, RnsPoly(level));
-    }
+    // c2 = a1 b1) straight into out[i] with one Barrett reduction per
+    // output element (simd tensor kernel).
     struct TensorTask {
         const u64 *a0, *a1, *b0, *b1;
         u64 *c0, *c1, *c2;
-        const BarrettReducer *red;
+        simd::BarrettConsts consts;
         std::size_t n;
     };
-    std::vector<TensorTask> tensor;
+    auto &tensor = arena.Buffer<TensorTask>();
+    tensor.clear();
     std::size_t max_n = 1;
     for (std::size_t i = 0; i < m; ++i) {
-        const Node &nd = nodes[i];
-        const RnsNttContext &level = fwd[nd.a0].context();
-        for (std::size_t l = 0; l < fwd[nd.a0].prime_count(); ++l) {
-            tensor.push_back({fwd[nd.a0].row(l).data(),
-                              fwd[nd.a1].row(l).data(),
-                              fwd[nd.b0].row(l).data(),
-                              fwd[nd.b1].row(l).data(),
-                              results[i].parts[0].row(l).data(),
-                              results[i].parts[1].row(l).data(),
-                              results[i].parts[2].row(l).data(),
-                              &level.reducer(l), fwd[nd.a0].degree()});
-            max_n = std::max(max_n, fwd[nd.a0].degree());
+        const MulNode &nd = nodes[i];
+        const RnsPoly &fa0 = *fwd[nd.a0];
+        const RnsNttContext &level = fa0.context();
+        EnsureParts(*out[i], 3, ctx.level_context(fa0.prime_count()));
+        for (std::size_t l = 0; l < fa0.prime_count(); ++l) {
+            tensor.push_back({fa0.row(l).data(),
+                              fwd[nd.a1]->row(l).data(),
+                              fwd[nd.b0]->row(l).data(),
+                              fwd[nd.b1]->row(l).data(),
+                              out[i]->parts[0].row(l).data(),
+                              out[i]->parts[1].row(l).data(),
+                              out[i]->parts[2].row(l).data(),
+                              simd::Consts(level.reducer(l)),
+                              fa0.degree()});
+            max_n = std::max(max_n, fa0.degree());
         }
     }
     AddElementwisePasses(3 * tensor.size());  // three result rows each
     ParallelFor(tensor.size(), max_n, [&](std::size_t t) {
         const TensorTask &task = tensor[t];
-        for (std::size_t k = 0; k < task.n; ++k) {
-            task.c0[k] = task.red->MulMod(task.a0[k], task.b0[k]);
-            task.c1[k] =
-                task.red->Reduce(Mul64Wide(task.a0[k], task.b1[k]) +
-                                 Mul64Wide(task.a1[k], task.b0[k]));
-            task.c2[k] = task.red->MulMod(task.a1[k], task.b1[k]);
-        }
+        simd::Active().tensor_rows(task.c0, task.c1, task.c2, task.a0,
+                                   task.a1, task.b0, task.b1, task.n,
+                                   task.consts);
     });
-    for (Ciphertext &result : results) {
-        for (RnsPoly &part : result.parts) {
+    for (std::size_t i = 0; i < m; ++i) {
+        for (RnsPoly &part : out[i]->parts) {
             detail::RnsPolyBatchAccess::MarkEvaluation(part);
         }
     }
 
     // Stage 3: ONE inverse-NTT dispatch across all 3m result parts.
-    std::vector<RnsPoly *> inv;
-    inv.reserve(3 * m);
-    for (Ciphertext &result : results) {
-        for (RnsPoly &part : result.parts) {
-            inv.push_back(&part);
+    rows.clear();
+    for (std::size_t i = 0; i < m; ++i) {
+        for (RnsPoly &part : out[i]->parts) {
+            for (std::size_t l = 0; l < part.prime_count(); ++l) {
+                rows.push_back({&part.context().engine(l),
+                                part.row(l).data(), part.degree()});
+            }
         }
     }
-    RnsPoly::BatchToCoefficient(inv);
-
+    ParallelFor(rows.size(), max_n, [&](std::size_t t) {
+        rows[t].engine->Inverse({rows[t].row, rows[t].n});
+    });
     for (std::size_t i = 0; i < m; ++i) {
-        *out[i] = std::move(results[i]);
+        for (RnsPoly &part : out[i]->parts) {
+            detail::RnsPolyBatchAccess::MarkCoefficient(part);
+        }
     }
 }
 
@@ -532,9 +649,8 @@ BatchRelinearize(const HeContext &ctx, const RelinKey &rk,
     AddElementwisePasses(folds.size());
     ParallelFor(folds.size(), max_degree, [&](std::size_t t) {
         const FoldTask &task = folds[t];
-        for (std::size_t k = 0; k < task.n; ++k) {
-            task.dst[k] = AddMod(task.acc[k], task.src[k], task.p);
-        }
+        simd::Active().add_rows(task.dst, task.acc, task.src, task.n,
+                                task.p, /*fold_b=*/false);
     });
 }
 
@@ -557,10 +673,11 @@ BatchRelinModSwitch(const HeContext &ctx, const RelinKey &rk,
     // limbs where each task inverse-transforms its row and then, while
     // the row is still cache-hot, folds in the input part and applies
     // the modulus-switch alpha rescale (alpha = q_k mod t) as an
-    // epilogue of the same loop. The unfused chain pays two standalone
-    // sweeps (the (c0, c1) fold and the alpha pass) for exactly these
-    // values — here they never leave the inverse dispatch, which is why
-    // NttOpCounts::elementwise does not grow.
+    // epilogue of the same loop (the simd fold_rescale kernel). The
+    // unfused chain pays two standalone sweeps (the (c0, c1) fold and
+    // the alpha pass) for exactly these values — here they never leave
+    // the inverse dispatch, which is why NttOpCounts::elementwise does
+    // not grow.
     struct FusedInvTask {
         const NttEngine *engine;
         u64 *row;        // accumulator row, in place
@@ -593,34 +710,21 @@ BatchRelinModSwitch(const HeContext &ctx, const RelinKey &rk,
     ParallelFor(fused.size(), max_degree, [&](std::size_t t) {
         const FusedInvTask &task = fused[t];
         task.engine->Inverse({task.row, task.n});
-        for (std::size_t k = 0; k < task.n; ++k) {
-            const u64 folded = AddMod(task.row[k], task.src[k], task.p);
-            task.row[k] =
-                MulModShoup(folded, task.s, task.s_bar, task.p);
-        }
+        simd::Active().fold_rescale_rows(task.row, task.src, task.n,
+                                         task.p, task.s, task.s_bar);
     });
     for (std::size_t a = core.acc_off; a < polys.size(); ++a) {
         detail::RnsPolyBatchAccess::MarkCoefficient(*polys[a]);
     }
 
     // Divide-and-round into out at the next level — the only standalone
-    // element-wise sweep left in the fused op. delta = t * [c_k *
-    // t^{-1}]_{q_k}, centered, satisfies delta == c (mod q_k) and
-    // delta == 0 (mod t), so (c - delta) / q_k is exact and
-    // plaintext-clean. The InvMod/Shoup constants are hoisted into the
-    // task list (InvMod is a PowMod of native divisions — the exact
-    // path the hot loops exist to avoid); the dropped top row is read
-    // from the accumulator and never written anywhere.
-    struct MsSwitchTask {
-        const u64 *src;  // accumulator row for the target limb
-        const u64 *top;  // accumulator row for the dropped prime
-        u64 *dst;        // output row at the next level
-        const BarrettReducer *red_qi;
-        u64 qk, t_inv_qk, t_inv_qk_bar;
-        u64 qi, qk_inv, qk_inv_bar, t_mod_qi, t_mod_qi_bar;
-        std::size_t n;
-    };
-    auto &switches = arena.Buffer<MsSwitchTask>();
+    // element-wise sweep left in the fused op, shared with
+    // BatchModSwitch through the simd divide_round kernel. The
+    // InvMod/Shoup constants are hoisted into the task list (InvMod is
+    // a PowMod of native divisions — the exact path the hot loops exist
+    // to avoid); the dropped top row is read from the accumulator and
+    // never written anywhere.
+    auto &switches = arena.Buffer<RescaleTask>();
     switches.clear();
     for (std::size_t i = 0; i < m; ++i) {
         const std::size_t level = nodes[i].level;
@@ -628,23 +732,13 @@ BatchRelinModSwitch(const HeContext &ctx, const RelinKey &rk,
         EnsureParts(*out[i], 2, next);
         const RnsPoly &acc0 = *polys[core.acc_off + 2 * i];
         const RnsBasis &basis = acc0.context().basis();
-        const u64 qk = basis.prime(level - 1);
-        const u64 t_inv_qk = InvMod(t_mod % qk, qk);
-        const u64 t_inv_qk_bar = ShoupPrecompute(t_inv_qk, qk);
+        const simd::DivideRoundConsts top_consts =
+            DivideRoundTop(basis.prime(level - 1), t_mod);
         for (std::size_t l = 0; l + 1 < level; ++l) {
-            const u64 qi = basis.prime(l);
-            const u64 qk_inv = InvMod(qk % qi, qi);
-            const u64 t_mod_qi = t_mod % qi;
-            MsSwitchTask task;
-            task.red_qi = &next->reducer(l);
-            task.qk = qk;
-            task.t_inv_qk = t_inv_qk;
-            task.t_inv_qk_bar = t_inv_qk_bar;
-            task.qi = qi;
-            task.qk_inv = qk_inv;
-            task.qk_inv_bar = ShoupPrecompute(qk_inv, qi);
-            task.t_mod_qi = t_mod_qi;
-            task.t_mod_qi_bar = ShoupPrecompute(t_mod_qi, qi);
+            RescaleTask task;
+            task.c = top_consts;
+            DivideRoundLimb(task.c, basis.prime(l), t_mod,
+                            next->reducer(l));
             for (std::size_t part = 0; part < 2; ++part) {
                 const RnsPoly &acc =
                     *polys[core.acc_off + 2 * i + part];
@@ -658,27 +752,9 @@ BatchRelinModSwitch(const HeContext &ctx, const RelinKey &rk,
     }
     AddElementwisePasses(switches.size());
     ParallelFor(switches.size(), max_degree, [&](std::size_t t) {
-        const MsSwitchTask &task = switches[t];
-        for (std::size_t k = 0; k < task.n; ++k) {
-            const u64 u = MulModShoup(task.top[k], task.t_inv_qk,
-                                      task.t_inv_qk_bar, task.qk);
-            u64 delta_mod_qi;
-            if (u <= task.qk / 2) {
-                delta_mod_qi =
-                    MulModShoup(task.red_qi->Reduce(u), task.t_mod_qi,
-                                task.t_mod_qi_bar, task.qi);
-            } else {
-                const u64 v = task.qk - u;  // delta = -t * v
-                const u64 pos =
-                    MulModShoup(task.red_qi->Reduce(v), task.t_mod_qi,
-                                task.t_mod_qi_bar, task.qi);
-                delta_mod_qi = pos == 0 ? 0 : task.qi - pos;
-            }
-            const u64 diff =
-                SubMod(task.src[k], delta_mod_qi, task.qi);
-            task.dst[k] = MulModShoup(diff, task.qk_inv,
-                                      task.qk_inv_bar, task.qi);
-        }
+        const RescaleTask &task = switches[t];
+        simd::Active().divide_round_rows(task.dst, task.src, task.top,
+                                         task.n, task.c);
     });
 }
 
@@ -689,8 +765,9 @@ BatchModSwitch(const HeContext &ctx, std::span<const Ciphertext *const> in,
     CheckSpanLengths(in.size(), in.size(), out.size());
     const std::size_t m = in.size();
     const u64 t_mod = ctx.params().plain_modulus;
+    ScratchArena &arena = ctx.scratch();
+    const ScratchArena::OpScope scope(arena);
 
-    std::size_t total_parts = 0;
     for (std::size_t i = 0; i < m; ++i) {
         const Ciphertext &ct = *in[i];
         if (ct.parts.at(0).prime_count() < 2) {
@@ -703,148 +780,102 @@ BatchModSwitch(const HeContext &ctx, std::span<const Ciphertext *const> in,
                     "modulus switch expects coefficient domain");
             }
         }
-        total_parts += ct.parts.size();
     }
 
     // Stage 1: alpha pre-scaling (alpha = q_k mod t makes the switch
-    // plaintext-preserving) into working copies, one dispatch over all
-    // parts x limbs.
-    std::vector<RnsPoly> scaled;
-    scaled.reserve(total_parts);
-    for (std::size_t i = 0; i < m; ++i) {
-        for (const RnsPoly &part : in[i]->parts) {
-            scaled.push_back(part);
-        }
-    }
+    // plaintext-preserving) into arena working copies, one dispatch
+    // over all parts x limbs. The copies free the inputs, so outputs
+    // may alias them.
+    auto &scaled = arena.Buffer<RnsPoly *>();
+    scaled.clear();
+    struct MsNode {
+        std::size_t np_cur;
+        std::size_t part_count;
+    };
+    auto &ms_nodes = arena.Buffer<MsNode>();
+    ms_nodes.clear();
     struct ScaleTask {
         u64 *row;
         u64 p;
-        u64 alpha;
+        u64 s, s_bar;
         std::size_t n;
     };
-    std::vector<ScaleTask> scale_tasks;
+    auto &scale_tasks = arena.Buffer<ScaleTask>();
+    scale_tasks.clear();
     std::size_t max_n = 1;
-    {
-        std::size_t idx = 0;
-        for (std::size_t i = 0; i < m; ++i) {
-            const std::size_t np_cur = in[i]->parts[0].prime_count();
-            const u64 qk =
-                in[i]->parts[0].context().basis().prime(np_cur - 1);
-            const u64 alpha = qk % t_mod;
-            for (std::size_t j = 0; j < in[i]->parts.size(); ++j) {
-                RnsPoly &part = scaled[idx++];
-                const RnsBasis &basis = part.context().basis();
-                for (std::size_t l = 0; l < part.prime_count(); ++l) {
-                    scale_tasks.push_back({part.row(l).data(),
-                                           basis.prime(l), alpha,
-                                           part.degree()});
-                    max_n = std::max(max_n, part.degree());
-                }
+    for (std::size_t i = 0; i < m; ++i) {
+        const std::size_t np_cur = in[i]->parts[0].prime_count();
+        const u64 qk = in[i]->parts[0].context().basis().prime(np_cur - 1);
+        const u64 alpha = qk % t_mod;
+        ms_nodes.push_back({np_cur, in[i]->parts.size()});
+        for (const RnsPoly &part : in[i]->parts) {
+            RnsPoly &copy =
+                arena.NextPoly(ctx.level_context(np_cur), /*zero=*/false);
+            copy = part;
+            scaled.push_back(&copy);
+            const RnsBasis &basis = copy.context().basis();
+            for (std::size_t l = 0; l < copy.prime_count(); ++l) {
+                const u64 p = basis.prime(l);
+                const u64 s = alpha % p;
+                scale_tasks.push_back({copy.row(l).data(), p, s,
+                                       ShoupPrecompute(s, p),
+                                       copy.degree()});
+                max_n = std::max(max_n, copy.degree());
             }
         }
     }
     AddElementwisePasses(scale_tasks.size());
     ParallelFor(scale_tasks.size(), max_n, [&](std::size_t t) {
         const ScaleTask &task = scale_tasks[t];
-        const u64 s = task.alpha % task.p;
-        const u64 s_bar = ShoupPrecompute(s, task.p);
-        for (std::size_t k = 0; k < task.n; ++k) {
-            task.row[k] = MulModShoup(task.row[k], s, s_bar, task.p);
-        }
+        simd::Active().mul_shoup_rows(task.row, task.row, task.n,
+                                      task.s, task.s_bar, task.p);
     });
 
-    // Stage 2: divide-and-round, one dispatch over all parts x target
-    // limbs. delta = t * [c_k * t^{-1}]_{q_k}, centered, satisfies
-    // delta == c (mod q_k) and delta == 0 (mod t), so (c - delta) / q_k
-    // is exact and plaintext-clean. The InvMod/Shoup constants depend
-    // only on the ciphertext's level, so they are hoisted out of the
-    // parallel tasks (InvMod is a PowMod of native divisions — the
-    // exact path the hot loops exist to avoid).
-    struct LevelConsts {
-        u64 qk = 0;
-        u64 t_inv_qk = 0, t_inv_qk_bar = 0;
-        std::vector<u64> qk_inv, qk_inv_bar;        // per target limb
-        std::vector<u64> t_mod_qi, t_mod_qi_bar;    // per target limb
-    };
-    std::vector<LevelConsts> consts(m);
-    for (std::size_t i = 0; i < m; ++i) {
-        const RnsBasis &basis = in[i]->parts[0].context().basis();
-        const std::size_t np_cur = in[i]->parts[0].prime_count();
-        LevelConsts &c = consts[i];
-        c.qk = basis.prime(np_cur - 1);
-        c.t_inv_qk = InvMod(t_mod % c.qk, c.qk);
-        c.t_inv_qk_bar = ShoupPrecompute(c.t_inv_qk, c.qk);
-        for (std::size_t l = 0; l + 1 < np_cur; ++l) {
-            const u64 qi = basis.prime(l);
-            c.qk_inv.push_back(InvMod(c.qk % qi, qi));
-            c.qk_inv_bar.push_back(ShoupPrecompute(c.qk_inv[l], qi));
-            c.t_mod_qi.push_back(t_mod % qi);
-            c.t_mod_qi_bar.push_back(ShoupPrecompute(c.t_mod_qi[l], qi));
-        }
-    }
-
-    std::vector<Ciphertext> results(m);
-    struct SwitchTask {
-        const RnsPoly *src;      // alpha-scaled part at the old level
-        RnsPoly *dst;            // part at the new level
-        const LevelConsts *consts;
-        std::size_t i;           // target limb
-    };
-    std::vector<SwitchTask> switch_tasks;
+    // Stage 2: divide-and-round straight into out at the next level,
+    // one dispatch over all parts x target limbs — the same simd
+    // kernel (and constants) as the fused RelinModSwitch epilogue.
+    auto &switch_tasks = arena.Buffer<RescaleTask>();
+    switch_tasks.clear();
     {
+        // The working copies (and ms_nodes) carry everything needed
+        // from here on, so out[i] may alias any input. The
+        // InvMod/Shoup constants depend only on (ciphertext, target
+        // limb), so they are computed once per limb and shared across
+        // the parts (InvMod is a PowMod of native divisions — the
+        // exact path the hot loops exist to avoid).
         std::size_t idx = 0;
         for (std::size_t i = 0; i < m; ++i) {
-            const std::size_t np_cur = in[i]->parts[0].prime_count();
+            const std::size_t np_cur = ms_nodes[i].np_cur;
             const auto next = ctx.level_context(np_cur - 1);
-            results[i].parts.assign(in[i]->parts.size(), RnsPoly(next));
-            for (std::size_t j = 0; j < in[i]->parts.size(); ++j) {
-                const RnsPoly &src = scaled[idx++];
-                for (std::size_t l = 0; l + 1 < np_cur; ++l) {
-                    switch_tasks.push_back(
-                        {&src, &results[i].parts[j], &consts[i], l});
+            const std::size_t part_count = ms_nodes[i].part_count;
+            EnsureParts(*out[i], part_count, next);
+            const RnsBasis &basis =
+                scaled[idx]->context().basis();
+            const simd::DivideRoundConsts top_consts =
+                DivideRoundTop(basis.prime(np_cur - 1), t_mod);
+            for (std::size_t l = 0; l + 1 < np_cur; ++l) {
+                RescaleTask task;
+                task.c = top_consts;
+                DivideRoundLimb(task.c, basis.prime(l), t_mod,
+                                next->reducer(l));
+                for (std::size_t j = 0; j < part_count; ++j) {
+                    const RnsPoly &src = *scaled[idx + j];
+                    task.src = src.row(l).data();
+                    task.top = src.row(np_cur - 1).data();
+                    task.dst = out[i]->parts[j].row(l).data();
+                    task.n = src.degree();
+                    switch_tasks.push_back(task);
                 }
             }
+            idx += part_count;
         }
     }
     AddElementwisePasses(switch_tasks.size());
     ParallelFor(switch_tasks.size(), max_n, [&](std::size_t t) {
-        const SwitchTask &task = switch_tasks[t];
-        const RnsBasis &basis = task.src->context().basis();
-        const std::size_t k_top = task.src->prime_count() - 1;
-        const LevelConsts &c = *task.consts;
-        const u64 qk = c.qk;
-        const u64 t_inv_qk = c.t_inv_qk;
-        const u64 t_inv_qk_bar = c.t_inv_qk_bar;
-        const u64 qi = basis.prime(task.i);
-        const BarrettReducer &red_qi = task.dst->context().reducer(task.i);
-        const u64 qk_inv = c.qk_inv[task.i];
-        const u64 qk_inv_bar = c.qk_inv_bar[task.i];
-        const u64 t_mod_qi = c.t_mod_qi[task.i];
-        const u64 t_mod_qi_bar = c.t_mod_qi_bar[task.i];
-        const std::span<const u64> top = task.src->row(k_top);
-        const std::span<const u64> src = task.src->row(task.i);
-        const std::span<u64> dst = task.dst->row(task.i);
-        for (std::size_t idx = 0; idx < dst.size(); ++idx) {
-            const u64 u =
-                MulModShoup(top[idx], t_inv_qk, t_inv_qk_bar, qk);
-            u64 delta_mod_qi;
-            if (u <= qk / 2) {
-                delta_mod_qi = MulModShoup(red_qi.Reduce(u), t_mod_qi,
-                                           t_mod_qi_bar, qi);
-            } else {
-                const u64 v = qk - u;  // delta = -t * v
-                const u64 pos = MulModShoup(red_qi.Reduce(v), t_mod_qi,
-                                            t_mod_qi_bar, qi);
-                delta_mod_qi = pos == 0 ? 0 : qi - pos;
-            }
-            const u64 diff = SubMod(src[idx], delta_mod_qi, qi);
-            dst[idx] = MulModShoup(diff, qk_inv, qk_inv_bar, qi);
-        }
+        const RescaleTask &task = switch_tasks[t];
+        simd::Active().divide_round_rows(task.dst, task.src, task.top,
+                                         task.n, task.c);
     });
-
-    for (std::size_t i = 0; i < m; ++i) {
-        *out[i] = std::move(results[i]);
-    }
 }
 
 }  // namespace hentt::he

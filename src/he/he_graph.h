@@ -130,6 +130,15 @@ class HeOpGraph
      * execute as one batched kernel call (single dispatches spanning
      * the whole group). Exceptions from kernels propagate and leave
      * the affected wavefront's nodes pending.
+     *
+     * The scheduler auto-fuses before running: a pending Relinearize
+     * node whose only consumer is a pending ModSwitch collapses into
+     * one kRelinModSwitch node (the fused kernel), exactly what an
+     * explicit RelinModSwitch() call would have enqueued — the
+     * standalone fold/rescale sweeps between the two ops disappear.
+     * The bypassed Relinearize node is *not* computed; holding a
+     * CtFuture to it stays legal — get() materialises it on demand
+     * with a standalone Relinearize.
      */
     void Execute();
 
@@ -157,6 +166,14 @@ class HeOpGraph
         std::size_t a = 0;  // operand node indices (kind-dependent)
         std::size_t b = 0;
         bool done = false;
+        // Bypassed by the auto-fusion pass (a Relinearize whose only
+        // consumer became a fused node): skipped by Execute and by
+        // pending(), materialised lazily if a CtFuture demands it.
+        bool fused_away = false;
+        // A CtFuture::get() asked for this node's value: the fusion
+        // pass must never bypass it (even on the Execute() that the
+        // get() itself triggers).
+        bool demanded = false;
         Ciphertext value;
     };
 

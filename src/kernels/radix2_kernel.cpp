@@ -55,7 +55,12 @@ Radix2Kernel::Plan(std::size_t n, std::size_t np) const
 void
 Radix2Kernel::Execute(NttBatchWorkload &workload) const
 {
-    NttAlgorithm algo = NttAlgorithm::kRadix2;
+    // The Shoup path executes through the lazy [0, 4p) pipeline — the
+    // butterfly the GPU kernels actually run, bit-identical to the
+    // strict kRadix2 and routed through the SIMD backend layer. The
+    // native/Barrett reductions stay on their strict ablation paths
+    // (they exist to reproduce the Fig. 1 contrast, not to be fast).
+    NttAlgorithm algo = NttAlgorithm::kRadix2Lazy;
     if (reduction_ == Reduction::kNative) {
         algo = NttAlgorithm::kRadix2Native;
     } else if (reduction_ == Reduction::kBarrett) {

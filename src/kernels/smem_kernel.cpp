@@ -184,7 +184,9 @@ SmemKernel::Execute(NttBatchWorkload &workload) const
         throw std::invalid_argument("workload size != N1 * N2");
     }
     // One pool dispatch over the batch — the CPU stand-in for the
-    // paper's single batched kernel launch (Fig. 3).
+    // paper's single batched kernel launch (Fig. 3). Without OT stages
+    // the rows run through the lazy pipeline (bit-identical to the
+    // strict kRadix2, vectorized by the SIMD backend).
     workload.ForEachRowParallel([&](std::size_t i) {
         if (config_.ot_stages > 0) {
             workload.engine(i).Forward(workload.row(i),
@@ -192,7 +194,7 @@ SmemKernel::Execute(NttBatchWorkload &workload) const
                                        /*radix=*/16, config_.ot_stages);
         } else {
             workload.engine(i).Forward(workload.row(i),
-                                       NttAlgorithm::kRadix2);
+                                       NttAlgorithm::kRadix2Lazy);
         }
     });
 }

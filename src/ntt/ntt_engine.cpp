@@ -3,6 +3,8 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "simd/simd_backend.h"
+
 namespace hentt {
 
 namespace {
@@ -104,9 +106,8 @@ NttEngine::Hadamard(std::span<const u64> a, std::span<const u64> b,
     if (a.size() != size() || b.size() != size() || c.size() != size()) {
         throw std::invalid_argument("span size != transform size");
     }
-    for (std::size_t i = 0; i < size(); ++i) {
-        c[i] = reducer_.MulMod(a[i], b[i]);
-    }
+    simd::Active().mul_barrett_rows(c.data(), a.data(), b.data(),
+                                    size(), simd::Consts(reducer_));
 }
 
 std::vector<u64>

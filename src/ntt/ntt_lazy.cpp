@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/modarith.h"
+#include "simd/simd_backend.h"
 
 namespace hentt {
 
@@ -24,17 +25,18 @@ NttRadix2LazyKeepRange(std::span<u64> a, const TwiddleTable &table)
     CheckSize(a, table);
     const std::size_t n = a.size();
     const u64 p = table.modulus();
+    const simd::Kernels &simd = simd::Active();
+    const u64 *w = table.forward_words().data();
+    const u64 *w_bar = table.forward_shoup_words().data();
 
+    // One backend call per stage, the whole loop nest inside the
+    // kernel (gather-free: contiguous-row blocks while t allows,
+    // in-register shuffles for the short-run tail stages), with the
+    // stage's contiguous twiddle slice w[m..2m). Dispatch cost is
+    // O(log N) indirect calls per transform.
     std::size_t t = n / 2;
     for (std::size_t m = 1; m < n; m <<= 1) {
-        for (std::size_t j = 0; j < m; ++j) {
-            const u64 w = table.w(m + j);
-            const u64 w_bar = table.w_shoup(m + j);
-            const std::size_t base = 2 * j * t;
-            for (std::size_t k = base; k < base + t; ++k) {
-                LazyButterfly(a[k], a[k + t], w, w_bar, p);
-            }
-        }
+        simd.fwd_butterfly_stage(a.data(), w + m, w_bar + m, m, t, p);
         t >>= 1;
     }
 }
@@ -44,10 +46,7 @@ NttRadix2Lazy(std::span<u64> a, const TwiddleTable &table)
 {
     NttRadix2LazyKeepRange(a, table);
     // Outputs are < 4p; fold back into [0, p).
-    const u64 p = table.modulus();
-    for (u64 &x : a) {
-        x = FoldLazy(x, p);
-    }
+    simd::Active().fold_lazy_rows(a.data(), a.size(), table.modulus());
 }
 
 void
@@ -56,37 +55,22 @@ InttRadix2Lazy(std::span<u64> a, const TwiddleTable &table)
     CheckSize(a, table);
     const std::size_t n = a.size();
     const u64 p = table.modulus();
-    const u64 two_p = 2 * p;
+    const simd::Kernels &simd = simd::Active();
+    const u64 *w = table.inverse_words().data();
+    const u64 *w_bar = table.inverse_shoup_words().data();
 
-    // Gentleman-Sande with the invariant: all values stay < 2p.
+    // Gentleman-Sande with the invariant: all values stay < 2p
+    // (simd::InvButterflyElem semantics). Short runs come first here
+    // (t grows), so the shuffle tail covers the head stages.
     std::size_t t = 1;
     for (std::size_t m = n; m > 1; m >>= 1) {
         const std::size_t h = m / 2;
-        for (std::size_t j = 0; j < h; ++j) {
-            const u64 w = table.w_inv(h + j);
-            const u64 w_bar = table.w_inv_shoup(h + j);
-            const std::size_t base = 2 * j * t;
-            for (std::size_t k = base; k < base + t; ++k) {
-                const u64 u = a[k];
-                const u64 v = a[k + t];
-                u64 s = u + v;  // < 4p
-                if (s >= two_p) {
-                    s -= two_p;
-                }
-                a[k] = s;
-                // (u - v) * w, lazy: Harvey's bound keeps it < 2p for
-                // any 64-bit multiplicand.
-                const u64 d = u + two_p - v;  // < 4p
-                const u64 q = MulHi64(d, w_bar);
-                a[k + t] = d * w - q * p;     // < 2p
-            }
-        }
+        simd.inv_butterfly_stage(a.data(), w + h, w_bar + h, h, t, p);
         t <<= 1;
     }
     // Final N^{-1} scaling; MulModShoup fully reduces any 64-bit input.
-    for (u64 &x : a) {
-        x = MulModShoup(x, table.n_inv(), table.n_inv_shoup(), p);
-    }
+    simd.mul_shoup_rows(a.data(), a.data(), n, table.n_inv(),
+                        table.n_inv_shoup(), p);
 }
 
 }  // namespace hentt

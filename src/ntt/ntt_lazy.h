@@ -18,6 +18,7 @@
 #include <span>
 
 #include "ntt/twiddle_table.h"
+#include "simd/simd_backend.h"
 
 namespace hentt {
 
@@ -51,7 +52,10 @@ void InttRadix2Lazy(std::span<u64> a, const TwiddleTable &table);
 /**
  * The paper's Algo. 2 butterfly in isolation (for tests and docs):
  * given A, B in [0, 4p), produces A' = A + B*Psi, B' = A - B*Psi with
- * both outputs in [0, 4p).
+ * both outputs in [0, 4p). The implementation lives in the SIMD
+ * backend layer (simd::FwdButterflyElem — the scalar reference every
+ * vector backend is validated against); this alias keeps the paper-
+ * facing name.
  *
  * @param a,b    in/out operands, each < 4p
  * @param w      twiddle < p
@@ -61,17 +65,7 @@ void InttRadix2Lazy(std::span<u64> a, const TwiddleTable &table);
 inline void
 LazyButterfly(u64 &a, u64 &b, u64 w, u64 w_bar, u64 p)
 {
-    const u64 two_p = 2 * p;
-    // Keep A below 2p before accumulating.
-    if (a >= two_p) {
-        a -= two_p;
-    }
-    // B * w with lazy Shoup reduction: result < 2p for any b < 4p
-    // because the quotient approximation is exact mod 2^64.
-    const u64 q = MulHi64(b, w_bar);
-    const u64 t = b * w - q * p;  // < 2p
-    b = a + two_p - t;            // < 4p
-    a = a + t;                    // < 4p
+    simd::FwdButterflyElem(a, b, w, w_bar, p);
 }
 
 }  // namespace hentt

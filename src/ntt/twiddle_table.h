@@ -73,6 +73,13 @@ class TwiddleTable
     {
         return fwd_shoup_;
     }
+    /** Raw inverse-table access for the SIMD butterfly kernels (the
+     *  tail stages stream contiguous twiddle slices). */
+    const std::vector<u64> &inverse_words() const { return inv_; }
+    const std::vector<u64> &inverse_shoup_words() const
+    {
+        return inv_shoup_;
+    }
 
   private:
     std::size_t n_;

@@ -6,6 +6,7 @@
 
 #include "common/thread_pool.h"
 #include "ntt/ntt_registry.h"
+#include "simd/simd_backend.h"
 
 namespace hentt {
 
@@ -79,10 +80,8 @@ RnsPoly::ReduceLazy()
         return;
     }
     ParallelFor(limb_count_, degree(), [this](std::size_t i) {
-        const u64 p = ctx_->basis().prime(i);
-        for (u64 &x : row(i)) {
-            x = FoldLazy(x, p);
-        }
+        simd::Active().fold_lazy_rows(row(i).data(), degree(),
+                                      ctx_->basis().prime(i));
     });
     lazy_ = false;
 }
@@ -96,10 +95,8 @@ RnsPoly::ToCoefficient()
     const bool was_lazy = lazy_;
     ParallelFor(limb_count_, degree(), [&](std::size_t i) {
         if (was_lazy) {
-            const u64 p = ctx_->basis().prime(i);
-            for (u64 &x : row(i)) {
-                x = FoldLazy(x, p);
-            }
+            simd::Active().fold_lazy_rows(row(i).data(), degree(),
+                                          ctx_->basis().prime(i));
         }
         ctx_->engine(i).Inverse(row(i));
     });
@@ -166,10 +163,9 @@ RnsPoly::BatchToCoefficient(std::span<RnsPoly *const> polys)
     ParallelFor(rows.size(), max_degree, [&](std::size_t idx) {
         auto [poly, i] = rows[idx];
         if (poly->lazy_) {
-            const u64 p = poly->ctx_->basis().prime(i);
-            for (u64 &x : poly->row(i)) {
-                x = FoldLazy(x, p);
-            }
+            simd::Active().fold_lazy_rows(poly->row(i).data(),
+                                          poly->degree(),
+                                          poly->ctx_->basis().prime(i));
         }
         poly->ctx_->engine(i).Inverse(poly->row(i));
     });
@@ -197,13 +193,9 @@ RnsPoly::operator+=(const RnsPoly &other)
     ReduceLazy();  // AddMod needs operands < p
     const bool src_lazy = other.lazy_;
     ParallelFor(limb_count_, degree(), [&](std::size_t i) {
-        const u64 p = ctx_->basis().prime(i);
-        const std::span<u64> dst = row(i);
-        const std::span<const u64> src = other.row(i);
-        for (std::size_t k = 0; k < dst.size(); ++k) {
-            const u64 s = src_lazy ? FoldLazy(src[k], p) : src[k];
-            dst[k] = AddMod(dst[k], s, p);
-        }
+        u64 *dst = row(i).data();
+        simd::Active().add_rows(dst, dst, other.row(i).data(), degree(),
+                                ctx_->basis().prime(i), src_lazy);
     });
     return *this;
 }
@@ -215,13 +207,9 @@ RnsPoly::operator-=(const RnsPoly &other)
     ReduceLazy();  // SubMod needs operands < p
     const bool src_lazy = other.lazy_;
     ParallelFor(limb_count_, degree(), [&](std::size_t i) {
-        const u64 p = ctx_->basis().prime(i);
-        const std::span<u64> dst = row(i);
-        const std::span<const u64> src = other.row(i);
-        for (std::size_t k = 0; k < dst.size(); ++k) {
-            const u64 s = src_lazy ? FoldLazy(src[k], p) : src[k];
-            dst[k] = SubMod(dst[k], s, p);
-        }
+        u64 *dst = row(i).data();
+        simd::Active().sub_rows(dst, dst, other.row(i).data(), degree(),
+                                ctx_->basis().prime(i), src_lazy);
     });
     return *this;
 }
@@ -238,12 +226,10 @@ RnsPoly::operator*=(const RnsPoly &other)
     // p < 2^62), so neither side needs the fold pass; the reduced
     // product clears the lazy range.
     ParallelFor(limb_count_, degree(), [&](std::size_t i) {
-        const BarrettReducer &red = ctx_->reducer(i);
-        const std::span<u64> dst = row(i);
-        const std::span<const u64> src = other.row(i);
-        for (std::size_t k = 0; k < dst.size(); ++k) {
-            dst[k] = red.MulMod(dst[k], src[k]);
-        }
+        u64 *dst = row(i).data();
+        simd::Active().mul_barrett_rows(dst, dst, other.row(i).data(),
+                                        degree(),
+                                        simd::Consts(ctx_->reducer(i)));
     });
     lazy_ = false;
     return *this;
@@ -284,13 +270,9 @@ RnsPoly::MultiplyAccumulate(const RnsPoly &a, const RnsPoly &b)
     }
     ReduceLazy();  // the accumulator addend must stay < p
     ParallelFor(limb_count_, degree(), [&](std::size_t i) {
-        const BarrettReducer &red = ctx_->reducer(i);
-        const std::span<u64> dst = row(i);
-        const std::span<const u64> ra = a.row(i);
-        const std::span<const u64> rb = b.row(i);
-        for (std::size_t k = 0; k < dst.size(); ++k) {
-            dst[k] = red.MulAddMod(ra[k], rb[k], dst[k]);
-        }
+        simd::Active().mul_acc_barrett_rows(
+            row(i).data(), a.row(i).data(), b.row(i).data(), degree(),
+            simd::Consts(ctx_->reducer(i)));
     });
 }
 
@@ -302,10 +284,9 @@ RnsPoly::ScalarMulInPlace(u64 scalar)
     ParallelFor(limb_count_, degree(), [&](std::size_t i) {
         const u64 p = ctx_->basis().prime(i);
         const u64 s = scalar % p;
-        const u64 s_bar = ShoupPrecompute(s, p);
-        for (u64 &x : row(i)) {
-            x = MulModShoup(x, s, s_bar, p);
-        }
+        u64 *dst = row(i).data();
+        simd::Active().mul_shoup_rows(dst, dst, degree(), s,
+                                      ShoupPrecompute(s, p), p);
     });
     lazy_ = false;
 }
@@ -327,10 +308,9 @@ RnsPoly::ScalarMulRowsInPlace(std::span<const u64> row_scalars)
     ParallelFor(limb_count_, degree(), [&](std::size_t i) {
         const u64 p = ctx_->basis().prime(i);
         const u64 s = row_scalars[i] % p;
-        const u64 s_bar = ShoupPrecompute(s, p);
-        for (u64 &x : row(i)) {
-            x = MulModShoup(x, s, s_bar, p);
-        }
+        u64 *dst = row(i).data();
+        simd::Active().mul_shoup_rows(dst, dst, degree(), s,
+                                      ShoupPrecompute(s, p), p);
     });
     lazy_ = false;
 }

@@ -1,0 +1,688 @@
+/**
+ * @file
+ * AVX2 backend: four u64 residues per vector op. Compiled with -mavx2
+ * when the toolchain supports it (HENTT_HAVE_AVX2, see CMakeLists);
+ * callers reach this table only after the runtime CPUID check in
+ * simd_dispatch.cpp.
+ *
+ * AVX2 has no 64x64 multiply, so the 64-bit products behind Shoup and
+ * Barrett are assembled from 32x32 partial products (_mm256_mul_epu32)
+ * with explicit carry propagation — the same partial-product tree as
+ * common/int128.h, kept term-for-term identical so every kernel is
+ * bit-identical to the scalar reference (lazy [0, 4p) representatives
+ * included, not merely congruent mod p).
+ *
+ * Layout notes:
+ *  - The contiguous-row kernels vectorize directly: NTT stages with
+ *    run length t >= 4 are two disjoint streams with one broadcast
+ *    twiddle (gather-free by construction).
+ *  - The tail stages (t in {1, 2}) interleave pairs too tightly for
+ *    row vectors; they use in-register unpack/permute shuffles instead
+ *    of gathers, with a contiguous twiddle stream.
+ *  - The Barrett kernels assume mu_hi < 2^32 (every modulus above
+ *    2^32; all NTT primes in the library are 49-61 bits) and delegate
+ *    to the scalar table for the tiny-modulus remainder.
+ */
+
+#include "simd/simd_internal.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace hentt::simd {
+
+namespace {
+
+inline __m256i
+Load(const u64 *p)
+{
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
+}
+
+inline void
+Store(u64 *p, __m256i v)
+{
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), v);
+}
+
+inline __m256i
+Bcast(u64 x)
+{
+    return _mm256_set1_epi64x(static_cast<long long>(x));
+}
+
+/** Lane-wise unsigned a > b (sign-flip trick over the signed compare). */
+inline __m256i
+CmpGtU64(__m256i a, __m256i b)
+{
+    const __m256i sign = Bcast(u64{1} << 63);
+    return _mm256_cmpgt_epi64(_mm256_xor_si256(a, sign),
+                              _mm256_xor_si256(b, sign));
+}
+
+/** a >= bound ? a - bound : a — the conditional correction of every
+ *  modular primitive. */
+inline __m256i
+CondSub(__m256i a, __m256i bound)
+{
+    const __m256i lt = CmpGtU64(bound, a);  // a < bound
+    return _mm256_sub_epi64(a, _mm256_andnot_si256(lt, bound));
+}
+
+/** High 64 bits of the unsigned 64x64 product (MulHi64). */
+inline __m256i
+MulHiU64(__m256i x, __m256i y)
+{
+    const __m256i lo32 = Bcast(0xffffffffu);
+    const __m256i xh = _mm256_srli_epi64(x, 32);
+    const __m256i yh = _mm256_srli_epi64(y, 32);
+    const __m256i ll = _mm256_mul_epu32(x, y);
+    const __m256i lh = _mm256_mul_epu32(x, yh);
+    const __m256i hl = _mm256_mul_epu32(xh, y);
+    const __m256i hh = _mm256_mul_epu32(xh, yh);
+    // carry = hi32(hi32(ll) + lo32(lh) + lo32(hl)) — at most 2^34, so
+    // the 64-bit accumulation cannot overflow.
+    const __m256i cross = _mm256_add_epi64(
+        _mm256_add_epi64(_mm256_srli_epi64(ll, 32),
+                         _mm256_and_si256(lh, lo32)),
+        _mm256_and_si256(hl, lo32));
+    return _mm256_add_epi64(
+        _mm256_add_epi64(hh, _mm256_srli_epi64(lh, 32)),
+        _mm256_add_epi64(_mm256_srli_epi64(hl, 32),
+                         _mm256_srli_epi64(cross, 32)));
+}
+
+/** Low 64 bits of the unsigned 64x64 product. */
+inline __m256i
+MulLoU64(__m256i x, __m256i y)
+{
+    const __m256i xh = _mm256_srli_epi64(x, 32);
+    const __m256i yh = _mm256_srli_epi64(y, 32);
+    const __m256i ll = _mm256_mul_epu32(x, y);
+    const __m256i mid =
+        _mm256_add_epi64(_mm256_mul_epu32(x, yh), _mm256_mul_epu32(xh, y));
+    return _mm256_add_epi64(ll, _mm256_slli_epi64(mid, 32));
+}
+
+struct V128 {
+    __m256i lo, hi;
+};
+
+/** Full 64x64 -> 128-bit product, partials shared between halves. */
+inline V128
+MulFullU64(__m256i x, __m256i y)
+{
+    const __m256i lo32 = Bcast(0xffffffffu);
+    const __m256i xh = _mm256_srli_epi64(x, 32);
+    const __m256i yh = _mm256_srli_epi64(y, 32);
+    const __m256i ll = _mm256_mul_epu32(x, y);
+    const __m256i lh = _mm256_mul_epu32(x, yh);
+    const __m256i hl = _mm256_mul_epu32(xh, y);
+    const __m256i hh = _mm256_mul_epu32(xh, yh);
+    const __m256i cross = _mm256_add_epi64(
+        _mm256_add_epi64(_mm256_srli_epi64(ll, 32),
+                         _mm256_and_si256(lh, lo32)),
+        _mm256_and_si256(hl, lo32));
+    V128 r;
+    r.lo = _mm256_add_epi64(
+        ll, _mm256_slli_epi64(_mm256_add_epi64(lh, hl), 32));
+    r.hi = _mm256_add_epi64(
+        _mm256_add_epi64(hh, _mm256_srli_epi64(lh, 32)),
+        _mm256_add_epi64(_mm256_srli_epi64(hl, 32),
+                         _mm256_srli_epi64(cross, 32)));
+    return r;
+}
+
+/** Full 64x32 -> 96-bit product (y32 has zero high halves). */
+inline V128
+MulFullU64x32(__m256i x, __m256i y32)
+{
+    const __m256i lo32 = Bcast(0xffffffffu);
+    const __m256i a = _mm256_mul_epu32(x, y32);
+    const __m256i b = _mm256_mul_epu32(_mm256_srli_epi64(x, 32), y32);
+    const __m256i s = _mm256_add_epi64(_mm256_srli_epi64(a, 32),
+                                       _mm256_and_si256(b, lo32));
+    V128 r;
+    r.lo = _mm256_or_si256(_mm256_and_si256(a, lo32),
+                           _mm256_slli_epi64(s, 32));
+    r.hi = _mm256_add_epi64(_mm256_srli_epi64(b, 32),
+                            _mm256_srli_epi64(s, 32));
+    return r;
+}
+
+/** Low 64 bits of the 64x32 product. */
+inline __m256i
+MulLoU64x32(__m256i x, __m256i y32)
+{
+    const __m256i a = _mm256_mul_epu32(x, y32);
+    const __m256i b = _mm256_mul_epu32(_mm256_srli_epi64(x, 32), y32);
+    return _mm256_add_epi64(a, _mm256_slli_epi64(b, 32));
+}
+
+/** Carry mask of lane-wise sum = a + b: all-ones where it wrapped. */
+inline __m256i
+CarryMask(__m256i sum, __m256i addend)
+{
+    return CmpGtU64(addend, sum);
+}
+
+/**
+ * Barrett reduction of (z_hi:z_lo) into [0, p) — term-for-term the
+ * Mul128High tree of BarrettReduce, restricted to mu_hi < 2^32 and to
+ * the low word of the quotient (the only part the residual needs).
+ */
+inline __m256i
+BarrettReduceVec(V128 z, __m256i vp, __m256i v2p, __m256i vmu_lo,
+                 __m256i vmu_hi)
+{
+    const __m256i h_ll = MulHiU64(z.lo, vmu_lo);
+    const V128 lh = MulFullU64x32(z.lo, vmu_hi);
+    const __m256i mid_lo = _mm256_add_epi64(lh.lo, h_ll);
+    // Subtracting an all-ones mask adds the carry bit.
+    const __m256i mid_hi =
+        _mm256_sub_epi64(lh.hi, CarryMask(mid_lo, h_ll));
+    const V128 hl = MulFullU64(z.hi, vmu_lo);
+    const __m256i mid2_lo = _mm256_add_epi64(hl.lo, mid_lo);
+    const __m256i mid2_hi =
+        _mm256_sub_epi64(hl.hi, CarryMask(mid2_lo, mid_lo));
+    const __m256i hh_lo = MulLoU64x32(z.hi, vmu_hi);
+    const __m256i q =
+        _mm256_add_epi64(hh_lo, _mm256_add_epi64(mid_hi, mid2_hi));
+    __m256i r = _mm256_sub_epi64(z.lo, MulLoU64(q, vp));
+    r = CondSub(r, v2p);
+    return CondSub(r, vp);
+}
+
+/** The lazy CT butterfly core on four lanes (FwdButterflyElem). */
+inline void
+FwdCore(__m256i &x, __m256i &y, __m256i vw, __m256i vwb, __m256i vp,
+        __m256i v2p)
+{
+    x = CondSub(x, v2p);
+    const __m256i q = MulHiU64(y, vwb);
+    const __m256i t = _mm256_sub_epi64(MulLoU64(y, vw), MulLoU64(q, vp));
+    y = _mm256_sub_epi64(_mm256_add_epi64(x, v2p), t);
+    x = _mm256_add_epi64(x, t);
+}
+
+/** The lazy GS butterfly core on four lanes (InvButterflyElem). */
+inline void
+InvCore(__m256i &x, __m256i &y, __m256i vw, __m256i vwb, __m256i vp,
+        __m256i v2p)
+{
+    const __m256i u = x;
+    const __m256i v = y;
+    x = CondSub(_mm256_add_epi64(u, v), v2p);
+    const __m256i d = _mm256_sub_epi64(_mm256_add_epi64(u, v2p), v);
+    const __m256i q = MulHiU64(d, vwb);
+    y = _mm256_sub_epi64(MulLoU64(d, vw), MulLoU64(q, vp));
+}
+
+// ---------------------------------------------------------------- rows
+
+void
+FwdButterflyRows(u64 *x, u64 *y, std::size_t n, u64 w, u64 w_bar, u64 p)
+{
+    const __m256i vp = Bcast(p), v2p = Bcast(2 * p);
+    const __m256i vw = Bcast(w), vwb = Bcast(w_bar);
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        __m256i a = Load(x + k), b = Load(y + k);
+        FwdCore(a, b, vw, vwb, vp, v2p);
+        Store(x + k, a);
+        Store(y + k, b);
+    }
+    for (; k < n; ++k) {
+        FwdButterflyElem(x[k], y[k], w, w_bar, p);
+    }
+}
+
+void
+InvButterflyRows(u64 *x, u64 *y, std::size_t n, u64 w, u64 w_bar, u64 p)
+{
+    const __m256i vp = Bcast(p), v2p = Bcast(2 * p);
+    const __m256i vw = Bcast(w), vwb = Bcast(w_bar);
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        __m256i a = Load(x + k), b = Load(y + k);
+        InvCore(a, b, vw, vwb, vp, v2p);
+        Store(x + k, a);
+        Store(y + k, b);
+    }
+    for (; k < n; ++k) {
+        InvButterflyElem(x[k], y[k], w, w_bar, p);
+    }
+}
+
+// ---------------------------------------------------------------- tails
+
+/**
+ * t == 1 stage: pairs (a[2j], a[2j+1]) with per-pair twiddles w[j].
+ * Four pairs per iteration via unpack shuffles — no gathers; the
+ * twiddle stream is contiguous and only needs a cross-lane permute.
+ */
+template <bool kForward>
+inline std::size_t
+TailT1(u64 *a, const u64 *w, const u64 *w_bar, std::size_t m,
+       __m256i vp, __m256i v2p)
+{
+    std::size_t j = 0;
+    for (; j + 4 <= m; j += 4) {
+        const __m256i v0 = Load(a + 2 * j);      // x0 y0 x1 y1
+        const __m256i v1 = Load(a + 2 * j + 4);  // x2 y2 x3 y3
+        __m256i x = _mm256_unpacklo_epi64(v0, v1);  // x0 x2 x1 x3
+        __m256i y = _mm256_unpackhi_epi64(v0, v1);  // y0 y2 y1 y3
+        // Twiddles (w0 w1 w2 w3) -> pair order (w0 w2 w1 w3).
+        const __m256i vw =
+            _mm256_permute4x64_epi64(Load(w + j), 0xD8);
+        const __m256i vwb =
+            _mm256_permute4x64_epi64(Load(w_bar + j), 0xD8);
+        if constexpr (kForward) {
+            FwdCore(x, y, vw, vwb, vp, v2p);
+        } else {
+            InvCore(x, y, vw, vwb, vp, v2p);
+        }
+        Store(a + 2 * j, _mm256_unpacklo_epi64(x, y));
+        Store(a + 2 * j + 4, _mm256_unpackhi_epi64(x, y));
+    }
+    return j;
+}
+
+/**
+ * t == 2 stage: blocks (x0 x1 y0 y1) with one twiddle per block. Two
+ * blocks per iteration via 128-bit lane permutes.
+ */
+template <bool kForward>
+inline std::size_t
+TailT2(u64 *a, const u64 *w, const u64 *w_bar, std::size_t m,
+       __m256i vp, __m256i v2p)
+{
+    std::size_t j = 0;
+    for (; j + 2 <= m; j += 2) {
+        const __m256i v0 = Load(a + 4 * j);
+        const __m256i v1 = Load(a + 4 * j + 4);
+        __m256i x = _mm256_permute2x128_si256(v0, v1, 0x20);
+        __m256i y = _mm256_permute2x128_si256(v0, v1, 0x31);
+        // (w_j, w_j+1, _, _) -> (w_j, w_j, w_j+1, w_j+1).
+        const __m256i vw = _mm256_permute4x64_epi64(
+            _mm256_castsi128_si256(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(w + j))),
+            0x50);
+        const __m256i vwb = _mm256_permute4x64_epi64(
+            _mm256_castsi128_si256(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(w_bar + j))),
+            0x50);
+        if constexpr (kForward) {
+            FwdCore(x, y, vw, vwb, vp, v2p);
+        } else {
+            InvCore(x, y, vw, vwb, vp, v2p);
+        }
+        Store(a + 4 * j, _mm256_permute2x128_si256(x, y, 0x20));
+        Store(a + 4 * j + 4, _mm256_permute2x128_si256(x, y, 0x31));
+    }
+    return j;
+}
+
+template <bool kForward>
+void
+ButterflyStage(u64 *a, const u64 *w, const u64 *w_bar, std::size_t m,
+               std::size_t t, u64 p)
+{
+    const __m256i vp = Bcast(p), v2p = Bcast(2 * p);
+    std::size_t j = 0;
+    if (t >= kMinButterflyRun) {
+        // Contiguous-row blocks: two t-element runs, broadcast
+        // twiddle — exactly the rows kernel, once per block (direct
+        // calls, inlined within this TU).
+        for (; j < m; ++j) {
+            u64 *x = a + 2 * j * t;
+            if constexpr (kForward) {
+                FwdButterflyRows(x, x + t, t, w[j], w_bar[j], p);
+            } else {
+                InvButterflyRows(x, x + t, t, w[j], w_bar[j], p);
+            }
+        }
+        return;
+    }
+    if (t == 1) {
+        j = TailT1<kForward>(a, w, w_bar, m, vp, v2p);
+    } else if (t == 2) {
+        j = TailT2<kForward>(a, w, w_bar, m, vp, v2p);
+    }
+    for (; j < m; ++j) {
+        const std::size_t base = 2 * j * t;
+        for (std::size_t k = base; k < base + t; ++k) {
+            if constexpr (kForward) {
+                FwdButterflyElem(a[k], a[k + t], w[j], w_bar[j], p);
+            } else {
+                InvButterflyElem(a[k], a[k + t], w[j], w_bar[j], p);
+            }
+        }
+    }
+}
+
+void
+FwdButterflyStage(u64 *a, const u64 *w, const u64 *w_bar, std::size_t m,
+                  std::size_t t, u64 p)
+{
+    ButterflyStage<true>(a, w, w_bar, m, t, p);
+}
+
+void
+InvButterflyStage(u64 *a, const u64 *w, const u64 *w_bar, std::size_t h,
+                  std::size_t t, u64 p)
+{
+    ButterflyStage<false>(a, w, w_bar, h, t, p);
+}
+
+// ---------------------------------------------------------- elementwise
+
+void
+MulShoupRows(u64 *dst, const u64 *src, std::size_t n, u64 s, u64 s_bar,
+             u64 p)
+{
+    const __m256i vp = Bcast(p), vs = Bcast(s), vsb = Bcast(s_bar);
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        const __m256i x = Load(src + k);
+        const __m256i q = MulHiU64(x, vsb);
+        const __m256i r =
+            _mm256_sub_epi64(MulLoU64(x, vs), MulLoU64(q, vp));
+        Store(dst + k, CondSub(r, vp));
+    }
+    for (; k < n; ++k) {
+        dst[k] = MulModShoup(src[k], s, s_bar, p);
+    }
+}
+
+void
+MulBarrettRows(u64 *dst, const u64 *a, const u64 *b, std::size_t n,
+               BarrettConsts c)
+{
+    if (c.mu_hi >> 32) {  // modulus <= 2^32: scalar reference
+        internal::ScalarKernels().mul_barrett_rows(dst, a, b, n, c);
+        return;
+    }
+    const __m256i vp = Bcast(c.p), v2p = Bcast(2 * c.p);
+    const __m256i vmu_lo = Bcast(c.mu_lo), vmu_hi = Bcast(c.mu_hi);
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        const V128 z = MulFullU64(Load(a + k), Load(b + k));
+        Store(dst + k, BarrettReduceVec(z, vp, v2p, vmu_lo, vmu_hi));
+    }
+    for (; k < n; ++k) {
+        const u128 z = Mul64Wide(a[k], b[k]);
+        dst[k] = BarrettReduce(Lo64(z), Hi64(z), c);
+    }
+}
+
+void
+MulAccBarrettRows(u64 *dst, const u64 *a, const u64 *b, std::size_t n,
+                  BarrettConsts c)
+{
+    if (c.mu_hi >> 32) {
+        internal::ScalarKernels().mul_acc_barrett_rows(dst, a, b, n, c);
+        return;
+    }
+    const __m256i vp = Bcast(c.p), v2p = Bcast(2 * c.p);
+    const __m256i vmu_lo = Bcast(c.mu_lo), vmu_hi = Bcast(c.mu_hi);
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        V128 z = MulFullU64(Load(a + k), Load(b + k));
+        const __m256i addend = Load(dst + k);
+        z.lo = _mm256_add_epi64(z.lo, addend);
+        z.hi = _mm256_sub_epi64(z.hi, CarryMask(z.lo, addend));
+        Store(dst + k, BarrettReduceVec(z, vp, v2p, vmu_lo, vmu_hi));
+    }
+    for (; k < n; ++k) {
+        const u128 z = Mul64Wide(a[k], b[k]) + dst[k];
+        dst[k] = BarrettReduce(Lo64(z), Hi64(z), c);
+    }
+}
+
+void
+ReduceBarrettRows(u64 *dst, const u64 *src, std::size_t n,
+                  BarrettConsts c)
+{
+    if (c.mu_hi >> 32) {
+        internal::ScalarKernels().reduce_barrett_rows(dst, src, n, c);
+        return;
+    }
+    // z_hi == 0 specialisation of BarrettReduceVec: the quotient's low
+    // word collapses to hi64(z*mu_hi + hi64(z*mu_lo)).
+    const __m256i vp = Bcast(c.p), v2p = Bcast(2 * c.p);
+    const __m256i vmu_lo = Bcast(c.mu_lo), vmu_hi = Bcast(c.mu_hi);
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        const __m256i z = Load(src + k);
+        const __m256i h_ll = MulHiU64(z, vmu_lo);
+        const V128 lh = MulFullU64x32(z, vmu_hi);
+        const __m256i mid_lo = _mm256_add_epi64(lh.lo, h_ll);
+        const __m256i q =
+            _mm256_sub_epi64(lh.hi, CarryMask(mid_lo, h_ll));
+        __m256i r = _mm256_sub_epi64(z, MulLoU64(q, vp));
+        r = CondSub(r, v2p);
+        Store(dst + k, CondSub(r, vp));
+    }
+    for (; k < n; ++k) {
+        dst[k] = BarrettReduce(src[k], 0, c);
+    }
+}
+
+/** FoldLazy on four lanes. */
+inline __m256i
+FoldVec(__m256i x, __m256i vp, __m256i v2p)
+{
+    return CondSub(CondSub(x, v2p), vp);
+}
+
+template <bool kSubtract>
+void
+AddSubRows(u64 *dst, const u64 *a, const u64 *b, std::size_t n, u64 p,
+           bool fold_b)
+{
+    const __m256i vp = Bcast(p), v2p = Bcast(2 * p);
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        const __m256i x = Load(a + k);
+        __m256i y = Load(b + k);
+        if (fold_b) {
+            y = FoldVec(y, vp, v2p);
+        }
+        __m256i r;
+        if constexpr (kSubtract) {
+            const __m256i lt = CmpGtU64(y, x);  // x < y: wrap by +p
+            r = _mm256_add_epi64(_mm256_sub_epi64(x, y),
+                                 _mm256_and_si256(lt, vp));
+        } else {
+            r = CondSub(_mm256_add_epi64(x, y), vp);
+        }
+        Store(dst + k, r);
+    }
+    for (; k < n; ++k) {
+        const u64 s = fold_b ? FoldLazy(b[k], p) : b[k];
+        dst[k] = kSubtract ? SubMod(a[k], s, p) : AddMod(a[k], s, p);
+    }
+}
+
+void
+AddRows(u64 *dst, const u64 *a, const u64 *b, std::size_t n, u64 p,
+        bool fold_b)
+{
+    AddSubRows<false>(dst, a, b, n, p, fold_b);
+}
+
+void
+SubRows(u64 *dst, const u64 *a, const u64 *b, std::size_t n, u64 p,
+        bool fold_b)
+{
+    AddSubRows<true>(dst, a, b, n, p, fold_b);
+}
+
+void
+FoldLazyRows(u64 *x, std::size_t n, u64 p)
+{
+    const __m256i vp = Bcast(p), v2p = Bcast(2 * p);
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        Store(x + k, FoldVec(Load(x + k), vp, v2p));
+    }
+    for (; k < n; ++k) {
+        x[k] = FoldLazy(x[k], p);
+    }
+}
+
+void
+FoldRescaleRows(u64 *dst, const u64 *src, std::size_t n, u64 p, u64 s,
+                u64 s_bar)
+{
+    const __m256i vp = Bcast(p), vs = Bcast(s), vsb = Bcast(s_bar);
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        const __m256i folded =
+            CondSub(_mm256_add_epi64(Load(dst + k), Load(src + k)), vp);
+        const __m256i q = MulHiU64(folded, vsb);
+        const __m256i r =
+            _mm256_sub_epi64(MulLoU64(folded, vs), MulLoU64(q, vp));
+        Store(dst + k, CondSub(r, vp));
+    }
+    for (; k < n; ++k) {
+        dst[k] = MulModShoup(AddMod(dst[k], src[k], p), s, s_bar, p);
+    }
+}
+
+void
+TensorRows(u64 *c0, u64 *c1, u64 *c2, const u64 *a0, const u64 *a1,
+           const u64 *b0, const u64 *b1, std::size_t n, BarrettConsts c)
+{
+    if (c.mu_hi >> 32) {
+        internal::ScalarKernels().tensor_rows(c0, c1, c2, a0, a1, b0, b1,
+                                              n, c);
+        return;
+    }
+    const __m256i vp = Bcast(c.p), v2p = Bcast(2 * c.p);
+    const __m256i vmu_lo = Bcast(c.mu_lo), vmu_hi = Bcast(c.mu_hi);
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        const __m256i va0 = Load(a0 + k), va1 = Load(a1 + k);
+        const __m256i vb0 = Load(b0 + k), vb1 = Load(b1 + k);
+        const V128 z0 = MulFullU64(va0, vb0);
+        const V128 za = MulFullU64(va0, vb1);
+        const V128 zb = MulFullU64(va1, vb0);
+        V128 z1;
+        z1.lo = _mm256_add_epi64(za.lo, zb.lo);
+        z1.hi = _mm256_sub_epi64(_mm256_add_epi64(za.hi, zb.hi),
+                                 CarryMask(z1.lo, zb.lo));
+        const V128 z2 = MulFullU64(va1, vb1);
+        Store(c0 + k, BarrettReduceVec(z0, vp, v2p, vmu_lo, vmu_hi));
+        Store(c1 + k, BarrettReduceVec(z1, vp, v2p, vmu_lo, vmu_hi));
+        Store(c2 + k, BarrettReduceVec(z2, vp, v2p, vmu_lo, vmu_hi));
+    }
+    for (; k < n; ++k) {
+        const u128 z0 = Mul64Wide(a0[k], b0[k]);
+        const u128 z1 = Mul64Wide(a0[k], b1[k]) + Mul64Wide(a1[k], b0[k]);
+        const u128 z2 = Mul64Wide(a1[k], b1[k]);
+        c0[k] = BarrettReduce(Lo64(z0), Hi64(z0), c);
+        c1[k] = BarrettReduce(Lo64(z1), Hi64(z1), c);
+        c2[k] = BarrettReduce(Lo64(z2), Hi64(z2), c);
+    }
+}
+
+}  // namespace
+
+namespace internal {
+
+bool
+Avx2CompiledIn()
+{
+    return true;
+}
+
+const Kernels &
+Avx2AllVectorKernels()
+{
+    // Every kernel vectorized (the branchy divide-and-round excepted:
+    // its data-dependent centering blends poorly and it runs once per
+    // op, not per stage).
+    static const Kernels table = {
+        &FwdButterflyRows,
+        &FwdButterflyStage,
+        &InvButterflyRows,
+        &InvButterflyStage,
+        &MulShoupRows,
+        &MulBarrettRows,
+        &MulAccBarrettRows,
+        &ReduceBarrettRows,
+        &AddRows,
+        &SubRows,
+        &FoldLazyRows,
+        &FoldRescaleRows,
+        &TensorRows,
+        ScalarKernels().divide_round_rows,
+    };
+    return table;
+}
+
+const Kernels &
+Avx2Kernels()
+{
+    // Production table: measured hybrid. The Shoup-style kernels (one
+    // mulhi + two mullo per element, branchless corrections) win big
+    // on AVX2 — the forward butterfly ~3x, scalar-Shoup rows and the
+    // fused epilogues comfortably. The 128-bit Barrett reduction tree
+    // (mul, mul-acc, 64-bit reduce, tensor) does NOT: ~19 pmuludq per
+    // four lanes loses to four hardware 64x64 mulx chains on current
+    // Intel cores (~0.8x measured), so those entries borrow the
+    // scalar implementation. Outputs are bit-identical either way;
+    // Avx2AllVectorKernels keeps the vector variants tested for
+    // microarchitectures (or an AVX-512 vpmullq port) where the
+    // balance flips.
+    static const Kernels table = {
+        &FwdButterflyRows,
+        &FwdButterflyStage,
+        &InvButterflyRows,
+        &InvButterflyStage,
+        &MulShoupRows,
+        ScalarKernels().mul_barrett_rows,
+        ScalarKernels().mul_acc_barrett_rows,
+        ScalarKernels().reduce_barrett_rows,
+        &AddRows,
+        &SubRows,
+        &FoldLazyRows,
+        &FoldRescaleRows,
+        ScalarKernels().tensor_rows,
+        ScalarKernels().divide_round_rows,
+    };
+    return table;
+}
+
+}  // namespace internal
+
+}  // namespace hentt::simd
+
+#else  // !defined(__AVX2__)
+
+namespace hentt::simd::internal {
+
+bool
+Avx2CompiledIn()
+{
+    return false;
+}
+
+const Kernels &
+Avx2Kernels()
+{
+    return ScalarKernels();
+}
+
+const Kernels &
+Avx2AllVectorKernels()
+{
+    return ScalarKernels();
+}
+
+}  // namespace hentt::simd::internal
+
+#endif  // defined(__AVX2__)

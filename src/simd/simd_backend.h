@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Pluggable SIMD modular-arithmetic backend — the single home of every
+ * hot element-wise and butterfly inner loop in the library.
+ *
+ * The paper's kernel study (Sections IV-V) shows that NTT-bound HE
+ * multiplication is won or lost in exactly these loops: the lazy
+ * [0, 4p) butterflies and the Shoup/Barrett element-wise sweeps. Until
+ * this layer existed, each consumer (ntt/, poly/, he/, kernels/)
+ * carried its own scalar copy of those bodies, so vectorizing meant
+ * touching all of them. Now the loops live behind one fixed vocabulary
+ * of width-agnostic kernels with
+ *
+ *  - a scalar reference implementation (the audited semantics; every
+ *    other backend must be bit-identical to it, including the lazy
+ *    [0, 4p) representatives, not merely congruent), and
+ *  - an AVX2 implementation (compile-time guarded, runtime CPUID
+ *    dispatch), processing four residues per vector op.
+ *
+ * Backend selection: runtime CPUID by default, overridable with the
+ * environment variable `HENTT_SIMD=scalar|avx2|auto` (read once, at
+ * first use) or programmatically with ForceBackend() (benches and the
+ * parity tests). Requesting an unavailable backend through the
+ * environment falls back to scalar; ForceBackend() throws instead, so
+ * tests cannot silently measure the wrong thing.
+ *
+ * Adding a backend (AVX-512, NEON): implement the Kernels table in a
+ * new translation unit, register it in simd_dispatch.cpp, done — no
+ * consumer changes.
+ */
+
+#ifndef HENTT_SIMD_SIMD_BACKEND_H
+#define HENTT_SIMD_SIMD_BACKEND_H
+
+#include <cstddef>
+
+#include "common/modarith.h"
+
+namespace hentt::simd {
+
+/** Available kernel implementations. */
+enum class Backend {
+    kScalar,  ///< portable reference (always available)
+    kAvx2,    ///< 4 x u64 lanes; requires compile-time -mavx2 + CPUID
+};
+
+/**
+ * Barrett constants of one modulus in backend-friendly form:
+ * mu = floor(2^128 / p) split into words (see BarrettReducer).
+ */
+struct BarrettConsts {
+    u64 p;
+    u64 mu_lo;
+    u64 mu_hi;
+};
+
+/** BarrettConsts of a cached reducer. */
+inline BarrettConsts
+Consts(const BarrettReducer &red)
+{
+    return {red.modulus(), red.mu_lo(), red.mu_hi()};
+}
+
+/**
+ * Per-(source limb, target limb) constants of the BGV divide-and-round
+ * step (the shared epilogue of BatchModSwitch and the fused
+ * RelinModSwitch): drop prime q_k, rescale into residue row q_i.
+ * mu_lo/mu_hi are q_i's Barrett constants.
+ */
+struct DivideRoundConsts {
+    u64 qk;
+    u64 t_inv_qk, t_inv_qk_bar;  ///< t^{-1} mod q_k + Shoup companion
+    u64 qi;
+    u64 qk_inv, qk_inv_bar;      ///< q_k^{-1} mod q_i + Shoup companion
+    u64 t_mod_qi, t_mod_qi_bar;  ///< t mod q_i + Shoup companion
+    u64 mu_lo, mu_hi;            ///< Barrett mu for q_i
+};
+
+/**
+ * The paper's Algo. 2 lazy Cooley-Tukey butterfly on one element pair:
+ * given A, B in [0, 4p), produces A' = A + B*Psi, B' = A - B*Psi with
+ * both outputs in [0, 4p). This is the reference element every backend
+ * must reproduce bitwise.
+ *
+ * @param a,b    in/out operands, each < 4p
+ * @param w      twiddle < p
+ * @param w_bar  Shoup companion of w
+ * @param p      modulus < 2^62
+ */
+inline void
+FwdButterflyElem(u64 &a, u64 &b, u64 w, u64 w_bar, u64 p)
+{
+    const u64 two_p = 2 * p;
+    // Keep A below 2p before accumulating.
+    if (a >= two_p) {
+        a -= two_p;
+    }
+    // B * w with lazy Shoup reduction: result < 2p for any b < 4p
+    // because the quotient approximation is exact mod 2^64.
+    const u64 q = MulHi64(b, w_bar);
+    const u64 t = b * w - q * p;  // < 2p
+    b = a + two_p - t;            // < 4p
+    a = a + t;                    // < 4p
+}
+
+/**
+ * Lazy Gentleman-Sande butterfly (inverse direction): consumes
+ * (u, v) both < 2p and emits (u + v folded below 2p, (u - v) * w) with
+ * the product reduced lazily, so the < 2p invariant of the inverse
+ * pipeline holds at every stage.
+ */
+inline void
+InvButterflyElem(u64 &a, u64 &b, u64 w, u64 w_bar, u64 p)
+{
+    const u64 two_p = 2 * p;
+    const u64 u = a;
+    const u64 v = b;
+    u64 s = u + v;  // < 4p
+    if (s >= two_p) {
+        s -= two_p;
+    }
+    a = s;
+    // (u - v) * w, lazy: Harvey's bound keeps it < 2p for any 64-bit
+    // multiplicand.
+    const u64 d = u + two_p - v;  // < 4p
+    const u64 q = MulHi64(d, w_bar);
+    b = d * w - q * p;  // < 2p
+}
+
+/**
+ * Barrett reduction of a 128-bit value (z_hi:z_lo) into [0, p) —
+ * bitwise the BarrettReducer::Reduce pipeline, expressed over the
+ * word-split constants so backends can share it.
+ */
+inline u64
+BarrettReduce(u64 z_lo, u64 z_hi, const BarrettConsts &c)
+{
+    const u128 z = (static_cast<u128>(z_hi) << 64) | z_lo;
+    const u128 mu = (static_cast<u128>(c.mu_hi) << 64) | c.mu_lo;
+    const u128 q = Mul128High(z, mu);
+    u64 r = z_lo - Lo64(q) * c.p;
+    if (r >= 2 * c.p) {
+        r -= 2 * c.p;
+    }
+    if (r >= c.p) {
+        r -= c.p;
+    }
+    return r;
+}
+
+/**
+ * The backend vocabulary: every kernel operates on contiguous rows
+ * (gather-free), with POD scalar parameters so implementations stay
+ * width-agnostic. Unless noted, dst may alias the first source operand
+ * (in-place use) but no other; distinct rows never overlap.
+ */
+struct Kernels {
+    /**
+     * One constant-twiddle forward butterfly run: the contiguous-row
+     * form of an NTT stage block. x and y are disjoint n-element runs
+     * (x = a[base..base+t), y = a[base+t..base+2t)); every pair
+     * (x[k], y[k]) goes through FwdButterflyElem with one (w, w_bar).
+     */
+    void (*fwd_butterfly_rows)(u64 *x, u64 *y, std::size_t n, u64 w,
+                               u64 w_bar, u64 p);
+
+    /**
+     * One whole forward NTT stage — m blocks of t interleaved pairs,
+     * block j spanning a[2jt..2jt+2t) with twiddles (w[j], w_bar[j])
+     * (pointers into the bit-reversed table at offset m). Gather-free
+     * by construction: while t >= kMinButterflyRun a block is two
+     * contiguous rows with a broadcast twiddle; the short-run tail
+     * stages (t < kMinButterflyRun) use in-register shuffles with the
+     * contiguous twiddle slice. One indirect call per stage, not per
+     * block, so the dispatch cost is O(log N) per transform.
+     */
+    void (*fwd_butterfly_stage)(u64 *a, const u64 *w, const u64 *w_bar,
+                                std::size_t m, std::size_t t, u64 p);
+
+    /** Constant-twiddle inverse (GS) butterfly run; see
+     *  fwd_butterfly_rows. */
+    void (*inv_butterfly_rows)(u64 *x, u64 *y, std::size_t n, u64 w,
+                               u64 w_bar, u64 p);
+
+    /** One whole inverse NTT stage: h blocks of t interleaved pairs,
+     *  block j using (w[j], w_bar[j]) at table offset h; see
+     *  fwd_butterfly_stage. */
+    void (*inv_butterfly_stage)(u64 *a, const u64 *w, const u64 *w_bar,
+                                std::size_t h, std::size_t t, u64 p);
+
+    /**
+     * Element-wise Shoup multiply by one constant, strict output:
+     * dst[k] = MulModShoup(src[k], s, s_bar, p) < p for any 64-bit
+     * src[k] (lazy [0, 4p) inputs included). dst == src allowed.
+     */
+    void (*mul_shoup_rows)(u64 *dst, const u64 *src, std::size_t n,
+                           u64 s, u64 s_bar, u64 p);
+
+    /**
+     * Element-wise Barrett product dst[k] = a[k] * b[k] mod p.
+     * Tolerates lazy [0, 4p) operands (16p^2 < 2^128 for p < 2^62).
+     * dst may alias a and/or b.
+     */
+    void (*mul_barrett_rows)(u64 *dst, const u64 *a, const u64 *b,
+                             std::size_t n, BarrettConsts c);
+
+    /**
+     * Fused multiply-accumulate dst[k] = (a[k] * b[k] + dst[k]) mod p
+     * with a single Barrett reduction per element. @pre dst[k] < p;
+     * a, b may be lazy (< 4p, p < 2^61 for the 32p^2 + p headroom).
+     */
+    void (*mul_acc_barrett_rows)(u64 *dst, const u64 *a, const u64 *b,
+                                 std::size_t n, BarrettConsts c);
+
+    /**
+     * Barrett reduction of 64-bit residues into [0, p):
+     * dst[k] = src[k] mod p. The CRT digit broadcast of
+     * relinearization. dst == src allowed.
+     */
+    void (*reduce_barrett_rows)(u64 *dst, const u64 *src, std::size_t n,
+                                BarrettConsts c);
+
+    /**
+     * dst[k] = AddMod(a[k], b'[k], p) where b' folds lazy [0, 4p)
+     * values of b when fold_b is set. @pre a[k] < p. dst may alias a
+     * or b.
+     */
+    void (*add_rows)(u64 *dst, const u64 *a, const u64 *b,
+                     std::size_t n, u64 p, bool fold_b);
+
+    /** dst[k] = SubMod(a[k], b'[k], p); see add_rows. */
+    void (*sub_rows)(u64 *dst, const u64 *a, const u64 *b,
+                     std::size_t n, u64 p, bool fold_b);
+
+    /** Fold lazy [0, 4p) residues back into [0, p), in place. */
+    void (*fold_lazy_rows)(u64 *x, std::size_t n, u64 p);
+
+    /**
+     * The fused RelinModSwitch rescale epilogue, run while the
+     * inverse-transformed row is cache-hot:
+     * dst[k] = MulModShoup(AddMod(dst[k], src[k], p), s, s_bar, p).
+     */
+    void (*fold_rescale_rows)(u64 *dst, const u64 *src, std::size_t n,
+                              u64 p, u64 s, u64 s_bar);
+
+    /**
+     * The BGV tensor stage over one limb row: c0 = a0*b0,
+     * c1 = a0*b1 + a1*b0 (one reduction for the 129-bit sum),
+     * c2 = a1*b1, all mod p. Inputs may be lazy (< 4p; needs
+     * 32p^2 < 2^128, i.e. p < 2^61). Outputs do not alias inputs.
+     */
+    void (*tensor_rows)(u64 *c0, u64 *c1, u64 *c2, const u64 *a0,
+                        const u64 *a1, const u64 *b0, const u64 *b1,
+                        std::size_t n, BarrettConsts c);
+
+    /**
+     * BGV divide-and-round: dst[k] = (src[k] - delta_k) * q_k^{-1}
+     * mod q_i with delta_k the centered representative of
+     * t * [top[k] * t^{-1}]_{q_k} — the exact, plaintext-clean rescale
+     * shared by BatchModSwitch and the fused RelinModSwitch.
+     */
+    void (*divide_round_rows)(u64 *dst, const u64 *src, const u64 *top,
+                              std::size_t n, const DivideRoundConsts &c);
+};
+
+/**
+ * Below this run length a butterfly stage uses the *_tail kernels
+ * (in-register shuffles) instead of the contiguous-row form — one
+ * AVX2 vector of u64 lanes.
+ */
+inline constexpr std::size_t kMinButterflyRun = 4;
+
+/** The kernel table of an explicit backend (always constructed;
+ *  kAvx2 falls back to the scalar table when unavailable — check
+ *  BackendAvailable first when the distinction matters). */
+const Kernels &Get(Backend backend);
+
+/** The runtime-dispatched active table (env override > CPUID). */
+const Kernels &Active();
+
+/** The backend Active() currently resolves to. */
+Backend ActiveBackend();
+
+/**
+ * Force the active backend (benches / parity tests).
+ * @throws std::invalid_argument when the backend is not available on
+ *         this build/CPU.
+ */
+void ForceBackend(Backend backend);
+
+/** Drop a ForceBackend override and re-resolve from the environment /
+ *  CPUID. */
+void ResetBackend();
+
+/** Whether a backend is compiled in AND supported by this CPU. */
+bool BackendAvailable(Backend backend);
+
+/** Short stable name ("scalar", "avx2") for logs and bench columns. */
+const char *BackendName(Backend backend);
+
+}  // namespace hentt::simd
+
+#endif  // HENTT_SIMD_SIMD_BACKEND_H

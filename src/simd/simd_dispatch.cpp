@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Backend resolution: compile-time availability x runtime CPUID x the
+ * HENTT_SIMD environment override x ForceBackend(). The active table is
+ * a single atomic pointer, so every kernel call site pays one acquire
+ * load — nothing per element.
+ */
+
+#include "simd/simd_internal.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace hentt::simd {
+
+namespace {
+
+bool
+CpuHasAvx2()
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+}
+
+/** Environment/CPUID resolution, evaluated once at first use. An
+ *  unavailable HENTT_SIMD request falls back to scalar (tests use
+ *  ForceBackend, which throws instead). */
+Backend
+ResolveDefault()
+{
+    const bool avx2 = BackendAvailable(Backend::kAvx2);
+    if (const char *env = std::getenv("HENTT_SIMD")) {
+        if (std::strcmp(env, "scalar") == 0) {
+            return Backend::kScalar;
+        }
+        if (std::strcmp(env, "avx2") == 0) {
+            return avx2 ? Backend::kAvx2 : Backend::kScalar;
+        }
+        // "auto" and anything unrecognised: fall through to CPUID.
+    }
+    return avx2 ? Backend::kAvx2 : Backend::kScalar;
+}
+
+std::atomic<const Kernels *> g_active{nullptr};
+std::atomic<int> g_active_backend{-1};
+
+void
+Activate(Backend backend)
+{
+    // Order matters for concurrent readers: publish the table last so
+    // ActiveBackend()/Active() never disagree about an initialised
+    // state.
+    g_active_backend.store(static_cast<int>(backend),
+                           std::memory_order_relaxed);
+    g_active.store(&Get(backend), std::memory_order_release);
+}
+
+const Kernels *
+InitActive()
+{
+    Activate(ResolveDefault());
+    return g_active.load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+bool
+BackendAvailable(Backend backend)
+{
+    switch (backend) {
+      case Backend::kScalar:
+        return true;
+      case Backend::kAvx2:
+        return internal::Avx2CompiledIn() && CpuHasAvx2();
+    }
+    return false;
+}
+
+const Kernels &
+Get(Backend backend)
+{
+    return backend == Backend::kAvx2 ? internal::Avx2Kernels()
+                                     : internal::ScalarKernels();
+}
+
+const Kernels &
+Active()
+{
+    const Kernels *table = g_active.load(std::memory_order_acquire);
+    return table != nullptr ? *table : *InitActive();
+}
+
+Backend
+ActiveBackend()
+{
+    (void)Active();  // force resolution
+    return static_cast<Backend>(
+        g_active_backend.load(std::memory_order_relaxed));
+}
+
+void
+ForceBackend(Backend backend)
+{
+    if (!BackendAvailable(backend)) {
+        throw std::invalid_argument(
+            std::string("SIMD backend unavailable: ") +
+            BackendName(backend));
+    }
+    Activate(backend);
+}
+
+void
+ResetBackend()
+{
+    Activate(ResolveDefault());
+}
+
+const char *
+BackendName(Backend backend)
+{
+    switch (backend) {
+      case Backend::kScalar:
+        return "scalar";
+      case Backend::kAvx2:
+        return "avx2";
+    }
+    return "unknown";
+}
+
+}  // namespace hentt::simd

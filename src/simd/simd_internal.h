@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Backend-registration seam between simd_dispatch.cpp and the kernel
+ * translation units. Not part of the public simd API.
+ */
+
+#ifndef HENTT_SIMD_SIMD_INTERNAL_H
+#define HENTT_SIMD_SIMD_INTERNAL_H
+
+#include "simd/simd_backend.h"
+
+namespace hentt::simd::internal {
+
+/** The scalar reference table (always real). */
+const Kernels &ScalarKernels();
+
+/**
+ * The production AVX2 table. When the build lacks -mavx2 support this
+ * returns the scalar table; pair with Avx2CompiledIn()/cpu support
+ * before trusting it to be vectorized. Entries where the 32x32
+ * partial-product assembly measurably loses to the scalar 64-bit
+ * hardware multiply (the 128-bit Barrett reduction family) borrow the
+ * scalar implementation — see Avx2AllVectorKernels for the rest.
+ */
+const Kernels &Avx2Kernels();
+
+/**
+ * The fully-vectorized AVX2 table, Barrett family included. Kept
+ * compiled and parity-tested (tests/test_simd_kernels.cpp) so a
+ * microarchitecture where the vector Barrett tree wins — or an
+ * AVX-512 port with vpmullq — can flip entries into the production
+ * table without re-deriving the carry propagation. Same scalar
+ * fallback rules as Avx2Kernels.
+ */
+const Kernels &Avx2AllVectorKernels();
+
+/** Whether simd_avx2.cpp was built with AVX2 enabled. */
+bool Avx2CompiledIn();
+
+}  // namespace hentt::simd::internal
+
+#endif  // HENTT_SIMD_SIMD_INTERNAL_H

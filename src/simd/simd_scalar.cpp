@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Scalar reference implementations of the backend vocabulary — the one
+ * audited copy of every hot inner loop in the library. Other backends
+ * are validated bitwise against these (tests/test_simd_kernels.cpp),
+ * lazy-range representatives included.
+ */
+
+#include "simd/simd_internal.h"
+
+namespace hentt::simd {
+
+namespace {
+
+void
+FwdButterflyRows(u64 *x, u64 *y, std::size_t n, u64 w, u64 w_bar, u64 p)
+{
+    for (std::size_t k = 0; k < n; ++k) {
+        FwdButterflyElem(x[k], y[k], w, w_bar, p);
+    }
+}
+
+void
+FwdButterflyStage(u64 *a, const u64 *w, const u64 *w_bar, std::size_t m,
+                  std::size_t t, u64 p)
+{
+    for (std::size_t j = 0; j < m; ++j) {
+        u64 *x = a + 2 * j * t;
+        FwdButterflyRows(x, x + t, t, w[j], w_bar[j], p);
+    }
+}
+
+void
+InvButterflyRows(u64 *x, u64 *y, std::size_t n, u64 w, u64 w_bar, u64 p)
+{
+    for (std::size_t k = 0; k < n; ++k) {
+        InvButterflyElem(x[k], y[k], w, w_bar, p);
+    }
+}
+
+void
+InvButterflyStage(u64 *a, const u64 *w, const u64 *w_bar, std::size_t h,
+                  std::size_t t, u64 p)
+{
+    for (std::size_t j = 0; j < h; ++j) {
+        u64 *x = a + 2 * j * t;
+        InvButterflyRows(x, x + t, t, w[j], w_bar[j], p);
+    }
+}
+
+void
+MulShoupRows(u64 *dst, const u64 *src, std::size_t n, u64 s, u64 s_bar,
+             u64 p)
+{
+    for (std::size_t k = 0; k < n; ++k) {
+        dst[k] = MulModShoup(src[k], s, s_bar, p);
+    }
+}
+
+void
+MulBarrettRows(u64 *dst, const u64 *a, const u64 *b, std::size_t n,
+               BarrettConsts c)
+{
+    for (std::size_t k = 0; k < n; ++k) {
+        const u128 z = Mul64Wide(a[k], b[k]);
+        dst[k] = BarrettReduce(Lo64(z), Hi64(z), c);
+    }
+}
+
+void
+MulAccBarrettRows(u64 *dst, const u64 *a, const u64 *b, std::size_t n,
+                  BarrettConsts c)
+{
+    for (std::size_t k = 0; k < n; ++k) {
+        const u128 z = Mul64Wide(a[k], b[k]) + dst[k];
+        dst[k] = BarrettReduce(Lo64(z), Hi64(z), c);
+    }
+}
+
+void
+ReduceBarrettRows(u64 *dst, const u64 *src, std::size_t n,
+                  BarrettConsts c)
+{
+    for (std::size_t k = 0; k < n; ++k) {
+        dst[k] = BarrettReduce(src[k], 0, c);
+    }
+}
+
+void
+AddRows(u64 *dst, const u64 *a, const u64 *b, std::size_t n, u64 p,
+        bool fold_b)
+{
+    for (std::size_t k = 0; k < n; ++k) {
+        const u64 s = fold_b ? FoldLazy(b[k], p) : b[k];
+        dst[k] = AddMod(a[k], s, p);
+    }
+}
+
+void
+SubRows(u64 *dst, const u64 *a, const u64 *b, std::size_t n, u64 p,
+        bool fold_b)
+{
+    for (std::size_t k = 0; k < n; ++k) {
+        const u64 s = fold_b ? FoldLazy(b[k], p) : b[k];
+        dst[k] = SubMod(a[k], s, p);
+    }
+}
+
+void
+FoldLazyRows(u64 *x, std::size_t n, u64 p)
+{
+    for (std::size_t k = 0; k < n; ++k) {
+        x[k] = FoldLazy(x[k], p);
+    }
+}
+
+void
+FoldRescaleRows(u64 *dst, const u64 *src, std::size_t n, u64 p, u64 s,
+                u64 s_bar)
+{
+    for (std::size_t k = 0; k < n; ++k) {
+        dst[k] = MulModShoup(AddMod(dst[k], src[k], p), s, s_bar, p);
+    }
+}
+
+void
+TensorRows(u64 *c0, u64 *c1, u64 *c2, const u64 *a0, const u64 *a1,
+           const u64 *b0, const u64 *b1, std::size_t n, BarrettConsts c)
+{
+    for (std::size_t k = 0; k < n; ++k) {
+        const u128 z0 = Mul64Wide(a0[k], b0[k]);
+        const u128 z1 = Mul64Wide(a0[k], b1[k]) + Mul64Wide(a1[k], b0[k]);
+        const u128 z2 = Mul64Wide(a1[k], b1[k]);
+        c0[k] = BarrettReduce(Lo64(z0), Hi64(z0), c);
+        c1[k] = BarrettReduce(Lo64(z1), Hi64(z1), c);
+        c2[k] = BarrettReduce(Lo64(z2), Hi64(z2), c);
+    }
+}
+
+void
+DivideRoundRows(u64 *dst, const u64 *src, const u64 *top, std::size_t n,
+                const DivideRoundConsts &c)
+{
+    for (std::size_t k = 0; k < n; ++k) {
+        const u64 u =
+            MulModShoup(top[k], c.t_inv_qk, c.t_inv_qk_bar, c.qk);
+        const BarrettConsts red{c.qi, c.mu_lo, c.mu_hi};
+        u64 delta_mod_qi;
+        if (u <= c.qk / 2) {
+            delta_mod_qi = MulModShoup(BarrettReduce(u, 0, red),
+                                       c.t_mod_qi, c.t_mod_qi_bar, c.qi);
+        } else {
+            const u64 v = c.qk - u;  // delta = -t * v
+            const u64 pos = MulModShoup(BarrettReduce(v, 0, red),
+                                        c.t_mod_qi, c.t_mod_qi_bar, c.qi);
+            delta_mod_qi = pos == 0 ? 0 : c.qi - pos;
+        }
+        const u64 diff = SubMod(src[k], delta_mod_qi, c.qi);
+        dst[k] = MulModShoup(diff, c.qk_inv, c.qk_inv_bar, c.qi);
+    }
+}
+
+}  // namespace
+
+namespace internal {
+
+const Kernels &
+ScalarKernels()
+{
+    static const Kernels table = {
+        &FwdButterflyRows,  &FwdButterflyStage, &InvButterflyRows,
+        &InvButterflyStage, &MulShoupRows,      &MulBarrettRows,
+        &MulAccBarrettRows, &ReduceBarrettRows, &AddRows,
+        &SubRows,           &FoldLazyRows,      &FoldRescaleRows,
+        &TensorRows,        &DivideRoundRows,
+    };
+    return table;
+}
+
+}  // namespace internal
+
+}  // namespace hentt::simd

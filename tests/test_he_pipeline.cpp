@@ -1,9 +1,69 @@
-/** Tests for the GPU-side HE-multiply cost composition. */
+/** Tests for the GPU-side HE-multiply cost composition, plus the
+ *  steady-state allocation contract of the CPU batched op set (the
+ *  ScratchArena covers BatchMul/BatchAdd/BatchModSwitch too, not just
+ *  relinearization — see the companion checks in
+ *  test_relin_modswitch.cpp). */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <optional>
+
+#include "he/ciphertext_batch.h"
 #include "kernels/config_search.h"
 #include "kernels/he_pipeline.h"
+
+// ---------------------------------------------------------------------
+// Allocation counter: global operator new replacement (this test binary
+// only), mirroring test_relin_modswitch.cpp, so the zero-allocation
+// claim for the whole batched op set is machine-checked.
+// ---------------------------------------------------------------------
+namespace {
+std::atomic<long long> g_alloc_count{0};
+}
+
+void *
+operator new(std::size_t size)
+{
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size)) {
+        return p;
+    }
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
 
 namespace hentt::kernels {
 namespace {
@@ -94,3 +154,106 @@ TEST(EstimateRelinModSwitch, FusionCutsElementwiseNotTransforms)
 
 }  // namespace
 }  // namespace hentt::kernels
+
+namespace hentt::he {
+namespace {
+
+class BatchAllocTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        HeParams params;
+        params.degree = 64;
+        params.prime_count = 3;
+        params.prime_bits = 50;
+        params.plain_modulus = 257;
+        ctx_ = std::make_shared<HeContext>(params);
+        scheme_ = std::make_unique<BgvScheme>(ctx_, /*seed=*/17);
+        sk_.emplace(scheme_->KeyGen());
+        Plaintext ma(params.degree, 1), mb(params.degree, 2);
+        ct_a_.emplace(scheme_->Encrypt(*sk_, ma));
+        ct_b_.emplace(scheme_->Encrypt(*sk_, mb));
+    }
+
+    /** Allocations across @p reps steady-state calls of @p op (after
+     *  two warm-up calls that size the arena and the reused outputs). */
+    template <typename Op>
+    long long
+    SteadyStateAllocs(Op &&op, int reps = 5) const
+    {
+        op();
+        op();
+        const long long before =
+            g_alloc_count.load(std::memory_order_relaxed);
+        for (int r = 0; r < reps; ++r) {
+            op();
+        }
+        return g_alloc_count.load(std::memory_order_relaxed) - before;
+    }
+
+    std::shared_ptr<HeContext> ctx_;
+    std::unique_ptr<BgvScheme> scheme_;
+    std::optional<SecretKey> sk_;
+    std::optional<Ciphertext> ct_a_, ct_b_;
+};
+
+TEST_F(BatchAllocTest, SteadyStateBatchMulDoesNotAllocate)
+{
+    Ciphertext out;
+    const Ciphertext *a[] = {&*ct_a_};
+    const Ciphertext *b[] = {&*ct_b_};
+    Ciphertext *dst[] = {&out};
+    const long long allocs = SteadyStateAllocs(
+        [&] { BatchMul(*ctx_, a, b, dst); });
+    EXPECT_EQ(allocs, 0) << "steady-state BatchMul touched the heap";
+
+    // The result is still the real product, not a stale buffer.
+    const Ciphertext ref = scheme_->Mul(*ct_a_, *ct_b_);
+    ASSERT_EQ(out.parts.size(), ref.parts.size());
+    for (std::size_t j = 0; j < out.parts.size(); ++j) {
+        for (std::size_t l = 0; l < out.parts[j].prime_count(); ++l) {
+            EXPECT_TRUE(std::ranges::equal(out.parts[j].row(l),
+                                           ref.parts[j].row(l)));
+        }
+    }
+}
+
+TEST_F(BatchAllocTest, SteadyStateBatchMulSharedOperandDoesNotAllocate)
+{
+    // Squaring interns the shared parts once — the intern scan itself
+    // must also stay off the heap.
+    Ciphertext out;
+    const Ciphertext *a[] = {&*ct_a_};
+    Ciphertext *dst[] = {&out};
+    const long long allocs = SteadyStateAllocs(
+        [&] { BatchMul(*ctx_, a, a, dst); });
+    EXPECT_EQ(allocs, 0);
+}
+
+TEST_F(BatchAllocTest, SteadyStateBatchAddDoesNotAllocate)
+{
+    Ciphertext out;
+    const Ciphertext *a[] = {&*ct_a_};
+    const Ciphertext *b[] = {&*ct_b_};
+    Ciphertext *dst[] = {&out};
+    const long long allocs = SteadyStateAllocs(
+        [&] { BatchAdd(*ctx_, a, b, dst); });
+    EXPECT_EQ(allocs, 0) << "steady-state BatchAdd touched the heap";
+}
+
+TEST_F(BatchAllocTest, SteadyStateBatchModSwitchDoesNotAllocate)
+{
+    Ciphertext out;
+    const Ciphertext *a[] = {&*ct_a_};
+    Ciphertext *dst[] = {&out};
+    const long long allocs = SteadyStateAllocs(
+        [&] { BatchModSwitch(*ctx_, a, dst); });
+    EXPECT_EQ(allocs, 0) << "steady-state BatchModSwitch touched the heap";
+    EXPECT_EQ(BgvScheme::Level(out),
+              ctx_->params().prime_count - 1);
+}
+
+}  // namespace
+}  // namespace hentt::he
