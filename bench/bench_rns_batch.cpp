@@ -245,20 +245,29 @@ BenchMain(int argc, char **argv)
 
     // ------------------------------------------------------------------
     // SIMD backend columns: the butterfly-bound single-row N=4096 lazy
-    // forward (the kernel the backend exists for) and the full multiply,
-    // per backend, one lane, so the vectorization shows up without the
-    // pool in the way.
+    // forward (the kernel the backends exist for) and the full
+    // multiply, per backend, one lane, so the vectorization shows up
+    // without the pool in the way. Each backend is measured through
+    // BOTH stage walkers — the fused radix-4 default (ceil(log N / 2)
+    // kernel passes) and the radix-2 ablation walk (log N passes) —
+    // which is how the pass reduction becomes a tracked column.
     // ------------------------------------------------------------------
     bench::Section("simd backends (1 lane)");
     SetGlobalThreadCount(1);
+    constexpr std::size_t kBackends = 3;
+    const simd::Backend backends[kBackends] = {simd::Backend::kScalar,
+                                               simd::Backend::kAvx2,
+                                               simd::Backend::kAvx512};
     const bool avx2_available =
         simd::BackendAvailable(simd::Backend::kAvx2);
-    double ntt_backend_ns[2] = {0.0, 0.0};
-    double mul_backend_ns[2] = {0.0, 0.0};
+    const bool avx512_available =
+        simd::BackendAvailable(simd::Backend::kAvx512);
+    double ntt_backend_ns[kBackends] = {};    // fused radix-4 walker
+    double ntt_radix2_ns[kBackends] = {};     // radix-2 ablation walk
+    double mul_backend_ns[kBackends] = {};
     {
         RnsPoly ntt_poly = a;
-        for (const auto backend :
-             {simd::Backend::kScalar, simd::Backend::kAvx2}) {
+        for (const auto backend : backends) {
             if (!simd::BackendAvailable(backend)) {
                 continue;
             }
@@ -270,14 +279,21 @@ BenchMain(int argc, char **argv)
                 NttRadix2Lazy(ntt_poly.row(0),
                               ctx->engine(0).table());
             });
+            ntt_radix2_ns[slot] = TimeBest_ns(3 * reps, [&] {
+                std::copy(a.row(0).begin(), a.row(0).end(),
+                          ntt_poly.row(0).begin());
+                NttRadix2LazyUnfused(ntt_poly.row(0),
+                                     ctx->engine(0).table());
+            });
             mul_backend_ns[slot] = TimeBest_ns(
                 reps, [&] { BatchedMultiply(fa, fb, a, b); });
-            bench::Row(std::string("ntt4096 ") +
-                           simd::BackendName(backend),
+            const std::string name = simd::BackendName(backend);
+            bench::Row("ntt4096 radix4 " + name,
                        ntt_backend_ns[slot] / 1e3, "us");
-            bench::Row(std::string("multiply ") +
-                           simd::BackendName(backend),
-                       mul_backend_ns[slot] / 1e3, "us");
+            bench::Row("ntt4096 radix2 " + name,
+                       ntt_radix2_ns[slot] / 1e3, "us");
+            bench::Row("multiply " + name, mul_backend_ns[slot] / 1e3,
+                       "us");
         }
         simd::ResetBackend();
     }
@@ -286,6 +302,24 @@ BenchMain(int argc, char **argv)
                      ntt_backend_ns[0] / ntt_backend_ns[1]);
         bench::Ratio("multiply avx2 vs scalar",
                      mul_backend_ns[0] / mul_backend_ns[1]);
+    }
+    bench::Ratio("ntt4096 radix4 vs radix2 (scalar)",
+                 ntt_radix2_ns[0] / ntt_backend_ns[0]);
+    // The acceptance series for the fused walker: the best radix-4
+    // column against the radix-2 AVX2 path PR 4 shipped.
+    const std::size_t best_slot = static_cast<std::size_t>(
+        avx512_available ? simd::Backend::kAvx512
+        : avx2_available ? simd::Backend::kAvx2
+                         : simd::Backend::kScalar);
+    const double radix4_vs_pr4 =
+        avx2_available
+            ? ntt_radix2_ns[static_cast<std::size_t>(
+                  simd::Backend::kAvx2)] /
+                  ntt_backend_ns[best_slot]
+            : 0.0;
+    if (avx2_available) {
+        bench::Ratio("ntt4096 radix4 best vs pr4 radix2 avx2",
+                     radix4_vs_pr4);
     }
     SetGlobalThreadCount(threads);
 
@@ -325,21 +359,39 @@ BenchMain(int argc, char **argv)
             "  \"speedup_batched_vs_seed\": %.3f,\n"
             "  \"simd_default_backend\": \"%s\",\n"
             "  \"avx2_available\": %s,\n"
+            "  \"avx512_available\": %s,\n"
             "  \"ntt4096_scalar_ns\": %.1f,\n"
             "  \"ntt4096_avx2_ns\": %.1f,\n"
+            "  \"ntt4096_avx512_ns\": %.1f,\n"
+            "  \"ntt4096_radix2_scalar_ns\": %.1f,\n"
+            "  \"ntt4096_radix2_avx2_ns\": %.1f,\n"
+            "  \"ntt4096_radix2_avx512_ns\": %.1f,\n"
             "  \"speedup_ntt4096_avx2_vs_scalar\": %.3f,\n"
+            "  \"speedup_ntt4096_radix4_vs_radix2_scalar\": %.3f,\n"
+            "  \"speedup_ntt4096_radix4_vs_radix2_avx2\": %.3f,\n"
+            "  \"speedup_ntt4096_radix4_vs_radix2_avx512\": %.3f,\n"
+            "  \"speedup_ntt4096_radix4_best_vs_pr4_radix2_avx2\": "
+            "%.3f,\n"
             "  \"multiply_scalar_ns\": %.1f,\n"
             "  \"multiply_avx2_ns\": %.1f,\n"
+            "  \"multiply_avx512_ns\": %.1f,\n"
             "  \"speedup_multiply_avx2_vs_scalar\": %.3f,\n"
             "  \"steady_state_allocs\": %lld\n"
             "}\n",
             n, np, threads, seed_ns, fast_ns, batched_ns,
             seed_ns / fast_ns, speedup,
             simd::BackendName(simd::ActiveBackend()),
-            avx2_available ? "true" : "false", ntt_backend_ns[0],
-            ntt_backend_ns[1],
+            avx2_available ? "true" : "false",
+            avx512_available ? "true" : "false", ntt_backend_ns[0],
+            ntt_backend_ns[1], ntt_backend_ns[2], ntt_radix2_ns[0],
+            ntt_radix2_ns[1], ntt_radix2_ns[2],
             avx2_available ? ntt_backend_ns[0] / ntt_backend_ns[1] : 0.0,
-            mul_backend_ns[0], mul_backend_ns[1],
+            ntt_radix2_ns[0] / ntt_backend_ns[0],
+            avx2_available ? ntt_radix2_ns[1] / ntt_backend_ns[1] : 0.0,
+            avx512_available ? ntt_radix2_ns[2] / ntt_backend_ns[2]
+                             : 0.0,
+            radix4_vs_pr4, mul_backend_ns[0], mul_backend_ns[1],
+            mul_backend_ns[2],
             avx2_available ? mul_backend_ns[0] / mul_backend_ns[1] : 0.0,
             alloc_delta);
         std::fclose(f);
@@ -362,6 +414,16 @@ BenchMain(int argc, char **argv)
                      "WARNING: AVX2 backend below the 1.5x target on "
                      "the N=4096 butterfly-bound microbench (%.2fx)\n",
                      ntt_backend_ns[0] / ntt_backend_ns[1]);
+    }
+    // Same advisory status for the fused-walker acceptance series: the
+    // best radix-4 column should beat the PR 4 radix-2 AVX2 path by
+    // >= 1.15x on hardware with a wide backend.
+    if (avx2_available && radix4_vs_pr4 < 1.15) {
+        std::fprintf(stderr,
+                     "WARNING: fused radix-4 walker below the 1.15x "
+                     "target vs the PR 4 radix-2 AVX2 path on the "
+                     "N=4096 butterfly series (%.2fx)\n",
+                     radix4_vs_pr4);
     }
     return 0;
 }

@@ -10,6 +10,7 @@
 
 #include <map>
 #include <memory>
+#include <string>
 
 #include "common/primegen.h"
 #include "common/random.h"
@@ -137,8 +138,12 @@ BM_NttRadix2Lazy(benchmark::State &state)
 
 /**
  * The butterfly-bound microbench, per SIMD backend (range(1): 0 =
- * scalar, 1 = avx2) — the acceptance gauge for new backends: AVX2 is
- * expected >= 1.5x scalar at N = 4096.
+ * scalar, 1 = avx2, 2 = avx512) x stage walker (range(2): 0 = fused
+ * radix-4, the default; 1 = radix-2 ablation walk, one pass per
+ * level). The per-backend radix-2 vs radix-4 columns are how the pass
+ * reduction of the fused walker shows up here and in
+ * BENCH_rns_batch.json; the backend columns remain the acceptance
+ * gauge for new backends (AVX2 >= 1.5x scalar at N = 4096).
  */
 void
 BM_NttRadix2LazyBackend(benchmark::State &state)
@@ -148,20 +153,26 @@ BM_NttRadix2LazyBackend(benchmark::State &state)
         state.SkipWithError("backend unavailable on this host");
         return;
     }
+    const bool unfused = state.range(2) != 0;
     simd::ForceBackend(backend);
     auto &fx = GetFixture(static_cast<std::size_t>(state.range(0)));
     std::vector<u64> v = fx.data;
     for (auto _ : state) {
         v = fx.data;
-        NttRadix2Lazy(v, fx.engine.table());
+        if (unfused) {
+            NttRadix2LazyUnfused(v, fx.engine.table());
+        } else {
+            NttRadix2Lazy(v, fx.engine.table());
+        }
         benchmark::DoNotOptimize(v.data());
     }
     simd::ResetBackend();
     state.SetItemsProcessed(state.iterations() * state.range(0));
-    state.SetLabel(simd::BackendName(backend));
+    state.SetLabel(std::string(simd::BackendName(backend)) +
+                   (unfused ? "/radix2" : "/radix4"));
 }
 
-/** Inverse counterpart, per backend. */
+/** Inverse counterpart, per backend x stage walker. */
 void
 BM_InttBackend(benchmark::State &state)
 {
@@ -170,16 +181,22 @@ BM_InttBackend(benchmark::State &state)
         state.SkipWithError("backend unavailable on this host");
         return;
     }
+    const bool unfused = state.range(2) != 0;
     simd::ForceBackend(backend);
     auto &fx = GetFixture(static_cast<std::size_t>(state.range(0)));
     std::vector<u64> v = fx.data;
     for (auto _ : state) {
         v = fx.data;
-        fx.engine.Inverse(v);
+        if (unfused) {
+            InttRadix2LazyUnfused(v, fx.engine.table());
+        } else {
+            InttRadix2Lazy(v, fx.engine.table());
+        }
         benchmark::DoNotOptimize(v.data());
     }
     simd::ResetBackend();
-    state.SetLabel(simd::BackendName(backend));
+    state.SetLabel(std::string(simd::BackendName(backend)) +
+                   (unfused ? "/radix2" : "/radix4"));
 }
 
 void
@@ -238,11 +255,22 @@ BENCHMARK(BM_NttHighRadix)
 BENCHMARK(BM_NttOt)->Args({1 << 14, 1})->Args({1 << 14, 2});
 BENCHMARK(BM_NttRadix2Lazy)->Arg(1 << 14);
 BENCHMARK(BM_NttRadix2LazyBackend)
-    ->Args({4096, 0})
-    ->Args({4096, 1})
-    ->Args({1 << 14, 0})
-    ->Args({1 << 14, 1});
-BENCHMARK(BM_InttBackend)->Args({4096, 0})->Args({4096, 1});
+    ->Args({4096, 0, 0})
+    ->Args({4096, 0, 1})
+    ->Args({4096, 1, 0})
+    ->Args({4096, 1, 1})
+    ->Args({4096, 2, 0})
+    ->Args({4096, 2, 1})
+    ->Args({1 << 14, 0, 0})
+    ->Args({1 << 14, 1, 0})
+    ->Args({1 << 14, 2, 0});
+BENCHMARK(BM_InttBackend)
+    ->Args({4096, 0, 0})
+    ->Args({4096, 0, 1})
+    ->Args({4096, 1, 0})
+    ->Args({4096, 1, 1})
+    ->Args({4096, 2, 0})
+    ->Args({4096, 2, 1});
 BENCHMARK(BM_Ntt32)->Arg(1 << 14);
 BENCHMARK(BM_Intt)->Arg(1 << 14);
 BENCHMARK(BM_PolyMultiply)->Arg(1 << 12)->Arg(1 << 14);

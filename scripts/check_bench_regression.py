@@ -1,0 +1,294 @@
+#!/usr/bin/env python3
+"""Fail CI when a fresh run_suite output regresses vs the committed
+BENCH_*.json perf trajectory.
+
+Contract (documented in docs/BENCHMARKS.md):
+
+- Timing series (keys ending in ``_ns``, lower is better) and speedup
+  series (keys starting with ``speedup_``, higher is better) are
+  compared pairwise between the committed baseline JSON (repo root)
+  and the fresh JSON (build directory).
+- A series regresses when it is worse than the baseline by more than
+  the threshold (default 25%).
+- Timing series are only comparable on the machine that produced the
+  baseline; cross-machine runs (CI) pass ``--relative-only`` so only
+  the machine-relative speedup series and the allocation invariant are
+  gated.
+- ``steady_state_allocs`` must not grow at all: new steady-state heap
+  allocations are a correctness-of-architecture regression, not noise.
+- Setting the environment variable ``HENTT_SKIP_BENCH_GATE`` (any
+  non-empty value) skips the gate with a notice — the escape hatch for
+  known-slow or heavily shared runners (CI wires a PR label to it).
+- A series present in the baseline but missing from the fresh output
+  fails the gate (a silently dropped column is how a perf trajectory
+  rots); series that are 0/absent in the baseline are skipped (e.g.
+  AVX-512 columns recorded on a host without AVX-512).
+
+Usage:
+    check_bench_regression.py --baseline DIR --fresh DIR
+                              [--threshold 0.25] [--relative-only]
+    check_bench_regression.py --self-test
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+DEFAULT_THRESHOLD = 0.25
+
+
+def classify(key):
+    """Return 'time', 'speedup', 'allocs', or None (ungated)."""
+    if key == "steady_state_allocs":
+        return "allocs"
+    if key.startswith("speedup_"):
+        return "speedup"
+    if key.endswith("_ns"):
+        return "time"
+    return None
+
+
+def capability_mismatch(baseline, fresh):
+    """True when the two runs saw different SIMD capabilities.
+
+    Speedup series that compare across backends or against the seed
+    path (e.g. ``speedup_fast_vs_seed`` with an AVX-512 fast path) are
+    only comparable between hosts whose backend availability matches;
+    on a mismatch the gate falls back to the structural checks
+    (series presence + the allocation invariant)."""
+    flags = {k for k in baseline if k.endswith("_available")}
+    flags |= {k for k in fresh if k.endswith("_available")}
+    # Not every bench records every capability flag (BENCH_he_pipeline
+    # predates AVX-512), so a differing resolved default backend is a
+    # mismatch in its own right: the default-path series ran on
+    # different hardware paths.
+    flags.add("simd_default_backend")
+    return any(baseline.get(k) != fresh.get(k) for k in flags)
+
+
+def compare(baseline, fresh, threshold=DEFAULT_THRESHOLD,
+            relative_only=False):
+    """Compare two bench dicts; returns a list of failure strings."""
+    failures = []
+    caps_differ = capability_mismatch(baseline, fresh)
+    if caps_differ:
+        print("  note: SIMD capability differs from the baseline "
+              "host; gating structural checks only")
+    for key, base_value in baseline.items():
+        kind = classify(key)
+        if kind is None or not isinstance(base_value, (int, float)):
+            continue
+        # Presence is gated in every mode — a silently dropped column
+        # is how a perf trajectory rots — before any value skips.
+        if key not in fresh:
+            failures.append(f"{key}: series missing from fresh output")
+            continue
+        if kind == "time" and relative_only:
+            continue
+        if caps_differ and kind in ("time", "speedup"):
+            continue
+        new_value = fresh[key]
+        if not isinstance(new_value, (int, float)):
+            failures.append(f"{key}: non-numeric fresh value {new_value!r}")
+            continue
+        if kind == "allocs":
+            if new_value > base_value:
+                failures.append(
+                    f"{key}: {base_value} -> {new_value} steady-state "
+                    f"allocations (must not grow)")
+            continue
+        if base_value <= 0:
+            continue  # column not recorded on the baseline host
+        if new_value == 0:
+            # The benches write exact 0 for columns the current host
+            # cannot measure (e.g. AVX-512 series on a runner without
+            # AVX-512); that is unavailability, not a regression.
+            continue
+        if kind == "time" and new_value > base_value * (1 + threshold):
+            failures.append(
+                f"{key}: {base_value:.1f} -> {new_value:.1f} ns "
+                f"({new_value / base_value:.2f}x slower, threshold "
+                f"{1 + threshold:.2f}x)")
+        elif kind == "speedup" and new_value < base_value * (1 - threshold):
+            failures.append(
+                f"{key}: {base_value:.3f}x -> {new_value:.3f}x "
+                f"({new_value / base_value:.2f} of baseline, threshold "
+                f"{1 - threshold:.2f})")
+    return failures
+
+
+def check_pair(baseline_path, fresh_path, threshold, relative_only):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    failures = compare(baseline, fresh, threshold, relative_only)
+    name = os.path.basename(baseline_path)
+    if failures:
+        print(f"FAIL {name}:")
+        for failure in failures:
+            print(f"  - {failure}")
+    else:
+        mode = "relative series" if relative_only else "all series"
+        print(f"ok   {name} ({mode}, threshold "
+              f"{int(threshold * 100)}%)")
+    return failures
+
+
+def run_gate(args):
+    if os.environ.get("HENTT_SKIP_BENCH_GATE"):
+        print("bench regression gate SKIPPED "
+              "(HENTT_SKIP_BENCH_GATE is set)")
+        return 0
+    baseline_dir = pathlib.Path(args.baseline)
+    fresh_dir = pathlib.Path(args.fresh)
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"error: no BENCH_*.json under {baseline_dir}",
+              file=sys.stderr)
+        return 2
+    total_failures = 0
+    for baseline_path in baselines:
+        fresh_path = fresh_dir / baseline_path.name
+        if not fresh_path.exists():
+            print(f"FAIL {baseline_path.name}: fresh output "
+                  f"{fresh_path} not found")
+            total_failures += 1
+            continue
+        total_failures += len(
+            check_pair(baseline_path, fresh_path, args.threshold,
+                       args.relative_only))
+    if total_failures:
+        print(f"\n{total_failures} regression(s); rerun locally or set "
+              "HENTT_SKIP_BENCH_GATE=1 / apply the skip-bench-gate "
+              "label for known-slow runners")
+        return 1
+    return 0
+
+
+def self_test():
+    """Unit tests of the comparison logic (run as a ctest suite)."""
+    base = {
+        "bench": "rns_batch",
+        "n": 4096,
+        "ntt4096_avx2_ns": 1000.0,
+        "speedup_ntt4096_radix4_vs_radix2_avx512": 1.2,
+        "ntt4096_avx512_ns": 0.0,  # not recorded on baseline host
+        "steady_state_allocs": 0,
+        "simd_default_backend": "avx2",
+    }
+    failed = []
+
+    def expect(name, condition):
+        print(f"  {'ok  ' if condition else 'FAIL'} {name}")
+        if not condition:
+            failed.append(name)
+
+    # Identical run: clean.
+    expect("identical run passes", compare(base, dict(base)) == [])
+
+    # The acceptance case: a synthetic 2x slowdown of a timing series
+    # must fail the absolute gate...
+    slow = dict(base)
+    slow["ntt4096_avx2_ns"] = 2000.0
+    expect("2x slowdown fails", len(compare(base, slow)) == 1)
+    # ...and stays within threshold at +10%.
+    mild = dict(base)
+    mild["ntt4096_avx2_ns"] = 1100.0
+    expect("+10% passes at 25% threshold", compare(base, mild) == [])
+    expect("+10% fails at 5% threshold",
+           len(compare(base, mild, threshold=0.05)) == 1)
+
+    # Relative-only mode ignores raw timings but still catches a
+    # halved speedup (the cross-machine CI configuration).
+    slow_rel = dict(slow)
+    slow_rel["speedup_ntt4096_radix4_vs_radix2_avx512"] = 0.6
+    expect("relative-only ignores ns series",
+           len(compare(base, slow, relative_only=True)) == 0)
+    expect("relative-only catches halved speedup",
+           len(compare(base, slow_rel, relative_only=True)) == 1)
+
+    # Structural failures — gated in relative-only mode too (CI runs
+    # that mode exclusively, and dropped columns must never pass).
+    dropped = dict(base)
+    del dropped["ntt4096_avx2_ns"]
+    expect("dropped series fails", len(compare(base, dropped)) == 1)
+    expect("dropped series fails in relative-only mode",
+           len(compare(base, dropped, relative_only=True)) == 1)
+    # A differing resolved default backend counts as a capability
+    # mismatch even when no *_available flag records the difference
+    # (BENCH_he_pipeline carries only avx2_available).
+    diff_default = dict(base)
+    diff_default["simd_default_backend"] = "avx512"
+    diff_default["speedup_ntt4096_radix4_vs_radix2_avx512"] = 0.4
+    expect("default-backend difference excuses speedup series",
+           compare(base, diff_default, relative_only=True) == [])
+    alloc = dict(base)
+    alloc["steady_state_allocs"] = 3
+    expect("new steady-state allocs fail",
+           len(compare(base, alloc, relative_only=True)) == 1)
+
+    # Baseline zeros (columns the baseline host could not measure) are
+    # skipped, and so are fresh zeros (columns THIS host cannot
+    # measure, e.g. AVX-512 series on a non-AVX-512 runner).
+    zeroed = dict(base)
+    zeroed["ntt4096_avx512_ns"] = 123456.0
+    expect("baseline-zero column skipped", compare(base, zeroed) == [])
+    no_avx512 = dict(base)
+    no_avx512["speedup_ntt4096_radix4_vs_radix2_avx512"] = 0.0
+    expect("fresh-zero column skipped",
+           compare(base, no_avx512, relative_only=True) == [])
+
+    # A host with different SIMD capability gates structure only: a
+    # 'regressed' speedup is excused (it reflects hardware, not code)
+    # but dropped series and alloc growth still fail.
+    base_caps = dict(base)
+    base_caps["avx512_available"] = True
+    other_host = dict(base_caps)
+    other_host["avx512_available"] = False
+    other_host["speedup_ntt4096_radix4_vs_radix2_avx512"] = 0.4
+    expect("capability mismatch excuses speedup series",
+           compare(base_caps, other_host, relative_only=True) == [])
+    other_bad = dict(other_host)
+    other_bad["steady_state_allocs"] = 2
+    del other_bad["ntt4096_avx2_ns"]
+    expect("capability mismatch still gates structure",
+           len(compare(base_caps, other_bad)) == 2)
+
+    # Non-gated keys never trip.
+    meta = dict(base)
+    meta["simd_default_backend"] = "scalar"
+    meta["n"] = 8192
+    expect("metadata keys ignored", compare(base, meta) == [])
+
+    if failed:
+        print(f"self-test: {len(failed)} failure(s)")
+        return 1
+    print("self-test: all checks passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default=".",
+                        help="directory with committed BENCH_*.json")
+    parser.add_argument("--fresh", default="build",
+                        help="directory with freshly generated JSONs")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="fractional regression tolerance")
+    parser.add_argument("--relative-only", action="store_true",
+                        help="gate only machine-relative series "
+                             "(cross-machine runs)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run unit tests of the comparison logic")
+    args = parser.parse_args()
+    if args.self_test:
+        sys.exit(self_test())
+    sys.exit(run_gate(args))
+
+
+if __name__ == "__main__":
+    main()

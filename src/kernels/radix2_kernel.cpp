@@ -57,9 +57,11 @@ Radix2Kernel::Execute(NttBatchWorkload &workload) const
 {
     // The Shoup path executes through the lazy [0, 4p) pipeline — the
     // butterfly the GPU kernels actually run, bit-identical to the
-    // strict kRadix2 and routed through the SIMD backend layer. The
-    // native/Barrett reductions stay on their strict ablation paths
-    // (they exist to reproduce the Fig. 1 contrast, not to be fast).
+    // strict kRadix2 and routed through the SIMD backend layer's fused
+    // radix-4 stage walker (two butterfly levels per kernel dispatch;
+    // see ntt_lazy.cpp). The native/Barrett reductions stay on
+    // their strict ablation paths (they exist to reproduce the Fig. 1
+    // contrast, not to be fast).
     NttAlgorithm algo = NttAlgorithm::kRadix2Lazy;
     if (reduction_ == Reduction::kNative) {
         algo = NttAlgorithm::kRadix2Native;

@@ -186,7 +186,9 @@ SmemKernel::Execute(NttBatchWorkload &workload) const
     // One pool dispatch over the batch — the CPU stand-in for the
     // paper's single batched kernel launch (Fig. 3). Without OT stages
     // the rows run through the lazy pipeline (bit-identical to the
-    // strict kRadix2, vectorized by the SIMD backend).
+    // strict kRadix2, vectorized by the SIMD backend and walked in
+    // fused radix-4 stage pairs — ceil(log N / 2) kernel dispatches
+    // per row, single-pass per dispatch on the scalar/AVX-512 tables).
     workload.ForEachRowParallel([&](std::size_t i) {
         if (config_.ot_stages > 0) {
             workload.engine(i).Forward(workload.row(i),

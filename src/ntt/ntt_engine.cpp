@@ -12,6 +12,7 @@ namespace {
 std::atomic<u64> g_forward_count{0};
 std::atomic<u64> g_inverse_count{0};
 std::atomic<u64> g_elementwise_count{0};
+std::atomic<u64> g_butterfly_stage_count{0};
 
 }  // namespace
 
@@ -20,7 +21,8 @@ GetNttOpCounts()
 {
     return {g_forward_count.load(std::memory_order_relaxed),
             g_inverse_count.load(std::memory_order_relaxed),
-            g_elementwise_count.load(std::memory_order_relaxed)};
+            g_elementwise_count.load(std::memory_order_relaxed),
+            g_butterfly_stage_count.load(std::memory_order_relaxed)};
 }
 
 void
@@ -29,12 +31,19 @@ ResetNttOpCounts()
     g_forward_count.store(0, std::memory_order_relaxed);
     g_inverse_count.store(0, std::memory_order_relaxed);
     g_elementwise_count.store(0, std::memory_order_relaxed);
+    g_butterfly_stage_count.store(0, std::memory_order_relaxed);
 }
 
 void
 AddElementwisePasses(u64 rows)
 {
     g_elementwise_count.fetch_add(rows, std::memory_order_relaxed);
+}
+
+void
+AddButterflyStageDispatches(u64 stages)
+{
+    g_butterfly_stage_count.fetch_add(stages, std::memory_order_relaxed);
 }
 
 NttEngine::NttEngine(std::size_t n, u64 p, std::size_t ot_base)

@@ -135,6 +135,18 @@ struct NttOpCounts {
      * and tests pin the saving through this counter.
      */
     u64 elementwise = 0;
+    /**
+     * Butterfly stage-kernel dispatches issued by the lazy transform
+     * walkers: a fused radix-4 dispatch covers two butterfly levels, a
+     * radix-2 dispatch one, so an N-point lazy transform costs
+     * ceil(log2 N / 2) dispatches instead of log2 N (pinned by
+     * tests). Note this counts *dispatches*, not physical memory
+     * passes — the scalar and AVX-512 tables execute a fused dispatch
+     * as one pass over the data, while the production AVX2 table
+     * realizes wide fused stages as two row sweeps (its register file
+     * cannot hold the fused working set; see simd_avx2.cpp).
+     */
+    u64 butterfly_stages = 0;
 };
 
 /** Snapshot of the process-wide transform counters. */
@@ -146,6 +158,10 @@ void ResetNttOpCounts();
 /** Record @p rows destination limb rows swept by a standalone
  *  element-wise dispatch (see NttOpCounts::elementwise). */
 void AddElementwisePasses(u64 rows);
+
+/** Record @p stages butterfly stage-kernel dispatches (see
+ *  NttOpCounts::butterfly_stages). Called by the lazy stage walkers. */
+void AddButterflyStageDispatches(u64 stages);
 
 }  // namespace hentt
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/modarith.h"
+#include "ntt/ntt_engine.h"
 #include "simd/simd_backend.h"
 
 namespace hentt {
@@ -26,19 +27,57 @@ NttRadix2LazyKeepRange(std::span<u64> a, const TwiddleTable &table)
     const std::size_t n = a.size();
     const u64 p = table.modulus();
     const simd::Kernels &simd = simd::Active();
+
+    // Fused radix-4 stage walk: each dispatch executes TWO consecutive
+    // butterfly levels while the super-block is in registers, so the
+    // coefficient array is read and written ceil(log N / 2) times
+    // instead of log N — the pass-count cut the paper's memory-bound
+    // NTT analysis asks for. Twiddles stream from the stage-major
+    // interleaved (w, w_bar) layout, so even the shuffle-tail stages
+    // (quarter < 4) consume them sequentially. Outputs are
+    // bit-identical to the radix-2 walk (the fused kernel is the same
+    // four FwdButterflyElem applications in the same order), lazy
+    // [0, 4p) representatives included.
+    u64 dispatches = 0;
+    for (const TwiddleTable::FusedStage &st :
+         table.fused_forward_stages()) {
+        simd.fwd_butterfly_stage4(a.data(), st.pairs, st.quads,
+                                  st.blocks, st.quarter, p);
+        ++dispatches;
+    }
+    if (table.has_radix2_tail()) {
+        // Odd log N: one radix-2 stage remains (m = n/2, t = 1, the
+        // in-register shuffle tail) from the split tables.
+        const u64 *w = table.forward_words().data();
+        const u64 *w_bar = table.forward_shoup_words().data();
+        simd.fwd_butterfly_stage(a.data(), w + n / 2, w_bar + n / 2,
+                                 n / 2, 1, p);
+        ++dispatches;
+    }
+    AddButterflyStageDispatches(dispatches);
+}
+
+void
+NttRadix2LazyKeepRangeUnfused(std::span<u64> a, const TwiddleTable &table)
+{
+    CheckSize(a, table);
+    const std::size_t n = a.size();
+    const u64 p = table.modulus();
+    const simd::Kernels &simd = simd::Active();
     const u64 *w = table.forward_words().data();
     const u64 *w_bar = table.forward_shoup_words().data();
 
-    // One backend call per stage, the whole loop nest inside the
-    // kernel (gather-free: contiguous-row blocks while t allows,
-    // in-register shuffles for the short-run tail stages), with the
-    // stage's contiguous twiddle slice w[m..2m). Dispatch cost is
-    // O(log N) indirect calls per transform.
+    // Radix-2 stage walk (one backend call per butterfly level, log N
+    // passes over the data) — the ablation baseline the fused radix-4
+    // walker is validated and benchmarked against.
     std::size_t t = n / 2;
+    u64 dispatches = 0;
     for (std::size_t m = 1; m < n; m <<= 1) {
         simd.fwd_butterfly_stage(a.data(), w + m, w_bar + m, m, t, p);
         t >>= 1;
+        ++dispatches;
     }
+    AddButterflyStageDispatches(dispatches);
 }
 
 void
@@ -50,7 +89,48 @@ NttRadix2Lazy(std::span<u64> a, const TwiddleTable &table)
 }
 
 void
+NttRadix2LazyUnfused(std::span<u64> a, const TwiddleTable &table)
+{
+    NttRadix2LazyKeepRangeUnfused(a, table);
+    simd::Active().fold_lazy_rows(a.data(), a.size(), table.modulus());
+}
+
+void
 InttRadix2Lazy(std::span<u64> a, const TwiddleTable &table)
+{
+    CheckSize(a, table);
+    const std::size_t n = a.size();
+    const u64 p = table.modulus();
+    const simd::Kernels &simd = simd::Active();
+
+    // Fused radix-4 Gentleman-Sande walk, mirror of the forward: the
+    // short-run stages come first (t grows), all values stay < 2p
+    // (simd::InvButterflyElem invariant), and each dispatch retires two
+    // levels per pass over the data.
+    u64 dispatches = 0;
+    for (const TwiddleTable::FusedStage &st :
+         table.fused_inverse_stages()) {
+        simd.inv_butterfly_stage4(a.data(), st.quads, st.pairs,
+                                  st.blocks, st.quarter, p);
+        ++dispatches;
+    }
+    if (table.has_radix2_tail()) {
+        // Odd log N: the outermost radix-2 stage remains (h = 1,
+        // t = n/2 — one contiguous-row block).
+        const u64 *w = table.inverse_words().data();
+        const u64 *w_bar = table.inverse_shoup_words().data();
+        simd.inv_butterfly_stage(a.data(), w + 1, w_bar + 1, 1, n / 2,
+                                 p);
+        ++dispatches;
+    }
+    AddButterflyStageDispatches(dispatches);
+    // Final N^{-1} scaling; MulModShoup fully reduces any 64-bit input.
+    simd.mul_shoup_rows(a.data(), a.data(), n, table.n_inv(),
+                        table.n_inv_shoup(), p);
+}
+
+void
+InttRadix2LazyUnfused(std::span<u64> a, const TwiddleTable &table)
 {
     CheckSize(a, table);
     const std::size_t n = a.size();
@@ -59,16 +139,17 @@ InttRadix2Lazy(std::span<u64> a, const TwiddleTable &table)
     const u64 *w = table.inverse_words().data();
     const u64 *w_bar = table.inverse_shoup_words().data();
 
-    // Gentleman-Sande with the invariant: all values stay < 2p
-    // (simd::InvButterflyElem semantics). Short runs come first here
-    // (t grows), so the shuffle tail covers the head stages.
+    // Radix-2 Gentleman-Sande walk (ablation baseline; see
+    // NttRadix2LazyKeepRangeUnfused).
     std::size_t t = 1;
+    u64 dispatches = 0;
     for (std::size_t m = n; m > 1; m >>= 1) {
         const std::size_t h = m / 2;
         simd.inv_butterfly_stage(a.data(), w + h, w_bar + h, h, t, p);
         t <<= 1;
+        ++dispatches;
     }
-    // Final N^{-1} scaling; MulModShoup fully reduces any 64-bit input.
+    AddButterflyStageDispatches(dispatches);
     simd.mul_shoup_rows(a.data(), a.data(), n, table.n_inv(),
                         table.n_inv_shoup(), p);
 }

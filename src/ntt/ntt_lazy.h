@@ -27,8 +27,23 @@ namespace hentt {
  * Accepts inputs < p (or more generally < 4p), produces fully reduced
  * outputs (< p) after a final correction pass. Bit-identical to
  * NttRadix2 for inputs < p.
+ *
+ * Executes through the fused radix-4 stage walker: each kernel
+ * dispatch runs two consecutive butterfly levels in registers (fed by
+ * the stage-major interleaved twiddle layout of TwiddleTable), so the
+ * coefficient array is traversed ceil(log2 N / 2) times instead of
+ * log2 N; an odd log2 N finishes with one radix-2 stage. Bit-identical
+ * to the radix-2 walk (NttRadix2LazyUnfused) on every backend.
  */
 void NttRadix2Lazy(std::span<u64> a, const TwiddleTable &table);
+
+/**
+ * The radix-2 stage walk of NttRadix2Lazy — one kernel dispatch (and
+ * one O(N) pass over the data) per butterfly level. Kept as the
+ * ablation baseline the fused radix-4 walker is validated against and
+ * benchmarked next to (micro_ntt / bench_rns_batch radix columns).
+ */
+void NttRadix2LazyUnfused(std::span<u64> a, const TwiddleTable &table);
 
 /**
  * Forward lazy NTT that *keeps* the [0, 4p) output range: identical to
@@ -43,11 +58,21 @@ void NttRadix2Lazy(std::span<u64> a, const TwiddleTable &table);
  */
 void NttRadix2LazyKeepRange(std::span<u64> a, const TwiddleTable &table);
 
+/** Keep-range forward through the radix-2 stage walk (ablation
+ *  baseline; bit-identical to NttRadix2LazyKeepRange). */
+void NttRadix2LazyKeepRangeUnfused(std::span<u64> a,
+                                   const TwiddleTable &table);
+
 /**
  * Inverse with lazy butterflies, fully reduced natural-order output.
- * Bit-identical to InttRadix2.
+ * Bit-identical to InttRadix2. Runs the fused radix-4 stage walker
+ * (two Gentleman-Sande levels per pass; see NttRadix2Lazy).
  */
 void InttRadix2Lazy(std::span<u64> a, const TwiddleTable &table);
+
+/** Inverse through the radix-2 stage walk (ablation baseline;
+ *  bit-identical to InttRadix2Lazy). */
+void InttRadix2LazyUnfused(std::span<u64> a, const TwiddleTable &table);
 
 /**
  * The paper's Algo. 2 butterfly in isolation (for tests and docs):

@@ -40,6 +40,79 @@ TwiddleTable::TwiddleTable(std::size_t n, u64 p) : n_(n), p_(p)
         power = MulModNative(power, psi_, p);
         power_inv = MulModNative(power_inv, psi_inv_, p);
     }
+
+    BuildFusedStages();
+}
+
+void
+TwiddleTable::BuildFusedStages()
+{
+    const std::size_t n = n_;
+    radix2_tail_ = (Log2Exact(n) % 2) != 0;
+
+    // Forward (CT): fuse level pairs (m, 2m) for m = 1, 4, 16, ...
+    // Super-block j of stage m spans a[4jq..4jq+4q) with q = n / (4m);
+    // its first-level twiddle is Psi[m + j], its two second-level
+    // (cross-term) twiddles are Psi[2m + 2j] and Psi[2m + 2j + 1].
+    // Each stage's words are packed contiguously: 2m pair words, then
+    // 4m quad words, so both kernel streams advance sequentially.
+    std::size_t total = 0;
+    for (std::size_t m = 1; 4 * m <= n; m *= 4) {
+        total += 6 * m;
+    }
+    fwd4_words_.reserve(total);
+    std::vector<std::size_t> offsets;
+    for (std::size_t m = 1; 4 * m <= n; m *= 4) {
+        offsets.push_back(fwd4_words_.size());
+        for (std::size_t j = 0; j < m; ++j) {
+            fwd4_words_.push_back(fwd_[m + j]);
+            fwd4_words_.push_back(fwd_shoup_[m + j]);
+        }
+        for (std::size_t j = 0; j < m; ++j) {
+            fwd4_words_.push_back(fwd_[2 * m + 2 * j]);
+            fwd4_words_.push_back(fwd_shoup_[2 * m + 2 * j]);
+            fwd4_words_.push_back(fwd_[2 * m + 2 * j + 1]);
+            fwd4_words_.push_back(fwd_shoup_[2 * m + 2 * j + 1]);
+        }
+    }
+    std::size_t s = 0;
+    for (std::size_t m = 1; 4 * m <= n; m *= 4, ++s) {
+        const u64 *base = fwd4_words_.data() + offsets[s];
+        fwd4_stages_.push_back({m, n / (4 * m), base, base + 2 * m});
+    }
+
+    // Inverse (GS): fuse level pairs (t, 2t) for t = 1, 4, 16, ...
+    // Super-block j (of M = n / (4t)) butterflies quarters of q = t
+    // elements; its two first-level twiddles are PsiInv[h1 + 2j] and
+    // PsiInv[h1 + 2j + 1] (h1 = n / (2t)), its shared second-level
+    // twiddle is PsiInv[M + j].
+    total = 0;
+    for (std::size_t t = 1; 4 * t <= n; t *= 4) {
+        total += 6 * (n / (4 * t));
+    }
+    inv4_words_.reserve(total);
+    offsets.clear();
+    for (std::size_t t = 1; 4 * t <= n; t *= 4) {
+        const std::size_t h1 = n / (2 * t);
+        const std::size_t blocks = n / (4 * t);
+        offsets.push_back(inv4_words_.size());
+        for (std::size_t j = 0; j < blocks; ++j) {
+            inv4_words_.push_back(inv_[h1 + 2 * j]);
+            inv4_words_.push_back(inv_shoup_[h1 + 2 * j]);
+            inv4_words_.push_back(inv_[h1 + 2 * j + 1]);
+            inv4_words_.push_back(inv_shoup_[h1 + 2 * j + 1]);
+        }
+        for (std::size_t j = 0; j < blocks; ++j) {
+            inv4_words_.push_back(inv_[blocks + j]);
+            inv4_words_.push_back(inv_shoup_[blocks + j]);
+        }
+    }
+    s = 0;
+    for (std::size_t t = 1; 4 * t <= n; t *= 4, ++s) {
+        const std::size_t blocks = n / (4 * t);
+        const u64 *base = inv4_words_.data() + offsets[s];
+        inv4_stages_.push_back({blocks, t, base + 4 * blocks, base});
+    }
 }
 
 }  // namespace hentt

@@ -39,6 +39,15 @@ class TwiddleTable
      */
     TwiddleTable(std::size_t n, u64 p);
 
+    // The FusedStage views below hold pointers into this object's own
+    // twiddle storage; a copy's views would alias the source's heap
+    // buffers (dangling once the source dies). Moves transfer the
+    // buffers, so the views stay valid.
+    TwiddleTable(const TwiddleTable &) = delete;
+    TwiddleTable &operator=(const TwiddleTable &) = delete;
+    TwiddleTable(TwiddleTable &&) = default;
+    TwiddleTable &operator=(TwiddleTable &&) = default;
+
     std::size_t size() const { return n_; }
     u64 modulus() const { return p_; }
 
@@ -81,6 +90,47 @@ class TwiddleTable
         return inv_shoup_;
     }
 
+    /**
+     * One fused radix-4 stage pair in the stage-major interleaved
+     * twiddle layout: the twiddles two consecutive radix-2 levels
+     * consume, re-packed so both SIMD kernel streams are strictly
+     * sequential — (w, w_bar) always adjacent, and the two cross-term
+     * (second butterfly level) twiddles of a super-block adjacent to
+     * each other. This is what lets the tail stages (quarter < 4) run
+     * on unpack shuffles instead of the split-table permute/gather
+     * traffic the radix-2 walker pays.
+     *
+     * Forward semantics (CT): `pairs` is the shared first-level twiddle
+     * of super-block j as (w, w_bar) at pairs[2j]; `quads` holds its
+     * two second-level twiddles as (w2a, w2a_bar, w2b, w2b_bar) at
+     * quads[4j]. Inverse semantics (GS) mirror: `quads` carries the two
+     * first-level twiddles, `pairs` the shared second-level one.
+     */
+    struct FusedStage {
+        std::size_t blocks;   ///< super-block count m
+        std::size_t quarter;  ///< quarter run length q (block = 4q)
+        const u64 *pairs;     ///< interleaved (w, w_bar), 2m words
+        const u64 *quads;     ///< interleaved (wa, wa_bar, wb, wb_bar)
+    };
+
+    /** Fused forward stage pairs, outermost first (levels m = 1, 4,
+     *  16, ...). Covers log2(N) & ~1 levels; an odd log2(N) leaves one
+     *  trailing radix-2 stage (see has_radix2_tail). */
+    const std::vector<FusedStage> &fused_forward_stages() const
+    {
+        return fwd4_stages_;
+    }
+    /** Fused inverse stage pairs, innermost first (t = 1, 4, 16, ...);
+     *  an odd log2(N) leaves one trailing radix-2 stage at t = N/2. */
+    const std::vector<FusedStage> &fused_inverse_stages() const
+    {
+        return inv4_stages_;
+    }
+    /** Whether log2(N) is odd, i.e. the fused walkers must finish with
+     *  one radix-2 stage (forward: m = N/2, t = 1; inverse: h = 1,
+     *  t = N/2) from the split tables. */
+    bool has_radix2_tail() const { return radix2_tail_; }
+
   private:
     std::size_t n_;
     u64 p_;
@@ -88,8 +138,16 @@ class TwiddleTable
     u64 psi_inv_;
     u64 n_inv_;
     u64 n_inv_shoup_;
+    /** Build the fused radix-4 stage views from the split tables. */
+    void BuildFusedStages();
+
     std::vector<u64> fwd_, fwd_shoup_;
     std::vector<u64> inv_, inv_shoup_;
+    // Stage-major interleaved twiddle words backing the FusedStage
+    // views (pairs and quads of every fused stage, concatenated).
+    std::vector<u64> fwd4_words_, inv4_words_;
+    std::vector<FusedStage> fwd4_stages_, inv4_stages_;
+    bool radix2_tail_ = false;
 };
 
 }  // namespace hentt

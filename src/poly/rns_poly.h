@@ -109,6 +109,11 @@ class RnsPoly
      * Hadamard products (`*=`, MultiplyAccumulate) accept lazy operands
      * because Barrett reduction tolerates the 16p^2 products, while
      * additive ops and ToCoefficient() reduce first via ReduceLazy().
+     *
+     * Each row executes through the fused radix-4 stage walker
+     * (NttRadix2LazyKeepRange): ceil(log2 N / 2) butterfly kernel
+     * dispatches per limb instead of log2 N, fed by the interleaved
+     * twiddle layout the shared engine's TwiddleTable precomputes.
      * @pre coefficient domain.
      */
     void ToEvaluationLazy();

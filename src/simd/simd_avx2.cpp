@@ -376,6 +376,345 @@ InvButterflyStage(u64 *a, const u64 *w, const u64 *w_bar, std::size_t h,
     ButterflyStage<false>(a, w, w_bar, h, t, p);
 }
 
+// -------------------------------------------------- fused radix-4 stages
+//
+// Each super-block is (A, B, C, D) quarters of q contiguous elements;
+// the kernels run two radix-2 levels in registers, composed from the
+// same FwdCore/InvCore vector butterflies as the radix-2 stages, so
+// bit-identity with two chained stages is structural. Twiddles stream
+// sequentially from the interleaved (w, w_bar) pair / quad layout, so
+// the q < 4 tail forms need shuffles only, never gathers.
+
+/**
+ * Forward radix-4, contiguous-row form (q >= 4): per super-block, four
+ * q-element rows and six broadcast twiddle words; four FwdCore calls
+ * per column of vectors, one load + one store per coefficient for two
+ * butterfly levels.
+ */
+void
+FwdStage4Rows(u64 *a, const u64 *pairs, const u64 *quads, std::size_t m,
+              std::size_t q, u64 p)
+{
+    const __m256i vp = Bcast(p), v2p = Bcast(2 * p);
+    for (std::size_t j = 0; j < m; ++j) {
+        u64 *blk = a + 4 * j * q;
+        const u64 w1 = pairs[2 * j], w1b = pairs[2 * j + 1];
+        const u64 w2a = quads[4 * j], w2ab = quads[4 * j + 1];
+        const u64 w2b = quads[4 * j + 2], w2bb = quads[4 * j + 3];
+        const __m256i vw1 = Bcast(w1), vw1b = Bcast(w1b);
+        const __m256i vw2a = Bcast(w2a), vw2ab = Bcast(w2ab);
+        const __m256i vw2b = Bcast(w2b), vw2bb = Bcast(w2bb);
+        std::size_t k = 0;
+        for (; k + 4 <= q; k += 4) {
+            __m256i va = Load(blk + k);
+            __m256i vb = Load(blk + q + k);
+            __m256i vc = Load(blk + 2 * q + k);
+            __m256i vd = Load(blk + 3 * q + k);
+            FwdCore(va, vc, vw1, vw1b, vp, v2p);
+            FwdCore(vb, vd, vw1, vw1b, vp, v2p);
+            FwdCore(va, vb, vw2a, vw2ab, vp, v2p);
+            FwdCore(vc, vd, vw2b, vw2bb, vp, v2p);
+            Store(blk + k, va);
+            Store(blk + q + k, vb);
+            Store(blk + 2 * q + k, vc);
+            Store(blk + 3 * q + k, vd);
+        }
+        for (; k < q; ++k) {
+            FwdButterflyQuadElem(blk[k], blk[q + k], blk[2 * q + k],
+                                 blk[3 * q + k], w1, w1b, w2a, w2ab, w2b,
+                                 w2bb, p);
+        }
+    }
+}
+
+/**
+ * Forward radix-4 tail, q == 2: one 8-element super-block per
+ * iteration, v0 = (A0 A1 B0 B1), v1 = (C0 C1 D0 D1). Level one is a
+ * straight lane-wise butterfly of v0 against v1 ((A,C) and (B,D) share
+ * w1); level two regroups through 128-bit lane permutes.
+ */
+void
+FwdStage4TailQ2(u64 *a, const u64 *pairs, const u64 *quads,
+                std::size_t m, __m256i vp, __m256i v2p)
+{
+    for (std::size_t j = 0; j < m; ++j) {
+        __m256i v0 = Load(a + 8 * j);
+        __m256i v1 = Load(a + 8 * j + 4);
+        const __m256i vw1 = Bcast(pairs[2 * j]);
+        const __m256i vw1b = Bcast(pairs[2 * j + 1]);
+        FwdCore(v0, v1, vw1, vw1b, vp, v2p);
+        // (w2a, w2ab, w2b, w2bb) -> (w2a w2a w2b w2b) + companions.
+        const __m256i qd = Load(quads + 4 * j);
+        const __m256i vw2 = _mm256_permute4x64_epi64(qd, 0xA0);
+        const __m256i vw2b = _mm256_permute4x64_epi64(qd, 0xF5);
+        __m256i x = _mm256_permute2x128_si256(v0, v1, 0x20);  // A0A1C0C1
+        __m256i y = _mm256_permute2x128_si256(v0, v1, 0x31);  // B0B1D0D1
+        FwdCore(x, y, vw2, vw2b, vp, v2p);
+        Store(a + 8 * j, _mm256_permute2x128_si256(x, y, 0x20));
+        Store(a + 8 * j + 4, _mm256_permute2x128_si256(x, y, 0x31));
+    }
+}
+
+/**
+ * Forward radix-4 tail, q == 1: two 4-element super-blocks (a b c d)
+ * per iteration. The interleaved pair stream feeds level one with one
+ * permute per vector; the quad stream feeds level two through an
+ * unpack + permute, so the final two butterfly levels of the transform
+ * run in one pass with zero gathers.
+ */
+std::size_t
+FwdStage4TailQ1(u64 *a, const u64 *pairs, const u64 *quads,
+                std::size_t m, __m256i vp, __m256i v2p)
+{
+    std::size_t j = 0;
+    for (; j + 2 <= m; j += 2) {
+        const __m256i v0 = Load(a + 4 * j);      // a0 b0 c0 d0
+        const __m256i v1 = Load(a + 4 * j + 4);  // a1 b1 c1 d1
+        __m256i x = _mm256_permute2x128_si256(v0, v1, 0x20);  // a0b0a1b1
+        __m256i y = _mm256_permute2x128_si256(v0, v1, 0x31);  // c0d0c1d1
+        // (w1_0, w1b_0, w1_1, w1b_1) -> (w1_0 w1_0 w1_1 w1_1) + bars.
+        const __m256i pr = Load(pairs + 2 * j);
+        const __m256i vw1 = _mm256_permute4x64_epi64(pr, 0xA0);
+        const __m256i vw1b = _mm256_permute4x64_epi64(pr, 0xF5);
+        FwdCore(x, y, vw1, vw1b, vp, v2p);  // pairs (a,c), (b,d)
+        __m256i u = _mm256_unpacklo_epi64(x, y);  // a0 c0 a1 c1
+        __m256i v = _mm256_unpackhi_epi64(x, y);  // b0 d0 b1 d1
+        // Two quads -> (w2a_0 w2b_0 w2a_1 w2b_1) + companions.
+        const __m256i q0 = Load(quads + 4 * j);
+        const __m256i q1 = Load(quads + 4 * j + 4);
+        const __m256i vw2 = _mm256_permute4x64_epi64(
+            _mm256_unpacklo_epi64(q0, q1), 0xD8);
+        const __m256i vw2b = _mm256_permute4x64_epi64(
+            _mm256_unpackhi_epi64(q0, q1), 0xD8);
+        FwdCore(u, v, vw2, vw2b, vp, v2p);  // pairs (a,b), (c,d)
+        const __m256i lo = _mm256_unpacklo_epi64(u, v);  // a0 b0 a1 b1
+        const __m256i hi = _mm256_unpackhi_epi64(u, v);  // c0 d0 c1 d1
+        Store(a + 4 * j, _mm256_permute2x128_si256(lo, hi, 0x20));
+        Store(a + 4 * j + 4, _mm256_permute2x128_si256(lo, hi, 0x31));
+    }
+    return j;
+}
+
+/** Fully-fused AVX2 forward radix-4 stage (the all-vector table entry):
+ *  single pass over the data at every quarter length. */
+void
+FwdButterflyStage4Fused(u64 *a, const u64 *pairs, const u64 *quads,
+                        std::size_t m, std::size_t q, u64 p)
+{
+    if (q >= kMinButterflyRun) {
+        FwdStage4Rows(a, pairs, quads, m, q, p);
+        return;
+    }
+    const __m256i vp = Bcast(p), v2p = Bcast(2 * p);
+    std::size_t j = 0;
+    if (q == 2) {
+        FwdStage4TailQ2(a, pairs, quads, m, vp, v2p);
+        return;
+    }
+    if (q == 1) {
+        j = FwdStage4TailQ1(a, pairs, quads, m, vp, v2p);
+    }
+    for (; j < m; ++j) {
+        u64 *blk = a + 4 * j * q;
+        for (std::size_t k = 0; k < q; ++k) {
+            FwdButterflyQuadElem(blk[k], blk[q + k], blk[2 * q + k],
+                                 blk[3 * q + k], pairs[2 * j],
+                                 pairs[2 * j + 1], quads[4 * j],
+                                 quads[4 * j + 1], quads[4 * j + 2],
+                                 quads[4 * j + 3], p);
+        }
+    }
+}
+
+/** Quarter length at and above which the production AVX2 table runs a
+ *  fused stage pair as two row sweeps instead of one fused pass: the
+ *  four-row column plus six twiddle broadcasts and the butterfly
+ *  temporaries exceed the 16 ymm registers, and the resulting spill
+ *  traffic measurably costs more than the second sweep saves (~0.87x
+ *  at N = 4096; see BENCH_rns_batch radix columns). The scalar and
+ *  AVX-512 tables fuse genuinely — this is a per-backend
+ *  implementation choice behind the same semantic contract, exactly
+ *  like the scalar-borrowed Barrett entries below. */
+constexpr std::size_t kFusedRowMax = 2 * kMinButterflyRun;
+
+/**
+ * Production AVX2 forward radix-4 stage: two chained row sweeps while
+ * q >= kFusedRowMax (bit-identical by construction — the same
+ * butterfly rows the radix-2 stage walker would run), genuinely fused
+ * row/shuffle forms for the interleaved-twiddle tails where they
+ * measure faster.
+ */
+void
+FwdButterflyStage4(u64 *a, const u64 *pairs, const u64 *quads,
+                   std::size_t m, std::size_t q, u64 p)
+{
+    if (q >= kFusedRowMax) {
+        for (std::size_t j = 0; j < m; ++j) {
+            u64 *blk = a + 4 * j * q;
+            FwdButterflyRows(blk, blk + 2 * q, 2 * q, pairs[2 * j],
+                             pairs[2 * j + 1], p);
+        }
+        for (std::size_t j = 0; j < m; ++j) {
+            u64 *blk = a + 4 * j * q;
+            FwdButterflyRows(blk, blk + q, q, quads[4 * j],
+                             quads[4 * j + 1], p);
+            FwdButterflyRows(blk + 2 * q, blk + 3 * q, q,
+                             quads[4 * j + 2], quads[4 * j + 3], p);
+        }
+        return;
+    }
+    FwdButterflyStage4Fused(a, pairs, quads, m, q, p);
+}
+
+/** Inverse radix-4, contiguous-row form (q >= 4); see FwdStage4Rows. */
+void
+InvStage4Rows(u64 *a, const u64 *quads, const u64 *pairs, std::size_t m,
+              std::size_t q, u64 p)
+{
+    const __m256i vp = Bcast(p), v2p = Bcast(2 * p);
+    for (std::size_t j = 0; j < m; ++j) {
+        u64 *blk = a + 4 * j * q;
+        const u64 w1a = quads[4 * j], w1ab = quads[4 * j + 1];
+        const u64 w1b = quads[4 * j + 2], w1bb = quads[4 * j + 3];
+        const u64 w2 = pairs[2 * j], w2b = pairs[2 * j + 1];
+        const __m256i vw1a = Bcast(w1a), vw1ab = Bcast(w1ab);
+        const __m256i vw1b = Bcast(w1b), vw1bb = Bcast(w1bb);
+        const __m256i vw2 = Bcast(w2), vw2b = Bcast(w2b);
+        std::size_t k = 0;
+        for (; k + 4 <= q; k += 4) {
+            __m256i va = Load(blk + k);
+            __m256i vb = Load(blk + q + k);
+            __m256i vc = Load(blk + 2 * q + k);
+            __m256i vd = Load(blk + 3 * q + k);
+            InvCore(va, vb, vw1a, vw1ab, vp, v2p);
+            InvCore(vc, vd, vw1b, vw1bb, vp, v2p);
+            InvCore(va, vc, vw2, vw2b, vp, v2p);
+            InvCore(vb, vd, vw2, vw2b, vp, v2p);
+            Store(blk + k, va);
+            Store(blk + q + k, vb);
+            Store(blk + 2 * q + k, vc);
+            Store(blk + 3 * q + k, vd);
+        }
+        for (; k < q; ++k) {
+            InvButterflyQuadElem(blk[k], blk[q + k], blk[2 * q + k],
+                                 blk[3 * q + k], w1a, w1ab, w1b, w1bb,
+                                 w2, w2b, p);
+        }
+    }
+}
+
+/** Inverse radix-4 tail, q == 2: mirror of FwdStage4TailQ2 with the
+ *  levels swapped (permute first, lane-wise butterfly second). */
+void
+InvStage4TailQ2(u64 *a, const u64 *quads, const u64 *pairs,
+                std::size_t m, __m256i vp, __m256i v2p)
+{
+    for (std::size_t j = 0; j < m; ++j) {
+        const __m256i v0 = Load(a + 8 * j);      // A0 A1 B0 B1
+        const __m256i v1 = Load(a + 8 * j + 4);  // C0 C1 D0 D1
+        const __m256i qd = Load(quads + 4 * j);
+        const __m256i vw1 = _mm256_permute4x64_epi64(qd, 0xA0);
+        const __m256i vw1b = _mm256_permute4x64_epi64(qd, 0xF5);
+        __m256i x = _mm256_permute2x128_si256(v0, v1, 0x20);  // A0A1C0C1
+        __m256i y = _mm256_permute2x128_si256(v0, v1, 0x31);  // B0B1D0D1
+        InvCore(x, y, vw1, vw1b, vp, v2p);  // (A,B) w1a, (C,D) w1b
+        __m256i u = _mm256_permute2x128_si256(x, y, 0x20);  // A0A1B0B1
+        __m256i v = _mm256_permute2x128_si256(x, y, 0x31);  // C0C1D0D1
+        const __m256i vw2 = Bcast(pairs[2 * j]);
+        const __m256i vw2b = Bcast(pairs[2 * j + 1]);
+        InvCore(u, v, vw2, vw2b, vp, v2p);  // (A,C), (B,D) share w2
+        Store(a + 8 * j, u);
+        Store(a + 8 * j + 4, v);
+    }
+}
+
+/** Inverse radix-4 tail, q == 1: the unpacked quad stream lands in
+ *  lane order directly, so level one needs no twiddle permutes. */
+std::size_t
+InvStage4TailQ1(u64 *a, const u64 *quads, const u64 *pairs,
+                std::size_t m, __m256i vp, __m256i v2p)
+{
+    std::size_t j = 0;
+    for (; j + 2 <= m; j += 2) {
+        const __m256i v0 = Load(a + 4 * j);      // a0 b0 c0 d0
+        const __m256i v1 = Load(a + 4 * j + 4);  // a1 b1 c1 d1
+        __m256i x = _mm256_unpacklo_epi64(v0, v1);  // a0 a1 c0 c1
+        __m256i y = _mm256_unpackhi_epi64(v0, v1);  // b0 b1 d0 d1
+        const __m256i q0 = Load(quads + 4 * j);
+        const __m256i q1 = Load(quads + 4 * j + 4);
+        const __m256i vw1 = _mm256_unpacklo_epi64(q0, q1);
+        const __m256i vw1b = _mm256_unpackhi_epi64(q0, q1);
+        InvCore(x, y, vw1, vw1b, vp, v2p);  // (a,b) w1a, (c,d) w1b
+        __m256i u = _mm256_permute2x128_si256(x, y, 0x20);  // a0a1b0b1
+        __m256i v = _mm256_permute2x128_si256(x, y, 0x31);  // c0c1d0d1
+        // (w2_0, w2b_0, w2_1, w2b_1) -> (w2_0 w2_1 w2_0 w2_1) + bars.
+        const __m256i pr = Load(pairs + 2 * j);
+        const __m256i vw2 = _mm256_permute4x64_epi64(pr, 0x88);
+        const __m256i vw2b = _mm256_permute4x64_epi64(pr, 0xDD);
+        InvCore(u, v, vw2, vw2b, vp, v2p);  // pairs (a,c), (b,d)
+        const __m256i t0 = _mm256_unpacklo_epi64(u, v);  // a0 c0 b0 d0
+        const __m256i t1 = _mm256_unpackhi_epi64(u, v);  // a1 c1 b1 d1
+        Store(a + 4 * j, _mm256_permute4x64_epi64(t0, 0xD8));
+        Store(a + 4 * j + 4, _mm256_permute4x64_epi64(t1, 0xD8));
+    }
+    return j;
+}
+
+/** Fully-fused AVX2 inverse radix-4 stage (the all-vector table
+ *  entry); see FwdButterflyStage4Fused. */
+void
+InvButterflyStage4Fused(u64 *a, const u64 *quads, const u64 *pairs,
+                        std::size_t m, std::size_t q, u64 p)
+{
+    if (q >= kMinButterflyRun) {
+        InvStage4Rows(a, quads, pairs, m, q, p);
+        return;
+    }
+    const __m256i vp = Bcast(p), v2p = Bcast(2 * p);
+    std::size_t j = 0;
+    if (q == 2) {
+        InvStage4TailQ2(a, quads, pairs, m, vp, v2p);
+        return;
+    }
+    if (q == 1) {
+        j = InvStage4TailQ1(a, quads, pairs, m, vp, v2p);
+    }
+    for (; j < m; ++j) {
+        u64 *blk = a + 4 * j * q;
+        for (std::size_t k = 0; k < q; ++k) {
+            InvButterflyQuadElem(blk[k], blk[q + k], blk[2 * q + k],
+                                 blk[3 * q + k], quads[4 * j],
+                                 quads[4 * j + 1], quads[4 * j + 2],
+                                 quads[4 * j + 3], pairs[2 * j],
+                                 pairs[2 * j + 1], p);
+        }
+    }
+}
+
+/** Production AVX2 inverse radix-4 stage; see FwdButterflyStage4 for
+ *  the two-sweep rationale. */
+void
+InvButterflyStage4(u64 *a, const u64 *quads, const u64 *pairs,
+                   std::size_t m, std::size_t q, u64 p)
+{
+    if (q >= kFusedRowMax) {
+        for (std::size_t j = 0; j < m; ++j) {
+            u64 *blk = a + 4 * j * q;
+            InvButterflyRows(blk, blk + q, q, quads[4 * j],
+                             quads[4 * j + 1], p);
+            InvButterflyRows(blk + 2 * q, blk + 3 * q, q,
+                             quads[4 * j + 2], quads[4 * j + 3], p);
+        }
+        for (std::size_t j = 0; j < m; ++j) {
+            u64 *blk = a + 4 * j * q;
+            InvButterflyRows(blk, blk + 2 * q, 2 * q, pairs[2 * j],
+                             pairs[2 * j + 1], p);
+        }
+        return;
+    }
+    InvButterflyStage4Fused(a, quads, pairs, m, q, p);
+}
+
 // ---------------------------------------------------------- elementwise
 
 void
@@ -610,6 +949,8 @@ Avx2AllVectorKernels()
         &FwdButterflyStage,
         &InvButterflyRows,
         &InvButterflyStage,
+        &FwdButterflyStage4Fused,
+        &InvButterflyStage4Fused,
         &MulShoupRows,
         &MulBarrettRows,
         &MulAccBarrettRows,
@@ -643,6 +984,8 @@ Avx2Kernels()
         &FwdButterflyStage,
         &InvButterflyRows,
         &InvButterflyStage,
+        &FwdButterflyStage4,
+        &InvButterflyStage4,
         &MulShoupRows,
         ScalarKernels().mul_barrett_rows,
         ScalarKernels().mul_acc_barrett_rows,

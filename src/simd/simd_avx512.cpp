@@ -1,0 +1,671 @@
+/**
+ * @file
+ * AVX-512 backend: eight u64 residues per vector op, covering the
+ * butterfly family (constant-twiddle rows, whole radix-2 stages, and
+ * the fused radix-4 stage pairs). Compiled with -mavx512f -mavx512dq
+ * when the toolchain supports them (see CMakeLists); callers reach
+ * this table only after the runtime CPUID check in simd_dispatch.cpp.
+ *
+ * The 512-bit ISA removes both AVX2 butterfly bottlenecks at once:
+ *
+ *  - vpmullq (AVX-512DQ) produces the low 64 bits of a 64x64 product
+ *    in one instruction, replacing the AVX2 partial-product assembly
+ *    for the two low products of every Shoup multiply (the exact high
+ *    product still uses the 32x32 tree — kept term-for-term identical
+ *    to common/int128.h, so every kernel is bit-identical to the
+ *    scalar reference, lazy [0, 4p) representatives included);
+ *  - vpminuq turns every lazy conditional correction into sub + min
+ *    (min(a, a - bound) == a >= bound ? a - bound : a, for any
+ *    unsigned a, bound — the wraparound makes the subtracted form
+ *    larger exactly when the correction must not fire);
+ *  - 32 vector registers hold the fused radix-4 four-row working set,
+ *    its six twiddle broadcasts, and the butterfly temporaries without
+ *    spilling — the reason the AVX2 table executes the fused contract
+ *    as two sweeps while this one genuinely fuses (see simd_avx2.cpp).
+ *
+ * The short-run tail stages of the fused walker (quarter q in
+ * {1, 2, 4}) use single-instruction two-source permutes (vpermi2q /
+ * vshufi64x2) over the interleaved twiddle streams, so even the last
+ * butterfly levels of a transform run gather-free in one pass.
+ *
+ * Element-wise kernels are borrowed from the production AVX2 table
+ * (which in turn borrows the scalar Barrett family); widening those is
+ * the natural next increment (see ROADMAP).
+ */
+
+#include "simd/simd_internal.h"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+#include <immintrin.h>
+
+namespace hentt::simd {
+
+namespace {
+
+inline __m512i
+Load(const u64 *p)
+{
+    return _mm512_loadu_si512(p);
+}
+
+inline void
+Store(u64 *p, __m512i v)
+{
+    _mm512_storeu_si512(p, v);
+}
+
+inline __m512i
+Bcast(u64 x)
+{
+    return _mm512_set1_epi64(static_cast<long long>(x));
+}
+
+/** a >= bound ? a - bound : a, branch-free for any unsigned operands:
+ *  a - bound wraps above a exactly when a < bound. */
+inline __m512i
+CondSub(__m512i a, __m512i bound)
+{
+    return _mm512_min_epu64(a, _mm512_sub_epi64(a, bound));
+}
+
+/** High 64 bits of the unsigned 64x64 product — the same partial-
+ *  product tree as the AVX2 backend / common/int128.h, eight lanes. */
+inline __m512i
+MulHiU64(__m512i x, __m512i y)
+{
+    const __m512i lo32 = Bcast(0xffffffffu);
+    const __m512i xh = _mm512_srli_epi64(x, 32);
+    const __m512i yh = _mm512_srli_epi64(y, 32);
+    const __m512i ll = _mm512_mul_epu32(x, y);
+    const __m512i lh = _mm512_mul_epu32(x, yh);
+    const __m512i hl = _mm512_mul_epu32(xh, y);
+    const __m512i hh = _mm512_mul_epu32(xh, yh);
+    const __m512i cross = _mm512_add_epi64(
+        _mm512_add_epi64(_mm512_srli_epi64(ll, 32),
+                         _mm512_and_si512(lh, lo32)),
+        _mm512_and_si512(hl, lo32));
+    return _mm512_add_epi64(
+        _mm512_add_epi64(hh, _mm512_srli_epi64(lh, 32)),
+        _mm512_add_epi64(_mm512_srli_epi64(hl, 32),
+                         _mm512_srli_epi64(cross, 32)));
+}
+
+/** The lazy CT butterfly core on eight lanes (FwdButterflyElem). */
+inline void
+FwdCore(__m512i &x, __m512i &y, __m512i vw, __m512i vwb, __m512i vp,
+        __m512i v2p)
+{
+    x = CondSub(x, v2p);
+    const __m512i q = MulHiU64(y, vwb);
+    const __m512i t = _mm512_sub_epi64(_mm512_mullo_epi64(y, vw),
+                                       _mm512_mullo_epi64(q, vp));
+    y = _mm512_sub_epi64(_mm512_add_epi64(x, v2p), t);
+    x = _mm512_add_epi64(x, t);
+}
+
+/** The lazy GS butterfly core on eight lanes (InvButterflyElem). */
+inline void
+InvCore(__m512i &x, __m512i &y, __m512i vw, __m512i vwb, __m512i vp,
+        __m512i v2p)
+{
+    const __m512i u = x;
+    const __m512i v = y;
+    x = CondSub(_mm512_add_epi64(u, v), v2p);
+    const __m512i d =
+        _mm512_sub_epi64(_mm512_add_epi64(u, v2p), v);
+    const __m512i q = MulHiU64(d, vwb);
+    y = _mm512_sub_epi64(_mm512_mullo_epi64(d, vw),
+                         _mm512_mullo_epi64(q, vp));
+}
+
+// ---------------------------------------------------------------- rows
+
+void
+FwdButterflyRows(u64 *x, u64 *y, std::size_t n, u64 w, u64 w_bar, u64 p)
+{
+    const __m512i vp = Bcast(p), v2p = Bcast(2 * p);
+    const __m512i vw = Bcast(w), vwb = Bcast(w_bar);
+    std::size_t k = 0;
+    for (; k + 8 <= n; k += 8) {
+        __m512i a = Load(x + k), b = Load(y + k);
+        FwdCore(a, b, vw, vwb, vp, v2p);
+        Store(x + k, a);
+        Store(y + k, b);
+    }
+    for (; k < n; ++k) {
+        FwdButterflyElem(x[k], y[k], w, w_bar, p);
+    }
+}
+
+void
+InvButterflyRows(u64 *x, u64 *y, std::size_t n, u64 w, u64 w_bar, u64 p)
+{
+    const __m512i vp = Bcast(p), v2p = Bcast(2 * p);
+    const __m512i vw = Bcast(w), vwb = Bcast(w_bar);
+    std::size_t k = 0;
+    for (; k + 8 <= n; k += 8) {
+        __m512i a = Load(x + k), b = Load(y + k);
+        InvCore(a, b, vw, vwb, vp, v2p);
+        Store(x + k, a);
+        Store(y + k, b);
+    }
+    for (; k < n; ++k) {
+        InvButterflyElem(x[k], y[k], w, w_bar, p);
+    }
+}
+
+// --------------------------------------------------------------- stages
+
+/** Run length below which a whole radix-2 stage is delegated to the
+ *  AVX2 table (its ymm row form and unpack tails fit t in {1, 2, 4}
+ *  better than 512-bit vectors do). */
+constexpr std::size_t kZmmRun = 8;
+
+void
+FwdButterflyStage(u64 *a, const u64 *w, const u64 *w_bar, std::size_t m,
+                  std::size_t t, u64 p)
+{
+    if (t < kZmmRun) {
+        internal::Avx2Kernels().fwd_butterfly_stage(a, w, w_bar, m, t,
+                                                    p);
+        return;
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+        u64 *x = a + 2 * j * t;
+        FwdButterflyRows(x, x + t, t, w[j], w_bar[j], p);
+    }
+}
+
+void
+InvButterflyStage(u64 *a, const u64 *w, const u64 *w_bar, std::size_t h,
+                  std::size_t t, u64 p)
+{
+    if (t < kZmmRun) {
+        internal::Avx2Kernels().inv_butterfly_stage(a, w, w_bar, h, t,
+                                                    p);
+        return;
+    }
+    for (std::size_t j = 0; j < h; ++j) {
+        u64 *x = a + 2 * j * t;
+        InvButterflyRows(x, x + t, t, w[j], w_bar[j], p);
+    }
+}
+
+// -------------------------------------------------- fused radix-4 stages
+//
+// Same geometry as the scalar/AVX2 fused kernels: super-block j is
+// quarters (A, B, C, D) of q contiguous elements, twiddles stream from
+// the interleaved pair/quad layout. The row form (q >= 8) keeps two
+// columns in flight so the chained two-level butterfly latency
+// overlaps; the q in {1, 2, 4} tails use vshufi64x2 / vpermi2q
+// single-instruction permutes with index vectors hoisted out of the
+// loop.
+
+/** Lane-index vector for _mm512_permutex2var_epi64 (0-7 first source,
+ *  8-15 second source). */
+inline __m512i
+Idx(long long a, long long b, long long c, long long d, long long e,
+    long long f, long long g, long long h)
+{
+    return _mm512_setr_epi64(a, b, c, d, e, f, g, h);
+}
+
+void
+FwdStage4Rows(u64 *a, const u64 *pairs, const u64 *quads, std::size_t m,
+              std::size_t q, u64 p)
+{
+    const __m512i vp = Bcast(p), v2p = Bcast(2 * p);
+    for (std::size_t j = 0; j < m; ++j) {
+        u64 *blk = a + 4 * j * q;
+        const u64 w1 = pairs[2 * j], w1b = pairs[2 * j + 1];
+        const u64 w2a = quads[4 * j], w2ab = quads[4 * j + 1];
+        const u64 w2b = quads[4 * j + 2], w2bb = quads[4 * j + 3];
+        const __m512i vw1 = Bcast(w1), vw1b = Bcast(w1b);
+        const __m512i vw2a = Bcast(w2a), vw2ab = Bcast(w2ab);
+        const __m512i vw2b = Bcast(w2b), vw2bb = Bcast(w2bb);
+        std::size_t k = 0;
+        // Two columns per iteration: the second column's level-one
+        // butterflies fill the ports while the first column's level
+        // two waits on its own level-one results.
+        for (; k + 16 <= q; k += 16) {
+            __m512i a0 = Load(blk + k), a1 = Load(blk + k + 8);
+            __m512i b0 = Load(blk + q + k), b1 = Load(blk + q + k + 8);
+            __m512i c0 = Load(blk + 2 * q + k);
+            __m512i c1 = Load(blk + 2 * q + k + 8);
+            __m512i d0 = Load(blk + 3 * q + k);
+            __m512i d1 = Load(blk + 3 * q + k + 8);
+            FwdCore(a0, c0, vw1, vw1b, vp, v2p);
+            FwdCore(a1, c1, vw1, vw1b, vp, v2p);
+            FwdCore(b0, d0, vw1, vw1b, vp, v2p);
+            FwdCore(b1, d1, vw1, vw1b, vp, v2p);
+            FwdCore(a0, b0, vw2a, vw2ab, vp, v2p);
+            FwdCore(a1, b1, vw2a, vw2ab, vp, v2p);
+            FwdCore(c0, d0, vw2b, vw2bb, vp, v2p);
+            FwdCore(c1, d1, vw2b, vw2bb, vp, v2p);
+            Store(blk + k, a0);
+            Store(blk + k + 8, a1);
+            Store(blk + q + k, b0);
+            Store(blk + q + k + 8, b1);
+            Store(blk + 2 * q + k, c0);
+            Store(blk + 2 * q + k + 8, c1);
+            Store(blk + 3 * q + k, d0);
+            Store(blk + 3 * q + k + 8, d1);
+        }
+        for (; k + 8 <= q; k += 8) {
+            __m512i va = Load(blk + k);
+            __m512i vb = Load(blk + q + k);
+            __m512i vc = Load(blk + 2 * q + k);
+            __m512i vd = Load(blk + 3 * q + k);
+            FwdCore(va, vc, vw1, vw1b, vp, v2p);
+            FwdCore(vb, vd, vw1, vw1b, vp, v2p);
+            FwdCore(va, vb, vw2a, vw2ab, vp, v2p);
+            FwdCore(vc, vd, vw2b, vw2bb, vp, v2p);
+            Store(blk + k, va);
+            Store(blk + q + k, vb);
+            Store(blk + 2 * q + k, vc);
+            Store(blk + 3 * q + k, vd);
+        }
+        for (; k < q; ++k) {
+            FwdButterflyQuadElem(blk[k], blk[q + k], blk[2 * q + k],
+                                 blk[3 * q + k], w1, w1b, w2a, w2ab, w2b,
+                                 w2bb, p);
+        }
+    }
+}
+
+void
+InvStage4Rows(u64 *a, const u64 *quads, const u64 *pairs, std::size_t m,
+              std::size_t q, u64 p)
+{
+    const __m512i vp = Bcast(p), v2p = Bcast(2 * p);
+    for (std::size_t j = 0; j < m; ++j) {
+        u64 *blk = a + 4 * j * q;
+        const u64 w1a = quads[4 * j], w1ab = quads[4 * j + 1];
+        const u64 w1b = quads[4 * j + 2], w1bb = quads[4 * j + 3];
+        const u64 w2 = pairs[2 * j], w2b = pairs[2 * j + 1];
+        const __m512i vw1a = Bcast(w1a), vw1ab = Bcast(w1ab);
+        const __m512i vw1b = Bcast(w1b), vw1bb = Bcast(w1bb);
+        const __m512i vw2 = Bcast(w2), vw2b = Bcast(w2b);
+        std::size_t k = 0;
+        for (; k + 16 <= q; k += 16) {
+            __m512i a0 = Load(blk + k), a1 = Load(blk + k + 8);
+            __m512i b0 = Load(blk + q + k), b1 = Load(blk + q + k + 8);
+            __m512i c0 = Load(blk + 2 * q + k);
+            __m512i c1 = Load(blk + 2 * q + k + 8);
+            __m512i d0 = Load(blk + 3 * q + k);
+            __m512i d1 = Load(blk + 3 * q + k + 8);
+            InvCore(a0, b0, vw1a, vw1ab, vp, v2p);
+            InvCore(a1, b1, vw1a, vw1ab, vp, v2p);
+            InvCore(c0, d0, vw1b, vw1bb, vp, v2p);
+            InvCore(c1, d1, vw1b, vw1bb, vp, v2p);
+            InvCore(a0, c0, vw2, vw2b, vp, v2p);
+            InvCore(a1, c1, vw2, vw2b, vp, v2p);
+            InvCore(b0, d0, vw2, vw2b, vp, v2p);
+            InvCore(b1, d1, vw2, vw2b, vp, v2p);
+            Store(blk + k, a0);
+            Store(blk + k + 8, a1);
+            Store(blk + q + k, b0);
+            Store(blk + q + k + 8, b1);
+            Store(blk + 2 * q + k, c0);
+            Store(blk + 2 * q + k + 8, c1);
+            Store(blk + 3 * q + k, d0);
+            Store(blk + 3 * q + k + 8, d1);
+        }
+        for (; k + 8 <= q; k += 8) {
+            __m512i va = Load(blk + k);
+            __m512i vb = Load(blk + q + k);
+            __m512i vc = Load(blk + 2 * q + k);
+            __m512i vd = Load(blk + 3 * q + k);
+            InvCore(va, vb, vw1a, vw1ab, vp, v2p);
+            InvCore(vc, vd, vw1b, vw1bb, vp, v2p);
+            InvCore(va, vc, vw2, vw2b, vp, v2p);
+            InvCore(vb, vd, vw2, vw2b, vp, v2p);
+            Store(blk + k, va);
+            Store(blk + q + k, vb);
+            Store(blk + 2 * q + k, vc);
+            Store(blk + 3 * q + k, vd);
+        }
+        for (; k < q; ++k) {
+            InvButterflyQuadElem(blk[k], blk[q + k], blk[2 * q + k],
+                                 blk[3 * q + k], w1a, w1ab, w1b, w1bb,
+                                 w2, w2b, p);
+        }
+    }
+}
+
+/** Broadcast pattern (word[i0] x4, word[i1] x4) from one 4-word quad
+ *  at @p src (forward q == 4 second level, etc.). */
+inline __m512i
+SpreadQuad(const u64 *src, __m512i idx)
+{
+    const __m512i v = _mm512_zextsi256_si512(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(src)));
+    return _mm512_permutexvar_epi64(idx, v);
+}
+
+/**
+ * Forward radix-4 tail, q == 4: one 16-element super-block per
+ * iteration as two zmm (A|B and C|D). Level one is a straight
+ * lane-wise butterfly; level two regroups through vshufi64x2.
+ */
+void
+FwdStage4TailQ4(u64 *a, const u64 *pairs, const u64 *quads,
+                std::size_t m, __m512i vp, __m512i v2p)
+{
+    const __m512i bc0 = Idx(0, 0, 0, 0, 2, 2, 2, 2);
+    const __m512i bc1 = Idx(1, 1, 1, 1, 3, 3, 3, 3);
+    for (std::size_t j = 0; j < m; ++j) {
+        __m512i v0 = Load(a + 16 * j);      // A0..A3 B0..B3
+        __m512i v1 = Load(a + 16 * j + 8);  // C0..C3 D0..D3
+        FwdCore(v0, v1, Bcast(pairs[2 * j]), Bcast(pairs[2 * j + 1]),
+                vp, v2p);                   // (A,C), (B,D) share w1
+        __m512i x = _mm512_shuffle_i64x2(v0, v1, 0x44);  // A | C
+        __m512i y = _mm512_shuffle_i64x2(v0, v1, 0xEE);  // B | D
+        const __m512i vw2 = SpreadQuad(quads + 4 * j, bc0);
+        const __m512i vw2b = SpreadQuad(quads + 4 * j, bc1);
+        FwdCore(x, y, vw2, vw2b, vp, v2p);  // (A,B) w2a, (C,D) w2b
+        Store(a + 16 * j, _mm512_shuffle_i64x2(x, y, 0x44));
+        Store(a + 16 * j + 8, _mm512_shuffle_i64x2(x, y, 0xEE));
+    }
+}
+
+/** Inverse radix-4 tail, q == 4: mirror of FwdStage4TailQ4 with the
+ *  levels swapped. */
+void
+InvStage4TailQ4(u64 *a, const u64 *quads, const u64 *pairs,
+                std::size_t m, __m512i vp, __m512i v2p)
+{
+    const __m512i bc0 = Idx(0, 0, 0, 0, 2, 2, 2, 2);
+    const __m512i bc1 = Idx(1, 1, 1, 1, 3, 3, 3, 3);
+    for (std::size_t j = 0; j < m; ++j) {
+        const __m512i v0 = Load(a + 16 * j);      // A | B
+        const __m512i v1 = Load(a + 16 * j + 8);  // C | D
+        __m512i x = _mm512_shuffle_i64x2(v0, v1, 0x44);  // A | C
+        __m512i y = _mm512_shuffle_i64x2(v0, v1, 0xEE);  // B | D
+        InvCore(x, y, SpreadQuad(quads + 4 * j, bc0),
+                SpreadQuad(quads + 4 * j, bc1), vp, v2p);
+        __m512i u = _mm512_shuffle_i64x2(x, y, 0x44);  // A | B
+        __m512i v = _mm512_shuffle_i64x2(x, y, 0xEE);  // C | D
+        InvCore(u, v, Bcast(pairs[2 * j]), Bcast(pairs[2 * j + 1]), vp,
+                v2p);                          // (A,C), (B,D) share w2
+        Store(a + 16 * j, u);
+        Store(a + 16 * j + 8, v);
+    }
+}
+
+/** Forward radix-4 tail, q == 2: two 8-element super-blocks per
+ *  iteration; vpermi2q regroups the quarters for level two. */
+std::size_t
+FwdStage4TailQ2(u64 *a, const u64 *pairs, const u64 *quads,
+                std::size_t m, __m512i vp, __m512i v2p)
+{
+    const __m512i bc4_0 = Idx(0, 0, 0, 0, 2, 2, 2, 2);
+    const __m512i bc4_1 = Idx(1, 1, 1, 1, 3, 3, 3, 3);
+    const __m512i pr2_0 = Idx(0, 0, 2, 2, 4, 4, 6, 6);
+    const __m512i pr2_1 = Idx(1, 1, 3, 3, 5, 5, 7, 7);
+    const __m512i gu = Idx(0, 1, 8, 9, 4, 5, 12, 13);
+    const __m512i gv = Idx(2, 3, 10, 11, 6, 7, 14, 15);
+    const __m512i s0 = Idx(0, 1, 8, 9, 2, 3, 10, 11);
+    const __m512i s1 = Idx(4, 5, 12, 13, 6, 7, 14, 15);
+    std::size_t j = 0;
+    for (; j + 2 <= m; j += 2) {
+        const __m512i v0 = Load(a + 8 * j);      // blk j:   A B C D
+        const __m512i v1 = Load(a + 8 * j + 8);  // blk j+1: A B C D
+        __m512i x = _mm512_shuffle_i64x2(v0, v1, 0x44);  // AB | AB
+        __m512i y = _mm512_shuffle_i64x2(v0, v1, 0xEE);  // CD | CD
+        // Level one: (A,C), (B,D), per-block w1 from the pair stream.
+        const __m512i pr = _mm512_zextsi256_si512(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(pairs + 2 * j)));
+        FwdCore(x, y, _mm512_permutexvar_epi64(bc4_0, pr),
+                _mm512_permutexvar_epi64(bc4_1, pr), vp, v2p);
+        // Level two: (A,B) w2a, (C,D) w2b, quads of both blocks.
+        __m512i u = _mm512_permutex2var_epi64(x, gu, y);  // AC | AC
+        __m512i v = _mm512_permutex2var_epi64(x, gv, y);  // BD | BD
+        const __m512i qd = Load(quads + 4 * j);
+        FwdCore(u, v, _mm512_permutexvar_epi64(pr2_0, qd),
+                _mm512_permutexvar_epi64(pr2_1, qd), vp, v2p);
+        Store(a + 8 * j, _mm512_permutex2var_epi64(u, s0, v));
+        Store(a + 8 * j + 8, _mm512_permutex2var_epi64(u, s1, v));
+    }
+    return j;
+}
+
+/** Inverse radix-4 tail, q == 2. */
+std::size_t
+InvStage4TailQ2(u64 *a, const u64 *quads, const u64 *pairs,
+                std::size_t m, __m512i vp, __m512i v2p)
+{
+    const __m512i pr2_0 = Idx(0, 0, 2, 2, 4, 4, 6, 6);
+    const __m512i pr2_1 = Idx(1, 1, 3, 3, 5, 5, 7, 7);
+    const __m512i bc4_0 = Idx(0, 0, 0, 0, 2, 2, 2, 2);
+    const __m512i bc4_1 = Idx(1, 1, 1, 1, 3, 3, 3, 3);
+    const __m512i gx = Idx(0, 1, 4, 5, 8, 9, 12, 13);
+    const __m512i gy = Idx(2, 3, 6, 7, 10, 11, 14, 15);
+    const __m512i gu = Idx(0, 1, 8, 9, 4, 5, 12, 13);
+    const __m512i gv = Idx(2, 3, 10, 11, 6, 7, 14, 15);
+    const __m512i s0 = Idx(0, 1, 2, 3, 8, 9, 10, 11);
+    const __m512i s1 = Idx(4, 5, 6, 7, 12, 13, 14, 15);
+    std::size_t j = 0;
+    for (; j + 2 <= m; j += 2) {
+        const __m512i v0 = Load(a + 8 * j);
+        const __m512i v1 = Load(a + 8 * j + 8);
+        // Level one: (A,B) w1a, (C,D) w1b.
+        __m512i x = _mm512_permutex2var_epi64(v0, gx, v1);  // AC | AC
+        __m512i y = _mm512_permutex2var_epi64(v0, gy, v1);  // BD | BD
+        const __m512i qd = Load(quads + 4 * j);
+        InvCore(x, y, _mm512_permutexvar_epi64(pr2_0, qd),
+                _mm512_permutexvar_epi64(pr2_1, qd), vp, v2p);
+        // Level two: (A,C), (B,D) share the per-block w2.
+        __m512i u = _mm512_permutex2var_epi64(x, gu, y);  // AB | AB
+        __m512i v = _mm512_permutex2var_epi64(x, gv, y);  // CD | CD
+        const __m512i pr = _mm512_zextsi256_si512(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(pairs + 2 * j)));
+        InvCore(u, v, _mm512_permutexvar_epi64(bc4_0, pr),
+                _mm512_permutexvar_epi64(bc4_1, pr), vp, v2p);
+        Store(a + 8 * j, _mm512_permutex2var_epi64(u, s0, v));
+        Store(a + 8 * j + 8, _mm512_permutex2var_epi64(u, s1, v));
+    }
+    return j;
+}
+
+/** Forward radix-4 tail, q == 1: four 4-element super-blocks
+ *  (a b c d) per iteration — the final two butterfly levels of a
+ *  transform in one gather-free pass. */
+std::size_t
+FwdStage4TailQ1(u64 *a, const u64 *pairs, const u64 *quads,
+                std::size_t m, __m512i vp, __m512i v2p)
+{
+    const __m512i pr2_0 = Idx(0, 0, 2, 2, 4, 4, 6, 6);
+    const __m512i pr2_1 = Idx(1, 1, 3, 3, 5, 5, 7, 7);
+    const __m512i gx = Idx(0, 1, 4, 5, 8, 9, 12, 13);
+    const __m512i gy = Idx(2, 3, 6, 7, 10, 11, 14, 15);
+    const __m512i gu = Idx(0, 8, 2, 10, 4, 12, 6, 14);
+    const __m512i gv = Idx(1, 9, 3, 11, 5, 13, 7, 15);
+    const __m512i ev = Idx(0, 2, 4, 6, 8, 10, 12, 14);
+    const __m512i od = Idx(1, 3, 5, 7, 9, 11, 13, 15);
+    const __m512i s0 = Idx(0, 8, 1, 9, 2, 10, 3, 11);
+    const __m512i s1 = Idx(4, 12, 5, 13, 6, 14, 7, 15);
+    std::size_t j = 0;
+    for (; j + 4 <= m; j += 4) {
+        const __m512i v0 = Load(a + 4 * j);      // a0 b0 c0 d0 a1 ...
+        const __m512i v1 = Load(a + 4 * j + 8);  // a2 b2 c2 d2 a3 ...
+        // Level one: (a,c), (b,d), per-block w1.
+        __m512i x = _mm512_permutex2var_epi64(v0, gx, v1);  // ab x4
+        __m512i y = _mm512_permutex2var_epi64(v0, gy, v1);  // cd x4
+        const __m512i pr = Load(pairs + 2 * j);
+        FwdCore(x, y, _mm512_permutexvar_epi64(pr2_0, pr),
+                _mm512_permutexvar_epi64(pr2_1, pr), vp, v2p);
+        // Level two: (a,b) w2a, (c,d) w2b.
+        __m512i u = _mm512_permutex2var_epi64(x, gu, y);  // ac x4
+        __m512i v = _mm512_permutex2var_epi64(x, gv, y);  // bd x4
+        const __m512i q0 = Load(quads + 4 * j);
+        const __m512i q1 = Load(quads + 4 * j + 8);
+        FwdCore(u, v, _mm512_permutex2var_epi64(q0, ev, q1),
+                _mm512_permutex2var_epi64(q0, od, q1), vp, v2p);
+        Store(a + 4 * j, _mm512_permutex2var_epi64(u, s0, v));
+        Store(a + 4 * j + 8, _mm512_permutex2var_epi64(u, s1, v));
+    }
+    return j;
+}
+
+/** Inverse radix-4 tail, q == 1. */
+std::size_t
+InvStage4TailQ1(u64 *a, const u64 *quads, const u64 *pairs,
+                std::size_t m, __m512i vp, __m512i v2p)
+{
+    const __m512i pr2_0 = Idx(0, 0, 2, 2, 4, 4, 6, 6);
+    const __m512i pr2_1 = Idx(1, 1, 3, 3, 5, 5, 7, 7);
+    const __m512i ev = Idx(0, 2, 4, 6, 8, 10, 12, 14);
+    const __m512i od = Idx(1, 3, 5, 7, 9, 11, 13, 15);
+    const __m512i gu = Idx(0, 8, 2, 10, 4, 12, 6, 14);
+    const __m512i gv = Idx(1, 9, 3, 11, 5, 13, 7, 15);
+    const __m512i s0 = Idx(0, 1, 8, 9, 2, 3, 10, 11);
+    const __m512i s1 = Idx(4, 5, 12, 13, 6, 7, 14, 15);
+    std::size_t j = 0;
+    for (; j + 4 <= m; j += 4) {
+        const __m512i v0 = Load(a + 4 * j);
+        const __m512i v1 = Load(a + 4 * j + 8);
+        // Level one: (a,b) w1a, (c,d) w1b — the unpacked quad stream
+        // lands in lane order directly.
+        __m512i x = _mm512_permutex2var_epi64(v0, ev, v1);  // ac x4
+        __m512i y = _mm512_permutex2var_epi64(v0, od, v1);  // bd x4
+        const __m512i q0 = Load(quads + 4 * j);
+        const __m512i q1 = Load(quads + 4 * j + 8);
+        InvCore(x, y, _mm512_permutex2var_epi64(q0, ev, q1),
+                _mm512_permutex2var_epi64(q0, od, q1), vp, v2p);
+        // Level two: (a,c), (b,d) share the per-block w2.
+        __m512i u = _mm512_permutex2var_epi64(x, gu, y);  // ab x4
+        __m512i v = _mm512_permutex2var_epi64(x, gv, y);  // cd x4
+        const __m512i pr = Load(pairs + 2 * j);
+        InvCore(u, v, _mm512_permutexvar_epi64(pr2_0, pr),
+                _mm512_permutexvar_epi64(pr2_1, pr), vp, v2p);
+        Store(a + 4 * j, _mm512_permutex2var_epi64(u, s0, v));
+        Store(a + 4 * j + 8, _mm512_permutex2var_epi64(u, s1, v));
+    }
+    return j;
+}
+
+void
+FwdButterflyStage4(u64 *a, const u64 *pairs, const u64 *quads,
+                   std::size_t m, std::size_t q, u64 p)
+{
+    if (q >= kZmmRun) {
+        FwdStage4Rows(a, pairs, quads, m, q, p);
+        return;
+    }
+    const __m512i vp = Bcast(p), v2p = Bcast(2 * p);
+    std::size_t j = 0;
+    if (q == 4) {
+        FwdStage4TailQ4(a, pairs, quads, m, vp, v2p);
+        return;
+    }
+    if (q == 2) {
+        j = FwdStage4TailQ2(a, pairs, quads, m, vp, v2p);
+    } else if (q == 1) {
+        j = FwdStage4TailQ1(a, pairs, quads, m, vp, v2p);
+    }
+    for (; j < m; ++j) {
+        u64 *blk = a + 4 * j * q;
+        for (std::size_t k = 0; k < q; ++k) {
+            FwdButterflyQuadElem(blk[k], blk[q + k], blk[2 * q + k],
+                                 blk[3 * q + k], pairs[2 * j],
+                                 pairs[2 * j + 1], quads[4 * j],
+                                 quads[4 * j + 1], quads[4 * j + 2],
+                                 quads[4 * j + 3], p);
+        }
+    }
+}
+
+void
+InvButterflyStage4(u64 *a, const u64 *quads, const u64 *pairs,
+                   std::size_t m, std::size_t q, u64 p)
+{
+    if (q >= kZmmRun) {
+        InvStage4Rows(a, quads, pairs, m, q, p);
+        return;
+    }
+    const __m512i vp = Bcast(p), v2p = Bcast(2 * p);
+    std::size_t j = 0;
+    if (q == 4) {
+        InvStage4TailQ4(a, quads, pairs, m, vp, v2p);
+        return;
+    }
+    if (q == 2) {
+        j = InvStage4TailQ2(a, quads, pairs, m, vp, v2p);
+    } else if (q == 1) {
+        j = InvStage4TailQ1(a, quads, pairs, m, vp, v2p);
+    }
+    for (; j < m; ++j) {
+        u64 *blk = a + 4 * j * q;
+        for (std::size_t k = 0; k < q; ++k) {
+            InvButterflyQuadElem(blk[k], blk[q + k], blk[2 * q + k],
+                                 blk[3 * q + k], quads[4 * j],
+                                 quads[4 * j + 1], quads[4 * j + 2],
+                                 quads[4 * j + 3], pairs[2 * j],
+                                 pairs[2 * j + 1], p);
+        }
+    }
+}
+
+}  // namespace
+
+namespace internal {
+
+bool
+Avx512CompiledIn()
+{
+    return true;
+}
+
+const Kernels &
+Avx512Kernels()
+{
+    // Butterfly family in 512-bit form; everything element-wise is
+    // borrowed from the production AVX2 table (which itself borrows
+    // the scalar Barrett family where the partial-product tree loses
+    // to hardware 64-bit multiplies).
+    static const Kernels table = {
+        &FwdButterflyRows,
+        &FwdButterflyStage,
+        &InvButterflyRows,
+        &InvButterflyStage,
+        &FwdButterflyStage4,
+        &InvButterflyStage4,
+        Avx2Kernels().mul_shoup_rows,
+        Avx2Kernels().mul_barrett_rows,
+        Avx2Kernels().mul_acc_barrett_rows,
+        Avx2Kernels().reduce_barrett_rows,
+        Avx2Kernels().add_rows,
+        Avx2Kernels().sub_rows,
+        Avx2Kernels().fold_lazy_rows,
+        Avx2Kernels().fold_rescale_rows,
+        Avx2Kernels().tensor_rows,
+        Avx2Kernels().divide_round_rows,
+    };
+    return table;
+}
+
+}  // namespace internal
+
+}  // namespace hentt::simd
+
+#else  // !(defined(__AVX512F__) && defined(__AVX512DQ__))
+
+namespace hentt::simd::internal {
+
+bool
+Avx512CompiledIn()
+{
+    return false;
+}
+
+const Kernels &
+Avx512Kernels()
+{
+    return ScalarKernels();
+}
+
+}  // namespace hentt::simd::internal
+
+#endif  // defined(__AVX512F__) && defined(__AVX512DQ__)

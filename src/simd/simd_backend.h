@@ -13,16 +13,20 @@
  *
  *  - a scalar reference implementation (the audited semantics; every
  *    other backend must be bit-identical to it, including the lazy
- *    [0, 4p) representatives, not merely congruent), and
+ *    [0, 4p) representatives, not merely congruent),
  *  - an AVX2 implementation (compile-time guarded, runtime CPUID
- *    dispatch), processing four residues per vector op.
+ *    dispatch), processing four residues per vector op, and
+ *  - an AVX-512 implementation covering the butterfly family (rows,
+ *    whole stages, fused radix-4 stage pairs) at eight residues per
+ *    vector op, borrowing the element-wise entries from AVX2.
  *
- * Backend selection: runtime CPUID by default, overridable with the
- * environment variable `HENTT_SIMD=scalar|avx2|auto` (read once, at
- * first use) or programmatically with ForceBackend() (benches and the
- * parity tests). Requesting an unavailable backend through the
- * environment falls back to scalar; ForceBackend() throws instead, so
- * tests cannot silently measure the wrong thing.
+ * Backend selection: runtime CPUID by default (best available wins:
+ * avx512 > avx2 > scalar), overridable with the environment variable
+ * `HENTT_SIMD=scalar|avx2|avx512|auto` (read once, at first use) or
+ * programmatically with ForceBackend() (benches and the parity
+ * tests). Requesting an unavailable backend through the environment
+ * falls back to scalar; ForceBackend() throws instead, so tests cannot
+ * silently measure the wrong thing.
  *
  * Adding a backend (AVX-512, NEON): implement the Kernels table in a
  * new translation unit, register it in simd_dispatch.cpp, done — no
@@ -42,6 +46,7 @@ namespace hentt::simd {
 enum class Backend {
     kScalar,  ///< portable reference (always available)
     kAvx2,    ///< 4 x u64 lanes; requires compile-time -mavx2 + CPUID
+    kAvx512,  ///< 8 x u64 lanes (butterfly family); -mavx512f/dq + CPUID
 };
 
 /**
@@ -128,6 +133,51 @@ InvButterflyElem(u64 &a, u64 &b, u64 w, u64 w_bar, u64 p)
 }
 
 /**
+ * Fused radix-4 forward quad — two chained radix-2 CT levels on one
+ * (a, b, c, d) quadruple, entirely in registers. Level one butterflies
+ * the pairs (a, c) and (b, d) with the shared first-level twiddle w1;
+ * level two butterflies (a, b) with w2a and (c, d) with w2b. Because it
+ * is literally the composition of four FwdButterflyElem calls in the
+ * same order the radix-2 stage walker would apply them, the result is
+ * bit-identical to two chained radix-2 stages — lazy [0, 4p)
+ * representatives included — while reading and writing each coefficient
+ * once instead of twice.
+ *
+ * @param a,b,c,d  in/out operands, each < 4p (outputs < 4p)
+ * @param w1       first-level twiddle < p (+ Shoup companion w1_bar)
+ * @param w2a,w2b  second-level twiddles < p (+ Shoup companions)
+ * @param p        modulus < 2^62
+ */
+inline void
+FwdButterflyQuadElem(u64 &a, u64 &b, u64 &c, u64 &d, u64 w1, u64 w1_bar,
+                     u64 w2a, u64 w2a_bar, u64 w2b, u64 w2b_bar, u64 p)
+{
+    FwdButterflyElem(a, c, w1, w1_bar, p);
+    FwdButterflyElem(b, d, w1, w1_bar, p);
+    FwdButterflyElem(a, b, w2a, w2a_bar, p);
+    FwdButterflyElem(c, d, w2b, w2b_bar, p);
+}
+
+/**
+ * Fused radix-4 inverse quad — two chained radix-2 GS levels, mirror of
+ * FwdButterflyQuadElem. Level one butterflies the adjacent pairs (a, b)
+ * with w1a and (c, d) with w1b; level two butterflies (a, c) and (b, d)
+ * with the shared second-level twiddle w2. All operands stay < 2p at
+ * every level (InvButterflyElem invariant), and the composition order
+ * matches the radix-2 stage walker exactly.
+ */
+inline void
+InvButterflyQuadElem(u64 &a, u64 &b, u64 &c, u64 &d, u64 w1a,
+                     u64 w1a_bar, u64 w1b, u64 w1b_bar, u64 w2,
+                     u64 w2_bar, u64 p)
+{
+    InvButterflyElem(a, b, w1a, w1a_bar, p);
+    InvButterflyElem(c, d, w1b, w1b_bar, p);
+    InvButterflyElem(a, c, w2, w2_bar, p);
+    InvButterflyElem(b, d, w2, w2_bar, p);
+}
+
+/**
  * Barrett reduction of a 128-bit value (z_hi:z_lo) into [0, p) —
  * bitwise the BarrettReducer::Reduce pipeline, expressed over the
  * word-split constants so backends can share it.
@@ -187,6 +237,45 @@ struct Kernels {
      *  fwd_butterfly_stage. */
     void (*inv_butterfly_stage)(u64 *a, const u64 *w, const u64 *w_bar,
                                 std::size_t h, std::size_t t, u64 p);
+
+    /**
+     * One fused radix-4 forward stage pair: m super-blocks of 4q
+     * coefficients, each super-block j spanning a[4jq..4jq+4q) split
+     * into quarters (A, B, C, D) of q contiguous elements. Executes two
+     * consecutive radix-2 CT levels per call (FwdButterflyQuadElem on
+     * every (A[k], B[k], C[k], D[k]) column), so each coefficient is
+     * read and written once for two butterfly levels — the pass count
+     * over the data drops from log N to ceil(log N / 2).
+     *
+     * Twiddles come from the stage-major interleaved layout
+     * (TwiddleTable::FusedStage): @p pairs holds the first-level
+     * (w, w_bar) pair of super-block j at pairs[2j..2j+2); @p quads
+     * holds its two second-level twiddles as
+     * (w2a, w2a_bar, w2b, w2b_bar) at quads[4j..4j+4). Both streams are
+     * consumed strictly sequentially, so the short-run tail stages
+     * (q < kMinButterflyRun) need no gathers.
+     *
+     * Bit-identical to chaining fwd_butterfly_stage twice (levels m
+     * then 2m of the radix-2 walker), lazy representatives included.
+     */
+    void (*fwd_butterfly_stage4)(u64 *a, const u64 *pairs,
+                                 const u64 *quads, std::size_t m,
+                                 std::size_t q, u64 p);
+
+    /**
+     * One fused radix-4 inverse stage pair, mirror of
+     * fwd_butterfly_stage4: m super-blocks of 4q coefficients running
+     * two consecutive radix-2 GS levels per call
+     * (InvButterflyQuadElem). Here @p quads holds the *first*-level
+     * twiddles of super-block j — (w1a, w1a_bar, w1b, w1b_bar) at
+     * quads[4j..4j+4) — and @p pairs the shared second-level
+     * (w2, w2_bar) pair at pairs[2j..2j+2) (the GS direction fans
+     * twiddles the opposite way). All values stay < 2p per the inverse
+     * pipeline invariant.
+     */
+    void (*inv_butterfly_stage4)(u64 *a, const u64 *quads,
+                                 const u64 *pairs, std::size_t m,
+                                 std::size_t q, u64 p);
 
     /**
      * Element-wise Shoup multiply by one constant, strict output:

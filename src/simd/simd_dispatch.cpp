@@ -28,23 +28,53 @@ CpuHasAvx2()
 #endif
 }
 
+bool
+CpuHasAvx512()
+{
+#if defined(__GNUC__) || defined(__clang__)
+    // The butterfly kernels need F (foundation) and DQ (vpmullq).
+    return __builtin_cpu_supports("avx512f") &&
+           __builtin_cpu_supports("avx512dq");
+#else
+    return false;
+#endif
+}
+
+/** Best available backend by CPUID: avx512 > avx2 > scalar. */
+Backend
+BestAvailable()
+{
+    if (BackendAvailable(Backend::kAvx512)) {
+        return Backend::kAvx512;
+    }
+    if (BackendAvailable(Backend::kAvx2)) {
+        return Backend::kAvx2;
+    }
+    return Backend::kScalar;
+}
+
 /** Environment/CPUID resolution, evaluated once at first use. An
  *  unavailable HENTT_SIMD request falls back to scalar (tests use
  *  ForceBackend, which throws instead). */
 Backend
 ResolveDefault()
 {
-    const bool avx2 = BackendAvailable(Backend::kAvx2);
     if (const char *env = std::getenv("HENTT_SIMD")) {
         if (std::strcmp(env, "scalar") == 0) {
             return Backend::kScalar;
         }
         if (std::strcmp(env, "avx2") == 0) {
-            return avx2 ? Backend::kAvx2 : Backend::kScalar;
+            return BackendAvailable(Backend::kAvx2) ? Backend::kAvx2
+                                                    : Backend::kScalar;
+        }
+        if (std::strcmp(env, "avx512") == 0) {
+            return BackendAvailable(Backend::kAvx512)
+                       ? Backend::kAvx512
+                       : Backend::kScalar;
         }
         // "auto" and anything unrecognised: fall through to CPUID.
     }
-    return avx2 ? Backend::kAvx2 : Backend::kScalar;
+    return BestAvailable();
 }
 
 std::atomic<const Kernels *> g_active{nullptr};
@@ -78,6 +108,8 @@ BackendAvailable(Backend backend)
         return true;
       case Backend::kAvx2:
         return internal::Avx2CompiledIn() && CpuHasAvx2();
+      case Backend::kAvx512:
+        return internal::Avx512CompiledIn() && CpuHasAvx512();
     }
     return false;
 }
@@ -85,8 +117,15 @@ BackendAvailable(Backend backend)
 const Kernels &
 Get(Backend backend)
 {
-    return backend == Backend::kAvx2 ? internal::Avx2Kernels()
-                                     : internal::ScalarKernels();
+    switch (backend) {
+      case Backend::kAvx2:
+        return internal::Avx2Kernels();
+      case Backend::kAvx512:
+        return internal::Avx512Kernels();
+      case Backend::kScalar:
+        break;
+    }
+    return internal::ScalarKernels();
 }
 
 const Kernels &
@@ -129,6 +168,8 @@ BackendName(Backend backend)
         return "scalar";
       case Backend::kAvx2:
         return "avx2";
+      case Backend::kAvx512:
+        return "avx512";
     }
     return "unknown";
 }

@@ -37,6 +37,22 @@ const Kernels &Avx2AllVectorKernels();
 /** Whether simd_avx2.cpp was built with AVX2 enabled. */
 bool Avx2CompiledIn();
 
+/**
+ * The AVX-512 table (8 x u64 lanes). Vectorizes the butterfly family —
+ * rows, whole stages, and the fused radix-4 stage pairs — where the
+ * 512-bit ISA removes both AVX2 bottlenecks at once: vpmullq gives the
+ * 64-bit low product in one instruction, vpminuq makes every lazy
+ * correction branch- and xor-free, and 32 registers hold a fused
+ * four-row working set without spilling. Element-wise entries are
+ * borrowed from the production AVX2 table (which in turn borrows the
+ * scalar Barrett family). Returns the scalar table when the build
+ * lacks AVX-512 support; gate on Avx512CompiledIn() + CPUID.
+ */
+const Kernels &Avx512Kernels();
+
+/** Whether simd_avx512.cpp was built with AVX-512F/DQ enabled. */
+bool Avx512CompiledIn();
+
 }  // namespace hentt::simd::internal
 
 #endif  // HENTT_SIMD_SIMD_INTERNAL_H

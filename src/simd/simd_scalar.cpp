@@ -49,6 +49,46 @@ InvButterflyStage(u64 *a, const u64 *w, const u64 *w_bar, std::size_t h,
 }
 
 void
+FwdButterflyStage4(u64 *a, const u64 *pairs, const u64 *quads,
+                   std::size_t m, std::size_t q, u64 p)
+{
+    for (std::size_t j = 0; j < m; ++j) {
+        u64 *blk = a + 4 * j * q;
+        const u64 w1 = pairs[2 * j];
+        const u64 w1_bar = pairs[2 * j + 1];
+        const u64 w2a = quads[4 * j];
+        const u64 w2a_bar = quads[4 * j + 1];
+        const u64 w2b = quads[4 * j + 2];
+        const u64 w2b_bar = quads[4 * j + 3];
+        for (std::size_t k = 0; k < q; ++k) {
+            FwdButterflyQuadElem(blk[k], blk[q + k], blk[2 * q + k],
+                                 blk[3 * q + k], w1, w1_bar, w2a, w2a_bar,
+                                 w2b, w2b_bar, p);
+        }
+    }
+}
+
+void
+InvButterflyStage4(u64 *a, const u64 *quads, const u64 *pairs,
+                   std::size_t m, std::size_t q, u64 p)
+{
+    for (std::size_t j = 0; j < m; ++j) {
+        u64 *blk = a + 4 * j * q;
+        const u64 w1a = quads[4 * j];
+        const u64 w1a_bar = quads[4 * j + 1];
+        const u64 w1b = quads[4 * j + 2];
+        const u64 w1b_bar = quads[4 * j + 3];
+        const u64 w2 = pairs[2 * j];
+        const u64 w2_bar = pairs[2 * j + 1];
+        for (std::size_t k = 0; k < q; ++k) {
+            InvButterflyQuadElem(blk[k], blk[q + k], blk[2 * q + k],
+                                 blk[3 * q + k], w1a, w1a_bar, w1b,
+                                 w1b_bar, w2, w2_bar, p);
+        }
+    }
+}
+
+void
 MulShoupRows(u64 *dst, const u64 *src, std::size_t n, u64 s, u64 s_bar,
              u64 p)
 {
@@ -168,11 +208,12 @@ const Kernels &
 ScalarKernels()
 {
     static const Kernels table = {
-        &FwdButterflyRows,  &FwdButterflyStage, &InvButterflyRows,
-        &InvButterflyStage, &MulShoupRows,      &MulBarrettRows,
-        &MulAccBarrettRows, &ReduceBarrettRows, &AddRows,
-        &SubRows,           &FoldLazyRows,      &FoldRescaleRows,
-        &TensorRows,        &DivideRoundRows,
+        &FwdButterflyRows,   &FwdButterflyStage, &InvButterflyRows,
+        &InvButterflyStage,  &FwdButterflyStage4, &InvButterflyStage4,
+        &MulShoupRows,       &MulBarrettRows,    &MulAccBarrettRows,
+        &ReduceBarrettRows,  &AddRows,           &SubRows,
+        &FoldLazyRows,       &FoldRescaleRows,   &TensorRows,
+        &DivideRoundRows,
     };
     return table;
 }

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include "common/bitops.h"
 #include "common/modarith.h"
 #include "common/primegen.h"
 #include "common/random.h"
+#include "ntt/ntt_engine.h"
 #include "ntt/ntt_lazy.h"
 #include "ntt/ntt_radix2.h"
 
@@ -85,10 +87,85 @@ TEST_P(LazyNttTest, AcceptsLazyRangeInputs)
     EXPECT_EQ(unreduced, reduced);
 }
 
+TEST_P(LazyNttTest, FusedWalkBitExactVsUnfused)
+{
+    // The fused radix-4 stage walker must be bit-identical to the
+    // radix-2 walk on the ACTIVE backend — raw keep-range outputs
+    // compared, so the lazy [0, 4p) representatives must agree, not
+    // merely the residues. Lazy-range inputs stress the chained
+    // butterfly bounds.
+    if (p_ >= (u64{1} << 61)) {
+        GTEST_SKIP() << "4p would overflow for this prime";
+    }
+    Xoshiro256 rng(6);
+    std::vector<u64> lazy_in(n_);
+    for (u64 &x : lazy_in) {
+        x = rng.NextBelow(4 * p_);
+    }
+    std::vector<u64> fused = lazy_in, unfused = lazy_in;
+    NttRadix2LazyKeepRange(fused, *table_);
+    NttRadix2LazyKeepRangeUnfused(unfused, *table_);
+    EXPECT_EQ(fused, unfused);
+
+    // Strict-range inputs through the folding entry points.
+    const auto a = Random(7);
+    std::vector<u64> f2 = a, u2 = a;
+    NttRadix2Lazy(f2, *table_);
+    NttRadix2LazyUnfused(u2, *table_);
+    EXPECT_EQ(f2, u2);
+
+    // Inverse walkers on a valid evaluation-domain input.
+    std::vector<u64> ev = a;
+    NttRadix2(ev, *table_);
+    std::vector<u64> fi = ev, ui = ev;
+    InttRadix2Lazy(fi, *table_);
+    InttRadix2LazyUnfused(ui, *table_);
+    EXPECT_EQ(fi, ui);
+    EXPECT_EQ(fi, a);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Grid, LazyNttTest,
-    ::testing::Combine(::testing::Values(8, 64, 512, 2048),
+    // 32 and 128 pin the odd-log2 sizes where the fused walker must
+    // finish with one radix-2 tail stage.
+    ::testing::Combine(::testing::Values(8, 32, 64, 128, 512, 2048),
                        ::testing::Values(30u, 50u, 60u)));
+
+TEST(LazyNtt, FusedWalkerDispatchCount)
+{
+    // The pass-count contract of the fused walker: an N-point lazy
+    // transform issues ceil(log2 N / 2) butterfly stage-kernel
+    // dispatches (each covering two levels; odd log2 N adds the
+    // radix-2 tail which the ceil already counts), not log2 N.
+    const struct {
+        std::size_t n;
+        u64 expected;  // ceil(log2 n / 2)
+    } cases[] = {{4096, 6}, {128, 4}, {32, 3}};
+    for (const auto &c : cases) {
+        const u64 p = GenerateNttPrimes(2 * c.n, 50, 1)[0];
+        const TwiddleTable table(c.n, p);
+        Xoshiro256 rng(8);
+        std::vector<u64> v(c.n);
+        for (u64 &x : v) {
+            x = rng.NextBelow(p);
+        }
+        ResetNttOpCounts();
+        NttRadix2LazyKeepRange(v, table);
+        EXPECT_EQ(GetNttOpCounts().butterfly_stages, c.expected)
+            << "forward N=" << c.n;
+        ResetNttOpCounts();
+        InttRadix2Lazy(v, table);
+        EXPECT_EQ(GetNttOpCounts().butterfly_stages, c.expected)
+            << "inverse N=" << c.n;
+        // The ablation walker still pays one dispatch (and one pass)
+        // per level.
+        ResetNttOpCounts();
+        NttRadix2LazyKeepRangeUnfused(v, table);
+        EXPECT_EQ(GetNttOpCounts().butterfly_stages,
+                  static_cast<u64>(Log2Exact(c.n)))
+            << "unfused N=" << c.n;
+    }
+}
 
 TEST(LazyButterfly, StaysInRange)
 {

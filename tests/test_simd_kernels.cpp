@@ -68,6 +68,27 @@ class SimdParityTest : public ::testing::TestWithParam<std::size_t>
     }
 };
 
+/** Every vectorized kernel table available on this host, with a label
+ *  for failure messages: the production AVX2 table, the all-vector
+ *  AVX2 table (exercises the vector Barrett family and genuinely
+ *  fused radix-4 rows even where production borrows other entries),
+ *  and the AVX-512 table when the CPU supports it. */
+std::vector<std::pair<const char *, const simd::Kernels *>>
+VectorTables()
+{
+    std::vector<std::pair<const char *, const simd::Kernels *>> tables;
+    if (simd::BackendAvailable(simd::Backend::kAvx2)) {
+        tables.emplace_back("avx2", &simd::Get(simd::Backend::kAvx2));
+        tables.emplace_back("avx2-allvec",
+                            &simd::internal::Avx2AllVectorKernels());
+    }
+    if (simd::BackendAvailable(simd::Backend::kAvx512)) {
+        tables.emplace_back("avx512",
+                            &simd::Get(simd::Backend::kAvx512));
+    }
+    return tables;
+}
+
 TEST_P(SimdParityTest, ButterflyRowsAndTails)
 {
     const std::size_t n = GetParam();
@@ -128,6 +149,111 @@ TEST_P(SimdParityTest, ButterflyRowsAndTails)
                 vec.inv_butterfly_stage(b1.data(), w.data(),
                                         w_bar.data(), m, t, p);
                 EXPECT_EQ(b0, b1) << "inv stage t=" << t << " m=" << m;
+            }
+        }
+    }
+}
+
+/**
+ * Fused radix-4 stage pairs: every backend x quarter lengths covering
+ * the row form and all shuffle tails x odd block counts (so the vector
+ * bodies AND their scalar remainders run), with planted lazy-range
+ * boundary values. Two independent anchors:
+ *  - the scalar stage4 kernel must be bit-identical to two chained
+ *    radix-2 scalar reference stages (the fused kernel IS that
+ *    composition), and
+ *  - every vector backend must be bit-identical to the scalar stage4.
+ */
+TEST_P(SimdParityTest, FusedRadix4Stages)
+{
+    const std::size_t n = GetParam();
+    const auto &ref = simd::Get(simd::Backend::kScalar);
+    for (const u64 p : Primes()) {
+        for (const std::size_t q :
+             {std::size_t{1}, std::size_t{2}, std::size_t{4},
+              std::size_t{8}, std::size_t{16}}) {
+            for (const std::size_t m : {n / (4 * q), n / (4 * q) - 1}) {
+                if (m == 0 || 4 * q * m > n) {
+                    continue;
+                }
+                // Interleaved stage-major twiddle streams: (w, w_bar)
+                // pairs and (wa, wa_bar, wb, wb_bar) quads.
+                const std::vector<u64> w = Values(3 * m, p, p, q + m);
+                std::vector<u64> pairs(2 * m), quads(4 * m);
+                for (std::size_t j = 0; j < m; ++j) {
+                    pairs[2 * j] = w[j];
+                    pairs[2 * j + 1] = ShoupPrecompute(w[j], p);
+                    quads[4 * j] = w[(m + 2 * j) % (3 * m)];
+                    quads[4 * j + 1] = ShoupPrecompute(quads[4 * j], p);
+                    quads[4 * j + 2] = w[(m + 2 * j + 1) % (3 * m)];
+                    quads[4 * j + 3] =
+                        ShoupPrecompute(quads[4 * j + 2], p);
+                }
+
+                // Forward: scalar fused vs two chained radix-2 scalar
+                // stages over the de-interleaved twiddles.
+                std::vector<u64> wl1(m), wl1b(m), wl2(2 * m),
+                    wl2b(2 * m);
+                for (std::size_t j = 0; j < m; ++j) {
+                    wl1[j] = pairs[2 * j];
+                    wl1b[j] = pairs[2 * j + 1];
+                    wl2[2 * j] = quads[4 * j];
+                    wl2b[2 * j] = quads[4 * j + 1];
+                    wl2[2 * j + 1] = quads[4 * j + 2];
+                    wl2b[2 * j + 1] = quads[4 * j + 3];
+                }
+                const std::vector<u64> fwd_in =
+                    Values(4 * m * q, 4 * p, p, m + q + p);
+                std::vector<u64> chained = fwd_in;
+                ref.fwd_butterfly_stage(chained.data(), wl1.data(),
+                                        wl1b.data(), m, 2 * q, p);
+                ref.fwd_butterfly_stage(chained.data(), wl2.data(),
+                                        wl2b.data(), 2 * m, q, p);
+                std::vector<u64> fused = fwd_in;
+                ref.fwd_butterfly_stage4(fused.data(), pairs.data(),
+                                         quads.data(), m, q, p);
+                ASSERT_EQ(fused, chained)
+                    << "scalar fwd stage4 != chained radix-2, q=" << q
+                    << " m=" << m;
+                for (const auto &[name, vec] : VectorTables()) {
+                    std::vector<u64> got = fwd_in;
+                    vec->fwd_butterfly_stage4(got.data(), pairs.data(),
+                                              quads.data(), m, q, p);
+                    EXPECT_EQ(got, fused) << name << " fwd stage4 q="
+                                          << q << " m=" << m;
+                }
+
+                // Inverse: quads feed level one, pairs level two.
+                std::vector<u64> il1(2 * m), il1b(2 * m), il2(m),
+                    il2b(m);
+                for (std::size_t j = 0; j < m; ++j) {
+                    il1[2 * j] = quads[4 * j];
+                    il1b[2 * j] = quads[4 * j + 1];
+                    il1[2 * j + 1] = quads[4 * j + 2];
+                    il1b[2 * j + 1] = quads[4 * j + 3];
+                    il2[j] = pairs[2 * j];
+                    il2b[j] = pairs[2 * j + 1];
+                }
+                const std::vector<u64> inv_in =
+                    Values(4 * m * q, 2 * p, p, m + q + 2 * p);
+                std::vector<u64> ichained = inv_in;
+                ref.inv_butterfly_stage(ichained.data(), il1.data(),
+                                        il1b.data(), 2 * m, q, p);
+                ref.inv_butterfly_stage(ichained.data(), il2.data(),
+                                        il2b.data(), m, 2 * q, p);
+                std::vector<u64> ifused = inv_in;
+                ref.inv_butterfly_stage4(ifused.data(), quads.data(),
+                                         pairs.data(), m, q, p);
+                ASSERT_EQ(ifused, ichained)
+                    << "scalar inv stage4 != chained radix-2, q=" << q
+                    << " m=" << m;
+                for (const auto &[name, vec] : VectorTables()) {
+                    std::vector<u64> got = inv_in;
+                    vec->inv_butterfly_stage4(got.data(), quads.data(),
+                                              pairs.data(), m, q, p);
+                    EXPECT_EQ(got, ifused) << name << " inv stage4 q="
+                                           << q << " m=" << m;
+                }
             }
         }
     }
@@ -251,18 +377,24 @@ TEST_P(SimdParityTest, WholeTransformsMatchScalarBackend)
         }
         InttRadix2Lazy(inv_s, engine.table());
 
-        simd::ForceBackend(simd::Backend::kAvx2);
-        std::vector<u64> fwd_v = input;
-        NttRadix2LazyKeepRange(fwd_v, engine.table());
-        std::vector<u64> inv_v = fwd_v;
-        for (u64 &x : inv_v) {
-            x = FoldLazy(x, p);
-        }
-        InttRadix2Lazy(inv_v, engine.table());
-        simd::ResetBackend();
+        for (const auto backend :
+             {simd::Backend::kAvx2, simd::Backend::kAvx512}) {
+            if (!simd::BackendAvailable(backend)) {
+                continue;
+            }
+            simd::ForceBackend(backend);
+            std::vector<u64> fwd_v = input;
+            NttRadix2LazyKeepRange(fwd_v, engine.table());
+            std::vector<u64> inv_v = fwd_v;
+            for (u64 &x : inv_v) {
+                x = FoldLazy(x, p);
+            }
+            InttRadix2Lazy(inv_v, engine.table());
+            simd::ResetBackend();
 
-        EXPECT_EQ(fwd_s, fwd_v);
-        EXPECT_EQ(inv_s, inv_v);
+            EXPECT_EQ(fwd_s, fwd_v) << simd::BackendName(backend);
+            EXPECT_EQ(inv_s, inv_v) << simd::BackendName(backend);
+        }
         EXPECT_EQ(inv_s, input) << "round trip broke";
     }
 }
