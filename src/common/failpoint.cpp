@@ -1,0 +1,312 @@
+/** @file Failpoint registry, arming state, and the roll RNG. */
+
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace hentt::fp {
+
+namespace {
+
+/** Arming modes. */
+enum Mode : int { kOff = 0, kProb = 1, kNth = 2 };
+
+/**
+ * Per-site state. Everything is atomic so pool workers can pass a site
+ * while the harness thread reads counters; arming itself must be
+ * quiescent (documented in the header).
+ */
+struct Site {
+    const char *name;
+    std::atomic<int> mode{kOff};
+    std::atomic<std::uint64_t> prob_bits{0};   ///< bit-cast double
+    std::atomic<std::uint64_t> nth_target{0};  ///< absolute pass index
+    std::atomic<std::uint64_t> passes{0};
+    std::atomic<std::uint64_t> fires{0};
+};
+
+Site g_sites[] = {
+    {kArenaAlloc},   {kPoolTask},      {kSimdDispatch},
+    {kNttStage},     {kNttRangeGuard},
+};
+constexpr std::size_t kSiteCount = sizeof(g_sites) / sizeof(g_sites[0]);
+
+/** Number of sites with mode != kOff — the macro fast gate. */
+std::atomic<int> g_armed_sites{0};
+
+/** Roll RNG seed; bumping the epoch refreshes thread-local streams. */
+std::atomic<std::uint64_t> g_seed{0x9e3779b97f4a7c15ull};
+std::atomic<std::uint64_t> g_seed_epoch{0};
+std::atomic<std::uint64_t> g_thread_ordinal{0};
+
+std::uint64_t
+SplitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Uniform double in [0,1) from a per-thread stream derived from the
+ *  global seed (re-derived whenever SeedRng bumps the epoch). */
+double
+Roll()
+{
+    thread_local std::uint64_t state = 0;
+    thread_local std::uint64_t epoch = ~std::uint64_t{0};
+    thread_local std::uint64_t ordinal =
+        g_thread_ordinal.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t now = g_seed_epoch.load(std::memory_order_acquire);
+    if (epoch != now) {
+        epoch = now;
+        state = g_seed.load(std::memory_order_relaxed) ^
+                (ordinal * 0xd1342543de82ef95ull);
+    }
+    return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+}
+
+Site *
+Find(const char *site)
+{
+    for (auto &s : g_sites) {
+        if (std::strcmp(s.name, site) == 0) {
+            return &s;
+        }
+    }
+    return nullptr;
+}
+
+Site &
+FindOrThrow(const char *site)
+{
+    if (Site *s = Find(site)) {
+        return *s;
+    }
+    ThrowStatus(Status(ErrorCode::kInvalidArgument,
+                       std::string("unknown failpoint site '") + site +
+                           "'"));
+}
+
+/** Swap a site's mode, keeping the armed-site gate in sync. */
+void
+SetMode(Site &site, int mode)
+{
+    const int prev = site.mode.exchange(mode, std::memory_order_acq_rel);
+    if (prev == kOff && mode != kOff) {
+        g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+    } else if (prev != kOff && mode == kOff) {
+        g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+    }
+}
+
+std::uint64_t
+BitsOf(double d)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+}
+
+double
+DoubleOf(std::uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+}  // namespace
+
+std::size_t
+SiteCount()
+{
+    return kSiteCount;
+}
+
+const char *
+SiteName(std::size_t i)
+{
+    return i < kSiteCount ? g_sites[i].name : nullptr;
+}
+
+void
+Arm(const char *site, double probability)
+{
+    if (!(probability >= 0.0 && probability <= 1.0)) {
+        ThrowStatus(Status(ErrorCode::kInvalidArgument,
+                           "failpoint probability must be in [0,1]"));
+    }
+    Site &s = FindOrThrow(site);
+    if (probability == 0.0) {
+        SetMode(s, kOff);
+        return;
+    }
+    s.prob_bits.store(BitsOf(probability), std::memory_order_relaxed);
+    SetMode(s, kProb);
+}
+
+void
+ArmNth(const char *site, std::uint64_t nth)
+{
+    if (nth == 0) {
+        ThrowStatus(Status(ErrorCode::kInvalidArgument,
+                           "ArmNth: nth is 1-based; 0 never fires"));
+    }
+    Site &s = FindOrThrow(site);
+    s.nth_target.store(s.passes.load(std::memory_order_relaxed) + nth,
+                       std::memory_order_relaxed);
+    SetMode(s, kNth);
+}
+
+void
+DisarmAll()
+{
+    for (auto &s : g_sites) {
+        SetMode(s, kOff);
+    }
+}
+
+void
+ResetAll()
+{
+    for (auto &s : g_sites) {
+        SetMode(s, kOff);
+        s.passes.store(0, std::memory_order_relaxed);
+        s.fires.store(0, std::memory_order_relaxed);
+    }
+}
+
+void
+SeedRng(std::uint64_t seed)
+{
+    g_seed.store(seed, std::memory_order_relaxed);
+    g_seed_epoch.fetch_add(1, std::memory_order_release);
+}
+
+std::uint64_t
+FireCount(const char *site)
+{
+    return FindOrThrow(site).fires.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+PassCount(const char *site)
+{
+    return FindOrThrow(site).passes.load(std::memory_order_relaxed);
+}
+
+bool
+Armed(const char *site)
+{
+    return FindOrThrow(site).mode.load(std::memory_order_acquire) != kOff;
+}
+
+bool
+ShouldFire(const char *site)
+{
+    Site *s = Find(site);
+    if (s == nullptr) {
+        return false;  // never fault inside a pipeline on a bad name
+    }
+    const std::uint64_t pass =
+        s->passes.fetch_add(1, std::memory_order_relaxed) + 1;
+    switch (s->mode.load(std::memory_order_acquire)) {
+      case kNth: {
+        if (pass < s->nth_target.load(std::memory_order_relaxed)) {
+            return false;
+        }
+        // Single fire: the first thread to flip the mode wins; a racing
+        // pass that also reached the target sees kOff and stays clean.
+        int expected = kNth;
+        if (s->mode.compare_exchange_strong(expected, kOff,
+                                            std::memory_order_acq_rel)) {
+            g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+            s->fires.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        return false;
+      }
+      case kProb: {
+        const double p =
+            DoubleOf(s->prob_bits.load(std::memory_order_relaxed));
+        if (Roll() < p) {
+            s->fires.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        return false;
+      }
+      default:
+        return false;
+    }
+}
+
+void
+RaiseInjected(const char *site)
+{
+    ThrowStatus(Status(ErrorCode::kInjected, "injected fault")
+                    .WithFrame(std::string("failpoint ") + site));
+}
+
+std::size_t
+ArmFromEnv()
+{
+    std::size_t armed = 0;
+    if (const char *seed_env = std::getenv("HENTT_FP_SEED")) {
+        SeedRng(std::strtoull(seed_env, nullptr, 0));
+    }
+    const char *spec = std::getenv("HENTT_FAILPOINTS");
+    if (spec == nullptr) {
+        return 0;
+    }
+    std::string entry;
+    for (const char *p = spec;; ++p) {
+        if (*p != '\0' && *p != ',') {
+            entry += *p;
+            continue;
+        }
+        const std::size_t eq = entry.find('=');
+        if (eq != std::string::npos) {
+            const std::string name = entry.substr(0, eq);
+            char *end = nullptr;
+            const double prob =
+                std::strtod(entry.c_str() + eq + 1, &end);
+            if (Find(name.c_str()) != nullptr && end != nullptr &&
+                *end == '\0' && prob >= 0.0 && prob <= 1.0) {
+                Arm(name.c_str(), prob);
+                ++armed;
+            } else {
+                std::fprintf(stderr,
+                             "hentt: ignoring bad HENTT_FAILPOINTS "
+                             "entry '%s'\n",
+                             entry.c_str());
+            }
+        } else if (!entry.empty()) {
+            std::fprintf(stderr,
+                         "hentt: ignoring bad HENTT_FAILPOINTS entry "
+                         "'%s'\n",
+                         entry.c_str());
+        }
+        entry.clear();
+        if (*p == '\0') {
+            break;
+        }
+    }
+    return armed;
+}
+
+namespace internal {
+
+bool
+AnyArmed()
+{
+    return g_armed_sites.load(std::memory_order_relaxed) != 0;
+}
+
+}  // namespace internal
+
+}  // namespace hentt::fp

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Compile-in failpoint framework — the fault-injection half of the
+ * containment layer.
+ *
+ * A failpoint is a named site in the execution stack where a test (or a
+ * chaos run) can make the library fail on purpose: arena allocation,
+ * thread-pool task entry, SIMD dispatch, NTT stage boundaries. The
+ * chaos suite arms sites with probabilities, pushes thousands of
+ * randomized schedules through Mul→Relin→ModSwitch, and asserts that
+ * every failure surfaces as a Status with provenance and that a
+ * no-fault replay is bit-identical.
+ *
+ * Cost model: the `HENTT_FAILPOINT(site)` macro compiles to NOTHING
+ * unless the library is built with -DHENTT_FAILPOINTS=ON (CMake option
+ * -> public `HENTT_FAILPOINTS=1` define), so release/bench builds pay
+ * zero overhead — not even a branch (BENCHMARKS.md documents the
+ * micro_ntt check). With failpoints compiled in, an unarmed site costs
+ * one relaxed atomic load of a global counter.
+ *
+ * The registry/arming API below is compiled unconditionally (it is tiny
+ * and lets test binaries link the same way in both configurations);
+ * only the injection sites themselves vanish.
+ *
+ * Thread model: Arm/Disarm/SeedRng are test-harness calls and must not
+ * race with in-flight pipeline work. ShouldFire is safe to call from
+ * pool workers (per-site state is atomic; the RNG roll uses a
+ * thread-local stream derived from the global seed).
+ */
+
+#ifndef HENTT_COMMON_FAILPOINT_H
+#define HENTT_COMMON_FAILPOINT_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace hentt::fp {
+
+/** True when injection sites are compiled into this build. */
+#if defined(HENTT_FAILPOINTS) && HENTT_FAILPOINTS
+inline constexpr bool kCompiledIn = true;
+#else
+inline constexpr bool kCompiledIn = false;
+#endif
+
+// Site registry. Sites are identified by these exact strings (also the
+// names accepted by the HENTT_FAILPOINTS environment variable). Keep
+// docs/ARCHITECTURE.md's table in sync.
+inline constexpr const char *kArenaAlloc = "arena.alloc";
+inline constexpr const char *kPoolTask = "pool.task";
+inline constexpr const char *kSimdDispatch = "simd.dispatch";
+inline constexpr const char *kNttStage = "ntt.stage";
+inline constexpr const char *kNttRangeGuard = "ntt.range_guard";
+
+/** Number of registered sites. */
+std::size_t SiteCount();
+
+/** Registered site name by index (0 <= i < SiteCount()). */
+const char *SiteName(std::size_t i);
+
+/**
+ * Arm @p site to fire with probability @p probability in [0,1] on each
+ * pass. Throws InvalidArgumentError for an unknown site or an
+ * out-of-range probability. probability == 0 disarms the site.
+ */
+void Arm(const char *site, double probability);
+
+/**
+ * Arm @p site to fire exactly once, on its @p nth pass from now
+ * (1-based: ArmNth(site, 1) fires on the next pass). Deterministic —
+ * used by the directed containment tests. Throws for unknown sites.
+ */
+void ArmNth(const char *site, std::uint64_t nth);
+
+/** Disarm every site (does not reset fire/pass counters). */
+void DisarmAll();
+
+/** Disarm every site and zero all counters. */
+void ResetAll();
+
+/** Reseed the roll RNG (chaos schedules print this for replay). */
+void SeedRng(std::uint64_t seed);
+
+/** Times @p site actually fired since the last ResetAll. */
+std::uint64_t FireCount(const char *site);
+
+/** Times @p site was passed (armed or not) since the last ResetAll.
+ *  Always 0 when !kCompiledIn — sites are compiled out. */
+std::uint64_t PassCount(const char *site);
+
+/** True when @p site is currently armed (no roll, no counter bump). */
+bool Armed(const char *site);
+
+/**
+ * Record a pass over @p site and decide whether it fires. Called by the
+ * HENTT_FAILPOINT* macros; tests may call it directly.
+ */
+bool ShouldFire(const char *site);
+
+/** Throw an injected-fault RuntimeStatusError (code kInjected). */
+[[noreturn]] void RaiseInjected(const char *site);
+
+/**
+ * Parse the HENTT_FAILPOINTS environment variable
+ * ("site=prob[,site=prob...]", e.g. "arena.alloc=0.01,pool.task=0.05")
+ * and HENTT_FP_SEED (u64). Unknown names/values are ignored with a
+ * stderr note — an env typo must not abort the process this framework
+ * exists to keep alive. Returns the number of sites armed.
+ */
+std::size_t ArmFromEnv();
+
+/** RAII arming for tests: arms on construction, disarms all on scope
+ *  exit. */
+class Scoped
+{
+  public:
+    Scoped(const char *site, double probability) { Arm(site, probability); }
+    Scoped(const char *site, std::uint64_t nth) { ArmNth(site, nth); }
+    ~Scoped() { DisarmAll(); }
+    Scoped(const Scoped &) = delete;
+    Scoped &operator=(const Scoped &) = delete;
+};
+
+namespace internal {
+/** Fast gate: number of armed sites (relaxed load). */
+bool AnyArmed();
+}  // namespace internal
+
+}  // namespace hentt::fp
+
+/**
+ * Injection sites. HENTT_FAILPOINT throws an injected fault when the
+ * site fires; HENTT_FAILPOINT_FIRED evaluates to true instead (for
+ * sites that degrade rather than fail, e.g. forcing the scalar SIMD
+ * fallback). Both compile to nothing / constant-false without
+ * -DHENTT_FAILPOINTS=ON.
+ */
+#if defined(HENTT_FAILPOINTS) && HENTT_FAILPOINTS
+#define HENTT_FAILPOINT(site)                                            \
+    do {                                                                 \
+        if (::hentt::fp::internal::AnyArmed() &&                         \
+            ::hentt::fp::ShouldFire(site)) {                             \
+            ::hentt::fp::RaiseInjected(site);                            \
+        }                                                                \
+    } while (false)
+#define HENTT_FAILPOINT_FIRED(site)                                      \
+    (::hentt::fp::internal::AnyArmed() && ::hentt::fp::ShouldFire(site))
+#else
+#define HENTT_FAILPOINT(site) \
+    do {                      \
+    } while (false)
+#define HENTT_FAILPOINT_FIRED(site) false
+#endif
+
+#endif  // HENTT_COMMON_FAILPOINT_H

@@ -1,0 +1,172 @@
+/** @file Status / ErrorReport / exception-bridge implementation. */
+
+#include "common/status.h"
+
+#include <new>
+
+namespace hentt {
+
+namespace {
+
+/** Shared empties so accessors on OK never allocate. */
+const std::string &
+EmptyString()
+{
+    static const std::string kEmpty;
+    return kEmpty;
+}
+
+const std::vector<std::string> &
+EmptyFrames()
+{
+    static const std::vector<std::string> kEmpty;
+    return kEmpty;
+}
+
+}  // namespace
+
+const char *
+ErrorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::kOk:
+        return "ok";
+      case ErrorCode::kInvalidArgument:
+        return "invalid_argument";
+      case ErrorCode::kFailedPrecondition:
+        return "failed_precondition";
+      case ErrorCode::kResourceExhausted:
+        return "resource_exhausted";
+      case ErrorCode::kInternal:
+        return "internal";
+      case ErrorCode::kUnavailable:
+        return "unavailable";
+      case ErrorCode::kPoisoned:
+        return "poisoned";
+      case ErrorCode::kInjected:
+        return "injected";
+      case ErrorCode::kUnknown:
+        break;
+    }
+    return "unknown";
+}
+
+Status::Status(ErrorCode code, std::string message)
+{
+    if (code == ErrorCode::kOk) {
+        // Misuse; degrade to an explicit unknown error rather than a
+        // Status that claims success while carrying a message.
+        code = ErrorCode::kUnknown;
+    }
+    rep_ = std::make_shared<const Rep>(Rep{code, std::move(message), {}});
+}
+
+const std::string &
+Status::message() const
+{
+    return rep_ == nullptr ? EmptyString() : rep_->message;
+}
+
+const std::vector<std::string> &
+Status::frames() const
+{
+    return rep_ == nullptr ? EmptyFrames() : rep_->frames;
+}
+
+Status
+Status::WithFrame(std::string frame) const
+{
+    if (rep_ == nullptr) {
+        return *this;
+    }
+    Rep copy = *rep_;
+    copy.frames.push_back(std::move(frame));
+    Status out;
+    out.rep_ = std::make_shared<const Rep>(std::move(copy));
+    return out;
+}
+
+std::string
+Status::ToString() const
+{
+    if (rep_ == nullptr) {
+        return "ok";
+    }
+    std::string out = ErrorCodeName(rep_->code);
+    out += ": ";
+    out += rep_->message;
+    if (!rep_->frames.empty()) {
+        out += " [at ";
+        for (std::size_t i = 0; i < rep_->frames.size(); ++i) {
+            if (i != 0) {
+                out += " > ";
+            }
+            out += rep_->frames[i];
+        }
+        out += "]";
+    }
+    return out;
+}
+
+Status
+ErrorReport::Summary() const
+{
+    if (errors.empty()) {
+        return Status::Ok();
+    }
+    if (errors.size() == 1) {
+        return errors.front();
+    }
+    std::string message =
+        std::to_string(errors.size()) + " tasks failed: ";
+    for (std::size_t i = 0; i < errors.size(); ++i) {
+        if (i != 0) {
+            message += "; ";
+        }
+        message += "[";
+        message += std::to_string(i);
+        message += "] ";
+        message += errors[i].ToString();
+    }
+    return Status(errors.front().code(), std::move(message));
+}
+
+void
+ThrowStatus(Status status)
+{
+    switch (status.code()) {
+      case ErrorCode::kInvalidArgument:
+        throw InvalidArgumentError(std::move(status));
+      case ErrorCode::kFailedPrecondition:
+        throw PreconditionError(std::move(status));
+      case ErrorCode::kOk:
+        // @pre violated; surface it as a precondition failure instead
+        // of silently returning from a [[noreturn] ] function.
+        throw PreconditionError(Status(
+            ErrorCode::kFailedPrecondition, "ThrowStatus(OK status)"));
+      default:
+        throw RuntimeStatusError(std::move(status));
+    }
+}
+
+Status
+CurrentExceptionToStatus()
+{
+    try {
+        throw;
+    } catch (const StatusCarrier &carrier) {
+        return carrier.status();
+    } catch (const std::invalid_argument &e) {
+        return Status(ErrorCode::kInvalidArgument, e.what());
+    } catch (const std::bad_alloc &e) {
+        return Status(ErrorCode::kResourceExhausted, e.what());
+    } catch (const std::logic_error &e) {
+        return Status(ErrorCode::kFailedPrecondition, e.what());
+    } catch (const std::exception &e) {
+        return Status(ErrorCode::kUnknown, e.what());
+    } catch (...) {
+        return Status(ErrorCode::kUnknown, "non-std exception");
+    }
+}
+
+}  // namespace hentt

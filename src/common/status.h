@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Status / Result<T> / ErrorReport — the error-propagation vocabulary of
+ * the fault-containment layer.
+ *
+ * A long-lived serving process (ROADMAP item 1) cannot treat a bad
+ * parameter or a failed allocation as fatal: any single op must be able
+ * to fail with the report reaching exactly its caller while unrelated
+ * work completes. The types here carry that report:
+ *
+ *  - Status: an error code + message + provenance chain ("which op, on
+ *    which node, inside which pipeline stage"). The OK value is a null
+ *    pointer — constructing, copying, and testing a successful Status
+ *    allocates nothing, so hot paths can return it freely.
+ *  - Result<T>: a value-or-Status sum type for entry points that
+ *    produce something (TryMul and friends).
+ *  - ErrorReport: every failure of a fan-out dispatch, not just the
+ *    first one — what ThreadPool::Run aggregates when several tasks of
+ *    one job fail concurrently.
+ *
+ * The exception bridge at the bottom keeps both worlds consistent:
+ * internal code still throws (RAII unwinding is what makes the chaos
+ * suite leak-free), but every exception thrown by this library carries
+ * a Status and derives from the std exception type its code maps to,
+ * so legacy catch sites (std::invalid_argument / std::logic_error)
+ * keep working while new callers extract structured provenance.
+ */
+
+#ifndef HENTT_COMMON_STATUS_H
+#define HENTT_COMMON_STATUS_H
+
+#include <exception>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hentt {
+
+/** Failure taxonomy of the execution stack. */
+enum class ErrorCode {
+    kOk = 0,
+    kInvalidArgument,    ///< caller passed malformed operands
+    kFailedPrecondition, ///< API misuse (wrong domain, missing keys, ...)
+    kResourceExhausted,  ///< allocation failure / arena budget exceeded
+    kInternal,           ///< invariant violation (canary, lazy range)
+    kUnavailable,        ///< value not computed (pending / never ran)
+    kPoisoned,           ///< an operand of this op failed upstream
+    kInjected,           ///< a failpoint fired (fault-injection builds)
+    kUnknown,            ///< unrecognised foreign exception
+};
+
+/** Stable lowercase name ("invalid_argument", "poisoned", ...). */
+const char *ErrorCodeName(ErrorCode code);
+
+/**
+ * Error code + message + provenance frames. Value-semantic and cheap to
+ * copy (the error payload is shared and immutable; adding a frame
+ * builds a new payload). The default-constructed Status is OK and holds
+ * no allocation.
+ */
+class Status
+{
+  public:
+    /** OK. */
+    Status() = default;
+
+    /** An error. @pre code != ErrorCode::kOk (use the default ctor). */
+    Status(ErrorCode code, std::string message);
+
+    static Status Ok() { return Status(); }
+
+    bool ok() const { return rep_ == nullptr; }
+    ErrorCode code() const
+    {
+        return rep_ == nullptr ? ErrorCode::kOk : rep_->code;
+    }
+    /** Empty for OK. */
+    const std::string &message() const;
+
+    /**
+     * Provenance chain, innermost first — e.g.
+     * {"BatchMul(ciphertext 2)", "HeOpGraph::Execute(node 7, Mul)"}.
+     * Empty for OK.
+     */
+    const std::vector<std::string> &frames() const;
+
+    /**
+     * A copy of this status with @p frame appended to the provenance
+     * chain (outer layers call this as the error climbs the stack).
+     * No-op on OK.
+     */
+    Status WithFrame(std::string frame) const;
+
+    /** "poisoned: <msg> [at inner > outer]" ("ok" for success). */
+    std::string ToString() const;
+
+  private:
+    struct Rep {
+        ErrorCode code;
+        std::string message;
+        std::vector<std::string> frames;
+    };
+    std::shared_ptr<const Rep> rep_;  // null == OK
+};
+
+/**
+ * Value-or-error return of the non-throwing pipeline entry points.
+ * Construct from a T (success) or a non-OK Status (failure).
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : value_(std::move(value)) {}
+    Result(Status status) : status_(std::move(status))
+    {
+        if (status_.ok()) {
+            // A Result must be exactly one of the two states.
+            throw std::logic_error("Result constructed from OK Status");
+        }
+    }
+
+    bool ok() const { return status_.ok(); }
+    const Status &status() const { return status_; }
+
+    /** @pre ok(). */
+    T &value()
+    {
+        Check();
+        return *value_;
+    }
+    const T &value() const
+    {
+        Check();
+        return *value_;
+    }
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+
+  private:
+    void Check() const
+    {
+        if (!status_.ok()) {
+            throw std::logic_error("Result::value() on error: " +
+                                   status_.ToString());
+        }
+    }
+
+    Status status_;
+    std::optional<T> value_;
+};
+
+/**
+ * Every failure of one fan-out dispatch — the aggregation ThreadPool
+ * produces when several tasks of a job fail concurrently (first-wins
+ * reporting dropped the rest; a chaos schedule that faults three limbs
+ * must surface three errors).
+ */
+struct ErrorReport {
+    std::vector<Status> errors;
+
+    bool ok() const { return errors.empty(); }
+    std::size_t size() const { return errors.size(); }
+
+    /**
+     * One Status summarising the report: the first error's code, with a
+     * message listing every failure. OK when the report is empty.
+     */
+    Status Summary() const;
+};
+
+// ---------------------------------------------------------------------
+// Exception bridge. Internal code throws (stack unwinding keeps the
+// chaos suite leak-free under RAII); everything thrown here carries a
+// Status and derives from the std exception type legacy catch sites
+// expect.
+// ---------------------------------------------------------------------
+
+/** Mixin: any exception that carries a structured Status. */
+class StatusCarrier
+{
+  public:
+    virtual ~StatusCarrier() = default;
+    virtual const Status &status() const = 0;
+};
+
+/** kInvalidArgument errors; catchable as std::invalid_argument. */
+class InvalidArgumentError : public std::invalid_argument,
+                             public StatusCarrier
+{
+  public:
+    explicit InvalidArgumentError(Status status)
+        : std::invalid_argument(status.ToString()),
+          status_(std::move(status))
+    {
+    }
+    const Status &status() const override { return status_; }
+
+  private:
+    Status status_;
+};
+
+/** kFailedPrecondition errors; catchable as std::logic_error. */
+class PreconditionError : public std::logic_error, public StatusCarrier
+{
+  public:
+    explicit PreconditionError(Status status)
+        : std::logic_error(status.ToString()), status_(std::move(status))
+    {
+    }
+    const Status &status() const override { return status_; }
+
+  private:
+    Status status_;
+};
+
+/** Runtime-shaped errors (exhausted, internal, poisoned, injected);
+ *  catchable as std::runtime_error. */
+class RuntimeStatusError : public std::runtime_error, public StatusCarrier
+{
+  public:
+    explicit RuntimeStatusError(Status status)
+        : std::runtime_error(status.ToString()), status_(std::move(status))
+    {
+    }
+    const Status &status() const override { return status_; }
+
+  private:
+    Status status_;
+};
+
+/**
+ * The aggregate thrown by ThreadPool::Run when more than one task of a
+ * dispatch failed (a single failure rethrows the original exception
+ * unchanged). status() is report().Summary().
+ */
+class ParallelError : public RuntimeStatusError
+{
+  public:
+    explicit ParallelError(ErrorReport report)
+        : RuntimeStatusError(report.Summary()), report_(std::move(report))
+    {
+    }
+    const ErrorReport &report() const { return report_; }
+
+  private:
+    ErrorReport report_;
+};
+
+/**
+ * Throw the exception subclass matching @p status's code (so a later
+ * catch of the mapped std type still works). @pre !status.ok().
+ */
+[[noreturn]] void ThrowStatus(Status status);
+
+/**
+ * The Status of the in-flight exception — call inside a catch block.
+ * StatusCarrier exceptions hand back their Status verbatim; std
+ * exceptions are mapped by type (invalid_argument -> kInvalidArgument,
+ * logic_error -> kFailedPrecondition, bad_alloc -> kResourceExhausted,
+ * everything else -> kUnknown) with what() as the message.
+ */
+Status CurrentExceptionToStatus();
+
+}  // namespace hentt
+
+#endif  // HENTT_COMMON_STATUS_H

@@ -4,6 +4,8 @@
 #include <memory>
 #include <string>
 
+#include "common/failpoint.h"
+
 namespace hentt {
 
 namespace {
@@ -42,12 +44,19 @@ ThreadPool::Execute(void (*fn)(void *, std::size_t), void *ctx,
     std::size_t i;
     while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < count) {
         try {
+            HENTT_FAILPOINT(fp::kPoolTask);
             fn(ctx, i);
         } catch (...) {
+            // Contain the failure to this task: record it and keep
+            // claiming indices so the rest of the job completes.
+            Status status =
+                CurrentExceptionToStatus().WithFrame(
+                    "pool task " + std::to_string(i));
             std::lock_guard<std::mutex> lock(mutex_);
-            if (!error_) {
-                error_ = std::current_exception();
+            if (!first_error_) {
+                first_error_ = std::current_exception();
             }
+            report_.errors.push_back(std::move(status));
         }
     }
 }
@@ -62,7 +71,10 @@ ThreadPool::Run(std::size_t count, void (*fn)(void *, std::size_t),
     if (workers_.empty() || t_inside_job) {
         // Serial path: no workers, or a nested ParallelFor from inside
         // a running job (parallelism already saturated one level up).
+        // Fails fast on the first exception — single-threaded callers
+        // have nothing else in flight to contain.
         for (std::size_t i = 0; i < count; ++i) {
+            HENTT_FAILPOINT(fp::kPoolTask);
             fn(ctx, i);
         }
         return;
@@ -77,7 +89,8 @@ ThreadPool::Run(std::size_t count, void (*fn)(void *, std::size_t),
         ctx_ = ctx;
         count_ = count;
         next_.store(0, std::memory_order_relaxed);
-        error_ = nullptr;
+        report_.errors.clear();
+        first_error_ = nullptr;
         ++generation_;
     }
     wake_cv_.notify_all();
@@ -92,11 +105,18 @@ ThreadPool::Run(std::size_t count, void (*fn)(void *, std::size_t),
     done_cv_.wait(lock, [this] { return active_ == 0; });
     fn_ = nullptr;
     ctx_ = nullptr;
-    if (error_) {
-        std::exception_ptr err = error_;
-        error_ = nullptr;
+    if (!report_.ok()) {
+        ErrorReport report = std::move(report_);
+        report_.errors.clear();
+        std::exception_ptr first = std::move(first_error_);
+        first_error_ = nullptr;
         lock.unlock();
-        std::rethrow_exception(err);
+        if (report.size() == 1 && first) {
+            // One failure: hand back the original exception so callers
+            // catching its concrete type still work.
+            std::rethrow_exception(first);
+        }
+        throw ParallelError(std::move(report));
     }
 }
 

@@ -30,6 +30,8 @@
 #include <vector>
 
 #include "common/bitops.h"
+#include "common/failpoint.h"
+#include "common/status.h"
 
 namespace hentt {
 
@@ -57,9 +59,16 @@ class ThreadPool
      * has completed. Indices are claimed through a shared atomic
      * counter, so load imbalance between limbs self-corrects.
      *
-     * Exceptions thrown by fn are captured and the first one is
-     * rethrown on the calling thread after the job drains. Calls from
-     * inside a running job (nesting) execute serially on the caller.
+     * Exceptions thrown by fn are contained per task: a throwing index
+     * never takes down the pool or another task, and every remaining
+     * index still runs. After the job drains, failures are reported on
+     * the calling thread as an aggregated ErrorReport — exactly one
+     * task failed: its original exception is rethrown unchanged;
+     * several failed: a ParallelError carrying every failure's Status
+     * is thrown (first-wins reporting used to drop the rest). Calls
+     * from inside a running job (nesting) execute serially on the
+     * caller and fail fast on the first exception — containment at
+     * that level already happened in the outer dispatch.
      *
      * @param count number of indices to dispatch (0 is a no-op)
      * @param fn    type-erased job body; invoked once per index, from
@@ -88,7 +97,11 @@ class ThreadPool
     std::atomic<std::size_t> next_{0};
     std::size_t active_ = 0;      // workers currently inside the job
     std::uint64_t generation_ = 0;
-    std::exception_ptr error_;
+    // Failure aggregation for the current job: every task's Status plus
+    // the first raw exception (rethrown verbatim on single failures so
+    // callers catching concrete std types keep working).
+    ErrorReport report_;
+    std::exception_ptr first_error_;
     bool stop_ = false;
 };
 
@@ -162,7 +175,12 @@ ParallelFor(std::size_t count, std::size_t work_per_item, Body &&body)
         return;
     }
     if (!ParallelWouldDispatch(count, work_per_item)) {
+        // Below-grain serial path. The pool.task failpoint still covers
+        // it (every task entry is injectable, whichever path runs the
+        // task); like the other serial paths it fails fast — the caller
+        // has nothing else in flight to contain.
         for (std::size_t i = 0; i < count; ++i) {
+            HENTT_FAILPOINT(fp::kPoolTask);
             body(i);
         }
         return;

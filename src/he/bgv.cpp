@@ -292,4 +292,61 @@ BgvScheme::NoiseBudgetBits(const SecretKey &sk, const Ciphertext &ct) const
     return std::max(0.0, q_bits - noise_bits - 1.0);
 }
 
+namespace {
+
+/** Run @p fn, converting any escape into a Result error whose
+ *  outermost provenance frame names the public op. */
+template <typename Fn>
+Result<Ciphertext>
+Guarded(const char *op, Fn &&fn)
+{
+    try {
+        return Result<Ciphertext>(fn());
+    } catch (...) {
+        return Result<Ciphertext>(CurrentExceptionToStatus().WithFrame(
+            std::string("BgvScheme::") + op));
+    }
+}
+
+}  // namespace
+
+Result<Ciphertext>
+BgvScheme::TryAdd(const Ciphertext &a, const Ciphertext &b) const
+{
+    return Guarded("TryAdd", [&] { return Add(a, b); });
+}
+
+Result<Ciphertext>
+BgvScheme::TrySub(const Ciphertext &a, const Ciphertext &b) const
+{
+    return Guarded("TrySub", [&] { return Sub(a, b); });
+}
+
+Result<Ciphertext>
+BgvScheme::TryMul(const Ciphertext &a, const Ciphertext &b) const
+{
+    return Guarded("TryMul", [&] { return Mul(a, b); });
+}
+
+Result<Ciphertext>
+BgvScheme::TryRelinearize(const Ciphertext &ct, const RelinKey &rk) const
+{
+    return Guarded("TryRelinearize",
+                   [&] { return Relinearize(ct, rk); });
+}
+
+Result<Ciphertext>
+BgvScheme::TryRelinModSwitch(const Ciphertext &ct,
+                             const RelinKey &rk) const
+{
+    return Guarded("TryRelinModSwitch",
+                   [&] { return RelinModSwitch(ct, rk); });
+}
+
+Result<Ciphertext>
+BgvScheme::TryModSwitch(const Ciphertext &ct) const
+{
+    return Guarded("TryModSwitch", [&] { return ModSwitch(ct); });
+}
+
 }  // namespace hentt::he

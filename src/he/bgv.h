@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "he/params.h"
 #include "he/sampling.h"
 
@@ -140,6 +141,26 @@ class BgvScheme
      * @pre coefficient domain, at least two primes remaining.
      */
     Ciphertext ModSwitch(const Ciphertext &ct) const;
+
+    /**
+     * Non-throwing variants of the homomorphic ops: same math, but a
+     * failure (bad operand shape, level mismatch, injected fault, ...)
+     * comes back as a Result carrying the error Status with the op
+     * name as its outermost provenance frame, instead of an exception.
+     * These are the entry points a long-lived server loop calls — one
+     * malformed request must not unwind the serving thread.
+     */
+    Result<Ciphertext> TryAdd(const Ciphertext &a,
+                              const Ciphertext &b) const;
+    Result<Ciphertext> TrySub(const Ciphertext &a,
+                              const Ciphertext &b) const;
+    Result<Ciphertext> TryMul(const Ciphertext &a,
+                              const Ciphertext &b) const;
+    Result<Ciphertext> TryRelinearize(const Ciphertext &ct,
+                                      const RelinKey &rk) const;
+    Result<Ciphertext> TryRelinModSwitch(const Ciphertext &ct,
+                                         const RelinKey &rk) const;
+    Result<Ciphertext> TryModSwitch(const Ciphertext &ct) const;
 
     /** Current level (RNS primes remaining) of a ciphertext. */
     static std::size_t Level(const Ciphertext &ct)

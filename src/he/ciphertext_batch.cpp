@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/modarith.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "simd/simd_backend.h"
 
@@ -81,29 +82,44 @@ RunAddTasks(const std::vector<AddTask> &tasks, std::size_t max_n,
     });
 }
 
+/** Throw a kInvalidArgument whose provenance frame names the batch
+ *  kernel and the offending ciphertext index. Still catchable as
+ *  std::invalid_argument through the exception bridge. */
+[[noreturn]] void
+ThrowBatchArg(const char *op, std::size_t index, const char *what)
+{
+    ThrowStatus(Status(ErrorCode::kInvalidArgument, what)
+                    .WithFrame(std::string(op) + "(ciphertext " +
+                               std::to_string(index) + ")"));
+}
+
 void
-CheckSpanLengths(std::size_t a, std::size_t b, std::size_t out)
+CheckSpanLengths(const char *op, std::size_t a, std::size_t b,
+                 std::size_t out)
 {
     if (a != b || a != out) {
-        throw std::invalid_argument("batch spans must have equal length");
+        ThrowStatus(Status(ErrorCode::kInvalidArgument,
+                           "batch spans must have equal length")
+                        .WithFrame(op));
     }
 }
 
 /** Throw unless the two ciphertexts share degree, level, and domain. */
 void
-CheckPairCompatible(const Ciphertext &a, const Ciphertext &b)
+CheckPairCompatible(const char *op, std::size_t index,
+                    const Ciphertext &a, const Ciphertext &b)
 {
     if (a.parts.size() != b.parts.size()) {
-        throw std::invalid_argument("ciphertext degrees differ");
+        ThrowBatchArg(op, index, "ciphertext degrees differ");
     }
     for (std::size_t j = 0; j < a.parts.size(); ++j) {
         if (&a.parts[j].context() != &b.parts[j].context()) {
-            throw std::invalid_argument(
-                "ciphertexts from different levels/contexts");
+            ThrowBatchArg(op, index,
+                          "ciphertexts from different levels/contexts");
         }
         if (a.parts[j].domain() != b.parts[j].domain()) {
-            throw std::invalid_argument(
-                "ciphertext parts in different domains");
+            ThrowBatchArg(op, index,
+                          "ciphertext parts in different domains");
         }
     }
 }
@@ -228,31 +244,34 @@ struct RelinCore {
 RelinCore
 RelinGadgetAccumulate(const HeContext &ctx, const RelinKey &rk,
                       std::span<const Ciphertext *const> in,
-                      std::size_t min_primes)
+                      std::size_t min_primes, const char *op)
 {
     ScratchArena &arena = ctx.scratch();
     auto &nodes = arena.Buffer<RelinNode>();
     nodes.clear();
     std::size_t total_digits = 0;
-    for (const Ciphertext *ct : in) {
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        const Ciphertext *ct = in[i];
         if (ct->parts.size() != 3) {
-            throw std::invalid_argument("relinearization expects degree 2");
+            ThrowBatchArg(op, i, "relinearization expects degree 2");
         }
         for (const RnsPoly &part : ct->parts) {
             if (part.domain() != RnsPoly::Domain::kCoefficient) {
-                throw std::invalid_argument(
-                    "relinearization expects coefficient domain");
+                ThrowBatchArg(op, i,
+                              "relinearization expects coefficient "
+                              "domain");
             }
         }
         RelinNode node;
         node.level = ct->parts[0].prime_count();
         if (node.level < min_primes) {
-            throw std::invalid_argument(
-                "fused relin-modswitch needs at least two primes");
+            ThrowBatchArg(op, i,
+                          "fused relin-modswitch needs at least two "
+                          "primes");
         }
         node.keys = &rk.at_level(node.level);
         if (node.keys->b.size() != node.level) {
-            throw std::invalid_argument("relin key level mismatch");
+            ThrowBatchArg(op, i, "relin key level mismatch");
         }
         node.digit_off = total_digits;
         total_digits += node.level;
@@ -397,7 +416,7 @@ BatchAdd(const HeContext &ctx, std::span<const Ciphertext *const> a,
          std::span<const Ciphertext *const> b,
          std::span<Ciphertext *const> out, bool subtract)
 {
-    CheckSpanLengths(a.size(), b.size(), out.size());
+    CheckSpanLengths("BatchAdd", a.size(), b.size(), out.size());
     ScratchArena &arena = ctx.scratch();
     const ScratchArena::OpScope scope(arena);
 
@@ -409,7 +428,7 @@ BatchAdd(const HeContext &ctx, std::span<const Ciphertext *const> a,
     tasks.clear();
     std::size_t max_n = 1;
     for (std::size_t i = 0; i < a.size(); ++i) {
-        CheckPairCompatible(*a[i], *b[i]);
+        CheckPairCompatible("BatchAdd", i, *a[i], *b[i]);
         if (out[i] != a[i]) {
             *out[i] = *a[i];
         }
@@ -428,7 +447,7 @@ BatchMul(const HeContext &ctx, std::span<const Ciphertext *const> a,
          std::span<const Ciphertext *const> b,
          std::span<Ciphertext *const> out)
 {
-    CheckSpanLengths(a.size(), b.size(), out.size());
+    CheckSpanLengths("BatchMul", a.size(), b.size(), out.size());
     const std::size_t m = a.size();
     ScratchArena &arena = ctx.scratch();
     const ScratchArena::OpScope scope(arena);
@@ -485,10 +504,11 @@ BatchMul(const HeContext &ctx, std::span<const Ciphertext *const> a,
         const Ciphertext &ca = *a[i];
         const Ciphertext &cb = *b[i];
         if (ca.parts.size() != 2 || cb.parts.size() != 2) {
-            throw std::invalid_argument(
+            ThrowBatchArg(
+                "BatchMul", i,
                 "Mul expects degree-1 ciphertexts; relinearize first");
         }
-        CheckPairCompatible(ca, cb);
+        CheckPairCompatible("BatchMul", i, ca, cb);
         MulNode node;
         node.a0 = intern(ca.parts[0]);
         node.a1 = intern(ca.parts[1]);
@@ -593,12 +613,13 @@ BatchRelinearize(const HeContext &ctx, const RelinKey &rk,
                  std::span<const Ciphertext *const> in,
                  std::span<Ciphertext *const> out)
 {
-    CheckSpanLengths(in.size(), in.size(), out.size());
+    CheckSpanLengths("BatchRelinearize", in.size(), in.size(),
+                     out.size());
     const std::size_t m = in.size();
     ScratchArena &arena = ctx.scratch();
     const ScratchArena::OpScope scope(arena);
-    const RelinCore core =
-        RelinGadgetAccumulate(ctx, rk, in, /*min_primes=*/1);
+    const RelinCore core = RelinGadgetAccumulate(
+        ctx, rk, in, /*min_primes=*/1, "BatchRelinearize");
     auto &nodes = *core.nodes;
     auto &polys = *core.polys;
 
@@ -659,13 +680,14 @@ BatchRelinModSwitch(const HeContext &ctx, const RelinKey &rk,
                     std::span<const Ciphertext *const> in,
                     std::span<Ciphertext *const> out)
 {
-    CheckSpanLengths(in.size(), in.size(), out.size());
+    CheckSpanLengths("BatchRelinModSwitch", in.size(), in.size(),
+                     out.size());
     const std::size_t m = in.size();
     const u64 t_mod = ctx.params().plain_modulus;
     ScratchArena &arena = ctx.scratch();
     const ScratchArena::OpScope scope(arena);
-    const RelinCore core =
-        RelinGadgetAccumulate(ctx, rk, in, /*min_primes=*/2);
+    const RelinCore core = RelinGadgetAccumulate(
+        ctx, rk, in, /*min_primes=*/2, "BatchRelinModSwitch");
     auto &nodes = *core.nodes;
     auto &polys = *core.polys;
 
@@ -762,7 +784,8 @@ void
 BatchModSwitch(const HeContext &ctx, std::span<const Ciphertext *const> in,
                std::span<Ciphertext *const> out)
 {
-    CheckSpanLengths(in.size(), in.size(), out.size());
+    CheckSpanLengths("BatchModSwitch", in.size(), in.size(),
+                     out.size());
     const std::size_t m = in.size();
     const u64 t_mod = ctx.params().plain_modulus;
     ScratchArena &arena = ctx.scratch();
@@ -771,12 +794,13 @@ BatchModSwitch(const HeContext &ctx, std::span<const Ciphertext *const> in,
     for (std::size_t i = 0; i < m; ++i) {
         const Ciphertext &ct = *in[i];
         if (ct.parts.at(0).prime_count() < 2) {
-            throw std::invalid_argument(
-                "cannot modulus-switch below one prime");
+            ThrowBatchArg("BatchModSwitch", i,
+                          "cannot modulus-switch below one prime");
         }
         for (const RnsPoly &part : ct.parts) {
             if (part.domain() != RnsPoly::Domain::kCoefficient) {
-                throw std::invalid_argument(
+                ThrowBatchArg(
+                    "BatchModSwitch", i,
                     "modulus switch expects coefficient domain");
             }
         }

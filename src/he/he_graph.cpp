@@ -1,7 +1,9 @@
 #include "he/he_graph.h"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -19,7 +21,11 @@ const Ciphertext &
 CtFuture::get() const
 {
     if (!valid()) {
-        throw std::logic_error("get() on an empty CtFuture");
+        ThrowStatus(Status(ErrorCode::kFailedPrecondition,
+                           "get() on an empty CtFuture: the handle is "
+                           "default-constructed and bound to no graph "
+                           "node")
+                        .WithFrame("CtFuture::get"));
     }
     if (!graph_->nodes_[node_].done) {
         // Demanding a node pins it into the schedule: a previous
@@ -31,7 +37,40 @@ CtFuture::get() const
         graph_->nodes_[node_].fused_away = false;
         graph_->Execute();
     }
-    return graph_->nodes_[node_].value;
+    const HeOpGraph::Node &node = graph_->nodes_[node_];
+    if (!node.status.ok()) {
+        ThrowStatus(node.status.WithFrame(
+            "CtFuture::get(node " + std::to_string(node_) + ", " +
+            HeOpGraph::KindName(node.kind) + ")"));
+    }
+    return node.value;
+}
+
+Result<const Ciphertext *>
+CtFuture::TryGet() const
+{
+    try {
+        return &get();
+    } catch (...) {
+        return CurrentExceptionToStatus();
+    }
+}
+
+Status
+CtFuture::status() const
+{
+    if (!valid()) {
+        return Status(ErrorCode::kUnavailable,
+                      "empty CtFuture: bound to no graph node");
+    }
+    const HeOpGraph::Node &node = graph_->nodes_[node_];
+    if (!node.done) {
+        return Status(ErrorCode::kUnavailable,
+                      "node " + std::to_string(node_) + " (" +
+                          HeOpGraph::KindName(node.kind) +
+                          ") not yet executed");
+    }
+    return node.status;
 }
 
 HeOpGraph::HeOpGraph(const BgvScheme &scheme, const RelinKey *rk)
@@ -39,12 +78,44 @@ HeOpGraph::HeOpGraph(const BgvScheme &scheme, const RelinKey *rk)
 {
 }
 
+const char *
+HeOpGraph::KindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::kInput:
+        return "Input";
+      case Kind::kAdd:
+        return "Add";
+      case Kind::kSub:
+        return "Sub";
+      case Kind::kMul:
+        return "Mul";
+      case Kind::kRelin:
+        return "Relinearize";
+      case Kind::kModSwitch:
+        return "ModSwitch";
+      case Kind::kRelinModSwitch:
+        return "RelinModSwitch";
+    }
+    return "Unknown";
+}
+
+void
+HeOpGraph::SettleFailed(std::size_t i, Status status)
+{
+    Node &node = nodes_[i];
+    node.status = status.WithFrame("HeOpGraph node " + std::to_string(i) +
+                                   " (" + KindName(node.kind) + ")");
+    node.done = true;
+}
+
 std::size_t
 HeOpGraph::CheckOwned(const CtFuture &f) const
 {
     if (!f.valid() || f.graph_ != this) {
-        throw std::invalid_argument(
-            "CtFuture does not belong to this graph");
+        ThrowStatus(Status(ErrorCode::kInvalidArgument,
+                           "CtFuture does not belong to this graph")
+                        .WithFrame("HeOpGraph::CheckOwned"));
     }
     return f.node_;
 }
@@ -202,8 +273,62 @@ HeOpGraph::Execute()
     constexpr Kind kKinds[] = {Kind::kAdd,       Kind::kSub,
                                Kind::kMul,       Kind::kRelin,
                                Kind::kModSwitch, Kind::kRelinModSwitch};
+    // One batched kernel call over a sub-span of the group's operands.
+    const HeContext &ctx = scheme_.context();
+    const auto run_batch = [&](Kind kind,
+                               std::span<const Ciphertext *const> lhs,
+                               std::span<const Ciphertext *const> rhs,
+                               std::span<Ciphertext *const> dst) {
+        switch (kind) {
+          case Kind::kAdd:
+            BatchAdd(ctx, lhs, rhs, dst);
+            break;
+          case Kind::kSub:
+            BatchAdd(ctx, lhs, rhs, dst, /*subtract=*/true);
+            break;
+          case Kind::kMul:
+            BatchMul(ctx, lhs, rhs, dst);
+            break;
+          case Kind::kRelin:
+            BatchRelinearize(ctx, *rk_, lhs, dst);
+            break;
+          case Kind::kModSwitch:
+            BatchModSwitch(ctx, lhs, dst);
+            break;
+          case Kind::kRelinModSwitch:
+            BatchRelinModSwitch(ctx, *rk_, lhs, dst);
+            break;
+          case Kind::kInput:
+            break;  // unreachable: inputs are born done
+        }
+    };
+
     std::vector<std::size_t> group;
     for (std::size_t d = 1; d <= max_depth; ++d) {
+        // Poison pass: a node whose operand settled with an error (its
+        // kernel threw, or the poison already reached it) settles
+        // immediately as kPoisoned, naming the origin. Operands of a
+        // depth-d node live at depth < d, so they are settled by now —
+        // the poison walks the DAG one wavefront at a time and touches
+        // exactly the failed node's dependants.
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            Node &node = nodes_[i];
+            if (node.done || node.fused_away || depth[i] != d) {
+                continue;
+            }
+            const std::size_t bad =
+                !nodes_[node.a].status.ok()
+                    ? node.a
+                    : (!nodes_[node.b].status.ok() ? node.b : i);
+            if (bad != i) {
+                SettleFailed(
+                    i, Status(ErrorCode::kPoisoned,
+                              "operand node " + std::to_string(bad) +
+                                  " (" + KindName(nodes_[bad].kind) +
+                                  ") failed: " +
+                                  nodes_[bad].status.ToString()));
+            }
+        }
         for (const Kind kind : kKinds) {
             group.clear();
             for (std::size_t i = 0; i < nodes_.size(); ++i) {
@@ -215,6 +340,17 @@ HeOpGraph::Execute()
             if (group.empty()) {
                 continue;
             }
+            // A graph scheduled without the keys its nodes need is a
+            // configuration error, not a contained per-node failure:
+            // it throws (as std::logic_error via the bridge), leaving
+            // the wavefront pending.
+            if ((kind == Kind::kRelin || kind == Kind::kRelinModSwitch) &&
+                rk_ == nullptr) {
+                ThrowStatus(Status(ErrorCode::kFailedPrecondition,
+                                   "HeOpGraph has no relinearization "
+                                   "keys")
+                                .WithFrame("HeOpGraph::Execute"));
+            }
             std::vector<const Ciphertext *> lhs, rhs;
             std::vector<Ciphertext *> dst;
             lhs.reserve(group.size());
@@ -225,42 +361,52 @@ HeOpGraph::Execute()
                 rhs.push_back(&nodes_[nodes_[i].b].value);
                 dst.push_back(&nodes_[i].value);
             }
-            const HeContext &ctx = scheme_.context();
-            switch (kind) {
-              case Kind::kAdd:
-                BatchAdd(ctx, lhs, rhs, dst);
-                break;
-              case Kind::kSub:
-                BatchAdd(ctx, lhs, rhs, dst, /*subtract=*/true);
-                break;
-              case Kind::kMul:
-                BatchMul(ctx, lhs, rhs, dst);
-                break;
-              case Kind::kRelin:
-                if (rk_ == nullptr) {
-                    throw std::logic_error(
-                        "HeOpGraph has no relinearization keys");
+            try {
+                run_batch(kind, lhs, rhs, dst);
+                for (const std::size_t i : group) {
+                    nodes_[i].done = true;
                 }
-                BatchRelinearize(ctx, *rk_, lhs, dst);
-                break;
-              case Kind::kModSwitch:
-                BatchModSwitch(ctx, lhs, dst);
-                break;
-              case Kind::kRelinModSwitch:
-                if (rk_ == nullptr) {
-                    throw std::logic_error(
-                        "HeOpGraph has no relinearization keys");
+            } catch (...) {
+                if (group.size() == 1) {
+                    SettleFailed(group[0], CurrentExceptionToStatus());
+                    continue;
                 }
-                BatchRelinModSwitch(ctx, *rk_, lhs, dst);
-                break;
-              case Kind::kInput:
-                break;  // unreachable: inputs are born done
-            }
-            for (const std::size_t i : group) {
-                nodes_[i].done = true;
+                // The batch failed as a whole; isolate which members
+                // genuinely fail by retrying each as a batch of one.
+                // Healthy nodes complete (their retried kernel result
+                // is bit-identical — same operands, same math), so one
+                // bad ciphertext cannot take its wavefront peers down.
+                for (std::size_t k = 0; k < group.size(); ++k) {
+                    try {
+                        run_batch(kind, {&lhs[k], 1}, {&rhs[k], 1},
+                                  {&dst[k], 1});
+                        nodes_[group[k]].done = true;
+                    } catch (...) {
+                        SettleFailed(group[k],
+                                     CurrentExceptionToStatus());
+                    }
+                }
             }
         }
     }
+}
+
+Status
+HeOpGraph::ExecuteStatus()
+{
+    try {
+        Execute();
+    } catch (...) {
+        return CurrentExceptionToStatus().WithFrame(
+            "HeOpGraph::ExecuteStatus");
+    }
+    ErrorReport report;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i].done && !nodes_[i].status.ok()) {
+            report.errors.push_back(nodes_[i].status);
+        }
+    }
+    return report.Summary();
 }
 
 }  // namespace hentt::he

@@ -31,6 +31,7 @@
 #include <cstddef>
 #include <deque>
 
+#include "common/status.h"
 #include "he/bgv.h"
 
 namespace hentt::he {
@@ -53,9 +54,31 @@ class CtFuture
     /** Whether the node has already been computed (never blocks). */
     bool ready() const;
 
-    /** The computed ciphertext; triggers HeOpGraph::Execute() on the
-     *  owning graph when the node is still pending. */
+    /**
+     * The computed ciphertext; triggers HeOpGraph::Execute() on the
+     * owning graph when the node is still pending. If the node failed
+     * (its own kernel threw, or an operand upstream failed and the
+     * poison reached it), throws the node's Status — carrying the node
+     * id, op kind, and the originating failure's provenance chain — via
+     * ThrowStatus, so the exception is still catchable as the mapped
+     * std type. get() on a default-constructed handle throws a
+     * PreconditionError (a std::logic_error).
+     */
     const Ciphertext &get() const;
+
+    /**
+     * Non-throwing variant: executes pending work like get(), then
+     * returns either a pointer to the computed ciphertext or the node's
+     * failure Status.
+     */
+    Result<const Ciphertext *> TryGet() const;
+
+    /**
+     * This node's failure state without forcing execution: OK when the
+     * node computed successfully, kUnavailable when the node is still
+     * pending (or the handle is empty), otherwise the contained error.
+     */
+    Status status() const;
 
   private:
     friend class HeOpGraph;
@@ -131,6 +154,18 @@ class HeOpGraph
      * the whole group). Exceptions from kernels propagate and leave
      * the affected wavefront's nodes pending.
      *
+     * Failure containment: a node whose batched kernel throws is
+     * *settled with an error Status* instead of aborting the wavefront
+     * — when several nodes shared the batch, each is retried as a
+     * batch of one so only the genuinely failing nodes fail. The error
+     * poisons exactly the failed node's dependents (they settle with a
+     * kPoisoned Status naming the origin node); independent chains in
+     * the same wavefront still complete, and their results are
+     * bit-identical to a fault-free run. Failed nodes are sticky: a
+     * later Execute() does not retry them. Only configuration errors
+     * (a Relinearize scheduled on a graph built without keys) still
+     * throw out of Execute(), as a PreconditionError.
+     *
      * The scheduler auto-fuses before running: a pending Relinearize
      * node whose only consumer is a pending ModSwitch collapses into
      * one kRelinModSwitch node (the fused kernel), exactly what an
@@ -141,6 +176,15 @@ class HeOpGraph
      * with a standalone Relinearize.
      */
     void Execute();
+
+    /**
+     * Execute() with the error report as a value: runs every pending
+     * node, then returns OK when all settled cleanly, the aggregated
+     * failure Status (every failed node, with provenance) otherwise.
+     * Configuration errors that Execute() throws are returned as a
+     * Status too — this entry point never throws library errors.
+     */
+    Status ExecuteStatus();
 
     /** Number of nodes ever added (inputs included). */
     std::size_t size() const { return nodes_.size(); }
@@ -174,11 +218,22 @@ class HeOpGraph
         // pass must never bypass it (even on the Execute() that the
         // get() itself triggers).
         bool demanded = false;
+        // Settled failure state. A done node with !status.ok() holds no
+        // value: its kernel threw (status carries the kernel error) or
+        // an operand failed upstream (kPoisoned, naming the origin).
+        // Sticky — Execute() never retries a failed node.
+        Status status;
         Ciphertext value;
     };
 
+    /** Display name of a node kind ("Mul", "RelinModSwitch", ...). */
+    static const char *KindName(Kind kind);
+
     CtFuture Enqueue(Kind kind, std::size_t a, std::size_t b);
     std::size_t CheckOwned(const CtFuture &f) const;
+    /** Settle node @p i as failed with @p status (provenance frame
+     *  "HeOpGraph node i (Kind)" appended). */
+    void SettleFailed(std::size_t i, Status status);
 
     const BgvScheme &scheme_;
     const RelinKey *rk_;

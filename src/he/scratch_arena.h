@@ -27,10 +27,13 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <typeindex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/failpoint.h"
+#include "common/status.h"
 #include "poly/rns_poly.h"
 
 namespace hentt::he {
@@ -53,6 +56,7 @@ class ScratchArena
       public:
         explicit OpScope(ScratchArena &arena) : lock_(arena.mutex_)
         {
+            arena.CheckCanaries();
             arena.polys_used_ = 0;
         }
 
@@ -70,6 +74,14 @@ class ScratchArena
     RnsPoly &
     NextPoly(const std::shared_ptr<const RnsNttContext> &level, bool zero)
     {
+        HENTT_FAILPOINT(fp::kArenaAlloc);
+        if (poly_budget_ != 0 && polys_used_ >= poly_budget_) {
+            ThrowStatus(
+                Status(ErrorCode::kResourceExhausted,
+                       "scratch arena poly budget exhausted (" +
+                           std::to_string(poly_budget_) + " polys)")
+                    .WithFrame("ScratchArena::NextPoly"));
+        }
         if (polys_used_ == polys_.size()) {
             polys_.emplace_back(level);  // grows only on first use
             if (zero) {
@@ -81,6 +93,19 @@ class ScratchArena
         poly.ResetScratch(level, zero);
         return poly;
     }
+
+    /**
+     * Cap the number of scratch polynomials one op may draw; NextPoly
+     * past the cap throws kResourceExhausted. 0 (the default) means
+     * unlimited. A test/containment knob — production leaves it at 0 —
+     * that makes "allocation failure mid-op" a deterministic, repeatable
+     * event instead of an OOM lottery.
+     */
+    void SetPolyBudget(std::size_t budget) { poly_budget_ = budget; }
+    std::size_t PolyBudget() const { return poly_budget_; }
+
+    /** Pooled polynomials currently handed out in this op scope. */
+    std::size_t PolysUsed() const { return polys_used_; }
 
     /**
      * A reusable task array of POD-ish type @p T, keyed by type. The
@@ -109,11 +134,40 @@ class ScratchArena
         std::vector<T> items;
     };
 
+    /**
+     * Verify the guard words of every pooled polynomial, called with
+     * mutex_ held at each OpScope open. A smashed canary means the
+     * previous op wrote past the end of a scratch buffer; the arena
+     * re-plants the guards (so subsequent ops start from a clean
+     * invariant) and reports the corruption as kInternal — at the op
+     * boundary, not as silently wrong ciphertexts N ops later.
+     */
+    void CheckCanaries()
+    {
+        std::size_t smashed = 0;
+        for (RnsPoly &poly : polys_) {
+            if (!poly.ScratchCanaryIntact()) {
+                ++smashed;
+                poly.PlantScratchCanary();
+            }
+        }
+        if (smashed != 0) {
+            ThrowStatus(
+                Status(ErrorCode::kInternal,
+                       "scratch overflow: " + std::to_string(smashed) +
+                           " smashed canar" +
+                           (smashed == 1 ? "y" : "ies") +
+                           " from a previous op")
+                    .WithFrame("ScratchArena::OpScope"));
+        }
+    }
+
     // Serialises arena-backed ops on one context (held by OpScope).
     std::mutex mutex_;
     // Deque: NextPoly references must survive later growth.
     std::deque<RnsPoly> polys_;
     std::size_t polys_used_ = 0;
+    std::size_t poly_budget_ = 0;  // 0 = unlimited
     std::unordered_map<std::type_index, std::unique_ptr<HolderBase>>
         buffers_;
 };

@@ -1,8 +1,11 @@
 #include "ntt/ntt_lazy.h"
 
 #include <stdexcept>
+#include <string>
 
+#include "common/failpoint.h"
 #include "common/modarith.h"
+#include "common/status.h"
 #include "ntt/ntt_engine.h"
 #include "simd/simd_backend.h"
 
@@ -15,6 +18,36 @@ CheckSize(std::span<u64> a, const TwiddleTable &table)
 {
     if (a.size() != table.size()) {
         throw std::invalid_argument("span size != twiddle table size");
+    }
+}
+
+/**
+ * Lazy-range guard at a stage boundary: every element must be < bound
+ * (4p between forward stages, 2p inside the inverse walk). Active only
+ * while the ntt.range_guard failpoint site is armed — the roll-free
+ * Armed() query — so production stage walks pay nothing; the chaos
+ * suite arms it to turn a silent range escape (which would corrupt
+ * later Shoup/Barrett reductions) into a contained kInternal error at
+ * the stage that produced it.
+ */
+inline void
+GuardLazyRange(const u64 *a, std::size_t n, u64 bound, const char *walk,
+               u64 stage)
+{
+    if (!fp::kCompiledIn || !fp::Armed(fp::kNttRangeGuard)) {
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (a[i] >= bound) {
+            ThrowStatus(
+                Status(ErrorCode::kInternal,
+                       "lazy range violation: element " +
+                           std::to_string(i) + " = " +
+                           std::to_string(a[i]) + " >= " +
+                           std::to_string(bound))
+                    .WithFrame(std::string(walk) + " stage " +
+                               std::to_string(stage)));
+        }
     }
 }
 
@@ -41,18 +74,24 @@ NttRadix2LazyKeepRange(std::span<u64> a, const TwiddleTable &table)
     u64 dispatches = 0;
     for (const TwiddleTable::FusedStage &st :
          table.fused_forward_stages()) {
+        HENTT_FAILPOINT(fp::kNttStage);
         simd.fwd_butterfly_stage4(a.data(), st.pairs, st.quads,
                                   st.blocks, st.quarter, p);
         ++dispatches;
+        GuardLazyRange(a.data(), n, 4 * p, "NttRadix2LazyKeepRange",
+                       dispatches);
     }
     if (table.has_radix2_tail()) {
         // Odd log N: one radix-2 stage remains (m = n/2, t = 1, the
         // in-register shuffle tail) from the split tables.
+        HENTT_FAILPOINT(fp::kNttStage);
         const u64 *w = table.forward_words().data();
         const u64 *w_bar = table.forward_shoup_words().data();
         simd.fwd_butterfly_stage(a.data(), w + n / 2, w_bar + n / 2,
                                  n / 2, 1, p);
         ++dispatches;
+        GuardLazyRange(a.data(), n, 4 * p, "NttRadix2LazyKeepRange",
+                       dispatches);
     }
     AddButterflyStageDispatches(dispatches);
 }
@@ -110,18 +149,22 @@ InttRadix2Lazy(std::span<u64> a, const TwiddleTable &table)
     u64 dispatches = 0;
     for (const TwiddleTable::FusedStage &st :
          table.fused_inverse_stages()) {
+        HENTT_FAILPOINT(fp::kNttStage);
         simd.inv_butterfly_stage4(a.data(), st.quads, st.pairs,
                                   st.blocks, st.quarter, p);
         ++dispatches;
+        GuardLazyRange(a.data(), n, 2 * p, "InttRadix2Lazy", dispatches);
     }
     if (table.has_radix2_tail()) {
         // Odd log N: the outermost radix-2 stage remains (h = 1,
         // t = n/2 — one contiguous-row block).
+        HENTT_FAILPOINT(fp::kNttStage);
         const u64 *w = table.inverse_words().data();
         const u64 *w_bar = table.inverse_shoup_words().data();
         simd.inv_butterfly_stage(a.data(), w + 1, w_bar + 1, 1, n / 2,
                                  p);
         ++dispatches;
+        GuardLazyRange(a.data(), n, 2 * p, "InttRadix2Lazy", dispatches);
     }
     AddButterflyStageDispatches(dispatches);
     // Final N^{-1} scaling; MulModShoup fully reduces any 64-bit input.

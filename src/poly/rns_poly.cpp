@@ -23,11 +23,20 @@ RnsNttContext::RnsNttContext(std::size_t n,
     }
 }
 
+namespace {
+
+/** Guard-word pattern; XORed with the word index so a memset of any
+ *  single byte value cannot fake an intact canary. */
+constexpr u64 kCanarySeed = 0xC0DE'5EED'F00D'BA5Eull;
+
+}  // namespace
+
 RnsPoly::RnsPoly(std::shared_ptr<const RnsNttContext> ctx)
     : ctx_(std::move(ctx)),
       limb_count_(ctx_->basis().prime_count()),
-      data_(limb_count_ * ctx_->degree(), 0)
+      data_(limb_count_ * ctx_->degree() + kGuardWords, 0)
 {
+    PlantScratchCanary();
 }
 
 RnsPoly::RnsPoly(std::shared_ptr<const RnsNttContext> ctx,
@@ -346,12 +355,34 @@ RnsPoly::ResetScratch(std::shared_ptr<const RnsNttContext> ctx, bool zero)
     limb_count_ = ctx_->basis().prime_count();
     const std::size_t total = limb_count_ * ctx_->degree();
     if (zero) {
-        data_.assign(total, 0);  // reuses capacity when sufficient
+        data_.assign(total + kGuardWords, 0);  // reuses capacity
     } else {
-        data_.resize(total);
+        data_.resize(total + kGuardWords);
     }
+    PlantScratchCanary();
     domain_ = Domain::kCoefficient;
     lazy_ = false;
+}
+
+void
+RnsPoly::PlantScratchCanary()
+{
+    const std::size_t total = limb_count_ * degree();
+    for (std::size_t g = 0; g < kGuardWords; ++g) {
+        data_[total + g] = kCanarySeed ^ g;
+    }
+}
+
+bool
+RnsPoly::ScratchCanaryIntact() const
+{
+    const std::size_t total = limb_count_ * degree();
+    for (std::size_t g = 0; g < kGuardWords; ++g) {
+        if (data_[total + g] != (kCanarySeed ^ g)) {
+            return false;
+        }
+    }
+    return true;
 }
 
 BigInt

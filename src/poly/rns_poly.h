@@ -94,9 +94,29 @@ class RnsPoly
         return {data_.data() + i * degree(), degree()};
     }
 
-    /** The whole limbs x degree buffer, limb-major. */
-    std::span<u64> flat() { return data_; }
-    std::span<const u64> flat() const { return data_; }
+    /** The whole limbs x degree buffer, limb-major (excludes the guard
+     *  words planted after the last row — see ScratchCanaryIntact). */
+    std::span<u64> flat() { return {data_.data(), limb_count_ * degree()}; }
+    std::span<const u64> flat() const
+    {
+        return {data_.data(), limb_count_ * degree()};
+    }
+
+    /**
+     * Overflow canary: every RnsPoly buffer carries kGuardWords guard
+     * words immediately after the last residue row. A kernel that
+     * writes past row limb_count_-1 smashes them; ScratchArena checks
+     * the pooled polynomials at every OpScope open so the corruption is
+     * caught at the op boundary instead of surfacing as silent wrong
+     * ciphertexts. False when a write ran past the end of flat().
+     */
+    bool ScratchCanaryIntact() const;
+
+    /** Re-plant the guard words (containment: after reporting a smash,
+     *  the arena restores the canary so later ops start clean). */
+    void PlantScratchCanary();
+
+    static constexpr std::size_t kGuardWords = 4;
 
     /** In-place forward NTT on every row (parallel across limbs).
      *  @pre coefficient domain. */

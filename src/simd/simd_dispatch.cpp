@@ -14,6 +14,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/failpoint.h"
+
 namespace hentt::simd {
 
 namespace {
@@ -131,6 +133,14 @@ Get(Backend backend)
 const Kernels &
 Active()
 {
+    // Fault-injection builds can force the scalar graceful-degradation
+    // path for one resolution: the op proceeds on the reference
+    // kernels (bit-identical results — every backend computes the same
+    // math) instead of failing, modelling a vector unit the serving
+    // layer must survive losing. Compiles out entirely otherwise.
+    if (HENTT_FAILPOINT_FIRED(fp::kSimdDispatch)) {
+        return internal::ScalarKernels();
+    }
     const Kernels *table = g_active.load(std::memory_order_acquire);
     return table != nullptr ? *table : *InitActive();
 }

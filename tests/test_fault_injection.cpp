@@ -1,0 +1,397 @@
+/**
+ * Chaos suite for the fault-containment layer: thousands of randomized
+ * failpoint schedules pushed through Mul→Relin→ModSwitch pipelines
+ * (both the BgvScheme::Try* entry points and HeOpGraph futures).
+ *
+ * Invariants asserted on EVERY schedule:
+ *   - no crash, no unwinding past the public entry points;
+ *   - every failure surfaces as a Status with non-empty provenance;
+ *   - an op that reports success produced the bit-identical result of
+ *     the never-faulted reference run;
+ *   - after DisarmAll, a replay of the same pipeline is bit-identical.
+ *
+ * The schedule seed comes from HENTT_CHAOS_SEED (round count from
+ * HENTT_CHAOS_ROUNDS) and is printed, so any CI failure is replayable.
+ * Injection tests skip when the library was built without
+ * -DHENTT_FAILPOINTS=ON; the registry/arming API is still exercised.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "common/failpoint.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "he/bgv.h"
+#include "he/he_graph.h"
+
+namespace hentt::he {
+namespace {
+
+u64
+EnvU64(const char *name, u64 fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0') {
+        return fallback;
+    }
+    return std::strtoull(value, nullptr, 10);
+}
+
+HeParams
+ChainParams()
+{
+    HeParams params;
+    params.degree = 64;
+    params.prime_count = 4;
+    params.prime_bits = 50;
+    params.plain_modulus = 257;
+    return params;
+}
+
+class FaultInjectionTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        fp::ResetAll();
+        ctx_ = std::make_shared<HeContext>(ChainParams());
+        scheme_ = std::make_unique<BgvScheme>(ctx_, /*seed=*/13);
+        sk_.emplace(scheme_->KeyGen());
+        rk_.emplace(scheme_->MakeRelinKey(*sk_));
+        a_.emplace(scheme_->Encrypt(*sk_, RandomPlain(1)));
+        b_.emplace(scheme_->Encrypt(*sk_, RandomPlain(2)));
+        c_.emplace(scheme_->Encrypt(*sk_, RandomPlain(3)));
+    }
+
+    void
+    TearDown() override
+    {
+        fp::ResetAll();  // never leak armed sites into another test
+    }
+
+    Plaintext
+    RandomPlain(u64 seed) const
+    {
+        Xoshiro256 rng(seed);
+        Plaintext m(ctx_->degree());
+        for (u64 &x : m) {
+            x = rng.NextBelow(ctx_->params().plain_modulus);
+        }
+        return m;
+    }
+
+    /** The chaos pipeline through the non-throwing scheme API. */
+    Result<Ciphertext>
+    TryPipeline() const
+    {
+        Result<Ciphertext> prod = scheme_->TryMul(*a_, *b_);
+        if (!prod.ok()) {
+            return Result<Ciphertext>(prod.status());
+        }
+        Result<Ciphertext> relin = scheme_->TryRelinearize(*prod, *rk_);
+        if (!relin.ok()) {
+            return Result<Ciphertext>(relin.status());
+        }
+        return scheme_->TryModSwitch(*relin);
+    }
+
+    static bool
+    BitIdentical(const Ciphertext &x, const Ciphertext &y)
+    {
+        if (x.parts.size() != y.parts.size()) {
+            return false;
+        }
+        for (std::size_t j = 0; j < x.parts.size(); ++j) {
+            if (x.parts[j].prime_count() != y.parts[j].prime_count() ||
+                x.parts[j].domain() != y.parts[j].domain()) {
+                return false;
+            }
+            for (std::size_t l = 0; l < x.parts[j].prime_count(); ++l) {
+                if (!std::ranges::equal(x.parts[j].row(l),
+                                        y.parts[j].row(l))) {
+                    return false;
+                }
+            }
+        }
+        return true;
+    }
+
+    /** An error leaving the containment layer must always say where it
+     *  came from. */
+    static void
+    ExpectContainedError(const Status &status, u64 round)
+    {
+        EXPECT_NE(status.code(), ErrorCode::kOk) << "round " << round;
+        EXPECT_FALSE(status.frames().empty())
+            << "round " << round << ": " << status.ToString();
+        EXPECT_FALSE(status.message().empty()) << "round " << round;
+    }
+
+    std::shared_ptr<HeContext> ctx_;
+    std::unique_ptr<BgvScheme> scheme_;
+    std::optional<SecretKey> sk_;
+    std::optional<RelinKey> rk_;
+    std::optional<Ciphertext> a_, b_, c_;
+};
+
+constexpr const char *kAllSites[] = {
+    fp::kArenaAlloc, fp::kPoolTask, fp::kSimdDispatch,
+    fp::kNttStage,   fp::kNttRangeGuard,
+};
+
+TEST_F(FaultInjectionTest, RandomizedFaultSchedulesAreContained)
+{
+    if (!fp::kCompiledIn) {
+        GTEST_SKIP() << "failpoint sites compiled out of this build";
+    }
+    const u64 seed = EnvU64("HENTT_CHAOS_SEED", 0x5EED2026u);
+    const u64 rounds = EnvU64("HENTT_CHAOS_ROUNDS", 1000);
+    std::cout << "[ chaos  ] seed=" << seed << " rounds=" << rounds
+              << " (override: HENTT_CHAOS_SEED, HENTT_CHAOS_ROUNDS)\n";
+
+    // Never-faulted references for both pipeline spellings.
+    const Ciphertext ref_scalar = scheme_->ModSwitch(
+        scheme_->Relinearize(scheme_->Mul(*a_, *b_), *rk_));
+    const Ciphertext ref_ab =
+        scheme_->RelinModSwitch(scheme_->Mul(*a_, *b_), *rk_);
+    const Ciphertext ref_cc =
+        scheme_->RelinModSwitch(scheme_->Mul(*c_, *c_), *rk_);
+
+    constexpr double kProbs[] = {0.01, 0.05, 0.25, 1.0};
+    Xoshiro256 rng(seed);
+    u64 ok_rounds = 0, fault_rounds = 0, partial_graphs = 0;
+
+    for (u64 round = 0; round < rounds; ++round) {
+        // Random schedule: each site independently armed ~1/3 of the
+        // time at a random probability; sometimes a deterministic
+        // single-shot on an NTT stage boundary rides along.
+        fp::ResetAll();
+        fp::SeedRng(rng.Next());
+        for (const char *site : kAllSites) {
+            if (rng.NextBelow(3) == 0) {
+                fp::Arm(site, kProbs[rng.NextBelow(4)]);
+            }
+        }
+        if (rng.NextBelow(4) == 0) {
+            fp::ArmNth(fp::kNttStage, 1 + rng.NextBelow(8));
+        }
+
+        if (round % 2 == 0) {
+            // Scalar spelling: Try* entry points.
+            const Result<Ciphertext> r = TryPipeline();
+            if (r.ok()) {
+                ++ok_rounds;
+                EXPECT_TRUE(BitIdentical(*r, ref_scalar))
+                    << "round " << round
+                    << ": fault-free success diverged";
+            } else {
+                ++fault_rounds;
+                ExpectContainedError(r.status(), round);
+            }
+        } else {
+            // Graph spelling: two independent fused chains; a fault in
+            // one must not take down the other.
+            HeOpGraph graph(*scheme_, &*rk_);
+            const CtFuture x = graph.Input(*a_);
+            const CtFuture y = graph.Input(*b_);
+            const CtFuture z = graph.Input(*c_);
+            const CtFuture ab = graph.MulRelinModSwitch(x, y);
+            const CtFuture cc = graph.MulRelinModSwitch(z, z);
+            (void)graph.ExecuteStatus();  // contained by contract
+            const Result<const Ciphertext *> r_ab = ab.TryGet();
+            const Result<const Ciphertext *> r_cc = cc.TryGet();
+            if (r_ab.ok()) {
+                EXPECT_TRUE(BitIdentical(**r_ab, ref_ab))
+                    << "round " << round;
+            } else {
+                ExpectContainedError(r_ab.status(), round);
+            }
+            if (r_cc.ok()) {
+                EXPECT_TRUE(BitIdentical(**r_cc, ref_cc))
+                    << "round " << round;
+            } else {
+                ExpectContainedError(r_cc.status(), round);
+            }
+            if (r_ab.ok() && r_cc.ok()) {
+                ++ok_rounds;
+            } else {
+                ++fault_rounds;
+                if (r_ab.ok() != r_cc.ok()) {
+                    ++partial_graphs;  // one chain survived the fault
+                }
+            }
+        }
+        fp::DisarmAll();
+    }
+
+    std::cout << "[ chaos  ] ok=" << ok_rounds
+              << " faulted=" << fault_rounds
+              << " partial-graphs=" << partial_graphs << "\n";
+    // A schedule mix where nothing ever fired (or nothing ever
+    // succeeded) would mean the harness tests nothing.
+    EXPECT_GT(ok_rounds, 0u);
+    EXPECT_GT(fault_rounds, 0u);
+
+    // No-fault replay after the storm: bit-identical on both paths.
+    fp::ResetAll();
+    const Result<Ciphertext> replay = TryPipeline();
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    EXPECT_TRUE(BitIdentical(*replay, ref_scalar));
+    HeOpGraph graph(*scheme_, &*rk_);
+    const CtFuture ab = graph.MulRelinModSwitch(graph.Input(*a_),
+                                                graph.Input(*b_));
+    EXPECT_TRUE(BitIdentical(ab.get(), ref_ab));
+}
+
+TEST_F(FaultInjectionTest, NttStageInjectionIsContainedAndSingleFire)
+{
+    if (!fp::kCompiledIn) {
+        GTEST_SKIP() << "failpoint sites compiled out of this build";
+    }
+    const Ciphertext ref = scheme_->Mul(*a_, *b_);
+    {
+        const fp::Scoped arm(fp::kNttStage, std::uint64_t{1});
+        const Result<Ciphertext> faulted = scheme_->TryMul(*a_, *b_);
+        ASSERT_FALSE(faulted.ok());
+        EXPECT_EQ(faulted.status().code(), ErrorCode::kInjected);
+        bool site_named = false;
+        for (const std::string &frame : faulted.status().frames()) {
+            site_named = site_named ||
+                         frame.find(fp::kNttStage) != std::string::npos;
+        }
+        EXPECT_TRUE(site_named) << faulted.status().ToString();
+        EXPECT_EQ(fp::FireCount(fp::kNttStage), 1u);
+        // Single-shot: the site disarmed itself, so the very next call
+        // succeeds even inside the arming scope.
+        const Result<Ciphertext> next = scheme_->TryMul(*a_, *b_);
+        ASSERT_TRUE(next.ok()) << next.status().ToString();
+        EXPECT_TRUE(BitIdentical(*next, ref));
+    }
+}
+
+TEST_F(FaultInjectionTest, SimdDispatchDegradationIsBitIdentical)
+{
+    if (!fp::kCompiledIn) {
+        GTEST_SKIP() << "failpoint sites compiled out of this build";
+    }
+    // simd.dispatch is a degrade-don't-fail site: every resolution
+    // falls back to the scalar reference kernels, and the op must
+    // SUCCEED with the bit-identical result (all backends compute the
+    // same math).
+    const Ciphertext ref = scheme_->RelinModSwitch(
+        scheme_->Mul(*a_, *b_), *rk_);
+    const fp::Scoped arm(fp::kSimdDispatch, 1.0);
+    const Result<Ciphertext> prod = scheme_->TryMul(*a_, *b_);
+    ASSERT_TRUE(prod.ok()) << prod.status().ToString();
+    const Result<Ciphertext> degraded =
+        scheme_->TryRelinModSwitch(*prod, *rk_);
+    ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+    EXPECT_TRUE(BitIdentical(*degraded, ref));
+    EXPECT_GT(fp::FireCount(fp::kSimdDispatch), 0u);
+}
+
+TEST_F(FaultInjectionTest, PoolTaskInjectionSurfacesAsStatus)
+{
+    if (!fp::kCompiledIn) {
+        GTEST_SKIP() << "failpoint sites compiled out of this build";
+    }
+    const Ciphertext ref = scheme_->Mul(*a_, *b_);
+
+    // Below-grain jobs take ParallelFor's serial path: the injection
+    // fails fast and still comes back as a Status.
+    {
+        const fp::Scoped arm(fp::kPoolTask, 1.0);
+        const Result<Ciphertext> faulted = scheme_->TryMul(*a_, *b_);
+        ASSERT_FALSE(faulted.ok());
+        EXPECT_EQ(faulted.status().code(), ErrorCode::kInjected);
+        ExpectContainedError(faulted.status(), 0);
+    }
+
+    // Grain 1 forces the real pool dispatch: every task of the first
+    // kernel fails, the pool aggregates all of them, and the Try entry
+    // point folds the ParallelError into one Status whose message
+    // carries each per-task provenance frame.
+    const std::size_t lanes = GlobalThreadCount();
+    const std::size_t grain = ParallelGrain();
+    SetGlobalThreadCount(4);
+    SetParallelGrain(1);
+    {
+        const fp::Scoped arm(fp::kPoolTask, 1.0);
+        const Result<Ciphertext> faulted = scheme_->TryMul(*a_, *b_);
+        ASSERT_FALSE(faulted.ok());
+        EXPECT_EQ(faulted.status().code(), ErrorCode::kInjected);
+        EXPECT_NE(faulted.status().message().find("tasks failed"),
+                  std::string::npos)
+            << faulted.status().ToString();
+        EXPECT_NE(faulted.status().message().find("pool task"),
+                  std::string::npos)
+            << faulted.status().ToString();
+    }
+    SetGlobalThreadCount(lanes);
+    SetParallelGrain(grain);
+
+    const Result<Ciphertext> healed = scheme_->TryMul(*a_, *b_);
+    ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+    EXPECT_TRUE(BitIdentical(*healed, ref));
+}
+
+TEST_F(FaultInjectionTest, TransientArenaFaultSelfHealsThroughBatchRetry)
+{
+    if (!fp::kCompiledIn) {
+        GTEST_SKIP() << "failpoint sites compiled out of this build";
+    }
+    // A single-shot arena fault takes down the 2-wide fused batch; the
+    // scheduler's batch-of-one retry re-runs both members, the site has
+    // already disarmed itself, and BOTH chains complete bit-identically
+    // — a transient fault heals instead of failing the wavefront.
+    const Ciphertext ref_ab =
+        scheme_->RelinModSwitch(scheme_->Mul(*a_, *b_), *rk_);
+    const Ciphertext ref_cc =
+        scheme_->RelinModSwitch(scheme_->Mul(*c_, *c_), *rk_);
+
+    HeOpGraph graph(*scheme_, &*rk_);
+    const CtFuture x = graph.Input(*a_);
+    const CtFuture y = graph.Input(*b_);
+    const CtFuture z = graph.Input(*c_);
+    const CtFuture ab = graph.MulRelinModSwitch(x, y);
+    const CtFuture cc = graph.MulRelinModSwitch(z, z);
+
+    // Fire on the first arena draw the graph makes (the depth-1 Mul
+    // batch interns its operands through NextPoly): the 2-wide batch
+    // fails as a whole, then heals in the member retries.
+    const fp::Scoped arm(fp::kArenaAlloc, std::uint64_t{1});
+    EXPECT_NO_THROW(graph.Execute());
+    EXPECT_EQ(fp::FireCount(fp::kArenaAlloc), 1u);
+    ASSERT_TRUE(ab.status().ok()) << ab.status().ToString();
+    ASSERT_TRUE(cc.status().ok()) << cc.status().ToString();
+    EXPECT_TRUE(BitIdentical(ab.get(), ref_ab));
+    EXPECT_TRUE(BitIdentical(cc.get(), ref_cc));
+}
+
+TEST_F(FaultInjectionTest, ArmFromEnvParsesScheduleAndIgnoresTypos)
+{
+    // The registry/env plumbing works in every build configuration;
+    // only the injection sites themselves compile out.
+    ASSERT_EQ(setenv("HENTT_FAILPOINTS",
+                     "pool.task=0.25,bogus.site=0.5,arena.alloc=oops",
+                     /*overwrite=*/1),
+              0);
+    ASSERT_EQ(setenv("HENTT_FP_SEED", "42", 1), 0);
+    EXPECT_EQ(fp::ArmFromEnv(), 1u);
+    EXPECT_TRUE(fp::Armed(fp::kPoolTask));
+    EXPECT_FALSE(fp::Armed(fp::kArenaAlloc));
+    unsetenv("HENTT_FAILPOINTS");
+    unsetenv("HENTT_FP_SEED");
+    fp::ResetAll();
+}
+
+}  // namespace
+}  // namespace hentt::he

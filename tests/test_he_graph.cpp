@@ -8,8 +8,10 @@
 
 #include <algorithm>
 #include <optional>
+#include <string>
 
 #include "common/modarith.h"
+#include "common/status.h"
 #include "he/ciphertext_batch.h"
 #include "he/he_graph.h"
 #include "ntt/ntt_engine.h"
@@ -560,6 +562,141 @@ TEST_F(HeGraphTest, BypassedRelinMaterialisesOnDemand)
                                            ref.parts[j].row(l)));
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Failure containment: a failed node poisons exactly its dependents
+// ---------------------------------------------------------------------
+
+TEST_F(HeGraphTest, FailedNodePoisonsOnlyItsDependents)
+{
+    const Ciphertext ca = scheme_->Encrypt(*sk_, RandomPlain(80));
+    const Ciphertext cb = scheme_->Encrypt(*sk_, RandomPlain(81));
+
+    HeOpGraph graph(*scheme_, &*rk_);
+    const CtFuture x = graph.Input(ca);
+    const CtFuture y = graph.Input(cb);
+    const CtFuture m = graph.Mul(x, y);
+    // Adding a degree-2 product to a degree-1 fresh ciphertext is a
+    // kernel-level failure that only surfaces at execution time.
+    const CtFuture bad = graph.Add(m, x);
+    const CtFuture poisoned = graph.ModSwitch(bad);
+    // Independent consumer of the same healthy operand.
+    const CtFuture good = graph.Relinearize(m);
+
+    // Containment: Execute() settles the failure instead of unwinding.
+    EXPECT_NO_THROW(graph.Execute());
+    EXPECT_EQ(graph.pending(), 0u);
+
+    // The untainted chain completed, bit-identical to the scalar path.
+    ASSERT_TRUE(good.ready());
+    const Ciphertext ref =
+        scheme_->Relinearize(scheme_->Mul(ca, cb), *rk_);
+    for (std::size_t j = 0; j < 2; ++j) {
+        for (std::size_t l = 0; l < good.get().parts[j].prime_count();
+             ++l) {
+            EXPECT_TRUE(std::ranges::equal(good.get().parts[j].row(l),
+                                           ref.parts[j].row(l)));
+        }
+    }
+
+    // The failing node carries the kernel's Status with provenance.
+    const Status bad_status = bad.status();
+    EXPECT_EQ(bad_status.code(), ErrorCode::kInvalidArgument);
+    EXPECT_NE(bad_status.message().find("degrees differ"),
+              std::string::npos);
+    bool named = false;
+    for (const std::string &frame : bad_status.frames()) {
+        named = named || frame.find("(Add)") != std::string::npos;
+    }
+    EXPECT_TRUE(named) << bad_status.ToString();
+
+    // Its dependent is poisoned, naming the origin node and kind.
+    const Status poison = poisoned.status();
+    EXPECT_EQ(poison.code(), ErrorCode::kPoisoned);
+    EXPECT_NE(poison.message().find("operand node"), std::string::npos);
+    EXPECT_NE(poison.message().find("(Add)"), std::string::npos);
+
+    // get() on a failed node throws through the bridge, with the
+    // demanding future named in the provenance chain.
+    try {
+        (void)bad.get();
+        FAIL() << "did not throw";
+    } catch (const std::invalid_argument &e) {
+        const auto *carrier = dynamic_cast<const StatusCarrier *>(&e);
+        ASSERT_NE(carrier, nullptr);
+        ASSERT_FALSE(carrier->status().frames().empty());
+        EXPECT_NE(carrier->status().frames().back().find("CtFuture::get"),
+                  std::string::npos);
+    }
+
+    // TryGet surfaces the same failure without throwing.
+    const Result<const Ciphertext *> try_bad = poisoned.TryGet();
+    ASSERT_FALSE(try_bad.ok());
+    EXPECT_EQ(try_bad.status().code(), ErrorCode::kPoisoned);
+    const Result<const Ciphertext *> try_good = good.TryGet();
+    ASSERT_TRUE(try_good.ok());
+    EXPECT_EQ((*try_good)->parts.size(), 2u);
+
+    // ExecuteStatus aggregates BOTH settled failures, not just one.
+    const Status aggregate = graph.ExecuteStatus();
+    EXPECT_EQ(aggregate.code(), ErrorCode::kInvalidArgument);
+    EXPECT_NE(aggregate.message().find("2 tasks failed"),
+              std::string::npos);
+}
+
+TEST_F(HeGraphTest, BatchOfOneRetryIsolatesTheFailingMember)
+{
+    // Two Add nodes share one wavefront batch; one member is invalid.
+    // The batch kernel rejects the whole call, so the scheduler must
+    // retry member-by-member: the healthy node completes bit-identically
+    // and only the bad one settles with an error.
+    const Ciphertext ca = scheme_->Encrypt(*sk_, RandomPlain(82));
+    const Ciphertext cb = scheme_->Encrypt(*sk_, RandomPlain(83));
+    const Ciphertext prod = scheme_->Mul(ca, cb);  // degree 2
+
+    HeOpGraph graph(*scheme_, &*rk_);
+    const CtFuture p = graph.Input(prod);
+    const CtFuture fa = graph.Input(ca);
+    const CtFuture fb = graph.Input(cb);
+    const CtFuture bad = graph.Add(p, fa);   // degree mismatch
+    const CtFuture good = graph.Add(fa, fb); // same depth, same kind
+
+    EXPECT_NO_THROW(graph.Execute());
+    ASSERT_TRUE(good.ready());
+    EXPECT_TRUE(good.status().ok());
+    EXPECT_EQ(bad.status().code(), ErrorCode::kInvalidArgument);
+    bool from_kernel = false;
+    for (const std::string &frame : bad.status().frames()) {
+        from_kernel =
+            from_kernel || frame.find("BatchAdd") != std::string::npos;
+    }
+    EXPECT_TRUE(from_kernel) << bad.status().ToString();
+
+    const Ciphertext ref = scheme_->Add(ca, cb);
+    for (std::size_t j = 0; j < 2; ++j) {
+        for (std::size_t l = 0; l < good.get().parts[j].prime_count();
+             ++l) {
+            EXPECT_TRUE(std::ranges::equal(good.get().parts[j].row(l),
+                                           ref.parts[j].row(l)));
+        }
+    }
+}
+
+TEST_F(HeGraphTest, FutureStatusReportsUnavailableUntilExecuted)
+{
+    const CtFuture empty;
+    EXPECT_EQ(empty.status().code(), ErrorCode::kUnavailable);
+    const Result<const Ciphertext *> try_empty = empty.TryGet();
+    ASSERT_FALSE(try_empty.ok());
+    EXPECT_EQ(try_empty.status().code(), ErrorCode::kFailedPrecondition);
+
+    HeOpGraph graph(*scheme_, &*rk_);
+    const CtFuture x = graph.Input(scheme_->Encrypt(*sk_, RandomPlain(84)));
+    const CtFuture s = graph.Add(x, x);
+    EXPECT_EQ(s.status().code(), ErrorCode::kUnavailable);
+    graph.Execute();
+    EXPECT_TRUE(s.status().ok());
 }
 
 }  // namespace

@@ -13,12 +13,17 @@
 #include <cstdlib>
 #include <new>
 #include <optional>
+#include <string>
 #include <thread>
 
+#include "common/failpoint.h"
 #include "common/modarith.h"
+#include "common/status.h"
 #include "he/ciphertext_batch.h"
 #include "he/he_graph.h"
+#include "he/scratch_arena.h"
 #include "ntt/ntt_engine.h"
+#include "poly/rns_poly.h"
 
 // ---------------------------------------------------------------------
 // Allocation counter: global operator new replacement (this test binary
@@ -416,6 +421,129 @@ TEST_F(RelinModSwitchTest, ArenaSurvivesLevelChangesAndAliasing)
         ExpectBitIdentical(a, ref_top);
         ExpectBitIdentical(b, ref_low);
     }
+}
+
+// ---------------------------------------------------------------------
+// Containment: arena exhaustion, overflow canaries, injected faults
+// ---------------------------------------------------------------------
+
+TEST_F(RelinModSwitchTest, ArenaExhaustionIsContainedAndRecoverable)
+{
+    const Ciphertext prod = ProductAtLevel(kNp, 61, 62);
+    const Ciphertext ref =
+        scheme_->ModSwitch(scheme_->Relinearize(prod, *rk_));
+
+    // One scratch polynomial is nowhere near enough for the fused op:
+    // the mid-op exhaustion must come back as a Status (never a crash,
+    // never a partially-written output observable as success).
+    ctx_->scratch().SetPolyBudget(1);
+    const Result<Ciphertext> starved =
+        scheme_->TryRelinModSwitch(prod, *rk_);
+    ASSERT_FALSE(starved.ok());
+    EXPECT_EQ(starved.status().code(), ErrorCode::kResourceExhausted);
+    bool arena_frame = false, op_frame = false;
+    for (const std::string &frame : starved.status().frames()) {
+        arena_frame = arena_frame ||
+                      frame.find("ScratchArena") != std::string::npos;
+        op_frame = op_frame ||
+                   frame.find("TryRelinModSwitch") != std::string::npos;
+    }
+    EXPECT_TRUE(arena_frame) << starved.status().ToString();
+    EXPECT_TRUE(op_frame) << starved.status().ToString();
+
+    // Lifting the budget makes the identical call succeed,
+    // bit-identical to the never-faulted reference.
+    ctx_->scratch().SetPolyBudget(0);
+    const Result<Ciphertext> healed =
+        scheme_->TryRelinModSwitch(prod, *rk_);
+    ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+    ExpectBitIdentical(*healed, ref);
+}
+
+TEST_F(RelinModSwitchTest, DoubleResetScratchIsIdempotent)
+{
+    // ResetScratch twice in a row (same level, then a different one)
+    // must leave a well-formed polynomial with intact guard words —
+    // the failure mode would be a stale limb count or lost canary.
+    RnsPoly poly(ctx_->ntt_context());
+    poly.ResetScratch(ctx_->level_context(2), /*zero=*/true);
+    poly.ResetScratch(ctx_->level_context(2), /*zero=*/true);
+    EXPECT_EQ(poly.prime_count(), 2u);
+    EXPECT_TRUE(poly.ScratchCanaryIntact());
+    for (std::size_t l = 0; l < poly.prime_count(); ++l) {
+        for (const u64 v : poly.row(l)) {
+            EXPECT_EQ(v, 0u);
+        }
+    }
+    // Growing back to the full level re-plants the guards too.
+    poly.ResetScratch(ctx_->ntt_context(), /*zero=*/true);
+    EXPECT_EQ(poly.prime_count(), kNp);
+    EXPECT_TRUE(poly.ScratchCanaryIntact());
+}
+
+TEST_F(RelinModSwitchTest, SmashedCanaryIsReportedAtTheNextOpScope)
+{
+    ScratchArena &arena = ctx_->scratch();
+    {
+        const ScratchArena::OpScope scope(arena);
+        RnsPoly &poly = arena.NextPoly(ctx_->ntt_context(), true);
+        // Simulate a kernel writing one element past the last residue
+        // row: the first guard word sits right behind it (still inside
+        // the allocation, so sanitizer builds stay quiet — the canary
+        // exists precisely to catch what ASan cannot see here).
+        u64 *past =
+            poly.row(poly.prime_count() - 1).data() + poly.degree();
+        past[0] = 0xDEADBEEFu;
+    }
+    try {
+        const ScratchArena::OpScope scope(arena);
+        FAIL() << "smashed canary went unreported";
+    } catch (const RuntimeStatusError &e) {
+        EXPECT_EQ(e.status().code(), ErrorCode::kInternal);
+        EXPECT_NE(e.status().message().find("scratch overflow"),
+                  std::string::npos);
+        EXPECT_NE(e.status().message().find("1 smashed canary"),
+                  std::string::npos);
+        ASSERT_FALSE(e.status().frames().empty());
+        EXPECT_NE(e.status().frames()[0].find("ScratchArena::OpScope"),
+                  std::string::npos);
+    }
+    // Containment: the guards were re-planted while reporting, so the
+    // arena is clean again and real ops keep working.
+    EXPECT_NO_THROW({ const ScratchArena::OpScope scope(arena); });
+    const Ciphertext prod = ProductAtLevel(kNp, 63, 64);
+    ExpectBitIdentical(
+        scheme_->RelinModSwitch(prod, *rk_),
+        scheme_->ModSwitch(scheme_->Relinearize(prod, *rk_)));
+}
+
+TEST_F(RelinModSwitchTest, ArenaAllocFailpointInjectsAndReplaysClean)
+{
+    if (!fp::kCompiledIn) {
+        GTEST_SKIP() << "failpoint sites compiled out of this build";
+    }
+    const Ciphertext prod = ProductAtLevel(kNp, 65, 66);
+    const Ciphertext ref =
+        scheme_->ModSwitch(scheme_->Relinearize(prod, *rk_));
+    {
+        const fp::Scoped arm(fp::kArenaAlloc, 1.0);
+        const Result<Ciphertext> faulted =
+            scheme_->TryRelinModSwitch(prod, *rk_);
+        ASSERT_FALSE(faulted.ok());
+        EXPECT_EQ(faulted.status().code(), ErrorCode::kInjected);
+        bool op_frame = false;
+        for (const std::string &frame : faulted.status().frames()) {
+            op_frame = op_frame ||
+                       frame.find("TryRelinModSwitch") !=
+                           std::string::npos;
+        }
+        EXPECT_TRUE(op_frame) << faulted.status().ToString();
+    }
+    // Disarmed replay of the identical call: bit-identical result.
+    const Result<Ciphertext> healed =
+        scheme_->TryRelinModSwitch(prod, *rk_);
+    ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+    ExpectBitIdentical(*healed, ref);
 }
 
 }  // namespace

@@ -1,0 +1,292 @@
+/** Tests for the Status/Result error model and the failpoint registry. */
+
+#include <gtest/gtest.h>
+
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/status.h"
+
+namespace hentt {
+namespace {
+
+TEST(Status, DefaultIsOkAndEmpty)
+{
+    const Status ok;
+    EXPECT_TRUE(ok.ok());
+    EXPECT_EQ(ok.code(), ErrorCode::kOk);
+    EXPECT_TRUE(ok.message().empty());
+    EXPECT_TRUE(ok.frames().empty());
+    EXPECT_EQ(ok.ToString(), "ok");
+    EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(Status, ErrorCarriesCodeMessageAndFrames)
+{
+    const Status s =
+        Status(ErrorCode::kInvalidArgument, "bad degree")
+            .WithFrame("BatchMul(ciphertext 2)")
+            .WithFrame("HeOpGraph node 7 (Mul)");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+    EXPECT_EQ(s.message(), "bad degree");
+    ASSERT_EQ(s.frames().size(), 2u);
+    EXPECT_EQ(s.frames()[0], "BatchMul(ciphertext 2)");
+    EXPECT_EQ(s.frames()[1], "HeOpGraph node 7 (Mul)");
+    const std::string str = s.ToString();
+    EXPECT_NE(str.find("invalid_argument"), std::string::npos);
+    EXPECT_NE(str.find("bad degree"), std::string::npos);
+    EXPECT_NE(str.find("BatchMul(ciphertext 2) > HeOpGraph node 7"),
+              std::string::npos);
+}
+
+TEST(Status, WithFrameCopiesInsteadOfMutating)
+{
+    const Status inner(ErrorCode::kInternal, "boom");
+    const Status outer = inner.WithFrame("layer");
+    EXPECT_TRUE(inner.frames().empty());
+    ASSERT_EQ(outer.frames().size(), 1u);
+    // OK stays OK (and frame-free) through WithFrame.
+    EXPECT_TRUE(Status().WithFrame("anything").ok());
+}
+
+TEST(Status, ErrorCodeNamesAreStable)
+{
+    EXPECT_STREQ(ErrorCodeName(ErrorCode::kOk), "ok");
+    EXPECT_STREQ(ErrorCodeName(ErrorCode::kPoisoned), "poisoned");
+    EXPECT_STREQ(ErrorCodeName(ErrorCode::kInjected), "injected");
+    EXPECT_STREQ(ErrorCodeName(ErrorCode::kResourceExhausted),
+                 "resource_exhausted");
+}
+
+TEST(Result, HoldsValueOrStatus)
+{
+    Result<int> good(42);
+    EXPECT_TRUE(good.ok());
+    EXPECT_EQ(*good, 42);
+
+    Result<int> bad(Status(ErrorCode::kUnavailable, "not yet"));
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), ErrorCode::kUnavailable);
+    EXPECT_THROW(bad.value(), std::logic_error);
+}
+
+TEST(ErrorReport, SummaryAggregatesEveryFailure)
+{
+    ErrorReport report;
+    EXPECT_TRUE(report.ok());
+    EXPECT_TRUE(report.Summary().ok());
+
+    report.errors.push_back(Status(ErrorCode::kInjected, "fault A"));
+    EXPECT_EQ(report.Summary().code(), ErrorCode::kInjected);
+    EXPECT_EQ(report.Summary().message(), "fault A");
+
+    report.errors.push_back(
+        Status(ErrorCode::kInvalidArgument, "fault B"));
+    const Status summary = report.Summary();
+    EXPECT_EQ(summary.code(), ErrorCode::kInjected);  // first error's
+    EXPECT_NE(summary.message().find("2 tasks failed"),
+              std::string::npos);
+    EXPECT_NE(summary.message().find("fault A"), std::string::npos);
+    EXPECT_NE(summary.message().find("fault B"), std::string::npos);
+}
+
+TEST(StatusBridge, ThrowStatusMapsToStdHierarchy)
+{
+    // Each code must land in the std exception type legacy catch sites
+    // expect, while still carrying the structured Status.
+    EXPECT_THROW(
+        ThrowStatus(Status(ErrorCode::kInvalidArgument, "x")),
+        std::invalid_argument);
+    EXPECT_THROW(
+        ThrowStatus(Status(ErrorCode::kFailedPrecondition, "x")),
+        std::logic_error);
+    EXPECT_THROW(ThrowStatus(Status(ErrorCode::kInternal, "x")),
+                 std::runtime_error);
+    EXPECT_THROW(ThrowStatus(Status(ErrorCode::kInjected, "x")),
+                 std::runtime_error);
+
+    try {
+        ThrowStatus(Status(ErrorCode::kInvalidArgument, "bad operand")
+                        .WithFrame("SomeOp"));
+        FAIL() << "did not throw";
+    } catch (const std::invalid_argument &e) {
+        const auto *carrier =
+            dynamic_cast<const StatusCarrier *>(&e);
+        ASSERT_NE(carrier, nullptr);
+        EXPECT_EQ(carrier->status().code(),
+                  ErrorCode::kInvalidArgument);
+        ASSERT_EQ(carrier->status().frames().size(), 1u);
+        EXPECT_EQ(carrier->status().frames()[0], "SomeOp");
+    }
+}
+
+TEST(StatusBridge, CurrentExceptionRoundTripsStatus)
+{
+    try {
+        ThrowStatus(Status(ErrorCode::kPoisoned, "origin node 3")
+                        .WithFrame("node 5"));
+    } catch (...) {
+        const Status s = CurrentExceptionToStatus();
+        EXPECT_EQ(s.code(), ErrorCode::kPoisoned);
+        EXPECT_EQ(s.message(), "origin node 3");
+        ASSERT_EQ(s.frames().size(), 1u);
+    }
+}
+
+TEST(StatusBridge, ForeignExceptionsMapByType)
+{
+    try {
+        throw std::invalid_argument("plain");
+    } catch (...) {
+        EXPECT_EQ(CurrentExceptionToStatus().code(),
+                  ErrorCode::kInvalidArgument);
+    }
+    try {
+        throw std::logic_error("plain");
+    } catch (...) {
+        EXPECT_EQ(CurrentExceptionToStatus().code(),
+                  ErrorCode::kFailedPrecondition);
+    }
+    try {
+        throw std::bad_alloc();
+    } catch (...) {
+        EXPECT_EQ(CurrentExceptionToStatus().code(),
+                  ErrorCode::kResourceExhausted);
+    }
+    try {
+        throw 17;
+    } catch (...) {
+        EXPECT_EQ(CurrentExceptionToStatus().code(),
+                  ErrorCode::kUnknown);
+    }
+}
+
+TEST(StatusBridge, ParallelErrorCarriesTheFullReport)
+{
+    ErrorReport report;
+    report.errors.push_back(Status(ErrorCode::kInjected, "task 1"));
+    report.errors.push_back(Status(ErrorCode::kInjected, "task 9"));
+    const ParallelError err(report);
+    EXPECT_EQ(err.report().size(), 2u);
+    EXPECT_EQ(err.status().code(), ErrorCode::kInjected);
+    EXPECT_NE(std::string(err.what()).find("task 9"),
+              std::string::npos);
+}
+
+// ------------------------------------------------------------ failpoints
+
+/** RAII reset so registry state never leaks across tests. */
+struct FpReset {
+    FpReset() { fp::ResetAll(); }
+    ~FpReset() { fp::ResetAll(); }
+};
+
+TEST(Failpoint, RegistryListsTheDocumentedSites)
+{
+    ASSERT_GE(fp::SiteCount(), 5u);
+    bool found_arena = false;
+    for (std::size_t i = 0; i < fp::SiteCount(); ++i) {
+        if (std::string(fp::SiteName(i)) == fp::kArenaAlloc) {
+            found_arena = true;
+        }
+    }
+    EXPECT_TRUE(found_arena);
+    EXPECT_EQ(fp::SiteName(fp::SiteCount()), nullptr);
+}
+
+TEST(Failpoint, UnknownSiteAndBadProbabilityThrow)
+{
+    FpReset reset;
+    EXPECT_THROW(fp::Arm("no.such.site", 0.5), std::invalid_argument);
+    EXPECT_THROW(fp::Arm(fp::kPoolTask, 1.5), std::invalid_argument);
+    EXPECT_THROW(fp::Arm(fp::kPoolTask, -0.1), std::invalid_argument);
+    EXPECT_THROW(fp::ArmNth(fp::kPoolTask, 0), std::invalid_argument);
+}
+
+TEST(Failpoint, ProbabilityOneAlwaysFiresAndZeroDisarms)
+{
+    FpReset reset;
+    fp::Arm(fp::kPoolTask, 1.0);
+    EXPECT_TRUE(fp::Armed(fp::kPoolTask));
+    EXPECT_TRUE(fp::ShouldFire(fp::kPoolTask));
+    EXPECT_TRUE(fp::ShouldFire(fp::kPoolTask));
+    EXPECT_EQ(fp::FireCount(fp::kPoolTask), 2u);
+
+    fp::Arm(fp::kPoolTask, 0.0);
+    EXPECT_FALSE(fp::Armed(fp::kPoolTask));
+    EXPECT_FALSE(fp::ShouldFire(fp::kPoolTask));
+    EXPECT_EQ(fp::FireCount(fp::kPoolTask), 2u);
+}
+
+TEST(Failpoint, ArmNthFiresExactlyOnceOnTheNthPass)
+{
+    FpReset reset;
+    fp::ArmNth(fp::kNttStage, 3);
+    EXPECT_FALSE(fp::ShouldFire(fp::kNttStage));
+    EXPECT_FALSE(fp::ShouldFire(fp::kNttStage));
+    EXPECT_TRUE(fp::ShouldFire(fp::kNttStage));
+    // Single fire: the site disarmed itself.
+    EXPECT_FALSE(fp::Armed(fp::kNttStage));
+    EXPECT_FALSE(fp::ShouldFire(fp::kNttStage));
+    EXPECT_EQ(fp::FireCount(fp::kNttStage), 1u);
+}
+
+TEST(Failpoint, RaiseInjectedThrowsStatusWithSiteProvenance)
+{
+    try {
+        fp::RaiseInjected(fp::kArenaAlloc);
+        FAIL() << "did not throw";
+    } catch (const RuntimeStatusError &e) {
+        EXPECT_EQ(e.status().code(), ErrorCode::kInjected);
+        ASSERT_EQ(e.status().frames().size(), 1u);
+        EXPECT_NE(e.status().frames()[0].find(fp::kArenaAlloc),
+                  std::string::npos);
+    }
+}
+
+TEST(Failpoint, ScopedDisarmsOnExit)
+{
+    FpReset reset;
+    {
+        fp::Scoped arm(fp::kSimdDispatch, 1.0);
+        EXPECT_TRUE(fp::Armed(fp::kSimdDispatch));
+    }
+    EXPECT_FALSE(fp::Armed(fp::kSimdDispatch));
+}
+
+TEST(Failpoint, SeededRollsAreDeterministic)
+{
+    FpReset reset;
+    fp::Arm(fp::kPoolTask, 0.5);
+    fp::SeedRng(1234);
+    std::vector<bool> first;
+    for (int i = 0; i < 64; ++i) {
+        first.push_back(fp::ShouldFire(fp::kPoolTask));
+    }
+    fp::SeedRng(1234);
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(fp::ShouldFire(fp::kPoolTask), first[i]) << i;
+    }
+}
+
+TEST(Failpoint, CompiledInMatchesBuildConfig)
+{
+#if defined(HENTT_FAILPOINTS) && HENTT_FAILPOINTS
+    EXPECT_TRUE(fp::kCompiledIn);
+#else
+    EXPECT_FALSE(fp::kCompiledIn);
+    // Sites compile to nothing: the macro must not roll or count.
+    FpReset reset;
+    fp::Arm(fp::kPoolTask, 1.0);
+    HENTT_FAILPOINT(fp::kPoolTask);               // must not throw
+    EXPECT_FALSE(HENTT_FAILPOINT_FIRED(fp::kPoolTask));
+    EXPECT_EQ(fp::FireCount(fp::kPoolTask), 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace hentt

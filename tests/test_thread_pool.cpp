@@ -5,9 +5,11 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/int128.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 
 namespace hentt {
@@ -96,6 +98,61 @@ TEST(ThreadPool, PropagatesFirstException)
                         }
                     }),
         std::runtime_error);
+}
+
+TEST(ThreadPool, AggregatesEveryConcurrentFailure)
+{
+    // Regression: first-exception-wins reporting dropped all but one
+    // task error. With several tasks failing concurrently, the caller
+    // must receive a ParallelError carrying every failure — and every
+    // non-failing index must still have run (containment, not abort).
+    PoolConfigGuard guard;
+    SetGlobalThreadCount(4);
+    SetParallelGrain(1);
+    constexpr std::size_t kCount = 64;
+    constexpr std::size_t kFailures = 5;  // indices 0, 13, 26, 39, 52
+    std::vector<std::atomic<int>> hits(kCount);
+    try {
+        ParallelFor(kCount, 1024, [&](std::size_t i) {
+            if (i % 13 == 0) {
+                throw std::runtime_error("boom " + std::to_string(i));
+            }
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        FAIL() << "did not throw";
+    } catch (const ParallelError &e) {
+        EXPECT_EQ(e.report().size(), kFailures);
+        for (const Status &s : e.report().errors) {
+            EXPECT_FALSE(s.ok());
+            EXPECT_NE(s.message().find("boom"), std::string::npos);
+            // Provenance: each failure names its pool task index.
+            ASSERT_FALSE(s.frames().empty());
+            EXPECT_NE(s.frames()[0].find("pool task"),
+                      std::string::npos);
+        }
+    }
+    for (std::size_t i = 0; i < kCount; ++i) {
+        EXPECT_EQ(hits[i].load(), i % 13 == 0 ? 0 : 1) << i;
+    }
+}
+
+TEST(ThreadPool, SingleFailureRethrowsTheOriginalException)
+{
+    // Backward compatibility: exactly one failing task hands the caller
+    // the original exception object, not a wrapper.
+    PoolConfigGuard guard;
+    SetGlobalThreadCount(4);
+    SetParallelGrain(1);
+    try {
+        ParallelFor(64, 1024, [](std::size_t i) {
+            if (i == 13) {
+                throw std::invalid_argument("exactly thirteen");
+            }
+        });
+        FAIL() << "did not throw";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_STREQ(e.what(), "exactly thirteen");
+    }
 }
 
 TEST(ParallelFor, GrainKeepsSmallJobsSerial)
