@@ -263,6 +263,45 @@ def self_test():
     meta["n"] = 8192
     expect("metadata keys ignored", compare(base, meta) == [])
 
+    # The BENCH_deep_circuit.json series (sweep_params --json): raw
+    # tower timings are machine-local, the depth-scaling ratios travel
+    # cross-machine, and the tower must never allocate in steady
+    # state at any depth.
+    deep = {
+        "bench": "deep_circuit",
+        "n": 4096,
+        "limbs": 8,
+        "depth": 7,
+        "deep_tower_depth1_ns": 7.0e6,
+        "deep_tower_depth7_ns": 24.0e6,
+        "deep_tower_depth7_scalar_ns": 55.0e6,
+        "speedup_deep_tower_vs_scalar": 2.3,
+        "speedup_deep_depth_scaling": 2.0,
+        "speedup_deep_level2_vs_level8": 9.0,
+        "steady_state_allocs": 0,
+        "simd_default_backend": "avx512",
+        "avx2_available": True,
+        "avx512_available": True,
+    }
+    deep_slow = dict(deep)
+    deep_slow["deep_tower_depth7_ns"] = 48.0e6
+    expect("deep: 2x tower slowdown fails the absolute gate",
+           len(compare(deep, deep_slow)) == 1)
+    expect("deep: 2x tower slowdown passes relative-only (CI)",
+           compare(deep, deep_slow, relative_only=True) == [])
+    deep_flat = dict(deep)
+    deep_flat["speedup_deep_depth_scaling"] = 1.0
+    expect("deep: halved depth-scaling ratio fails relative-only",
+           len(compare(deep, deep_flat, relative_only=True)) == 1)
+    deep_alloc = dict(deep)
+    deep_alloc["steady_state_allocs"] = 1
+    expect("deep: a single steady-state alloc at depth fails",
+           len(compare(deep, deep_alloc, relative_only=True)) == 1)
+    deep_dropped = dict(deep)
+    del deep_dropped["deep_tower_depth1_ns"]
+    expect("deep: dropped depth column fails relative-only",
+           len(compare(deep, deep_dropped, relative_only=True)) == 1)
+
     if failed:
         print(f"self-test: {len(failed)} failure(s)")
         return 1

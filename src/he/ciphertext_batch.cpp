@@ -93,6 +93,21 @@ ThrowBatchArg(const char *op, std::size_t index, const char *what)
                                std::to_string(index) + ")"));
 }
 
+/** Throw a kFailedPrecondition for a ciphertext whose state cannot
+ *  support the op — the modulus-chain-exhaustion case: the operands are
+ *  well-formed, the *schedule* asked for one descent too many. Deep
+ *  circuit drivers distinguish this from malformed-argument errors
+ *  (kInvalidArgument) to know the chain ended cleanly. Catchable as
+ *  std::logic_error (PreconditionError) through the exception bridge. */
+[[noreturn]] void
+ThrowBatchPrecondition(const char *op, std::size_t index,
+                       const char *what)
+{
+    ThrowStatus(Status(ErrorCode::kFailedPrecondition, what)
+                    .WithFrame(std::string(op) + "(ciphertext " +
+                               std::to_string(index) + ")"));
+}
+
 void
 CheckSpanLengths(const char *op, std::size_t a, std::size_t b,
                  std::size_t out)
@@ -265,9 +280,10 @@ RelinGadgetAccumulate(const HeContext &ctx, const RelinKey &rk,
         RelinNode node;
         node.level = ct->parts[0].prime_count();
         if (node.level < min_primes) {
-            ThrowBatchArg(op, i,
-                          "fused relin-modswitch needs at least two "
-                          "primes");
+            ThrowBatchPrecondition(op, i,
+                                   "modulus chain exhausted: fused "
+                                   "relin-modswitch needs at least two "
+                                   "primes");
         }
         node.keys = &rk.at_level(node.level);
         if (node.keys->b.size() != node.level) {
@@ -794,8 +810,10 @@ BatchModSwitch(const HeContext &ctx, std::span<const Ciphertext *const> in,
     for (std::size_t i = 0; i < m; ++i) {
         const Ciphertext &ct = *in[i];
         if (ct.parts.at(0).prime_count() < 2) {
-            ThrowBatchArg("BatchModSwitch", i,
-                          "cannot modulus-switch below one prime");
+            ThrowBatchPrecondition(
+                "BatchModSwitch", i,
+                "modulus chain exhausted: cannot switch below one "
+                "prime");
         }
         for (const RnsPoly &part : ct.parts) {
             if (part.domain() != RnsPoly::Domain::kCoefficient) {

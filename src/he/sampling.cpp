@@ -1,6 +1,8 @@
 #include "he/sampling.h"
 
+#include <bit>
 #include <cmath>
+#include <stdexcept>
 
 namespace hentt::he {
 
@@ -64,6 +66,23 @@ SampleErrorAt(std::shared_ptr<const RnsNttContext> level, double sigma,
             static_cast<long long>(std::llround(rng.NextGaussian() *
                                                 sigma));
         SetSignedCoefficient(out, k, e);
+    }
+    return out;
+}
+
+RnsPoly
+SampleCbd(const HeContext &ctx, unsigned eta, Xoshiro256 &rng)
+{
+    if (eta == 0 || eta > 64) {
+        throw std::invalid_argument("SampleCbd: eta must be in [1, 64]");
+    }
+    const u64 mask =
+        eta == 64 ? ~u64{0} : (u64{1} << eta) - 1;
+    RnsPoly out(ctx.ntt_context());
+    for (std::size_t k = 0; k < ctx.degree(); ++k) {
+        const int a = std::popcount(rng.Next() & mask);
+        const int b = std::popcount(rng.Next() & mask);
+        SetSignedCoefficient(out, k, a - b);
     }
     return out;
 }

@@ -32,6 +32,15 @@ RnsPoly SampleError(const HeContext &ctx, Xoshiro256 &rng);
 RnsPoly SampleErrorAt(std::shared_ptr<const RnsNttContext> level,
                       double sigma, Xoshiro256 &rng);
 
+/**
+ * Centered-binomial error polynomial: each coefficient is
+ * popcount(eta random bits) - popcount(eta random bits), giving support
+ * [-eta, eta], mean 0, and variance eta/2 — the constant-time sampler
+ * lattice schemes use when rejection-free error generation matters.
+ * Coefficient domain. Requires 1 <= eta <= 64.
+ */
+RnsPoly SampleCbd(const HeContext &ctx, unsigned eta, Xoshiro256 &rng);
+
 /** Encode a signed value into every RNS row of coefficient k. */
 void SetSignedCoefficient(RnsPoly &poly, std::size_t k, long long value);
 

@@ -23,6 +23,33 @@
 namespace hentt {
 
 /**
+ * Stage-walk selection for the lazy NTT pipeline. Every consumer of the
+ * lazy transforms (NttEngine, RnsPoly, the batched HE kernels) routes
+ * through NttRadix2Lazy / InttRadix2Lazy, so flipping the walk here
+ * flips the whole library — the hook the fused-vs-unfused bit-identity
+ * sweeps (test_deep_circuit) and the parameter-sweep driver
+ * (bench/sweep_params) use to compare the two paths on identical
+ * workloads without touching call sites.
+ */
+enum class LazyWalk {
+    kFusedRadix4,  ///< fused stage pairs, ceil(log2 N / 2) dispatches — default
+    kRadix2,       ///< unfused ablation walk, log2 N dispatches
+};
+
+/**
+ * The walk the lazy transforms currently execute. Resolution order:
+ * ForceLazyWalk override > environment (`HENTT_RADIX=2|4`, read once at
+ * first use; any other value keeps the default) > kFusedRadix4.
+ */
+LazyWalk ActiveLazyWalk();
+
+/** Force the stage walk (tests / benches / the sweep driver). */
+void ForceLazyWalk(LazyWalk walk);
+
+/** Drop a ForceLazyWalk override and re-resolve from the environment. */
+void ResetLazyWalk();
+
+/**
  * Forward negacyclic NTT with lazy [0, 4p) butterflies (paper Algo. 2).
  * Accepts inputs < p (or more generally < 4p), produces fully reduced
  * outputs (< p) after a final correction pass. Bit-identical to

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Minimal property-based testing adapter over gtest.
+ *
+ * Shape follows the parameterized-gtest adapter pattern: a property is
+ * an ordinary function taking a seeded RNG, and a thin harness runs it
+ * across many derived seeds, printing a reproduction line when a case
+ * fails. No generator/shrinker machinery — the properties in this repo
+ * draw their own structured inputs from the RNG, and a failing case is
+ * reproduced exactly by re-running with the printed seed.
+ *
+ * Environment contract (the CI extended leg and local repro both key
+ * off it):
+ *   HENTT_PBT_SEED   absolute base seed for every property (decimal).
+ *                    Default: a fixed per-binary constant, so plain
+ *                    `ctest` runs are deterministic.
+ *   HENTT_PBT_CASES  either an absolute case count ("5000") or a
+ *                    multiplier ("x10") applied to each property's
+ *                    default — the form CI uses to scale every suite
+ *                    without knowing per-property defaults.
+ *
+ * Usage:
+ *   HENTT_PBT_PROP(MySuite, RoundTrips, 200, (Xoshiro256 &rng, u64 i))
+ *   {
+ *       ... EXPECT_* on values drawn from rng ...
+ *   }
+ */
+
+#ifndef HENTT_TESTS_PBT_H
+#define HENTT_TESTS_PBT_H
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/random.h"
+
+namespace hentt::pbt {
+
+/** Resolved run parameters for one property. */
+struct Params {
+    u64 seed;
+    u64 cases;
+};
+
+namespace detail {
+
+inline u64
+ParseU64(const char *s, u64 fallback)
+{
+    if (s == nullptr || *s == '\0') {
+        return fallback;
+    }
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    return (end != nullptr && *end == '\0') ? static_cast<u64>(v)
+                                            : fallback;
+}
+
+}  // namespace detail
+
+/**
+ * Resolve seed and case count for a property with the given default
+ * case count. HENTT_PBT_SEED overrides the base seed; HENTT_PBT_CASES
+ * is an absolute count, or a multiplier when prefixed with 'x' (the
+ * extended-CI form: HENTT_PBT_CASES=x10 runs every property at 10x its
+ * default depth).
+ */
+inline Params
+Resolve(u64 default_cases)
+{
+    constexpr u64 kDefaultSeed = 0x9e3779b97f4a7c15ull;
+    Params p{detail::ParseU64(std::getenv("HENTT_PBT_SEED"),
+                              kDefaultSeed),
+             default_cases};
+    if (const char *c = std::getenv("HENTT_PBT_CASES")) {
+        if (c[0] == 'x' || c[0] == 'X') {
+            p.cases = default_cases * detail::ParseU64(c + 1, 1);
+        } else {
+            p.cases = detail::ParseU64(c, default_cases);
+        }
+    }
+    if (p.cases == 0) {
+        p.cases = 1;
+    }
+    return p;
+}
+
+/**
+ * Run @p body for @p cases randomized cases. Each case gets an
+ * independent Xoshiro256 seeded from SplitMix64(base_seed + index), so
+ * any single case reproduces without replaying its predecessors:
+ * failing output prints the exact HENTT_PBT_SEED / case index pair and
+ * stops at the first failing case rather than flooding the log.
+ */
+template <typename Body>
+void
+RunProp(const char *suite, const char *name, u64 default_cases,
+        Body &&body)
+{
+    const Params p = Resolve(default_cases);
+    std::printf("[ pbt      ] %s.%s: seed=%llu cases=%llu "
+                "(override: HENTT_PBT_SEED / HENTT_PBT_CASES)\n",
+                suite, name,
+                static_cast<unsigned long long>(p.seed),
+                static_cast<unsigned long long>(p.cases));
+    for (u64 i = 0; i < p.cases; ++i) {
+        u64 state = p.seed + i;
+        Xoshiro256 rng(SplitMix64(state));
+        {
+            SCOPED_TRACE("pbt case " + std::to_string(i) + " of " +
+                         std::to_string(p.cases) +
+                         " (repro: HENTT_PBT_SEED=" +
+                         std::to_string(p.seed) + ")");
+            body(rng, i);
+        }
+        if (::testing::Test::HasFailure()) {
+            std::printf("[ pbt FAIL ] %s.%s: case %llu — rerun with "
+                        "HENTT_PBT_SEED=%llu HENTT_PBT_CASES=%llu\n",
+                        suite, name,
+                        static_cast<unsigned long long>(i),
+                        static_cast<unsigned long long>(p.seed),
+                        static_cast<unsigned long long>(i + 1));
+            return;
+        }
+    }
+}
+
+}  // namespace hentt::pbt
+
+/**
+ * Declare a gtest TEST that runs `body` as a randomized property.
+ * `rng_args` must be a parenthesized parameter list whose first
+ * parameter is a `hentt::Xoshiro256 &` and whose second is the case
+ * index, e.g. (hentt::Xoshiro256 &rng, hentt::u64 case_index).
+ */
+#define HENTT_PBT_PROP(suite, name, default_cases, ...)                 \
+    static void HenttPbtProp##suite##name __VA_ARGS__;                  \
+    TEST(suite, name)                                                   \
+    {                                                                   \
+        ::hentt::pbt::RunProp(#suite, #name, (default_cases),           \
+                              &HenttPbtProp##suite##name);              \
+    }                                                                   \
+    static void HenttPbtProp##suite##name __VA_ARGS__
+
+#endif  // HENTT_TESTS_PBT_H

@@ -251,6 +251,104 @@ TEST_F(FaultInjectionTest, RandomizedFaultSchedulesAreContained)
     EXPECT_TRUE(BitIdentical(ab.get(), ref_ab));
 }
 
+TEST_F(FaultInjectionTest, DepthRandomizedTowerSchedulesAreContained)
+{
+    if (!fp::kCompiledIn) {
+        GTEST_SKIP() << "failpoint sites compiled out of this build";
+    }
+    // Deep-circuit chaos: walk a multiply-and-descend tower down the
+    // whole modulus chain while a random failpoint schedule arms at a
+    // random DEPTH — faults land mid-chain, not just on the first op.
+    // Invariants per round: a fault never unwinds past the Try* entry
+    // point, every error carries provenance, a round that completes
+    // despite the storm is bit-identical to the never-faulted tower at
+    // every level, and the post-storm replay is bit-identical too.
+    const u64 seed = EnvU64("HENTT_CHAOS_SEED", 0xD331Cu);
+    const u64 rounds = EnvU64("HENTT_CHAOS_ROUNDS", 1000) / 4;
+    std::cout << "[ chaos  ] tower seed=" << seed << " rounds=" << rounds
+              << " (override: HENTT_CHAOS_SEED, HENTT_CHAOS_ROUNDS)\n";
+    const std::size_t depth = ctx_->params().prime_count - 1;
+
+    // Never-faulted reference tower, one ciphertext per level.
+    const auto run_tower =
+        [&](std::size_t arm_at_step,
+            Xoshiro256 *chaos) -> Result<std::vector<Ciphertext>> {
+        std::vector<Ciphertext> levels;
+        Ciphertext acc = *a_;
+        Ciphertext factor = *b_;
+        for (std::size_t d = 0; d < depth; ++d) {
+            if (chaos != nullptr && d == arm_at_step) {
+                fp::SeedRng(chaos->Next());
+                for (const char *site : kAllSites) {
+                    if (chaos->NextBelow(3) == 0) {
+                        fp::Arm(site, chaos->NextBelow(2) ? 1.0 : 0.25);
+                    }
+                }
+                if (chaos->NextBelow(3) == 0) {
+                    fp::ArmNth(fp::kNttStage, 1 + chaos->NextBelow(8));
+                }
+            }
+            Result<Ciphertext> prod = scheme_->TryMul(acc, factor);
+            if (!prod.ok()) {
+                return Result<std::vector<Ciphertext>>(prod.status());
+            }
+            Result<Ciphertext> down =
+                scheme_->TryRelinModSwitch(*prod, *rk_);
+            if (!down.ok()) {
+                return Result<std::vector<Ciphertext>>(down.status());
+            }
+            Result<Ciphertext> aligned = scheme_->TryModSwitch(factor);
+            if (!aligned.ok()) {
+                return Result<std::vector<Ciphertext>>(aligned.status());
+            }
+            acc = *down;
+            factor = *aligned;
+            levels.push_back(acc);
+        }
+        return Result<std::vector<Ciphertext>>(std::move(levels));
+    };
+
+    const Result<std::vector<Ciphertext>> reference =
+        run_tower(depth, nullptr);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+    Xoshiro256 rng(seed);
+    u64 ok_rounds = 0, fault_rounds = 0;
+    for (u64 round = 0; round < rounds; ++round) {
+        fp::ResetAll();
+        const std::size_t arm_at = rng.NextBelow(depth);
+        const Result<std::vector<Ciphertext>> r =
+            run_tower(arm_at, &rng);
+        if (r.ok()) {
+            ++ok_rounds;
+            ASSERT_EQ((*r).size(), (*reference).size()) << "round " << round;
+            for (std::size_t d = 0; d < (*r).size(); ++d) {
+                EXPECT_TRUE(BitIdentical((*r)[d], (*reference)[d]))
+                    << "round " << round << " level " << d
+                    << ": survived the storm but diverged";
+            }
+        } else {
+            ++fault_rounds;
+            ExpectContainedError(r.status(), round);
+        }
+        fp::DisarmAll();
+    }
+    std::cout << "[ chaos  ] tower ok=" << ok_rounds
+              << " faulted=" << fault_rounds << "\n";
+    EXPECT_GT(ok_rounds, 0u);
+    EXPECT_GT(fault_rounds, 0u);
+
+    // Post-storm replay: the whole tower, bit-identical at every level.
+    fp::ResetAll();
+    const Result<std::vector<Ciphertext>> replay =
+        run_tower(depth, nullptr);
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    for (std::size_t d = 0; d < (*replay).size(); ++d) {
+        EXPECT_TRUE(BitIdentical((*replay)[d], (*reference)[d]))
+            << "replay level " << d;
+    }
+}
+
 TEST_F(FaultInjectionTest, NttStageInjectionIsContainedAndSingleFire)
 {
     if (!fp::kCompiledIn) {

@@ -219,8 +219,10 @@ TEST_F(HeTest, ModSwitchDownTheWholeChain)
     ct = scheme_->ModSwitch(ct);
     EXPECT_EQ(BgvScheme::Level(ct), 1u);
     EXPECT_EQ(scheme_->Decrypt(*sk_, ct), m);
-    // One prime left: switching further must throw.
-    EXPECT_THROW(scheme_->ModSwitch(ct), std::invalid_argument);
+    // One prime left: switching further is a chain-exhaustion
+    // precondition failure (kFailedPrecondition via the exception
+    // bridge), distinct from a malformed-argument error.
+    EXPECT_THROW(scheme_->ModSwitch(ct), PreconditionError);
 }
 
 TEST_F(HeTest, ModSwitchAfterMultiply)

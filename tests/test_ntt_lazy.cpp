@@ -167,6 +167,51 @@ TEST(LazyNtt, FusedWalkerDispatchCount)
     }
 }
 
+TEST(LazyNtt, ForceLazyWalkReroutesEveryConsumerEntryPoint)
+{
+    // The LazyWalk hook is the seam the deep-circuit bit-identity
+    // sweeps and bench/sweep_params flip: forcing kRadix2 must route
+    // the *default* entry points (the ones NttEngine/RnsPoly call)
+    // through the unfused walker — observable via the dispatch counter
+    // (log2 N dispatches instead of ceil(log2 N / 2)) — and the
+    // results must stay bit-identical to the fused walk.
+    constexpr std::size_t n = 256;
+    const u64 p = GenerateNttPrimes(2 * n, 50, 1)[0];
+    const TwiddleTable table(n, p);
+    Xoshiro256 rng(9);
+    std::vector<u64> v(n);
+    for (u64 &x : v) {
+        x = rng.NextBelow(p);
+    }
+
+    ASSERT_EQ(ActiveLazyWalk(), LazyWalk::kFusedRadix4);
+    std::vector<u64> fused = v;
+    NttRadix2Lazy(fused, table);
+
+    ForceLazyWalk(LazyWalk::kRadix2);
+    EXPECT_EQ(ActiveLazyWalk(), LazyWalk::kRadix2);
+    std::vector<u64> unfused = v;
+    ResetNttOpCounts();
+    NttRadix2Lazy(unfused, table);
+    EXPECT_EQ(GetNttOpCounts().butterfly_stages,
+              static_cast<u64>(Log2Exact(n)));
+    EXPECT_EQ(fused, unfused);
+
+    ResetNttOpCounts();
+    InttRadix2Lazy(unfused, table);
+    EXPECT_EQ(GetNttOpCounts().butterfly_stages,
+              static_cast<u64>(Log2Exact(n)));
+
+    ForceLazyWalk(LazyWalk::kFusedRadix4);
+    ResetNttOpCounts();
+    std::vector<u64> refused = v;
+    NttRadix2Lazy(refused, table);
+    EXPECT_EQ(GetNttOpCounts().butterfly_stages,
+              static_cast<u64>((Log2Exact(n) + 1) / 2));
+    EXPECT_EQ(refused, fused);
+    ResetLazyWalk();  // never leak the override into other tests
+}
+
 TEST(LazyButterfly, StaysInRange)
 {
     const u64 p = GenerateNttPrimes(2 * 64, 60, 1)[0];

@@ -205,8 +205,11 @@ TEST_F(RelinModSwitchTest, FusedRejectsLastPrime)
     // modulus-switch; the fused op must refuse rather than underflow
     // the chain.
     const Ciphertext prod = ProductAtLevel(1, 1, 2);
+    // Chain exhaustion is a precondition failure (kFailedPrecondition),
+    // not a malformed argument: the ciphertext is perfectly valid, it
+    // just sits at the bottom of the modulus chain.
     EXPECT_THROW((void)scheme_->RelinModSwitch(prod, *rk_),
-                 std::invalid_argument);
+                 PreconditionError);
     // The unfused Relinearize still works there.
     EXPECT_EQ(BgvScheme::Level(scheme_->Relinearize(prod, *rk_)), 1u);
 }

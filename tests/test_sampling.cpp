@@ -1,0 +1,165 @@
+/**
+ * Distribution tests for the he/sampling samplers under the pbt
+ * harness: ternary support and balance, rounded-Gaussian tail and
+ * moment bounds, centered-binomial support and variance. Statistical
+ * assertions aggregate across all cases of a property (the pbt case
+ * count is known up front), so the bounds hold at many standard
+ * deviations even when CI randomizes the seed per run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "he/bgv.h"
+#include "he/sampling.h"
+#include "pbt.h"
+
+namespace hentt::he {
+namespace {
+
+std::shared_ptr<const HeContext>
+SamplingContext()
+{
+    static const std::shared_ptr<const HeContext> ctx = [] {
+        HeParams params;
+        params.degree = 256;
+        params.prime_count = 2;
+        params.prime_bits = 50;
+        params.plain_modulus = 257;
+        return std::make_shared<const HeContext>(params);
+    }();
+    return ctx;
+}
+
+/**
+ * Decode coefficient k as a signed value, asserting every RNS row
+ * encodes the same one (the SetSignedCoefficient contract).
+ */
+long long
+DecodeSigned(const RnsPoly &poly, std::size_t k)
+{
+    const RnsBasis &basis = poly.context().basis();
+    long long value = 0;
+    for (std::size_t i = 0; i < poly.prime_count(); ++i) {
+        const u64 p = basis.prime(i);
+        const u64 x = poly.row(i)[k];
+        const long long v = x > p / 2
+                                ? static_cast<long long>(x) -
+                                      static_cast<long long>(p)
+                                : static_cast<long long>(x);
+        if (i == 0) {
+            value = v;
+        } else {
+            EXPECT_EQ(v, value) << "row " << i << " coeff " << k
+                                << " disagrees across RNS rows";
+        }
+    }
+    return value;
+}
+
+HENTT_PBT_PROP(SamplingProperties, TernarySupportAndBalance, 150,
+               (hentt::Xoshiro256 &rng, hentt::u64 case_index))
+{
+    static u64 counts[3] = {0, 0, 0};  // -1, 0, +1 across all cases
+    static u64 total = 0;
+    const auto ctx = SamplingContext();
+    const RnsPoly s = SampleTernary(*ctx, rng);
+    for (std::size_t k = 0; k < ctx->degree(); ++k) {
+        const long long v = DecodeSigned(s, k);
+        ASSERT_GE(v, -1) << "coeff " << k;
+        ASSERT_LE(v, 1) << "coeff " << k;
+        ++counts[v + 1];
+        ++total;
+    }
+    const u64 cases = pbt::Resolve(150).cases;
+    if (case_index + 1 == cases) {
+        // Each symbol is Binomial(total, 1/3); allow 6 standard
+        // deviations around the mean so a randomized CI seed cannot
+        // flake the bound.
+        const double mean = static_cast<double>(total) / 3.0;
+        const double slack =
+            6.0 * std::sqrt(static_cast<double>(total) * 2.0 / 9.0);
+        for (int v = 0; v < 3; ++v) {
+            EXPECT_NEAR(static_cast<double>(counts[v]), mean, slack)
+                << "symbol " << (v - 1) << " of " << total;
+        }
+    }
+}
+
+HENTT_PBT_PROP(SamplingProperties, GaussianTailAndMoments, 150,
+               (hentt::Xoshiro256 &rng, hentt::u64 case_index))
+{
+    static double sum = 0.0, sum_sq = 0.0;
+    static u64 total = 0;
+    const auto ctx = SamplingContext();
+    const double sigma = ctx->params().noise_stddev;
+    const RnsPoly e = SampleError(*ctx, rng);
+    for (std::size_t k = 0; k < ctx->degree(); ++k) {
+        const double v = static_cast<double>(DecodeSigned(e, k));
+        // P(|N(0, sigma)| > 10 sigma) ~ 1e-23: any hit is a bug.
+        ASSERT_LE(std::abs(v), 10.0 * sigma) << "coeff " << k;
+        sum += v;
+        sum_sq += v * v;
+        ++total;
+    }
+    const u64 cases = pbt::Resolve(150).cases;
+    if (case_index + 1 == cases) {
+        const double n = static_cast<double>(total);
+        const double mean = sum / n;
+        const double var = sum_sq / n - mean * mean;
+        // Rounding to integers adds 1/12 to the variance of the
+        // underlying Gaussian; +-15% swallows it comfortably at the
+        // default sigma.
+        EXPECT_LE(std::abs(mean), 6.0 * sigma / std::sqrt(n));
+        EXPECT_NEAR(var, sigma * sigma, 0.15 * sigma * sigma)
+            << "over " << total << " samples";
+    }
+}
+
+HENTT_PBT_PROP(SamplingProperties, CbdSupportAndVariance, 150,
+               (hentt::Xoshiro256 &rng, hentt::u64 case_index))
+{
+    // Normalized second moment: e^2 / (eta / 2) has expectation 1 for
+    // every eta, so draws with different eta aggregate cleanly.
+    static double norm_sq = 0.0;
+    static double sum = 0.0;
+    static u64 total = 0;
+    const auto ctx = SamplingContext();
+    constexpr unsigned kEtas[] = {1, 2, 4, 8, 16};
+    const unsigned eta = kEtas[rng.NextBelow(5)];
+    const RnsPoly e = SampleCbd(*ctx, eta, rng);
+    for (std::size_t k = 0; k < ctx->degree(); ++k) {
+        const long long v = DecodeSigned(e, k);
+        ASSERT_GE(v, -static_cast<long long>(eta)) << "coeff " << k;
+        ASSERT_LE(v, static_cast<long long>(eta)) << "coeff " << k;
+        sum += static_cast<double>(v);
+        norm_sq += static_cast<double>(v) * static_cast<double>(v) /
+                   (static_cast<double>(eta) / 2.0);
+        ++total;
+    }
+    const u64 cases = pbt::Resolve(150).cases;
+    if (case_index + 1 == cases) {
+        const double n = static_cast<double>(total);
+        // Var(CBD(eta)) = eta/2 exactly; the normalized mean-square
+        // must sit within +-15% of 1.
+        EXPECT_NEAR(norm_sq / n, 1.0, 0.15) << "over " << total;
+        // Mean 0: |sum| grows like sqrt(n * eta/2) <= sqrt(8 n).
+        EXPECT_LE(std::abs(sum), 6.0 * std::sqrt(8.0 * n));
+    }
+}
+
+TEST(Sampling, CbdRejectsOutOfRangeEta)
+{
+    const auto ctx = SamplingContext();
+    Xoshiro256 rng(1);
+    EXPECT_THROW((void)SampleCbd(*ctx, 0, rng), std::invalid_argument);
+    EXPECT_THROW((void)SampleCbd(*ctx, 65, rng), std::invalid_argument);
+    // Boundary etas are legal.
+    (void)SampleCbd(*ctx, 1, rng);
+    (void)SampleCbd(*ctx, 64, rng);
+}
+
+}  // namespace
+}  // namespace hentt::he
