@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Changed-files-only clang-format check.
+
+Diffs the working tree (or a commit range) against a base ref, and runs
+`clang-format --dry-run -Werror` on just the touched C++ files — the
+tree converges on .clang-format one PR at a time instead of via a
+history-destroying bulk reformat.
+
+Without clang-format installed the script exits 0 with a note (dev
+containers ship only gcc); pass --require to fail instead (CI does).
+Pass --fix to rewrite the touched files in place.
+"""
+
+import argparse
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CXX_SUFFIXES = (".h", ".cpp", ".cc", ".hpp")
+
+
+def find_clang_format(explicit):
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in ("clang-format", "clang-format-20", "clang-format-19",
+                 "clang-format-18", "clang-format-17", "clang-format-16",
+                 "clang-format-15"):
+        if shutil.which(name):
+            return name
+    return None
+
+
+def changed_files(base):
+    out = subprocess.run(
+        ["git", "diff", "--name-only", "--diff-filter=ACMR", base],
+        cwd=REPO, capture_output=True, text=True, check=True).stdout
+    files = []
+    for rel in out.splitlines():
+        path = REPO / rel
+        if rel.endswith(CXX_SUFFIXES) and path.exists() and \
+                rel.startswith(("src/", "tests/", "bench/")):
+            files.append(path)
+    return files
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--base", default="origin/main",
+                        help="git ref to diff against (default: "
+                             "origin/main; falls back to HEAD~1)")
+    parser.add_argument("--clang-format", default=None)
+    parser.add_argument("--require", action="store_true",
+                        help="fail when clang-format is missing")
+    parser.add_argument("--fix", action="store_true",
+                        help="rewrite files instead of checking")
+    args = parser.parse_args()
+
+    fmt = find_clang_format(args.clang_format)
+    if fmt is None:
+        msg = "check_format: clang-format not found"
+        if args.require:
+            print(msg, file=sys.stderr)
+            sys.exit(2)
+        print(msg + "; skipping (pass --require to fail instead)")
+        sys.exit(0)
+
+    base = args.base
+    probe = subprocess.run(["git", "rev-parse", "--verify", base],
+                           cwd=REPO, capture_output=True)
+    if probe.returncode != 0:
+        base = "HEAD~1"
+
+    files = changed_files(base)
+    if not files:
+        print(f"check_format: no C++ files changed vs {base}")
+        sys.exit(0)
+
+    cmd = [fmt, "--style=file"]
+    cmd += ["-i"] if args.fix else ["--dry-run", "-Werror"]
+    result = subprocess.run(cmd + [str(f) for f in files])
+    if result.returncode != 0:
+        print(f"\ncheck_format: {len(files)} file(s) checked vs {base}; "
+              "run scripts/check_format.py --fix", file=sys.stderr)
+        sys.exit(1)
+    verb = "reformatted" if args.fix else "clean"
+    print(f"check_format: {len(files)} file(s) {verb} (vs {base})")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

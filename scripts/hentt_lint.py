@@ -1,0 +1,391 @@
+#!/usr/bin/env python3
+"""Architecture lint for hentt — invariants no general-purpose tool checks.
+
+Rules
+  A  raw-modmul      Modular reduction by a modulus-named variable
+                     (`x % p`, `% q_k`, ...) outside src/simd/ and
+                     src/common/. Element-wise modular math belongs in
+                     the simd kernel layer (simd::Active()); scalar
+                     helpers belong in common/modarith.h. Setup-time
+                     precomputation and test oracles are baselined.
+  B  nodiscard       `class Status` / `class Result` must carry
+                     [[nodiscard]], and every Try* entry point declared
+                     in a header must be [[nodiscard]] explicitly —
+                     dropping a Try result silently swallows the error
+                     the containment layer exists to deliver.
+  C  kernel-alloc    No per-call heap allocation in the steady-state
+                     kernel paths (src/he/ciphertext_batch.cpp,
+                     src/ntt/*.cpp): no new/malloc/make_unique/
+                     make_shared, no by-value std::vector locals.
+                     Scratch comes from the ScratchArena (capacity
+                     retained across ops). Construction-time and
+                     oracle-path allocations are baselined.
+  D  failpoint-docs  Every failpoint site name registered in
+                     src/common/failpoint.h must appear in the registry
+                     table in docs/ARCHITECTURE.md (and vice versa for
+                     names that look like site strings).
+
+Baseline: scripts/hentt_lint_baseline.txt suppresses known-good
+findings. Each entry is `rule|path|substring` (with `# reason`
+comments); a finding is suppressed when an entry's rule and path match
+and its substring occurs in the flagged line. Entries that suppress
+nothing are reported as stale so the baseline only ever shrinks.
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+Registered as a ctest (hentt_lint) plus a --self-test ctest that
+plants one violation per rule and asserts the rule catches it.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = REPO / "scripts" / "hentt_lint_baseline.txt"
+
+# ---------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------
+
+
+def strip_comments(line, state):
+    """Remove // and /* */ comment text (state: inside block comment)."""
+    out = []
+    i = 0
+    while i < len(line):
+        if state["block"]:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), state
+            state["block"] = False
+            i = end + 2
+            continue
+        if line.startswith("//", i):
+            break
+        if line.startswith("/*", i):
+            state["block"] = True
+            i += 2
+            continue
+        out.append(line[i])
+        i += 1
+    return "".join(out), state
+
+
+def code_lines(text):
+    """Yield (lineno, comment-stripped code, raw line)."""
+    state = {"block": False}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        code, state = strip_comments(raw, state)
+        # Crude string-literal blanking so quoted '%' etc. don't match.
+        code = re.sub(r'"(?:[^"\\]|\\.)*"', '""', code)
+        yield lineno, code, raw
+
+
+class Finding:
+    def __init__(self, rule, path, lineno, line, message):
+        self.rule = rule
+        self.path = path  # repo-relative, posix
+        self.lineno = lineno
+        self.line = line.strip()
+        self.message = message
+
+    def __str__(self):
+        return (f"{self.path}:{self.lineno}: [{self.rule}] "
+                f"{self.message}\n    {self.line}")
+
+
+# ---------------------------------------------------------------------
+# Rule A: raw modular reduction outside the simd/scalar-helper layers
+# ---------------------------------------------------------------------
+
+MOD_RE = re.compile(
+    r"%\s*\(?\s*(?:p|q|t)(?:[a-z0-9_]*|\b)|%\s*(?:prime|modulus)\w*",
+    re.IGNORECASE)
+# `% (2 * n)` style index arithmetic and format strings never name a
+# modulus variable, so the pattern above skips them by construction.
+
+RULE_A_DIRS = ("src/ntt/", "src/he/", "src/poly/", "src/rns/")
+
+
+def check_raw_modmul(path, text):
+    findings = []
+    for lineno, code, raw in code_lines(text):
+        if "%" not in code:
+            continue
+        if MOD_RE.search(code):
+            findings.append(Finding(
+                "raw-modmul", path, lineno, raw,
+                "raw % by a modulus outside src/simd|src/common; use "
+                "the simd kernels or common/modarith.h"))
+    return findings
+
+
+# ---------------------------------------------------------------------
+# Rule B: [[nodiscard]] on Status/Result and Try* boundaries
+# ---------------------------------------------------------------------
+
+TRY_DECL_RE = re.compile(r"\bTry[A-Z]\w*\s*\(")
+CLASS_DECL_RE = re.compile(r"\bclass\s+(?:\[\[nodiscard\]\]\s+)?"
+                           r"(Status|Result)\b")
+
+
+def check_nodiscard(path, text):
+    findings = []
+    lines = text.splitlines()
+    for lineno, code, raw in code_lines(text):
+        m = CLASS_DECL_RE.search(code)
+        if m and path.endswith("status.h") and "[[nodiscard]]" not in code:
+            # Skip friend/forward mentions: only flag the definition.
+            if "{" in "".join(lines[lineno - 1:lineno + 2]) or \
+                    code.rstrip().endswith(m.group(1)):
+                findings.append(Finding(
+                    "nodiscard", path, lineno, raw,
+                    f"class {m.group(1)} must be [[nodiscard]]"))
+        if not path.endswith(".h"):
+            continue
+        if TRY_DECL_RE.search(code) and "return" not in code:
+            # A declaration, not a call: must return Status/Result and
+            # start a statement (calls appear after '=' or inside args).
+            window = " ".join(lines[max(0, lineno - 3):lineno])
+            decl_ctx = window + " " + code
+            if not re.search(r"\b(Status|Result\s*<)", decl_ctx):
+                continue
+            if re.search(r"[=(,!]\s*\w*Try[A-Z]", code):
+                continue  # call site, not a declaration
+            if "[[nodiscard]]" not in decl_ctx:
+                findings.append(Finding(
+                    "nodiscard", path, lineno, raw,
+                    "Try* boundary must be declared [[nodiscard]]"))
+    return findings
+
+
+# ---------------------------------------------------------------------
+# Rule C: no steady-state allocation in kernel paths
+# ---------------------------------------------------------------------
+
+RULE_C_FILES_RE = re.compile(
+    r"^(src/he/ciphertext_batch\.cpp|src/ntt/[^/]+\.cpp)$")
+ALLOC_RE = re.compile(
+    r"\bnew\b(?!\s*\()|\bmalloc\s*\(|\bmake_unique\b|\bmake_shared\b")
+LOCAL_VECTOR_RE = re.compile(
+    r"^\s*(?:const\s+)?std::vector<[^;]*>\s+\w+\s*[({;=]")
+
+
+def check_kernel_alloc(path, text):
+    findings = []
+    for lineno, code, raw in code_lines(text):
+        if ALLOC_RE.search(code):
+            findings.append(Finding(
+                "kernel-alloc", path, lineno, raw,
+                "heap allocation in a steady-state kernel path; draw "
+                "scratch from the ScratchArena"))
+        elif LOCAL_VECTOR_RE.match(code):
+            findings.append(Finding(
+                "kernel-alloc", path, lineno, raw,
+                "by-value std::vector local in a kernel path allocates "
+                "per call; use an arena Buffer<T>()"))
+    return findings
+
+
+# ---------------------------------------------------------------------
+# Rule D: failpoint site names vs docs registry table
+# ---------------------------------------------------------------------
+
+SITE_DECL_RE = re.compile(
+    r'inline\s+constexpr\s+const\s+char\s*\*\s*k\w+\s*=\s*"([^"]+)"')
+
+
+def check_failpoint_docs(failpoint_text, docs_text, docs_exists):
+    findings = []
+    sites = SITE_DECL_RE.findall(failpoint_text)
+    if not sites:
+        findings.append(Finding(
+            "failpoint-docs", "src/common/failpoint.h", 1, "",
+            "no failpoint site declarations found (parser drift?)"))
+        return findings
+    if not docs_exists:
+        findings.append(Finding(
+            "failpoint-docs", "docs/ARCHITECTURE.md", 1, "",
+            "docs/ARCHITECTURE.md missing; failpoint registry table "
+            "unverifiable"))
+        return findings
+    for site in sites:
+        if f"`{site}`" not in docs_text and site not in docs_text:
+            findings.append(Finding(
+                "failpoint-docs", "src/common/failpoint.h", 1, site,
+                f"failpoint site '{site}' not documented in "
+                "docs/ARCHITECTURE.md's registry table"))
+    return findings
+
+
+# ---------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------
+
+
+def load_baseline(path):
+    entries = []
+    if not path.exists():
+        return entries
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split("|", 2)
+        if len(parts) != 3:
+            print(f"{path}:{lineno}: malformed baseline entry: {raw}",
+                  file=sys.stderr)
+            sys.exit(2)
+        entries.append({"rule": parts[0].strip(),
+                        "path": parts[1].strip(),
+                        "substring": parts[2].strip(),
+                        "lineno": lineno,
+                        "used": False})
+    return entries
+
+
+def apply_baseline(findings, entries):
+    kept = []
+    for f in findings:
+        suppressed = False
+        for e in entries:
+            if (e["rule"] == f.rule and e["path"] == f.path and
+                    e["substring"] in f.line):
+                e["used"] = True
+                suppressed = True
+                break
+        if not suppressed:
+            kept.append(f)
+    stale = [e for e in entries if not e["used"]]
+    return kept, stale
+
+
+# ---------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------
+
+
+def lint_tree(repo):
+    findings = []
+    for path in sorted(repo.glob("src/**/*")):
+        if path.suffix not in (".h", ".cpp"):
+            continue
+        rel = path.relative_to(repo).as_posix()
+        text = path.read_text()
+        if rel.startswith(RULE_A_DIRS) and not rel.startswith("src/simd/"):
+            findings.extend(check_raw_modmul(rel, text))
+        findings.extend(check_nodiscard(rel, text))
+        if RULE_C_FILES_RE.match(rel):
+            findings.extend(check_kernel_alloc(rel, text))
+    fp_path = repo / "src/common/failpoint.h"
+    docs_path = repo / "docs/ARCHITECTURE.md"
+    findings.extend(check_failpoint_docs(
+        fp_path.read_text() if fp_path.exists() else "",
+        docs_path.read_text() if docs_path.exists() else "",
+        docs_path.exists()))
+    return findings
+
+
+def self_test():
+    failures = []
+
+    def expect(name, cond):
+        print(("PASS" if cond else "FAIL") + f"  {name}")
+        if not cond:
+            failures.append(name)
+
+    # Rule A fires on a planted reduction, stays quiet on simd idiom.
+    dirty_a = "u64 r = x % p;\nacc = y % q_k;\n"
+    clean_a = ("simd::Active().mul_shoup_rows(dst, src, n, w, ws, p);\n"
+               "const std::size_t pos = pair % half;\n"
+               "// x % p in a comment\n"
+               'printf("%zu", n);\n')
+    expect("raw-modmul fires",
+           len(check_raw_modmul("src/ntt/x.cpp", dirty_a)) == 2)
+    expect("raw-modmul quiet on kernels/index math/comments",
+           check_raw_modmul("src/ntt/x.cpp", clean_a) == [])
+
+    # Rule B fires on a bare Try* declaration and a bare class Status.
+    dirty_b = "Result<Ciphertext> TryAdd(const Ciphertext &a) const;\n"
+    clean_b = ("[[nodiscard]] Result<Ciphertext>\n"
+               "TryAdd(const Ciphertext &a) const;\n"
+               "auto r = TryAdd(a);\n")
+    expect("nodiscard fires on bare Try*",
+           len(check_nodiscard("src/he/x.h", dirty_b)) == 1)
+    expect("nodiscard quiet on annotated decl + call site",
+           check_nodiscard("src/he/x.h", clean_b) == [])
+    dirty_b2 = "class Status\n{\n"
+    clean_b2 = "class [[nodiscard]] Status\n{\n"
+    expect("nodiscard fires on bare class Status",
+           len(check_nodiscard("src/common/status.h", dirty_b2)) == 1)
+    expect("nodiscard quiet on [[nodiscard]] class",
+           check_nodiscard("src/common/status.h", clean_b2) == [])
+
+    # Rule C fires on allocations, quiet on arena buffers.
+    dirty_c = ("auto p = std::make_unique<int[]>(n);\n"
+               "std::vector<u64> local(radix);\n"
+               "u64 *buf = new u64[n];\n")
+    clean_c = ("auto &rows = arena.Buffer<RowTask>();\n"
+               "rows.push_back({engine, row, n});\n"
+               "std::vector<u64> &ref = arena.Buffer<u64>();\n")
+    expect("kernel-alloc fires",
+           len(check_kernel_alloc("src/ntt/x.cpp", dirty_c)) == 3)
+    expect("kernel-alloc quiet on arena idiom",
+           check_kernel_alloc("src/ntt/x.cpp", clean_c) == [])
+
+    # Rule D fires on an undocumented site.
+    decls = ('inline constexpr const char *kA = "a.b";\n'
+             'inline constexpr const char *kC = "c.d";\n')
+    expect("failpoint-docs fires on missing site",
+           len(check_failpoint_docs(decls, "| `a.b` | ... |", True)) == 1)
+    expect("failpoint-docs quiet when documented",
+           check_failpoint_docs(decls, "`a.b` `c.d`", True) == [])
+
+    # Baseline suppresses a matching finding and reports stale entries.
+    f = check_raw_modmul("src/ntt/x.cpp", "u64 r = x % p;\n")
+    entries = [{"rule": "raw-modmul", "path": "src/ntt/x.cpp",
+                "substring": "x % p", "lineno": 1, "used": False},
+               {"rule": "raw-modmul", "path": "src/ntt/y.cpp",
+                "substring": "gone", "lineno": 2, "used": False}]
+    kept, stale = apply_baseline(f, entries)
+    expect("baseline suppresses matched finding", kept == [])
+    expect("baseline reports stale entries", len(stale) == 1)
+
+    print(f"\nself-test: {10 - len(failures)}/10 passed")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repo", type=Path, default=REPO,
+                        help="repository root (default: script's repo)")
+    parser.add_argument("--baseline", type=Path, default=BASELINE,
+                        help="baseline file of suppressed findings")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the linter's own checks and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+
+    findings = lint_tree(args.repo)
+    entries = load_baseline(args.baseline)
+    kept, stale = apply_baseline(findings, entries)
+
+    for f in kept:
+        print(f)
+    for e in stale:
+        print(f"{args.baseline}:{e['lineno']}: stale baseline entry "
+              f"(suppresses nothing): {e['rule']}|{e['path']}|"
+              f"{e['substring']}")
+    if kept or stale:
+        print(f"\nhentt_lint: {len(kept)} finding(s), "
+              f"{len(stale)} stale baseline entr(y/ies)")
+        sys.exit(1)
+    print("hentt_lint: clean")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

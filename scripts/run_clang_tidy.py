@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""clang-tidy driver with a baseline, mirroring hentt_lint's mechanism.
+
+Runs clang-tidy (checks from .clang-tidy) over every first-party
+translation unit in a build directory's compile_commands.json, then
+filters the diagnostics against scripts/clang_tidy_baseline.txt.
+A diagnostic is suppressed when a baseline entry's check name and file
+match and its substring occurs in the diagnostic line; entries that
+suppress nothing are reported as stale. Exit 1 on any new diagnostic
+or stale entry — the CI clang-tidy job gates on this.
+
+Baseline format (one per line, `#` comments):
+    check-name|path|substring
+
+Without clang-tidy installed the script exits 0 with a note (local
+dev containers ship only gcc); pass --require to turn that into a
+failure (CI does).
+"""
+
+import argparse
+import json
+import multiprocessing
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = REPO / "scripts" / "clang_tidy_baseline.txt"
+
+DIAG_RE = re.compile(
+    r"^(?P<path>[^:\s]+):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): (?P<message>.*?) \[(?P<check>[\w.,-]+)\]$")
+
+
+def find_clang_tidy(explicit):
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in ("clang-tidy", "clang-tidy-20", "clang-tidy-19",
+                 "clang-tidy-18", "clang-tidy-17", "clang-tidy-16",
+                 "clang-tidy-15"):
+        if shutil.which(name):
+            return name
+    return None
+
+
+def first_party_sources(build_dir):
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.exists():
+        print(f"error: {db_path} not found (configure with "
+              "CMAKE_EXPORT_COMPILE_COMMANDS=ON)", file=sys.stderr)
+        sys.exit(2)
+    sources = []
+    for entry in json.loads(db_path.read_text()):
+        src = Path(entry["file"])
+        try:
+            rel = src.resolve().relative_to(REPO).as_posix()
+        except ValueError:
+            continue  # out-of-repo (fetched third-party) TU
+        if rel.startswith(("src/", "tests/", "bench/")):
+            sources.append(src)
+    return sorted(set(sources))
+
+
+def load_baseline(path):
+    entries = []
+    if not path.exists():
+        return entries
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split("|", 2)
+        if len(parts) != 3:
+            print(f"{path}:{lineno}: malformed baseline entry: {raw}",
+                  file=sys.stderr)
+            sys.exit(2)
+        entries.append({"check": parts[0].strip(),
+                        "path": parts[1].strip(),
+                        "substring": parts[2].strip(),
+                        "lineno": lineno, "used": False})
+    return entries
+
+
+def parse_diags(output):
+    """Collapse clang-tidy output into unique (check, path, line, msg)."""
+    diags = {}
+    for line in output.splitlines():
+        m = DIAG_RE.match(line)
+        if not m:
+            continue
+        try:
+            rel = Path(m["path"]).resolve().relative_to(REPO).as_posix()
+        except ValueError:
+            continue  # diagnostic in a system/third-party header
+        key = (m["check"], rel, int(m["line"]), m["message"])
+        diags[key] = None
+    return [{"check": c, "path": p, "line": n, "message": msg}
+            for (c, p, n, msg) in diags]
+
+
+def apply_baseline(diags, entries):
+    kept = []
+    for d in diags:
+        suppressed = False
+        for e in entries:
+            if (e["check"] in d["check"] and e["path"] == d["path"] and
+                    e["substring"] in d["message"]):
+                e["used"] = True
+                suppressed = True
+                break
+        if not suppressed:
+            kept.append(d)
+    stale = [e for e in entries if not e["used"]]
+    return kept, stale
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build", type=Path, default=REPO / "build",
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: autodetect)")
+    parser.add_argument("--baseline", type=Path, default=BASELINE)
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 2) when clang-tidy is missing "
+                             "instead of skipping")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=multiprocessing.cpu_count())
+    args = parser.parse_args()
+
+    tidy = find_clang_tidy(args.clang_tidy)
+    if tidy is None:
+        msg = "run_clang_tidy: clang-tidy not found"
+        if args.require:
+            print(msg, file=sys.stderr)
+            sys.exit(2)
+        print(msg + "; skipping (pass --require to fail instead)")
+        sys.exit(0)
+
+    sources = first_party_sources(args.build)
+    if not sources:
+        print("run_clang_tidy: no first-party sources in the "
+              "compilation database", file=sys.stderr)
+        sys.exit(2)
+
+    print(f"run_clang_tidy: {tidy} over {len(sources)} TUs "
+          f"(-j{args.jobs})")
+    # One process per TU, capped at -j; clang-tidy has no internal
+    # parallelism worth using here.
+    procs, outputs, queue = [], [], list(sources)
+    failed_run = False
+    while queue or procs:
+        while queue and len(procs) < args.jobs:
+            src = queue.pop(0)
+            procs.append((src, subprocess.Popen(
+                [tidy, "-p", str(args.build), "--quiet", str(src)],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                text=True)))
+        src, proc = procs.pop(0)
+        out, _ = proc.communicate()
+        outputs.append(out)
+        # returncode != 0 covers both diagnostics-as-errors and crashes;
+        # crashes produce no DIAG_RE lines, so surface them explicitly.
+        if proc.returncode != 0 and not DIAG_RE.search(out or ""):
+            print(f"run_clang_tidy: {tidy} failed on {src}:\n{out}",
+                  file=sys.stderr)
+            failed_run = True
+
+    diags = parse_diags("\n".join(outputs))
+    entries = load_baseline(args.baseline)
+    kept, stale = apply_baseline(diags, entries)
+
+    for d in sorted(kept, key=lambda d: (d["path"], d["line"])):
+        print(f"{d['path']}:{d['line']}: {d['message']} "
+              f"[{d['check']}]")
+    for e in stale:
+        print(f"{args.baseline}:{e['lineno']}: stale baseline entry "
+              f"(suppresses nothing): {e['check']}|{e['path']}|"
+              f"{e['substring']}")
+
+    if kept or stale or failed_run:
+        print(f"\nrun_clang_tidy: {len(kept)} new diagnostic(s), "
+              f"{len(stale)} stale baseline entr(y/ies)")
+        sys.exit(1)
+    print(f"run_clang_tidy: clean ({len(diags)} baselined)")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

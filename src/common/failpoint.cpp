@@ -8,6 +8,8 @@
 #include <cstring>
 #include <string>
 
+#include "common/mutex.h"
+
 namespace hentt::fp {
 
 namespace {
@@ -37,6 +39,15 @@ constexpr std::size_t kSiteCount = sizeof(g_sites) / sizeof(g_sites[0]);
 
 /** Number of sites with mode != kOff — the macro fast gate. */
 std::atomic<int> g_armed_sites{0};
+
+/**
+ * Serialises the arming API (Arm/ArmNth/DisarmAll/ResetAll) against
+ * itself. Per-site state is atomic, so ShouldFire on pool workers never
+ * takes this lock; the mutex only keeps *compound* arming updates (e.g.
+ * ArmNth's read-passes/store-target/set-mode sequence) from interleaving
+ * when two harness threads reconfigure sites concurrently.
+ */
+Mutex g_arm_mutex;
 
 /** Roll RNG seed; bumping the epoch refreshes thread-local streams. */
 std::atomic<std::uint64_t> g_seed{0x9e3779b97f4a7c15ull};
@@ -142,6 +153,7 @@ Arm(const char *site, double probability)
                            "failpoint probability must be in [0,1]"));
     }
     Site &s = FindOrThrow(site);
+    MutexLock lock(g_arm_mutex);
     if (probability == 0.0) {
         SetMode(s, kOff);
         return;
@@ -158,6 +170,7 @@ ArmNth(const char *site, std::uint64_t nth)
                            "ArmNth: nth is 1-based; 0 never fires"));
     }
     Site &s = FindOrThrow(site);
+    MutexLock lock(g_arm_mutex);
     s.nth_target.store(s.passes.load(std::memory_order_relaxed) + nth,
                        std::memory_order_relaxed);
     SetMode(s, kNth);
@@ -166,6 +179,7 @@ ArmNth(const char *site, std::uint64_t nth)
 void
 DisarmAll()
 {
+    MutexLock lock(g_arm_mutex);
     for (auto &s : g_sites) {
         SetMode(s, kOff);
     }
@@ -174,6 +188,7 @@ DisarmAll()
 void
 ResetAll()
 {
+    MutexLock lock(g_arm_mutex);
     for (auto &s : g_sites) {
         SetMode(s, kOff);
         s.passes.store(0, std::memory_order_relaxed);

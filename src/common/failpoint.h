@@ -22,10 +22,14 @@
  * and lets test binaries link the same way in both configurations);
  * only the injection sites themselves vanish.
  *
- * Thread model: Arm/Disarm/SeedRng are test-harness calls and must not
- * race with in-flight pipeline work. ShouldFire is safe to call from
- * pool workers (per-site state is atomic; the RNG roll uses a
- * thread-local stream derived from the global seed).
+ * Thread model: per-site state is atomic and the arming API
+ * (Arm/ArmNth/DisarmAll/ResetAll) serialises on an internal mutex, so
+ * concurrent harness threads may reconfigure sites without tearing a
+ * compound update. ShouldFire is safe to call from pool workers (the
+ * RNG roll uses a thread-local stream derived from the global seed).
+ * Arming *while* a pipeline is in flight is well-defined but
+ * non-deterministic: passes already past the gate keep their old
+ * decision.
  */
 
 #ifndef HENTT_COMMON_FAILPOINT_H

@@ -61,7 +61,7 @@ const char *ErrorCodeName(ErrorCode code);
  * builds a new payload). The default-constructed Status is OK and holds
  * no allocation.
  */
-class Status
+class [[nodiscard]] Status
 {
   public:
     /** OK. */
@@ -92,7 +92,7 @@ class Status
      * chain (outer layers call this as the error climbs the stack).
      * No-op on OK.
      */
-    Status WithFrame(std::string frame) const;
+    [[nodiscard]] Status WithFrame(std::string frame) const;
 
     /** "poisoned: <msg> [at inner > outer]" ("ok" for success). */
     std::string ToString() const;
@@ -111,7 +111,7 @@ class Status
  * Construct from a T (success) or a non-OK Status (failure).
  */
 template <typename T>
-class Result
+class [[nodiscard]] Result
 {
   public:
     Result(T value) : value_(std::move(value)) {}
@@ -263,7 +263,7 @@ class ParallelError : public RuntimeStatusError
  * logic_error -> kFailedPrecondition, bad_alloc -> kResourceExhausted,
  * everything else -> kUnknown) with what() as the message.
  */
-Status CurrentExceptionToStatus();
+[[nodiscard]] Status CurrentExceptionToStatus();
 
 }  // namespace hentt
 

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Portable Clang thread-safety-analysis annotations.
+ *
+ * The concurrent core (ThreadPool, HeOpGraph, NttEngineRegistry, the
+ * failpoint registry, ScratchArena) encodes its locking discipline in
+ * these attributes so `clang -Wthread-safety` proves, at compile time,
+ * that every access to a guarded member happens with the right mutex
+ * held — the static sibling of the TSan CI leg. GCC and other
+ * compilers see empty macros: the annotations cost nothing and change
+ * nothing outside the clang static-analysis build (CI's
+ * clang-thread-safety job compiles with -Werror=thread-safety).
+ *
+ * Names follow the current Clang documentation (ACQUIRE/RELEASE
+ * vocabulary) behind a HENTT_ prefix. Use them through
+ * `common/mutex.h`'s annotated Mutex/MutexLock wrappers — a bare
+ * std::mutex is invisible to the analysis because libstdc++ does not
+ * annotate it.
+ */
+
+#ifndef HENTT_COMMON_THREAD_ANNOTATIONS_H
+#define HENTT_COMMON_THREAD_ANNOTATIONS_H
+
+#if defined(__clang__) && defined(__has_attribute)
+#define HENTT_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define HENTT_THREAD_ANNOTATION_IMPL(x)  // not clang: no-op
+#endif
+
+/** Class attribute: this type is a lockable capability ("mutex"). */
+#define HENTT_CAPABILITY(x) \
+    HENTT_THREAD_ANNOTATION_IMPL(capability(x))
+
+/** Class attribute: RAII object holding a capability for its scope. */
+#define HENTT_SCOPED_CAPABILITY \
+    HENTT_THREAD_ANNOTATION_IMPL(scoped_lockable)
+
+/** Data member readable/writable only with the capability held. */
+#define HENTT_GUARDED_BY(x) HENTT_THREAD_ANNOTATION_IMPL(guarded_by(x))
+
+/** Pointer member whose *pointee* is guarded by the capability. */
+#define HENTT_PT_GUARDED_BY(x) \
+    HENTT_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+
+/** Function precondition: capability held on entry (and on exit). */
+#define HENTT_REQUIRES(...) \
+    HENTT_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+
+/** Function acquires the capability (not held on entry). */
+#define HENTT_ACQUIRE(...) \
+    HENTT_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+
+/** Function releases the capability (held on entry). */
+#define HENTT_RELEASE(...) \
+    HENTT_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+
+/** Function acquires the capability when returning @p result. */
+#define HENTT_TRY_ACQUIRE(...) \
+    HENTT_THREAD_ANNOTATION_IMPL(try_acquire_capability(__VA_ARGS__))
+
+/** Function must NOT be called with the capability held (deadlock
+ *  guard for functions that acquire it themselves). */
+#define HENTT_EXCLUDES(...) \
+    HENTT_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+
+/** Documented lock-ordering edge: this mutex is acquired before @p x.
+ *  Checked under -Wthread-safety-beta; documentation otherwise. */
+#define HENTT_ACQUIRED_BEFORE(...) \
+    HENTT_THREAD_ANNOTATION_IMPL(acquired_before(__VA_ARGS__))
+
+/** Documented lock-ordering edge: acquired while @p x is held. */
+#define HENTT_ACQUIRED_AFTER(...) \
+    HENTT_THREAD_ANNOTATION_IMPL(acquired_after(__VA_ARGS__))
+
+/** Function returns a reference to a capability-guarded object. */
+#define HENTT_RETURN_CAPABILITY(x) \
+    HENTT_THREAD_ANNOTATION_IMPL(lock_returned(x))
+
+/** Escape hatch: skip analysis of this function body (its interface
+ *  annotations still apply to callers). Use sparingly, with a comment
+ *  saying why the body defeats the analysis. */
+#define HENTT_NO_THREAD_SAFETY_ANALYSIS \
+    HENTT_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)
+
+#endif  // HENTT_COMMON_THREAD_ANNOTATIONS_H

@@ -26,7 +26,7 @@ ThreadPool::ThreadPool(std::size_t workers)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
     wake_cv_.notify_all();
@@ -52,7 +52,7 @@ ThreadPool::Execute(void (*fn)(void *, std::size_t), void *ctx,
             Status status =
                 CurrentExceptionToStatus().WithFrame(
                     "pool task " + std::to_string(i));
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             if (!first_error_) {
                 first_error_ = std::current_exception();
             }
@@ -82,9 +82,9 @@ ThreadPool::Run(std::size_t count, void (*fn)(void *, std::size_t),
 
     // One job at a time; concurrent callers queue here rather than
     // clobbering the shared job slot.
-    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    MutexLock run_lock(run_mutex_);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         fn_ = fn;
         ctx_ = ctx;
         count_ = count;
@@ -99,25 +99,32 @@ ThreadPool::Run(std::size_t count, void (*fn)(void *, std::size_t),
     Execute(fn, ctx, count);
     t_inside_job = false;
 
-    // All indices are claimed; wait for workers still inside fn. Late
-    // wakers find the counter exhausted and skip the job entirely.
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [this] { return active_ == 0; });
-    fn_ = nullptr;
-    ctx_ = nullptr;
-    if (!report_.ok()) {
-        ErrorReport report = std::move(report_);
-        report_.errors.clear();
-        std::exception_ptr first = std::move(first_error_);
-        first_error_ = nullptr;
-        lock.unlock();
-        if (report.size() == 1 && first) {
-            // One failure: hand back the original exception so callers
-            // catching its concrete type still work.
-            std::rethrow_exception(first);
+    ErrorReport report;
+    std::exception_ptr first;
+    {
+        // All indices are claimed; wait for workers still inside fn.
+        // Late wakers find the counter exhausted and skip the job
+        // entirely.
+        MutexLock lock(mutex_);
+        while (active_ != 0) {
+            done_cv_.wait(mutex_);
         }
-        throw ParallelError(std::move(report));
+        fn_ = nullptr;
+        ctx_ = nullptr;
+        if (report_.ok()) {
+            return;
+        }
+        report = std::move(report_);
+        report_.errors.clear();
+        first = std::move(first_error_);
+        first_error_ = nullptr;
     }
+    if (report.size() == 1 && first) {
+        // One failure: hand back the original exception so callers
+        // catching its concrete type still work.
+        std::rethrow_exception(first);
+    }
+    throw ParallelError(std::move(report));
 }
 
 void
@@ -129,10 +136,10 @@ ThreadPool::WorkerLoop()
         void *ctx = nullptr;
         std::size_t count = 0;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            wake_cv_.wait(lock, [&] {
-                return stop_ || generation_ != seen;
-            });
+            MutexLock lock(mutex_);
+            while (!stop_ && generation_ == seen) {
+                wake_cv_.wait(mutex_);
+            }
             if (stop_) {
                 return;
             }
@@ -149,7 +156,7 @@ ThreadPool::WorkerLoop()
         Execute(fn, ctx, count);
         t_inside_job = false;
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             --active_;
         }
         done_cv_.notify_one();
@@ -172,8 +179,8 @@ InitialLaneCount()
 }
 
 struct GlobalPoolState {
-    std::mutex mutex;  // guards pool (re)construction only
-    std::shared_ptr<ThreadPool> pool;
+    Mutex mutex;  // guards pool (re)construction only
+    std::shared_ptr<ThreadPool> pool HENTT_GUARDED_BY(mutex);
     std::atomic<std::size_t> lanes{InitialLaneCount()};
     std::atomic<std::size_t> grain{std::size_t{1} << 13};
 };
@@ -191,7 +198,7 @@ std::shared_ptr<ThreadPool>
 AcquireGlobalThreadPool()
 {
     GlobalPoolState &s = State();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    MutexLock lock(s.mutex);
     if (!s.pool) {
         s.pool = std::make_shared<ThreadPool>(
             s.lanes.load(std::memory_order_relaxed) - 1);
@@ -204,7 +211,7 @@ SetGlobalThreadCount(std::size_t lanes)
 {
     GlobalPoolState &s = State();
     s.lanes.store(lanes == 0 ? 1 : lanes, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(s.mutex);
+    MutexLock lock(s.mutex);
     // Rebuilt lazily at the new size; in-flight jobs keep the old pool
     // alive through their shared_ptr until they drain.
     s.pool.reset();

@@ -20,17 +20,16 @@
 #define HENTT_COMMON_THREAD_POOL_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/bitops.h"
 #include "common/failpoint.h"
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace hentt {
@@ -76,33 +75,37 @@ class ThreadPool
      * @param ctx   opaque pointer forwarded to every fn invocation
      */
     void Run(std::size_t count, void (*fn)(void *, std::size_t),
-             void *ctx);
+             void *ctx) HENTT_EXCLUDES(run_mutex_, mutex_);
 
   private:
     void WorkerLoop();
     void Execute(void (*fn)(void *, std::size_t), void *ctx,
-                 std::size_t count);
+                 std::size_t count) HENTT_EXCLUDES(mutex_);
 
     std::vector<std::thread> workers_;
 
-    std::mutex run_mutex_;  // serialises concurrent Run() callers
-    std::mutex mutex_;
-    std::condition_variable wake_cv_;
-    std::condition_variable done_cv_;
+    // Lock order (enforced by the annotations, exercised by the TSan
+    // leg): run_mutex_ before mutex_ — Run() holds run_mutex_ for the
+    // whole job and takes mutex_ briefly to publish/tear down it.
+    Mutex run_mutex_ HENTT_ACQUIRED_BEFORE(mutex_);
+    Mutex mutex_;
+    CondVar wake_cv_;
+    CondVar done_cv_;
 
     // Current job, guarded by mutex_ (next_ also claimed lock-free).
-    void (*fn_)(void *, std::size_t) = nullptr;
-    void *ctx_ = nullptr;
-    std::size_t count_ = 0;
+    void (*fn_)(void *, std::size_t) HENTT_GUARDED_BY(mutex_) = nullptr;
+    void *ctx_ HENTT_GUARDED_BY(mutex_) = nullptr;
+    std::size_t count_ HENTT_GUARDED_BY(mutex_) = 0;
     std::atomic<std::size_t> next_{0};
-    std::size_t active_ = 0;      // workers currently inside the job
-    std::uint64_t generation_ = 0;
+    /** Workers currently inside the job. */
+    std::size_t active_ HENTT_GUARDED_BY(mutex_) = 0;
+    std::uint64_t generation_ HENTT_GUARDED_BY(mutex_) = 0;
     // Failure aggregation for the current job: every task's Status plus
     // the first raw exception (rethrown verbatim on single failures so
     // callers catching concrete std types keep working).
-    ErrorReport report_;
-    std::exception_ptr first_error_;
-    bool stop_ = false;
+    ErrorReport report_ HENTT_GUARDED_BY(mutex_);
+    std::exception_ptr first_error_ HENTT_GUARDED_BY(mutex_);
+    bool stop_ HENTT_GUARDED_BY(mutex_) = false;
 };
 
 /**

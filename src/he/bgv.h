@@ -150,17 +150,18 @@ class BgvScheme
      * These are the entry points a long-lived server loop calls — one
      * malformed request must not unwind the serving thread.
      */
-    Result<Ciphertext> TryAdd(const Ciphertext &a,
-                              const Ciphertext &b) const;
-    Result<Ciphertext> TrySub(const Ciphertext &a,
-                              const Ciphertext &b) const;
-    Result<Ciphertext> TryMul(const Ciphertext &a,
-                              const Ciphertext &b) const;
-    Result<Ciphertext> TryRelinearize(const Ciphertext &ct,
-                                      const RelinKey &rk) const;
-    Result<Ciphertext> TryRelinModSwitch(const Ciphertext &ct,
-                                         const RelinKey &rk) const;
-    Result<Ciphertext> TryModSwitch(const Ciphertext &ct) const;
+    [[nodiscard]] Result<Ciphertext> TryAdd(const Ciphertext &a,
+                                            const Ciphertext &b) const;
+    [[nodiscard]] Result<Ciphertext> TrySub(const Ciphertext &a,
+                                            const Ciphertext &b) const;
+    [[nodiscard]] Result<Ciphertext> TryMul(const Ciphertext &a,
+                                            const Ciphertext &b) const;
+    [[nodiscard]] Result<Ciphertext>
+    TryRelinearize(const Ciphertext &ct, const RelinKey &rk) const;
+    [[nodiscard]] Result<Ciphertext>
+    TryRelinModSwitch(const Ciphertext &ct, const RelinKey &rk) const;
+    [[nodiscard]] Result<Ciphertext>
+    TryModSwitch(const Ciphertext &ct) const;
 
     /** Current level (RNS primes remaining) of a ciphertext. */
     static std::size_t Level(const Ciphertext &ct)

@@ -254,14 +254,17 @@ struct RelinCore {
     std::size_t acc_off = 0;
 };
 
-/** @pre the caller holds a ScratchArena::OpScope on ctx.scratch() for
- *  the whole op (the arena owns every buffer this fills). */
+/** @pre the caller holds a ScratchArena::OpScope on @p arena (which is
+ *  ctx.scratch()) for the whole op — the arena owns every buffer this
+ *  fills. Enforced by the thread-safety analysis via the REQUIRES
+ *  clause on the arena capability. */
 RelinCore
 RelinGadgetAccumulate(const HeContext &ctx, const RelinKey &rk,
+                      ScratchArena &arena,
                       std::span<const Ciphertext *const> in,
                       std::size_t min_primes, const char *op)
+    HENTT_REQUIRES(arena.mutex())
 {
-    ScratchArena &arena = ctx.scratch();
     auto &nodes = arena.Buffer<RelinNode>();
     nodes.clear();
     std::size_t total_digits = 0;
@@ -635,7 +638,7 @@ BatchRelinearize(const HeContext &ctx, const RelinKey &rk,
     ScratchArena &arena = ctx.scratch();
     const ScratchArena::OpScope scope(arena);
     const RelinCore core = RelinGadgetAccumulate(
-        ctx, rk, in, /*min_primes=*/1, "BatchRelinearize");
+        ctx, rk, arena, in, /*min_primes=*/1, "BatchRelinearize");
     auto &nodes = *core.nodes;
     auto &polys = *core.polys;
 
@@ -703,7 +706,7 @@ BatchRelinModSwitch(const HeContext &ctx, const RelinKey &rk,
     ScratchArena &arena = ctx.scratch();
     const ScratchArena::OpScope scope(arena);
     const RelinCore core = RelinGadgetAccumulate(
-        ctx, rk, in, /*min_primes=*/2, "BatchRelinModSwitch");
+        ctx, rk, arena, in, /*min_primes=*/2, "BatchRelinModSwitch");
     auto &nodes = *core.nodes;
     auto &polys = *core.polys;
 

@@ -14,7 +14,11 @@ namespace hentt::he {
 bool
 CtFuture::ready() const
 {
-    return graph_ != nullptr && graph_->nodes_[node_].done;
+    if (graph_ == nullptr) {
+        return false;
+    }
+    MutexLock lock(graph_->mutex_);
+    return graph_->nodes_[node_].done;
 }
 
 const Ciphertext &
@@ -27,6 +31,7 @@ CtFuture::get() const
                            "node")
                         .WithFrame("CtFuture::get"));
     }
+    MutexLock lock(graph_->mutex_);
     if (!graph_->nodes_[node_].done) {
         // Demanding a node pins it into the schedule: a previous
         // bypass is undone, and the fusion pass of the Execute() this
@@ -35,7 +40,7 @@ CtFuture::get() const
         // ModSwitch would return an empty value.
         graph_->nodes_[node_].demanded = true;
         graph_->nodes_[node_].fused_away = false;
-        graph_->Execute();
+        graph_->ExecuteLocked();
     }
     const HeOpGraph::Node &node = graph_->nodes_[node_];
     if (!node.status.ok()) {
@@ -43,6 +48,8 @@ CtFuture::get() const
             "CtFuture::get(node " + std::to_string(node_) + ", " +
             HeOpGraph::KindName(node.kind) + ")"));
     }
+    // Safe to hand out without the lock: settled nodes are immutable
+    // and deque storage never relocates them.
     return node.value;
 }
 
@@ -63,6 +70,7 @@ CtFuture::status() const
         return Status(ErrorCode::kUnavailable,
                       "empty CtFuture: bound to no graph node");
     }
+    MutexLock lock(graph_->mutex_);
     const HeOpGraph::Node &node = graph_->nodes_[node_];
     if (!node.done) {
         return Status(ErrorCode::kUnavailable,
@@ -127,6 +135,7 @@ HeOpGraph::Enqueue(Kind kind, std::size_t a, std::size_t b)
     node.kind = kind;
     node.a = a;
     node.b = b;
+    MutexLock lock(mutex_);
     nodes_.push_back(std::move(node));
     return CtFuture(this, nodes_.size() - 1);
 }
@@ -138,6 +147,7 @@ HeOpGraph::Input(Ciphertext ct)
     node.kind = Kind::kInput;
     node.done = true;
     node.value = std::move(ct);
+    MutexLock lock(mutex_);
     nodes_.push_back(std::move(node));
     return CtFuture(this, nodes_.size() - 1);
 }
@@ -196,6 +206,7 @@ HeOpGraph::MulRelinModSwitch(CtFuture a, CtFuture b)
 std::size_t
 HeOpGraph::pending() const
 {
+    MutexLock lock(mutex_);
     std::size_t count = 0;
     for (const Node &node : nodes_) {
         if (!node.done && !node.fused_away) {
@@ -207,6 +218,13 @@ HeOpGraph::pending() const
 
 void
 HeOpGraph::Execute()
+{
+    MutexLock lock(mutex_);
+    ExecuteLocked();
+}
+
+void
+HeOpGraph::ExecuteLocked()
 {
     // Auto-fusion pass: a pending Relinearize whose ONLY consumer is a
     // pending ModSwitch collapses into that consumer as one fused
@@ -394,8 +412,9 @@ HeOpGraph::Execute()
 Status
 HeOpGraph::ExecuteStatus()
 {
+    MutexLock lock(mutex_);
     try {
-        Execute();
+        ExecuteLocked();
     } catch (...) {
         return CurrentExceptionToStatus().WithFrame(
             "HeOpGraph::ExecuteStatus");

@@ -31,6 +31,7 @@
 #include <cstddef>
 #include <deque>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "he/bgv.h"
 
@@ -71,14 +72,14 @@ class CtFuture
      * returns either a pointer to the computed ciphertext or the node's
      * failure Status.
      */
-    Result<const Ciphertext *> TryGet() const;
+    [[nodiscard]] Result<const Ciphertext *> TryGet() const;
 
     /**
      * This node's failure state without forcing execution: OK when the
      * node computed successfully, kUnavailable when the node is still
      * pending (or the handle is empty), otherwise the contained error.
      */
-    Status status() const;
+    [[nodiscard]] Status status() const;
 
   private:
     friend class HeOpGraph;
@@ -97,6 +98,16 @@ class CtFuture
  * by the op methods and computed by Execute(); a graph can keep
  * growing after partial execution (already-computed nodes are never
  * re-run).
+ *
+ * Thread safety: every public method (and every CtFuture accessor)
+ * takes the graph's internal mutex, so futures may be handed to other
+ * threads and forced concurrently — the winner runs the pending
+ * wavefronts, the others block and then read settled results. Node
+ * values are immutable once settled and node storage is a deque, so
+ * references returned by get() stay valid without the lock. The graph
+ * mutex is held across batched-kernel execution and is acquired
+ * *before* the context's ScratchArena mutex and the ThreadPool's run
+ * mutex (see ARCHITECTURE.md's lock-ordering table).
  */
 class HeOpGraph
 {
@@ -175,7 +186,7 @@ class HeOpGraph
      * CtFuture to it stays legal — get() materialises it on demand
      * with a standalone Relinearize.
      */
-    void Execute();
+    void Execute() HENTT_EXCLUDES(mutex_);
 
     /**
      * Execute() with the error report as a value: runs every pending
@@ -184,13 +195,17 @@ class HeOpGraph
      * Configuration errors that Execute() throws are returned as a
      * Status too — this entry point never throws library errors.
      */
-    Status ExecuteStatus();
+    [[nodiscard]] Status ExecuteStatus() HENTT_EXCLUDES(mutex_);
 
     /** Number of nodes ever added (inputs included). */
-    std::size_t size() const { return nodes_.size(); }
+    std::size_t size() const HENTT_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return nodes_.size();
+    }
 
     /** Number of nodes not yet computed. */
-    std::size_t pending() const;
+    std::size_t pending() const HENTT_EXCLUDES(mutex_);
 
   private:
     friend class CtFuture;
@@ -229,17 +244,25 @@ class HeOpGraph
     /** Display name of a node kind ("Mul", "RelinModSwitch", ...). */
     static const char *KindName(Kind kind);
 
-    CtFuture Enqueue(Kind kind, std::size_t a, std::size_t b);
+    /** Execute() body; the public entry points wrap it in the lock. */
+    void ExecuteLocked() HENTT_REQUIRES(mutex_);
+
+    CtFuture Enqueue(Kind kind, std::size_t a, std::size_t b)
+        HENTT_EXCLUDES(mutex_);
     std::size_t CheckOwned(const CtFuture &f) const;
     /** Settle node @p i as failed with @p status (provenance frame
      *  "HeOpGraph node i (Kind)" appended). */
-    void SettleFailed(std::size_t i, Status status);
+    void SettleFailed(std::size_t i, Status status)
+        HENTT_REQUIRES(mutex_);
 
     const BgvScheme &scheme_;
     const RelinKey *rk_;
+    // Serialises node appends, execution, and future reads; ordered
+    // before the arena and pool mutexes the batched kernels take.
+    mutable Mutex mutex_;
     // Deque, not vector: references returned by CtFuture::get() must
     // stay valid while the graph keeps growing (ops append nodes).
-    std::deque<Node> nodes_;
+    std::deque<Node> nodes_ HENTT_GUARDED_BY(mutex_);
 };
 
 }  // namespace hentt::he

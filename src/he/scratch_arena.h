@@ -23,16 +23,17 @@
 #ifndef HENTT_HE_SCRATCH_ARENA_H
 #define HENTT_HE_SCRATCH_ARENA_H
 
+#include <atomic>
 #include <cstddef>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <typeindex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "poly/rns_poly.h"
 
@@ -51,17 +52,34 @@ class ScratchArena
      * the whole point. Keep the scope alive for as long as any
      * NextPoly/Buffer result is in use.
      */
-    class OpScope
+    class HENTT_SCOPED_CAPABILITY OpScope
     {
       public:
-        explicit OpScope(ScratchArena &arena) : lock_(arena.mutex_)
+        // The body is hand-audited instead of analyzed: the canary
+        // check can throw, and the catch-unlock-rethrow that keeps the
+        // mutex balanced on that path confuses the (exception-blind)
+        // thread-safety analysis. The interface annotations still hold
+        // for callers.
+        explicit OpScope(ScratchArena &arena)
+            HENTT_ACQUIRE(arena.mutex_) HENTT_NO_THREAD_SAFETY_ANALYSIS
+            : arena_(arena)
         {
-            arena.CheckCanaries();
-            arena.polys_used_ = 0;
+            arena_.mutex_.lock();
+            try {
+                arena_.CheckCanaries();
+                arena_.polys_used_ = 0;
+            } catch (...) {
+                arena_.mutex_.unlock();
+                throw;
+            }
         }
+        ~OpScope() HENTT_RELEASE() { arena_.mutex_.unlock(); }
+
+        OpScope(const OpScope &) = delete;
+        OpScope &operator=(const OpScope &) = delete;
 
       private:
-        std::lock_guard<std::mutex> lock_;
+        ScratchArena &arena_;
     };
 
     /**
@@ -73,13 +91,16 @@ class ScratchArena
      */
     RnsPoly &
     NextPoly(const std::shared_ptr<const RnsNttContext> &level, bool zero)
+        HENTT_REQUIRES(mutex_)
     {
         HENTT_FAILPOINT(fp::kArenaAlloc);
-        if (poly_budget_ != 0 && polys_used_ >= poly_budget_) {
+        const std::size_t budget =
+            poly_budget_.load(std::memory_order_relaxed);
+        if (budget != 0 && polys_used_ >= budget) {
             ThrowStatus(
                 Status(ErrorCode::kResourceExhausted,
                        "scratch arena poly budget exhausted (" +
-                           std::to_string(poly_budget_) + " polys)")
+                           std::to_string(budget) + " polys)")
                     .WithFrame("ScratchArena::NextPoly"));
         }
         if (polys_used_ == polys_.size()) {
@@ -99,13 +120,23 @@ class ScratchArena
      * past the cap throws kResourceExhausted. 0 (the default) means
      * unlimited. A test/containment knob — production leaves it at 0 —
      * that makes "allocation failure mid-op" a deterministic, repeatable
-     * event instead of an OOM lottery.
+     * event instead of an OOM lottery. Atomic (not arena-mutex-guarded)
+     * so a test harness can set it without entering an OpScope.
      */
-    void SetPolyBudget(std::size_t budget) { poly_budget_ = budget; }
-    std::size_t PolyBudget() const { return poly_budget_; }
+    void SetPolyBudget(std::size_t budget)
+    {
+        poly_budget_.store(budget, std::memory_order_relaxed);
+    }
+    std::size_t PolyBudget() const
+    {
+        return poly_budget_.load(std::memory_order_relaxed);
+    }
 
     /** Pooled polynomials currently handed out in this op scope. */
-    std::size_t PolysUsed() const { return polys_used_; }
+    std::size_t PolysUsed() const HENTT_REQUIRES(mutex_)
+    {
+        return polys_used_;
+    }
 
     /**
      * A reusable task array of POD-ish type @p T, keyed by type. The
@@ -114,9 +145,13 @@ class ScratchArena
      * same T within one op would clobber each other — the kernels give
      * every simultaneously-live task list its own struct type.
      */
+    /** The arena capability, for REQUIRES annotations on helper
+     *  functions whose caller holds the OpScope. */
+    Mutex &mutex() HENTT_RETURN_CAPABILITY(mutex_) { return mutex_; }
+
     template <typename T>
     std::vector<T> &
-    Buffer()
+    Buffer() HENTT_REQUIRES(mutex_)
     {
         auto &slot = buffers_[std::type_index(typeid(T))];
         if (!slot) {
@@ -142,7 +177,7 @@ class ScratchArena
      * invariant) and reports the corruption as kInternal — at the op
      * boundary, not as silently wrong ciphertexts N ops later.
      */
-    void CheckCanaries()
+    void CheckCanaries() HENTT_REQUIRES(mutex_)
     {
         std::size_t smashed = 0;
         for (RnsPoly &poly : polys_) {
@@ -163,13 +198,13 @@ class ScratchArena
     }
 
     // Serialises arena-backed ops on one context (held by OpScope).
-    std::mutex mutex_;
+    Mutex mutex_;
     // Deque: NextPoly references must survive later growth.
-    std::deque<RnsPoly> polys_;
-    std::size_t polys_used_ = 0;
-    std::size_t poly_budget_ = 0;  // 0 = unlimited
+    std::deque<RnsPoly> polys_ HENTT_GUARDED_BY(mutex_);
+    std::size_t polys_used_ HENTT_GUARDED_BY(mutex_) = 0;
+    std::atomic<std::size_t> poly_budget_{0};  // 0 = unlimited
     std::unordered_map<std::type_index, std::unique_ptr<HolderBase>>
-        buffers_;
+        buffers_ HENTT_GUARDED_BY(mutex_);
 };
 
 }  // namespace hentt::he

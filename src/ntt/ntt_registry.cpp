@@ -14,7 +14,7 @@ NttEngineRegistry::Acquire(std::size_t n, u64 p, std::size_t ot_base)
 {
     const Key key{n, p, ot_base};
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         const auto it = cache_.find(key);
         if (it != cache_.end()) {
             if (auto live = it->second.lock()) {
@@ -25,7 +25,7 @@ NttEngineRegistry::Acquire(std::size_t n, u64 p, std::size_t ot_base)
     // Build outside the lock; on a race the first live insert wins and
     // the duplicate is discarded.
     auto built = std::make_shared<const NttEngine>(n, p, ot_base);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // Engine builds are rare and expensive, so sweeping dead entries
     // here keeps the map bounded by the live working set for free.
     for (auto it = cache_.begin(); it != cache_.end();) {
@@ -42,7 +42,7 @@ NttEngineRegistry::Acquire(std::size_t n, u64 p, std::size_t ot_base)
 std::size_t
 NttEngineRegistry::cached_count() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::size_t live = 0;
     for (const auto &[key, entry] : cache_) {
         live += entry.expired() ? 0 : 1;
@@ -53,7 +53,7 @@ NttEngineRegistry::cached_count() const
 void
 NttEngineRegistry::Clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     cache_.clear();
 }
 

@@ -22,9 +22,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <tuple>
 
+#include "common/mutex.h"
 #include "ntt/ntt_engine.h"
 
 namespace hentt {
@@ -43,19 +43,21 @@ class NttEngineRegistry
      * slow twiddle build never stalls unrelated lookups.
      */
     std::shared_ptr<const NttEngine>
-    Acquire(std::size_t n, u64 p, std::size_t ot_base = 1024);
+    Acquire(std::size_t n, u64 p, std::size_t ot_base = 1024)
+        HENTT_EXCLUDES(mutex_);
 
     /** Number of distinct live engines currently cached. */
-    std::size_t cached_count() const;
+    std::size_t cached_count() const HENTT_EXCLUDES(mutex_);
 
     /** Drop every cache entry (outstanding shared_ptrs stay valid). */
-    void Clear();
+    void Clear() HENTT_EXCLUDES(mutex_);
 
   private:
     using Key = std::tuple<std::size_t, u64, std::size_t>;
 
-    mutable std::mutex mutex_;
-    std::map<Key, std::weak_ptr<const NttEngine>> cache_;
+    mutable Mutex mutex_;
+    std::map<Key, std::weak_ptr<const NttEngine>> cache_
+        HENTT_GUARDED_BY(mutex_);
 };
 
 }  // namespace hentt

@@ -1,0 +1,273 @@
+/**
+ * Concurrency stress suite — the runtime companion of the
+ * static-analysis layer (thread-safety annotations + TSan CI leg).
+ *
+ * Each test hammers one locking seam from several threads at once:
+ * registry Acquire/Clear churn, two graphs sharing one context's
+ * scratch arena, many getters forcing one graph, ParallelFor racing a
+ * pool rebuild, and concurrent failpoint (re)arming. Under a plain
+ * build these assert functional correctness (no lost updates, same
+ * answer from every thread); under -fsanitize=thread they are the
+ * probes that make a data race in any of those seams a hard failure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/modarith.h"
+#include "common/primegen.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "he/he_graph.h"
+#include "ntt/ntt_registry.h"
+
+namespace hentt {
+namespace {
+
+constexpr std::size_t kThreads = 4;
+
+// ---------------------------------------------------------------------
+// NttEngineRegistry: Acquire/Clear/cached_count churn
+// ---------------------------------------------------------------------
+
+TEST(ConcurrencyStressTest, RegistryAcquireClearChurn)
+{
+    NttEngineRegistry registry;
+    const std::vector<u64> primes = GenerateNttPrimes(128, 30, 3);
+    std::atomic<bool> failed{false};
+
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&registry, &primes, &failed, t] {
+            for (std::size_t i = 0; i < 200; ++i) {
+                const u64 p = primes[(t + i) % primes.size()];
+                const auto engine =
+                    registry.Acquire(64, p, /*ot_base=*/64);
+                if (!engine || engine->size() != 64) {
+                    failed.store(true, std::memory_order_relaxed);
+                    return;
+                }
+                if (i % 17 == 0) {
+                    registry.Clear();
+                }
+                // Racy by design: the count is only required to be a
+                // coherent value, not a stable one.
+                (void)registry.cached_count();
+            }
+        });
+    }
+    for (std::thread &t : threads) {
+        t.join();
+    }
+    EXPECT_FALSE(failed.load());
+    registry.Clear();
+    EXPECT_EQ(registry.cached_count(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// HE pipeline fixtures
+// ---------------------------------------------------------------------
+
+class PipelineStressTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        he::HeParams params;
+        params.degree = 64;
+        params.prime_count = 4;
+        params.prime_bits = 50;
+        params.plain_modulus = 257;
+        ctx_ = std::make_shared<he::HeContext>(params);
+        scheme_ = std::make_unique<he::BgvScheme>(ctx_, /*seed=*/11);
+        sk_.emplace(scheme_->KeyGen());
+        rk_.emplace(scheme_->MakeRelinKey(*sk_));
+    }
+
+    he::Plaintext
+    RandomPlain(u64 seed) const
+    {
+        Xoshiro256 rng(seed);
+        he::Plaintext m(ctx_->degree());
+        for (u64 &x : m) {
+            x = rng.NextBelow(ctx_->params().plain_modulus);
+        }
+        return m;
+    }
+
+    he::Plaintext
+    PlainAdd(const he::Plaintext &a, const he::Plaintext &b) const
+    {
+        const u64 t = ctx_->params().plain_modulus;
+        he::Plaintext c(a.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            c[i] = AddMod(a[i], b[i], t);
+        }
+        return c;
+    }
+
+    std::shared_ptr<he::HeContext> ctx_;
+    std::unique_ptr<he::BgvScheme> scheme_;
+    std::optional<he::SecretKey> sk_;
+    std::optional<he::RelinKey> rk_;
+};
+
+// Two graphs on ONE context executed from two threads: every batched
+// kernel call from both serialises on the shared scratch arena while
+// the graphs' own mutexes stay independent — the exact lock ordering
+// (graph -> arena -> pool) the annotations encode.
+TEST_F(PipelineStressTest, TwoGraphsShareOneArenaAcrossThreads)
+{
+    const he::Plaintext ma = RandomPlain(21), mb = RandomPlain(22);
+    const he::Ciphertext ca = scheme_->Encrypt(*sk_, ma);
+    const he::Ciphertext cb = scheme_->Encrypt(*sk_, mb);
+
+    he::HeOpGraph g1(*scheme_, &*rk_);
+    he::HeOpGraph g2(*scheme_, &*rk_);
+    std::vector<he::CtFuture> f1, f2;
+    for (std::size_t i = 0; i < 6; ++i) {
+        f1.push_back(g1.Add(g1.Input(ca), g1.Input(cb)));
+        f2.push_back(
+            g2.MulRelinModSwitch(g2.Input(ca), g2.Input(cb)));
+    }
+
+    std::thread t1([&] { g1.Execute(); });
+    std::thread t2([&] { g2.Execute(); });
+    t1.join();
+    t2.join();
+
+    const he::Plaintext sum = PlainAdd(ma, mb);
+    for (const he::CtFuture &f : f1) {
+        EXPECT_EQ(scheme_->Decrypt(*sk_, f.get()), sum);
+    }
+    for (const he::CtFuture &f : f2) {
+        EXPECT_EQ(f.status().code(), ErrorCode::kOk);
+    }
+}
+
+// Many threads force ONE graph through the same future: exactly one
+// runs the wavefronts, the rest block on the graph mutex and then read
+// the settled node. This was an unguarded nodes_ access before the
+// graph grew its mutex.
+TEST_F(PipelineStressTest, ConcurrentGetOnOneGraph)
+{
+    const he::Plaintext ma = RandomPlain(31), mb = RandomPlain(32);
+    const he::Ciphertext ca = scheme_->Encrypt(*sk_, ma);
+    const he::Ciphertext cb = scheme_->Encrypt(*sk_, mb);
+
+    he::HeOpGraph graph(*scheme_, &*rk_);
+    const he::CtFuture prod =
+        graph.MulRelin(graph.Input(ca), graph.Input(cb));
+    const he::CtFuture sum = graph.Add(prod, graph.Input(ca));
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            const he::Ciphertext &a = sum.get();
+            const he::Ciphertext &b = sum.get();
+            // Settled nodes are immutable: every get() must hand back
+            // the same object.
+            if (&a != &b || !sum.ready()) {
+                failures.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (std::thread &t : threads) {
+        t.join();
+    }
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(graph.pending(), 0u);
+    EXPECT_EQ(sum.status().code(), ErrorCode::kOk);
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool: ParallelFor racing a pool rebuild
+// ---------------------------------------------------------------------
+
+TEST(ConcurrencyStressTest, ParallelForDuringThreadCountChange)
+{
+    const std::size_t initial = GlobalThreadCount();
+    constexpr std::size_t kItems = 512;
+    // Per-item work above the grain so the job actually dispatches to
+    // the pool instead of taking the serial fast path.
+    const std::size_t work = ParallelGrain();
+
+    std::atomic<std::size_t> total{0};
+    std::atomic<bool> stop{false};
+    std::thread resizer([&stop] {
+        std::size_t lanes = 2;
+        while (!stop.load(std::memory_order_acquire)) {
+            SetGlobalThreadCount(lanes);
+            lanes = lanes == 2 ? 4 : 2;
+        }
+    });
+    for (std::size_t round = 0; round < 20; ++round) {
+        std::vector<std::atomic<unsigned>> hit(kItems);
+        ParallelFor(kItems, work, [&](std::size_t i) {
+            hit[i].fetch_add(1, std::memory_order_relaxed);
+            total.fetch_add(1, std::memory_order_relaxed);
+        });
+        for (std::size_t i = 0; i < kItems; ++i) {
+            ASSERT_EQ(hit[i].load(), 1u) << "item " << i;
+        }
+    }
+    stop.store(true, std::memory_order_release);
+    resizer.join();
+    EXPECT_EQ(total.load(), 20 * kItems);
+    SetGlobalThreadCount(initial);
+}
+
+// ---------------------------------------------------------------------
+// Failpoint registry: concurrent (re)arming
+// ---------------------------------------------------------------------
+
+TEST(ConcurrencyStressTest, ConcurrentFailpointArming)
+{
+    fp::ResetAll();
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            const char *site =
+                fp::SiteName(t % fp::SiteCount());
+            for (std::size_t i = 0; i < 300; ++i) {
+                switch (i % 5) {
+                  case 0:
+                    fp::Arm(site, 0.5);
+                    break;
+                  case 1:
+                    fp::ArmNth(site, 1000000);
+                    break;
+                  case 2:
+                    (void)fp::Armed(site);
+                    break;
+                  case 3:
+                    // Reader path pool workers use, off the arm mutex.
+                    (void)fp::ShouldFire(site);
+                    break;
+                  default:
+                    fp::DisarmAll();
+                    break;
+                }
+            }
+        });
+    }
+    for (std::thread &t : threads) {
+        t.join();
+    }
+    fp::ResetAll();
+    for (std::size_t i = 0; i < fp::SiteCount(); ++i) {
+        EXPECT_FALSE(fp::Armed(fp::SiteName(i)));
+        EXPECT_EQ(fp::FireCount(fp::SiteName(i)), 0u);
+    }
+}
+
+}  // namespace
+}  // namespace hentt
