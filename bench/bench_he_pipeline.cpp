@@ -406,13 +406,14 @@ BenchMain(int argc, char **argv)
     SetGlobalThreadCount(1);
     const bool avx2_available =
         simd::BackendAvailable(simd::Backend::kAvx2);
-    double fused_backend_ns[2] = {0.0, 0.0};
+    const bool avx512_available =
+        simd::BackendAvailable(simd::Backend::kAvx512);
+    double fused_backend_ns[simd::kBackendCount] = {};
     {
         Ciphertext ms_out;
         const Ciphertext *ms_src[] = {&prod};
         Ciphertext *ms_dst[] = {&ms_out};
-        for (const auto backend :
-             {simd::Backend::kScalar, simd::Backend::kAvx2}) {
+        for (const auto backend : simd::kAllBackends) {
             if (!simd::BackendAvailable(backend)) {
                 continue;
             }
@@ -430,6 +431,13 @@ BenchMain(int argc, char **argv)
     if (avx2_available) {
         bench::Ratio("fused avx2 vs scalar",
                      fused_backend_ns[0] / fused_backend_ns[1]);
+    }
+    if (avx512_available) {
+        bench::Ratio(
+            "fused avx512 vs avx2",
+            fused_backend_ns[1] /
+                fused_backend_ns[static_cast<std::size_t>(
+                    simd::Backend::kAvx512)]);
     }
     SetGlobalThreadCount(threads);
 
@@ -467,9 +475,12 @@ BenchMain(int argc, char **argv)
             "  \"relin_ms_steady_state_allocs\": %lld,\n"
             "  \"simd_default_backend\": \"%s\",\n"
             "  \"avx2_available\": %s,\n"
+            "  \"avx512_available\": %s,\n"
             "  \"fused_relin_ms_scalar_ns\": %.1f,\n"
             "  \"fused_relin_ms_avx2_ns\": %.1f,\n"
-            "  \"speedup_fused_avx2_vs_scalar\": %.3f\n"
+            "  \"fused_relin_ms_avx512_ns\": %.1f,\n"
+            "  \"speedup_fused_avx2_vs_scalar\": %.3f,\n"
+            "  \"speedup_fused_avx512_vs_avx2\": %.3f\n"
             "}\n",
             params.degree, np, threads, pr1_ns, batched_ns,
             graph_per_op_ns, pr1_ns / batched_ns,
@@ -481,10 +492,18 @@ BenchMain(int argc, char **argv)
             static_cast<unsigned long long>(fused_counts.elementwise),
             relin_ms_allocs,
             simd::BackendName(simd::ActiveBackend()),
-            avx2_available ? "true" : "false", fused_backend_ns[0],
+            avx2_available ? "true" : "false",
+            avx512_available ? "true" : "false", fused_backend_ns[0],
             fused_backend_ns[1],
+            fused_backend_ns[static_cast<std::size_t>(
+                simd::Backend::kAvx512)],
             avx2_available
                 ? fused_backend_ns[0] / fused_backend_ns[1]
+                : 0.0,
+            avx512_available
+                ? fused_backend_ns[1] /
+                      fused_backend_ns[static_cast<std::size_t>(
+                          simd::Backend::kAvx512)]
                 : 0.0);
         std::fclose(f);
         std::printf("wrote %s\n", json_path.c_str());

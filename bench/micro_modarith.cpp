@@ -1,8 +1,13 @@
 /**
  * google-benchmark micro suite for the modular-multiplication
  * primitives — the CPU analogue of the paper's Fig. 1 comparison
- * (Shoup vs native vs Barrett) — plus per-backend columns for the SIMD
- * row kernels (scalar vs AVX2 on the same 4096-element sweep).
+ * (Shoup vs native vs Barrett) — plus per-kernel x per-backend columns
+ * for the whole SIMD element-wise family (every Backend member on the
+ * same 4096-element sweep; unavailable backends skip with an error
+ * label). These columns are the measurement base for the per-backend
+ * table verdicts recorded in docs/ARCHITECTURE.md: the AVX2
+ * Barrett-borrows, the AVX-512 all-native flip, and the IFMA
+ * ablation.
  */
 
 #include <benchmark/benchmark.h>
@@ -127,8 +132,10 @@ BENCHMARK(BM_MulModMontgomery);
 BENCHMARK(BM_ShoupPrecompute);
 
 // ---------------------------------------------------------------------
-// SIMD backend row kernels, per backend (range(0): 0 = scalar,
-// 1 = avx2). These are the loops the NTT and HE layers actually run.
+// SIMD backend row kernels, per kernel x per backend (range(0) indexes
+// kAllBackends). These are the loops the NTT and HE layers actually
+// run; unavailable backends skip with an error so the column set stays
+// stable across hosts.
 // ---------------------------------------------------------------------
 
 bool
@@ -140,6 +147,18 @@ SelectBackend(benchmark::State &state, simd::Backend &backend)
         return false;
     }
     return true;
+}
+
+/** The table a backend's element-wise verdict is judged by: for AVX2
+ *  the all-vector variant (the production table borrows the scalar
+ *  Barrett family, so benchmarking it would measure scalar twice);
+ *  every other backend's production table is already all-candidate. */
+const simd::Kernels &
+CandidateTable(simd::Backend backend)
+{
+    return backend == simd::Backend::kAvx2
+               ? simd::internal::Avx2AllVectorKernels()
+               : simd::Get(backend);
 }
 
 void
@@ -170,14 +189,11 @@ BM_SimdMulBarrettRows(benchmark::State &state)
         return;
     }
     auto &ops = Ops();
-    // The all-vector table: this benchmark is the gauge for whether
-    // the vector Barrett tree should enter the production table on a
-    // given microarchitecture (it currently loses to scalar mulx on
-    // Intel, which is why Avx2Kernels borrows the scalar entry).
-    const simd::Kernels &kernels =
-        backend == simd::Backend::kAvx2
-            ? simd::internal::Avx2AllVectorKernels()
-            : simd::Get(backend);
+    // The gauge for whether the vector Barrett tree should enter a
+    // backend's production table on a given microarchitecture (at 4
+    // AVX2 lanes it loses to scalar mulx on Intel; at 8 AVX-512 lanes
+    // with vpmullq it wins — see docs/ARCHITECTURE.md).
+    const simd::Kernels &kernels = CandidateTable(backend);
     const BarrettReducer red(ops.p);
     const simd::BarrettConsts consts = simd::Consts(red);
     u64 dst[kBatch];
@@ -213,8 +229,194 @@ BM_SimdFwdButterflyRows(benchmark::State &state)
     state.SetLabel(simd::BackendName(backend));
 }
 
-BENCHMARK(BM_SimdMulShoupRows)->Arg(0)->Arg(1);
-BENCHMARK(BM_SimdMulBarrettRows)->Arg(0)->Arg(1);
-BENCHMARK(BM_SimdFwdButterflyRows)->Arg(0)->Arg(1);
+void
+BM_SimdMulAccBarrettRows(benchmark::State &state)
+{
+    simd::Backend backend;
+    if (!SelectBackend(state, backend)) {
+        return;
+    }
+    auto &ops = Ops();
+    const simd::Kernels &kernels = CandidateTable(backend);
+    const BarrettReducer red(ops.p);
+    const simd::BarrettConsts consts = simd::Consts(red);
+    u64 dst[kBatch] = {};
+    for (auto _ : state) {
+        kernels.mul_acc_barrett_rows(dst, ops.a, ops.w, kBatch, consts);
+        benchmark::DoNotOptimize(dst);
+    }
+    state.SetItemsProcessed(state.iterations() * kBatch);
+    state.SetLabel(simd::BackendName(backend));
+}
+
+void
+BM_SimdReduceBarrettRows(benchmark::State &state)
+{
+    simd::Backend backend;
+    if (!SelectBackend(state, backend)) {
+        return;
+    }
+    auto &ops = Ops();
+    const simd::Kernels &kernels = CandidateTable(backend);
+    const BarrettReducer red(ops.p);
+    const simd::BarrettConsts consts = simd::Consts(red);
+    u64 dst[kBatch];
+    for (auto _ : state) {
+        kernels.reduce_barrett_rows(dst, ops.a, kBatch, consts);
+        benchmark::DoNotOptimize(dst);
+    }
+    state.SetItemsProcessed(state.iterations() * kBatch);
+    state.SetLabel(simd::BackendName(backend));
+}
+
+void
+BM_SimdAddRows(benchmark::State &state)
+{
+    simd::Backend backend;
+    if (!SelectBackend(state, backend)) {
+        return;
+    }
+    auto &ops = Ops();
+    const simd::Kernels &kernels = CandidateTable(backend);
+    u64 dst[kBatch];
+    for (auto _ : state) {
+        kernels.add_rows(dst, ops.a, ops.w, kBatch, ops.p, false);
+        benchmark::DoNotOptimize(dst);
+    }
+    state.SetItemsProcessed(state.iterations() * kBatch);
+    state.SetLabel(simd::BackendName(backend));
+}
+
+void
+BM_SimdSubRows(benchmark::State &state)
+{
+    simd::Backend backend;
+    if (!SelectBackend(state, backend)) {
+        return;
+    }
+    auto &ops = Ops();
+    const simd::Kernels &kernels = CandidateTable(backend);
+    u64 dst[kBatch];
+    for (auto _ : state) {
+        kernels.sub_rows(dst, ops.a, ops.w, kBatch, ops.p, false);
+        benchmark::DoNotOptimize(dst);
+    }
+    state.SetItemsProcessed(state.iterations() * kBatch);
+    state.SetLabel(simd::BackendName(backend));
+}
+
+void
+BM_SimdFoldLazyRows(benchmark::State &state)
+{
+    simd::Backend backend;
+    if (!SelectBackend(state, backend)) {
+        return;
+    }
+    auto &ops = Ops();
+    const simd::Kernels &kernels = CandidateTable(backend);
+    u64 x[kBatch];
+    for (std::size_t i = 0; i < kBatch; ++i) {
+        x[i] = ops.a[i];
+    }
+    for (auto _ : state) {
+        kernels.fold_lazy_rows(x, kBatch, ops.p);
+        benchmark::DoNotOptimize(x);
+    }
+    state.SetItemsProcessed(state.iterations() * kBatch);
+    state.SetLabel(simd::BackendName(backend));
+}
+
+void
+BM_SimdFoldRescaleRows(benchmark::State &state)
+{
+    simd::Backend backend;
+    if (!SelectBackend(state, backend)) {
+        return;
+    }
+    auto &ops = Ops();
+    const simd::Kernels &kernels = CandidateTable(backend);
+    u64 dst[kBatch] = {};
+    for (auto _ : state) {
+        kernels.fold_rescale_rows(dst, ops.a, kBatch, ops.p, ops.w[0],
+                                  ops.w_shoup[0]);
+        benchmark::DoNotOptimize(dst);
+    }
+    state.SetItemsProcessed(state.iterations() * kBatch);
+    state.SetLabel(simd::BackendName(backend));
+}
+
+void
+BM_SimdTensorRows(benchmark::State &state)
+{
+    simd::Backend backend;
+    if (!SelectBackend(state, backend)) {
+        return;
+    }
+    auto &ops = Ops();
+    const simd::Kernels &kernels = CandidateTable(backend);
+    const BarrettReducer red(ops.p);
+    const simd::BarrettConsts consts = simd::Consts(red);
+    u64 c0[kBatch], c1[kBatch], c2[kBatch];
+    for (auto _ : state) {
+        kernels.tensor_rows(c0, c1, c2, ops.a, ops.w, ops.w, ops.a,
+                            kBatch, consts);
+        benchmark::DoNotOptimize(c0);
+        benchmark::DoNotOptimize(c1);
+        benchmark::DoNotOptimize(c2);
+    }
+    state.SetItemsProcessed(state.iterations() * kBatch);
+    state.SetLabel(simd::BackendName(backend));
+}
+
+void
+BM_SimdDivideRoundRows(benchmark::State &state)
+{
+    simd::Backend backend;
+    if (!SelectBackend(state, backend)) {
+        return;
+    }
+    auto &ops = Ops();
+    const simd::Kernels &kernels = CandidateTable(backend);
+    // Constants as the BGV mod-switch epilogue builds them: drop prime
+    // q_k = ops.p, land in a second 55-bit q_i.
+    const u64 qi = GenerateNttPrimes(1 << 14, 55, 1)[0];
+    const u64 t = 65537;
+    const BarrettReducer red(qi);
+    simd::DivideRoundConsts c{};
+    c.qk = ops.p;
+    c.t_inv_qk = InvMod(t % c.qk, c.qk);
+    c.t_inv_qk_bar = ShoupPrecompute(c.t_inv_qk, c.qk);
+    c.qi = qi;
+    c.qk_inv = InvMod(c.qk % qi, qi);
+    c.qk_inv_bar = ShoupPrecompute(c.qk_inv, qi);
+    c.t_mod_qi = t % qi;
+    c.t_mod_qi_bar = ShoupPrecompute(c.t_mod_qi, qi);
+    c.mu_lo = red.mu_lo();
+    c.mu_hi = red.mu_hi();
+    u64 src[kBatch], dst[kBatch];
+    for (std::size_t i = 0; i < kBatch; ++i) {
+        src[i] = ops.a[i] % qi;
+    }
+    for (auto _ : state) {
+        kernels.divide_round_rows(dst, src, ops.a, kBatch, c);
+        benchmark::DoNotOptimize(dst);
+    }
+    state.SetItemsProcessed(state.iterations() * kBatch);
+    state.SetLabel(simd::BackendName(backend));
+}
+
+constexpr int kLastBackend = static_cast<int>(simd::kBackendCount) - 1;
+
+BENCHMARK(BM_SimdMulShoupRows)->DenseRange(0, kLastBackend);
+BENCHMARK(BM_SimdMulBarrettRows)->DenseRange(0, kLastBackend);
+BENCHMARK(BM_SimdMulAccBarrettRows)->DenseRange(0, kLastBackend);
+BENCHMARK(BM_SimdReduceBarrettRows)->DenseRange(0, kLastBackend);
+BENCHMARK(BM_SimdAddRows)->DenseRange(0, kLastBackend);
+BENCHMARK(BM_SimdSubRows)->DenseRange(0, kLastBackend);
+BENCHMARK(BM_SimdFoldLazyRows)->DenseRange(0, kLastBackend);
+BENCHMARK(BM_SimdFoldRescaleRows)->DenseRange(0, kLastBackend);
+BENCHMARK(BM_SimdTensorRows)->DenseRange(0, kLastBackend);
+BENCHMARK(BM_SimdDivideRoundRows)->DenseRange(0, kLastBackend);
+BENCHMARK(BM_SimdFwdButterflyRows)->DenseRange(0, kLastBackend);
 
 }  // namespace

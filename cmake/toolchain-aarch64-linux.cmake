@@ -1,0 +1,28 @@
+# Cross-compile to aarch64-linux-gnu — the CI arm64 leg
+# (.github/workflows/ci.yml, job arm64-cross) builds with this file and
+# runs the test suite under qemu-user, so the NEON backend is exercised
+# on every push without arm64 hardware.
+#
+#   cmake -B build-arm64 -S . \
+#     -DCMAKE_TOOLCHAIN_FILE=cmake/toolchain-aarch64-linux.cmake \
+#     -DCMAKE_CROSSCOMPILING_EMULATOR=qemu-aarch64-static
+#
+# CMAKE_CROSSCOMPILING_EMULATOR makes ctest wrap every test binary in
+# the emulator, so the normal `ctest` invocation just works.
+
+set(CMAKE_SYSTEM_NAME Linux)
+set(CMAKE_SYSTEM_PROCESSOR aarch64)
+
+set(CMAKE_C_COMPILER aarch64-linux-gnu-gcc)
+set(CMAKE_CXX_COMPILER aarch64-linux-gnu-g++)
+
+# Static linking keeps qemu-user from needing the aarch64 loader and
+# shared libstdc++ paths inside the x86 filesystem.
+set(CMAKE_EXE_LINKER_FLAGS_INIT "-static")
+
+# Search headers/libraries only in the target sysroot, programs only on
+# the host.
+set(CMAKE_FIND_ROOT_PATH_MODE_PROGRAM NEVER)
+set(CMAKE_FIND_ROOT_PATH_MODE_LIBRARY ONLY)
+set(CMAKE_FIND_ROOT_PATH_MODE_INCLUDE ONLY)
+set(CMAKE_FIND_ROOT_PATH_MODE_PACKAGE ONLY)

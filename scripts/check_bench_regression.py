@@ -302,6 +302,55 @@ def self_test():
     expect("deep: dropped depth column fails relative-only",
            len(compare(deep, deep_dropped, relative_only=True)) == 1)
 
+    # The PR 9 element-wise family series (BENCH_rns_batch.json): the
+    # avx512-vs-avx2 tensor/fold+rescale ratios are the cross-machine
+    # acceptance record for the 8-lane element-wise table. They gate
+    # only where the backend is CPUID-available — a runner without
+    # AVX-512 writes 0 (skipped as unavailability) and flips
+    # avx512_available (capability mismatch excuses the rest).
+    ew = {
+        "bench": "rns_batch",
+        "n": 4096,
+        "elementwise_tensor_avx2_ns": 4000.0,
+        "elementwise_tensor_avx512_ns": 2500.0,
+        "elementwise_tensor_neon_ns": 0.0,  # x86 baseline host
+        "speedup_elementwise_tensor_avx512_vs_avx2": 1.6,
+        "speedup_elementwise_foldrescale_avx512_vs_avx2": 1.4,
+        "steady_state_allocs": 0,
+        "simd_default_backend": "avx512",
+        "avx2_available": True,
+        "avx512_available": True,
+        "avx512ifma_available": True,
+        "neon_available": False,
+    }
+    ew_flat = dict(ew)
+    ew_flat["speedup_elementwise_tensor_avx512_vs_avx2"] = 1.0
+    expect("elementwise: lost avx512 tensor win fails relative-only",
+           len(compare(ew, ew_flat, relative_only=True)) == 1)
+    ew_no512 = dict(ew)
+    ew_no512["avx512_available"] = False
+    ew_no512["avx512ifma_available"] = False
+    ew_no512["simd_default_backend"] = "avx2"
+    ew_no512["elementwise_tensor_avx512_ns"] = 0.0
+    ew_no512["speedup_elementwise_tensor_avx512_vs_avx2"] = 0.0
+    ew_no512["speedup_elementwise_foldrescale_avx512_vs_avx2"] = 0.0
+    expect("elementwise: non-avx512 runner passes relative-only",
+           compare(ew, ew_no512, relative_only=True) == [])
+    ew_dropped = dict(ew)
+    del ew_dropped["speedup_elementwise_foldrescale_avx512_vs_avx2"]
+    expect("elementwise: dropped speedup column fails relative-only",
+           len(compare(ew, ew_dropped, relative_only=True)) == 1)
+    ew_neon = dict(ew)
+    ew_neon["neon_available"] = True
+    ew_neon["simd_default_backend"] = "neon"
+    ew_neon["elementwise_tensor_avx2_ns"] = 0.0
+    ew_neon["elementwise_tensor_avx512_ns"] = 0.0
+    ew_neon["elementwise_tensor_neon_ns"] = 9000.0
+    ew_neon["speedup_elementwise_tensor_avx512_vs_avx2"] = 0.0
+    ew_neon["speedup_elementwise_foldrescale_avx512_vs_avx2"] = 0.0
+    expect("elementwise: arm64 runner gates structure only",
+           compare(ew, ew_neon, relative_only=True) == [])
+
     if failed:
         print(f"self-test: {len(failed)} failure(s)")
         return 1

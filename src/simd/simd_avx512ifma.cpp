@@ -1,0 +1,206 @@
+/**
+ * @file
+ * AVX-512 IFMA ablation backend: the probe ROADMAP item 2 asked for.
+ * vpmadd52lo/hi multiply the low 52 bits of each 64-bit lane and
+ * accumulate the low/high 52 bits of the 104-bit product — one
+ * instruction per limb product, against the five vpmuludq the 32x32
+ * tree needs for a full 64x64 -> 128. The catch: our operands are
+ * arbitrary 64-bit values (lazy [0, 4p) residues of 49-61-bit
+ * primes), so each full product needs a 52+12-bit limb split and
+ * SEVEN vpmadd52 ops plus recombination shifts, where the tree gets
+ * away with four vpmuludq plus its carry chain. Measured on the
+ * mul/mul-acc family this loses to the DQ table (~0.9x, see
+ * ARCHITECTURE.md — IFMA's win requires operands already in 52-bit
+ * limb form, a layout change far beyond a kernel swap), so this tier
+ * is bench-only: never auto-selected, reachable via
+ * HENTT_SIMD=avx512ifma / ForceBackend for the micro_modarith
+ * ablation columns, and parity-swept like every other table.
+ *
+ * Only the mul/mul-acc family (mul_barrett, mul_acc_barrett, tensor)
+ * differs from the DQ table — the 64x64 -> 128 operand products come
+ * from the limb split below; the Barrett quotient chain and every
+ * other slot reuse the DQ implementations, so the ablation isolates
+ * exactly the operand-product idiom.
+ */
+
+#include "simd/simd_internal.h"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__) && \
+    defined(__AVX512IFMA__)
+
+#include <immintrin.h>
+
+#include "simd/simd_avx512_common.h"
+
+namespace hentt::simd {
+
+namespace {
+
+using namespace avx512detail;
+
+/**
+ * Full 64x64 -> 128-bit product from 52-bit limb partials.
+ *
+ * Split x = x0 + 2^52 x1 (x0 < 2^52, x1 < 2^12) and likewise y; then
+ * x*y = x0*y0 + 2^52 (x0*y1 + x1*y0) + 2^104 x1*y1. vpmadd52lo/hi
+ * deliver each partial's low/high 52 bits directly (the instructions
+ * read only the low 52 bits of their operands, so x feeds x0 and
+ * x >> 52 feeds x1 unmasked). Recombination is exact: limb1 < 3*2^52
+ * and limb0 < 2^52 never carry across bit 64 when packed, and
+ * limb2 < 2^25 tops out the 128-bit result.
+ */
+inline V512
+MulFullU64Ifma(__m512i x, __m512i y)
+{
+    const __m512i zero = _mm512_setzero_si512();
+    const __m512i xh = _mm512_srli_epi64(x, 52);
+    const __m512i yh = _mm512_srli_epi64(y, 52);
+    const __m512i t00_lo = _mm512_madd52lo_epu64(zero, x, y);
+    const __m512i t00_hi = _mm512_madd52hi_epu64(zero, x, y);
+    const __m512i t01_lo = _mm512_madd52lo_epu64(zero, x, yh);
+    const __m512i t01_hi = _mm512_madd52hi_epu64(zero, x, yh);
+    const __m512i t10_lo = _mm512_madd52lo_epu64(zero, xh, y);
+    const __m512i t10_hi = _mm512_madd52hi_epu64(zero, xh, y);
+    const __m512i t11 = _mm512_madd52lo_epu64(zero, xh, yh);
+    const __m512i limb1 =
+        _mm512_add_epi64(t00_hi, _mm512_add_epi64(t01_lo, t10_lo));
+    const __m512i limb2 =
+        _mm512_add_epi64(t11, _mm512_add_epi64(t01_hi, t10_hi));
+    V512 r;
+    r.lo = _mm512_add_epi64(t00_lo, _mm512_slli_epi64(limb1, 52));
+    r.hi = _mm512_add_epi64(_mm512_srli_epi64(limb1, 12),
+                            _mm512_slli_epi64(limb2, 40));
+    return r;
+}
+
+void
+MulBarrettRows(u64 *dst, const u64 *a, const u64 *b, std::size_t n,
+               BarrettConsts c)
+{
+    if (c.mu_hi >> 32) {  // modulus <= 2^32: scalar reference
+        internal::ScalarKernels().mul_barrett_rows(dst, a, b, n, c);
+        return;
+    }
+    const __m512i vp = Bcast(c.p), v2p = Bcast(2 * c.p);
+    const __m512i vmu_lo = Bcast(c.mu_lo), vmu_hi = Bcast(c.mu_hi);
+    std::size_t k = 0;
+    for (; k + 8 <= n; k += 8) {
+        const V512 z = MulFullU64Ifma(Load(a + k), Load(b + k));
+        Store(dst + k, BarrettReduceVec(z, vp, v2p, vmu_lo, vmu_hi));
+    }
+    for (; k < n; ++k) {
+        const u128 z = Mul64Wide(a[k], b[k]);
+        dst[k] = BarrettReduce(Lo64(z), Hi64(z), c);
+    }
+}
+
+void
+MulAccBarrettRows(u64 *dst, const u64 *a, const u64 *b, std::size_t n,
+                  BarrettConsts c)
+{
+    if (c.mu_hi >> 32) {
+        internal::ScalarKernels().mul_acc_barrett_rows(dst, a, b, n, c);
+        return;
+    }
+    const __m512i vp = Bcast(c.p), v2p = Bcast(2 * c.p);
+    const __m512i vmu_lo = Bcast(c.mu_lo), vmu_hi = Bcast(c.mu_hi);
+    std::size_t k = 0;
+    for (; k + 8 <= n; k += 8) {
+        V512 z = MulFullU64Ifma(Load(a + k), Load(b + k));
+        const __m512i addend = Load(dst + k);
+        z.lo = _mm512_add_epi64(z.lo, addend);
+        z.hi = AddCarry(z.hi, z.lo, addend);
+        Store(dst + k, BarrettReduceVec(z, vp, v2p, vmu_lo, vmu_hi));
+    }
+    for (; k < n; ++k) {
+        const u128 z = Mul64Wide(a[k], b[k]) + dst[k];
+        dst[k] = BarrettReduce(Lo64(z), Hi64(z), c);
+    }
+}
+
+void
+TensorRows(u64 *c0, u64 *c1, u64 *c2, const u64 *a0, const u64 *a1,
+           const u64 *b0, const u64 *b1, std::size_t n, BarrettConsts c)
+{
+    if (c.mu_hi >> 32) {
+        internal::ScalarKernels().tensor_rows(c0, c1, c2, a0, a1, b0, b1,
+                                              n, c);
+        return;
+    }
+    const __m512i vp = Bcast(c.p), v2p = Bcast(2 * c.p);
+    const __m512i vmu_lo = Bcast(c.mu_lo), vmu_hi = Bcast(c.mu_hi);
+    std::size_t k = 0;
+    for (; k + 8 <= n; k += 8) {
+        const __m512i va0 = Load(a0 + k), va1 = Load(a1 + k);
+        const __m512i vb0 = Load(b0 + k), vb1 = Load(b1 + k);
+        const V512 z0 = MulFullU64Ifma(va0, vb0);
+        const V512 za = MulFullU64Ifma(va0, vb1);
+        const V512 zb = MulFullU64Ifma(va1, vb0);
+        V512 z1;
+        z1.lo = _mm512_add_epi64(za.lo, zb.lo);
+        z1.hi = AddCarry(_mm512_add_epi64(za.hi, zb.hi), z1.lo, zb.lo);
+        const V512 z2 = MulFullU64Ifma(va1, vb1);
+        Store(c0 + k, BarrettReduceVec(z0, vp, v2p, vmu_lo, vmu_hi));
+        Store(c1 + k, BarrettReduceVec(z1, vp, v2p, vmu_lo, vmu_hi));
+        Store(c2 + k, BarrettReduceVec(z2, vp, v2p, vmu_lo, vmu_hi));
+    }
+    for (; k < n; ++k) {
+        const u128 z0 = Mul64Wide(a0[k], b0[k]);
+        const u128 z1 = Mul64Wide(a0[k], b1[k]) + Mul64Wide(a1[k], b0[k]);
+        const u128 z2 = Mul64Wide(a1[k], b1[k]);
+        c0[k] = BarrettReduce(Lo64(z0), Hi64(z0), c);
+        c1[k] = BarrettReduce(Lo64(z1), Hi64(z1), c);
+        c2[k] = BarrettReduce(Lo64(z2), Hi64(z2), c);
+    }
+}
+
+}  // namespace
+
+namespace internal {
+
+bool
+Avx512IfmaCompiledIn()
+{
+    return true;
+}
+
+const Kernels &
+Avx512IfmaKernels()
+{
+    // DQ table with the mul/mul-acc family swapped to IFMA operand
+    // products — the borrowed slots are intentional here: the
+    // ablation isolates one idiom, and DescribeKernelTable() reports
+    // the borrowing.
+    static const Kernels table = [] {
+        Kernels t = Avx512Kernels();
+        t.mul_barrett_rows = &MulBarrettRows;
+        t.mul_acc_barrett_rows = &MulAccBarrettRows;
+        t.tensor_rows = &TensorRows;
+        return t;
+    }();
+    return table;
+}
+
+}  // namespace internal
+
+}  // namespace hentt::simd
+
+#else  // no AVX-512 IFMA support
+
+namespace hentt::simd::internal {
+
+bool
+Avx512IfmaCompiledIn()
+{
+    return false;
+}
+
+const Kernels &
+Avx512IfmaKernels()
+{
+    return ScalarKernels();
+}
+
+}  // namespace hentt::simd::internal
+
+#endif  // AVX-512 IFMA support

@@ -15,28 +15,36 @@
  *    other backend must be bit-identical to it, including the lazy
  *    [0, 4p) representatives, not merely congruent),
  *  - an AVX2 implementation (compile-time guarded, runtime CPUID
- *    dispatch), processing four residues per vector op, and
- *  - an AVX-512 implementation covering the butterfly family (rows,
- *    whole stages, fused radix-4 stage pairs) at eight residues per
- *    vector op, borrowing the element-wise entries from AVX2.
+ *    dispatch), processing four residues per vector op,
+ *  - an AVX-512 implementation covering the full vocabulary — the
+ *    butterfly family (rows, whole stages, fused radix-4 stage pairs)
+ *    AND the element-wise family — at eight residues per vector op,
+ *  - an AVX-512 IFMA ablation tier (vpmadd52lo/hi 52-bit limb
+ *    products standing in for the 32x32 partial-product tree on the
+ *    mul/mul-acc family; bench-only — see simd_avx512ifma.cpp), and
+ *  - a NEON/arm64 implementation (2 x u64 lanes via uint64x2_t).
  *
  * Backend selection: runtime CPUID by default (best available wins:
- * avx512 > avx2 > scalar), overridable with the environment variable
- * `HENTT_SIMD=scalar|avx2|avx512|auto` (read once, at first use) or
- * programmatically with ForceBackend() (benches and the parity
- * tests). Requesting an unavailable backend through the environment
- * falls back to scalar; ForceBackend() throws instead, so tests cannot
- * silently measure the wrong thing.
+ * avx512 > avx2 > neon > scalar; the IFMA tier is never auto-selected
+ * — it measured below the DQ table, see ARCHITECTURE.md), overridable
+ * with the environment variable
+ * `HENTT_SIMD=scalar|avx2|avx512|avx512ifma|neon|auto` (read once, at
+ * first use) or programmatically with ForceBackend() (benches and the
+ * parity tests). Requesting an unavailable backend through the
+ * environment falls back to scalar with a one-line stderr warning
+ * naming every backend's availability; ForceBackend() throws with the
+ * same listing, so tests cannot silently measure the wrong thing.
  *
- * Adding a backend (AVX-512, NEON): implement the Kernels table in a
- * new translation unit, register it in simd_dispatch.cpp, done — no
- * consumer changes.
+ * Adding a backend (the contract simd_neon.cpp proves): implement the
+ * Kernels table in a new translation unit, register it in
+ * simd_dispatch.cpp, done — no consumer changes.
  */
 
 #ifndef HENTT_SIMD_SIMD_BACKEND_H
 #define HENTT_SIMD_SIMD_BACKEND_H
 
 #include <cstddef>
+#include <string>
 
 #include "common/modarith.h"
 
@@ -44,10 +52,26 @@ namespace hentt::simd {
 
 /** Available kernel implementations. */
 enum class Backend {
-    kScalar,  ///< portable reference (always available)
-    kAvx2,    ///< 4 x u64 lanes; requires compile-time -mavx2 + CPUID
-    kAvx512,  ///< 8 x u64 lanes (butterfly family); -mavx512f/dq + CPUID
+    kScalar,      ///< portable reference (always available)
+    kAvx2,        ///< 4 x u64 lanes; requires compile-time -mavx2 + CPUID
+    kAvx512,      ///< 8 x u64 lanes, full vocabulary; -mavx512f/dq + CPUID
+    kAvx512Ifma,  ///< avx512 with vpmadd52 operand products; CPUID ifma
+    kNeon,        ///< 2 x u64 lanes via uint64x2_t (arm64 AdvSIMD)
 };
+
+/**
+ * Every Backend member, in enum order — the one list tests and benches
+ * iterate so a new backend joins the parity sweep and the per-backend
+ * bench columns with zero per-backend edits.
+ */
+inline constexpr Backend kAllBackends[] = {
+    Backend::kScalar,      Backend::kAvx2, Backend::kAvx512,
+    Backend::kAvx512Ifma,  Backend::kNeon,
+};
+
+/** Number of Backend members (bench column arrays index by enum). */
+inline constexpr std::size_t kBackendCount =
+    sizeof(kAllBackends) / sizeof(kAllBackends[0]);
 
 /**
  * Barrett constants of one modulus in backend-friendly form:
@@ -373,7 +397,8 @@ Backend ActiveBackend();
 /**
  * Force the active backend (benches / parity tests).
  * @throws std::invalid_argument when the backend is not available on
- *         this build/CPU.
+ *         this build/CPU; the message names every backend's
+ *         availability (compiled-out vs missing CPUID feature).
  */
 void ForceBackend(Backend backend);
 
@@ -386,6 +411,26 @@ bool BackendAvailable(Backend backend);
 
 /** Short stable name ("scalar", "avx2") for logs and bench columns. */
 const char *BackendName(Backend backend);
+
+/**
+ * Why a backend is or is not usable right now: "available",
+ * "not compiled in (...)", or "CPU lacks ...". Stable enough for
+ * error messages and the HENTT_SIMD fallback warning, not a parse
+ * target.
+ */
+const char *AvailabilityReason(Backend backend);
+
+/** One line per backend: "name: reason" — the listing ForceBackend
+ *  errors and the HENTT_SIMD fallback warning embed. */
+std::string DescribeAvailability();
+
+/**
+ * Debug helper: which translation unit each of the 16 kernel slots of
+ * @p backend's table actually resolves to (one "slot -> tu" line per
+ * slot), so borrowed-slot fallbacks — e.g. a table borrowing the
+ * scalar Barrett family — are visible instead of silent.
+ */
+std::string DescribeKernelTable(Backend backend);
 
 }  // namespace hentt::simd
 

@@ -4,11 +4,20 @@
  * HENTT_SIMD environment override x ForceBackend(). The active table is
  * a single atomic pointer, so every kernel call site pays one acquire
  * load — nothing per element.
+ *
+ * Auto-selection order: avx512 > avx2 > neon > scalar. The x86 tiers
+ * need both the compiled-in TU and the CPUID feature; NEON is
+ * mandatory on AArch64, so compiled-in means available. The IFMA
+ * ablation tier is deliberately absent from auto-selection (it
+ * measured below the DQ table on the mul/mul-acc family — see
+ * ARCHITECTURE.md); it stays reachable explicitly so benches and the
+ * parity sweep can exercise it.
  */
 
 #include "simd/simd_internal.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
@@ -20,10 +29,15 @@ namespace hentt::simd {
 
 namespace {
 
+// __builtin_cpu_supports with x86 feature names only compiles on x86
+// targets; every probe is additionally arch-guarded so this TU builds
+// unchanged on arm64.
+
 bool
 CpuHasAvx2()
 {
-#if defined(__GNUC__) || defined(__clang__)
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    (defined(__x86_64__) || defined(__i386__))
     return __builtin_cpu_supports("avx2");
 #else
     return false;
@@ -33,7 +47,8 @@ CpuHasAvx2()
 bool
 CpuHasAvx512()
 {
-#if defined(__GNUC__) || defined(__clang__)
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    (defined(__x86_64__) || defined(__i386__))
     // The butterfly kernels need F (foundation) and DQ (vpmullq).
     return __builtin_cpu_supports("avx512f") &&
            __builtin_cpu_supports("avx512dq");
@@ -42,7 +57,19 @@ CpuHasAvx512()
 #endif
 }
 
-/** Best available backend by CPUID: avx512 > avx2 > scalar. */
+bool
+CpuHasAvx512Ifma()
+{
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    (defined(__x86_64__) || defined(__i386__))
+    return CpuHasAvx512() && __builtin_cpu_supports("avx512ifma");
+#else
+    return false;
+#endif
+}
+
+/** Best available backend by CPUID: avx512 > avx2 > neon > scalar.
+ *  (kAvx512Ifma is explicit-only; see the file comment.) */
 Backend
 BestAvailable()
 {
@@ -52,31 +79,55 @@ BestAvailable()
     if (BackendAvailable(Backend::kAvx2)) {
         return Backend::kAvx2;
     }
+    if (BackendAvailable(Backend::kNeon)) {
+        return Backend::kNeon;
+    }
     return Backend::kScalar;
 }
 
+/** HENTT_SIMD value -> Backend; nullopt-style: returns false when the
+ *  value names no backend ("auto" included). */
+bool
+ParseBackendName(const char *name, Backend &out)
+{
+    for (Backend b : kAllBackends) {
+        if (std::strcmp(name, BackendName(b)) == 0) {
+            out = b;
+            return true;
+        }
+    }
+    return false;
+}
+
 /** Environment/CPUID resolution, evaluated once at first use. An
- *  unavailable HENTT_SIMD request falls back to scalar (tests use
- *  ForceBackend, which throws instead). */
+ *  unavailable (or unrecognised) HENTT_SIMD request falls back with a
+ *  one-line stderr warning naming every backend's availability — tests
+ *  use ForceBackend, which throws instead, so they can never silently
+ *  measure the wrong thing. */
 Backend
 ResolveDefault()
 {
-    if (const char *env = std::getenv("HENTT_SIMD")) {
-        if (std::strcmp(env, "scalar") == 0) {
-            return Backend::kScalar;
-        }
-        if (std::strcmp(env, "avx2") == 0) {
-            return BackendAvailable(Backend::kAvx2) ? Backend::kAvx2
-                                                    : Backend::kScalar;
-        }
-        if (std::strcmp(env, "avx512") == 0) {
-            return BackendAvailable(Backend::kAvx512)
-                       ? Backend::kAvx512
-                       : Backend::kScalar;
-        }
-        // "auto" and anything unrecognised: fall through to CPUID.
+    const char *env = std::getenv("HENTT_SIMD");
+    if (env == nullptr || std::strcmp(env, "auto") == 0) {
+        return BestAvailable();
     }
-    return BestAvailable();
+    Backend requested;
+    if (!ParseBackendName(env, requested)) {
+        std::fprintf(stderr,
+                     "hentt: HENTT_SIMD=%s names no backend; using "
+                     "auto. Backends: %s\n",
+                     env, DescribeAvailability().c_str());
+        return BestAvailable();
+    }
+    if (!BackendAvailable(requested)) {
+        std::fprintf(stderr,
+                     "hentt: HENTT_SIMD=%s unavailable (%s); falling "
+                     "back to scalar. Backends: %s\n",
+                     env, AvailabilityReason(requested),
+                     DescribeAvailability().c_str());
+        return Backend::kScalar;
+    }
+    return requested;
 }
 
 std::atomic<const Kernels *> g_active{nullptr};
@@ -112,6 +163,12 @@ BackendAvailable(Backend backend)
         return internal::Avx2CompiledIn() && CpuHasAvx2();
       case Backend::kAvx512:
         return internal::Avx512CompiledIn() && CpuHasAvx512();
+      case Backend::kAvx512Ifma:
+        return internal::Avx512IfmaCompiledIn() && CpuHasAvx512Ifma();
+      case Backend::kNeon:
+        // AdvSIMD is architecturally mandatory on AArch64: compiled in
+        // implies the CPU has it.
+        return internal::NeonCompiledIn();
     }
     return false;
 }
@@ -124,6 +181,10 @@ Get(Backend backend)
         return internal::Avx2Kernels();
       case Backend::kAvx512:
         return internal::Avx512Kernels();
+      case Backend::kAvx512Ifma:
+        return internal::Avx512IfmaKernels();
+      case Backend::kNeon:
+        return internal::NeonKernels();
       case Backend::kScalar:
         break;
     }
@@ -159,7 +220,9 @@ ForceBackend(Backend backend)
     if (!BackendAvailable(backend)) {
         throw std::invalid_argument(
             std::string("SIMD backend unavailable: ") +
-            BackendName(backend));
+            BackendName(backend) + " (" +
+            AvailabilityReason(backend) +
+            "). Backends: " + DescribeAvailability());
     }
     Activate(backend);
 }
@@ -180,8 +243,130 @@ BackendName(Backend backend)
         return "avx2";
       case Backend::kAvx512:
         return "avx512";
+      case Backend::kAvx512Ifma:
+        return "avx512ifma";
+      case Backend::kNeon:
+        return "neon";
     }
     return "unknown";
+}
+
+const char *
+AvailabilityReason(Backend backend)
+{
+    if (BackendAvailable(backend)) {
+        return "available";
+    }
+    switch (backend) {
+      case Backend::kScalar:
+        break;  // always available; unreachable
+      case Backend::kAvx2:
+        return internal::Avx2CompiledIn()
+                   ? "CPU lacks avx2"
+                   : "not compiled in (build lacks -mavx2)";
+      case Backend::kAvx512:
+        return internal::Avx512CompiledIn()
+                   ? "CPU lacks avx512f/avx512dq"
+                   : "not compiled in (build lacks -mavx512f/-mavx512dq)";
+      case Backend::kAvx512Ifma:
+        return internal::Avx512IfmaCompiledIn()
+                   ? "CPU lacks avx512ifma"
+                   : "not compiled in (build lacks -mavx512ifma)";
+      case Backend::kNeon:
+        return "not compiled in (not an AArch64 build)";
+    }
+    return "available";
+}
+
+std::string
+DescribeAvailability()
+{
+    std::string out;
+    for (Backend b : kAllBackends) {
+        if (!out.empty()) {
+            out += ", ";
+        }
+        out += BackendName(b);
+        out += ": ";
+        out += AvailabilityReason(b);
+    }
+    return out;
+}
+
+std::string
+DescribeKernelTable(Backend backend)
+{
+    // Slot names in Kernels declaration order.
+    static constexpr const char *kSlotNames[] = {
+        "fwd_butterfly_rows",   "fwd_butterfly_stage",
+        "inv_butterfly_rows",   "inv_butterfly_stage",
+        "fwd_butterfly_stage4", "inv_butterfly_stage4",
+        "mul_shoup_rows",       "mul_barrett_rows",
+        "mul_acc_barrett_rows", "reduce_barrett_rows",
+        "add_rows",             "sub_rows",
+        "fold_lazy_rows",       "fold_rescale_rows",
+        "tensor_rows",          "divide_round_rows",
+    };
+    using SlotPtr = void (*)();
+    struct SlotView {
+        SlotPtr ptr[16];
+    };
+    // Function pointers as an inspectable array; the casts are only
+    // compared, never called.
+    const auto slots = [](const Kernels &t) {
+        SlotView v;
+        v.ptr[0] = reinterpret_cast<SlotPtr>(t.fwd_butterfly_rows);
+        v.ptr[1] = reinterpret_cast<SlotPtr>(t.fwd_butterfly_stage);
+        v.ptr[2] = reinterpret_cast<SlotPtr>(t.inv_butterfly_rows);
+        v.ptr[3] = reinterpret_cast<SlotPtr>(t.inv_butterfly_stage);
+        v.ptr[4] = reinterpret_cast<SlotPtr>(t.fwd_butterfly_stage4);
+        v.ptr[5] = reinterpret_cast<SlotPtr>(t.inv_butterfly_stage4);
+        v.ptr[6] = reinterpret_cast<SlotPtr>(t.mul_shoup_rows);
+        v.ptr[7] = reinterpret_cast<SlotPtr>(t.mul_barrett_rows);
+        v.ptr[8] = reinterpret_cast<SlotPtr>(t.mul_acc_barrett_rows);
+        v.ptr[9] = reinterpret_cast<SlotPtr>(t.reduce_barrett_rows);
+        v.ptr[10] = reinterpret_cast<SlotPtr>(t.add_rows);
+        v.ptr[11] = reinterpret_cast<SlotPtr>(t.sub_rows);
+        v.ptr[12] = reinterpret_cast<SlotPtr>(t.fold_lazy_rows);
+        v.ptr[13] = reinterpret_cast<SlotPtr>(t.fold_rescale_rows);
+        v.ptr[14] = reinterpret_cast<SlotPtr>(t.tensor_rows);
+        v.ptr[15] = reinterpret_cast<SlotPtr>(t.divide_round_rows);
+        return v;
+    };
+    // Canonical tables, defining TU first: a pointer shared between
+    // tables belongs to the table that defines it, so the scalar
+    // reference (the ultimate borrow source) is checked before the
+    // tables that borrow from it, and avx512 before the IFMA ablation
+    // that reuses 13 of its slots. First match wins; borrowed
+    // fallbacks therefore surface under their real TU.
+    struct Owner {
+        const char *name;
+        SlotView view;
+    };
+    const Owner owners[] = {
+        {"scalar", slots(internal::ScalarKernels())},
+        {"avx2", slots(internal::Avx2Kernels())},
+        {"avx2-allvec", slots(internal::Avx2AllVectorKernels())},
+        {"neon", slots(internal::NeonKernels())},
+        {"avx512", slots(internal::Avx512Kernels())},
+        {"avx512ifma", slots(internal::Avx512IfmaKernels())},
+    };
+    const SlotView target = slots(Get(backend));
+    std::string out;
+    for (std::size_t i = 0; i < 16; ++i) {
+        const char *tu = "unknown";
+        for (const Owner &o : owners) {
+            if (o.view.ptr[i] == target.ptr[i]) {
+                tu = o.name;
+                break;
+            }
+        }
+        out += kSlotNames[i];
+        out += " -> ";
+        out += tu;
+        out += '\n';
+    }
+    return out;
 }
 
 }  // namespace hentt::simd

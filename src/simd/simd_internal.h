@@ -38,20 +38,51 @@ const Kernels &Avx2AllVectorKernels();
 bool Avx2CompiledIn();
 
 /**
- * The AVX-512 table (8 x u64 lanes). Vectorizes the butterfly family —
- * rows, whole stages, and the fused radix-4 stage pairs — where the
- * 512-bit ISA removes both AVX2 bottlenecks at once: vpmullq gives the
- * 64-bit low product in one instruction, vpminuq makes every lazy
- * correction branch- and xor-free, and 32 registers hold a fused
- * four-row working set without spilling. Element-wise entries are
- * borrowed from the production AVX2 table (which in turn borrows the
- * scalar Barrett family). Returns the scalar table when the build
- * lacks AVX-512 support; gate on Avx512CompiledIn() + CPUID.
+ * The AVX-512 table (8 x u64 lanes), covering the full 16-slot
+ * vocabulary natively. The butterfly family exploits vpmullq +
+ * vpminuq + the 32-register file; the element-wise family carries the
+ * same vpmullq advantage into the Shoup kernels and flips PR 4's
+ * Barrett hybrid decision at 8 lanes (the 512-bit partial-product
+ * tree beats the scalar mulx loops — see ARCHITECTURE.md for the
+ * per-kernel measurements). No borrowed slots. Returns the scalar
+ * table when the build lacks AVX-512 support; gate on
+ * Avx512CompiledIn() + CPUID.
  */
 const Kernels &Avx512Kernels();
 
 /** Whether simd_avx512.cpp was built with AVX-512F/DQ enabled. */
 bool Avx512CompiledIn();
+
+/**
+ * The AVX-512 IFMA ablation table: identical to Avx512Kernels()
+ * except the mul/mul-acc family (mul_barrett, mul_acc_barrett,
+ * tensor), whose 64x64 -> 128 operand products are assembled from
+ * vpmadd52lo/hi 52-bit limb products instead of the 32x32 tree.
+ * Bench-only: never auto-selected (it measured below the DQ table on
+ * this family — the limb split costs 7 multiplies per product against
+ * the tree's 4; see ARCHITECTURE.md), reachable via
+ * HENTT_SIMD=avx512ifma / ForceBackend for the micro_modarith
+ * ablation columns. Scalar fallback rules as Avx512Kernels.
+ */
+const Kernels &Avx512IfmaKernels();
+
+/** Whether simd_avx512ifma.cpp was built with AVX-512IFMA enabled. */
+bool Avx512IfmaCompiledIn();
+
+/**
+ * The NEON/arm64 table (2 x u64 lanes via uint64x2_t). Vectorizes the
+ * butterfly family and the Shoup-style element-wise kernels with the
+ * same 32x32 partial-product tree idiom as AVX2 (vmull_u32); the
+ * Barrett reduction family and the branchy divide-and-round borrow
+ * the scalar reference, mirroring the measured 4-lane AVX2 verdict
+ * (no arm64 perf runner yet — provisional, recorded in
+ * ARCHITECTURE.md). Returns the scalar table on non-arm64 builds;
+ * gate on NeonCompiledIn().
+ */
+const Kernels &NeonKernels();
+
+/** Whether simd_neon.cpp was built with AdvSIMD enabled (arm64). */
+bool NeonCompiledIn();
 
 }  // namespace hentt::simd::internal
 

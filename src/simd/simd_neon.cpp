@@ -1,0 +1,457 @@
+/**
+ * @file
+ * NEON/arm64 backend: two u64 residues per vector op via uint64x2_t.
+ * AdvSIMD is mandatory on AArch64, so this TU needs no extra compile
+ * flags and no CPUID probe — the __aarch64__ guard is the whole gate
+ * (the build registers it through simd_dispatch.cpp like every other
+ * backend; proving the "one TU + one registration line" contract).
+ *
+ * Like AVX2, NEON has no 64x64 multiply, so the 64-bit products behind
+ * Shoup and Barrett come from 32x32 partial products (vmull_u32 over
+ * vmovn/vshrn narrowed halves) with the same explicit carry tree as
+ * common/int128.h — term-for-term identical, so every kernel is
+ * bit-identical to the scalar reference (lazy [0, 4p) representatives
+ * included).
+ *
+ * Table verdict: the butterfly family and the Shoup-style element-wise
+ * kernels are vectorized; the 128-bit Barrett reduction family and the
+ * branchy divide-and-round borrow the scalar reference, mirroring the
+ * measured 4-lane AVX2 decision (the partial-product tree spends ~19
+ * 32x32 multiplies per two lanes against two hardware mul/umulh
+ * chains). Provisional until an arm64 perf runner exists — recorded as
+ * such in ARCHITECTURE.md; DescribeKernelTable() shows the borrowing.
+ *
+ * Width notes: at two lanes the contiguous-row form already applies at
+ * run length t == 2, and only the t == 1 interleaved tail falls back
+ * to the scalar element loop (no shuffle network needed — one radix-2
+ * level of one pair is barely more than a vector's worth of work).
+ */
+
+#include "simd/simd_internal.h"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+namespace hentt::simd {
+
+namespace {
+
+inline uint64x2_t
+Load(const u64 *p)
+{
+    return vld1q_u64(p);
+}
+
+inline void
+Store(u64 *p, uint64x2_t v)
+{
+    vst1q_u64(p, v);
+}
+
+inline uint64x2_t
+Bcast(u64 x)
+{
+    return vdupq_n_u64(x);
+}
+
+/** a >= bound ? a - bound : a — vcgeq yields all-ones lanes to mask
+ *  the subtrahend. */
+inline uint64x2_t
+CondSub(uint64x2_t a, uint64x2_t bound)
+{
+    return vsubq_u64(a, vandq_u64(bound, vcgeq_u64(a, bound)));
+}
+
+/** Low / high 32-bit halves, narrowed for vmull_u32. */
+inline uint32x2_t
+Lo32(uint64x2_t x)
+{
+    return vmovn_u64(x);
+}
+
+inline uint32x2_t
+Hi32(uint64x2_t x)
+{
+    return vshrn_n_u64(x, 32);
+}
+
+/** High 64 bits of the unsigned 64x64 product — the partial-product
+ *  tree of common/int128.h on two lanes. */
+inline uint64x2_t
+MulHiU64(uint64x2_t x, uint64x2_t y)
+{
+    const uint64x2_t lo32 = Bcast(0xffffffffu);
+    const uint32x2_t xl = Lo32(x), xh = Hi32(x);
+    const uint32x2_t yl = Lo32(y), yh = Hi32(y);
+    const uint64x2_t ll = vmull_u32(xl, yl);
+    const uint64x2_t lh = vmull_u32(xl, yh);
+    const uint64x2_t hl = vmull_u32(xh, yl);
+    const uint64x2_t hh = vmull_u32(xh, yh);
+    const uint64x2_t cross =
+        vaddq_u64(vaddq_u64(vshrq_n_u64(ll, 32), vandq_u64(lh, lo32)),
+                  vandq_u64(hl, lo32));
+    return vaddq_u64(vaddq_u64(hh, vshrq_n_u64(lh, 32)),
+                     vaddq_u64(vshrq_n_u64(hl, 32),
+                               vshrq_n_u64(cross, 32)));
+}
+
+/** Low 64 bits of the unsigned 64x64 product. */
+inline uint64x2_t
+MulLoU64(uint64x2_t x, uint64x2_t y)
+{
+    const uint32x2_t xl = Lo32(x), xh = Hi32(x);
+    const uint32x2_t yl = Lo32(y), yh = Hi32(y);
+    const uint64x2_t ll = vmull_u32(xl, yl);
+    const uint64x2_t mid =
+        vaddq_u64(vmull_u32(xl, yh), vmull_u32(xh, yl));
+    return vaddq_u64(ll, vshlq_n_u64(mid, 32));
+}
+
+/** The lazy CT butterfly core on two lanes (FwdButterflyElem). */
+inline void
+FwdCore(uint64x2_t &x, uint64x2_t &y, uint64x2_t vw, uint64x2_t vwb,
+        uint64x2_t vp, uint64x2_t v2p)
+{
+    x = CondSub(x, v2p);
+    const uint64x2_t q = MulHiU64(y, vwb);
+    const uint64x2_t t = vsubq_u64(MulLoU64(y, vw), MulLoU64(q, vp));
+    y = vsubq_u64(vaddq_u64(x, v2p), t);
+    x = vaddq_u64(x, t);
+}
+
+/** The lazy GS butterfly core on two lanes (InvButterflyElem). */
+inline void
+InvCore(uint64x2_t &x, uint64x2_t &y, uint64x2_t vw, uint64x2_t vwb,
+        uint64x2_t vp, uint64x2_t v2p)
+{
+    const uint64x2_t u = x;
+    const uint64x2_t v = y;
+    x = CondSub(vaddq_u64(u, v), v2p);
+    const uint64x2_t d = vsubq_u64(vaddq_u64(u, v2p), v);
+    const uint64x2_t q = MulHiU64(d, vwb);
+    y = vsubq_u64(MulLoU64(d, vw), MulLoU64(q, vp));
+}
+
+// ---------------------------------------------------------------- rows
+
+void
+FwdButterflyRows(u64 *x, u64 *y, std::size_t n, u64 w, u64 w_bar, u64 p)
+{
+    const uint64x2_t vp = Bcast(p), v2p = Bcast(2 * p);
+    const uint64x2_t vw = Bcast(w), vwb = Bcast(w_bar);
+    std::size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        uint64x2_t a = Load(x + k), b = Load(y + k);
+        FwdCore(a, b, vw, vwb, vp, v2p);
+        Store(x + k, a);
+        Store(y + k, b);
+    }
+    for (; k < n; ++k) {
+        FwdButterflyElem(x[k], y[k], w, w_bar, p);
+    }
+}
+
+void
+InvButterflyRows(u64 *x, u64 *y, std::size_t n, u64 w, u64 w_bar, u64 p)
+{
+    const uint64x2_t vp = Bcast(p), v2p = Bcast(2 * p);
+    const uint64x2_t vw = Bcast(w), vwb = Bcast(w_bar);
+    std::size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        uint64x2_t a = Load(x + k), b = Load(y + k);
+        InvCore(a, b, vw, vwb, vp, v2p);
+        Store(x + k, a);
+        Store(y + k, b);
+    }
+    for (; k < n; ++k) {
+        InvButterflyElem(x[k], y[k], w, w_bar, p);
+    }
+}
+
+// --------------------------------------------------------------- stages
+
+template <bool kForward>
+void
+ButterflyStage(u64 *a, const u64 *w, const u64 *w_bar, std::size_t m,
+               std::size_t t, u64 p)
+{
+    if (t >= 2) {
+        // Two lanes make every t >= 2 block a contiguous-row pair with
+        // a broadcast twiddle — no tail shuffle network needed.
+        for (std::size_t j = 0; j < m; ++j) {
+            u64 *x = a + 2 * j * t;
+            if constexpr (kForward) {
+                FwdButterflyRows(x, x + t, t, w[j], w_bar[j], p);
+            } else {
+                InvButterflyRows(x, x + t, t, w[j], w_bar[j], p);
+            }
+        }
+        return;
+    }
+    // t == 1: interleaved pairs, one butterfly each — scalar.
+    for (std::size_t j = 0; j < m; ++j) {
+        if constexpr (kForward) {
+            FwdButterflyElem(a[2 * j], a[2 * j + 1], w[j], w_bar[j], p);
+        } else {
+            InvButterflyElem(a[2 * j], a[2 * j + 1], w[j], w_bar[j], p);
+        }
+    }
+}
+
+void
+FwdButterflyStage(u64 *a, const u64 *w, const u64 *w_bar, std::size_t m,
+                  std::size_t t, u64 p)
+{
+    ButterflyStage<true>(a, w, w_bar, m, t, p);
+}
+
+void
+InvButterflyStage(u64 *a, const u64 *w, const u64 *w_bar, std::size_t h,
+                  std::size_t t, u64 p)
+{
+    ButterflyStage<false>(a, w, w_bar, h, t, p);
+}
+
+// -------------------------------------------------- fused radix-4 stages
+//
+// Genuinely fused at every q >= 2: the four-row column plus twiddle
+// broadcasts and butterfly temporaries fit comfortably in AArch64's 32
+// vector registers (the spill pressure that pushes AVX2 to two sweeps
+// does not arise), so each coefficient is read and written once for
+// two butterfly levels. q == 1 runs the scalar quad loop.
+
+void
+FwdButterflyStage4(u64 *a, const u64 *pairs, const u64 *quads,
+                   std::size_t m, std::size_t q, u64 p)
+{
+    const uint64x2_t vp = Bcast(p), v2p = Bcast(2 * p);
+    for (std::size_t j = 0; j < m; ++j) {
+        u64 *blk = a + 4 * j * q;
+        const u64 w1 = pairs[2 * j], w1b = pairs[2 * j + 1];
+        const u64 w2a = quads[4 * j], w2ab = quads[4 * j + 1];
+        const u64 w2b = quads[4 * j + 2], w2bb = quads[4 * j + 3];
+        const uint64x2_t vw1 = Bcast(w1), vw1b = Bcast(w1b);
+        const uint64x2_t vw2a = Bcast(w2a), vw2ab = Bcast(w2ab);
+        const uint64x2_t vw2b = Bcast(w2b), vw2bb = Bcast(w2bb);
+        std::size_t k = 0;
+        for (; k + 2 <= q; k += 2) {
+            uint64x2_t va = Load(blk + k);
+            uint64x2_t vb = Load(blk + q + k);
+            uint64x2_t vc = Load(blk + 2 * q + k);
+            uint64x2_t vd = Load(blk + 3 * q + k);
+            FwdCore(va, vc, vw1, vw1b, vp, v2p);
+            FwdCore(vb, vd, vw1, vw1b, vp, v2p);
+            FwdCore(va, vb, vw2a, vw2ab, vp, v2p);
+            FwdCore(vc, vd, vw2b, vw2bb, vp, v2p);
+            Store(blk + k, va);
+            Store(blk + q + k, vb);
+            Store(blk + 2 * q + k, vc);
+            Store(blk + 3 * q + k, vd);
+        }
+        for (; k < q; ++k) {
+            FwdButterflyQuadElem(blk[k], blk[q + k], blk[2 * q + k],
+                                 blk[3 * q + k], w1, w1b, w2a, w2ab,
+                                 w2b, w2bb, p);
+        }
+    }
+}
+
+void
+InvButterflyStage4(u64 *a, const u64 *quads, const u64 *pairs,
+                   std::size_t m, std::size_t q, u64 p)
+{
+    const uint64x2_t vp = Bcast(p), v2p = Bcast(2 * p);
+    for (std::size_t j = 0; j < m; ++j) {
+        u64 *blk = a + 4 * j * q;
+        const u64 w1a = quads[4 * j], w1ab = quads[4 * j + 1];
+        const u64 w1b = quads[4 * j + 2], w1bb = quads[4 * j + 3];
+        const u64 w2 = pairs[2 * j], w2b = pairs[2 * j + 1];
+        const uint64x2_t vw1a = Bcast(w1a), vw1ab = Bcast(w1ab);
+        const uint64x2_t vw1b = Bcast(w1b), vw1bb = Bcast(w1bb);
+        const uint64x2_t vw2 = Bcast(w2), vw2b = Bcast(w2b);
+        std::size_t k = 0;
+        for (; k + 2 <= q; k += 2) {
+            uint64x2_t va = Load(blk + k);
+            uint64x2_t vb = Load(blk + q + k);
+            uint64x2_t vc = Load(blk + 2 * q + k);
+            uint64x2_t vd = Load(blk + 3 * q + k);
+            InvCore(va, vb, vw1a, vw1ab, vp, v2p);
+            InvCore(vc, vd, vw1b, vw1bb, vp, v2p);
+            InvCore(va, vc, vw2, vw2b, vp, v2p);
+            InvCore(vb, vd, vw2, vw2b, vp, v2p);
+            Store(blk + k, va);
+            Store(blk + q + k, vb);
+            Store(blk + 2 * q + k, vc);
+            Store(blk + 3 * q + k, vd);
+        }
+        for (; k < q; ++k) {
+            InvButterflyQuadElem(blk[k], blk[q + k], blk[2 * q + k],
+                                 blk[3 * q + k], w1a, w1ab, w1b, w1bb,
+                                 w2, w2b, p);
+        }
+    }
+}
+
+// ---------------------------------------------------------- elementwise
+
+void
+MulShoupRows(u64 *dst, const u64 *src, std::size_t n, u64 s, u64 s_bar,
+             u64 p)
+{
+    const uint64x2_t vp = Bcast(p), vs = Bcast(s), vsb = Bcast(s_bar);
+    std::size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        const uint64x2_t x = Load(src + k);
+        const uint64x2_t q = MulHiU64(x, vsb);
+        const uint64x2_t r =
+            vsubq_u64(MulLoU64(x, vs), MulLoU64(q, vp));
+        Store(dst + k, CondSub(r, vp));
+    }
+    for (; k < n; ++k) {
+        dst[k] = MulModShoup(src[k], s, s_bar, p);
+    }
+}
+
+/** FoldLazy on two lanes. */
+inline uint64x2_t
+FoldVec(uint64x2_t x, uint64x2_t vp, uint64x2_t v2p)
+{
+    return CondSub(CondSub(x, v2p), vp);
+}
+
+template <bool kSubtract>
+void
+AddSubRows(u64 *dst, const u64 *a, const u64 *b, std::size_t n, u64 p,
+           bool fold_b)
+{
+    const uint64x2_t vp = Bcast(p), v2p = Bcast(2 * p);
+    std::size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        const uint64x2_t x = Load(a + k);
+        uint64x2_t y = Load(b + k);
+        if (fold_b) {
+            y = FoldVec(y, vp, v2p);
+        }
+        uint64x2_t r;
+        if constexpr (kSubtract) {
+            const uint64x2_t lt = vcgtq_u64(y, x);  // x < y: wrap by +p
+            r = vaddq_u64(vsubq_u64(x, y), vandq_u64(lt, vp));
+        } else {
+            r = CondSub(vaddq_u64(x, y), vp);
+        }
+        Store(dst + k, r);
+    }
+    for (; k < n; ++k) {
+        const u64 s = fold_b ? FoldLazy(b[k], p) : b[k];
+        dst[k] = kSubtract ? SubMod(a[k], s, p) : AddMod(a[k], s, p);
+    }
+}
+
+void
+AddRows(u64 *dst, const u64 *a, const u64 *b, std::size_t n, u64 p,
+        bool fold_b)
+{
+    AddSubRows<false>(dst, a, b, n, p, fold_b);
+}
+
+void
+SubRows(u64 *dst, const u64 *a, const u64 *b, std::size_t n, u64 p,
+        bool fold_b)
+{
+    AddSubRows<true>(dst, a, b, n, p, fold_b);
+}
+
+void
+FoldLazyRows(u64 *x, std::size_t n, u64 p)
+{
+    const uint64x2_t vp = Bcast(p), v2p = Bcast(2 * p);
+    std::size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        Store(x + k, FoldVec(Load(x + k), vp, v2p));
+    }
+    for (; k < n; ++k) {
+        x[k] = FoldLazy(x[k], p);
+    }
+}
+
+void
+FoldRescaleRows(u64 *dst, const u64 *src, std::size_t n, u64 p, u64 s,
+                u64 s_bar)
+{
+    const uint64x2_t vp = Bcast(p), vs = Bcast(s), vsb = Bcast(s_bar);
+    std::size_t k = 0;
+    for (; k + 2 <= n; k += 2) {
+        const uint64x2_t folded =
+            CondSub(vaddq_u64(Load(dst + k), Load(src + k)), vp);
+        const uint64x2_t q = MulHiU64(folded, vsb);
+        const uint64x2_t r =
+            vsubq_u64(MulLoU64(folded, vs), MulLoU64(q, vp));
+        Store(dst + k, CondSub(r, vp));
+    }
+    for (; k < n; ++k) {
+        dst[k] = MulModShoup(AddMod(dst[k], src[k], p), s, s_bar, p);
+    }
+}
+
+}  // namespace
+
+namespace internal {
+
+bool
+NeonCompiledIn()
+{
+    return true;
+}
+
+const Kernels &
+NeonKernels()
+{
+    // Butterfly + Shoup family vectorized; Barrett reduction family
+    // and divide-and-round borrow the scalar reference (the AVX2
+    // 4-lane verdict, provisional until an arm64 perf runner lands —
+    // see ARCHITECTURE.md).
+    static const Kernels table = {
+        &FwdButterflyRows,
+        &FwdButterflyStage,
+        &InvButterflyRows,
+        &InvButterflyStage,
+        &FwdButterflyStage4,
+        &InvButterflyStage4,
+        &MulShoupRows,
+        ScalarKernels().mul_barrett_rows,
+        ScalarKernels().mul_acc_barrett_rows,
+        ScalarKernels().reduce_barrett_rows,
+        &AddRows,
+        &SubRows,
+        &FoldLazyRows,
+        &FoldRescaleRows,
+        ScalarKernels().tensor_rows,
+        ScalarKernels().divide_round_rows,
+    };
+    return table;
+}
+
+}  // namespace internal
+
+}  // namespace hentt::simd
+
+#else  // not an AArch64/NEON build
+
+namespace hentt::simd::internal {
+
+bool
+NeonCompiledIn()
+{
+    return false;
+}
+
+const Kernels &
+NeonKernels()
+{
+    return ScalarKernels();
+}
+
+}  // namespace hentt::simd::internal
+
+#endif  // defined(__aarch64__) && defined(__ARM_NEON)

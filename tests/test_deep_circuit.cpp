@@ -191,12 +191,13 @@ HENTT_PBT_PROP(DeepCircuit, TowerBitIdenticalAcrossBackendsAndWalks,
     const Ciphertext fresh =
         f.scheme->Encrypt(*f.sk, RandomPlain(*f.ctx, rng));
 
-    std::vector<simd::Backend> backends{simd::Backend::kScalar};
-    if (simd::BackendAvailable(simd::Backend::kAvx2)) {
-        backends.push_back(simd::Backend::kAvx2);
-    }
-    if (simd::BackendAvailable(simd::Backend::kAvx512)) {
-        backends.push_back(simd::Backend::kAvx512);
+    // Every available backend, enumerated from kAllBackends so new
+    // tiers (avx512ifma, neon, ...) join the sweep automatically.
+    std::vector<simd::Backend> backends;
+    for (const simd::Backend backend : simd::kAllBackends) {
+        if (simd::BackendAvailable(backend)) {
+            backends.push_back(backend);
+        }
     }
 
     std::optional<std::vector<Ciphertext>> reference;

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/primegen.h"
@@ -56,44 +58,46 @@ Values(std::size_t n, u64 bound, u64 p, u64 seed)
     return v;
 }
 
-class SimdParityTest : public ::testing::TestWithParam<std::size_t>
-{
-  protected:
-    void
-    SetUp() override
-    {
-        if (!simd::BackendAvailable(simd::Backend::kAvx2)) {
-            GTEST_SKIP() << "AVX2 backend unavailable on this host";
-        }
-    }
-};
+using SimdParityTest = ::testing::TestWithParam<std::size_t>;
 
-/** Every vectorized kernel table available on this host, with a label
- *  for failure messages: the production AVX2 table, the all-vector
- *  AVX2 table (exercises the vector Barrett family and genuinely
- *  fused radix-4 rows even where production borrows other entries),
- *  and the AVX-512 table when the CPU supports it. */
-std::vector<std::pair<const char *, const simd::Kernels *>>
+/**
+ * Every non-scalar kernel table available on this host, with a label
+ * for failure messages — enumerated from kAllBackends, so a new
+ * backend (the IFMA ablation tier, the NEON port) joins the parity
+ * sweep with zero edits here. The all-vector AVX2 table rides along
+ * (it exercises the vector Barrett family and genuinely fused radix-4
+ * rows even where the production AVX2 table borrows other entries).
+ * On a host with no vector backend the list is empty and the sweep
+ * passes vacuously — the scalar reference is the anchor, not a
+ * participant.
+ */
+std::vector<std::pair<std::string, const simd::Kernels *>>
 VectorTables()
 {
-    std::vector<std::pair<const char *, const simd::Kernels *>> tables;
-    if (simd::BackendAvailable(simd::Backend::kAvx2)) {
-        tables.emplace_back("avx2", &simd::Get(simd::Backend::kAvx2));
-        tables.emplace_back("avx2-allvec",
-                            &simd::internal::Avx2AllVectorKernels());
-    }
-    if (simd::BackendAvailable(simd::Backend::kAvx512)) {
-        tables.emplace_back("avx512",
-                            &simd::Get(simd::Backend::kAvx512));
+    std::vector<std::pair<std::string, const simd::Kernels *>> tables;
+    for (const simd::Backend backend : simd::kAllBackends) {
+        if (backend == simd::Backend::kScalar ||
+            !simd::BackendAvailable(backend)) {
+            continue;
+        }
+        tables.emplace_back(simd::BackendName(backend),
+                            &simd::Get(backend));
+        if (backend == simd::Backend::kAvx2) {
+            tables.emplace_back("avx2-allvec",
+                                &simd::internal::Avx2AllVectorKernels());
+        }
     }
     return tables;
 }
 
-TEST_P(SimdParityTest, ButterflyRowsAndTails)
+/** Rows + whole-stage parity of one table against the scalar
+ *  reference, all primes, degree @p n. */
+void
+CheckButterflyParity(const std::string &name, const simd::Kernels &vec,
+                     std::size_t n)
 {
-    const std::size_t n = GetParam();
+    SCOPED_TRACE(name);
     const auto &ref = simd::Get(simd::Backend::kScalar);
-    const auto &vec = simd::internal::Avx2AllVectorKernels();
     for (const u64 p : Primes()) {
         // Twiddle stream: strict values < p with Shoup companions.
         const std::vector<u64> w = Values(n, p, p, 11 * p + n);
@@ -151,6 +155,13 @@ TEST_P(SimdParityTest, ButterflyRowsAndTails)
                 EXPECT_EQ(b0, b1) << "inv stage t=" << t << " m=" << m;
             }
         }
+    }
+}
+
+TEST_P(SimdParityTest, ButterflyRowsAndTails)
+{
+    for (const auto &[name, table] : VectorTables()) {
+        CheckButterflyParity(name, *table, GetParam());
     }
 }
 
@@ -259,13 +270,14 @@ TEST_P(SimdParityTest, FusedRadix4Stages)
     }
 }
 
-TEST_P(SimdParityTest, ElementwiseKernels)
+/** Whole element-wise family parity of one table against the scalar
+ *  reference, all primes, degree @p n — divide_round included. */
+void
+CheckElementwiseParity(const std::string &name, const simd::Kernels &vec,
+                       std::size_t n)
 {
-    const std::size_t n = GetParam();
+    SCOPED_TRACE(name);
     const auto &ref = simd::Get(simd::Backend::kScalar);
-    // The all-vector table: covers the vector Barrett family even
-    // where the production table borrows the scalar entries.
-    const auto &vec = simd::internal::Avx2AllVectorKernels();
     for (const u64 p : Primes()) {
         const BarrettReducer red(p);
         const simd::BarrettConsts consts = simd::Consts(red);
@@ -351,6 +363,49 @@ TEST_P(SimdParityTest, ElementwiseKernels)
             EXPECT_EQ(c2a, c2b);
         }
     }
+
+    // Divide-and-round: constants built exactly as the BGV mod-switch
+    // epilogue builds them (he/ciphertext_batch.cpp), every ordered
+    // (q_k, q_i) prime pair so the u <= q_k/2 centering branch sees
+    // both signs across lanes.
+    const std::vector<u64> primes = Primes();
+    const u64 t = 65537;
+    for (const u64 qk : primes) {
+        for (const u64 qi : primes) {
+            if (qi == qk) {
+                continue;
+            }
+            const BarrettReducer red(qi);
+            simd::DivideRoundConsts c{};
+            c.qk = qk;
+            c.t_inv_qk = InvMod(t % qk, qk);
+            c.t_inv_qk_bar = ShoupPrecompute(c.t_inv_qk, qk);
+            c.qi = qi;
+            c.qk_inv = InvMod(qk % qi, qi);
+            c.qk_inv_bar = ShoupPrecompute(c.qk_inv, qi);
+            c.t_mod_qi = t % qi;
+            c.t_mod_qi_bar = ShoupPrecompute(c.t_mod_qi, qi);
+            c.mu_lo = red.mu_lo();
+            c.mu_hi = red.mu_hi();
+
+            const std::vector<u64> src = Values(n, qi, qi, 18);
+            const std::vector<u64> top = Values(n, qk, qk, 19);
+            std::vector<u64> d0(n), d1(n);
+            ref.divide_round_rows(d0.data(), src.data(), top.data(), n,
+                                  c);
+            vec.divide_round_rows(d1.data(), src.data(), top.data(), n,
+                                  c);
+            EXPECT_EQ(d0, d1) << "divide_round qk=" << qk
+                              << " qi=" << qi;
+        }
+    }
+}
+
+TEST_P(SimdParityTest, ElementwiseKernels)
+{
+    for (const auto &[name, table] : VectorTables()) {
+        CheckElementwiseParity(name, *table, GetParam());
+    }
 }
 
 TEST_P(SimdParityTest, WholeTransformsMatchScalarBackend)
@@ -377,9 +432,9 @@ TEST_P(SimdParityTest, WholeTransformsMatchScalarBackend)
         }
         InttRadix2Lazy(inv_s, engine.table());
 
-        for (const auto backend :
-             {simd::Backend::kAvx2, simd::Backend::kAvx512}) {
-            if (!simd::BackendAvailable(backend)) {
+        for (const auto backend : simd::kAllBackends) {
+            if (backend == simd::Backend::kScalar ||
+                !simd::BackendAvailable(backend)) {
                 continue;
             }
             simd::ForceBackend(backend);
