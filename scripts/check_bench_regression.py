@@ -351,6 +351,56 @@ def self_test():
     expect("elementwise: arm64 runner gates structure only",
            compare(ew, ew_neon, relative_only=True) == [])
 
+    # The serving-layer series (BENCH_serve.json, PR 10): per-session
+    # throughput and latency numbers are machine-local; what travels
+    # cross-machine is speedup_batched_vs_unbatched — cross-client
+    # coalescing must keep beating the per-session-dispatch ablation —
+    # and steady_state_allocs, which must stay 0 in the serve hot loop
+    # (the wavefront batch kernels on a warm worker arena).
+    serve = {
+        "bench": "serve",
+        "n": 64,
+        "limbs": 2,
+        "lanes": 1,
+        "serve_batched_1_ns": 2.2e6,
+        "serve_batched_8_ns": 2.9e5,
+        "serve_batched_64_ns": 1.3e4,
+        "serve_batched_512_ns": 1.4e4,
+        "serve_p50_64_ns": 7.6e5,
+        "serve_p99_64_ns": 8.7e5,
+        "serve_unbatched_64_ns": 2.4e4,
+        "speedup_batched_vs_unbatched": 1.8,
+        "coalesced_requests_64": 512,
+        "max_batch_observed_64": 64,
+        "steady_state_allocs": 0,
+        "simd_default_backend": "avx512",
+        "avx2_available": True,
+        "avx512_available": True,
+    }
+    serve_slow = dict(serve)
+    serve_slow["serve_p99_64_ns"] = 2.5e6
+    expect("serve: 3x p99 fails the absolute gate",
+           len(compare(serve, serve_slow)) == 1)
+    expect("serve: 3x p99 passes relative-only (CI runner)",
+           compare(serve, serve_slow, relative_only=True) == [])
+    serve_flat = dict(serve)
+    serve_flat["speedup_batched_vs_unbatched"] = 1.0
+    expect("serve: lost coalescing win fails relative-only",
+           len(compare(serve, serve_flat, relative_only=True)) == 1)
+    serve_alloc = dict(serve)
+    serve_alloc["steady_state_allocs"] = 1
+    expect("serve: an alloc in the serve hot loop fails",
+           len(compare(serve, serve_alloc, relative_only=True)) == 1)
+    serve_dropped = dict(serve)
+    del serve_dropped["speedup_batched_vs_unbatched"]
+    expect("serve: dropped speedup series fails relative-only",
+           len(compare(serve, serve_dropped, relative_only=True)) == 1)
+    serve_counters = dict(serve)
+    serve_counters["coalesced_requests_64"] = 448
+    serve_counters["max_batch_observed_64"] = 56
+    expect("serve: batch-shape counters are informational, not gated",
+           compare(serve, serve_counters, relative_only=True) == [])
+
     if failed:
         print(f"self-test: {len(failed)} failure(s)")
         return 1

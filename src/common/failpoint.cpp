@@ -33,7 +33,7 @@ struct Site {
 
 Site g_sites[] = {
     {kArenaAlloc},   {kPoolTask},      {kSimdDispatch},
-    {kNttStage},     {kNttRangeGuard},
+    {kNttStage},     {kNttRangeGuard}, {kServeRequest},
 };
 constexpr std::size_t kSiteCount = sizeof(g_sites) / sizeof(g_sites[0]);
 

@@ -57,6 +57,7 @@ inline constexpr const char *kPoolTask = "pool.task";
 inline constexpr const char *kSimdDispatch = "simd.dispatch";
 inline constexpr const char *kNttStage = "ntt.stage";
 inline constexpr const char *kNttRangeGuard = "ntt.range_guard";
+inline constexpr const char *kServeRequest = "serve.request";
 
 /** Number of registered sites. */
 std::size_t SiteCount();

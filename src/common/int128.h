@@ -15,6 +15,7 @@
 
 namespace hentt {
 
+using u8 = std::uint8_t;
 using u32 = std::uint32_t;
 using u64 = std::uint64_t;
 using u128 = unsigned __int128;

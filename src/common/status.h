@@ -139,6 +139,8 @@ class [[nodiscard]] Result
     }
     T &operator*() { return value(); }
     const T &operator*() const { return value(); }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
 
   private:
     void Check() const

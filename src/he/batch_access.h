@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The one sanctioned path to RnsPoly::OverrideDomain.
+ *
+ * Two modules legitimately relabel a polynomial's domain without going
+ * through the transforms: the batched HE kernels (ciphertext_batch
+ * fills rows through external dispatches and relabels the result) and
+ * the serving layer's deserializer (serve/serde reconstructs
+ * evaluation-domain relin keys from the wire). Both reach
+ * OverrideDomain through this struct, which rns_poly.h befriends —
+ * every other caller must transform.
+ */
+
+#ifndef HENTT_HE_BATCH_ACCESS_H
+#define HENTT_HE_BATCH_ACCESS_H
+
+#include "poly/rns_poly.h"
+
+namespace hentt::he::detail {
+
+/** Relabels a polynomial's domain tag (see file comment). */
+struct RnsPolyBatchAccess {
+    static void
+    MarkEvaluation(RnsPoly &poly, bool lazy = false)
+    {
+        poly.OverrideDomain(RnsPoly::Domain::kEvaluation, lazy);
+    }
+
+    static void
+    MarkCoefficient(RnsPoly &poly)
+    {
+        poly.OverrideDomain(RnsPoly::Domain::kCoefficient);
+    }
+};
+
+}  // namespace hentt::he::detail
+
+#endif  // HENTT_HE_BATCH_ACCESS_H

@@ -9,29 +9,10 @@
 #include "common/modarith.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "he/batch_access.h"
 #include "simd/simd_backend.h"
 
 namespace hentt::he {
-
-namespace detail {
-
-/** The one sanctioned path to RnsPoly::OverrideDomain: the batch
- *  kernels fill rows through external dispatches and relabel here. */
-struct RnsPolyBatchAccess {
-    static void
-    MarkEvaluation(RnsPoly &poly, bool lazy = false)
-    {
-        poly.OverrideDomain(RnsPoly::Domain::kEvaluation, lazy);
-    }
-
-    static void
-    MarkCoefficient(RnsPoly &poly)
-    {
-        poly.OverrideDomain(RnsPoly::Domain::kCoefficient);
-    }
-};
-
-}  // namespace detail
 
 namespace {
 

@@ -129,12 +129,14 @@ HeOpGraph::CheckOwned(const CtFuture &f) const
 }
 
 CtFuture
-HeOpGraph::Enqueue(Kind kind, std::size_t a, std::size_t b)
+HeOpGraph::Enqueue(Kind kind, std::size_t a, std::size_t b,
+                   const RelinKey *rk)
 {
     Node node;
     node.kind = kind;
     node.a = a;
     node.b = b;
+    node.rk = rk;
     MutexLock lock(mutex_);
     nodes_.push_back(std::move(node));
     return CtFuture(this, nodes_.size() - 1);
@@ -171,16 +173,16 @@ HeOpGraph::Mul(CtFuture a, CtFuture b)
 }
 
 CtFuture
-HeOpGraph::Relinearize(CtFuture a)
+HeOpGraph::Relinearize(CtFuture a, const RelinKey *rk)
 {
     const std::size_t n = CheckOwned(a);
-    return Enqueue(Kind::kRelin, n, n);
+    return Enqueue(Kind::kRelin, n, n, rk);
 }
 
 CtFuture
-HeOpGraph::MulRelin(CtFuture a, CtFuture b)
+HeOpGraph::MulRelin(CtFuture a, CtFuture b, const RelinKey *rk)
 {
-    return Relinearize(Mul(a, b));
+    return Relinearize(Mul(a, b), rk);
 }
 
 CtFuture
@@ -191,16 +193,16 @@ HeOpGraph::ModSwitch(CtFuture a)
 }
 
 CtFuture
-HeOpGraph::RelinModSwitch(CtFuture a)
+HeOpGraph::RelinModSwitch(CtFuture a, const RelinKey *rk)
 {
     const std::size_t n = CheckOwned(a);
-    return Enqueue(Kind::kRelinModSwitch, n, n);
+    return Enqueue(Kind::kRelinModSwitch, n, n, rk);
 }
 
 CtFuture
-HeOpGraph::MulRelinModSwitch(CtFuture a, CtFuture b)
+HeOpGraph::MulRelinModSwitch(CtFuture a, CtFuture b, const RelinKey *rk)
 {
-    return RelinModSwitch(Mul(a, b));
+    return RelinModSwitch(Mul(a, b), rk);
 }
 
 std::size_t
@@ -234,8 +236,15 @@ HeOpGraph::ExecuteLocked()
     // operand twice; count it once), so a Relinearize feeding anything
     // else keeps its standalone node. Graphs without relin keys never
     // fuse (and can never hold bypassed nodes), so the whole pass is
-    // skipped there.
-    if (rk_ != nullptr) {
+    // skipped there; a pending node carrying its own key (cross-client
+    // graphs) re-enables it.
+    bool any_keyed = rk_ != nullptr;
+    for (const Node &node : nodes_) {
+        if (!node.done && node.rk != nullptr) {
+            any_keyed = true;
+        }
+    }
+    if (any_keyed) {
         std::vector<std::size_t> uses(nodes_.size(), 0);
         for (const Node &node : nodes_) {
             if (node.done) {
@@ -262,12 +271,15 @@ HeOpGraph::ExecuteLocked()
             }
             Node &relin = nodes_[node.a];
             if (relin.done || relin.fused_away || relin.demanded ||
-                relin.kind != Kind::kRelin || uses[node.a] != 1) {
+                relin.kind != Kind::kRelin || uses[node.a] != 1 ||
+                (relin.rk == nullptr && rk_ == nullptr)) {
                 continue;
             }
             node.kind = Kind::kRelinModSwitch;
             node.a = relin.a;
             node.b = relin.a;
+            node.rk = relin.rk;  // the fused stage key-switches with
+                                 // the bypassed node's key
             relin.fused_away = true;
         }
     }
@@ -292,8 +304,10 @@ HeOpGraph::ExecuteLocked()
                                Kind::kMul,       Kind::kRelin,
                                Kind::kModSwitch, Kind::kRelinModSwitch};
     // One batched kernel call over a sub-span of the group's operands.
+    // Keyed kinds receive the sub-batch's resolved RelinKey (the
+    // kernels take one key per call).
     const HeContext &ctx = scheme_.context();
-    const auto run_batch = [&](Kind kind,
+    const auto run_batch = [&](Kind kind, const RelinKey *rk,
                                std::span<const Ciphertext *const> lhs,
                                std::span<const Ciphertext *const> rhs,
                                std::span<Ciphertext *const> dst) {
@@ -308,13 +322,13 @@ HeOpGraph::ExecuteLocked()
             BatchMul(ctx, lhs, rhs, dst);
             break;
           case Kind::kRelin:
-            BatchRelinearize(ctx, *rk_, lhs, dst);
+            BatchRelinearize(ctx, *rk, lhs, dst);
             break;
           case Kind::kModSwitch:
             BatchModSwitch(ctx, lhs, dst);
             break;
           case Kind::kRelinModSwitch:
-            BatchRelinModSwitch(ctx, *rk_, lhs, dst);
+            BatchRelinModSwitch(ctx, *rk, lhs, dst);
             break;
           case Kind::kInput:
             break;  // unreachable: inputs are born done
@@ -358,50 +372,77 @@ HeOpGraph::ExecuteLocked()
             if (group.empty()) {
                 continue;
             }
-            // A graph scheduled without the keys its nodes need is a
-            // configuration error, not a contained per-node failure:
-            // it throws (as std::logic_error via the bridge), leaving
-            // the wavefront pending.
-            if ((kind == Kind::kRelin || kind == Kind::kRelinModSwitch) &&
-                rk_ == nullptr) {
-                ThrowStatus(Status(ErrorCode::kFailedPrecondition,
-                                   "HeOpGraph has no relinearization "
-                                   "keys")
-                                .WithFrame("HeOpGraph::Execute"));
-            }
-            std::vector<const Ciphertext *> lhs, rhs;
-            std::vector<Ciphertext *> dst;
-            lhs.reserve(group.size());
-            rhs.reserve(group.size());
-            dst.reserve(group.size());
+            // Keyed kinds sub-batch by resolved key (per-node override,
+            // else the graph key): one kernel call per distinct key in
+            // the wavefront — cross-client traffic under different keys
+            // still shares a wavefront, one kernel call per client key.
+            // Keyless kinds run as one sub-batch spanning everything.
+            const bool keyed = kind == Kind::kRelin ||
+                               kind == Kind::kRelinModSwitch;
+            std::vector<const RelinKey *> batch_keys;
             for (const std::size_t i : group) {
-                lhs.push_back(&nodes_[nodes_[i].a].value);
-                rhs.push_back(&nodes_[nodes_[i].b].value);
-                dst.push_back(&nodes_[i].value);
+                const RelinKey *rk =
+                    keyed ? (nodes_[i].rk != nullptr ? nodes_[i].rk
+                                                     : rk_)
+                          : nullptr;
+                if (std::find(batch_keys.begin(), batch_keys.end(),
+                              rk) == batch_keys.end()) {
+                    batch_keys.push_back(rk);
+                }
             }
-            try {
-                run_batch(kind, lhs, rhs, dst);
+            for (const RelinKey *batch_rk : batch_keys) {
+                // A graph scheduled without the keys its nodes need is
+                // a configuration error, not a contained per-node
+                // failure: it throws (as std::logic_error via the
+                // bridge), leaving the wavefront pending.
+                if (keyed && batch_rk == nullptr) {
+                    ThrowStatus(Status(ErrorCode::kFailedPrecondition,
+                                       "HeOpGraph has no "
+                                       "relinearization keys")
+                                    .WithFrame("HeOpGraph::Execute"));
+                }
+                std::vector<std::size_t> members;
+                std::vector<const Ciphertext *> lhs, rhs;
+                std::vector<Ciphertext *> dst;
                 for (const std::size_t i : group) {
-                    nodes_[i].done = true;
+                    const RelinKey *rk =
+                        keyed ? (nodes_[i].rk != nullptr ? nodes_[i].rk
+                                                         : rk_)
+                              : nullptr;
+                    if (rk != batch_rk) {
+                        continue;
+                    }
+                    members.push_back(i);
+                    lhs.push_back(&nodes_[nodes_[i].a].value);
+                    rhs.push_back(&nodes_[nodes_[i].b].value);
+                    dst.push_back(&nodes_[i].value);
                 }
-            } catch (...) {
-                if (group.size() == 1) {
-                    SettleFailed(group[0], CurrentExceptionToStatus());
-                    continue;
-                }
-                // The batch failed as a whole; isolate which members
-                // genuinely fail by retrying each as a batch of one.
-                // Healthy nodes complete (their retried kernel result
-                // is bit-identical — same operands, same math), so one
-                // bad ciphertext cannot take its wavefront peers down.
-                for (std::size_t k = 0; k < group.size(); ++k) {
-                    try {
-                        run_batch(kind, {&lhs[k], 1}, {&rhs[k], 1},
-                                  {&dst[k], 1});
-                        nodes_[group[k]].done = true;
-                    } catch (...) {
-                        SettleFailed(group[k],
+                try {
+                    run_batch(kind, batch_rk, lhs, rhs, dst);
+                    for (const std::size_t i : members) {
+                        nodes_[i].done = true;
+                    }
+                } catch (...) {
+                    if (members.size() == 1) {
+                        SettleFailed(members[0],
                                      CurrentExceptionToStatus());
+                        continue;
+                    }
+                    // The batch failed as a whole; isolate which
+                    // members genuinely fail by retrying each as a
+                    // batch of one. Healthy nodes complete (their
+                    // retried kernel result is bit-identical — same
+                    // operands, same math), so one bad ciphertext
+                    // cannot take its wavefront peers down.
+                    for (std::size_t k = 0; k < members.size(); ++k) {
+                        try {
+                            run_batch(kind, batch_rk, {&lhs[k], 1},
+                                      {&rhs[k], 1}, {&dst[k], 1});
+                            nodes_[members[k]].done = true;
+                        } catch (...) {
+                            SettleFailed(members[k],
+                                         CurrentExceptionToStatus());
+                        }
                     }
                 }
             }

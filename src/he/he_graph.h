@@ -133,12 +133,19 @@ class HeOpGraph
     /** Enqueue the degree-2 tensor product of two degree-1 inputs. */
     CtFuture Mul(CtFuture a, CtFuture b);
 
-    /** Enqueue the key-switch of a degree-2 input back to degree 1. */
-    CtFuture Relinearize(CtFuture a);
+    /**
+     * Enqueue the key-switch of a degree-2 input back to degree 1.
+     * @p rk overrides the graph-level key for this node (cross-client
+     * graphs mix ciphertexts under different keys — see the serving
+     * layer); nullptr uses the constructor's key. Keyed nodes in a
+     * wavefront sub-batch by key: one kernel call per distinct key.
+     */
+    CtFuture Relinearize(CtFuture a, const RelinKey *rk = nullptr);
 
     /** Enqueue Mul immediately followed by Relinearize (the common
      *  chain; both stages batch with their wavefront peers). */
-    CtFuture MulRelin(CtFuture a, CtFuture b);
+    CtFuture
+    MulRelin(CtFuture a, CtFuture b, const RelinKey *rk = nullptr);
 
     /** Enqueue the drop of the input's last RNS prime (noise
      *  management between multiplications). */
@@ -150,13 +157,15 @@ class HeOpGraph
      * pipeline stage (BatchRelinModSwitch), saving the standalone fold
      * and rescale sweeps the two-node chain pays between the
      * relinearization inverse stage and the divide-and-round. All
-     * RelinModSwitch nodes in a wavefront execute as one batch.
+     * RelinModSwitch nodes in a wavefront execute as one batch (one
+     * per distinct key when per-node keys are in play).
      */
-    CtFuture RelinModSwitch(CtFuture a);
+    CtFuture RelinModSwitch(CtFuture a, const RelinKey *rk = nullptr);
 
     /** Enqueue Mul followed by the fused RelinModSwitch — the full
      *  multiply-and-descend step of a leveled circuit. */
-    CtFuture MulRelinModSwitch(CtFuture a, CtFuture b);
+    CtFuture MulRelinModSwitch(CtFuture a, CtFuture b,
+                               const RelinKey *rk = nullptr);
 
     /**
      * Run every pending node. Nodes are grouped into dependency
@@ -224,6 +233,9 @@ class HeOpGraph
         Kind kind;
         std::size_t a = 0;  // operand node indices (kind-dependent)
         std::size_t b = 0;
+        // Per-node key override for kRelin/kRelinModSwitch; nullptr
+        // falls back to the graph-level rk_. Must outlive execution.
+        const RelinKey *rk = nullptr;
         bool done = false;
         // Bypassed by the auto-fusion pass (a Relinearize whose only
         // consumer became a fused node): skipped by Execute and by
@@ -247,7 +259,8 @@ class HeOpGraph
     /** Execute() body; the public entry points wrap it in the lock. */
     void ExecuteLocked() HENTT_REQUIRES(mutex_);
 
-    CtFuture Enqueue(Kind kind, std::size_t a, std::size_t b)
+    CtFuture Enqueue(Kind kind, std::size_t a, std::size_t b,
+                     const RelinKey *rk = nullptr)
         HENTT_EXCLUDES(mutex_);
     std::size_t CheckOwned(const CtFuture &f) const;
     /** Settle node @p i as failed with @p status (provenance frame

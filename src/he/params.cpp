@@ -1,9 +1,13 @@
 #include "he/params.h"
 
+#include <cstring>
+#include <map>
 #include <stdexcept>
+#include <tuple>
 
 #include "common/bitops.h"
 #include "common/modarith.h"
+#include "common/mutex.h"
 #include "common/primegen.h"
 
 namespace hentt::he {
@@ -29,7 +33,7 @@ HeParams::Validate() const
 }
 
 std::shared_ptr<const RnsNttContext>
-HeContext::level_context(std::size_t prime_count) const
+HeEngineState::level_context(std::size_t prime_count) const
 {
     if (prime_count == 0 || prime_count > levels_.size()) {
         throw std::invalid_argument("no such level in the modulus chain");
@@ -37,7 +41,7 @@ HeContext::level_context(std::size_t prime_count) const
     return levels_[prime_count - 1];
 }
 
-HeContext::HeContext(const HeParams &params) : params_(params)
+HeEngineState::HeEngineState(const HeParams &params) : params_(params)
 {
     params_.Validate();
     auto basis = std::make_shared<RnsBasis>(
@@ -84,6 +88,70 @@ HeContext::HeContext(const HeParams &params) : params_(params)
                 table[j * level + k] = acc;
             }
         }
+    }
+}
+
+namespace {
+
+// Cache key: every HeParams field. noise_stddev keyed by bit pattern so
+// distinct doubles never alias (and NaN never matches itself into a
+// stale entry).
+using EngineKey = std::tuple<std::size_t, std::size_t, unsigned, u64, u64>;
+
+EngineKey
+MakeEngineKey(const HeParams &p)
+{
+    u64 sigma_bits = 0;
+    static_assert(sizeof(p.noise_stddev) == sizeof(sigma_bits));
+    std::memcpy(&sigma_bits, &p.noise_stddev, sizeof(sigma_bits));
+    return {p.degree, p.prime_count, p.prime_bits, p.plain_modulus,
+            sigma_bits};
+}
+
+Mutex g_engine_mutex;
+std::map<EngineKey, std::weak_ptr<const HeEngineState>> g_engine_cache
+    HENTT_GUARDED_BY(g_engine_mutex);
+
+}  // namespace
+
+std::shared_ptr<const HeEngineState>
+HeEngineState::Acquire(const HeParams &params)
+{
+    const EngineKey key = MakeEngineKey(params);
+    {
+        MutexLock lock(g_engine_mutex);
+        auto it = g_engine_cache.find(key);
+        if (it != g_engine_cache.end()) {
+            if (auto state = it->second.lock()) {
+                return state;
+            }
+        }
+    }
+    // Build outside the lock: a slow table build must not stall
+    // unrelated lookups. Two racing builders both succeed; the second
+    // to publish wins the cache slot and the loser's state is simply
+    // uncached (still valid).
+    auto state = std::make_shared<const HeEngineState>(params);
+    MutexLock lock(g_engine_mutex);
+    g_engine_cache[key] = state;
+    return state;
+}
+
+HeContext::HeContext(const HeParams &params)
+    : state_(HeEngineState::Acquire(params)),
+      scratch_(std::make_shared<ScratchArena>())
+{
+}
+
+HeContext::HeContext(std::shared_ptr<const HeEngineState> state,
+                     std::shared_ptr<ScratchArena> arena)
+    : state_(std::move(state)), scratch_(std::move(arena))
+{
+    if (state_ == nullptr) {
+        throw std::invalid_argument("HeContext needs an engine state");
+    }
+    if (scratch_ == nullptr) {
+        scratch_ = std::make_shared<ScratchArena>();
     }
 }
 

@@ -13,6 +13,17 @@
  * encryption, add, multiply, CRT-digit relinearization, noise-budget
  * accounting), not a hardened implementation: no IND-CPA-grade RNG, no
  * constant-time guarantees, no security-level estimation.
+ *
+ * Context layering (the serving-layer refactor): the immutable,
+ * parameter-derived engine state — modulus-chain NTT contexts and the
+ * per-level gadget tables — lives in HeEngineState, cached process-wide
+ * so many sessions with identical parameters share one copy of the
+ * twiddle tables and prefix bases. HeContext is a thin per-caller view:
+ * one shared engine state plus one ScratchArena (working memory). A
+ * daemon worker hands every session the same engine state and lends its
+ * own arena, so ciphertexts from different sessions are mutually
+ * compatible (shared RnsNttContext instances) and kernel scratch is
+ * per-worker, not per-session.
  */
 
 #ifndef HENTT_HE_PARAMS_H
@@ -38,18 +49,92 @@ struct HeParams {
     void Validate() const;
 };
 
-/** Precomputed context shared by keys and ciphertexts. */
-class HeContext
+/**
+ * Immutable engine state derived from one HeParams: the full-basis NTT
+ * context, one reduced context per level of the modulus chain, and the
+ * per-level gadget tables. Everything here is read-only after
+ * construction and safe to share across threads and sessions; prefer
+ * Acquire() over direct construction so identical parameter sets share
+ * one instance (the twiddle tables are the dominant cost — the same
+ * sharing argument as NttEngineRegistry, one layer up).
+ */
+class HeEngineState
 {
   public:
-    explicit HeContext(const HeParams &params);
+    /** Direct construction (uncached). Validates @p params. */
+    explicit HeEngineState(const HeParams &params);
+
+    /**
+     * The process-wide cached state for @p params, built on first
+     * request. The cache holds weak references, so a state lives
+     * exactly as long as some context uses it; construction runs
+     * outside the cache lock so a slow build never stalls unrelated
+     * lookups (same discipline as NttEngineRegistry::Acquire).
+     */
+    static std::shared_ptr<const HeEngineState>
+    Acquire(const HeParams &params);
 
     const HeParams &params() const { return params_; }
-    std::size_t degree() const { return params_.degree; }
     const RnsBasis &basis() const { return ntt_ctx_->basis(); }
     std::shared_ptr<const RnsNttContext> ntt_context() const
     {
         return ntt_ctx_;
+    }
+
+    /** Context for the first @p prime_count primes of the basis (see
+     *  HeContext::level_context). */
+    std::shared_ptr<const RnsNttContext>
+    level_context(std::size_t prime_count) const;
+
+    /** Per-level gadget table (see HeContext::q_hat_level). */
+    u64 q_hat_level(std::size_t level, std::size_t j, std::size_t k) const
+    {
+        return q_hat_levels_[level - 1][j * level + k];
+    }
+
+  private:
+    HeParams params_;
+    std::shared_ptr<const RnsNttContext> ntt_ctx_;
+    // levels_[i] serves prime_count = i + 1; levels_.back() == ntt_ctx_.
+    std::vector<std::shared_ptr<const RnsNttContext>> levels_;
+    // q_hat_levels_[L-1] is the L x L row-major table
+    // [j][k] = (Q_L / q_j) mod q_k.
+    std::vector<std::vector<u64>> q_hat_levels_;
+};
+
+/**
+ * Per-caller view over shared engine state: keys and ciphertexts hold a
+ * context, ops read the tables through it, and the batched kernels draw
+ * scratch from its arena. Copying a context is cheap (two shared_ptrs)
+ * and copies share both the engine state and the arena.
+ */
+class HeContext
+{
+  public:
+    /** Standalone context: cached engine state + a private arena. */
+    explicit HeContext(const HeParams &params);
+
+    /**
+     * Layered context: an explicit engine state plus an optional
+     * borrowed arena (pass the worker's arena so every session on that
+     * worker reuses one set of kernel scratch buffers; nullptr gets a
+     * private arena). The serving layer's constructor.
+     */
+    explicit HeContext(std::shared_ptr<const HeEngineState> state,
+                       std::shared_ptr<ScratchArena> arena = nullptr);
+
+    const HeParams &params() const { return state_->params(); }
+    std::size_t degree() const { return state_->params().degree; }
+    const RnsBasis &basis() const { return state_->basis(); }
+    std::shared_ptr<const RnsNttContext> ntt_context() const
+    {
+        return state_->ntt_context();
+    }
+
+    /** The shared immutable engine state this context layers over. */
+    const std::shared_ptr<const HeEngineState> &engine_state() const
+    {
+        return state_;
     }
 
     /**
@@ -58,13 +143,16 @@ class HeContext
      * ntt_context(); modulus switching moves ciphertexts down the chain.
      */
     std::shared_ptr<const RnsNttContext>
-    level_context(std::size_t prime_count) const;
+    level_context(std::size_t prime_count) const
+    {
+        return state_->level_context(prime_count);
+    }
 
     /** Q/q_j mod q_k table used by relinearization (gadget vector),
      *  at the top level of the modulus chain. */
     u64 q_hat(std::size_t j, std::size_t k) const
     {
-        return q_hat_level(params_.prime_count, j, k);
+        return state_->q_hat_level(state_->params().prime_count, j, k);
     }
 
     /**
@@ -80,30 +168,30 @@ class HeContext
      */
     u64 q_hat_level(std::size_t level, std::size_t j, std::size_t k) const
     {
-        return q_hat_levels_[level - 1][j * level + k];
+        return state_->q_hat_level(level, j, k);
     }
 
     /**
-     * The per-scheme scratch arena backing the batched HE kernels'
+     * The scratch arena backing the batched HE kernels'
      * digit/accumulator/task buffers (steady-state zero-allocation
      * Relinearize and RelinModSwitch). Working memory, not context
      * state — hence usable through the shared const context. Arena-
-     * backed ops on one context serialise against each other through
+     * backed ops on one arena serialise against each other through
      * the arena's own mutex (ScratchArena::OpScope), so concurrent
      * callers stay correct; each op still parallelises internally
      * through the global pool.
      */
-    ScratchArena &scratch() const { return scratch_; }
+    ScratchArena &scratch() const { return *scratch_; }
+
+    /** Shared handle to the arena, for lending it to other contexts. */
+    const std::shared_ptr<ScratchArena> &scratch_arena() const
+    {
+        return scratch_;
+    }
 
   private:
-    HeParams params_;
-    mutable ScratchArena scratch_;
-    std::shared_ptr<const RnsNttContext> ntt_ctx_;
-    // levels_[i] serves prime_count = i + 1; levels_.back() == ntt_ctx_.
-    std::vector<std::shared_ptr<const RnsNttContext>> levels_;
-    // q_hat_levels_[L-1] is the L x L row-major table
-    // [j][k] = (Q_L / q_j) mod q_k.
-    std::vector<std::vector<u64>> q_hat_levels_;
+    std::shared_ptr<const HeEngineState> state_;
+    std::shared_ptr<ScratchArena> scratch_;
 };
 
 }  // namespace hentt::he

@@ -32,7 +32,7 @@
 namespace hentt {
 
 namespace he::detail {
-struct RnsPolyBatchAccess;  // batched-kernel backdoor (ciphertext_batch)
+struct RnsPolyBatchAccess;  // sanctioned backdoor (he/batch_access.h)
 }  // namespace he::detail
 
 /**

@@ -1,0 +1,237 @@
+/** @file Wire ↔ HE conversions (see serde.h). */
+
+#include "serve/serde.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "he/batch_access.h"
+
+namespace hentt::serve {
+
+namespace {
+
+Status
+Invalid(const std::string &message, const char *where)
+{
+    return Status(ErrorCode::kInvalidArgument, message).WithFrame(where);
+}
+
+}  // namespace
+
+WireParams
+ToWire(const he::HeParams &params)
+{
+    WireParams wp;
+    wp.degree = params.degree;
+    wp.prime_count = params.prime_count;
+    wp.prime_bits = params.prime_bits;
+    wp.plain_modulus = params.plain_modulus;
+    static_assert(sizeof(params.noise_stddev) == sizeof(u64));
+    std::memcpy(&wp.noise_stddev_bits, &params.noise_stddev,
+                sizeof(u64));
+    return wp;
+}
+
+Result<he::HeParams>
+ParamsFromWire(const WireParams &wp)
+{
+    he::HeParams params;
+    params.degree = static_cast<std::size_t>(wp.degree);
+    params.prime_count = static_cast<std::size_t>(wp.prime_count);
+    params.prime_bits = wp.prime_bits;
+    params.plain_modulus = wp.plain_modulus;
+    std::memcpy(&params.noise_stddev, &wp.noise_stddev_bits,
+                sizeof(u64));
+    try {
+        params.Validate();
+    } catch (...) {
+        return CurrentExceptionToStatus().WithFrame(
+            "serve::ParamsFromWire");
+    }
+    return params;
+}
+
+WirePoly
+ToWire(const RnsPoly &poly)
+{
+    WirePoly wp;
+    wp.degree = poly.degree();
+    wp.prime_count = static_cast<u32>(poly.prime_count());
+    wp.domain =
+        poly.domain() == RnsPoly::Domain::kEvaluation ? u8{1} : u8{0};
+    wp.lazy = poly.lazy() ? u8{1} : u8{0};
+    const std::span<const u64> flat = poly.flat();
+    wp.words.assign(flat.begin(), flat.end());
+    return wp;
+}
+
+Result<RnsPoly>
+PolyFromWire(const he::HeContext &ctx, const WirePoly &wp)
+{
+    if (wp.degree != ctx.degree()) {
+        return Invalid("poly degree " + std::to_string(wp.degree) +
+                           " does not match the session's " +
+                           std::to_string(ctx.degree()),
+                       "serve::PolyFromWire");
+    }
+    if (wp.prime_count == 0 ||
+        wp.prime_count > ctx.params().prime_count) {
+        return Invalid("poly prime count " +
+                           std::to_string(wp.prime_count) +
+                           " outside the session's chain [1, " +
+                           std::to_string(ctx.params().prime_count) +
+                           "]",
+                       "serve::PolyFromWire");
+    }
+    if (wp.lazy != 0 && wp.domain != 1) {
+        return Invalid("lazy flag on a coefficient-domain poly",
+                       "serve::PolyFromWire");
+    }
+    std::shared_ptr<const RnsNttContext> level =
+        ctx.level_context(wp.prime_count);
+    const std::size_t degree = level->degree();
+    if (wp.words.size() !=
+        degree * static_cast<std::size_t>(wp.prime_count)) {
+        return Invalid("poly word count " +
+                           std::to_string(wp.words.size()) +
+                           " does not match shape",
+                       "serve::PolyFromWire");
+    }
+    // Residues must live in the range the kernels assume: [0, p) for
+    // fully reduced rows, [0, 4p) for lazy evaluation rows. Anything
+    // else would silently corrupt modular arithmetic downstream.
+    const RnsBasis &basis = level->basis();
+    for (std::size_t l = 0; l < wp.prime_count; ++l) {
+        const u64 p = basis.prime(l);
+        const u64 bound = wp.lazy != 0 ? 4 * p : p;
+        const u64 *row = wp.words.data() + l * degree;
+        for (std::size_t i = 0; i < degree; ++i) {
+            if (row[i] >= bound) {
+                return Invalid(
+                    "residue " + std::to_string(row[i]) + " at limb " +
+                        std::to_string(l) + ", coeff " +
+                        std::to_string(i) + " is outside [0, " +
+                        std::to_string(bound) + ")",
+                    "serve::PolyFromWire");
+            }
+        }
+    }
+    RnsPoly poly(level);
+    std::copy(wp.words.begin(), wp.words.end(), poly.flat().begin());
+    if (wp.domain == 1) {
+        he::detail::RnsPolyBatchAccess::MarkEvaluation(poly,
+                                                       wp.lazy != 0);
+    }
+    return poly;
+}
+
+WireCiphertext
+ToWire(const he::Ciphertext &ct)
+{
+    WireCiphertext wct;
+    wct.parts.reserve(ct.parts.size());
+    for (const RnsPoly &part : ct.parts) {
+        wct.parts.push_back(ToWire(part));
+    }
+    return wct;
+}
+
+Result<he::Ciphertext>
+CiphertextFromWire(const he::HeContext &ctx, const WireCiphertext &wct)
+{
+    if (wct.parts.size() < 2 || wct.parts.size() > 3) {
+        return Invalid("ciphertext with " +
+                           std::to_string(wct.parts.size()) +
+                           " parts (expected 2 or 3)",
+                       "serve::CiphertextFromWire");
+    }
+    he::Ciphertext ct;
+    ct.parts.reserve(wct.parts.size());
+    for (const WirePoly &wp : wct.parts) {
+        if (wp.prime_count != wct.parts[0].prime_count) {
+            return Invalid("ciphertext parts at different levels",
+                           "serve::CiphertextFromWire");
+        }
+        Result<RnsPoly> part = PolyFromWire(ctx, wp);
+        if (!part.ok()) {
+            return part.status().WithFrame(
+                "serve::CiphertextFromWire");
+        }
+        ct.parts.push_back(std::move(*part));
+    }
+    return ct;
+}
+
+WireRelinKey
+ToWire(const he::RelinKey &rk)
+{
+    WireRelinKey wrk;
+    wrk.levels.reserve(rk.levels.size());
+    for (const he::RelinKey::LevelKeys &level : rk.levels) {
+        WireRelinKey::Level wl;
+        wl.b.reserve(level.b.size());
+        wl.a.reserve(level.a.size());
+        for (const RnsPoly &poly : level.b) {
+            wl.b.push_back(ToWire(poly));
+        }
+        for (const RnsPoly &poly : level.a) {
+            wl.a.push_back(ToWire(poly));
+        }
+        wrk.levels.push_back(std::move(wl));
+    }
+    return wrk;
+}
+
+Result<he::RelinKey>
+RelinKeyFromWire(const he::HeContext &ctx, const WireRelinKey &wrk)
+{
+    const std::size_t chain = ctx.params().prime_count;
+    if (wrk.levels.size() != chain) {
+        return Invalid("relin key with " +
+                           std::to_string(wrk.levels.size()) +
+                           " levels (the session's chain has " +
+                           std::to_string(chain) + ")",
+                       "serve::RelinKeyFromWire");
+    }
+    he::RelinKey rk;
+    rk.levels.resize(chain);
+    for (std::size_t level = 1; level <= chain; ++level) {
+        const WireRelinKey::Level &wl = wrk.levels[level - 1];
+        if (wl.b.size() != level || wl.a.size() != level) {
+            return Invalid("relin key level " + std::to_string(level) +
+                               " holds " + std::to_string(wl.b.size()) +
+                               "/" + std::to_string(wl.a.size()) +
+                               " digit pairs (expected " +
+                               std::to_string(level) + ")",
+                           "serve::RelinKeyFromWire");
+        }
+        he::RelinKey::LevelKeys &lk = rk.levels[level - 1];
+        lk.b.reserve(level);
+        lk.a.reserve(level);
+        for (const std::vector<WirePoly> *src : {&wl.b, &wl.a}) {
+            std::vector<RnsPoly> &dst = src == &wl.b ? lk.b : lk.a;
+            for (const WirePoly &wp : *src) {
+                // Keys are stored (and travel) in the evaluation
+                // domain at their level's width — see RelinKey.
+                if (wp.prime_count != level || wp.domain != 1) {
+                    return Invalid(
+                        "relin key digit at level " +
+                            std::to_string(level) +
+                            " is not an evaluation-domain poly of " +
+                            std::to_string(level) + " limbs",
+                        "serve::RelinKeyFromWire");
+                }
+                Result<RnsPoly> poly = PolyFromWire(ctx, wp);
+                if (!poly.ok()) {
+                    return poly.status().WithFrame(
+                        "serve::RelinKeyFromWire");
+                }
+                dst.push_back(std::move(*poly));
+            }
+        }
+    }
+    return rk;
+}
+
+}  // namespace hentt::serve

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Wire ↔ HE-type conversion for the serving layer.
+ *
+ * wire.h decodes bytes into self-contained Wire* structs; this layer
+ * validates them against a session's HeContext and materialises real
+ * RnsPoly/Ciphertext/RelinKey values (and back). Validation failures —
+ * shape mismatch against the session parameters, residues outside a
+ * prime's range, a key with the wrong level structure — come back as
+ * kInvalidArgument Status, so a hostile or buggy client can never push
+ * an out-of-contract value into the kernels.
+ *
+ * Deserialized evaluation-domain polynomials (relin keys travel in the
+ * evaluation domain, matching keygen) are relabeled through the
+ * sanctioned he::detail::RnsPolyBatchAccess path.
+ */
+
+#ifndef HENTT_SERVE_SERDE_H
+#define HENTT_SERVE_SERDE_H
+
+#include <memory>
+
+#include "he/bgv.h"
+#include "serve/wire.h"
+
+namespace hentt::serve {
+
+/** HeParams → wire form (noise_stddev by bit pattern). */
+WireParams ToWire(const he::HeParams &params);
+
+/** Wire form → HeParams; kInvalidArgument when HeParams::Validate
+ *  rejects the combination. */
+[[nodiscard]] Result<he::HeParams> ParamsFromWire(const WireParams &wp);
+
+/** RnsPoly → wire form (shape + domain tag + limb-major words). */
+WirePoly ToWire(const RnsPoly &poly);
+
+/**
+ * Wire form → RnsPoly at the level of @p ctx the poly's prime_count
+ * selects. Checks shape against the context and every residue against
+ * its prime's range ([0, p), or [0, 4p) for lazy evaluation rows).
+ */
+[[nodiscard]] Result<RnsPoly>
+PolyFromWire(const he::HeContext &ctx, const WirePoly &wp);
+
+/** Ciphertext → wire form. */
+WireCiphertext ToWire(const he::Ciphertext &ct);
+
+/** Wire form → Ciphertext (2 or 3 parts, uniform level). */
+[[nodiscard]] Result<he::Ciphertext>
+CiphertextFromWire(const he::HeContext &ctx, const WireCiphertext &wct);
+
+/** RelinKey → wire form. */
+WireRelinKey ToWire(const he::RelinKey &rk);
+
+/**
+ * Wire form → RelinKey. Requires exactly the level structure keygen
+ * produces for @p ctx's parameters: one level set per chain level,
+ * level L holding L evaluation-domain (b, a) digit pairs.
+ */
+[[nodiscard]] Result<he::RelinKey>
+RelinKeyFromWire(const he::HeContext &ctx, const WireRelinKey &wrk);
+
+}  // namespace hentt::serve
+
+#endif  // HENTT_SERVE_SERDE_H
