@@ -161,7 +161,8 @@ RunWave(const BatchConfig &config,
                 ids[s] = *id;
             }
             for (std::size_t s = 0; s < session_count; ++s) {
-                const PollResult result = coalescer.Wait(ids[s]);
+                const PollResult result =
+                    coalescer.Wait(ids[s], all_sessions[s]->id);
                 latency_ns.push_back(
                     Elapsed_ns(submitted[s], Clock::now()));
                 if (!result.status.ok()) {

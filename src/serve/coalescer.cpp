@@ -76,13 +76,17 @@ Coalescer::Submit(std::shared_ptr<Session> session,
                       "submit without a session")
             .WithFrame("Coalescer::Submit");
     }
+    // Pin the session's key version now: the request executes against
+    // this exact key even if the client reloads keys mid-flight (the
+    // shared_ptr keeps the old version alive for the worker).
+    std::shared_ptr<const he::RelinKey> rk = session->relin_key();
     // Fail fast on a keyless key-switch: by the time the batch runs,
     // the error would be a graph configuration error; at submit time
     // it is a precise per-request Status.
     for (const WireProgram::Op &op : ops) {
         if ((op.op == WireOp::kRelin ||
              op.op == WireOp::kRelinModSwitch) &&
-            session->rk == nullptr) {
+            rk == nullptr) {
             return Status(ErrorCode::kFailedPrecondition,
                           "program key-switches but session " +
                               std::to_string(session->id) +
@@ -92,6 +96,7 @@ Coalescer::Submit(std::shared_ptr<Session> session,
     }
     Request request;
     request.session = std::move(session);
+    request.rk = std::move(rk);
     request.inputs = std::move(inputs);
     request.ops = std::move(ops);
     request.outputs = std::move(outputs);
@@ -123,50 +128,70 @@ Coalescer::Submit(std::shared_ptr<Session> session,
     return id;
 }
 
+namespace {
+
+/** The one answer every non-owner path gets: a foreign session's id,
+ *  a consumed id, and an id that never existed are deliberately
+ *  indistinguishable, so sequential request ids enumerate nothing. */
 PollResult
-Coalescer::Poll(u64 request_id)
+UnknownRequest(u64 request_id, const char *frame)
 {
-    MutexLock lock(mutex_);
-    auto it = done_.find(request_id);
-    if (it != done_.end()) {
-        PollResult result = std::move(it->second);
-        done_.erase(it);
-        done_owner_.erase(request_id);
-        return result;
-    }
-    if (inflight_.count(request_id) != 0) {
-        return PollResult{};  // still queued or executing
-    }
     PollResult result;
     result.done = true;
     result.status = Status(ErrorCode::kFailedPrecondition,
                            "unknown request id " +
                                std::to_string(request_id))
-                        .WithFrame("Coalescer::Poll");
+                        .WithFrame(frame);
     return result;
 }
 
+}  // namespace
+
 PollResult
-Coalescer::Wait(u64 request_id)
+Coalescer::Poll(u64 request_id, u64 session_id)
+{
+    MutexLock lock(mutex_);
+    auto it = done_.find(request_id);
+    if (it != done_.end()) {
+        auto owner = done_owner_.find(request_id);
+        if (owner == done_owner_.end() ||
+            owner->second != session_id) {
+            // Not this session's result: leave it for its owner.
+            return UnknownRequest(request_id, "Coalescer::Poll");
+        }
+        PollResult result = std::move(it->second);
+        done_.erase(it);
+        done_owner_.erase(owner);
+        return result;
+    }
+    auto in = inflight_.find(request_id);
+    if (in != inflight_.end() && in->second == session_id) {
+        return PollResult{};  // still queued or executing
+    }
+    return UnknownRequest(request_id, "Coalescer::Poll");
+}
+
+PollResult
+Coalescer::Wait(u64 request_id, u64 session_id)
 {
     MutexLock lock(mutex_);
     for (;;) {
         auto it = done_.find(request_id);
         if (it != done_.end()) {
+            auto owner = done_owner_.find(request_id);
+            if (owner == done_owner_.end() ||
+                owner->second != session_id) {
+                return UnknownRequest(request_id,
+                                      "Coalescer::Wait");
+            }
             PollResult result = std::move(it->second);
             done_.erase(it);
-            done_owner_.erase(request_id);
+            done_owner_.erase(owner);
             return result;
         }
-        if (inflight_.count(request_id) == 0) {
-            PollResult result;
-            result.done = true;
-            result.status =
-                Status(ErrorCode::kFailedPrecondition,
-                       "unknown request id " +
-                           std::to_string(request_id))
-                    .WithFrame("Coalescer::Wait");
-            return result;
+        auto in = inflight_.find(request_id);
+        if (in == inflight_.end() || in->second != session_id) {
+            return UnknownRequest(request_id, "Coalescer::Wait");
         }
         cv_done_.wait(mutex_);
     }
@@ -330,7 +355,9 @@ Coalescer::ExecuteBatch(std::vector<Request> &batch)
                 for (he::Ciphertext &ct : request.inputs) {
                     slots.push_back(graph.Input(std::move(ct)));
                 }
-                const he::RelinKey *rk = request.session->rk.get();
+                // The key version pinned at submit time — immune to a
+                // concurrent LoadKeys swap on the session.
+                const he::RelinKey *rk = request.rk.get();
                 for (const WireProgram::Op &op : request.ops) {
                     // Decode already validated slot references, but
                     // Submit is also a direct (in-process) entry

@@ -14,7 +14,9 @@
  * max_wait of added latency, never an unbounded starve.
  *
  * Key handling: the batch graph carries per-node relinearization keys
- * (each request's ops point at its own session's key), so keyless
+ * (each request's ops point at the key version its session had loaded
+ * at submit time, pinned via shared_ptr so a mid-flight key reload
+ * never invalidates them), so keyless
  * stages (Add/Mul/ModSwitch — including the expensive tensor product)
  * batch across *all* clients while key-switching stages sub-batch per
  * client key (see HeOpGraph).
@@ -95,13 +97,19 @@ class Coalescer
         HENTT_EXCLUDES(mutex_);
 
     /** Non-blocking result check; a done result is consumed (a second
-     *  poll of the same id reports it unknown). Unknown ids come back
-     *  done with kFailedPrecondition. */
-    [[nodiscard]] PollResult Poll(u64 request_id)
+     *  poll of the same id reports it unknown). Results are scoped to
+     *  the submitting session: @p session_id must match the owner
+     *  recorded at Submit, otherwise — and for genuinely unknown ids —
+     *  the poll comes back done with kFailedPrecondition ("unknown
+     *  request id", deliberately indistinguishable so ids enumerate
+     *  nothing), and the owner's result is left untouched. */
+    [[nodiscard]] PollResult Poll(u64 request_id, u64 session_id)
         HENTT_EXCLUDES(mutex_);
 
-    /** Blocking Poll: waits until the request settles. */
-    [[nodiscard]] PollResult Wait(u64 request_id)
+    /** Blocking Poll: waits until the request settles. Same ownership
+     *  scoping — a foreign @p session_id fails immediately rather than
+     *  blocking on a result it may never consume. */
+    [[nodiscard]] PollResult Wait(u64 request_id, u64 session_id)
         HENTT_EXCLUDES(mutex_);
 
     /** Abandon every request @p session_id owns — queued ones are
@@ -123,6 +131,10 @@ class Coalescer
     struct Request {
         u64 id = 0;
         std::shared_ptr<Session> session;
+        /** The session's key version at submit time, pinned so a
+         *  concurrent LoadKeys reload cannot destroy the key this
+         *  request's graph nodes point at mid-execution. */
+        std::shared_ptr<const he::RelinKey> rk;
         std::vector<he::Ciphertext> inputs;
         std::vector<WireProgram::Op> ops;
         std::vector<u32> outputs;

@@ -3,6 +3,7 @@
 #include "serve/daemon.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -139,14 +140,23 @@ Daemon::Wait()
     if (accept_thread_.joinable()) {
         accept_thread_.join();
     }
-    // Wake every connection thread blocked in ReadFrame, then join.
+    // Wake every connection thread blocked in ReadFrame, then join —
+    // the still-live ones and any finished ones AcceptLoop has not
+    // reaped yet.
     std::vector<std::thread> threads;
     {
         MutexLock lock(mutex_);
         for (const int fd : conn_fds_) {
             ::shutdown(fd, SHUT_RDWR);
         }
-        threads.swap(conn_threads_);
+        for (auto &entry : conn_threads_) {
+            threads.push_back(std::move(entry.second));
+        }
+        conn_threads_.clear();
+        for (std::thread &thread : done_threads_) {
+            threads.push_back(std::move(thread));
+        }
+        done_threads_.clear();
     }
     for (std::thread &thread : threads) {
         if (thread.joinable()) {
@@ -188,21 +198,50 @@ Daemon::AcceptLoop()
         }
         const int fd = ::accept(listen_fd, nullptr, nullptr);
         if (fd < 0) {
-            if (errno == EINTR) {
+            const int err = errno;
+            {
+                MutexLock lock(mutex_);
+                if (stop_requested_) {
+                    return;  // listener shut down by RequestStop()
+                }
+            }
+            if (err == EINTR || err == ECONNABORTED) {
+                // Interrupted, or the peer gave up while queued —
+                // nothing wrong with the listener.
                 continue;
             }
-            // Listener shut down (stop) or broken: exit the loop; a
-            // requested stop is the expected path.
+            if (err == EMFILE || err == ENFILE || err == ENOBUFS ||
+                err == ENOMEM) {
+                // Resource exhaustion under a connection burst is
+                // transient: back off briefly (lets connections close
+                // and fds free) instead of silently never accepting
+                // again while the daemon looks alive.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+                continue;
+            }
+            // The listener itself is broken: exit the loop.
             return;
         }
-        MutexLock lock(mutex_);
-        if (stop_requested_) {
-            ::close(fd);
-            return;
+        std::vector<std::thread> finished;
+        {
+            MutexLock lock(mutex_);
+            if (stop_requested_) {
+                ::close(fd);
+                return;  // Wait() joins the remaining threads
+            }
+            conn_fds_.insert(fd);
+            conn_threads_.emplace(
+                fd, std::thread([this, fd] { ServeConnection(fd); }));
+            finished.swap(done_threads_);
         }
-        conn_fds_.insert(fd);
-        conn_threads_.emplace_back(
-            [this, fd] { ServeConnection(fd); });
+        // Reap connections that ended since the last accept (their
+        // threads are exiting or already gone — join is immediate).
+        for (std::thread &thread : finished) {
+            if (thread.joinable()) {
+                thread.join();
+            }
+        }
     }
 }
 
@@ -248,6 +287,14 @@ Daemon::ServeConnection(int fd)
     {
         MutexLock lock(mutex_);
         conn_fds_.erase(fd);
+        // Hand our own (still-running) handle to the reap list;
+        // AcceptLoop or Wait() joins it after we return. Absent when
+        // Wait() already claimed it for the shutdown join.
+        auto it = conn_threads_.find(fd);
+        if (it != conn_threads_.end()) {
+            done_threads_.push_back(std::move(it->second));
+            conn_threads_.erase(it);
+        }
     }
     ::close(fd);
 }
@@ -322,8 +369,12 @@ Daemon::HandleFrame(ConnState &conn, const Frame &request,
             if (!rk.ok()) {
                 return ErrorFrame(rk.status());
             }
-            conn.session->rk =
-                std::make_unique<he::RelinKey>(std::move(*rk));
+            // Swapped under the session's key mutex; requests already
+            // submitted keep executing against the version they
+            // pinned at submit time.
+            conn.session->SetRelinKey(
+                std::make_shared<const he::RelinKey>(
+                    std::move(*rk)));
             return MakeFrame(FrameType::kOk);
           }
 
@@ -362,11 +413,20 @@ Daemon::HandleFrame(ConnState &conn, const Frame &request,
           }
 
           case FrameType::kPoll: {
+            if (conn.session == nullptr) {
+                return ErrorFrame(
+                    Status(ErrorCode::kFailedPrecondition,
+                           "Poll before CreateSession")
+                        .WithFrame("Daemon::Poll"));
+            }
             Result<u64> id = DecodeU64Payload(request.payload);
             if (!id.ok()) {
                 return ErrorFrame(id.status());
             }
-            PollResult result = coalescer_.Poll(*id);
+            // Scoped to the calling session: foreign ids read as
+            // unknown and never consume another client's result.
+            PollResult result =
+                coalescer_.Poll(*id, conn.session->id);
             if (!result.done) {
                 return MakeFrame(FrameType::kPending);
             }

@@ -33,10 +33,37 @@ namespace hentt::serve {
 struct Session {
     u64 id = 0;
     std::shared_ptr<const he::HeContext> ctx;
-    /** Keys loaded by the LoadKeys frame; null until then. Owned by
-     *  the session so per-node graph keys can point at it for as long
-     *  as the session lives. */
-    std::unique_ptr<he::RelinKey> rk;
+
+    /** Install the keys a LoadKeys frame carried, replacing any
+     *  previous set. Safe against in-flight requests: they pinned the
+     *  old version at submit time (see relin_key()), so the swap never
+     *  destroys a key the worker is dereferencing. */
+    void
+    SetRelinKey(std::shared_ptr<const he::RelinKey> rk)
+        HENTT_EXCLUDES(rk_mutex_)
+    {
+        MutexLock lock(rk_mutex_);
+        rk_ = std::move(rk);
+    }
+
+    /** The currently loaded keys (null before LoadKeys). Callers get a
+     *  shared_ptr copy that pins this key version for as long as they
+     *  hold it — the coalescer copies it into the request at submit
+     *  time, so a concurrent key reload cannot invalidate a request
+     *  already admitted. */
+    [[nodiscard]] std::shared_ptr<const he::RelinKey>
+    relin_key() const HENTT_EXCLUDES(rk_mutex_)
+    {
+        MutexLock lock(rk_mutex_);
+        return rk_;
+    }
+
+  private:
+    /** Leaf lock (nothing is acquired under it) guarding the key slot
+     *  against a LoadKeys/Submit race across threads. */
+    mutable Mutex rk_mutex_;
+    std::shared_ptr<const he::RelinKey> rk_
+        HENTT_GUARDED_BY(rk_mutex_);
 };
 
 /** Thread-safe registry of live sessions. */
